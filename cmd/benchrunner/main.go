@@ -1,0 +1,46 @@
+// Command benchrunner regenerates every experiment table of the
+// reproduction (see DESIGN.md's per-experiment index and EXPERIMENTS.md for
+// the recorded results).
+//
+// Usage:
+//
+//	benchrunner [-scale N] [-only T4,T7]
+//
+// Scale 1 (default) finishes in seconds; larger scales sweep bigger
+// instances.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"querylearn/internal/experiments"
+)
+
+func main() {
+	scale := flag.Int("scale", 1, "experiment scale factor (1 = quick)")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. T4,T7); empty = all")
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+	ran := 0
+	for _, t := range experiments.All(*scale) {
+		if len(want) > 0 && !want[t.ID] {
+			continue
+		}
+		fmt.Println(t.Render())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "benchrunner: no experiments matched -only filter")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,112 @@
+// Command querylearn learns a query from an annotated task file and prints
+// it. Task formats are documented in internal/core/task.go and in the
+// README; example tasks live under examples/.
+//
+// Usage:
+//
+//	querylearn twig   task.txt     learn a twig (XPath-like) query
+//	querylearn join   task.txt     learn an equi-join or semijoin predicate
+//	querylearn path   task.txt     learn a graph path query
+//	querylearn schema task.txt     infer a multiplicity schema
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"querylearn/internal/core"
+	"querylearn/internal/relational"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "querylearn:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: querylearn {twig|join|path|schema} <task-file>")
+	}
+	kind, path := args[0], args[1]
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	src := string(data)
+	switch kind {
+	case "twig":
+		task, err := core.ParseTwigTask(src)
+		if err != nil {
+			return err
+		}
+		q, err := core.LearnXMLQuery(task.Examples, core.XMLOptions{Schema: task.Schema})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("learned twig query: %s\n", q)
+		fmt.Printf("size: %d pattern nodes\n", q.Size())
+		for di, d := range task.Docs {
+			for _, n := range q.Eval(d) {
+				fmt.Printf("selects doc %d node %s (%s)\n", di, core.NodePathOf(n), n.Label)
+			}
+		}
+	case "join":
+		task, err := core.ParseJoinTask(src)
+		if err != nil {
+			return err
+		}
+		var pred []relational.AttrPair
+		if task.Semijoin {
+			pred, err = core.LearnSemijoinQuery(task.Left, task.Right, task.SemiExamples, 0)
+		} else {
+			pred, err = core.LearnJoinQuery(task.Left, task.Right, task.Examples)
+		}
+		if err != nil {
+			return err
+		}
+		kindName := "join"
+		if task.Semijoin {
+			kindName = "semijoin"
+		}
+		fmt.Printf("learned %s predicate: %v\n", kindName, pred)
+		joined, err := relational.EquiJoin(task.Left, task.Right, pred)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("selected pairs: %d of %d\n", joined.Len(), task.Left.Len()*task.Right.Len())
+	case "path":
+		task, err := core.ParsePathTask(src)
+		if err != nil {
+			return err
+		}
+		q, err := core.LearnPathQuery(task.Graph, task.Examples)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("learned path query: %s\n", q)
+		pairs := task.Graph.Eval(q)
+		fmt.Printf("selects %d node pairs\n", len(pairs))
+		for i, p := range pairs {
+			if i >= 10 {
+				fmt.Printf("... and %d more\n", len(pairs)-10)
+				break
+			}
+			fmt.Printf("  %s -> %s\n", task.Graph.Node(p.Src), task.Graph.Node(p.Dst))
+		}
+	case "schema":
+		task, err := core.ParseSchemaTask(src)
+		if err != nil {
+			return err
+		}
+		s, err := core.LearnSchema(task.Docs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("learned schema:\n%s", s)
+	default:
+		return fmt.Errorf("unknown task kind %q (want twig, join, path, or schema)", kind)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTask(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunTwigTask(t *testing.T) {
+	path := writeTask(t, "twig.txt", `
+doc <lib><book><title/><year/></book><book><title/></book></lib>
+doc <lib><book><year/><title/></book></lib>
+pos 0 /0/0
+pos 1 /0/1
+neg 0 /1/0
+`)
+	if err := run([]string{"twig", path}); err != nil {
+		t.Fatalf("twig task: %v", err)
+	}
+}
+
+func TestRunJoinTask(t *testing.T) {
+	path := writeTask(t, "join.txt", `
+left P id,city
+lrow 1,lille
+lrow 2,paris
+right O buyer,place
+rrow 1,lille
+rrow 2,rome
+pos 0 0
+neg 0 1
+`)
+	if err := run([]string{"join", path}); err != nil {
+		t.Fatalf("join task: %v", err)
+	}
+}
+
+func TestRunSemijoinTask(t *testing.T) {
+	path := writeTask(t, "semi.txt", `
+left L a
+lrow 1
+lrow 9
+right R b
+rrow 1
+semijoin
+pos 0
+neg 1
+`)
+	if err := run([]string{"join", path}); err != nil {
+		t.Fatalf("semijoin task: %v", err)
+	}
+}
+
+func TestRunPathTask(t *testing.T) {
+	path := writeTask(t, "path.txt", `
+edge lille highway paris
+edge paris highway lyon
+edge lille ferry dover
+pos lille lyon
+neg lille dover
+`)
+	if err := run([]string{"path", path}); err != nil {
+		t.Fatalf("path task: %v", err)
+	}
+}
+
+func TestRunSchemaTask(t *testing.T) {
+	path := writeTask(t, "schema.txt", `
+doc <r><a/><b/></r>
+doc <r><a/><a/><b/></r>
+`)
+	if err := run([]string{"schema", path}); err != nil {
+		t.Fatalf("schema task: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Errorf("no args should fail")
+	}
+	if err := run([]string{"twig", "/does/not/exist"}); err == nil {
+		t.Errorf("missing file should fail")
+	}
+	path := writeTask(t, "bad.txt", "doc <a/>\npos 0 /")
+	if err := run([]string{"nope", path}); err == nil {
+		t.Errorf("unknown kind should fail")
+	}
+	contradiction := writeTask(t, "contra.txt", `
+doc <a><b/></a>
+pos 0 /0
+neg 0 /0
+`)
+	if err := run([]string{"twig", contradiction}); err == nil {
+		t.Errorf("contradictory task should surface an error")
+	}
+}

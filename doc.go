@@ -1,0 +1,17 @@
+// Package querylearn is a Go reproduction of "Learning Queries for
+// Relational, Semi-structured, and Graph Databases" (Ciucanu, SIGMOD/PODS
+// 2013 PhD Symposium): learning algorithms for twig queries on XML,
+// join-like queries on relations, and path queries on graphs, together with
+// the unordered-XML multiplicity schemas, the interactive learning
+// framework, the crowdsourcing cost model, and the four cross-model
+// data-exchange pipelines of the paper's Figure 1.
+//
+// The public surface lives in internal/core (facade), with the
+// model-specific engines in internal/twig, internal/twiglearn,
+// internal/schema, internal/schemalearn, internal/relational,
+// internal/rellearn, internal/graph, internal/graphlearn,
+// internal/interact, internal/crowd, internal/exchange, and the benchmark
+// substrate in internal/xmark and internal/experiments. See README.md for a
+// tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// claim-by-claim reproduction record.
+package querylearn

@@ -1,0 +1,51 @@
+// Quickstart: learn a twig query from two annotated XML documents.
+//
+// A user who cannot write XPath points at the nodes they want — here the
+// titles of books that have a year — and the learner produces the query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"querylearn/internal/core"
+	"querylearn/internal/twiglearn"
+	"querylearn/internal/xmltree"
+)
+
+func main() {
+	// Two documents from the same source.
+	doc1 := xmltree.MustParse(
+		`<lib><book><title>Logic</title><year>1999</year></book>` +
+			`<book><title>Drafts</title></book></lib>`)
+	doc2 := xmltree.MustParse(
+		`<lib><book><year>2001</year><title>Graphs</title></book>` +
+			`<book><year>2005</year></book></lib>`)
+
+	// The user selects the two titles of dated books as positive
+	// examples (child-index paths: first book's first child, etc.).
+	title1 := doc1.Children[0].Children[0]
+	title2 := doc2.Children[0].Children[1]
+	examples := []twiglearn.Example{
+		{Doc: doc1, Node: title1, Positive: true},
+		{Doc: doc2, Node: title2, Positive: true},
+		// ... and marks the undated book's title as unwanted.
+		{Doc: doc1, Node: doc1.Children[1].Children[0], Positive: false},
+	}
+
+	q, err := core.LearnXMLQuery(examples, core.XMLOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("learned query:", q)
+
+	// Apply it to a document the learner never saw.
+	doc3 := xmltree.MustParse(
+		`<lib><book><title>New</title><year>2013</year></book>` +
+			`<book><title>Undated</title></book></lib>`)
+	for _, n := range q.Eval(doc3) {
+		fmt.Printf("selected on fresh doc: <%s>%s</%s>\n", n.Label, n.Text, n.Label)
+	}
+}

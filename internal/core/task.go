@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"querylearn/internal/graph"
+	"querylearn/internal/graphlearn"
+	"querylearn/internal/relational"
+	"querylearn/internal/rellearn"
+	"querylearn/internal/schema"
+	"querylearn/internal/twiglearn"
+	"querylearn/internal/xmltree"
+)
+
+// Task files are the CLI's line-oriented input format. Lines starting with
+// '#' and blank lines are ignored everywhere. Node paths address document
+// nodes by child indices from the root: "/" is the root, "/0/2" the third
+// child of the root's first child.
+
+// ResolveNodePath finds the node addressed by a /i/j/k child-index path.
+func ResolveNodePath(doc *xmltree.Node, path string) (*xmltree.Node, error) {
+	cur := doc
+	trimmed := strings.Trim(path, "/")
+	if trimmed == "" {
+		return cur, nil
+	}
+	for _, part := range strings.Split(trimmed, "/") {
+		idx, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad node path %q: %v", path, err)
+		}
+		if idx < 0 || idx >= len(cur.Children) {
+			return nil, fmt.Errorf("core: node path %q leaves the tree at %d", path, idx)
+		}
+		cur = cur.Children[idx]
+	}
+	return cur, nil
+}
+
+// NodePathOf renders the child-index path of a node, the inverse of
+// ResolveNodePath.
+func NodePathOf(n *xmltree.Node) string {
+	if n.Parent == nil {
+		return "/"
+	}
+	var rev []int
+	for cur := n; cur.Parent != nil; cur = cur.Parent {
+		idx := -1
+		for i, c := range cur.Parent.Children {
+			if c == cur {
+				idx = i
+				break
+			}
+		}
+		rev = append(rev, idx)
+	}
+	var b strings.Builder
+	for i := len(rev) - 1; i >= 0; i-- {
+		fmt.Fprintf(&b, "/%d", rev[i])
+	}
+	return b.String()
+}
+
+// TwigTask is a twig-learning problem: documents, annotations, optional
+// schema.
+//
+//	doc <inline xml>
+//	pos <docIndex> <nodePath>
+//	neg <docIndex> <nodePath>
+//	schema <label -> expr>   (first schema line: root <label>)
+type TwigTask struct {
+	Docs     []*xmltree.Node
+	Examples []twiglearn.Example
+	Schema   *schema.Schema
+}
+
+// ParseTwigTask parses a twig task file.
+func ParseTwigTask(src string) (*TwigTask, error) {
+	t := &TwigTask{}
+	var schemaLines []string
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		switch cmd {
+		case "doc":
+			d, err := xmltree.Parse(rest)
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %w", lineNo+1, err)
+			}
+			t.Docs = append(t.Docs, d)
+		case "pos", "neg":
+			idxStr, pathStr, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fmt.Errorf("core: line %d: want '%s <doc> <path>'", lineNo+1, cmd)
+			}
+			idx, err := strconv.Atoi(idxStr)
+			if err != nil || idx < 0 || idx >= len(t.Docs) {
+				return nil, fmt.Errorf("core: line %d: bad doc index %q", lineNo+1, idxStr)
+			}
+			node, err := ResolveNodePath(t.Docs[idx], strings.TrimSpace(pathStr))
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %w", lineNo+1, err)
+			}
+			ex, err := twiglearn.NewExample(t.Docs[idx], node, cmd == "pos")
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d: %w", lineNo+1, err)
+			}
+			t.Examples = append(t.Examples, ex)
+		case "schema":
+			schemaLines = append(schemaLines, rest)
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown directive %q", lineNo+1, cmd)
+		}
+	}
+	if len(schemaLines) > 0 {
+		s, err := schema.ParseSchema(strings.Join(schemaLines, "\n"))
+		if err != nil {
+			return nil, err
+		}
+		t.Schema = s
+	}
+	if len(t.Docs) == 0 {
+		return nil, fmt.Errorf("core: twig task has no documents")
+	}
+	return t, nil
+}
+
+// JoinTask is a join-learning problem over two relations.
+//
+//	left <name> <attr,attr,...>
+//	lrow <v,v,...>
+//	right <name> <attr,attr,...>
+//	rrow <v,v,...>
+//	pos <leftIndex> <rightIndex>
+//	neg <leftIndex> <rightIndex>
+//	semijoin                      (switch to semijoin mode: pos/neg take one index)
+type JoinTask struct {
+	Left, Right  *relational.Relation
+	Examples     []rellearn.JoinExample
+	SemiExamples []rellearn.SemijoinExample
+	Semijoin     bool
+}
+
+// ParseJoinTask parses a join task file.
+func ParseJoinTask(src string) (*JoinTask, error) {
+	t := &JoinTask{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cmd, rest, _ := strings.Cut(line, " ")
+		rest = strings.TrimSpace(rest)
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("core: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch cmd {
+		case "left", "right":
+			name, attrsStr, ok := strings.Cut(rest, " ")
+			if !ok {
+				return nil, fail("want '%s <name> <attrs>'", cmd)
+			}
+			rel, err := relational.New(name, strings.Split(strings.TrimSpace(attrsStr), ",")...)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			if cmd == "left" {
+				t.Left = rel
+			} else {
+				t.Right = rel
+			}
+		case "lrow", "rrow":
+			rel := t.Left
+			if cmd == "rrow" {
+				rel = t.Right
+			}
+			if rel == nil {
+				return nil, fail("%s before its relation is declared", cmd)
+			}
+			if err := rel.Insert(strings.Split(rest, ",")...); err != nil {
+				return nil, fail("%v", err)
+			}
+		case "semijoin":
+			t.Semijoin = true
+		case "pos", "neg":
+			fields := strings.Fields(rest)
+			if t.Semijoin {
+				if len(fields) != 1 {
+					return nil, fail("semijoin %s takes one index", cmd)
+				}
+				i, err := strconv.Atoi(fields[0])
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				t.SemiExamples = append(t.SemiExamples, rellearn.SemijoinExample{Left: i, Positive: cmd == "pos"})
+				continue
+			}
+			if len(fields) != 2 {
+				return nil, fail("%s takes two indexes", cmd)
+			}
+			i, err1 := strconv.Atoi(fields[0])
+			j, err2 := strconv.Atoi(fields[1])
+			if err1 != nil || err2 != nil {
+				return nil, fail("bad indexes %q", rest)
+			}
+			t.Examples = append(t.Examples, rellearn.JoinExample{Left: i, Right: j, Positive: cmd == "pos"})
+		default:
+			return nil, fail("unknown directive %q", cmd)
+		}
+	}
+	if t.Left == nil || t.Right == nil {
+		return nil, fmt.Errorf("core: join task needs both relations")
+	}
+	return t, nil
+}
+
+// PathTask is a path-query learning problem on a graph.
+//
+//	edge <from> <label> <to>
+//	pos <from> <to>
+//	neg <from> <to>
+type PathTask struct {
+	Graph    *graph.Graph
+	Examples []graphlearn.Example
+}
+
+// ParsePathTask parses a path task file.
+func ParsePathTask(src string) (*PathTask, error) {
+	t := &PathTask{Graph: graph.New()}
+	type pendingExample struct {
+		from, to string
+		positive bool
+		line     int
+	}
+	var pending []pendingExample
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("core: line %d: want 'edge <from> <label> <to>'", lineNo+1)
+			}
+			t.Graph.AddEdge(fields[1], fields[2], fields[3])
+		case "pos", "neg":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("core: line %d: want '%s <from> <to>'", lineNo+1, fields[0])
+			}
+			pending = append(pending, pendingExample{fields[1], fields[2], fields[0] == "pos", lineNo + 1})
+		default:
+			return nil, fmt.Errorf("core: line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	for _, p := range pending {
+		src, dst := t.Graph.NodeIndex(p.from), t.Graph.NodeIndex(p.to)
+		if src < 0 || dst < 0 {
+			return nil, fmt.Errorf("core: line %d: unknown node in example", p.line)
+		}
+		t.Examples = append(t.Examples, graphlearn.Example{Src: src, Dst: dst, Positive: p.positive})
+	}
+	return t, nil
+}
+
+// SchemaTask is a schema-inference problem: positive documents only.
+//
+//	doc <inline xml>
+type SchemaTask struct {
+	Docs []*xmltree.Node
+}
+
+// ParseSchemaTask parses a schema task file.
+func ParseSchemaTask(src string) (*SchemaTask, error) {
+	t := &SchemaTask{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, "doc ")
+		if !ok {
+			return nil, fmt.Errorf("core: line %d: schema tasks only contain 'doc' lines", lineNo+1)
+		}
+		d, err := xmltree.Parse(strings.TrimSpace(rest))
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %w", lineNo+1, err)
+		}
+		t.Docs = append(t.Docs, d)
+	}
+	if len(t.Docs) == 0 {
+		return nil, fmt.Errorf("core: schema task has no documents")
+	}
+	return t, nil
+}

@@ -1,0 +1,100 @@
+// Package crowd simulates crowdsourced query learning — §3's observation
+// (after Marcus et al., "Human-powered sorts and joins") that when the
+// labeler is a paid crowd, "minimizing the number of interactions with the
+// user is equivalent to minimizing the financial cost of the process". Each
+// question to the crowd is a Human Intelligence Task (HIT) with a dollar
+// cost; workers err with some probability, and majority voting over
+// several workers trades extra HITs for answer quality.
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querylearn/internal/interact"
+	"querylearn/internal/rellearn"
+)
+
+// Config describes the crowdsourcing marketplace.
+type Config struct {
+	// CostPerHIT is the payment for one worker answering one question.
+	CostPerHIT float64
+	// WorkerErrorRate is the probability a single worker answers wrong.
+	WorkerErrorRate float64
+	// VotesPerQuestion is the number of workers asked per question
+	// (majority decides). Use an odd number; values < 1 mean 1.
+	VotesPerQuestion int
+}
+
+// Report summarizes a crowdsourced learning run.
+type Report struct {
+	Strategy  string
+	Questions int     // logical questions the learner asked
+	HITs      int     // paid worker tasks (Questions × votes)
+	Cost      float64 // HITs × CostPerHIT
+	Accuracy  float64 // fraction of instance pairs the result labels correctly
+	Failed    bool    // answers became inconsistent (noise won)
+}
+
+// RunJoin learns a join predicate over the universe with crowd answers and
+// accounts the cost. The goal predicate plays the ground truth; rng drives
+// worker errors.
+func RunJoin(u *rellearn.Universe, goal rellearn.PairSet, strat rellearn.Strategy, cfg Config, rng *rand.Rand) (Report, error) {
+	if cfg.CostPerHIT < 0 {
+		return Report{}, fmt.Errorf("crowd: negative HIT cost")
+	}
+	truth := rellearn.GoalOracle{U: u, Goal: goal}
+	noisy := interact.NoisyOracle[[2]int]{
+		Inner: interact.OracleFunc[[2]int](func(p [2]int) bool {
+			return truth.LabelPair(p[0], p[1])
+		}),
+		ErrorRate: cfg.WorkerErrorRate,
+		Rng:       rng,
+	}
+	maj := &interact.MajorityOracle[[2]int]{Inner: noisy, K: cfg.VotesPerQuestion}
+	report := Report{Strategy: strat.Name()}
+	stats, err := rellearn.Run(u, crowdOracle{maj}, strat)
+	if err != nil {
+		// Noise produced inconsistent answers; the run is a failure
+		// but the money is spent.
+		report.Failed = true
+		report.HITs = maj.Calls
+		report.Cost = float64(maj.Calls) * cfg.CostPerHIT
+		return report, nil
+	}
+	report.Questions = stats.Questions
+	report.HITs = maj.Calls
+	report.Cost = float64(maj.Calls) * cfg.CostPerHIT
+	learned, encErr := u.Encode(stats.Learned)
+	if encErr != nil {
+		return Report{}, encErr
+	}
+	report.Accuracy = accuracy(u, goal, learned)
+	return report, nil
+}
+
+// crowdOracle adapts the generic majority oracle to the rellearn interface.
+type crowdOracle struct {
+	inner *interact.MajorityOracle[[2]int]
+}
+
+// LabelPair implements rellearn.Oracle.
+func (c crowdOracle) LabelPair(li, ri int) bool { return c.inner.Label([2]int{li, ri}) }
+
+// accuracy measures agreement of two predicates over the whole instance.
+func accuracy(u *rellearn.Universe, goal, learned rellearn.PairSet) float64 {
+	total, agree := 0, 0
+	for li := 0; li < u.Left.Len(); li++ {
+		for ri := 0; ri < u.Right.Len(); ri++ {
+			a := u.Agree(li, ri)
+			total++
+			if goal.SubsetOf(a) == learned.SubsetOf(a) {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(agree) / float64(total)
+}

@@ -1,0 +1,108 @@
+package crowd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"querylearn/internal/relational"
+	"querylearn/internal/rellearn"
+)
+
+func instance(t *testing.T, n int, seed int64) *rellearn.Universe {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	l := relational.MustNew("L", "a", "b")
+	r := relational.MustNew("R", "x", "y")
+	for i := 0; i < n; i++ {
+		if err := l.Insert(fmt.Sprint(rng.Intn(3)), fmt.Sprint(rng.Intn(3))); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Insert(fmt.Sprint(rng.Intn(3)), fmt.Sprint(rng.Intn(3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rellearn.NewUniverse(l, r)
+}
+
+func TestRunJoinPerfectWorkers(t *testing.T) {
+	u := instance(t, 10, 1)
+	goal, err := u.Encode([]relational.AttrPair{{Left: "a", Right: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{CostPerHIT: 0.05, WorkerErrorRate: 0, VotesPerQuestion: 1}
+	rep, err := RunJoin(u, goal, rellearn.MaxAgreeStrategy{}, cfg, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatal("perfect workers must not fail")
+	}
+	if rep.Accuracy != 1.0 {
+		t.Errorf("accuracy = %.2f, want 1.0", rep.Accuracy)
+	}
+	if rep.HITs != rep.Questions {
+		t.Errorf("1 vote per question: HITs %d != questions %d", rep.HITs, rep.Questions)
+	}
+	wantCost := float64(rep.HITs) * 0.05
+	if rep.Cost != wantCost {
+		t.Errorf("cost = %.2f, want %.2f", rep.Cost, wantCost)
+	}
+}
+
+func TestRunJoinMajorityVotingCostsMore(t *testing.T) {
+	u := instance(t, 10, 1)
+	goal, _ := u.Encode([]relational.AttrPair{{Left: "a", Right: "x"}})
+	single := Config{CostPerHIT: 0.05, WorkerErrorRate: 0, VotesPerQuestion: 1}
+	voted := Config{CostPerHIT: 0.05, WorkerErrorRate: 0, VotesPerQuestion: 5}
+	r1, err := RunJoin(u, goal, rellearn.MaxAgreeStrategy{}, single, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r5, err := RunJoin(u, goal, rellearn.MaxAgreeStrategy{}, voted, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r5.HITs != 5*r5.Questions {
+		t.Errorf("votes not accounted: HITs %d, questions %d", r5.HITs, r5.Questions)
+	}
+	if r5.Cost <= r1.Cost {
+		t.Errorf("majority voting should cost more: %.2f vs %.2f", r5.Cost, r1.Cost)
+	}
+}
+
+func TestRunJoinNoisyWorkersMajorityHelps(t *testing.T) {
+	// At moderate noise, majority voting should succeed more often than
+	// single voting across seeds.
+	u := instance(t, 8, 5)
+	goal, _ := u.Encode([]relational.AttrPair{{Left: "a", Right: "x"}})
+	succeed := func(votes int) int {
+		ok := 0
+		for seed := int64(0); seed < 20; seed++ {
+			cfg := Config{CostPerHIT: 0.01, WorkerErrorRate: 0.15, VotesPerQuestion: votes}
+			rep, err := RunJoin(u, goal, rellearn.MaxAgreeStrategy{}, cfg, rand.New(rand.NewSource(seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Failed && rep.Accuracy == 1.0 {
+				ok++
+			}
+		}
+		return ok
+	}
+	okSingle := succeed(1)
+	okMajor := succeed(7)
+	t.Logf("single-vote successes: %d/20, majority-7: %d/20", okSingle, okMajor)
+	if okMajor < okSingle {
+		t.Errorf("majority voting should not reduce success rate: %d vs %d", okMajor, okSingle)
+	}
+}
+
+func TestRunJoinNegativeCost(t *testing.T) {
+	u := instance(t, 4, 1)
+	goal, _ := u.Encode(nil)
+	if _, err := RunJoin(u, goal, rellearn.MaxAgreeStrategy{}, Config{CostPerHIT: -1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("negative cost must error")
+	}
+}

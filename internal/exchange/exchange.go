@@ -1,0 +1,144 @@
+// Package exchange implements the cross-model data-exchange pipelines of
+// the paper's Figure 1, each driven by a learned source query: publishing
+// relational data as XML (scenario 1), shredding XML into a relational
+// table (scenario 2), shredding XML into an RDF graph (scenario 3), and
+// publishing graph query results as XML (scenario 4). The learning
+// algorithms "automate the first stage of the process i.e., extracting the
+// data from the source database before transferring it to the target
+// database" (§4); the transforms here are the canonical second stage.
+package exchange
+
+import (
+	"fmt"
+	"sort"
+
+	"querylearn/internal/graph"
+	"querylearn/internal/relational"
+	"querylearn/internal/twig"
+	"querylearn/internal/xmltree"
+)
+
+// PublishRelational renders a relation as an XML document: one rowLabel
+// element per tuple, one child element per attribute carrying the value as
+// text. Attribute names are sanitized only to the extent of replacing dots
+// (from join-result prefixes) with dashes.
+func PublishRelational(rel *relational.Relation, rootLabel, rowLabel string) *xmltree.Node {
+	root := xmltree.New(rootLabel)
+	rel.Each(func(_ int, row []string) {
+		rn := xmltree.New(rowLabel)
+		for i, a := range rel.Attrs {
+			rn.Add(xmltree.NewText(elementName(a), row[i]))
+		}
+		root.Add(rn)
+	})
+	return root
+}
+
+func elementName(attr string) string {
+	out := make([]rune, 0, len(attr))
+	for _, r := range attr {
+		if r == '.' {
+			r = '-'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// ShredToRelation extracts the nodes selected by the twig query into a
+// relation: one tuple per selected node, one column per child label
+// observed under any selected node (first occurrence's text), plus a
+// "_text" column with the node's own text. Missing values are empty
+// strings.
+func ShredToRelation(docs []*xmltree.Node, q twig.Query, name string) (*relational.Relation, error) {
+	var selected []*xmltree.Node
+	for _, d := range docs {
+		selected = append(selected, q.Eval(d)...)
+	}
+	colSet := map[string]bool{}
+	for _, n := range selected {
+		for _, c := range n.Children {
+			colSet[c.Label] = true
+		}
+	}
+	cols := make([]string, 0, len(colSet))
+	for c := range colSet {
+		cols = append(cols, c)
+	}
+	sort.Strings(cols)
+	attrs := append([]string{"_text"}, cols...)
+	rel, err := relational.New(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range selected {
+		row := make([]string, len(attrs))
+		row[0] = n.Text
+		for i, c := range cols {
+			for _, ch := range n.Children {
+				if ch.Label == c {
+					row[i+1] = ch.Text
+					break
+				}
+			}
+		}
+		if err := rel.Insert(row...); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// ShredToGraph converts the subtrees of the nodes selected by the twig
+// query into RDF triples: (parent-id, child-label, child-id) structure
+// edges and (node-id, "text", value) literal edges. Node ids are stable
+// within one call ("n0", "n1", ... in preorder over the selections).
+func ShredToGraph(docs []*xmltree.Node, q twig.Query) *graph.Graph {
+	g := graph.New()
+	id := 0
+	fresh := func() string {
+		s := fmt.Sprintf("n%d", id)
+		id++
+		return s
+	}
+	var emit func(n *xmltree.Node) string
+	emit = func(n *xmltree.Node) string {
+		me := fresh()
+		g.AddNode(me)
+		if n.Text != "" {
+			g.AddTriple(me, "text", "literal:"+n.Text)
+		}
+		for _, c := range n.Children {
+			cid := emit(c)
+			g.AddTriple(me, c.Label, cid)
+		}
+		return me
+	}
+	for _, d := range docs {
+		for _, n := range q.Eval(d) {
+			root := emit(n)
+			g.AddTriple("root", n.Label, root)
+		}
+	}
+	return g
+}
+
+// PublishGraph renders the pairs selected by a path query as an XML
+// document: one <path> element per pair with source, target, and the
+// shortest witness word.
+func PublishGraph(g *graph.Graph, q graph.PathQuery, rootLabel string) *xmltree.Node {
+	root := xmltree.New(rootLabel)
+	for _, p := range g.Eval(q) {
+		pe := xmltree.New("path")
+		pe.Add(xmltree.NewText("from", g.Node(p.Src)))
+		pe.Add(xmltree.NewText("to", g.Node(p.Dst)))
+		w := g.ShortestWord(p.Src, p.Dst)
+		via := xmltree.New("via")
+		for _, l := range w {
+			via.Add(xmltree.NewText("edge", l))
+		}
+		pe.Add(via)
+		root.Add(pe)
+	}
+	return root
+}

@@ -1,0 +1,282 @@
+package exchange
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/graph"
+	"querylearn/internal/graphlearn"
+	"querylearn/internal/relational"
+	"querylearn/internal/rellearn"
+	"querylearn/internal/twig"
+	"querylearn/internal/twiglearn"
+	"querylearn/internal/xmltree"
+)
+
+func TestPublishRelational(t *testing.T) {
+	rel, _ := relational.FromRows("people", []string{"name", "city"}, [][]string{
+		{"ann", "lille"}, {"bob", "paris"},
+	})
+	doc := PublishRelational(rel, "export", "row")
+	if doc.Label != "export" || len(doc.Children) != 2 {
+		t.Fatalf("doc = %s", doc)
+	}
+	row := doc.Children[0]
+	if row.Label != "row" || len(row.Children) != 2 {
+		t.Fatalf("row = %s", row)
+	}
+	if row.Children[0].Label != "name" || row.Children[0].Text != "ann" {
+		t.Errorf("first cell = %s", row.Children[0])
+	}
+}
+
+func TestPublishRelationalSanitizesJoinAttrs(t *testing.T) {
+	rel, _ := relational.FromRows("j", []string{"L.id", "R.city"}, [][]string{{"1", "x"}})
+	doc := PublishRelational(rel, "export", "row")
+	if doc.Children[0].Children[0].Label != "L-id" {
+		t.Errorf("dotted attribute not sanitized: %s", doc)
+	}
+	// The published document must be parseable XML.
+	if _, err := xmltree.Parse(doc.String()); err != nil {
+		t.Errorf("published XML unparseable: %v", err)
+	}
+}
+
+func TestShredToRelation(t *testing.T) {
+	docs := []*xmltree.Node{xmltree.MustParse(
+		`<lib><book><title>A</title><year>1999</year></book><book><title>B</title></book></lib>`)}
+	q := twig.MustParseQuery("/lib/book")
+	rel, err := ShredToRelation(docs, q, "books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 2 {
+		t.Fatalf("rows = %d, want 2", rel.Len())
+	}
+	v, err := rel.Value(0, "title")
+	if err != nil || v != "A" {
+		t.Errorf("title[0] = %q, %v", v, err)
+	}
+	v, _ = rel.Value(1, "year")
+	if v != "" {
+		t.Errorf("missing year should be empty, got %q", v)
+	}
+}
+
+func TestShredToGraph(t *testing.T) {
+	docs := []*xmltree.Node{xmltree.MustParse(
+		`<lib><book><title>A</title></book></lib>`)}
+	q := twig.MustParseQuery("/lib/book")
+	g := ShredToGraph(docs, q)
+	// Expect: root -book-> n0, n0 -title-> n1, n1 -text-> literal:A.
+	found := map[string]bool{}
+	for _, tr := range g.Triples() {
+		found[tr.Label] = true
+		if tr.Label == "text" && tr.To != "literal:A" {
+			t.Errorf("literal triple wrong: %+v", tr)
+		}
+	}
+	for _, want := range []string{"book", "title", "text"} {
+		if !found[want] {
+			t.Errorf("missing %s triple; got %v", want, g.Triples())
+		}
+	}
+}
+
+func TestPublishGraph(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("a", "r", "b")
+	q := graph.MustParsePathQuery("r")
+	doc := PublishGraph(g, q, "paths")
+	if len(doc.Children) != 1 {
+		t.Fatalf("paths = %s", doc)
+	}
+	p := doc.Children[0]
+	if p.FindFirst("from").Text != "a" || p.FindFirst("to").Text != "b" {
+		t.Errorf("path = %s", p)
+	}
+	if p.FindFirst("edge").Text != "r" {
+		t.Errorf("witness edge = %s", p)
+	}
+}
+
+func TestScenario1EndToEnd(t *testing.T) {
+	l, _ := relational.FromRows("P", []string{"pid", "name"}, [][]string{
+		{"1", "ann"}, {"2", "bob"},
+	})
+	r, _ := relational.FromRows("O", []string{"buyer", "item"}, [][]string{
+		{"1", "car"}, {"2", "pen"}, {"9", "hat"},
+	})
+	exs := []rellearn.JoinExample{
+		{Left: 0, Right: 0, Positive: true},
+		{Left: 1, Right: 1, Positive: true},
+		{Left: 0, Right: 1, Positive: false},
+	}
+	res, err := Scenario1(l, r, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predicate) != 1 || (res.Predicate[0] != relational.AttrPair{Left: "pid", Right: "buyer"}) {
+		t.Errorf("predicate = %v", res.Predicate)
+	}
+	if res.Extracted.Len() != 2 {
+		t.Errorf("extracted %d rows, want 2", res.Extracted.Len())
+	}
+	if res.Document.Label != "export" || len(res.Document.Children) != 2 {
+		t.Errorf("document = %s", res.Document)
+	}
+}
+
+func TestScenario2EndToEnd(t *testing.T) {
+	goal := twig.MustParseQuery("/lib/book[year]")
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<lib><book><title>A</title><year>1999</year></book><book><title>B</title></book></lib>`),
+		xmltree.MustParse(`<lib><book><year>2001</year><title>C</title></book></lib>`),
+		xmltree.MustParse(`<lib><book><year>2005</year></book></lib>`),
+	}
+	exs := twiglearn.ExamplesFromQuery(goal, docs)
+	res, err := Scenario2(docs, exs, twiglearn.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !twig.Equivalent(res.Query, goal) {
+		t.Errorf("learned %s, want %s", res.Query, goal)
+	}
+	if res.Relation.Len() != 3 {
+		t.Errorf("shredded %d rows, want 3 (one per book with a year)", res.Relation.Len())
+	}
+	v, err := res.Relation.Value(0, "year")
+	if err != nil || v == "" {
+		t.Errorf("year column missing: %v %v", v, err)
+	}
+}
+
+func TestScenario3EndToEnd(t *testing.T) {
+	goal := twig.MustParseQuery("//person")
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<site><person><name>ann</name></person><item/></site>`),
+		xmltree.MustParse(`<reg><person><name>bob</name></person></reg>`),
+	}
+	exs := twiglearn.ExamplesFromQuery(goal, docs)
+	res, err := Scenario3(docs, exs, twiglearn.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumEdges() == 0 {
+		t.Errorf("no triples produced")
+	}
+	hasName := false
+	for _, tr := range res.Graph.Triples() {
+		if tr.Label == "name" {
+			hasName = true
+		}
+	}
+	if !hasName {
+		t.Errorf("expected name triples, got %v", res.Graph.Triples())
+	}
+}
+
+func TestScenario4EndToEnd(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("lille", "highway", "paris")
+	g.AddEdge("paris", "highway", "lyon")
+	g.AddEdge("lille", "ferry", "dover")
+	exs := []graphlearn.Example{
+		{Src: g.NodeIndex("lille"), Dst: g.NodeIndex("paris"), Positive: true},
+		{Src: g.NodeIndex("paris"), Dst: g.NodeIndex("lyon"), Positive: true},
+		{Src: g.NodeIndex("lille"), Dst: g.NodeIndex("dover"), Positive: false},
+	}
+	res, err := Scenario4(g, exs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Query.String(), "highway") {
+		t.Errorf("learned query %s should mention highway", res.Query)
+	}
+	if len(res.Document.Children) < 2 {
+		t.Errorf("document = %s", res.Document)
+	}
+	if res.Document.FindFirst("from") == nil {
+		t.Errorf("paths lack from elements")
+	}
+}
+
+func TestScenario1Inconsistent(t *testing.T) {
+	l, _ := relational.FromRows("P", []string{"a"}, [][]string{{"1"}})
+	r, _ := relational.FromRows("O", []string{"b"}, [][]string{{"1"}})
+	exs := []rellearn.JoinExample{
+		{Left: 0, Right: 0, Positive: true},
+		{Left: 0, Right: 0, Positive: false},
+	}
+	if _, err := Scenario1(l, r, exs); err == nil {
+		t.Errorf("contradictory examples must fail")
+	}
+}
+
+func TestScenario5GraphToGraph(t *testing.T) {
+	g := graph.New()
+	g.AddEdge("lille", "highway", "paris")
+	g.AddEdge("paris", "highway", "lyon")
+	g.AddEdge("lille", "ferry", "dover")
+	exs := []graphlearn.Example{
+		{Src: g.NodeIndex("lille"), Dst: g.NodeIndex("paris"), Positive: true},
+		{Src: g.NodeIndex("paris"), Dst: g.NodeIndex("lyon"), Positive: true},
+		{Src: g.NodeIndex("lille"), Dst: g.NodeIndex("dover"), Positive: false},
+	}
+	res, err := Scenario5(g, exs, "connected")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Target.NumEdges() == 0 {
+		t.Fatal("empty target graph")
+	}
+	for _, tr := range res.Target.Triples() {
+		if tr.Label != "connected" {
+			t.Errorf("target edge label = %s, want connected", tr.Label)
+		}
+		if tr.To == "dover" {
+			t.Errorf("negative pair leaked into the target")
+		}
+	}
+}
+
+// Round trip: publishing a relation as XML and shredding the rows back
+// recovers the original tuples (modulo the _text bookkeeping column).
+func TestQuickPublishShredRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		rel := relational.MustNew("people", "name", "city")
+		s := seed
+		for i := 0; i < int(seed%5)+1; i++ {
+			name := string(rune('a' + s%26))
+			city := string(rune('a' + (s/26)%26))
+			if err := rel.Insert(name, city); err != nil {
+				return false
+			}
+			s = s/3 + 7
+		}
+		doc := PublishRelational(rel, "export", "row")
+		back, err := ShredToRelation([]*xmltree.Node{doc}, twig.MustParseQuery("/export/row"), "back")
+		if err != nil {
+			t.Logf("shred: %v", err)
+			return false
+		}
+		if back.Len() != rel.Len() {
+			return false
+		}
+		for i := 0; i < rel.Len(); i++ {
+			name, _ := back.Value(i, "name")
+			city, _ := back.Value(i, "city")
+			if name != rel.Tuple(i)[0] || city != rel.Tuple(i)[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

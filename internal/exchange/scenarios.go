@@ -1,0 +1,127 @@
+package exchange
+
+import (
+	"fmt"
+
+	"querylearn/internal/graph"
+	"querylearn/internal/graphlearn"
+	"querylearn/internal/relational"
+	"querylearn/internal/rellearn"
+	"querylearn/internal/twig"
+	"querylearn/internal/twiglearn"
+	"querylearn/internal/xmltree"
+)
+
+// The four end-to-end scenarios of Figure 1. Each learns the source query
+// from the given examples, evaluates it, and incorporates the extracted
+// data into the target model.
+
+// Scenario1Result is the outcome of relational→XML publishing.
+type Scenario1Result struct {
+	Predicate []relational.AttrPair
+	Extracted *relational.Relation
+	Document  *xmltree.Node
+}
+
+// Scenario1 learns a join predicate from labeled tuple pairs, joins the
+// relations under it, and publishes the result as XML.
+func Scenario1(l, r *relational.Relation, examples []rellearn.JoinExample) (*Scenario1Result, error) {
+	u := rellearn.NewUniverse(l, r)
+	p, ok := rellearn.JoinConsistent(u, examples)
+	if !ok {
+		return nil, fmt.Errorf("exchange: join examples are inconsistent")
+	}
+	pred := u.Decode(p)
+	joined, err := relational.EquiJoin(l, r, pred)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario1Result{
+		Predicate: pred,
+		Extracted: joined,
+		Document:  PublishRelational(joined, "export", "row"),
+	}, nil
+}
+
+// Scenario2Result is the outcome of XML→relational shredding.
+type Scenario2Result struct {
+	Query    twig.Query
+	Relation *relational.Relation
+}
+
+// Scenario2 learns a twig query from annotated nodes and shreds the
+// selected nodes of the corpus into a relation.
+func Scenario2(docs []*xmltree.Node, examples []twiglearn.Example, opts twiglearn.Options) (*Scenario2Result, error) {
+	q, err := twiglearn.FindConsistent(examples, opts, 0)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: %w", err)
+	}
+	rel, err := ShredToRelation(docs, q, "shredded")
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario2Result{Query: q, Relation: rel}, nil
+}
+
+// Scenario3Result is the outcome of XML→RDF shredding.
+type Scenario3Result struct {
+	Query twig.Query
+	Graph *graph.Graph
+}
+
+// Scenario3 learns a twig query and shreds the selected subtrees into an
+// RDF graph.
+func Scenario3(docs []*xmltree.Node, examples []twiglearn.Example, opts twiglearn.Options) (*Scenario3Result, error) {
+	q, err := twiglearn.FindConsistent(examples, opts, 0)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: %w", err)
+	}
+	return &Scenario3Result{Query: q, Graph: ShredToGraph(docs, q)}, nil
+}
+
+// Scenario4Result is the outcome of graph→XML publishing.
+type Scenario4Result struct {
+	Query    graph.PathQuery
+	Document *xmltree.Node
+}
+
+// Scenario4 learns a path query from labeled node pairs and publishes the
+// selected paths as XML.
+func Scenario4(g *graph.Graph, examples []graphlearn.Example) (*Scenario4Result, error) {
+	q, err := graphlearn.Learn(g, examples)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: %w", err)
+	}
+	return &Scenario4Result{Query: q, Document: PublishGraph(g, q, "paths")}, nil
+}
+
+// Scenario5Result is the outcome of graph→graph exchange via a CRPQ-based
+// schema mapping (the Barceló et al. mapping language the paper's §3
+// discusses for graph data exchange).
+type Scenario5Result struct {
+	Mapping graph.GraphMapping
+	Target  *graph.Graph
+}
+
+// Scenario5 learns a path query from labeled node pairs, wraps it into a
+// single-atom CRPQ mapping that renames the connection to targetLabel, and
+// materializes the canonical target graph.
+func Scenario5(g *graph.Graph, examples []graphlearn.Example, targetLabel string) (*Scenario5Result, error) {
+	q, err := graphlearn.Learn(g, examples)
+	if err != nil {
+		return nil, fmt.Errorf("exchange: %w", err)
+	}
+	m := graph.GraphMapping{
+		Source: graph.CRPQ{
+			Head:  []string{"x", "y"},
+			Atoms: []graph.CRPQAtom{{From: "x", To: "y", Path: q}},
+		},
+		Target: []graph.CRPQAtom{{From: "x", To: "y",
+			Path: graph.PathQuery{Atoms: []graph.Atom{{Label: targetLabel}}}}},
+	}
+	target, err := m.Apply(g)
+	if err != nil {
+		return nil, err
+	}
+	return &Scenario5Result{Mapping: m, Target: target}, nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	"querylearn/internal/exchange"
+	"querylearn/internal/graph"
+	"querylearn/internal/graphlearn"
+	"querylearn/internal/relational"
+	"querylearn/internal/rellearn"
+	"querylearn/internal/twig"
+	"querylearn/internal/twiglearn"
+	"querylearn/internal/xmark"
+	"querylearn/internal/xmltree"
+)
+
+// F1ExchangeScenarios runs the four cross-model pipelines of Figure 1 end
+// to end, each driven by a query learned from examples.
+func F1ExchangeScenarios() *Table {
+	t := &Table{
+		ID:     "F1",
+		Title:  "Figure 1: the four cross-model data-exchange scenarios, learned end to end",
+		Claim:  "data exchange between heterogeneous models via learned extraction queries (Figure 1, §1)",
+		Header: []string{"scenario", "direction", "learned query", "output"},
+	}
+
+	// Scenario 1: relational -> XML.
+	l, _ := relational.FromRows("person", []string{"pid", "name", "city"}, [][]string{
+		{"1", "ann", "lille"}, {"2", "bob", "paris"}, {"3", "cat", "lille"},
+	})
+	r, _ := relational.FromRows("order", []string{"oid", "buyer", "item"}, [][]string{
+		{"o1", "1", "car"}, {"o2", "2", "pen"}, {"o3", "1", "hat"}, {"o4", "9", "map"},
+	})
+	exs1 := []rellearn.JoinExample{
+		{Left: 0, Right: 0, Positive: true},
+		{Left: 1, Right: 1, Positive: true},
+		{Left: 0, Right: 1, Positive: false},
+	}
+	if res, err := exchange.Scenario1(l, r, exs1); err == nil {
+		t.Rows = append(t.Rows, []string{"1 publish", "relational -> XML",
+			fmt.Sprint(res.Predicate),
+			fmt.Sprintf("%d rows -> %d XML nodes", res.Extracted.Len(), res.Document.Size())})
+	} else {
+		t.Rows = append(t.Rows, []string{"1 publish", "relational -> XML", "ERROR", err.Error()})
+	}
+
+	// Scenarios 2 and 3 share an XMark corpus and a twig goal; the
+	// schema-optimized learner keeps the learned query readable.
+	goal := twig.MustParseQuery("/site/people/person")
+	docs := []*xmltree.Node{
+		xmark.Generate(1, xmark.ScaleConfig(1)),
+		xmark.Generate(2, xmark.ScaleConfig(1)),
+		xmark.Generate(3, xmark.ScaleConfig(1)),
+	}
+	opts := twiglearn.DefaultOptions()
+	opts.Schema = xmark.Schema()
+	exs2 := twiglearn.ExamplesFromQuery(goal, docs)
+	if res, err := exchange.Scenario2(docs, exs2, opts); err == nil {
+		t.Rows = append(t.Rows, []string{"2 shred", "XML -> relational",
+			truncate(res.Query.String(), 60),
+			fmt.Sprintf("%d tuples, %d columns", res.Relation.Len(), len(res.Relation.Attrs))})
+	} else {
+		t.Rows = append(t.Rows, []string{"2 shred", "XML -> relational", "ERROR", err.Error()})
+	}
+	if res, err := exchange.Scenario3(docs, exs2, opts); err == nil {
+		t.Rows = append(t.Rows, []string{"3 shred", "XML -> RDF",
+			truncate(res.Query.String(), 60),
+			fmt.Sprintf("%d triples over %d nodes", res.Graph.NumEdges(), res.Graph.NumNodes())})
+	} else {
+		t.Rows = append(t.Rows, []string{"3 shred", "XML -> RDF", "ERROR", err.Error()})
+	}
+
+	// Scenario 4: graph -> XML on the geo use case. Pick example pairs
+	// whose shortest witness is a pure-highway path, so the learned
+	// query reflects the intended class.
+	g := graph.GenerateGeo(4, 40)
+	pgoal := graph.MustParsePathQuery("highway.highway*")
+	var pairs []graph.Pair
+	for _, p := range g.Eval(pgoal) {
+		if p.Src == p.Dst {
+			continue // skip round trips: their shortest witness is empty
+		}
+		pure := true
+		for _, l := range g.ShortestWord(p.Src, p.Dst) {
+			if l != "highway" {
+				pure = false
+				break
+			}
+		}
+		if pure {
+			pairs = append(pairs, p)
+		}
+	}
+	if len(pairs) >= 2 {
+		exs4 := []graphlearn.Example{
+			{Src: pairs[0].Src, Dst: pairs[0].Dst, Positive: true},
+			{Src: pairs[1].Src, Dst: pairs[1].Dst, Positive: true},
+		}
+		if res, err := exchange.Scenario4(g, exs4); err == nil {
+			t.Rows = append(t.Rows, []string{"4 publish", "graph -> XML",
+				res.Query.String(),
+				fmt.Sprintf("%d paths published", len(res.Document.Children))})
+		} else {
+			t.Rows = append(t.Rows, []string{"4 publish", "graph -> XML", "ERROR", err.Error()})
+		}
+	}
+	return t
+}
+
+// truncate shortens long strings for table rendering.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
+}

@@ -1,0 +1,82 @@
+// Package experiments regenerates the paper's quantitative claims as
+// tables. The paper (a PhD symposium proposal) has no numbered result
+// tables; DESIGN.md extracts eleven checkable claims (T1–T10, F1) and this
+// package implements one experiment per claim. cmd/benchrunner prints the
+// tables; bench_test.go measures the hot paths; EXPERIMENTS.md records
+// claim-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's result: a titled grid with footnotes.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper's claim being checked
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table for terminal output.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&b, "paper claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// All runs every experiment at the given scale (1 = quick, larger = more
+// thorough) and returns the tables in claim order.
+func All(scale int) []*Table {
+	return []*Table{
+		T1ExamplesToConvergence(scale),
+		T2XPathMarkCoverage(scale),
+		T3Overspecialization(scale),
+		T4SchemaContainment(scale),
+		T5SatImplication(scale),
+		T6ConsistencyJoinVsSemijoin(scale),
+		T7Interactions(scale),
+		T8GraphInteractions(scale),
+		T9CrowdCost(scale),
+		T10SchemaLearning(scale),
+		F1ExchangeScenarios(),
+	}
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"querylearn/internal/schema"
+	"querylearn/internal/schemalearn"
+	"querylearn/internal/twig"
+	"querylearn/internal/twiglearn"
+	"querylearn/internal/xmark"
+	"querylearn/internal/xmltree"
+)
+
+// semanticallyEqual reports whether two queries select the same nodes on
+// every document of the corpus — the convergence criterion of the paper's
+// experiments ("a query equivalent to the goal query" on benchmark data).
+func semanticallyEqual(a, b twig.Query, corpus []*xmltree.Node) bool {
+	for _, d := range corpus {
+		sa, sb := a.Eval(d), b.Eval(d)
+		if len(sa) != len(sb) {
+			return false
+		}
+		set := map[*xmltree.Node]bool{}
+		for _, n := range sa {
+			set[n] = true
+		}
+		for _, n := range sb {
+			if !set[n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// goalSuite is the goal-query set for the XML learning experiments: the
+// twig-expressible XPathMark catalog entries plus the synthetic goals.
+func goalSuite() map[string]twig.Query {
+	goals := xmark.LearningGoals()
+	for name, q := range xmark.TwigQueries() {
+		goals[name] = q
+	}
+	return goals
+}
+
+func sortedNames(m map[string]twig.Query) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// examplesToConverge feeds the learner one positive example per generated
+// document and returns how many examples it needed before the hypothesis
+// became semantically equal to the goal on a held-out corpus (0 = never
+// within maxDocs).
+func examplesToConverge(goal twig.Query, maxDocs int, seedBase int64, opts twiglearn.Options) int {
+	heldOut := make([]*xmltree.Node, 5)
+	for i := range heldOut {
+		heldOut[i] = xmark.Generate(seedBase+1000+int64(i), xmark.ScaleConfig(2))
+	}
+	var examples []twiglearn.Example
+	for i := 0; i < maxDocs; i++ {
+		doc := xmark.Generate(seedBase+int64(i), xmark.ScaleConfig(2))
+		sel := goal.Eval(doc)
+		if len(sel) == 0 {
+			continue
+		}
+		// Rotate through the selected nodes so the examples cover the
+		// goal's different contexts (a user annotates varied nodes).
+		examples = append(examples, twiglearn.Example{Doc: doc, Node: sel[i%len(sel)], Positive: true})
+		q, err := twiglearn.Learn(examples, opts)
+		if err != nil {
+			continue
+		}
+		if semanticallyEqual(q, goal, heldOut) {
+			return len(examples)
+		}
+	}
+	return 0
+}
+
+// T1ExamplesToConvergence checks the claim that the learner converges from
+// very few examples — "generally two".
+func T1ExamplesToConvergence(scale int) *Table {
+	t := &Table{
+		ID:     "T1",
+		Title:  "positive examples needed until the learned twig query is equivalent to the goal",
+		Claim:  "\"the algorithms are able to learn a query equivalent to the goal query from a small number of examples (generally two)\" (§2)",
+		Header: []string{"goal", "query", "examples"},
+	}
+	goals := goalSuite()
+	total, converged := 0, 0
+	maxDocs := 10 + 5*scale
+	opts := twiglearn.DefaultOptions()
+	opts.Schema = xmark.Schema() // the paper's optimized, schema-aware learner
+	for _, name := range sortedNames(goals) {
+		goal := goals[name]
+		n := examplesToConverge(goal, maxDocs, int64(len(name))*37, opts)
+		cell := fmt.Sprint(n)
+		if n == 0 {
+			cell = ">" + fmt.Sprint(maxDocs)
+		} else {
+			total += n
+			converged++
+		}
+		t.Rows = append(t.Rows, []string{name, goal.String(), cell})
+	}
+	if converged > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("average over converged goals: %.1f examples (%d/%d converged)",
+			float64(total)/float64(converged), converged, len(goals)))
+	}
+	return t
+}
+
+// T2XPathMarkCoverage reproduces the ~15% XPathMark learnability figure.
+func T2XPathMarkCoverage(scale int) *Table {
+	t := &Table{
+		ID:     "T2",
+		Title:  "XPathMark-style catalog coverage of the twig learner",
+		Claim:  "\"the algorithms from [36] are able to learn 15% of the queries from XPathMark\" (§2)",
+		Header: []string{"class", "queries", "twig-expressible", "learned"},
+	}
+	byClass := map[string][]xmark.BenchQuery{}
+	var classes []string
+	for _, q := range xmark.Queries() {
+		c := q.Name[:1]
+		if _, ok := byClass[c]; !ok {
+			classes = append(classes, c)
+		}
+		byClass[c] = append(byClass[c], q)
+	}
+	sort.Strings(classes)
+	totQ, totE, totL := 0, 0, 0
+	maxDocs := 10 + 5*scale
+	opts := twiglearn.DefaultOptions()
+	opts.Schema = xmark.Schema()
+	for _, c := range classes {
+		qs := byClass[c]
+		expr, learned := 0, 0
+		for _, q := range qs {
+			if !q.TwigExpressible {
+				continue
+			}
+			expr++
+			goal := twig.MustParseQuery(q.Twig)
+			if examplesToConverge(goal, maxDocs, int64(len(q.Name))*91, opts) > 0 {
+				learned++
+			}
+		}
+		totQ += len(qs)
+		totE += expr
+		totL += learned
+		t.Rows = append(t.Rows, []string{c, fmt.Sprint(len(qs)), fmt.Sprint(expr), fmt.Sprint(learned)})
+	}
+	t.Rows = append(t.Rows, []string{"all", fmt.Sprint(totQ), fmt.Sprint(totE), fmt.Sprint(totL)})
+	t.Notes = append(t.Notes, fmt.Sprintf("learned fraction: %d/%d = %.0f%% (paper: ~15%%)",
+		totL, totQ, 100*float64(totL)/float64(totQ)))
+	return t
+}
+
+// T3Overspecialization measures the size reduction from schema-aware filter
+// pruning.
+func T3Overspecialization(scale int) *Table {
+	t := &Table{
+		ID:     "T3",
+		Title:  "learned query size without vs with the schema in the loop",
+		Claim:  "learned queries are overspecialized with schema-implied filters; \"measure the size of the learned query before and after adding the schema\" (§2)",
+		Header: []string{"goal", "plain size", "schema size", "reduction"},
+	}
+	s := xmark.Schema()
+	goals := goalSuite()
+	nDocs := 2 + scale
+	var totalPlain, totalPruned int
+	for _, name := range sortedNames(goals) {
+		goal := goals[name]
+		var docs []*xmltree.Node
+		for i := 0; i < nDocs; i++ {
+			docs = append(docs, xmark.Generate(int64(i)*13+int64(len(name)), xmark.ScaleConfig(2)))
+		}
+		exs := twiglearn.ExamplesFromQuery(goal, docs)
+		if len(exs) == 0 {
+			continue
+		}
+		plainOpts := twiglearn.Options{UseFilters: true, MaxFilterDepth: 3, Minimize: false}
+		plain, err := twiglearn.Learn(exs, plainOpts)
+		if err != nil {
+			continue
+		}
+		schemaOpts := plainOpts
+		schemaOpts.Schema = s
+		pruned, err := twiglearn.Learn(exs, schemaOpts)
+		if err != nil {
+			continue
+		}
+		red := 100 * float64(plain.Size()-pruned.Size()) / float64(plain.Size())
+		totalPlain += plain.Size()
+		totalPruned += pruned.Size()
+		t.Rows = append(t.Rows, []string{name,
+			fmt.Sprint(plain.Size()), fmt.Sprint(pruned.Size()), fmt.Sprintf("%.0f%%", red)})
+	}
+	if totalPlain > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("aggregate size reduction: %.0f%%",
+			100*float64(totalPlain-totalPruned)/float64(totalPlain)))
+	}
+	return t
+}
+
+// T10SchemaLearning measures documents-to-convergence for DMS inference
+// from positive examples.
+func T10SchemaLearning(scale int) *Table {
+	t := &Table{
+		ID:     "T10",
+		Title:  "documents needed until the learned DMS equals the goal schema",
+		Claim:  "\"the disjunctive multiplicity schemas are identifiable in the limit from positive examples only\" (§2)",
+		Header: []string{"goal schema", "labels", "docs to convergence"},
+	}
+	goals := map[string]*schema.Schema{
+		"xmark":    xmark.Schema(),
+		"disjunct": disjunctiveGoal(),
+		"tiny":     tinyGoal(),
+	}
+	names := make([]string, 0, len(goals))
+	for n := range goals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	maxDocs := 150 * scale
+	for _, name := range names {
+		goal := goals[name]
+		rng := rand.New(rand.NewSource(int64(len(name)) * 17))
+		var docs []*xmltree.Node
+		converged := 0
+		for i := 1; i <= maxDocs; i++ {
+			docs = append(docs, goal.Generate(rng, 6))
+			learned, err := schemalearn.Learn(docs)
+			if err != nil {
+				break
+			}
+			if schema.Equivalent(learned, goal) {
+				converged = i
+				break
+			}
+		}
+		cell := fmt.Sprint(converged)
+		if converged == 0 {
+			cell = ">" + fmt.Sprint(maxDocs)
+		}
+		t.Rows = append(t.Rows, []string{name, fmt.Sprint(len(goal.Labels())), cell})
+	}
+	return t
+}
+
+func disjunctiveGoal() *schema.Schema {
+	s := schema.NewSchema("db")
+	s.SetRule("db", schema.MustExpr(schema.Disjunct{"entry": schema.MPlus}))
+	s.SetRule("entry", schema.MustExpr(
+		schema.Disjunct{"name": schema.M1, "email": schema.MStar},
+		schema.Disjunct{"anon": schema.M1}))
+	return s
+}
+
+func tinyGoal() *schema.Schema {
+	s := schema.NewSchema("r")
+	s.SetRule("r", schema.MustExpr(schema.Disjunct{"a": schema.MOpt, "b": schema.MPlus}))
+	return s
+}

@@ -1,0 +1,193 @@
+package graph
+
+// Conjunctive regular path queries (CRPQs) — the query class behind the
+// graph-database mapping languages the paper points at in §3: "Barceló et
+// al. [...] propose mapping languages based on the most typical graph
+// database queries, such as regular path queries and conjunctions of nested
+// regular expressions." A CRPQ is a conjunction of path-query atoms over
+// variables; an answer binds the head variables so that every atom's pair
+// is selected by its path query.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CRPQAtom is one conjunct: Path must connect the bindings of From and To.
+type CRPQAtom struct {
+	From, To string // variable names
+	Path     PathQuery
+}
+
+func (a CRPQAtom) String() string {
+	return fmt.Sprintf("(%s)-[%s]->(%s)", a.From, a.Path, a.To)
+}
+
+// CRPQ is a conjunction of path atoms with a designated tuple of head
+// variables (the output).
+type CRPQ struct {
+	Head  []string
+	Atoms []CRPQAtom
+}
+
+func (q CRPQ) String() string {
+	atoms := make([]string, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = a.String()
+	}
+	return fmt.Sprintf("(%s) <- %s", strings.Join(q.Head, ","), strings.Join(atoms, " AND "))
+}
+
+// Validate checks that the query has atoms, every head variable occurs in
+// some atom, and no variable names are empty.
+func (q CRPQ) Validate() error {
+	if len(q.Atoms) == 0 {
+		return fmt.Errorf("graph: CRPQ needs at least one atom")
+	}
+	vars := map[string]bool{}
+	for _, a := range q.Atoms {
+		if a.From == "" || a.To == "" {
+			return fmt.Errorf("graph: empty variable in atom %s", a)
+		}
+		vars[a.From] = true
+		vars[a.To] = true
+	}
+	for _, h := range q.Head {
+		if !vars[h] {
+			return fmt.Errorf("graph: head variable %q not used in any atom", h)
+		}
+	}
+	return nil
+}
+
+// Binding maps variable names to node indices.
+type Binding map[string]int
+
+// EvalCRPQ returns the distinct head-variable bindings (as node-index
+// tuples, ordered like Head) for which every atom holds. Evaluation
+// materializes each atom's pair set and joins them variable by variable —
+// polynomial per atom, exponential only in the number of variables, which
+// is the inherent CRPQ cost.
+func (g *Graph) EvalCRPQ(q CRPQ) ([][]int, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	// Atom pair sets.
+	type atomPairs struct {
+		atom  CRPQAtom
+		pairs []Pair
+	}
+	atoms := make([]atomPairs, len(q.Atoms))
+	for i, a := range q.Atoms {
+		atoms[i] = atomPairs{atom: a, pairs: g.Eval(a.Path)}
+	}
+	// Join: start with the first atom's bindings, extend per atom.
+	bindings := []Binding{}
+	for _, p := range atoms[0].pairs {
+		b := Binding{atoms[0].atom.From: p.Src, atoms[0].atom.To: p.Dst}
+		if atoms[0].atom.From == atoms[0].atom.To && p.Src != p.Dst {
+			continue
+		}
+		bindings = append(bindings, b)
+	}
+	for _, ap := range atoms[1:] {
+		var next []Binding
+		for _, b := range bindings {
+			for _, p := range ap.pairs {
+				if v, ok := b[ap.atom.From]; ok && v != p.Src {
+					continue
+				}
+				if v, ok := b[ap.atom.To]; ok && v != p.Dst {
+					continue
+				}
+				if ap.atom.From == ap.atom.To && p.Src != p.Dst {
+					continue
+				}
+				nb := Binding{}
+				for k, v := range b {
+					nb[k] = v
+				}
+				nb[ap.atom.From] = p.Src
+				nb[ap.atom.To] = p.Dst
+				next = append(next, nb)
+			}
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			break
+		}
+	}
+	// Project on the head, dedupe, sort.
+	seen := map[string]bool{}
+	var out [][]int
+	for _, b := range bindings {
+		tuple := make([]int, len(q.Head))
+		key := ""
+		for i, h := range q.Head {
+			tuple[i] = b[h]
+			key += fmt.Sprintf("%d,", tuple[i])
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, tuple)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// GraphMapping is a graph-to-graph schema mapping in the style of Barceló
+// et al.: when the source CRPQ holds, the target triple patterns over the
+// same variables must hold in the target graph. Applying the mapping
+// materializes the canonical target.
+type GraphMapping struct {
+	Source CRPQ
+	// Target triples: (fromVar, label, toVar) — every variable must be
+	// bound by the source query's head.
+	Target []CRPQAtom
+}
+
+// Apply evaluates the source CRPQ on g and materializes the target triples
+// into a fresh graph (the chase-like canonical instance). Target atoms with
+// multi-step paths are rejected: target patterns are single edge labels.
+func (m GraphMapping) Apply(g *Graph) (*Graph, error) {
+	if err := m.Source.Validate(); err != nil {
+		return nil, err
+	}
+	headPos := map[string]int{}
+	for i, h := range m.Source.Head {
+		headPos[h] = i
+	}
+	for _, t := range m.Target {
+		if len(t.Path.Atoms) != 1 || t.Path.Atoms[0].Star {
+			return nil, fmt.Errorf("graph: target atom %s must be a single edge label", t)
+		}
+		if _, ok := headPos[t.From]; !ok {
+			return nil, fmt.Errorf("graph: target variable %q not in source head", t.From)
+		}
+		if _, ok := headPos[t.To]; !ok {
+			return nil, fmt.Errorf("graph: target variable %q not in source head", t.To)
+		}
+	}
+	answers, err := g.EvalCRPQ(m.Source)
+	if err != nil {
+		return nil, err
+	}
+	out := New()
+	for _, tuple := range answers {
+		for _, t := range m.Target {
+			from := g.Node(tuple[headPos[t.From]])
+			to := g.Node(tuple[headPos[t.To]])
+			out.AddEdge(from, t.Path.Atoms[0].Label, to)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func crpqTestGraph() *Graph {
+	g := New()
+	g.AddEdge("a", "r", "b")
+	g.AddEdge("b", "s", "c")
+	g.AddEdge("a", "r", "d")
+	g.AddEdge("d", "s", "c")
+	g.AddEdge("c", "t", "a")
+	return g
+}
+
+func TestCRPQValidate(t *testing.T) {
+	if err := (CRPQ{}).Validate(); err == nil {
+		t.Errorf("empty CRPQ should fail")
+	}
+	q := CRPQ{
+		Head:  []string{"x", "z"},
+		Atoms: []CRPQAtom{{From: "x", To: "y", Path: MustParsePathQuery("r")}},
+	}
+	if err := q.Validate(); err == nil {
+		t.Errorf("head variable z unused should fail")
+	}
+	q.Head = []string{"x", "y"}
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid CRPQ rejected: %v", err)
+	}
+}
+
+func TestEvalCRPQSingleAtom(t *testing.T) {
+	g := crpqTestGraph()
+	q := CRPQ{
+		Head:  []string{"x", "y"},
+		Atoms: []CRPQAtom{{From: "x", To: "y", Path: MustParsePathQuery("r")}},
+	}
+	res, err := g.EvalCRPQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("answers = %v", res)
+	}
+}
+
+func TestEvalCRPQJoin(t *testing.T) {
+	g := crpqTestGraph()
+	// x -r-> y -s-> z: paths a->b->c and a->d->c.
+	q := CRPQ{
+		Head: []string{"x", "z"},
+		Atoms: []CRPQAtom{
+			{From: "x", To: "y", Path: MustParsePathQuery("r")},
+			{From: "y", To: "z", Path: MustParsePathQuery("s")},
+		},
+	}
+	res, err := g.EvalCRPQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Projection on (x, z) dedupes the two witnesses to one answer (a, c).
+	if len(res) != 1 {
+		t.Fatalf("answers = %v", res)
+	}
+	if g.Node(res[0][0]) != "a" || g.Node(res[0][1]) != "c" {
+		t.Errorf("answer = (%s, %s)", g.Node(res[0][0]), g.Node(res[0][1]))
+	}
+}
+
+func TestEvalCRPQCycleConstraint(t *testing.T) {
+	g := crpqTestGraph()
+	// Triangle: x -r-> y -s-> z -t-> x.
+	q := CRPQ{
+		Head: []string{"x"},
+		Atoms: []CRPQAtom{
+			{From: "x", To: "y", Path: MustParsePathQuery("r")},
+			{From: "y", To: "z", Path: MustParsePathQuery("s")},
+			{From: "z", To: "x", Path: MustParsePathQuery("t")},
+		},
+	}
+	res, err := g.EvalCRPQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || g.Node(res[0][0]) != "a" {
+		t.Errorf("triangle answers = %v", res)
+	}
+}
+
+func TestEvalCRPQSelfLoopVariable(t *testing.T) {
+	g := New()
+	g.AddEdge("a", "r", "a")
+	g.AddEdge("a", "r", "b")
+	q := CRPQ{
+		Head:  []string{"x"},
+		Atoms: []CRPQAtom{{From: "x", To: "x", Path: MustParsePathQuery("r")}},
+	}
+	res, err := g.EvalCRPQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || g.Node(res[0][0]) != "a" {
+		t.Errorf("self-loop answers = %v", res)
+	}
+}
+
+func TestGraphMappingApply(t *testing.T) {
+	g := crpqTestGraph()
+	m := GraphMapping{
+		Source: CRPQ{
+			Head: []string{"x", "z"},
+			Atoms: []CRPQAtom{
+				{From: "x", To: "y", Path: MustParsePathQuery("r")},
+				{From: "y", To: "z", Path: MustParsePathQuery("s")},
+			},
+		},
+		Target: []CRPQAtom{{From: "x", To: "z", Path: MustParsePathQuery("twostep")}},
+	}
+	out, err := m.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumEdges() != 1 {
+		t.Fatalf("target edges = %d, want 1", out.NumEdges())
+	}
+	tr := out.Triples()[0]
+	if tr.From != "a" || tr.Label != "twostep" || tr.To != "c" {
+		t.Errorf("triple = %+v", tr)
+	}
+}
+
+func TestGraphMappingValidation(t *testing.T) {
+	g := crpqTestGraph()
+	src := CRPQ{
+		Head:  []string{"x", "y"},
+		Atoms: []CRPQAtom{{From: "x", To: "y", Path: MustParsePathQuery("r")}},
+	}
+	bad1 := GraphMapping{Source: src,
+		Target: []CRPQAtom{{From: "x", To: "y", Path: MustParsePathQuery("a.b")}}}
+	if _, err := bad1.Apply(g); err == nil {
+		t.Errorf("multi-step target must fail")
+	}
+	bad2 := GraphMapping{Source: src,
+		Target: []CRPQAtom{{From: "x", To: "w", Path: MustParsePathQuery("e")}}}
+	if _, err := bad2.Apply(g); err == nil {
+		t.Errorf("unbound target variable must fail")
+	}
+}
+
+func TestQuickCRPQAnswersSatisfyAtoms(t *testing.T) {
+	// Every returned binding must satisfy every atom — checked against
+	// direct Selects calls.
+	f := func(seed int64) bool {
+		g := genGraph(seed, 5)
+		q := CRPQ{
+			Head: []string{"x", "y", "z"},
+			Atoms: []CRPQAtom{
+				{From: "x", To: "y", Path: genQuery(seed)},
+				{From: "y", To: "z", Path: genQuery(seed / 2)},
+			},
+		}
+		res, err := g.EvalCRPQ(q)
+		if err != nil {
+			return false
+		}
+		for _, tuple := range res {
+			if !g.Selects(q.Atoms[0].Path, tuple[0], tuple[1]) {
+				return false
+			}
+			if !g.Selects(q.Atoms[1].Path, tuple[1], tuple[2]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

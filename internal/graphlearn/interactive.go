@@ -1,0 +1,303 @@
+package graphlearn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querylearn/internal/graph"
+)
+
+// Interactive path-query learning. The session starts from one positive
+// seed pair (the user's two chosen cities), builds the finite candidate
+// space of generalizations of the seed's witness word, and asks the user to
+// label node pairs the surviving candidates disagree on. Pairs on which all
+// candidates agree are uninformative and never asked — the pruning that
+// minimizes interactions.
+
+// Oracle answers pair-membership questions.
+type Oracle interface {
+	LabelPair(src, dst int) bool
+}
+
+// GoalOracle simulates the user with a hidden goal query.
+type GoalOracle struct {
+	G    *graph.Graph
+	Goal graph.PathQuery
+}
+
+// LabelPair implements Oracle.
+func (o GoalOracle) LabelPair(src, dst int) bool { return o.G.Selects(o.Goal, src, dst) }
+
+// Session is the state of one interactive run.
+type Session struct {
+	G          *graph.Graph
+	Candidates []graph.PathQuery
+	// selects[i] caches candidate i's full selection set.
+	selects []map[graph.Pair]bool
+	labeled map[graph.Pair]bool
+	Pool    []graph.Pair
+	// Stats
+	Questions int
+}
+
+// NewSession builds a session from a positive seed pair and a candidate
+// pool of pairs the user may be asked about. The seed itself is treated as
+// answered positively.
+func NewSession(g *graph.Graph, seed graph.Pair, pool []graph.Pair) (*Session, error) {
+	word := g.ShortestWord(seed.Src, seed.Dst)
+	if word == nil {
+		return nil, fmt.Errorf("graphlearn: seed pair (%s,%s) is not connected",
+			g.Node(seed.Src), g.Node(seed.Dst))
+	}
+	cands := CandidatesFromWord(word)
+	s := &Session{G: g, Pool: pool, labeled: map[graph.Pair]bool{}}
+	for _, q := range cands {
+		sel := map[graph.Pair]bool{}
+		for _, p := range g.Eval(q) {
+			sel[p] = true
+		}
+		// Every candidate accepts the seed word, hence selects seed.
+		s.Candidates = append(s.Candidates, q)
+		s.selects = append(s.selects, sel)
+	}
+	s.labeled[seed] = true
+	if err := s.record(seed, true); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Informative reports whether surviving candidates disagree on the pair.
+func (s *Session) Informative(p graph.Pair) bool {
+	if s.labeled[p] {
+		return false
+	}
+	first, rest := false, false
+	for i := range s.Candidates {
+		v := s.selects[i][p]
+		if i == 0 {
+			first = v
+			continue
+		}
+		if v != first {
+			rest = true
+			break
+		}
+	}
+	return rest
+}
+
+// InformativePairs lists the informative pool pairs.
+func (s *Session) InformativePairs() []graph.Pair {
+	var out []graph.Pair
+	for _, p := range s.Pool {
+		if s.Informative(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Record applies a user answer, filtering the version space.
+func (s *Session) Record(p graph.Pair, positive bool) error {
+	s.labeled[p] = true
+	return s.record(p, positive)
+}
+
+func (s *Session) record(p graph.Pair, positive bool) error {
+	var cands []graph.PathQuery
+	var sels []map[graph.Pair]bool
+	for i, q := range s.Candidates {
+		if s.selects[i][p] == positive {
+			cands = append(cands, q)
+			sels = append(sels, s.selects[i])
+		}
+	}
+	if len(cands) == 0 {
+		return fmt.Errorf("graphlearn: answers eliminated every candidate (goal outside the class)")
+	}
+	s.Candidates, s.selects = cands, sels
+	return nil
+}
+
+// Result returns the most specific surviving candidate: the one selecting
+// the fewest pairs (ties broken by query string).
+func (s *Session) Result() graph.PathQuery {
+	best := 0
+	for i := range s.Candidates {
+		ci, cb := len(s.selects[i]), len(s.selects[best])
+		if ci < cb || (ci == cb && s.Candidates[i].String() < s.Candidates[best].String()) {
+			best = i
+		}
+	}
+	return s.Candidates[best]
+}
+
+// Strategy orders the questions.
+type Strategy interface {
+	Pick(s *Session, informative []graph.Pair) int
+	Name() string
+}
+
+// RunStats summarizes an interactive run.
+type RunStats struct {
+	Strategy  string
+	Questions int
+	PoolSize  int
+	Pruned    int
+	Survivors int
+	Learned   graph.PathQuery
+}
+
+// Run drives the loop until no informative pair remains.
+func Run(g *graph.Graph, seed graph.Pair, pool []graph.Pair, oracle Oracle, strat Strategy) (RunStats, error) {
+	s, err := NewSession(g, seed, pool)
+	if err != nil {
+		return RunStats{}, err
+	}
+	for {
+		inf := s.InformativePairs()
+		if len(inf) == 0 {
+			break
+		}
+		pick := strat.Pick(s, inf)
+		if pick < 0 || pick >= len(inf) {
+			return RunStats{}, fmt.Errorf("graphlearn: strategy %s picked out of range", strat.Name())
+		}
+		p := inf[pick]
+		ans := oracle.LabelPair(p.Src, p.Dst)
+		s.Questions++
+		if err := s.Record(p, ans); err != nil {
+			return RunStats{}, err
+		}
+	}
+	return RunStats{
+		Strategy:  strat.Name(),
+		Questions: s.Questions,
+		PoolSize:  len(pool),
+		Pruned:    len(pool) - s.Questions,
+		Survivors: len(s.Candidates),
+		Learned:   s.Result(),
+	}, nil
+}
+
+// DefaultPool returns the candidate pairs a user could reasonably be shown:
+// every connected pair with a shortest path of at most maxLen edges, capped
+// at limit pairs (0 = no cap), in deterministic order.
+func DefaultPool(g *graph.Graph, maxLen, limit int) []graph.Pair {
+	var out []graph.Pair
+	for s := 0; s < g.NumNodes(); s++ {
+		// BFS with depth bound.
+		type item struct{ node, depth int }
+		seen := map[int]bool{s: true}
+		queue := []item{{s, 0}}
+		for len(queue) > 0 {
+			it := queue[0]
+			queue = queue[1:]
+			if it.node != s {
+				out = append(out, graph.Pair{Src: s, Dst: it.node})
+				if limit > 0 && len(out) >= limit {
+					return out
+				}
+			}
+			if it.depth == maxLen {
+				continue
+			}
+			g.Out(it.node, func(_ string, to int) {
+				if !seen[to] {
+					seen[to] = true
+					queue = append(queue, item{to, it.depth + 1})
+				}
+			})
+		}
+	}
+	return out
+}
+
+// RandomStrategy asks a uniformly random informative pair.
+type RandomStrategy struct{ Rng *rand.Rand }
+
+// Pick implements Strategy.
+func (r RandomStrategy) Pick(_ *Session, inf []graph.Pair) int { return r.Rng.Intn(len(inf)) }
+
+// Name implements Strategy.
+func (RandomStrategy) Name() string { return "random" }
+
+// SplitStrategy asks the pair that splits the version space most evenly —
+// the information-greedy choice.
+type SplitStrategy struct{}
+
+// Pick implements Strategy.
+func (SplitStrategy) Pick(s *Session, inf []graph.Pair) int {
+	best, bestDist := 0, 1<<30
+	for i, p := range inf {
+		yes := 0
+		for c := range s.Candidates {
+			if s.selects[c][p] {
+				yes++
+			}
+		}
+		d := 2*yes - len(s.Candidates)
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Name implements Strategy.
+func (SplitStrategy) Name() string { return "split" }
+
+// PriorStrategy prefers informative pairs selected by previously learned
+// workload queries — the paper's "ask with priority the next user to label
+// a path having the same property" heuristic — falling back to an inner
+// strategy among equally prior-favoured pairs.
+type PriorStrategy struct {
+	G        *graph.Graph
+	Workload []graph.PathQuery
+	Fallback Strategy
+	cache    []map[graph.Pair]bool
+}
+
+// Pick implements Strategy.
+func (ps *PriorStrategy) Pick(s *Session, inf []graph.Pair) int {
+	if ps.cache == nil {
+		for _, w := range ps.Workload {
+			sel := map[graph.Pair]bool{}
+			for _, p := range ps.G.Eval(w) {
+				sel[p] = true
+			}
+			ps.cache = append(ps.cache, sel)
+		}
+	}
+	bestScore := -1
+	var bestIdx []int
+	for i, p := range inf {
+		score := 0
+		for _, sel := range ps.cache {
+			if sel[p] {
+				score++
+			}
+		}
+		if score > bestScore {
+			bestScore = score
+			bestIdx = []int{i}
+		} else if score == bestScore {
+			bestIdx = append(bestIdx, i)
+		}
+	}
+	if len(bestIdx) == 1 || ps.Fallback == nil {
+		return bestIdx[0]
+	}
+	sub := make([]graph.Pair, len(bestIdx))
+	for k, i := range bestIdx {
+		sub[k] = inf[i]
+	}
+	return bestIdx[ps.Fallback.Pick(s, sub)]
+}
+
+// Name implements Strategy.
+func (ps *PriorStrategy) Name() string { return "prior" }

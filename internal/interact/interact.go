@@ -1,0 +1,141 @@
+// Package interact provides the generic interactive-learning loop shared by
+// the model-specific learners: a version-space learner proposes informative
+// items, a strategy picks the next question, an oracle (simulated user,
+// possibly noisy paid crowd workers) answers, and the loop runs until
+// nothing informative remains or the budget is exhausted. This is the
+// abstract shape of §3's framework: "our learning algorithms choose tuples
+// and then ask the user to label them [...] the interactive process stops
+// when all the tuples in the instance either have a label explicitly given
+// by the user, or they have become uninformative."
+package interact
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Learner maintains a version space over hypotheses and exposes the items
+// whose label the surviving hypotheses disagree on.
+type Learner[I any] interface {
+	// Informative returns the items still worth asking about.
+	Informative() []I
+	// Record applies a user answer, shrinking the version space. An
+	// error means the answers are inconsistent with the whole space.
+	Record(item I, positive bool) error
+}
+
+// Oracle answers membership questions about items.
+type Oracle[I any] interface {
+	Label(item I) bool
+}
+
+// OracleFunc adapts a function to Oracle.
+type OracleFunc[I any] func(item I) bool
+
+// Label implements Oracle.
+func (f OracleFunc[I]) Label(item I) bool { return f(item) }
+
+// Picker chooses which informative item to ask next.
+type Picker[I any] interface {
+	Pick(items []I) int
+	Name() string
+}
+
+// PickerFunc adapts a function to Picker with a name.
+type PickerFunc[I any] struct {
+	F     func(items []I) int
+	Label string
+}
+
+// Pick implements Picker.
+func (p PickerFunc[I]) Pick(items []I) int { return p.F(items) }
+
+// Name implements Picker.
+func (p PickerFunc[I]) Name() string { return p.Label }
+
+// FirstPicker always asks the first informative item — deterministic and
+// cheap.
+func FirstPicker[I any]() Picker[I] {
+	return PickerFunc[I]{F: func([]I) int { return 0 }, Label: "first"}
+}
+
+// RandomPicker asks a uniformly random informative item.
+func RandomPicker[I any](rng *rand.Rand) Picker[I] {
+	return PickerFunc[I]{F: func(items []I) int { return rng.Intn(len(items)) }, Label: "random"}
+}
+
+// Stats summarizes an interactive run.
+type Stats struct {
+	Questions int
+	Picker    string
+	// Exhausted is true when the loop stopped on the question budget
+	// rather than by running out of informative items.
+	Exhausted bool
+}
+
+// Run drives the interactive loop. maxQuestions 0 means unbounded.
+func Run[I any](l Learner[I], o Oracle[I], p Picker[I], maxQuestions int) (Stats, error) {
+	stats := Stats{Picker: p.Name()}
+	for {
+		items := l.Informative()
+		if len(items) == 0 {
+			return stats, nil
+		}
+		if maxQuestions > 0 && stats.Questions >= maxQuestions {
+			stats.Exhausted = true
+			return stats, nil
+		}
+		idx := p.Pick(items)
+		if idx < 0 || idx >= len(items) {
+			return stats, fmt.Errorf("interact: picker %s chose %d of %d items", p.Name(), idx, len(items))
+		}
+		it := items[idx]
+		ans := o.Label(it)
+		stats.Questions++
+		if err := l.Record(it, ans); err != nil {
+			return stats, err
+		}
+	}
+}
+
+// NoisyOracle simulates an unreliable answerer (a crowd worker): each call
+// flips the true answer with probability ErrorRate.
+type NoisyOracle[I any] struct {
+	Inner     Oracle[I]
+	ErrorRate float64
+	Rng       *rand.Rand
+}
+
+// Label implements Oracle.
+func (n NoisyOracle[I]) Label(item I) bool {
+	ans := n.Inner.Label(item)
+	if n.Rng.Float64() < n.ErrorRate {
+		return !ans
+	}
+	return ans
+}
+
+// MajorityOracle asks an inner oracle K times (K odd) and returns the
+// majority answer — the standard crowd-sourcing defence against worker
+// error. Calls counts the total inner questions for cost accounting.
+type MajorityOracle[I any] struct {
+	Inner Oracle[I]
+	K     int
+	Calls int
+}
+
+// Label implements Oracle.
+func (m *MajorityOracle[I]) Label(item I) bool {
+	k := m.K
+	if k < 1 {
+		k = 1
+	}
+	yes := 0
+	for i := 0; i < k; i++ {
+		m.Calls++
+		if m.Inner.Label(item) {
+			yes++
+		}
+	}
+	return 2*yes > k
+}

@@ -1,0 +1,146 @@
+package interact
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// numberGame is a toy learner: hypotheses are thresholds 0..n; an item i is
+// positive iff i >= goal. The version space is an interval [lo, hi]; item i
+// is informative while lo <= i < hi... exactly when hypotheses disagree.
+type numberGame struct {
+	n        int
+	lo, hi   int // surviving thresholds in [lo, hi]
+	labelled map[int]bool
+}
+
+func newNumberGame(n int) *numberGame {
+	return &numberGame{n: n, lo: 0, hi: n, labelled: map[int]bool{}}
+}
+
+func (g *numberGame) Informative() []int {
+	var out []int
+	for i := 0; i < g.n; i++ {
+		if g.labelled[i] {
+			continue
+		}
+		// i positive under threshold t iff i >= t; hypotheses lo..hi
+		// disagree iff lo <= i < hi.
+		if g.lo <= i && i < g.hi {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (g *numberGame) Record(i int, positive bool) error {
+	g.labelled[i] = true
+	if positive {
+		// i >= t: thresholds above i die.
+		if i < g.hi {
+			g.hi = i
+		}
+	} else {
+		// i < t: thresholds at or below i die.
+		if i+1 > g.lo {
+			g.lo = i + 1
+		}
+	}
+	return nil
+}
+
+func TestRunIdentifiesThreshold(t *testing.T) {
+	goal := 7
+	game := newNumberGame(16)
+	oracle := OracleFunc[int](func(i int) bool { return i >= goal })
+	stats, err := Run[int](game, oracle, FirstPicker[int](), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if game.lo != goal || game.hi != goal {
+		t.Errorf("version space [%d,%d], want [%d,%d]", game.lo, game.hi, goal, goal)
+	}
+	if stats.Questions == 0 {
+		t.Errorf("expected questions")
+	}
+}
+
+func TestRunBinarySearchPickerIsLogarithmic(t *testing.T) {
+	goal := 11
+	game := newNumberGame(64)
+	oracle := OracleFunc[int](func(i int) bool { return i >= goal })
+	mid := PickerFunc[int]{F: func(items []int) int { return len(items) / 2 }, Label: "mid"}
+	stats, err := Run[int](game, oracle, mid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Questions > 8 {
+		t.Errorf("midpoint picker asked %d questions on 64 items, want <= 8", stats.Questions)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	game := newNumberGame(64)
+	oracle := OracleFunc[int](func(i int) bool { return i >= 50 })
+	stats, err := Run[int](game, oracle, FirstPicker[int](), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Exhausted || stats.Questions != 3 {
+		t.Errorf("budget not enforced: %+v", stats)
+	}
+}
+
+func TestRandomPicker(t *testing.T) {
+	game := newNumberGame(16)
+	oracle := OracleFunc[int](func(i int) bool { return i >= 5 })
+	stats, err := Run[int](game, oracle, RandomPicker[int](rand.New(rand.NewSource(1))), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if game.lo != 5 || game.hi != 5 {
+		t.Errorf("random picker failed to converge: [%d,%d]", game.lo, game.hi)
+	}
+	if stats.Picker != "random" {
+		t.Errorf("picker name = %s", stats.Picker)
+	}
+}
+
+func TestNoisyOracleFlips(t *testing.T) {
+	base := OracleFunc[int](func(int) bool { return true })
+	noisy := NoisyOracle[int]{Inner: base, ErrorRate: 1.0, Rng: rand.New(rand.NewSource(1))}
+	if noisy.Label(0) {
+		t.Errorf("error rate 1.0 must always flip")
+	}
+	clean := NoisyOracle[int]{Inner: base, ErrorRate: 0.0, Rng: rand.New(rand.NewSource(1))}
+	if !clean.Label(0) {
+		t.Errorf("error rate 0 must never flip")
+	}
+}
+
+func TestMajorityOracleCorrectsNoise(t *testing.T) {
+	base := OracleFunc[int](func(int) bool { return true })
+	noisy := NoisyOracle[int]{Inner: base, ErrorRate: 0.3, Rng: rand.New(rand.NewSource(42))}
+	maj := &MajorityOracle[int]{Inner: noisy, K: 15}
+	wrong := 0
+	for i := 0; i < 100; i++ {
+		if !maj.Label(i) {
+			wrong++
+		}
+	}
+	// P(majority wrong) = P(Bin(15, 0.3) >= 8) ≈ 1.5%; allow slack.
+	if wrong > 10 {
+		t.Errorf("majority of 15 at 30%% error rate wrong %d/100 times", wrong)
+	}
+	if maj.Calls != 1500 {
+		t.Errorf("Calls = %d, want 1500", maj.Calls)
+	}
+}
+
+func TestMajorityOracleKDefaults(t *testing.T) {
+	base := OracleFunc[int](func(int) bool { return true })
+	maj := &MajorityOracle[int]{Inner: base}
+	if !maj.Label(0) || maj.Calls != 1 {
+		t.Errorf("K<1 should default to a single call")
+	}
+}

@@ -1,0 +1,139 @@
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Additional relational-algebra operators rounding out the substrate: the
+// exchange pipelines and benchmark tooling use them for result shaping, and
+// they make the package usable as a standalone mini relational engine.
+
+// Rename returns a copy of the relation with a new name and attribute
+// names. The attribute count must match.
+func (r *Relation) Rename(name string, attrs ...string) (*Relation, error) {
+	if len(attrs) != len(r.Attrs) {
+		return nil, fmt.Errorf("relational: rename wants %d attributes, got %d", len(r.Attrs), len(attrs))
+	}
+	out, err := New(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range r.rows {
+		if err := out.Insert(row...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sameSchema reports whether two relations are union-compatible.
+func sameSchema(a, b *Relation) bool {
+	if len(a.Attrs) != len(b.Attrs) {
+		return false
+	}
+	for i := range a.Attrs {
+		if a.Attrs[i] != b.Attrs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns the set union of two union-compatible relations.
+func Union(a, b *Relation) (*Relation, error) {
+	if !sameSchema(a, b) {
+		return nil, fmt.Errorf("relational: union of incompatible schemas %v and %v", a.Attrs, b.Attrs)
+	}
+	out := MustNew(a.Name, a.Attrs...)
+	for _, row := range a.rows {
+		_ = out.Insert(row...)
+	}
+	for _, row := range b.rows {
+		_ = out.Insert(row...)
+	}
+	return out.Distinct(), nil
+}
+
+// Difference returns the tuples of a that do not occur in b.
+func Difference(a, b *Relation) (*Relation, error) {
+	if !sameSchema(a, b) {
+		return nil, fmt.Errorf("relational: difference of incompatible schemas %v and %v", a.Attrs, b.Attrs)
+	}
+	seen := map[string]bool{}
+	for _, row := range b.rows {
+		seen[strings.Join(row, "\x00")] = true
+	}
+	out := MustNew(a.Name, a.Attrs...)
+	for _, row := range a.rows {
+		if !seen[strings.Join(row, "\x00")] {
+			_ = out.Insert(row...)
+		}
+	}
+	return out.Distinct(), nil
+}
+
+// OrderBy returns a copy sorted by the given attributes (lexicographic on
+// string values, stable).
+func (r *Relation) OrderBy(attrs ...string) (*Relation, error) {
+	idxs := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.AttrIndex(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relational: order by unknown attribute %q", a)
+		}
+		idxs[i] = p
+	}
+	out := r.Clone()
+	sort.SliceStable(out.rows, func(i, j int) bool {
+		for _, p := range idxs {
+			if out.rows[i][p] != out.rows[j][p] {
+				return out.rows[i][p] < out.rows[j][p]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// GroupCount returns one tuple per distinct value combination of the given
+// attributes with an extra "count" column.
+func (r *Relation) GroupCount(attrs ...string) (*Relation, error) {
+	idxs := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.AttrIndex(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relational: group by unknown attribute %q", a)
+		}
+		idxs[i] = p
+	}
+	counts := map[string]int{}
+	var order []string
+	for _, row := range r.rows {
+		vals := make([]string, len(idxs))
+		for i, p := range idxs {
+			vals[i] = row[p]
+		}
+		key := strings.Join(vals, "\x00")
+		if counts[key] == 0 {
+			order = append(order, key)
+		}
+		counts[key]++
+	}
+	out, err := New(r.Name+"_counts", append(append([]string{}, attrs...), "count")...)
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range order {
+		var vals []string
+		if key != "" || len(attrs) > 0 {
+			vals = strings.Split(key, "\x00")
+		}
+		vals = append(vals, fmt.Sprint(counts[key]))
+		if err := out.Insert(vals...); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,159 @@
+package relational
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRename(t *testing.T) {
+	r := mustRel(t, "r", []string{"a", "b"}, [][]string{{"1", "2"}})
+	n, err := r.Rename("s", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Name != "s" || n.AttrIndex("x") != 0 {
+		t.Errorf("rename wrong: %s", n)
+	}
+	if _, err := r.Rename("s", "only-one"); err == nil {
+		t.Errorf("wrong arity should fail")
+	}
+}
+
+func TestUnionAndDifference(t *testing.T) {
+	a := mustRel(t, "r", []string{"x"}, [][]string{{"1"}, {"2"}})
+	b := mustRel(t, "r", []string{"x"}, [][]string{{"2"}, {"3"}})
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Len() != 3 {
+		t.Errorf("union size = %d, want 3", u.Len())
+	}
+	d, err := Difference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Tuple(0)[0] != "1" {
+		t.Errorf("difference = %s", d)
+	}
+	c := mustRel(t, "r", []string{"y"}, nil)
+	if _, err := Union(a, c); err == nil {
+		t.Errorf("incompatible union should fail")
+	}
+	if _, err := Difference(a, c); err == nil {
+		t.Errorf("incompatible difference should fail")
+	}
+}
+
+func TestOrderBy(t *testing.T) {
+	r := mustRel(t, "r", []string{"a", "b"}, [][]string{
+		{"2", "x"}, {"1", "z"}, {"1", "a"},
+	})
+	s, err := r.OrderBy("a", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Tuple(0)[1] != "a" || s.Tuple(2)[0] != "2" {
+		t.Errorf("order wrong: %s", s)
+	}
+	// Original untouched.
+	if r.Tuple(0)[0] != "2" {
+		t.Errorf("OrderBy mutated the input")
+	}
+	if _, err := r.OrderBy("zz"); err == nil {
+		t.Errorf("unknown attribute should fail")
+	}
+}
+
+func TestGroupCount(t *testing.T) {
+	r := mustRel(t, "r", []string{"city", "name"}, [][]string{
+		{"lille", "a"}, {"paris", "b"}, {"lille", "c"},
+	})
+	g, err := r.GroupCount("city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Fatalf("groups = %d, want 2", g.Len())
+	}
+	counts := map[string]string{}
+	for i := 0; i < g.Len(); i++ {
+		counts[g.Tuple(i)[0]] = g.Tuple(i)[1]
+	}
+	if counts["lille"] != "2" || counts["paris"] != "1" {
+		t.Errorf("counts = %v", counts)
+	}
+	if _, err := r.GroupCount("zz"); err == nil {
+		t.Errorf("unknown attribute should fail")
+	}
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		a := MustNew("r", "x")
+		b := MustNew("r", "x")
+		s := seed
+		for i := 0; i < 5; i++ {
+			_ = a.Insert(string(rune('0' + s%4)))
+			s = s/2 + 1
+			_ = b.Insert(string(rune('0' + s%4)))
+			s = s/3 + 2
+		}
+		ab, err1 := Union(a, b)
+		ba, err2 := Union(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if ab.Len() != ba.Len() {
+			return false
+		}
+		sa, _ := ab.OrderBy("x")
+		sb, _ := ba.OrderBy("x")
+		for i := 0; i < sa.Len(); i++ {
+			if sa.Tuple(i)[0] != sb.Tuple(i)[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDifferenceDisjointFromB(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		a := MustNew("r", "x")
+		b := MustNew("r", "x")
+		s := seed
+		for i := 0; i < 6; i++ {
+			_ = a.Insert(string(rune('0' + s%3)))
+			s = s/2 + 1
+			_ = b.Insert(string(rune('0' + s%3)))
+			s = s/3 + 2
+		}
+		d, err := Difference(a, b)
+		if err != nil {
+			return false
+		}
+		inB := map[string]bool{}
+		for i := 0; i < b.Len(); i++ {
+			inB[b.Tuple(i)[0]] = true
+		}
+		for i := 0; i < d.Len(); i++ {
+			if inB[d.Tuple(i)[0]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,339 @@
+// Package relational implements the relational substrate for the join-query
+// learning experiments of §3: named relations with string-valued tuples,
+// and the join-like operators the paper studies — natural join, equi-joins
+// over explicit attribute-pair predicates, and semijoins.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is a named relation: an attribute list and a set of tuples.
+// Tuples are positional; attribute names give positions meaning. The zero
+// value is unusable; construct with New or FromRows.
+type Relation struct {
+	Name  string
+	Attrs []string
+	rows  [][]string
+	index map[string]int // attr -> position
+}
+
+// New returns an empty relation with the given attributes.
+func New(name string, attrs ...string) (*Relation, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("relational: relation %q needs attributes", name)
+	}
+	idx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a == "" {
+			return nil, fmt.Errorf("relational: empty attribute name in %q", name)
+		}
+		if _, dup := idx[a]; dup {
+			return nil, fmt.Errorf("relational: duplicate attribute %q in %q", a, name)
+		}
+		idx[a] = i
+	}
+	return &Relation{Name: name, Attrs: attrs, index: idx}, nil
+}
+
+// MustNew is New that panics on error, for fixtures.
+func MustNew(name string, attrs ...string) *Relation {
+	r, err := New(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// FromRows builds a relation and inserts the given rows.
+func FromRows(name string, attrs []string, rows [][]string) (*Relation, error) {
+	r, err := New(name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if err := r.Insert(row...); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// Insert appends a tuple; its arity must match the schema.
+func (r *Relation) Insert(values ...string) error {
+	if len(values) != len(r.Attrs) {
+		return fmt.Errorf("relational: %q expects %d values, got %d", r.Name, len(r.Attrs), len(values))
+	}
+	row := make([]string, len(values))
+	copy(row, values)
+	r.rows = append(r.rows, row)
+	return nil
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Tuple returns the i-th tuple (shared slice: treat as read-only).
+func (r *Relation) Tuple(i int) []string { return r.rows[i] }
+
+// Value returns tuple i's value of the named attribute.
+func (r *Relation) Value(i int, attr string) (string, error) {
+	p, ok := r.index[attr]
+	if !ok {
+		return "", fmt.Errorf("relational: %q has no attribute %q", r.Name, attr)
+	}
+	return r.rows[i][p], nil
+}
+
+// AttrIndex returns the position of an attribute, or -1.
+func (r *Relation) AttrIndex(attr string) int {
+	p, ok := r.index[attr]
+	if !ok {
+		return -1
+	}
+	return p
+}
+
+// HasAttr reports whether the relation has the attribute.
+func (r *Relation) HasAttr(attr string) bool { return r.AttrIndex(attr) >= 0 }
+
+// Each calls fn for every tuple index and row.
+func (r *Relation) Each(fn func(i int, row []string)) {
+	for i, row := range r.rows {
+		fn(i, row)
+	}
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := MustNew(r.Name, r.Attrs...)
+	for _, row := range r.rows {
+		_ = c.Insert(row...)
+	}
+	return c
+}
+
+// String renders a compact table, for diagnostics.
+func (r *Relation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(%s)\n", r.Name, strings.Join(r.Attrs, ","))
+	for _, row := range r.rows {
+		fmt.Fprintf(&b, "  %s\n", strings.Join(row, " | "))
+	}
+	return b.String()
+}
+
+// Distinct returns a copy with duplicate tuples removed (first occurrence
+// kept).
+func (r *Relation) Distinct() *Relation {
+	c := MustNew(r.Name, r.Attrs...)
+	seen := map[string]bool{}
+	for _, row := range r.rows {
+		k := strings.Join(row, "\x00")
+		if !seen[k] {
+			seen[k] = true
+			_ = c.Insert(row...)
+		}
+	}
+	return c
+}
+
+// Project returns a relation with only the named attributes, in the given
+// order, duplicates removed.
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	idxs := make([]int, len(attrs))
+	for i, a := range attrs {
+		p := r.AttrIndex(a)
+		if p < 0 {
+			return nil, fmt.Errorf("relational: project: %q has no attribute %q", r.Name, a)
+		}
+		idxs[i] = p
+	}
+	out := MustNew(r.Name, attrs...)
+	for _, row := range r.rows {
+		vals := make([]string, len(idxs))
+		for i, p := range idxs {
+			vals[i] = row[p]
+		}
+		_ = out.Insert(vals...)
+	}
+	return out.Distinct(), nil
+}
+
+// Select returns the tuples satisfying pred.
+func (r *Relation) Select(pred func(row []string) bool) *Relation {
+	out := MustNew(r.Name, r.Attrs...)
+	for _, row := range r.rows {
+		if pred(row) {
+			_ = out.Insert(row...)
+		}
+	}
+	return out
+}
+
+// AttrPair equates an attribute of the left relation with one of the right:
+// one conjunct of an equi-join predicate.
+type AttrPair struct {
+	Left, Right string
+}
+
+func (p AttrPair) String() string { return p.Left + "=" + p.Right }
+
+// SortPairs orders predicate conjuncts deterministically, for stable output.
+func SortPairs(ps []AttrPair) []AttrPair {
+	out := append([]AttrPair(nil), ps...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// PairsMatch reports whether the tuple pair satisfies every conjunct.
+func PairsMatch(l *Relation, lrow []string, r *Relation, rrow []string, pred []AttrPair) (bool, error) {
+	for _, p := range pred {
+		li, ri := l.AttrIndex(p.Left), r.AttrIndex(p.Right)
+		if li < 0 || ri < 0 {
+			return false, fmt.Errorf("relational: predicate %s: unknown attribute", p)
+		}
+		if lrow[li] != rrow[ri] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// EquiJoin computes the join of l and r under the attribute-pair predicate.
+// The result schema prefixes attribute names with the relation names to
+// keep them unique. An empty predicate yields the cross product.
+func EquiJoin(l, r *Relation, pred []AttrPair) (*Relation, error) {
+	attrs := make([]string, 0, len(l.Attrs)+len(r.Attrs))
+	for _, a := range l.Attrs {
+		attrs = append(attrs, l.Name+"."+a)
+	}
+	for _, a := range r.Attrs {
+		attrs = append(attrs, r.Name+"."+a)
+	}
+	out, err := New(l.Name+"_"+r.Name, attrs...)
+	if err != nil {
+		return nil, err
+	}
+	// Hash join on the predicate's left/right value vectors.
+	lIdx := make([]int, len(pred))
+	rIdx := make([]int, len(pred))
+	for i, p := range pred {
+		lIdx[i], rIdx[i] = l.AttrIndex(p.Left), r.AttrIndex(p.Right)
+		if lIdx[i] < 0 || rIdx[i] < 0 {
+			return nil, fmt.Errorf("relational: predicate %s: unknown attribute", p)
+		}
+	}
+	buckets := map[string][]int{}
+	for j, rrow := range r.rows {
+		key := joinKey(rrow, rIdx)
+		buckets[key] = append(buckets[key], j)
+	}
+	for _, lrow := range l.rows {
+		key := joinKey(lrow, lIdx)
+		for _, j := range buckets[key] {
+			vals := make([]string, 0, len(attrs))
+			vals = append(vals, lrow...)
+			vals = append(vals, r.rows[j]...)
+			_ = out.Insert(vals...)
+		}
+	}
+	return out, nil
+}
+
+func joinKey(row []string, idx []int) string {
+	var b strings.Builder
+	for _, i := range idx {
+		b.WriteString(row[i])
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// NaturalJoin joins on every shared attribute name. With no shared
+// attributes it degenerates to the cross product, matching standard
+// semantics.
+func NaturalJoin(l, r *Relation) (*Relation, error) {
+	var pred []AttrPair
+	for _, a := range l.Attrs {
+		if r.HasAttr(a) {
+			pred = append(pred, AttrPair{Left: a, Right: a})
+		}
+	}
+	return EquiJoin(l, r, pred)
+}
+
+// Semijoin returns the tuples of l having at least one join partner in r
+// under the predicate: l ⋉_pred r.
+func Semijoin(l, r *Relation, pred []AttrPair) (*Relation, error) {
+	lIdx := make([]int, len(pred))
+	rIdx := make([]int, len(pred))
+	for i, p := range pred {
+		lIdx[i], rIdx[i] = l.AttrIndex(p.Left), r.AttrIndex(p.Right)
+		if lIdx[i] < 0 || rIdx[i] < 0 {
+			return nil, fmt.Errorf("relational: predicate %s: unknown attribute", p)
+		}
+	}
+	keys := map[string]bool{}
+	for _, rrow := range r.rows {
+		keys[joinKey(rrow, rIdx)] = true
+	}
+	out := MustNew(l.Name, l.Attrs...)
+	for _, lrow := range l.rows {
+		if keys[joinKey(lrow, lIdx)] {
+			_ = out.Insert(lrow...)
+		}
+	}
+	return out, nil
+}
+
+// ChainJoin joins a sequence of relations left to right, each step under
+// its own predicate (preds[i] relates the accumulated result's attributes —
+// already prefixed — to rels[i+1]). It implements the paper's "chains of
+// joins between many relations" extension.
+func ChainJoin(rels []*Relation, preds [][]AttrPair) (*Relation, error) {
+	if len(rels) == 0 {
+		return nil, fmt.Errorf("relational: empty chain")
+	}
+	if len(preds) != len(rels)-1 {
+		return nil, fmt.Errorf("relational: chain of %d relations needs %d predicates, got %d",
+			len(rels), len(rels)-1, len(preds))
+	}
+	acc := rels[0].Clone()
+	// Prefix the first relation's attributes for consistency.
+	for i, a := range acc.Attrs {
+		acc.Attrs[i] = rels[0].Name + "." + a
+	}
+	acc.index = map[string]int{}
+	for i, a := range acc.Attrs {
+		acc.index[a] = i
+	}
+	acc.Name = rels[0].Name
+	for i, next := range rels[1:] {
+		joined, err := EquiJoin(acc, next, preds[i])
+		if err != nil {
+			return nil, err
+		}
+		// EquiJoin prefixed the accumulated side again; strip the
+		// duplicate prefix layer.
+		for j := range joined.Attrs {
+			joined.Attrs[j] = strings.TrimPrefix(joined.Attrs[j], acc.Name+".")
+		}
+		joined.index = map[string]int{}
+		for j, a := range joined.Attrs {
+			if _, dup := joined.index[a]; dup {
+				return nil, fmt.Errorf("relational: chain join produces duplicate attribute %q (join the same relation twice under distinct aliases)", a)
+			}
+			joined.index[a] = j
+		}
+		acc = joined
+	}
+	return acc, nil
+}

@@ -1,0 +1,290 @@
+package relational
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustRel(t *testing.T, name string, attrs []string, rows [][]string) *Relation {
+	t.Helper()
+	r, err := FromRows(name, attrs, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("r"); err == nil {
+		t.Errorf("no attributes should fail")
+	}
+	if _, err := New("r", "a", "a"); err == nil {
+		t.Errorf("duplicate attributes should fail")
+	}
+	if _, err := New("r", ""); err == nil {
+		t.Errorf("empty attribute should fail")
+	}
+}
+
+func TestInsertArity(t *testing.T) {
+	r := MustNew("r", "a", "b")
+	if err := r.Insert("1"); err == nil {
+		t.Errorf("wrong arity should fail")
+	}
+	if err := r.Insert("1", "2"); err != nil {
+		t.Errorf("Insert: %v", err)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestValueAndAttrIndex(t *testing.T) {
+	r := mustRel(t, "r", []string{"a", "b"}, [][]string{{"x", "y"}})
+	v, err := r.Value(0, "b")
+	if err != nil || v != "y" {
+		t.Errorf("Value = %q, %v", v, err)
+	}
+	if _, err := r.Value(0, "zz"); err == nil {
+		t.Errorf("unknown attribute should fail")
+	}
+	if r.AttrIndex("a") != 0 || r.AttrIndex("zz") != -1 {
+		t.Errorf("AttrIndex wrong")
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	r := mustRel(t, "r", []string{"a"}, [][]string{{"1"}, {"1"}, {"2"}})
+	if got := r.Distinct().Len(); got != 2 {
+		t.Errorf("Distinct Len = %d, want 2", got)
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := mustRel(t, "r", []string{"a", "b"}, [][]string{{"1", "x"}, {"2", "x"}})
+	p, err := r.Project("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 1 || p.Tuple(0)[0] != "x" {
+		t.Errorf("Project = %s", p)
+	}
+	if _, err := r.Project("zz"); err == nil {
+		t.Errorf("unknown attribute should fail")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	r := mustRel(t, "r", []string{"a"}, [][]string{{"1"}, {"2"}, {"3"}})
+	s := r.Select(func(row []string) bool { return row[0] != "2" })
+	if s.Len() != 2 {
+		t.Errorf("Select Len = %d", s.Len())
+	}
+}
+
+func TestEquiJoin(t *testing.T) {
+	l := mustRel(t, "L", []string{"id", "name"}, [][]string{{"1", "ann"}, {"2", "bob"}})
+	r := mustRel(t, "R", []string{"pid", "city"}, [][]string{{"1", "lille"}, {"1", "paris"}, {"3", "rome"}})
+	j, err := EquiJoin(l, r, []AttrPair{{Left: "id", Right: "pid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("join size = %d, want 2: %s", j.Len(), j)
+	}
+	if got := strings.Join(j.Attrs, ","); got != "L.id,L.name,R.pid,R.city" {
+		t.Errorf("join attrs = %s", got)
+	}
+}
+
+func TestEquiJoinEmptyPredIsCross(t *testing.T) {
+	l := mustRel(t, "L", []string{"a"}, [][]string{{"1"}, {"2"}})
+	r := mustRel(t, "R", []string{"b"}, [][]string{{"x"}, {"y"}, {"z"}})
+	j, err := EquiJoin(l, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 6 {
+		t.Errorf("cross product size = %d, want 6", j.Len())
+	}
+}
+
+func TestEquiJoinUnknownAttr(t *testing.T) {
+	l := mustRel(t, "L", []string{"a"}, [][]string{{"1"}})
+	r := mustRel(t, "R", []string{"b"}, [][]string{{"1"}})
+	if _, err := EquiJoin(l, r, []AttrPair{{Left: "zz", Right: "b"}}); err == nil {
+		t.Errorf("unknown attribute should fail")
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	l := mustRel(t, "L", []string{"id", "x"}, [][]string{{"1", "a"}, {"2", "b"}})
+	r := mustRel(t, "R", []string{"id", "y"}, [][]string{{"1", "p"}, {"2", "q"}, {"2", "r"}})
+	j, err := NaturalJoin(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 3 {
+		t.Errorf("natural join size = %d, want 3", j.Len())
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	l := mustRel(t, "L", []string{"id", "x"}, [][]string{{"1", "a"}, {"2", "b"}, {"3", "c"}})
+	r := mustRel(t, "R", []string{"pid"}, [][]string{{"1"}, {"3"}})
+	s, err := Semijoin(l, r, []AttrPair{{Left: "id", Right: "pid"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Errorf("semijoin size = %d, want 2", s.Len())
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Tuple(i)[0] == "2" {
+			t.Errorf("tuple 2 must not survive semijoin")
+		}
+	}
+}
+
+func TestPairsMatch(t *testing.T) {
+	l := mustRel(t, "L", []string{"a"}, [][]string{{"1"}})
+	r := mustRel(t, "R", []string{"b"}, [][]string{{"1"}, {"2"}})
+	ok, err := PairsMatch(l, l.Tuple(0), r, r.Tuple(0), []AttrPair{{Left: "a", Right: "b"}})
+	if err != nil || !ok {
+		t.Errorf("PairsMatch = %v, %v", ok, err)
+	}
+	ok, _ = PairsMatch(l, l.Tuple(0), r, r.Tuple(1), []AttrPair{{Left: "a", Right: "b"}})
+	if ok {
+		t.Errorf("mismatched values should not match")
+	}
+}
+
+func TestChainJoin(t *testing.T) {
+	a := mustRel(t, "A", []string{"x", "y"}, [][]string{{"1", "p"}, {"2", "q"}})
+	b := mustRel(t, "B", []string{"y2", "z"}, [][]string{{"p", "u"}, {"q", "v"}})
+	c := mustRel(t, "C", []string{"z2", "w"}, [][]string{{"u", "end"}})
+	j, err := ChainJoin(
+		[]*Relation{a, b, c},
+		[][]AttrPair{
+			{{Left: "A.y", Right: "y2"}},
+			{{Left: "B.z", Right: "z2"}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 1 {
+		t.Fatalf("chain join size = %d, want 1: %s", j.Len(), j)
+	}
+	v, err := j.Value(0, "C.w")
+	if err != nil || v != "end" {
+		t.Errorf("C.w = %q, %v", v, err)
+	}
+}
+
+func TestChainJoinValidation(t *testing.T) {
+	a := mustRel(t, "A", []string{"x"}, nil)
+	if _, err := ChainJoin(nil, nil); err == nil {
+		t.Errorf("empty chain should fail")
+	}
+	if _, err := ChainJoin([]*Relation{a, a}, nil); err == nil {
+		t.Errorf("missing predicates should fail")
+	}
+}
+
+func TestSortPairs(t *testing.T) {
+	ps := []AttrPair{{Left: "b", Right: "x"}, {Left: "a", Right: "z"}, {Left: "a", Right: "y"}}
+	got := SortPairs(ps)
+	if got[0].Left != "a" || got[0].Right != "y" || got[2].Left != "b" {
+		t.Errorf("SortPairs = %v", got)
+	}
+	// Input untouched.
+	if ps[0].Left != "b" {
+		t.Errorf("SortPairs must not mutate input")
+	}
+}
+
+// Property: semijoin(l, r, p) tuples are exactly those with a join witness.
+func TestQuickSemijoinAgainstJoin(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		l := MustNew("L", "a", "b")
+		r := MustNew("R", "c", "d")
+		vals := []string{"0", "1", "2"}
+		s := seed
+		for i := 0; i < 6; i++ {
+			_ = l.Insert(vals[s%3], vals[(s/3)%3])
+			s = s/2 + 1
+			_ = r.Insert(vals[s%3], vals[(s/5)%3])
+			s = s/2 + 3
+		}
+		pred := []AttrPair{{Left: "a", Right: "c"}}
+		sj, err := Semijoin(l, r, pred)
+		if err != nil {
+			return false
+		}
+		want := map[string]bool{}
+		for i := 0; i < l.Len(); i++ {
+			for j := 0; j < r.Len(); j++ {
+				ok, _ := PairsMatch(l, l.Tuple(i), r, r.Tuple(j), pred)
+				if ok {
+					want[strings.Join(l.Tuple(i), ",")] = true
+				}
+			}
+		}
+		got := map[string]bool{}
+		for i := 0; i < sj.Len(); i++ {
+			got[strings.Join(sj.Tuple(i), ",")] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: equi-join row count equals nested-loop count.
+func TestQuickEquiJoinCount(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		l := MustNew("L", "a", "b")
+		r := MustNew("R", "c")
+		vals := []string{"0", "1"}
+		s := seed
+		for i := 0; i < 5; i++ {
+			_ = l.Insert(vals[s%2], vals[(s/2)%2])
+			_ = r.Insert(vals[(s/3)%2])
+			s = s/2 + 7
+		}
+		pred := []AttrPair{{Left: "b", Right: "c"}}
+		j, err := EquiJoin(l, r, pred)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for i := 0; i < l.Len(); i++ {
+			for k := 0; k < r.Len(); k++ {
+				ok, _ := PairsMatch(l, l.Tuple(i), r, r.Tuple(k), pred)
+				if ok {
+					count++
+				}
+			}
+		}
+		return j.Len() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

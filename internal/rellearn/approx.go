@@ -1,0 +1,119 @@
+package rellearn
+
+// Approximate semijoin learning — the paper's §3 proposal for query classes
+// with intractable consistency: "in the case of relational queries for
+// which consistency checking is intractable for positive and negative
+// examples (e.g., semijoins) [...] some of the annotations might be ignored
+// to be able to compute in polynomial time a candidate query."
+//
+// SemijoinApprox runs the polynomial greedy learner and, when it fails,
+// iteratively discards the annotation that conflicts most with the current
+// candidate until a consistent-on-the-rest predicate emerges. The result
+// reports which annotations were sacrificed, so callers can surface them to
+// the user for re-labeling.
+
+// ApproxResult is the outcome of approximate semijoin learning.
+type ApproxResult struct {
+	Predicate PairSet
+	// Ignored lists the indexes (into the examples slice) of the
+	// annotations the learner discarded.
+	Ignored []int
+	// Error is the fraction of all input examples the returned
+	// predicate violates (the ignored ones, unless they happen to agree).
+	Error float64
+}
+
+// SemijoinApprox learns a semijoin predicate in polynomial time, ignoring
+// as few annotations as the greedy procedure needs. It never fails: in the
+// worst case it keeps a single positive (or, with no positives, returns
+// the full predicate).
+func SemijoinApprox(u *Universe, examples []SemijoinExample) ApproxResult {
+	active := make([]bool, len(examples))
+	for i := range active {
+		active[i] = true
+	}
+	for {
+		sub := make([]SemijoinExample, 0, len(examples))
+		idx := make([]int, 0, len(examples))
+		for i, e := range examples {
+			if active[i] {
+				sub = append(sub, e)
+				idx = append(idx, i)
+			}
+		}
+		p, ok := SemijoinGreedy(u, sub)
+		if ok {
+			return finishApprox(u, examples, active, p)
+		}
+		// Drop the annotation the greedy candidate violates "hardest":
+		// recompute the greedy candidate from positives only and
+		// discard the active example it most disagrees with (negatives
+		// it selects first, then unselected positives).
+		cand := greedyFromPositives(u, sub)
+		drop := -1
+		for k, e := range sub {
+			selected := semijoinSelects(u, cand, e.Left)
+			if selected != e.Positive {
+				drop = idx[k]
+				if !e.Positive {
+					break // prefer dropping a violated negative
+				}
+			}
+		}
+		if drop == -1 {
+			// Greedy failed yet nothing disagrees — can only happen
+			// with an empty right relation; keep the candidate.
+			return finishApprox(u, examples, active, cand)
+		}
+		active[drop] = false
+	}
+}
+
+func finishApprox(u *Universe, examples []SemijoinExample, active []bool, p PairSet) ApproxResult {
+	res := ApproxResult{Predicate: p}
+	wrong := 0
+	for i, e := range examples {
+		if !active[i] {
+			res.Ignored = append(res.Ignored, i)
+		}
+		if semijoinSelects(u, p, e.Left) != e.Positive {
+			wrong++
+		}
+	}
+	if len(examples) > 0 {
+		res.Error = float64(wrong) / float64(len(examples))
+	}
+	return res
+}
+
+// greedyFromPositives builds the greedy candidate using positives only.
+func greedyFromPositives(u *Universe, examples []SemijoinExample) PairSet {
+	cand := u.Full()
+	for _, e := range examples {
+		if !e.Positive {
+			continue
+		}
+		var best PairSet
+		bestCount := -1
+		for j := 0; j < u.Right.Len(); j++ {
+			p := cand.Intersect(u.Agree(e.Left, j))
+			if c := p.Count(); c > bestCount {
+				best, bestCount = p, c
+			}
+		}
+		if best != nil {
+			cand = best
+		}
+	}
+	return cand
+}
+
+// semijoinSelects reports whether the predicate selects the left tuple.
+func semijoinSelects(u *Universe, p PairSet, left int) bool {
+	for j := 0; j < u.Right.Len(); j++ {
+		if p.SubsetOf(u.Agree(left, j)) {
+			return true
+		}
+	}
+	return false
+}

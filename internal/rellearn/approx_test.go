@@ -1,0 +1,102 @@
+package rellearn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/relational"
+)
+
+func TestSemijoinApproxConsistentCase(t *testing.T) {
+	l, _ := relational.FromRows("L", []string{"a"}, [][]string{{"1"}, {"9"}})
+	r, _ := relational.FromRows("R", []string{"b"}, [][]string{{"1"}})
+	u := NewUniverse(l, r)
+	exs := []SemijoinExample{
+		{Left: 0, Positive: true},
+		{Left: 1, Positive: false},
+	}
+	res := SemijoinApprox(u, exs)
+	if len(res.Ignored) != 0 || res.Error != 0 {
+		t.Errorf("consistent case should ignore nothing: %+v", res)
+	}
+}
+
+func TestSemijoinApproxDropsContradiction(t *testing.T) {
+	// Identical left tuples with opposite labels: one must be ignored.
+	l, _ := relational.FromRows("L", []string{"a"}, [][]string{{"1"}, {"1"}})
+	r, _ := relational.FromRows("R", []string{"b"}, [][]string{{"1"}})
+	u := NewUniverse(l, r)
+	exs := []SemijoinExample{
+		{Left: 0, Positive: true},
+		{Left: 1, Positive: false},
+	}
+	res := SemijoinApprox(u, exs)
+	if len(res.Ignored) == 0 {
+		t.Fatalf("contradiction requires ignoring an annotation: %+v", res)
+	}
+	if res.Error == 0 {
+		t.Errorf("error should reflect the violated annotation")
+	}
+}
+
+func TestSemijoinApproxNoPositives(t *testing.T) {
+	l, _ := relational.FromRows("L", []string{"a"}, [][]string{{"1"}})
+	r, _ := relational.FromRows("R", []string{"b"}, [][]string{{"2"}})
+	u := NewUniverse(l, r)
+	res := SemijoinApprox(u, []SemijoinExample{{Left: 0, Positive: false}})
+	if res.Error != 0 {
+		t.Errorf("full predicate selects nothing here; negative satisfied: %+v", res)
+	}
+}
+
+func TestQuickSemijoinApproxAlwaysTerminatesAndReports(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		l, r := randomInstance(seed, 3, 5)
+		u := NewUniverse(l, r)
+		rng := rand.New(rand.NewSource(seed + 9))
+		var exs []SemijoinExample
+		for i := 0; i < l.Len(); i++ {
+			exs = append(exs, SemijoinExample{Left: i, Positive: rng.Intn(2) == 0})
+		}
+		res := SemijoinApprox(u, exs)
+		// The error must exactly count the violated annotations.
+		wrong := 0
+		for _, e := range exs {
+			if semijoinSelects(u, res.Predicate, e.Left) != e.Positive {
+				wrong++
+			}
+		}
+		return res.Error == float64(wrong)/float64(len(exs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSemijoinApproxNeverWorseThanGreedy(t *testing.T) {
+	// When greedy succeeds outright, approx must ignore nothing.
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		l, r := randomInstance(seed, 2, 4)
+		u := NewUniverse(l, r)
+		rng := rand.New(rand.NewSource(seed + 11))
+		var exs []SemijoinExample
+		for i := 0; i < l.Len(); i++ {
+			exs = append(exs, SemijoinExample{Left: i, Positive: rng.Intn(2) == 0})
+		}
+		if _, ok := SemijoinGreedy(u, exs); !ok {
+			return true
+		}
+		res := SemijoinApprox(u, exs)
+		return len(res.Ignored) == 0 && res.Error == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package rellearn
+
+import (
+	"fmt"
+
+	"querylearn/internal/relational"
+)
+
+// Chain-join learning: the paper's extension "to chains of joins between
+// many relations". A chain query over relations R1..Rk carries one
+// equi-join predicate per adjacent pair; an example is a tuple vector
+// (one tuple index per relation) labeled by the user. The agreement-set
+// machinery lifts pointwise: a predicate vector selects a tuple vector iff
+// every step's predicate is a subset of that step's agreement set, so
+// consistency remains polynomial exactly as in the two-relation case.
+
+// ChainUniverse is the candidate space of a k-relation chain query.
+type ChainUniverse struct {
+	Rels  []*relational.Relation
+	Steps []*Universe // Steps[i] relates Rels[i] to Rels[i+1]
+}
+
+// NewChainUniverse builds the per-step universes of a relation chain.
+func NewChainUniverse(rels []*relational.Relation) (*ChainUniverse, error) {
+	if len(rels) < 2 {
+		return nil, fmt.Errorf("rellearn: chain needs at least two relations")
+	}
+	cu := &ChainUniverse{Rels: rels}
+	for i := 0; i+1 < len(rels); i++ {
+		cu.Steps = append(cu.Steps, NewUniverse(rels[i], rels[i+1]))
+	}
+	return cu, nil
+}
+
+// ChainExample is a labeled tuple vector: Tuples[i] indexes into Rels[i].
+type ChainExample struct {
+	Tuples   []int
+	Positive bool
+}
+
+// ChainPredicate is one pair set per chain step.
+type ChainPredicate []PairSet
+
+// agree computes the per-step agreement sets of a tuple vector.
+func (cu *ChainUniverse) agree(tuples []int) ChainPredicate {
+	out := make(ChainPredicate, len(cu.Steps))
+	for i, u := range cu.Steps {
+		out[i] = u.Agree(tuples[i], tuples[i+1])
+	}
+	return out
+}
+
+// subsetOf reports pointwise ⊆.
+func (p ChainPredicate) subsetOf(q ChainPredicate) bool {
+	for i := range p {
+		if !p[i].SubsetOf(q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MostSpecificChain returns the pointwise intersection of the positive
+// examples' agreement vectors — the most specific chain query selecting
+// them all.
+func (cu *ChainUniverse) MostSpecificChain(examples []ChainExample) (ChainPredicate, error) {
+	p := make(ChainPredicate, len(cu.Steps))
+	for i, u := range cu.Steps {
+		p[i] = u.Full()
+	}
+	for _, e := range examples {
+		if len(e.Tuples) != len(cu.Rels) {
+			return nil, fmt.Errorf("rellearn: example has %d tuples, chain has %d relations",
+				len(e.Tuples), len(cu.Rels))
+		}
+		if !e.Positive {
+			continue
+		}
+		a := cu.agree(e.Tuples)
+		for i := range p {
+			p[i] = p[i].Intersect(a[i])
+		}
+	}
+	return p, nil
+}
+
+// ChainConsistent decides consistency of labeled tuple vectors in
+// polynomial time and returns the most specific witness. As in the
+// two-relation case, the most specific chain fails only if no chain query
+// fits. (A negative vector is rejected when at least one step's predicate
+// escapes that step's agreement set.)
+func (cu *ChainUniverse) ChainConsistent(examples []ChainExample) (ChainPredicate, bool, error) {
+	p, err := cu.MostSpecificChain(examples)
+	if err != nil {
+		return nil, false, err
+	}
+	for _, e := range examples {
+		if e.Positive {
+			continue
+		}
+		if p.subsetOf(cu.agree(e.Tuples)) {
+			return nil, false, nil
+		}
+	}
+	return p, true, nil
+}
+
+// Decode renders a chain predicate as per-step attribute pairs.
+func (cu *ChainUniverse) Decode(p ChainPredicate) [][]relational.AttrPair {
+	out := make([][]relational.AttrPair, len(p))
+	for i, s := range p {
+		out[i] = cu.Steps[i].Decode(s)
+	}
+	return out
+}
+
+// Selects reports whether the chain predicate selects the tuple vector.
+func (cu *ChainUniverse) Selects(p ChainPredicate, tuples []int) bool {
+	return p.subsetOf(cu.agree(tuples))
+}

@@ -1,0 +1,227 @@
+package rellearn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Consistency checking for join and semijoin examples — the complexity
+// contrast at the heart of §3: "we have proved the tractability of some
+// problems of interest, such as testing consistency of a set of positive
+// and negative examples [for natural joins], a problem which is intractable
+// in the context of semijoins."
+
+// JoinExample is a labeled tuple pair: indices into the universe's left and
+// right relations plus the user's label.
+type JoinExample struct {
+	Left, Right int
+	Positive    bool
+}
+
+// MostSpecificJoin returns the most specific join predicate selecting all
+// positive examples: the intersection of their agreement sets (the full
+// universe when there are none).
+func MostSpecificJoin(u *Universe, examples []JoinExample) PairSet {
+	p := u.Full()
+	for _, e := range examples {
+		if e.Positive {
+			p = p.Intersect(u.Agree(e.Left, e.Right))
+		}
+	}
+	return p
+}
+
+// JoinConsistent decides in polynomial time whether some join predicate is
+// consistent with the examples, returning the most specific witness. The
+// characterization: P* = ∩ agree(positives) works iff it selects no
+// negative, and if P* fails every weaker predicate fails too.
+func JoinConsistent(u *Universe, examples []JoinExample) (PairSet, bool) {
+	p := MostSpecificJoin(u, examples)
+	for _, e := range examples {
+		if !e.Positive && p.SubsetOf(u.Agree(e.Left, e.Right)) {
+			return nil, false
+		}
+	}
+	return p, true
+}
+
+// SemijoinExample is a labeled left tuple: the semijoin query selects a
+// left tuple when some right tuple matches the predicate.
+type SemijoinExample struct {
+	Left     int
+	Positive bool
+}
+
+// SemijoinStats reports the work done by the semijoin consistency search —
+// the quantity whose growth the T6 benchmark measures.
+type SemijoinStats struct {
+	NodesExplored int
+	Pruned        int
+}
+
+// SemijoinConsistent decides whether some semijoin predicate selects every
+// positive left tuple (via some witness on the right) and no negative one.
+// The problem is NP-complete; this is an exact backtracking search over
+// witness choices with subset pruning, bounded by maxNodes (0 = 1<<20).
+// It returns the found predicate, the decision, and search statistics; the
+// error is non-nil only when the node budget is exhausted.
+func SemijoinConsistent(u *Universe, examples []SemijoinExample, maxNodes int) (PairSet, bool, SemijoinStats, error) {
+	if maxNodes == 0 {
+		maxNodes = 1 << 20
+	}
+	var pos, neg []int
+	for _, e := range examples {
+		if e.Positive {
+			pos = append(pos, e.Left)
+		} else {
+			neg = append(neg, e.Left)
+		}
+	}
+	stats := SemijoinStats{}
+	// Forbidden down-sets: P must not be ⊆ of any negative agreement set.
+	var forbidden []PairSet
+	for _, n := range neg {
+		for j := 0; j < u.Right.Len(); j++ {
+			forbidden = append(forbidden, u.Agree(n, j))
+		}
+	}
+	forbidden = maximalSets(forbidden)
+	bad := func(p PairSet) bool {
+		for _, f := range forbidden {
+			if p.SubsetOf(f) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(pos) == 0 {
+		// Any predicate selecting no negative works; try the full set.
+		p := u.Full()
+		if len(neg) > 0 && bad(p) {
+			return nil, false, stats, nil
+		}
+		return p, true, stats, nil
+	}
+	// Witness families per positive: maximal agreement sets suffice.
+	families := make([][]PairSet, len(pos))
+	for i, t := range pos {
+		var fam []PairSet
+		for j := 0; j < u.Right.Len(); j++ {
+			fam = append(fam, u.Agree(t, j))
+		}
+		fam = maximalSets(fam)
+		// Larger agreement sets first: keeps candidates big.
+		sort.Slice(fam, func(a, b int) bool { return fam[a].Count() > fam[b].Count() })
+		families[i] = fam
+	}
+	// Order positives by family size (fail-first).
+	order := make([]int, len(pos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(families[order[a]]) < len(families[order[b]]) })
+
+	seen := map[string]bool{}
+	var result PairSet
+	var dfs func(depth int, cand PairSet) bool
+	dfs = func(depth int, cand PairSet) bool {
+		stats.NodesExplored++
+		if stats.NodesExplored > maxNodes {
+			return false
+		}
+		if bad(cand) {
+			stats.Pruned++
+			return false
+		}
+		if depth == len(order) {
+			result = cand
+			return true
+		}
+		key := fmt.Sprintf("%d|%s", depth, cand.Key())
+		if seen[key] {
+			stats.Pruned++
+			return false
+		}
+		seen[key] = true
+		for _, a := range families[order[depth]] {
+			if dfs(depth+1, cand.Intersect(a)) {
+				return true
+			}
+			if stats.NodesExplored > maxNodes {
+				return false
+			}
+		}
+		return false
+	}
+	found := dfs(0, u.Full())
+	if !found && stats.NodesExplored > maxNodes {
+		return nil, false, stats, fmt.Errorf("rellearn: semijoin search budget exhausted after %d nodes", stats.NodesExplored)
+	}
+	if !found {
+		return nil, false, stats, nil
+	}
+	return result, true, stats, nil
+}
+
+// SemijoinGreedy is the polynomial-time approximation: each positive picks
+// the witness keeping the running intersection largest. It may miss a
+// consistent predicate the exact search finds (the ablation bench
+// quantifies how often).
+func SemijoinGreedy(u *Universe, examples []SemijoinExample) (PairSet, bool) {
+	var pos, neg []int
+	for _, e := range examples {
+		if e.Positive {
+			pos = append(pos, e.Left)
+		} else {
+			neg = append(neg, e.Left)
+		}
+	}
+	cand := u.Full()
+	for _, t := range pos {
+		var best PairSet
+		bestCount := -1
+		for j := 0; j < u.Right.Len(); j++ {
+			p := cand.Intersect(u.Agree(t, j))
+			if c := p.Count(); c > bestCount {
+				best, bestCount = p, c
+			}
+		}
+		if best == nil {
+			return nil, false // empty right relation
+		}
+		cand = best
+	}
+	for _, n := range neg {
+		for j := 0; j < u.Right.Len(); j++ {
+			if cand.SubsetOf(u.Agree(n, j)) {
+				return nil, false
+			}
+		}
+	}
+	return cand, true
+}
+
+// maximalSets keeps only the ⊆-maximal sets of the input.
+func maximalSets(sets []PairSet) []PairSet {
+	var out []PairSet
+	for i, s := range sets {
+		maximal := true
+		for j, t := range sets {
+			if i == j {
+				continue
+			}
+			if s.SubsetOf(t) && !t.SubsetOf(s) {
+				maximal = false
+				break
+			}
+			if s.Equal(t) && j < i {
+				maximal = false // dedupe: keep the first of equals
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	return out
+}

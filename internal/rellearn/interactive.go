@@ -1,0 +1,233 @@
+package rellearn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"querylearn/internal/relational"
+)
+
+// The interactive framework of §3: "our learning algorithms choose tuples
+// and then ask the user to label them as positive or negative examples.
+// After each label given by the user, our algorithms infer the tuples which
+// become uninformative w.r.t. the previously labeled tuples. The
+// interactive process stops when all the tuples in the instance either have
+// a label explicitly given by the user, or they have become uninformative.
+// [...] The goal is to minimize the number of interactions with the user."
+//
+// The version space of join predicates consistent with the answers so far
+// is represented by its unique most specific element Pmax (the intersection
+// of the positive agreement sets) and the collection of negative agreement
+// sets. A tuple pair t with agreement set A(t) is:
+//
+//   - certainly selected  iff A(t) ∩ Pmax = Pmax (every consistent P ⊆ Pmax ⊆ A(t));
+//   - certainly rejected  iff A(t) ∩ Pmax ⊆ A(n) ∩ Pmax for some negative n
+//     (every P ⊆ A(t) would also be ⊆ A(n), contradicting n's label);
+//   - informative otherwise.
+//
+// Only informative pairs are worth an interaction; the rest are pruned.
+
+// Oracle answers membership questions; the experiments use a hidden goal
+// predicate, the crowdsourcing layer wraps this with noisy paid workers.
+type Oracle interface {
+	// LabelPair reports whether the goal query selects the tuple pair.
+	LabelPair(li, ri int) bool
+}
+
+// GoalOracle is the standard simulation oracle: a hidden goal predicate.
+type GoalOracle struct {
+	U    *Universe
+	Goal PairSet
+}
+
+// LabelPair implements Oracle: the pair is selected iff Goal ⊆ Agree.
+func (o GoalOracle) LabelPair(li, ri int) bool {
+	return o.Goal.SubsetOf(o.U.Agree(li, ri))
+}
+
+// Strategy selects the next question among informative candidates.
+type Strategy interface {
+	// Pick returns the index (into cands) of the pair to ask next.
+	Pick(s *Session, cands []Candidate) int
+	Name() string
+}
+
+// Candidate is an unlabeled, informative tuple pair.
+type Candidate struct {
+	Left, Right int
+	Agree       PairSet // A(t) ∩ Pmax
+}
+
+// Session is the state of one interactive learning run.
+type Session struct {
+	U         *Universe
+	Pmax      PairSet
+	negatives []PairSet // A(n) ∩ Pmax, maximal only
+	labeled   map[[2]int]bool
+	// Stats
+	Questions     int
+	PrunedCertain int // pairs that became uninformative without being asked
+}
+
+// NewSession starts an interactive run over the universe's relations.
+func NewSession(u *Universe) *Session {
+	return &Session{U: u, Pmax: u.Full(), labeled: map[[2]int]bool{}}
+}
+
+// classify returns +1 (certainly selected), -1 (certainly rejected) or 0
+// (informative) for a tuple pair.
+func (s *Session) classify(li, ri int) int {
+	at := s.U.Agree(li, ri).Intersect(s.Pmax)
+	if at.Equal(s.Pmax) {
+		return +1
+	}
+	for _, n := range s.negatives {
+		if at.SubsetOf(n) {
+			return -1
+		}
+	}
+	return 0
+}
+
+// Candidates enumerates the informative unlabeled pairs.
+func (s *Session) Candidates() []Candidate {
+	var out []Candidate
+	for li := 0; li < s.U.Left.Len(); li++ {
+		for ri := 0; ri < s.U.Right.Len(); ri++ {
+			if s.labeled[[2]int{li, ri}] {
+				continue
+			}
+			if s.classify(li, ri) != 0 {
+				continue
+			}
+			out = append(out, Candidate{Left: li, Right: ri,
+				Agree: s.U.Agree(li, ri).Intersect(s.Pmax)})
+		}
+	}
+	return out
+}
+
+// Record applies a user answer to the version space.
+func (s *Session) Record(li, ri int, positive bool) error {
+	s.labeled[[2]int{li, ri}] = true
+	at := s.U.Agree(li, ri)
+	if positive {
+		s.Pmax = s.Pmax.Intersect(at)
+		// Re-project negative sets onto the new Pmax and check
+		// consistency.
+		var negs []PairSet
+		for _, n := range s.negatives {
+			pn := n.Intersect(s.Pmax)
+			if pn.Equal(s.Pmax) {
+				return fmt.Errorf("rellearn: answers are inconsistent (no join predicate fits)")
+			}
+			negs = append(negs, pn)
+		}
+		s.negatives = maximalSets(negs)
+		return nil
+	}
+	pn := at.Intersect(s.Pmax)
+	if pn.Equal(s.Pmax) {
+		return fmt.Errorf("rellearn: answers are inconsistent (no join predicate fits)")
+	}
+	s.negatives = maximalSets(append(s.negatives, pn))
+	return nil
+}
+
+// Result returns the most specific consistent predicate.
+func (s *Session) Result() PairSet { return s.Pmax.Clone() }
+
+// RunStats summarizes a completed interactive run.
+type RunStats struct {
+	Strategy      string
+	Questions     int
+	PrunedCertain int
+	TotalPairs    int
+	Learned       []relational.AttrPair
+}
+
+// Run drives the interactive loop until every pair is labeled or
+// uninformative, asking the oracle at each step and pruning in between.
+func Run(u *Universe, oracle Oracle, strat Strategy) (RunStats, error) {
+	s := NewSession(u)
+	total := u.Left.Len() * u.Right.Len()
+	for {
+		cands := s.Candidates()
+		if len(cands) == 0 {
+			break
+		}
+		pick := strat.Pick(s, cands)
+		if pick < 0 || pick >= len(cands) {
+			return RunStats{}, fmt.Errorf("rellearn: strategy %s picked out of range", strat.Name())
+		}
+		c := cands[pick]
+		ans := oracle.LabelPair(c.Left, c.Right)
+		s.Questions++
+		if err := s.Record(c.Left, c.Right, ans); err != nil {
+			return RunStats{}, err
+		}
+	}
+	s.PrunedCertain = total - s.Questions
+	return RunStats{
+		Strategy:      strat.Name(),
+		Questions:     s.Questions,
+		PrunedCertain: s.PrunedCertain,
+		TotalPairs:    total,
+		Learned:       u.Decode(s.Pmax),
+	}, nil
+}
+
+// RandomStrategy asks a uniformly random informative pair — the baseline
+// the paper's smart strategies are measured against.
+type RandomStrategy struct{ Rng *rand.Rand }
+
+// Pick implements Strategy.
+func (r RandomStrategy) Pick(_ *Session, cands []Candidate) int {
+	return r.Rng.Intn(len(cands))
+}
+
+// Name implements Strategy.
+func (RandomStrategy) Name() string { return "random" }
+
+// MaxAgreeStrategy asks the informative pair with the largest projected
+// agreement set: the maximal proper element of the candidate lattice, whose
+// answer either pins Pmax down by the smallest step (positive) or
+// eliminates the largest down-set (negative).
+type MaxAgreeStrategy struct{}
+
+// Pick implements Strategy.
+func (MaxAgreeStrategy) Pick(_ *Session, cands []Candidate) int {
+	best, bestCount := 0, -1
+	for i, c := range cands {
+		if n := c.Agree.Count(); n > bestCount {
+			best, bestCount = i, n
+		}
+	}
+	return best
+}
+
+// Name implements Strategy.
+func (MaxAgreeStrategy) Name() string { return "max-agree" }
+
+// HalfSplitStrategy asks the pair whose projected agreement set is nearest
+// to half of Pmax — a binary-search flavour over the predicate lattice.
+type HalfSplitStrategy struct{}
+
+// Pick implements Strategy.
+func (HalfSplitStrategy) Pick(s *Session, cands []Candidate) int {
+	target := s.Pmax.Count() / 2
+	best, bestDist := 0, 1<<30
+	for i, c := range cands {
+		d := c.Agree.Count() - target
+		if d < 0 {
+			d = -d
+		}
+		if d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
+}
+
+// Name implements Strategy.
+func (HalfSplitStrategy) Name() string { return "half-split" }

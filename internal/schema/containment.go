@@ -1,0 +1,193 @@
+package schema
+
+// PTIME containment of disjunctive multiplicity expressions and schemas —
+// the paper's headline static-analysis result ("a technical contribution is
+// the polynomial algorithm for testing containment of two disjunctive
+// multiplicity schemas", §2).
+//
+// The algorithm exploits the single-occurrence restriction: within an
+// expression each label belongs to at most one disjunct, so the bag
+// languages of the disjuncts of the right-hand expression have pairwise
+// disjoint supports. Containment of a left disjunct C in the union then
+// collapses to a case analysis:
+//
+//   - every label of C must be "owned" by one and the same right disjunct D
+//     (a bag using labels owned by two different disjuncts is never
+//     accepted, and both-nonzero bags exist because every normalized
+//     multiplicity admits a count >= 1);
+//   - the non-empty bags of C must fit D dimension-wise;
+//   - the empty bag, when C admits it, may be accepted by any right
+//     disjunct that allows emptiness.
+//
+// ExprContainedBrute is the exponential reference oracle used by property
+// tests: counts in {0,1,2} per label are exhaustive for multiplicity
+// intervals, whose endpoints only distinguish 0, 1, and "at least 2".
+
+// ExprContained reports whether every bag satisfying e satisfies f, in time
+// polynomial in the sizes of the expressions.
+func ExprContained(e, f Expr) bool {
+	owner := map[string]int{} // label -> index of the f-disjunct owning it
+	for j, d := range f.Disjuncts {
+		for l := range d {
+			owner[l] = j
+		}
+	}
+	fEmpty := f.AllowsEmpty()
+	for _, c := range e.Disjuncts {
+		if !disjunctContained(c, f, owner, fEmpty) {
+			return false
+		}
+	}
+	return true
+}
+
+func disjunctContained(c Disjunct, f Expr, owner map[string]int, fEmpty bool) bool {
+	// Empty clause: only the empty bag.
+	if len(c) == 0 {
+		return fEmpty
+	}
+	// All labels of c must share one owner disjunct in f.
+	j := -1
+	for l := range c {
+		oj, ok := owner[l]
+		if !ok {
+			return false // a bag with l >= 1 exists and is never accepted
+		}
+		if j == -1 {
+			j = oj
+		} else if j != oj {
+			// Two labels with distinct owners: the bag giving both
+			// a count of 1 is accepted by no disjunct of f.
+			return false
+		}
+	}
+	d := f.Disjuncts[j]
+	// Labels of d absent from c are always zero in c's bags: d must allow
+	// zero for them.
+	for l, m := range d {
+		if _, ok := c[l]; !ok && m.Min() > 0 {
+			return false
+		}
+	}
+	if len(c) >= 2 {
+		// Any combination of per-label counts occurs in a non-empty
+		// bag (each label independently reaches >= 1), so full
+		// interval containment is required per dimension. The empty
+		// bag, when allowed by c, is then also covered by d because
+		// every interval of d contains 0.
+		for l, m := range c {
+			if !d[l].Subsumes(m) {
+				return false
+			}
+		}
+		return true
+	}
+	// Single-label clause c = {l: m}: non-empty bags have count >= 1 and
+	// must fit d; the empty bag (when m allows 0) may go to any disjunct.
+	for l, m := range c { // exactly one iteration
+		upper := FromInterval(maxInt(1, m.Min()), m.Max())
+		if !d[l].Subsumes(upper) {
+			return false
+		}
+		if m.Min() == 0 && !fEmpty {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ExprContainedBrute decides containment by enumerating all bags with
+// per-label counts in {0,1,2} over the union of the two alphabets. It is
+// exponential in the alphabet size and exists as the correctness oracle for
+// ExprContained and as the ablation baseline in the T4 benchmarks.
+func ExprContainedBrute(e, f Expr) bool {
+	labelSet := map[string]struct{}{}
+	for _, l := range e.Labels() {
+		labelSet[l] = struct{}{}
+	}
+	for _, l := range f.Labels() {
+		labelSet[l] = struct{}{}
+	}
+	labels := make([]string, 0, len(labelSet))
+	for l := range labelSet {
+		labels = append(labels, l)
+	}
+	bag := map[string]int{}
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(labels) {
+			if e.Satisfies(bag) && !f.Satisfies(bag) {
+				return false
+			}
+			return true
+		}
+		for v := 0; v <= 2; v++ {
+			bag[labels[i]] = v
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		bag[labels[i]] = 0
+		return true
+	}
+	return rec(0)
+}
+
+// Contained reports whether every document valid under s1 is valid under
+// s2. The test restricts attention to labels that actually occur in valid
+// s1-documents (reachable and productive) and compares, for each such
+// label, the realizable fragment of s1's rule against s2's rule with
+// ExprContained. It runs in polynomial time.
+func Contained(s1, s2 *Schema) bool {
+	if s1.Empty() {
+		return true
+	}
+	if s1.Root != s2.Root {
+		return false
+	}
+	prod := s1.Productive()
+	for l := range s1.Reachable() {
+		e1 := restrictRealizable(s1.RuleFor(l), prod)
+		if !ExprContained(e1, s2.RuleFor(l)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports mutual containment of two schemas.
+func Equivalent(s1, s2 *Schema) bool { return Contained(s1, s2) && Contained(s2, s1) }
+
+// restrictRealizable rewrites a rule to the bags realizable with productive
+// subtrees: disjuncts requiring a non-productive label are dropped, and
+// optional non-productive labels are pinned to zero.
+func restrictRealizable(e Expr, prod map[string]bool) Expr {
+	out := Expr{}
+	for _, d := range e.Disjuncts {
+		nd := Disjunct{}
+		ok := true
+		for l, m := range d {
+			if prod[l] {
+				nd[l] = m
+				continue
+			}
+			if m.Min() >= 1 {
+				ok = false
+				break
+			}
+			// optional non-productive label: realizable bags have
+			// count zero; drop the label.
+		}
+		if ok {
+			out.Disjuncts = append(out.Disjuncts, nd)
+		}
+	}
+	return out
+}

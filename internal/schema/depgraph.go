@@ -1,0 +1,289 @@
+package schema
+
+// Dependency graphs and the PTIME decision procedures the paper builds on
+// them (§2): twig-query satisfiability and query implication in the
+// presence of multiplicity schemas. "For disjunction-free multiplicity
+// schemas, we have reduced query satisfiability and query implication to
+// testing embedding from the query to some dependency graphs, so we can
+// decide them in PTIME."
+//
+// Both procedures are exact for disjunction-free schemas. For disjunctive
+// schemas, Satisfiable may over-approximate (report satisfiable for a query
+// whose filters can only be met by different disjuncts of a shared
+// bounded-multiplicity parent) and Implied under-approximates by requiring
+// a child in every realizable disjunct; both directions remain sound for
+// the uses in the learner (a filter is only pruned when provably implied).
+
+import (
+	"querylearn/internal/twig"
+)
+
+// DepGraph is the dependency graph of a schema restricted to labels that
+// occur in valid documents. Edges carry the multiplicity constraints needed
+// by the satisfiability and implication tests.
+type DepGraph struct {
+	schema *Schema
+	// prod and reach restrict the graph to meaningful labels.
+	prod, reach map[string]bool
+	// possible[a] lists, per realizable disjunct of a's rule, the child
+	// labels usable with count >= 1.
+	possible map[string][][]string
+	// certain[a] is the set of labels required (min >= 1) in every
+	// realizable disjunct of a's rule: children every a-node must have.
+	certain map[string][]string
+	// descReach[a] is the set of labels reachable from a by >= 1
+	// possible-edges (proper descendants achievable below an a-node).
+	descReach map[string]map[string]bool
+	// certReach[a] is the set of labels reachable by >= 1 certain edges.
+	certReach map[string]map[string]bool
+}
+
+// NewDepGraph builds the dependency graph of s.
+func NewDepGraph(s *Schema) *DepGraph {
+	g := &DepGraph{
+		schema:   s,
+		prod:     s.Productive(),
+		reach:    s.Reachable(),
+		possible: map[string][][]string{},
+		certain:  map[string][]string{},
+	}
+	for _, a := range s.Labels() {
+		if !g.reach[a] {
+			continue
+		}
+		var perDisjunct [][]string
+		var certainSet map[string]bool
+		for _, d := range s.RuleFor(a).Disjuncts {
+			realizable := true
+			for l, m := range d {
+				if m.Min() >= 1 && !g.prod[l] {
+					realizable = false
+					break
+				}
+			}
+			if !realizable {
+				continue
+			}
+			var usable []string
+			req := map[string]bool{}
+			for l, m := range d {
+				if m.Max() >= 1 && g.prod[l] {
+					usable = append(usable, l)
+				}
+				if m.Min() >= 1 {
+					req[l] = true
+				}
+			}
+			perDisjunct = append(perDisjunct, usable)
+			if certainSet == nil {
+				certainSet = req
+			} else {
+				for l := range certainSet {
+					if !req[l] {
+						delete(certainSet, l)
+					}
+				}
+			}
+		}
+		g.possible[a] = perDisjunct
+		for l := range certainSet {
+			g.certain[a] = append(g.certain[a], l)
+		}
+	}
+	g.descReach = closure(edgeUnion(g.possible))
+	certEdges := map[string][]string{}
+	for a, ls := range g.certain {
+		certEdges[a] = ls
+	}
+	g.certReach = closure(certEdges)
+	return g
+}
+
+// edgeUnion flattens per-disjunct edges into a single adjacency list.
+func edgeUnion(per map[string][][]string) map[string][]string {
+	out := map[string][]string{}
+	for a, groups := range per {
+		seen := map[string]bool{}
+		for _, g := range groups {
+			for _, b := range g {
+				if !seen[b] {
+					seen[b] = true
+					out[a] = append(out[a], b)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// closure computes, for each node, the set of nodes reachable by >= 1 edges.
+func closure(edges map[string][]string) map[string]map[string]bool {
+	nodes := map[string]bool{}
+	for a, bs := range edges {
+		nodes[a] = true
+		for _, b := range bs {
+			nodes[b] = true
+		}
+	}
+	out := map[string]map[string]bool{}
+	for a := range nodes {
+		set := map[string]bool{}
+		stack := append([]string(nil), edges[a]...)
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if set[b] {
+				continue
+			}
+			set[b] = true
+			stack = append(stack, edges[b]...)
+		}
+		out[a] = set
+	}
+	return out
+}
+
+// Satisfiable reports whether some document valid under the schema has a
+// node selected by q. Exact for disjunction-free schemas (the paper's
+// class); for disjunctive schemas it may over-approximate, never missing a
+// satisfiable query.
+func Satisfiable(q twig.Query, s *Schema) bool {
+	if err := q.Validate(); err != nil {
+		return false
+	}
+	g := NewDepGraph(s)
+	if !g.reach[s.Root] {
+		return false // empty schema
+	}
+	memo := map[satKey]int{}
+	if q.Root.Axis == twig.Child {
+		return g.sat(q.Root, s.Root, memo)
+	}
+	for a := range g.reach {
+		if g.sat(q.Root, a, memo) {
+			return true
+		}
+	}
+	return false
+}
+
+type satKey struct {
+	qn    *twig.Node
+	label string
+}
+
+// sat reports whether the pattern subtree at qn can embed at a node labeled
+// a in some valid document.
+func (g *DepGraph) sat(qn *twig.Node, a string, memo map[satKey]int) bool {
+	if qn.Label != twig.Wildcard && qn.Label != a {
+		return false
+	}
+	if !g.reach[a] {
+		return false
+	}
+	key := satKey{qn, a}
+	if v := memo[key]; v != 0 {
+		return v == 1
+	}
+	memo[key] = 2 // pessimistic while in progress (queries are trees: no real cycles over qn)
+	res := false
+	for _, usable := range g.possible[a] {
+		all := true
+		for _, qc := range qn.Children {
+			ok := false
+			for _, b := range usable {
+				if qc.Axis == twig.Child {
+					if g.sat(qc, b, memo) {
+						ok = true
+						break
+					}
+				} else {
+					if g.satBelowOrAt(qc, b, memo) {
+						ok = true
+						break
+					}
+				}
+			}
+			if !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			res = true
+			break
+		}
+	}
+	if len(qn.Children) == 0 {
+		res = true
+	}
+	if res {
+		memo[key] = 1
+	} else {
+		memo[key] = 2
+	}
+	return res
+}
+
+// satBelowOrAt reports whether qc can embed at b or at some label reachable
+// from b.
+func (g *DepGraph) satBelowOrAt(qc *twig.Node, b string, memo map[satKey]int) bool {
+	if g.sat(qc, b, memo) {
+		return true
+	}
+	for c := range g.descReach[b] {
+		if g.sat(qc, c, memo) {
+			return true
+		}
+	}
+	return false
+}
+
+// Implied reports whether the schema guarantees that every node labeled
+// label in every valid document satisfies the filter branch (a pattern
+// subtree whose Axis relates it to the label-node). This is the test the
+// optimized learner uses to drop schema-implied filters. Exact for
+// disjunction-free schemas; conservative (may answer false) otherwise.
+func Implied(branch *twig.Node, label string, s *Schema) bool {
+	g := NewDepGraph(s)
+	if !g.reach[label] {
+		return true // vacuous: no such node occurs
+	}
+	return g.implied(branch, label)
+}
+
+// ImpliedWith is Implied against a prebuilt dependency graph, for callers
+// that test many filters against one schema.
+func (g *DepGraph) ImpliedWith(branch *twig.Node, label string) bool {
+	if !g.reach[label] {
+		return true
+	}
+	return g.implied(branch, label)
+}
+
+func (g *DepGraph) implied(branch *twig.Node, a string) bool {
+	var cands []string
+	if branch.Axis == twig.Child {
+		cands = g.certain[a]
+	} else {
+		for b := range g.certReach[a] {
+			cands = append(cands, b)
+		}
+	}
+	for _, b := range cands {
+		if branch.Label != twig.Wildcard && branch.Label != b {
+			continue
+		}
+		all := true
+		for _, bc := range branch.Children {
+			if !g.implied(bc, b) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,478 @@
+package schema
+
+// Classical DTDs with general regular-expression content models — the
+// complexity baseline the paper contrasts against: "DTD containment is in
+// PTIME when only 1-unambiguous regular expressions are allowed,
+// PSPACE-complete for general regular expressions, and coNP-hard in the
+// case of disjunction-free DTDs" (§2, citing Martens, Neven & Schwentick).
+// We implement general-RE containment by Thompson construction and on-the-
+// fly determinization of the right-hand automaton, which is exponential in
+// the worst case; the T4 benchmark exhibits the gap against the PTIME DMS
+// containment.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"querylearn/internal/xmltree"
+)
+
+// Regex is a regular expression over element labels: the content model of a
+// DTD rule. Ordered semantics: it constrains the label sequence of the
+// children left to right.
+type Regex struct {
+	op    regexOp
+	label string   // for reLabel
+	subs  []*Regex // operands
+}
+
+type regexOp int
+
+const (
+	reEpsilon regexOp = iota
+	reLabel
+	reConcat
+	reUnion
+	reStar
+	rePlus
+	reOpt
+)
+
+// ReEpsilon returns the empty-sequence regex.
+func ReEpsilon() *Regex { return &Regex{op: reEpsilon} }
+
+// ReLabel returns a single-label regex.
+func ReLabel(l string) *Regex { return &Regex{op: reLabel, label: l} }
+
+// ReConcat concatenates regexes.
+func ReConcat(rs ...*Regex) *Regex { return &Regex{op: reConcat, subs: rs} }
+
+// ReUnion unions regexes.
+func ReUnion(rs ...*Regex) *Regex { return &Regex{op: reUnion, subs: rs} }
+
+// ReStar is Kleene closure.
+func ReStar(r *Regex) *Regex { return &Regex{op: reStar, subs: []*Regex{r}} }
+
+// RePlus is one-or-more.
+func RePlus(r *Regex) *Regex { return &Regex{op: rePlus, subs: []*Regex{r}} }
+
+// ReOpt is zero-or-one.
+func ReOpt(r *Regex) *Regex { return &Regex{op: reOpt, subs: []*Regex{r}} }
+
+func (r *Regex) String() string {
+	switch r.op {
+	case reEpsilon:
+		return "()"
+	case reLabel:
+		return r.label
+	case reConcat:
+		parts := make([]string, len(r.subs))
+		for i, s := range r.subs {
+			parts[i] = s.String()
+		}
+		return "(" + strings.Join(parts, ",") + ")"
+	case reUnion:
+		parts := make([]string, len(r.subs))
+		for i, s := range r.subs {
+			parts[i] = s.String()
+		}
+		return "(" + strings.Join(parts, "|") + ")"
+	case reStar:
+		return r.subs[0].String() + "*"
+	case rePlus:
+		return r.subs[0].String() + "+"
+	case reOpt:
+		return r.subs[0].String() + "?"
+	}
+	return "?"
+}
+
+// ParseRegex parses DTD content-model syntax: labels, `,` concatenation,
+// `|` union, `*` `+` `?` postfix operators, parentheses, and `()` or
+// `EMPTY` for epsilon.
+func ParseRegex(s string) (*Regex, error) {
+	p := &reParser{src: strings.ReplaceAll(s, " ", "")}
+	if p.src == "EMPTY" || p.src == "" {
+		return ReEpsilon(), nil
+	}
+	r, err := p.union()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("schema: trailing regex input %q", p.src[p.pos:])
+	}
+	return r, nil
+}
+
+// MustParseRegex panics on parse error, for fixtures.
+func MustParseRegex(s string) *Regex {
+	r, err := ParseRegex(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+type reParser struct {
+	src string
+	pos int
+}
+
+func (p *reParser) union() (*Regex, error) {
+	first, err := p.concat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Regex{first}
+	for p.pos < len(p.src) && p.src[p.pos] == '|' {
+		p.pos++
+		next, err := p.concat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return ReUnion(subs...), nil
+}
+
+func (p *reParser) concat() (*Regex, error) {
+	first, err := p.postfix()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*Regex{first}
+	for p.pos < len(p.src) && p.src[p.pos] == ',' {
+		p.pos++
+		next, err := p.postfix()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, next)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return ReConcat(subs...), nil
+}
+
+func (p *reParser) postfix() (*Regex, error) {
+	base, err := p.atom()
+	if err != nil {
+		return nil, err
+	}
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case '*':
+			base = ReStar(base)
+			p.pos++
+		case '+':
+			base = RePlus(base)
+			p.pos++
+		case '?':
+			base = ReOpt(base)
+			p.pos++
+		default:
+			return base, nil
+		}
+	}
+	return base, nil
+}
+
+func (p *reParser) atom() (*Regex, error) {
+	if p.pos >= len(p.src) {
+		return nil, fmt.Errorf("schema: unexpected end of regex")
+	}
+	if p.src[p.pos] == '(' {
+		p.pos++
+		if p.pos < len(p.src) && p.src[p.pos] == ')' {
+			p.pos++
+			return ReEpsilon(), nil
+		}
+		r, err := p.union()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return nil, fmt.Errorf("schema: missing ')' at %d", p.pos)
+		}
+		p.pos++
+		return r, nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) && !strings.ContainsRune("(),|*+?", rune(p.src[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return nil, fmt.Errorf("schema: expected label at %d in %q", p.pos, p.src)
+	}
+	return ReLabel(p.src[start:p.pos]), nil
+}
+
+// nfa is a Thompson automaton with epsilon transitions.
+type nfa struct {
+	start, accept int
+	eps           map[int][]int
+	trans         map[int]map[string][]int
+	states        int
+}
+
+func newNFA() *nfa {
+	return &nfa{eps: map[int][]int{}, trans: map[int]map[string][]int{}}
+}
+
+func (a *nfa) newState() int {
+	s := a.states
+	a.states++
+	return s
+}
+
+func (a *nfa) addEps(from, to int) { a.eps[from] = append(a.eps[from], to) }
+
+func (a *nfa) addTrans(from int, label string, to int) {
+	if a.trans[from] == nil {
+		a.trans[from] = map[string][]int{}
+	}
+	a.trans[from][label] = append(a.trans[from][label], to)
+}
+
+// compile builds the Thompson NFA fragment for r, returning (start, accept).
+func (a *nfa) compile(r *Regex) (int, int) {
+	switch r.op {
+	case reEpsilon:
+		s, t := a.newState(), a.newState()
+		a.addEps(s, t)
+		return s, t
+	case reLabel:
+		s, t := a.newState(), a.newState()
+		a.addTrans(s, r.label, t)
+		return s, t
+	case reConcat:
+		s, t := a.compile(r.subs[0])
+		for _, sub := range r.subs[1:] {
+			s2, t2 := a.compile(sub)
+			a.addEps(t, s2)
+			t = t2
+		}
+		return s, t
+	case reUnion:
+		s, t := a.newState(), a.newState()
+		for _, sub := range r.subs {
+			si, ti := a.compile(sub)
+			a.addEps(s, si)
+			a.addEps(ti, t)
+		}
+		return s, t
+	case reStar:
+		si, ti := a.compile(r.subs[0])
+		s, t := a.newState(), a.newState()
+		a.addEps(s, si)
+		a.addEps(s, t)
+		a.addEps(ti, si)
+		a.addEps(ti, t)
+		return s, t
+	case rePlus:
+		si, ti := a.compile(r.subs[0])
+		s, t := a.newState(), a.newState()
+		a.addEps(s, si)
+		a.addEps(ti, si)
+		a.addEps(ti, t)
+		return s, t
+	case reOpt:
+		si, ti := a.compile(r.subs[0])
+		s, t := a.newState(), a.newState()
+		a.addEps(s, si)
+		a.addEps(s, t)
+		a.addEps(ti, t)
+		return s, t
+	}
+	panic("schema: bad regex op")
+}
+
+func compileNFA(r *Regex) *nfa {
+	a := newNFA()
+	s, t := a.compile(r)
+	a.start, a.accept = s, t
+	return a
+}
+
+func (a *nfa) closureOf(set map[int]bool) map[int]bool {
+	stack := make([]int, 0, len(set))
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range a.eps[s] {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return set
+}
+
+// MatchRegex reports whether the label sequence is in L(r).
+func MatchRegex(r *Regex, word []string) bool {
+	a := compileNFA(r)
+	cur := a.closureOf(map[int]bool{a.start: true})
+	for _, l := range word {
+		next := map[int]bool{}
+		for s := range cur {
+			for _, t := range a.trans[s][l] {
+				next[t] = true
+			}
+		}
+		cur = a.closureOf(next)
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	return cur[a.accept]
+}
+
+// RegexContained reports L(r1) ⊆ L(r2) by exploring the product of r1's NFA
+// with the determinization of r2's NFA — exponential in |r2| in the worst
+// case, the behaviour the paper contrasts with PTIME DMS containment.
+func RegexContained(r1, r2 *Regex) bool {
+	a1, a2 := compileNFA(r1), compileNFA(r2)
+	alphabet := map[string]bool{}
+	for _, a := range []*nfa{a1, a2} {
+		for _, m := range a.trans {
+			for l := range m {
+				alphabet[l] = true
+			}
+		}
+	}
+	labels := make([]string, 0, len(alphabet))
+	for l := range alphabet {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+
+	type cfg struct {
+		s1  int
+		set string // canonical key of the subset of a2 states
+	}
+	start2 := a2.closureOf(map[int]bool{a2.start: true})
+	visited := map[cfg]bool{}
+	type item struct {
+		s1  int
+		set map[int]bool
+	}
+	stack := []item{}
+	for s1 := range a1.closureOf(map[int]bool{a1.start: true}) {
+		stack = append(stack, item{s1, start2})
+	}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := cfg{it.s1, setKey(it.set)}
+		if visited[c] {
+			continue
+		}
+		visited[c] = true
+		if it.s1 == a1.accept && !it.set[a2.accept] {
+			return false // a word accepted by r1, rejected by r2
+		}
+		for _, l := range labels {
+			for _, t1 := range a1.trans[it.s1][l] {
+				next2 := map[int]bool{}
+				for s := range it.set {
+					for _, t := range a2.trans[s][l] {
+						next2[t] = true
+					}
+				}
+				next2 = a2.closureOf(next2)
+				for e1 := range a1.closureOf(map[int]bool{t1: true}) {
+					stack = append(stack, item{e1, next2})
+				}
+			}
+		}
+	}
+	return true
+}
+
+func setKey(set map[int]bool) string {
+	ids := make([]int, 0, len(set))
+	for s := range set {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+// DTD is a classical document type definition: a root label and an ordered
+// regular-expression content model per label. Labels without a rule must be
+// leaves.
+type DTD struct {
+	Root  string
+	Rules map[string]*Regex
+}
+
+// NewDTD returns an empty DTD with the given root.
+func NewDTD(root string) *DTD { return &DTD{Root: root, Rules: map[string]*Regex{}} }
+
+// RuleFor returns the content model for a label (epsilon when absent).
+func (d *DTD) RuleFor(label string) *Regex {
+	if r, ok := d.Rules[label]; ok {
+		return r
+	}
+	return ReEpsilon()
+}
+
+// Valid reports whether doc conforms to the DTD under ordered semantics.
+func (d *DTD) Valid(doc *xmltree.Node) bool {
+	if doc == nil || doc.Label != d.Root {
+		return false
+	}
+	ok := true
+	doc.Walk(func(n *xmltree.Node) bool {
+		word := make([]string, len(n.Children))
+		for i, c := range n.Children {
+			word[i] = c.Label
+		}
+		if !MatchRegex(d.RuleFor(n.Label), word) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// DTDContained reports containment of two DTDs by per-label regex
+// containment over the labels of d1 (a sound test, exact when all of d1's
+// labels are reachable and productive, which holds for the generated
+// workloads in the benchmarks). Cost is dominated by the exponential
+// RegexContained.
+func DTDContained(d1, d2 *DTD) bool {
+	if d1.Root != d2.Root {
+		return false
+	}
+	for l, r := range d1.Rules {
+		if !RegexContained(r, d2.RuleFor(l)) {
+			return false
+		}
+	}
+	// Labels ruled in neither DTD are leaves on both sides; labels ruled
+	// only in d2 are leaves in d1 and epsilon ⊆ anything nullable.
+	for l, r := range d2.Rules {
+		if _, ok := d1.Rules[l]; !ok {
+			if !MatchRegex(r, nil) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,221 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/xmltree"
+)
+
+func TestParseRegexAndString(t *testing.T) {
+	cases := []string{"a", "(a,b)", "(a|b)", "a*", "(a,b)+", "(a|b)?", "()"}
+	for _, c := range cases {
+		r, err := ParseRegex(c)
+		if err != nil {
+			t.Fatalf("ParseRegex(%q): %v", c, err)
+		}
+		// Round trip through String.
+		r2, err := ParseRegex(r.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", r.String(), err)
+		}
+		_ = r2
+	}
+	for _, bad := range []string{"(a", "a)", "a,,b", "|a", "a|"} {
+		if _, err := ParseRegex(bad); err == nil {
+			t.Errorf("ParseRegex(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMatchRegex(t *testing.T) {
+	cases := []struct {
+		re   string
+		word string // comma-separated labels; "" = empty
+		want bool
+	}{
+		{"a", "a", true},
+		{"a", "", false},
+		{"a*", "", true},
+		{"a*", "a,a,a", true},
+		{"a+", "", false},
+		{"a+", "a", true},
+		{"a?", "a", true},
+		{"a?", "a,a", false},
+		{"(a,b)", "a,b", true},
+		{"(a,b)", "b,a", false}, // ordered!
+		{"(a|b)", "b", true},
+		{"(a|b)*", "a,b,b,a", true},
+		{"(a,b)+", "a,b,a,b", true},
+		{"(a,b)+", "a,b,a", false},
+		{"EMPTY", "", true},
+		{"EMPTY", "a", false},
+		{"(a,(b|c)*,d)", "a,b,c,b,d", true},
+		{"(a,(b|c)*,d)", "a,d", true},
+		{"(a,(b|c)*,d)", "b,d", false},
+	}
+	for _, c := range cases {
+		var word []string
+		if c.word != "" {
+			word = strings.Split(c.word, ",")
+		}
+		if got := MatchRegex(MustParseRegex(c.re), word); got != c.want {
+			t.Errorf("MatchRegex(%s, %v) = %v, want %v", c.re, word, got, c.want)
+		}
+	}
+}
+
+func TestRegexContained(t *testing.T) {
+	cases := []struct {
+		r1, r2 string
+		want   bool
+	}{
+		{"a", "a?", true},
+		{"a?", "a", false},
+		{"a+", "a*", true},
+		{"a*", "a+", false},
+		{"(a,b)", "(a,b?)", true},
+		{"(a|b)", "(a|b|c)", true},
+		{"(a|b|c)", "(a|b)", false},
+		{"(a,b)+", "(a,(b,a)*,b)", true}, // (ab)+ == a(ba)*b
+		{"(a,(b,a)*,b)", "(a,b)+", true},
+		{"(a,a)*", "a*", true},
+		{"a*", "(a,a)*", false}, // odd counts
+	}
+	for _, c := range cases {
+		if got := RegexContained(MustParseRegex(c.r1), MustParseRegex(c.r2)); got != c.want {
+			t.Errorf("RegexContained(%s, %s) = %v, want %v", c.r1, c.r2, got, c.want)
+		}
+	}
+}
+
+// genWord generates a deterministic word over {a,b} from a seed.
+func genWord(seed int64, maxLen int) []string {
+	if seed < 0 {
+		seed = -seed
+	}
+	n := int(seed % int64(maxLen+1))
+	w := make([]string, n)
+	for i := range w {
+		seed = seed*1103515245 + 12345
+		if (seed>>16)&1 == 0 {
+			w[i] = "a"
+		} else {
+			w[i] = "b"
+		}
+	}
+	return w
+}
+
+// genRegex builds a small random regex over {a,b}.
+func genRegex(seed int64, depth int) *Regex {
+	if seed < 0 {
+		seed = -seed
+	}
+	if depth <= 0 || seed%7 < 2 {
+		if seed%2 == 0 {
+			return ReLabel("a")
+		}
+		return ReLabel("b")
+	}
+	switch seed % 5 {
+	case 0:
+		return ReConcat(genRegex(seed/3, depth-1), genRegex(seed/5, depth-1))
+	case 1:
+		return ReUnion(genRegex(seed/3, depth-1), genRegex(seed/5, depth-1))
+	case 2:
+		return ReStar(genRegex(seed/3, depth-1))
+	case 3:
+		return RePlus(genRegex(seed/3, depth-1))
+	default:
+		return ReOpt(genRegex(seed/3, depth-1))
+	}
+}
+
+func TestQuickRegexContainmentSoundOnWords(t *testing.T) {
+	f := func(s1, s2, ws int64) bool {
+		r1, r2 := genRegex(s1, 3), genRegex(s2, 3)
+		if !RegexContained(r1, r2) {
+			return true
+		}
+		w := genWord(ws, 6)
+		if MatchRegex(r1, w) && !MatchRegex(r2, w) {
+			t.Logf("r1=%s r2=%s w=%v", r1, r2, w)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRegexContainmentCompleteOnWitness(t *testing.T) {
+	// If a sampled word is in L(r1)\L(r2), containment must be false.
+	f := func(s1, s2, ws int64) bool {
+		r1, r2 := genRegex(s1, 3), genRegex(s2, 3)
+		w := genWord(ws, 6)
+		if MatchRegex(r1, w) && !MatchRegex(r2, w) {
+			return !RegexContained(r1, r2)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTDValid(t *testing.T) {
+	d := NewDTD("site")
+	d.Rules["site"] = MustParseRegex("(people,items)")
+	d.Rules["people"] = MustParseRegex("person*")
+	d.Rules["person"] = MustParseRegex("name")
+	ok := xmltree.MustParse(`<site><people><person><name/></person></people><items/></site>`)
+	if !d.Valid(ok) {
+		t.Errorf("valid doc rejected")
+	}
+	// DTDs are ordered: swapped children invalid.
+	bad := xmltree.MustParse(`<site><items/><people/></site>`)
+	if d.Valid(bad) {
+		t.Errorf("ordered DTD must reject swapped children")
+	}
+}
+
+func TestDTDContained(t *testing.T) {
+	d1 := NewDTD("r")
+	d1.Rules["r"] = MustParseRegex("(a,b)")
+	d2 := NewDTD("r")
+	d2.Rules["r"] = MustParseRegex("(a,b?)")
+	if !DTDContained(d1, d2) {
+		t.Errorf("d1 should be contained in d2")
+	}
+	if DTDContained(d2, d1) {
+		t.Errorf("d2 not contained in d1")
+	}
+	d3 := NewDTD("x")
+	if DTDContained(d1, d3) {
+		t.Errorf("different roots")
+	}
+}
+
+func TestDMSCapturesOrderedDTDUnorderedly(t *testing.T) {
+	// The paper: "the disjunctive multiplicity schema can express the DTD
+	// from XMark" — spot-check the translation on a fragment: content
+	// model (a,b*,c?) corresponds to a || b* || c?.
+	dms := NewSchema("r")
+	dms.SetRule("r", MustExpr(Disjunct{"a": M1, "b": MStar, "c": MOpt}))
+	dtd := NewDTD("r")
+	dtd.Rules["r"] = MustParseRegex("(a,b*,c?)")
+	doc := xmltree.MustParse(`<r><a/><b/><b/><c/></r>`)
+	if !dms.Valid(doc) || !dtd.Valid(doc) {
+		t.Errorf("both should accept the ordered doc")
+	}
+	shuffled := xmltree.MustParse(`<r><c/><b/><a/><b/></r>`)
+	if !dms.Valid(shuffled) {
+		t.Errorf("DMS must accept any order")
+	}
+	if dtd.Valid(shuffled) {
+		t.Errorf("DTD rejects wrong order (expected)")
+	}
+}

@@ -1,0 +1,86 @@
+package schema
+
+import (
+	"math/rand"
+	"sort"
+
+	"querylearn/internal/xmltree"
+)
+
+// Generate samples a random valid document from the schema, or nil when the
+// schema is empty. Each node picks a realizable disjunct of its label's rule
+// uniformly at random and instantiates every label of the disjunct with a
+// count inside its multiplicity interval (unbounded intervals are capped at
+// min+2). Depth is soft-bounded: beyond maxDepth the generator prefers
+// disjuncts and counts that minimize further expansion, falling back to the
+// minimal valid completion, so documents are always valid.
+func (s *Schema) Generate(rng *rand.Rand, maxDepth int) *xmltree.Node {
+	prod := s.Productive()
+	if !prod[s.Root] {
+		return nil
+	}
+	var build func(label string, depth int) *xmltree.Node
+	build = func(label string, depth int) *xmltree.Node {
+		n := xmltree.New(label)
+		e := s.RuleFor(label)
+		var realizable []Disjunct
+		for _, d := range e.Disjuncts {
+			ok := true
+			for cl, m := range d {
+				if m.Min() >= 1 && !prod[cl] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				realizable = append(realizable, d)
+			}
+		}
+		if len(realizable) == 0 {
+			return n
+		}
+		var d Disjunct
+		if depth >= maxDepth {
+			// Prefer the disjunct with the fewest required children.
+			best, bestReq := 0, int(^uint(0)>>1)
+			for i, cand := range realizable {
+				req := 0
+				for _, m := range cand {
+					req += m.Min()
+				}
+				if req < bestReq {
+					best, bestReq = i, req
+				}
+			}
+			d = realizable[best]
+		} else {
+			d = realizable[rng.Intn(len(realizable))]
+		}
+		labels := make([]string, 0, len(d))
+		for cl := range d {
+			labels = append(labels, cl)
+		}
+		sort.Strings(labels)
+		for _, cl := range labels {
+			m := d[cl]
+			count := m.Min()
+			if depth < maxDepth && prod[cl] {
+				span := 2
+				if m.Max() != Unbounded {
+					span = m.Max() - m.Min()
+				}
+				if span > 0 {
+					count = m.Min() + rng.Intn(span+1)
+				}
+			}
+			if !prod[cl] {
+				count = 0
+			}
+			for i := 0; i < count; i++ {
+				n.Add(build(cl, depth+1))
+			}
+		}
+		return n
+	}
+	return build(s.Root, 0)
+}

@@ -1,0 +1,122 @@
+// Package schema implements the unordered-XML schema formalisms studied in
+// the paper: disjunction-free multiplicity schemas (DMS⁻) and disjunctive
+// multiplicity schemas (DMS) of Boneva, Ciucanu & Staworko, together with
+// document validation, the PTIME containment test for DMS, dependency-graph
+// based query satisfiability and implication, and — as the complexity
+// baseline — classical DTDs with general regular expressions whose
+// containment test is exponential.
+//
+// A multiplicity schema assigns to each element label an unordered content
+// model built from multiplicities: each child label carries one of the
+// symbols 0, 1, ?, +, * constraining how many children with that label a
+// node may have. A disjunctive schema allows a union of such conjunctive
+// "disjuncts", with the single-occurrence restriction: a label appears in at
+// most one disjunct of a rule. Order among siblings is ignored — the
+// motivation in the paper is that twig queries cannot see sibling order.
+package schema
+
+import "fmt"
+
+// Mult is a multiplicity symbol constraining the number of occurrences of a
+// child label: an interval over the naturals.
+type Mult int
+
+const (
+	// M0 forbids the label (interval [0,0]).
+	M0 Mult = iota
+	// M1 requires exactly one occurrence (interval [1,1]).
+	M1
+	// MOpt allows zero or one occurrence, written "?" (interval [0,1]).
+	MOpt
+	// MPlus requires at least one occurrence, written "+" (interval [1,∞)).
+	MPlus
+	// MStar allows any number, written "*" (interval [0,∞)).
+	MStar
+)
+
+// Unbounded is the Max() value representing ∞.
+const Unbounded = int(^uint(0) >> 1) // math.MaxInt
+
+// Min returns the lower bound of the multiplicity interval.
+func (m Mult) Min() int {
+	switch m {
+	case M1, MPlus:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Max returns the upper bound of the multiplicity interval (Unbounded = ∞).
+func (m Mult) Max() int {
+	switch m {
+	case M0:
+		return 0
+	case M1, MOpt:
+		return 1
+	default:
+		return Unbounded
+	}
+}
+
+// Allows reports whether count n satisfies the multiplicity.
+func (m Mult) Allows(n int) bool { return n >= m.Min() && n <= m.Max() }
+
+// Subsumes reports interval containment: every count allowed by m2 is
+// allowed by m.
+func (m Mult) Subsumes(m2 Mult) bool {
+	return m.Min() <= m2.Min() && m.Max() >= m2.Max()
+}
+
+// FromInterval returns the tightest multiplicity covering [lo, hi]; hi may
+// be Unbounded. It panics on a negative or inverted interval.
+func FromInterval(lo, hi int) Mult {
+	if lo < 0 || hi < lo {
+		panic(fmt.Sprintf("schema: bad interval [%d,%d]", lo, hi))
+	}
+	switch {
+	case hi == 0:
+		return M0
+	case lo >= 1 && hi == 1:
+		return M1
+	case lo == 0 && hi == 1:
+		return MOpt
+	case lo >= 1:
+		return MPlus
+	default:
+		return MStar
+	}
+}
+
+func (m Mult) String() string {
+	switch m {
+	case M0:
+		return "0"
+	case M1:
+		return "1"
+	case MOpt:
+		return "?"
+	case MPlus:
+		return "+"
+	case MStar:
+		return "*"
+	}
+	return "invalid"
+}
+
+// ParseMult parses a multiplicity symbol.
+func ParseMult(s string) (Mult, error) {
+	switch s {
+	case "0":
+		return M0, nil
+	case "1", "":
+		return M1, nil
+	case "?":
+		return MOpt, nil
+	case "+":
+		return MPlus, nil
+	case "*":
+		return MStar, nil
+	}
+	return M0, fmt.Errorf("schema: unknown multiplicity %q", s)
+}

@@ -1,0 +1,133 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseExpr parses the textual syntax for disjunctive multiplicity
+// expressions used in rules and task files:
+//
+//	a || b? || c*        one disjunct: a exactly once, optional b, any c
+//	a | b+               two disjuncts: exactly one a, or one or more b
+//	epsilon              the empty-content disjunct
+//	empty                the expression accepting nothing
+//
+// Multiplicity suffixes are ? + * (none = exactly one); the
+// single-occurrence restriction is enforced.
+func ParseExpr(s string) (Expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "empty" {
+		return Expr{}, nil
+	}
+	return parseExprStrict(s)
+}
+
+// parseExprStrict tokenizes properly: "||" binds atoms into a disjunct, "|"
+// separates disjuncts.
+func parseExprStrict(s string) (Expr, error) {
+	var disjuncts []Disjunct
+	for _, disjunctSrc := range splitTopLevel(s) {
+		disjunctSrc = strings.TrimSpace(disjunctSrc)
+		if disjunctSrc == "epsilon" || disjunctSrc == "()" {
+			disjuncts = append(disjuncts, Disjunct{})
+			continue
+		}
+		d := Disjunct{}
+		for _, atom := range strings.Split(disjunctSrc, "||") {
+			atom = strings.TrimSpace(atom)
+			if atom == "" {
+				return Expr{}, fmt.Errorf("schema: empty atom in %q", s)
+			}
+			label, mult := atom, M1
+			switch atom[len(atom)-1] {
+			case '?':
+				label, mult = atom[:len(atom)-1], MOpt
+			case '+':
+				label, mult = atom[:len(atom)-1], MPlus
+			case '*':
+				label, mult = atom[:len(atom)-1], MStar
+			}
+			label = strings.TrimSpace(label)
+			if label == "" {
+				return Expr{}, fmt.Errorf("schema: multiplicity without label in %q", s)
+			}
+			if _, dup := d[label]; dup {
+				return Expr{}, fmt.Errorf("schema: label %q repeated in disjunct %q", label, disjunctSrc)
+			}
+			d[label] = mult
+		}
+		disjuncts = append(disjuncts, d)
+	}
+	return NewExpr(disjuncts...)
+}
+
+// splitTopLevel splits on single "|" while keeping "||" intact.
+func splitTopLevel(s string) []string {
+	var out []string
+	var cur strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' {
+			if i+1 < len(s) && s[i+1] == '|' {
+				cur.WriteString("||")
+				i++
+				continue
+			}
+			out = append(out, cur.String())
+			cur.Reset()
+			continue
+		}
+		cur.WriteByte(s[i])
+	}
+	out = append(out, cur.String())
+	return out
+}
+
+// ParseSchema parses a whole schema in the textual format:
+//
+//	root site
+//	site -> people? || items
+//	people -> person*
+//	person -> name || email? | anon
+//
+// Lines starting with '#' and blank lines are ignored. The first line must
+// declare the root.
+func ParseSchema(src string) (*Schema, error) {
+	var s *Schema
+	for lineNo, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if s == nil {
+			rest, ok := strings.CutPrefix(line, "root ")
+			if !ok {
+				return nil, fmt.Errorf("schema: line %d: expected 'root <label>' first, got %q", lineNo+1, line)
+			}
+			s = NewSchema(strings.TrimSpace(rest))
+			continue
+		}
+		label, exprSrc, ok := strings.Cut(line, "->")
+		if !ok {
+			return nil, fmt.Errorf("schema: line %d: expected 'label -> expr', got %q", lineNo+1, line)
+		}
+		e, err := ParseExpr(strings.TrimSpace(exprSrc))
+		if err != nil {
+			return nil, fmt.Errorf("schema: line %d: %w", lineNo+1, err)
+		}
+		s.SetRule(strings.TrimSpace(label), e)
+	}
+	if s == nil {
+		return nil, fmt.Errorf("schema: empty schema source")
+	}
+	return s, nil
+}
+
+// MustParseSchema panics on error, for fixtures.
+func MustParseSchema(src string) *Schema {
+	s, err := ParseSchema(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

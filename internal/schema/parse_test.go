@@ -1,0 +1,95 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseExpr(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Expr
+	}{
+		{"a", MustExpr(Disjunct{"a": M1})},
+		{"a?", MustExpr(Disjunct{"a": MOpt})},
+		{"a || b+ || c*", MustExpr(Disjunct{"a": M1, "b": MPlus, "c": MStar})},
+		{"a | b", MustExpr(Disjunct{"a": M1}, Disjunct{"b": M1})},
+		{"a || b? | c*", MustExpr(Disjunct{"a": M1, "b": MOpt}, Disjunct{"c": MStar})},
+		{"epsilon | a", MustExpr(Disjunct{}, Disjunct{"a": M1})},
+		{"empty", Expr{}},
+	}
+	for _, c := range cases {
+		got, err := ParseExpr(c.in)
+		if err != nil {
+			t.Fatalf("ParseExpr(%q): %v", c.in, err)
+		}
+		if !ExprContained(got, c.want) || !ExprContained(c.want, got) {
+			t.Errorf("ParseExpr(%q) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, bad := range []string{"a || a", "a |", "| a", "?", "a || ?"} {
+		if _, err := ParseExpr(bad); err == nil {
+			t.Errorf("ParseExpr(%q) should fail", bad)
+		}
+	}
+	// Single-occurrence across disjuncts.
+	if _, err := ParseExpr("a | a?"); err == nil {
+		t.Errorf("label in two disjuncts should fail")
+	}
+}
+
+func TestParseExprRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		e := genExpr(seed, []string{"a", "b", "c"})
+		back, err := ParseExpr(e.String())
+		if err != nil {
+			t.Logf("unparsable render %q: %v", e.String(), err)
+			return false
+		}
+		return ExprContained(e, back) && ExprContained(back, e)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseSchema(t *testing.T) {
+	src := `
+# library schema
+root lib
+lib -> book+
+book -> title || year? | anon
+`
+	s, err := ParseSchema(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Root != "lib" {
+		t.Errorf("root = %s", s.Root)
+	}
+	if len(s.RuleFor("book").Disjuncts) != 2 {
+		t.Errorf("book rule = %s", s.RuleFor("book"))
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, bad := range []string{"", "lib -> book", "root lib\nbook title"} {
+		if _, err := ParseSchema(bad); err == nil {
+			t.Errorf("ParseSchema(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseSchemaRoundTrip(t *testing.T) {
+	s := newTestSchema()
+	back, err := ParseSchema(s.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", s.String(), err)
+	}
+	if !Equivalent(s, back) {
+		t.Errorf("round trip changed schema:\n%s\nvs\n%s", s, back)
+	}
+}

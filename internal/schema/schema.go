@@ -1,0 +1,432 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"querylearn/internal/xmltree"
+)
+
+// Disjunct is one conjunctive clause of an unordered content model: a map
+// from child label to its multiplicity. A bag of children satisfies the
+// disjunct when every mapped label's count lies in its multiplicity interval
+// and every unmapped label has count zero. Labels mapped to M0 are
+// normalized away (equivalent to unmapped).
+type Disjunct map[string]Mult
+
+// Satisfies reports whether the child bag satisfies the disjunct.
+func (d Disjunct) Satisfies(bag map[string]int) bool {
+	for label, m := range d {
+		if !m.Allows(bag[label]) {
+			return false
+		}
+	}
+	for label, n := range bag {
+		if n > 0 {
+			if _, ok := d[label]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AllowsEmpty reports whether the empty bag satisfies the disjunct.
+func (d Disjunct) AllowsEmpty() bool {
+	for _, m := range d {
+		if m.Min() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// normalize drops M0 entries and returns d.
+func (d Disjunct) normalize() Disjunct {
+	for l, m := range d {
+		if m == M0 {
+			delete(d, l)
+		}
+	}
+	return d
+}
+
+func (d Disjunct) clone() Disjunct {
+	c := make(Disjunct, len(d))
+	for l, m := range d {
+		c[l] = m
+	}
+	return c
+}
+
+// String renders the disjunct as label^mult joined by "||" (unordered
+// concatenation), or "epsilon" when empty.
+func (d Disjunct) String() string {
+	if len(d) == 0 {
+		return "epsilon"
+	}
+	labels := make([]string, 0, len(d))
+	for l := range d {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		if d[l] == M1 {
+			parts[i] = l
+		} else {
+			parts[i] = l + d[l].String()
+		}
+	}
+	return strings.Join(parts, " || ")
+}
+
+// Expr is a disjunctive multiplicity expression: a union of disjuncts under
+// the single-occurrence restriction (each label occurs in at most one
+// disjunct). The empty expression (no disjuncts) accepts nothing; use
+// Epsilon() for the leaf-only content model.
+type Expr struct {
+	Disjuncts []Disjunct
+}
+
+// Epsilon returns the content model accepting exactly the empty bag.
+func Epsilon() Expr { return Expr{Disjuncts: []Disjunct{{}}} }
+
+// NewExpr builds an expression from disjuncts, normalizing away M0 entries,
+// and validates the single-occurrence restriction.
+func NewExpr(disjuncts ...Disjunct) (Expr, error) {
+	e := Expr{}
+	seen := map[string]bool{}
+	for _, d := range disjuncts {
+		d = d.clone().normalize()
+		for l := range d {
+			if seen[l] {
+				return Expr{}, fmt.Errorf("schema: label %q occurs in two disjuncts", l)
+			}
+			seen[l] = true
+		}
+		e.Disjuncts = append(e.Disjuncts, d)
+	}
+	return e, nil
+}
+
+// MustExpr is NewExpr that panics on error, for fixtures.
+func MustExpr(disjuncts ...Disjunct) Expr {
+	e, err := NewExpr(disjuncts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Satisfies reports whether the bag satisfies some disjunct.
+func (e Expr) Satisfies(bag map[string]int) bool {
+	for _, d := range e.Disjuncts {
+		if d.Satisfies(bag) {
+			return true
+		}
+	}
+	return false
+}
+
+// AllowsEmpty reports whether the empty bag satisfies the expression.
+func (e Expr) AllowsEmpty() bool {
+	for _, d := range e.Disjuncts {
+		if d.AllowsEmpty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Labels returns the sorted set of labels mentioned by the expression.
+func (e Expr) Labels() []string {
+	var out []string
+	for _, d := range e.Disjuncts {
+		for l := range d {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsDisjunctionFree reports whether the expression has at most one disjunct.
+func (e Expr) IsDisjunctionFree() bool { return len(e.Disjuncts) <= 1 }
+
+func (e Expr) String() string {
+	if len(e.Disjuncts) == 0 {
+		return "empty"
+	}
+	parts := make([]string, len(e.Disjuncts))
+	for i, d := range e.Disjuncts {
+		parts[i] = d.String()
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " | ")
+}
+
+func (e Expr) clone() Expr {
+	c := Expr{Disjuncts: make([]Disjunct, len(e.Disjuncts))}
+	for i, d := range e.Disjuncts {
+		c.Disjuncts[i] = d.clone()
+	}
+	return c
+}
+
+// Schema is a disjunctive multiplicity schema: a root label and one content
+// rule per label. Labels without a rule must be leaves (their content model
+// is Epsilon). A schema is disjunction-free when every rule is.
+type Schema struct {
+	Root  string
+	Rules map[string]Expr
+}
+
+// NewSchema returns an empty schema with the given root label.
+func NewSchema(root string) *Schema {
+	return &Schema{Root: root, Rules: map[string]Expr{}}
+}
+
+// RuleFor returns the content model of a label (Epsilon when absent).
+func (s *Schema) RuleFor(label string) Expr {
+	if e, ok := s.Rules[label]; ok {
+		return e
+	}
+	return Epsilon()
+}
+
+// SetRule installs a content rule.
+func (s *Schema) SetRule(label string, e Expr) { s.Rules[label] = e }
+
+// IsDisjunctionFree reports whether every rule has at most one disjunct.
+func (s *Schema) IsDisjunctionFree() bool {
+	for _, e := range s.Rules {
+		if !e.IsDisjunctionFree() {
+			return false
+		}
+	}
+	return true
+}
+
+// Valid reports whether the document tree is valid: the root carries the
+// schema's root label and every node's child bag satisfies its label's rule.
+func (s *Schema) Valid(doc *xmltree.Node) bool {
+	if doc == nil || doc.Label != s.Root {
+		return false
+	}
+	ok := true
+	doc.Walk(func(n *xmltree.Node) bool {
+		if !s.RuleFor(n.Label).Satisfies(n.ChildBag()) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// Violations returns a human-readable list of validation failures, for
+// diagnostics and tests.
+func (s *Schema) Violations(doc *xmltree.Node) []string {
+	var out []string
+	if doc == nil {
+		return []string{"nil document"}
+	}
+	if doc.Label != s.Root {
+		out = append(out, fmt.Sprintf("root is %q, want %q", doc.Label, s.Root))
+	}
+	doc.Walk(func(n *xmltree.Node) bool {
+		if !s.RuleFor(n.Label).Satisfies(n.ChildBag()) {
+			out = append(out, fmt.Sprintf("node %q: children %v violate rule %s",
+				n.Label, n.ChildBag(), s.RuleFor(n.Label)))
+		}
+		return true
+	})
+	return out
+}
+
+// Labels returns the sorted alphabet of the schema: the root, every ruled
+// label, and every label mentioned in a rule.
+func (s *Schema) Labels() []string {
+	set := map[string]struct{}{s.Root: {}}
+	for l, e := range s.Rules {
+		set[l] = struct{}{}
+		for _, d := range e.Disjuncts {
+			for cl := range d {
+				set[cl] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := NewSchema(s.Root)
+	for l, e := range s.Rules {
+		c.Rules[l] = e.clone()
+	}
+	return c
+}
+
+func (s *Schema) String() string {
+	labels := make([]string, 0, len(s.Rules))
+	for l := range s.Rules {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	fmt.Fprintf(&b, "root %s\n", s.Root)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "%s -> %s\n", l, s.Rules[l])
+	}
+	return b.String()
+}
+
+// Productive returns the set of labels that can root a finite valid subtree:
+// the least fixpoint of "some disjunct exists whose required labels are all
+// productive".
+func (s *Schema) Productive() map[string]bool {
+	prod := map[string]bool{}
+	changed := true
+	for changed {
+		changed = false
+		for _, l := range s.Labels() {
+			if prod[l] {
+				continue
+			}
+			e := s.RuleFor(l)
+			for _, d := range e.Disjuncts {
+				ok := true
+				for cl, m := range d {
+					if m.Min() >= 1 && !prod[cl] {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					prod[l] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return prod
+}
+
+// Reachable returns the labels that occur in at least one valid document:
+// productive labels reachable from a productive root through realizable
+// disjuncts (disjuncts whose required labels are all productive).
+func (s *Schema) Reachable() map[string]bool {
+	prod := s.Productive()
+	reach := map[string]bool{}
+	if !prod[s.Root] {
+		return reach
+	}
+	reach[s.Root] = true
+	queue := []string{s.Root}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		for _, d := range s.RuleFor(l).Disjuncts {
+			realizable := true
+			for cl, m := range d {
+				if m.Min() >= 1 && !prod[cl] {
+					realizable = false
+					break
+				}
+			}
+			if !realizable {
+				continue
+			}
+			for cl, m := range d {
+				if m.Max() >= 1 && prod[cl] && !reach[cl] {
+					reach[cl] = true
+					queue = append(queue, cl)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// Empty reports whether the schema accepts no documents at all.
+func (s *Schema) Empty() bool { return !s.Productive()[s.Root] }
+
+// GenerateMinimal returns a smallest-effort valid document, or nil when the
+// schema is empty. Required children are instantiated with their minimum
+// counts; the first realizable disjunct (in sorted label order) is used.
+func (s *Schema) GenerateMinimal() *xmltree.Node {
+	prod := s.Productive()
+	if !prod[s.Root] {
+		return nil
+	}
+	var build func(label string) *xmltree.Node
+	build = func(label string) *xmltree.Node {
+		n := xmltree.New(label)
+		e := s.RuleFor(label)
+		for _, d := range e.Disjuncts {
+			ok := true
+			for cl, m := range d {
+				if m.Min() >= 1 && !prod[cl] {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			labels := make([]string, 0, len(d))
+			for cl := range d {
+				labels = append(labels, cl)
+			}
+			sort.Strings(labels)
+			for _, cl := range labels {
+				for i := 0; i < d[cl].Min(); i++ {
+					n.Add(build(cl))
+				}
+			}
+			return n
+		}
+		return n
+	}
+	return build(s.Root)
+}
+
+// Trim returns a copy of the schema without rules for labels that are not
+// syntactically reachable from the root (no chain of rule mentions leads to
+// them). Such labels cannot occur in any document the schema judges, so
+// trimming never changes the language: Equivalent(s, s.Trim()) always
+// holds. Note that semantically unreachable labels (e.g. required children
+// of unproductive rules) are deliberately kept — their rules still reject
+// documents.
+func (s *Schema) Trim() *Schema {
+	mentioned := map[string]bool{s.Root: true}
+	queue := []string{s.Root}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		for _, d := range s.RuleFor(l).Disjuncts {
+			for cl := range d {
+				if !mentioned[cl] {
+					mentioned[cl] = true
+					queue = append(queue, cl)
+				}
+			}
+		}
+	}
+	out := NewSchema(s.Root)
+	for l, e := range s.Rules {
+		if mentioned[l] {
+			out.Rules[l] = e.clone()
+		}
+	}
+	return out
+}

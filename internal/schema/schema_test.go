@@ -1,0 +1,453 @@
+package schema
+
+import (
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/xmltree"
+)
+
+func TestMultIntervals(t *testing.T) {
+	cases := []struct {
+		m        Mult
+		min, max int
+	}{
+		{M0, 0, 0}, {M1, 1, 1}, {MOpt, 0, 1}, {MPlus, 1, Unbounded}, {MStar, 0, Unbounded},
+	}
+	for _, c := range cases {
+		if c.m.Min() != c.min || c.m.Max() != c.max {
+			t.Errorf("%s: interval [%d,%d], want [%d,%d]", c.m, c.m.Min(), c.m.Max(), c.min, c.max)
+		}
+	}
+}
+
+func TestMultAllows(t *testing.T) {
+	if M1.Allows(0) || !M1.Allows(1) || M1.Allows(2) {
+		t.Errorf("M1 interval wrong")
+	}
+	if !MPlus.Allows(5) || MPlus.Allows(0) {
+		t.Errorf("MPlus interval wrong")
+	}
+	if !MStar.Allows(0) || !MStar.Allows(100) {
+		t.Errorf("MStar interval wrong")
+	}
+}
+
+func TestMultSubsumes(t *testing.T) {
+	// MStar subsumes everything; M1 subsumes only itself and M0.
+	for _, m := range []Mult{M0, M1, MOpt, MPlus, MStar} {
+		if !MStar.Subsumes(m) {
+			t.Errorf("MStar should subsume %s", m)
+		}
+	}
+	if M1.Subsumes(MOpt) || M1.Subsumes(MPlus) || !M1.Subsumes(M1) {
+		t.Errorf("M1 subsumption wrong")
+	}
+	if !MPlus.Subsumes(M1) || MPlus.Subsumes(MOpt) {
+		t.Errorf("MPlus subsumption wrong")
+	}
+}
+
+func TestFromInterval(t *testing.T) {
+	cases := []struct {
+		lo, hi int
+		want   Mult
+	}{
+		{0, 0, M0}, {1, 1, M1}, {0, 1, MOpt}, {1, Unbounded, MPlus},
+		{0, Unbounded, MStar}, {2, 5, MPlus}, {0, 3, MStar},
+	}
+	for _, c := range cases {
+		if got := FromInterval(c.lo, c.hi); got != c.want {
+			t.Errorf("FromInterval(%d,%d) = %s, want %s", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestParseMult(t *testing.T) {
+	for s, want := range map[string]Mult{"0": M0, "1": M1, "?": MOpt, "+": MPlus, "*": MStar, "": M1} {
+		got, err := ParseMult(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMult(%q) = %s, %v; want %s", s, got, err, want)
+		}
+	}
+	if _, err := ParseMult("x"); err == nil {
+		t.Errorf("ParseMult(x) should fail")
+	}
+}
+
+func TestDisjunctSatisfies(t *testing.T) {
+	d := Disjunct{"a": M1, "b": MStar}
+	if !d.Satisfies(map[string]int{"a": 1}) {
+		t.Errorf("a=1 should satisfy")
+	}
+	if !d.Satisfies(map[string]int{"a": 1, "b": 3}) {
+		t.Errorf("a=1,b=3 should satisfy")
+	}
+	if d.Satisfies(map[string]int{"a": 2}) {
+		t.Errorf("a=2 should not satisfy (exactly one)")
+	}
+	if d.Satisfies(map[string]int{"a": 1, "c": 1}) {
+		t.Errorf("foreign label should not satisfy")
+	}
+	if d.Satisfies(map[string]int{}) {
+		t.Errorf("missing required a should not satisfy")
+	}
+}
+
+func TestExprSingleOccurrence(t *testing.T) {
+	if _, err := NewExpr(Disjunct{"a": M1}, Disjunct{"a": MOpt}); err == nil {
+		t.Errorf("duplicate label across disjuncts must be rejected")
+	}
+	if _, err := NewExpr(Disjunct{"a": M1}, Disjunct{"b": MOpt}); err != nil {
+		t.Errorf("valid expr rejected: %v", err)
+	}
+}
+
+func TestExprNormalizesM0(t *testing.T) {
+	e := MustExpr(Disjunct{"a": M1, "z": M0})
+	if len(e.Disjuncts[0]) != 1 {
+		t.Errorf("M0 entries should be dropped: %v", e.Disjuncts[0])
+	}
+	// M0-normalization means the same label with M0 elsewhere is fine.
+	if _, err := NewExpr(Disjunct{"a": M1}, Disjunct{"a": M0, "b": M1}); err != nil {
+		t.Errorf("M0 label should not count for single occurrence: %v", err)
+	}
+}
+
+func TestExprSatisfies(t *testing.T) {
+	e := MustExpr(Disjunct{"a": M1}, Disjunct{"b": MPlus})
+	if !e.Satisfies(map[string]int{"a": 1}) || !e.Satisfies(map[string]int{"b": 2}) {
+		t.Errorf("disjuncts should each accept")
+	}
+	if e.Satisfies(map[string]int{"a": 1, "b": 1}) {
+		t.Errorf("mixing disjuncts must fail")
+	}
+	if e.Satisfies(map[string]int{}) {
+		t.Errorf("empty bag not allowed here")
+	}
+	if !Epsilon().Satisfies(map[string]int{}) {
+		t.Errorf("epsilon accepts empty bag")
+	}
+}
+
+func newTestSchema() *Schema {
+	// root: site -> people? || items+ ; people -> person* ; person -> name
+	s := NewSchema("site")
+	s.SetRule("site", MustExpr(Disjunct{"people": MOpt, "items": MPlus}))
+	s.SetRule("people", MustExpr(Disjunct{"person": MStar}))
+	s.SetRule("person", MustExpr(Disjunct{"name": M1}))
+	s.SetRule("items", MustExpr(Disjunct{"item": MStar}))
+	return s
+}
+
+func TestSchemaValid(t *testing.T) {
+	s := newTestSchema()
+	ok := xmltree.MustParse(`<site><items/><people><person><name/></person></people></site>`)
+	if !s.Valid(ok) {
+		t.Fatalf("valid doc rejected: %v", s.Violations(ok))
+	}
+	bad1 := xmltree.MustParse(`<site><people/></site>`) // missing required items
+	if s.Valid(bad1) {
+		t.Errorf("missing items accepted")
+	}
+	bad2 := xmltree.MustParse(`<site><items/><person/></site>`) // person not allowed at site
+	if s.Valid(bad2) {
+		t.Errorf("stray person accepted")
+	}
+	bad3 := xmltree.MustParse(`<wrong/>`)
+	if s.Valid(bad3) {
+		t.Errorf("wrong root accepted")
+	}
+	bad4 := xmltree.MustParse(`<site><items/><people><person/></people></site>`) // person needs name
+	if s.Valid(bad4) {
+		t.Errorf("person without name accepted")
+	}
+	if n := len(s.Violations(bad4)); n != 1 {
+		t.Errorf("Violations = %d entries, want 1", n)
+	}
+}
+
+func TestSchemaUnorderedValidation(t *testing.T) {
+	s := newTestSchema()
+	// Sibling order must not matter.
+	a := xmltree.MustParse(`<site><people/><items/></site>`)
+	b := xmltree.MustParse(`<site><items/><people/></site>`)
+	if !s.Valid(a) || !s.Valid(b) {
+		t.Errorf("order should not matter for multiplicity schemas")
+	}
+}
+
+func TestProductiveAndReachable(t *testing.T) {
+	s := NewSchema("a")
+	s.SetRule("a", MustExpr(Disjunct{"b": M1, "c": MOpt}))
+	s.SetRule("b", MustExpr(Disjunct{"b": MOpt})) // b productive (can stop)
+	s.SetRule("c", MustExpr(Disjunct{"d": M1}))
+	s.SetRule("d", MustExpr(Disjunct{"c": M1})) // c<->d required cycle: not productive
+	prod := s.Productive()
+	if !prod["a"] || !prod["b"] {
+		t.Errorf("a, b should be productive: %v", prod)
+	}
+	if prod["c"] || prod["d"] {
+		t.Errorf("c, d must not be productive: %v", prod)
+	}
+	reach := s.Reachable()
+	if !reach["a"] || !reach["b"] {
+		t.Errorf("a, b should be reachable: %v", reach)
+	}
+	if reach["c"] || reach["d"] {
+		t.Errorf("c unreachable in valid docs (not productive): %v", reach)
+	}
+	if s.Empty() {
+		t.Errorf("schema is not empty")
+	}
+}
+
+func TestEmptySchema(t *testing.T) {
+	s := NewSchema("a")
+	s.SetRule("a", MustExpr(Disjunct{"a": M1})) // infinite recursion required
+	if !s.Empty() {
+		t.Errorf("schema should be empty")
+	}
+	if s.GenerateMinimal() != nil {
+		t.Errorf("empty schema should generate nil")
+	}
+}
+
+func TestGenerateMinimal(t *testing.T) {
+	s := newTestSchema()
+	doc := s.GenerateMinimal()
+	if doc == nil {
+		t.Fatalf("GenerateMinimal returned nil")
+	}
+	if !s.Valid(doc) {
+		t.Fatalf("minimal doc invalid: %s, violations %v", doc, s.Violations(doc))
+	}
+}
+
+// --- expression containment ---
+
+func TestExprContainedBasics(t *testing.T) {
+	cases := []struct {
+		e, f Expr
+		want bool
+	}{
+		// a ⊆ a?
+		{MustExpr(Disjunct{"a": M1}), MustExpr(Disjunct{"a": MOpt}), true},
+		// a? ⊄ a
+		{MustExpr(Disjunct{"a": MOpt}), MustExpr(Disjunct{"a": M1}), false},
+		// a+ ⊆ a*
+		{MustExpr(Disjunct{"a": MPlus}), MustExpr(Disjunct{"a": MStar}), true},
+		// a* ⊄ a+
+		{MustExpr(Disjunct{"a": MStar}), MustExpr(Disjunct{"a": MPlus}), false},
+		// a? ⊆ epsilon | a   (the union case needing two disjuncts)
+		{MustExpr(Disjunct{"a": MOpt}), MustExpr(Disjunct{}, Disjunct{"a": M1}), true},
+		// epsilon|a ⊆ a?
+		{MustExpr(Disjunct{}, Disjunct{"a": M1}), MustExpr(Disjunct{"a": MOpt}), true},
+		// a||b ⊆ a?||b*
+		{MustExpr(Disjunct{"a": M1, "b": M1}), MustExpr(Disjunct{"a": MOpt, "b": MStar}), true},
+		// a?||b? ⊄ a|b  (bag {a,b} fits left only)
+		{MustExpr(Disjunct{"a": MOpt, "b": MOpt}), MustExpr(Disjunct{"a": M1}, Disjunct{"b": M1}), false},
+		// a|b ⊆ a?||b?  fails: bag {a:1,b:0} ok... actually a ⊆ a?||b? per-dim
+		{MustExpr(Disjunct{"a": M1}, Disjunct{"b": M1}), MustExpr(Disjunct{"a": MOpt, "b": MOpt}), true},
+		// labels owned by different disjuncts on the right
+		{MustExpr(Disjunct{"a": M1, "b": MOpt}), MustExpr(Disjunct{"a": MStar}, Disjunct{"b": MStar}), false},
+		// unknown label on the right
+		{MustExpr(Disjunct{"a": M1}), MustExpr(Disjunct{"b": MStar}), false},
+		// required label on the right missing on the left
+		{MustExpr(Disjunct{"a": M1}), MustExpr(Disjunct{"a": M1, "b": M1}), false},
+		// empty expression is contained in everything
+		{Expr{}, MustExpr(Disjunct{"a": M1}), true},
+	}
+	for i, c := range cases {
+		if got := ExprContained(c.e, c.f); got != c.want {
+			t.Errorf("case %d: ExprContained(%s, %s) = %v, want %v", i, c.e, c.f, got, c.want)
+		}
+		if got := ExprContainedBrute(c.e, c.f); got != c.want {
+			t.Errorf("case %d: brute(%s, %s) = %v, want %v", i, c.e, c.f, got, c.want)
+		}
+	}
+}
+
+// genExpr builds a deterministic pseudo-random single-occurrence expression.
+func genExpr(seed int64, labels []string) Expr {
+	if seed < 0 {
+		seed = -seed
+	}
+	mults := []Mult{M1, MOpt, MPlus, MStar}
+	var disjuncts []Disjunct
+	cur := Disjunct{}
+	for i, l := range labels {
+		s := seed / int64(i*3+1)
+		switch s % 4 {
+		case 0: // skip label
+		case 1: // new disjunct boundary
+			if len(cur) > 0 {
+				disjuncts = append(disjuncts, cur)
+				cur = Disjunct{}
+			}
+			cur[l] = mults[int(s/4)%4]
+		default:
+			cur[l] = mults[int(s/4)%4]
+		}
+	}
+	if len(cur) > 0 {
+		disjuncts = append(disjuncts, cur)
+	}
+	if seed%5 == 0 {
+		disjuncts = append(disjuncts, Disjunct{}) // epsilon disjunct
+	}
+	e, err := NewExpr(disjuncts...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func TestQuickExprContainedMatchesBrute(t *testing.T) {
+	labels := []string{"a", "b", "c", "d"}
+	f := func(s1, s2 int64) bool {
+		e, fx := genExpr(s1, labels), genExpr(s2, labels)
+		got := ExprContained(e, fx)
+		want := ExprContainedBrute(e, fx)
+		if got != want {
+			t.Logf("e=%s f=%s got=%v want=%v", e, fx, got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExprContainedReflexive(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	f := func(s int64) bool {
+		e := genExpr(s, labels)
+		return ExprContained(e, e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExprContainedTransitive(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	f := func(s1, s2, s3 int64) bool {
+		e1, e2, e3 := genExpr(s1, labels), genExpr(s2, labels), genExpr(s3, labels)
+		if ExprContained(e1, e2) && ExprContained(e2, e3) {
+			return ExprContained(e1, e3)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- schema containment ---
+
+func TestSchemaContained(t *testing.T) {
+	s1 := NewSchema("r")
+	s1.SetRule("r", MustExpr(Disjunct{"a": M1}))
+	s1.SetRule("a", MustExpr(Disjunct{"b": MOpt}))
+
+	s2 := NewSchema("r")
+	s2.SetRule("r", MustExpr(Disjunct{"a": MPlus}))
+	s2.SetRule("a", MustExpr(Disjunct{"b": MStar}))
+
+	if !Contained(s1, s2) {
+		t.Errorf("s1 should be contained in s2")
+	}
+	if Contained(s2, s1) {
+		t.Errorf("s2 is not contained in s1 (multiple a's)")
+	}
+	if !Equivalent(s1, s1.Clone()) {
+		t.Errorf("schema should be equivalent to its clone")
+	}
+}
+
+func TestSchemaContainedDifferentRoots(t *testing.T) {
+	s1 := NewSchema("r1")
+	s2 := NewSchema("r2")
+	if Contained(s1, s2) {
+		t.Errorf("different roots can't be contained (both non-empty)")
+	}
+}
+
+func TestSchemaContainedEmptyLeft(t *testing.T) {
+	s1 := NewSchema("r")
+	s1.SetRule("r", MustExpr(Disjunct{"r2": M1}))
+	s1.SetRule("r2", MustExpr(Disjunct{"r2": M1})) // empty language
+	s2 := NewSchema("x")
+	if !Contained(s1, s2) {
+		t.Errorf("empty schema contained in everything")
+	}
+}
+
+func TestSchemaContainedIgnoresUnreachable(t *testing.T) {
+	s1 := NewSchema("r")
+	s1.SetRule("r", MustExpr(Disjunct{"a": M1}))
+	// Unreachable junk rule that would violate containment if considered.
+	s1.SetRule("zzz", MustExpr(Disjunct{"w": MPlus}))
+	s2 := NewSchema("r")
+	s2.SetRule("r", MustExpr(Disjunct{"a": M1}))
+	if !Contained(s1, s2) {
+		t.Errorf("unreachable rules must not affect containment")
+	}
+}
+
+// Differential test: containment verified against document sampling. Any
+// valid doc of s1 must be valid under s2 whenever Contained(s1,s2).
+func TestSchemaContainmentSoundOnDocs(t *testing.T) {
+	s1 := newTestSchema()
+	s2 := s1.Clone()
+	s2.SetRule("site", MustExpr(Disjunct{"people": MStar, "items": MStar}))
+	if !Contained(s1, s2) {
+		t.Fatalf("relaxed schema should contain original")
+	}
+	doc := s1.GenerateMinimal()
+	if !s2.Valid(doc) {
+		t.Errorf("doc valid in s1 but not s2")
+	}
+	if Contained(s2, s1) {
+		t.Errorf("s2 is strictly larger")
+	}
+}
+
+func TestTrimPreservesLanguage(t *testing.T) {
+	s := newTestSchema()
+	s.SetRule("junk", MustExpr(Disjunct{"w": MPlus})) // unreachable
+	trimmed := s.Trim()
+	if _, ok := trimmed.Rules["junk"]; ok {
+		t.Errorf("junk rule should be trimmed")
+	}
+	if !Equivalent(s, trimmed) {
+		t.Errorf("trimming changed the language")
+	}
+}
+
+func TestTrimKeepsRestrictiveRules(t *testing.T) {
+	// An empty-language schema must stay empty after trimming: the root's
+	// rule is syntactically reachable and must survive.
+	s := NewSchema("a")
+	s.SetRule("a", MustExpr(Disjunct{"a": M1})) // empty language
+	trimmed := s.Trim()
+	if len(trimmed.Rules) != 1 {
+		t.Errorf("root rule must survive trimming: %v", trimmed.Rules)
+	}
+	if !Equivalent(s, trimmed) {
+		t.Errorf("trimming changed an empty language")
+	}
+	// A rule for a mentioned-but-unproductive label also survives: it
+	// rejects documents that use the label.
+	s2 := NewSchema("r")
+	s2.SetRule("r", MustExpr(Disjunct{"l": MOpt}))
+	s2.SetRule("l", MustExpr(Disjunct{"w": MPlus})) // l can never complete... w is a leaf, so l -> w+ is fine
+	trimmed2 := s2.Trim()
+	if _, ok := trimmed2.Rules["l"]; !ok {
+		t.Errorf("mentioned label's rule must survive")
+	}
+	if !Equivalent(s2, trimmed2) {
+		t.Errorf("trimming changed the language of s2")
+	}
+}

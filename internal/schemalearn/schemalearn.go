@@ -1,0 +1,173 @@
+// Package schemalearn infers disjunctive multiplicity schemas from positive
+// example documents — the paper's §2 result that "the disjunctive
+// multiplicity schemas are identifiable in the limit from positive examples
+// only" (following Ciucanu & Staworko's schema-learning line).
+//
+// The learner works per label: it collects the child-label bags observed at
+// nodes with that label, partitions child labels into disjuncts by
+// co-occurrence (labels that never appear together in a bag are assumed to
+// belong to different disjuncts), and fits the tightest multiplicity to the
+// observed counts of each label within its disjunct. On a characteristic
+// sample — one that exercises every disjunct and both extremes of every
+// multiplicity — the result is exactly the goal schema.
+package schemalearn
+
+import (
+	"fmt"
+	"sort"
+
+	"querylearn/internal/schema"
+	"querylearn/internal/xmltree"
+)
+
+// Learn infers a disjunctive multiplicity schema from positive examples.
+// All documents must share a root label. The learned schema accepts every
+// input document (soundness) and converges to the goal schema in the limit.
+func Learn(docs []*xmltree.Node) (*schema.Schema, error) {
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("schemalearn: need at least one document")
+	}
+	root := docs[0].Label
+	for _, d := range docs[1:] {
+		if d.Label != root {
+			return nil, fmt.Errorf("schemalearn: conflicting roots %q and %q", root, d.Label)
+		}
+	}
+	bags := collectBags(docs)
+	s := schema.NewSchema(root)
+	for label, bs := range bags {
+		expr, err := fitExpr(bs)
+		if err != nil {
+			return nil, fmt.Errorf("schemalearn: label %q: %w", label, err)
+		}
+		s.SetRule(label, expr)
+	}
+	return s, nil
+}
+
+// collectBags gathers every observed child bag per element label.
+func collectBags(docs []*xmltree.Node) map[string][]map[string]int {
+	out := map[string][]map[string]int{}
+	for _, d := range docs {
+		d.Walk(func(n *xmltree.Node) bool {
+			out[n.Label] = append(out[n.Label], n.ChildBag())
+			return true
+		})
+	}
+	return out
+}
+
+// fitExpr infers the tightest single-occurrence disjunctive multiplicity
+// expression accepting all observed bags.
+func fitExpr(bags []map[string]int) (schema.Expr, error) {
+	// Union-find over child labels; bags sharing labels merge components.
+	parent := map[string]string{}
+	var find func(x string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for _, bag := range bags {
+		var prev string
+		for l, n := range bag {
+			if n == 0 {
+				continue
+			}
+			if _, ok := parent[l]; !ok {
+				parent[l] = l
+			}
+			if prev != "" {
+				union(prev, l)
+			}
+			prev = l
+		}
+	}
+	// Component id per label.
+	comp := map[string]string{}
+	for l := range parent {
+		comp[l] = find(l)
+	}
+	// Assign non-empty bags to components; track empty-bag observations.
+	type stats struct {
+		bags []map[string]int
+	}
+	perComp := map[string]*stats{}
+	sawEmpty := false
+	for _, bag := range bags {
+		var c string
+		for l, n := range bag {
+			if n > 0 {
+				c = comp[l]
+				break
+			}
+		}
+		if c == "" {
+			sawEmpty = true
+			continue
+		}
+		st := perComp[c]
+		if st == nil {
+			st = &stats{}
+			perComp[c] = st
+		}
+		st.bags = append(st.bags, bag)
+	}
+	// Fit multiplicities per component.
+	compIDs := make([]string, 0, len(perComp))
+	for c := range perComp {
+		compIDs = append(compIDs, c)
+	}
+	sort.Strings(compIDs)
+	var disjuncts []schema.Disjunct
+	emptyCovered := false
+	for _, c := range compIDs {
+		st := perComp[c]
+		labels := map[string]bool{}
+		for l, lc := range comp {
+			if lc == c {
+				labels[l] = true
+			}
+		}
+		d := schema.Disjunct{}
+		allowsEmpty := true
+		for l := range labels {
+			lo, hi := -1, 0
+			for _, bag := range st.bags {
+				n := bag[l]
+				if lo == -1 || n < lo {
+					lo = n
+				}
+				if n > hi {
+					hi = n
+				}
+			}
+			if hi == 0 {
+				continue // label never seen with this component's bags
+			}
+			if hi >= 2 {
+				hi = schema.Unbounded
+			}
+			m := schema.FromInterval(lo, hi)
+			d[l] = m
+			if m.Min() > 0 {
+				allowsEmpty = false
+			}
+		}
+		disjuncts = append(disjuncts, d)
+		if allowsEmpty {
+			emptyCovered = true
+		}
+	}
+	if sawEmpty && !emptyCovered {
+		disjuncts = append(disjuncts, schema.Disjunct{})
+	}
+	if len(disjuncts) == 0 {
+		// Label observed only as a leaf.
+		return schema.Epsilon(), nil
+	}
+	return schema.NewExpr(disjuncts...)
+}

@@ -1,0 +1,199 @@
+package schemalearn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/schema"
+	"querylearn/internal/xmltree"
+)
+
+func TestLearnLeafOnly(t *testing.T) {
+	s, err := Learn([]*xmltree.Node{xmltree.MustParse(`<a/>`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Valid(xmltree.MustParse(`<a/>`)) {
+		t.Errorf("learned schema rejects its own example")
+	}
+	if s.Valid(xmltree.MustParse(`<a><b/></a>`)) {
+		t.Errorf("leaf-only rule should reject children")
+	}
+}
+
+func TestLearnConflictingRoots(t *testing.T) {
+	_, err := Learn([]*xmltree.Node{xmltree.MustParse(`<a/>`), xmltree.MustParse(`<b/>`)})
+	if err == nil {
+		t.Errorf("conflicting roots must error")
+	}
+}
+
+func TestLearnMultiplicities(t *testing.T) {
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<r><a/><b/></r>`),
+		xmltree.MustParse(`<r><a/><a/><a/><b/></r>`),
+	}
+	s, err := Learn(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a seen with counts {1,3} -> +; b with {1,1} -> 1.
+	e := s.RuleFor("r")
+	if len(e.Disjuncts) != 1 {
+		t.Fatalf("want single disjunct, got %s", e)
+	}
+	d := e.Disjuncts[0]
+	if d["a"] != schema.MPlus {
+		t.Errorf("a multiplicity = %s, want +", d["a"])
+	}
+	if d["b"] != schema.M1 {
+		t.Errorf("b multiplicity = %s, want 1", d["b"])
+	}
+}
+
+func TestLearnOptional(t *testing.T) {
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<r><a/><b/></r>`),
+		xmltree.MustParse(`<r><a/></r>`),
+	}
+	s, err := Learn(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.RuleFor("r").Disjuncts[0]
+	if d["b"] != schema.MOpt {
+		t.Errorf("b multiplicity = %s, want ?", d["b"])
+	}
+}
+
+func TestLearnDisjuncts(t *testing.T) {
+	// a,b co-occur; c occurs alone: two disjuncts expected.
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<r><a/><b/></r>`),
+		xmltree.MustParse(`<r><c/></r>`),
+	}
+	s, err := Learn(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := s.RuleFor("r")
+	if len(e.Disjuncts) != 2 {
+		t.Fatalf("want 2 disjuncts, got %s", e)
+	}
+	if !s.Valid(xmltree.MustParse(`<r><b/><a/></r>`)) || !s.Valid(xmltree.MustParse(`<r><c/></r>`)) {
+		t.Errorf("learned schema rejects training patterns")
+	}
+	if s.Valid(xmltree.MustParse(`<r><a/><c/></r>`)) {
+		t.Errorf("mixing disjuncts must be rejected")
+	}
+}
+
+func TestLearnEmptyBagDisjunct(t *testing.T) {
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<r><a/></r>`),
+		xmltree.MustParse(`<r/>`),
+	}
+	s, err := Learn(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Valid(xmltree.MustParse(`<r/>`)) {
+		t.Errorf("empty r must be accepted")
+	}
+	if !s.Valid(xmltree.MustParse(`<r><a/></r>`)) {
+		t.Errorf("a-child r must be accepted")
+	}
+}
+
+// goalSchema is the reference schema for convergence tests.
+func goalSchema() *schema.Schema {
+	s := schema.NewSchema("site")
+	s.SetRule("site", schema.MustExpr(schema.Disjunct{
+		"people": schema.M1, "items": schema.MPlus}))
+	s.SetRule("people", schema.MustExpr(schema.Disjunct{"person": schema.MStar}))
+	s.SetRule("person", schema.MustExpr(
+		schema.Disjunct{"name": schema.M1, "email": schema.MOpt},
+		schema.Disjunct{"anonymous": schema.M1}))
+	s.SetRule("items", schema.MustExpr(schema.Disjunct{"item": schema.MPlus}))
+	return s
+}
+
+func TestLearnConvergesInTheLimit(t *testing.T) {
+	goal := goalSchema()
+	rng := rand.New(rand.NewSource(42))
+	var docs []*xmltree.Node
+	converged := -1
+	for i := 0; i < 300; i++ {
+		docs = append(docs, goal.Generate(rng, 4))
+		if i < 3 {
+			continue
+		}
+		learned, err := Learn(docs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if schema.Equivalent(learned, goal) {
+			converged = i + 1
+			break
+		}
+	}
+	if converged < 0 {
+		learned, _ := Learn(docs)
+		t.Fatalf("did not converge in 300 docs; learned:\n%s\ngoal:\n%s", learned, goal)
+	}
+	t.Logf("converged after %d documents", converged)
+}
+
+func TestQuickLearnedAcceptsTrainingDocs(t *testing.T) {
+	goal := goalSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		docs := make([]*xmltree.Node, n)
+		for i := range docs {
+			docs[i] = goal.Generate(rng, 3)
+		}
+		learned, err := Learn(docs)
+		if err != nil {
+			return false
+		}
+		for _, d := range docs {
+			if !learned.Valid(d) {
+				t.Logf("learned schema rejects training doc %s\nschema:\n%s", d, learned)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLearnedContainedInGoal(t *testing.T) {
+	// The learner is most specific: the learned language is always a
+	// subset of any schema that accepts the training documents —
+	// in particular of the goal that generated them.
+	goal := goalSchema()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		docs := make([]*xmltree.Node, n)
+		for i := range docs {
+			docs[i] = goal.Generate(rng, 3)
+		}
+		learned, err := Learn(docs)
+		if err != nil {
+			return false
+		}
+		if !schema.Contained(learned, goal) {
+			t.Logf("learned not contained in goal:\n%s", learned)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,136 @@
+package twig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseQuery parses the XPath-like twig syntax used throughout this library:
+//
+//	/site/people/person          absolute child path; output = last step
+//	//person[name]/age           descendant axis and filter predicates
+//	/a[b//c][.//d]/e             nested and descendant predicates
+//	//*[b]                       wildcard labels
+//
+// Inside predicates the first step uses no axis for child (`[b]`) and `.//`
+// (or `//`) for descendant (`[.//b]`). The output node is the final step of
+// the main path.
+func ParseQuery(s string) (Query, error) {
+	p := &qparser{src: s}
+	root, err := p.absolutePath()
+	if err != nil {
+		return Query{}, err
+	}
+	if p.pos != len(p.src) {
+		return Query{}, fmt.Errorf("twig: trailing input %q", p.src[p.pos:])
+	}
+	q := Query{Root: root}
+	if err := q.Validate(); err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}
+
+// MustParseQuery is ParseQuery that panics on error, for tests and fixtures.
+func MustParseQuery(s string) Query {
+	q, err := ParseQuery(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type qparser struct {
+	src string
+	pos int
+}
+
+func (p *qparser) absolutePath() (*Node, error) {
+	first, err := p.step(true, false)
+	if err != nil {
+		return nil, err
+	}
+	cur := first
+	for p.pos < len(p.src) && p.src[p.pos] == '/' {
+		next, err := p.step(true, false)
+		if err != nil {
+			return nil, err
+		}
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	cur.Output = true
+	return first, nil
+}
+
+// step parses one step. axisRequired says a leading / or // must be present;
+// inPredicate changes the default axis of an axis-less step to Child and
+// accepts the ".//" form.
+func (p *qparser) step(axisRequired, inPredicate bool) (*Node, error) {
+	axis := Child
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], ".//"):
+		if !inPredicate {
+			return nil, fmt.Errorf("twig: .// only allowed inside predicates at offset %d", p.pos)
+		}
+		axis = Descendant
+		p.pos += 3
+	case strings.HasPrefix(p.src[p.pos:], "//"):
+		axis = Descendant
+		p.pos += 2
+	case strings.HasPrefix(p.src[p.pos:], "/"):
+		axis = Child
+		p.pos++
+	default:
+		if axisRequired {
+			return nil, fmt.Errorf("twig: expected axis at offset %d", p.pos)
+		}
+	}
+	name := p.name()
+	if name == "" {
+		return nil, fmt.Errorf("twig: expected label at offset %d in %q", p.pos, p.src)
+	}
+	n := NewNode(name, axis)
+	for p.pos < len(p.src) && p.src[p.pos] == '[' {
+		p.pos++
+		pred, err := p.relativePath()
+		if err != nil {
+			return nil, err
+		}
+		if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+			return nil, fmt.Errorf("twig: missing ']' at offset %d", p.pos)
+		}
+		p.pos++
+		n.Children = append(n.Children, pred)
+	}
+	return n, nil
+}
+
+func (p *qparser) relativePath() (*Node, error) {
+	first, err := p.step(false, true)
+	if err != nil {
+		return nil, err
+	}
+	cur := first
+	for p.pos < len(p.src) && p.src[p.pos] == '/' {
+		next, err := p.step(true, true)
+		if err != nil {
+			return nil, err
+		}
+		cur.Children = append(cur.Children, next)
+		cur = next
+	}
+	return first, nil
+}
+
+func (p *qparser) name() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '/' || c == '[' || c == ']' {
+			break
+		}
+		p.pos++
+	}
+	return strings.TrimSpace(p.src[start:p.pos])
+}

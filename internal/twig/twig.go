@@ -1,0 +1,395 @@
+// Package twig implements twig queries — the tree-pattern fragment of XPath
+// with child (/) and descendant (//) axes, label tests, wildcards (*), and
+// filter predicates ([...]) — together with their embedding semantics,
+// homomorphism-based containment, and minimization.
+//
+// Twig queries are the query class whose learnability the paper builds on
+// (Staworko & Wieczorek, "Learning twig and path queries", ICDT 2012). A
+// query is a rooted tree whose nodes carry a label or the wildcard "*" and
+// whose edges are either Child or Descendant; one node is designated as the
+// output node. The query selects a document node n when there is an
+// embedding of the pattern into the document that maps the output node to n.
+package twig
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"querylearn/internal/xmltree"
+)
+
+// Wildcard is the label that matches any document label.
+const Wildcard = "*"
+
+// Axis is the relationship between a pattern node and its parent.
+type Axis int
+
+const (
+	// Child requires the image to be a child of the parent's image
+	// (for the root: the document root itself).
+	Child Axis = iota
+	// Descendant requires the image to be a proper descendant of the
+	// parent's image (for the root: any document node).
+	Descendant
+)
+
+func (a Axis) String() string {
+	if a == Descendant {
+		return "//"
+	}
+	return "/"
+}
+
+// Node is one node of a twig query pattern.
+type Node struct {
+	Label    string // element label or Wildcard
+	Axis     Axis   // axis connecting this node to its parent (or to the document root)
+	Output   bool   // true on exactly one node of a query: the selected node
+	Children []*Node
+}
+
+// Query is a twig query: the root pattern node. The zero value is not a
+// valid query; build queries with the constructors or ParseQuery.
+type Query struct {
+	Root *Node
+}
+
+// NewNode returns a pattern node with the given label and axis.
+func NewNode(label string, axis Axis) *Node {
+	return &Node{Label: label, Axis: axis}
+}
+
+// Add appends pattern children and returns n for fluent construction.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// Size returns the number of pattern nodes in the query.
+func (q Query) Size() int { return q.Root.size() }
+
+func (n *Node) size() int {
+	s := 1
+	for _, c := range n.Children {
+		s += c.size()
+	}
+	return s
+}
+
+// OutputNode returns the designated output node, or nil if none is marked.
+func (q Query) OutputNode() *Node {
+	var out *Node
+	q.Root.walk(func(n *Node) {
+		if n.Output {
+			out = n
+		}
+	})
+	return out
+}
+
+func (n *Node) walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.walk(fn)
+	}
+}
+
+// Validate checks structural sanity: exactly one output node and nonempty
+// labels everywhere.
+func (q Query) Validate() error {
+	if q.Root == nil {
+		return fmt.Errorf("twig: nil root")
+	}
+	count := 0
+	var bad error
+	q.Root.walk(func(n *Node) {
+		if n.Output {
+			count++
+		}
+		if n.Label == "" {
+			bad = fmt.Errorf("twig: empty label in pattern")
+		}
+	})
+	if bad != nil {
+		return bad
+	}
+	if count != 1 {
+		return fmt.Errorf("twig: query must have exactly one output node, has %d", count)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the query.
+func (q Query) Clone() Query { return Query{Root: q.Root.clone()} }
+
+func (n *Node) clone() *Node {
+	c := &Node{Label: n.Label, Axis: n.Axis, Output: n.Output}
+	for _, ch := range n.Children {
+		c.Children = append(c.Children, ch.clone())
+	}
+	return c
+}
+
+// String renders the query in XPath-like syntax. The output node is the last
+// step of the main path; filter branches are bracketed predicates. The
+// rendering is canonical given the tree (children render in stored order).
+func (q Query) String() string {
+	var b strings.Builder
+	writeMainPath(&b, q.Root)
+	return b.String()
+}
+
+// writeMainPath renders n and follows the spine that leads to the output
+// node; all other children become predicates.
+func writeMainPath(b *strings.Builder, n *Node) {
+	b.WriteString(n.Axis.String())
+	b.WriteString(n.Label)
+	spine := -1
+	for i, c := range n.Children {
+		if containsOutput(c) {
+			spine = i
+			break
+		}
+	}
+	for i, c := range n.Children {
+		if i == spine {
+			continue
+		}
+		b.WriteString("[")
+		writeFilter(b, c)
+		b.WriteString("]")
+	}
+	if spine >= 0 {
+		writeMainPath(b, n.Children[spine])
+	}
+}
+
+func writeFilter(b *strings.Builder, n *Node) {
+	if n.Axis == Descendant {
+		b.WriteString(".//")
+	} else {
+		b.WriteString("")
+	}
+	b.WriteString(n.Label)
+	for _, c := range n.Children {
+		if len(n.Children) == 1 && len(c.Children) == 0 {
+			// compact chain rendering: a/b instead of a[b]
+			b.WriteString(c.Axis.String())
+			b.WriteString(c.Label)
+			return
+		}
+		b.WriteString("[")
+		writeFilter(b, c)
+		b.WriteString("]")
+	}
+}
+
+func containsOutput(n *Node) bool {
+	if n.Output {
+		return true
+	}
+	for _, c := range n.Children {
+		if containsOutput(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// labelMatches reports whether pattern label pl matches document label dl.
+func labelMatches(pl, dl string) bool { return pl == Wildcard || pl == dl }
+
+// Eval returns the set of document nodes selected by q on the tree rooted at
+// doc, in document preorder. Evaluation is the standard two-pass embedding
+// algorithm: a bottom-up pass computes, for every (pattern node, document
+// node) pair, whether the pattern subtree embeds at that document node; a
+// top-down pass then restricts to globally consistent embeddings and
+// collects the images of the output node. Complexity O(|q|·|t|·deg).
+func (q Query) Eval(doc *xmltree.Node) []*xmltree.Node {
+	if err := q.Validate(); err != nil || doc == nil {
+		return nil
+	}
+	e := newEvaluator(q, doc)
+	return e.run()
+}
+
+// Matches reports whether the query has at least one embedding into doc
+// (i.e., selects at least one node).
+func (q Query) Matches(doc *xmltree.Node) bool { return len(q.Eval(doc)) > 0 }
+
+// Selects reports whether q selects the specific document node target, which
+// must belong to the tree rooted at doc.
+func (q Query) Selects(doc *xmltree.Node, target *xmltree.Node) bool {
+	for _, n := range q.Eval(doc) {
+		if n == target {
+			return true
+		}
+	}
+	return false
+}
+
+type evaluator struct {
+	q      Query
+	qNodes []*Node
+	qIdx   map[*Node]int
+	tNodes []*xmltree.Node
+	tIdx   map[*xmltree.Node]int
+	// sub[qi][ti]: pattern subtree qi embeds with its root mapped to ti.
+	sub [][]bool
+	// desc[qi][ti]: some proper descendant d of ti has sub[qi][d].
+	desc [][]bool
+}
+
+func newEvaluator(q Query, doc *xmltree.Node) *evaluator {
+	e := &evaluator{q: q, qIdx: map[*Node]int{}, tIdx: map[*xmltree.Node]int{}}
+	q.Root.walk(func(n *Node) {
+		e.qIdx[n] = len(e.qNodes)
+		e.qNodes = append(e.qNodes, n)
+	})
+	doc.Walk(func(n *xmltree.Node) bool {
+		e.tIdx[n] = len(e.tNodes)
+		e.tNodes = append(e.tNodes, n)
+		return true
+	})
+	e.sub = make([][]bool, len(e.qNodes))
+	e.desc = make([][]bool, len(e.qNodes))
+	for i := range e.sub {
+		e.sub[i] = make([]bool, len(e.tNodes))
+		e.desc[i] = make([]bool, len(e.tNodes))
+	}
+	return e
+}
+
+func (e *evaluator) run() []*xmltree.Node {
+	// Bottom-up over pattern nodes (children before parents: iterate in
+	// reverse preorder) and document nodes (reverse preorder gives
+	// children before parents too).
+	for qi := len(e.qNodes) - 1; qi >= 0; qi-- {
+		qn := e.qNodes[qi]
+		for ti := len(e.tNodes) - 1; ti >= 0; ti-- {
+			tn := e.tNodes[ti]
+			e.sub[qi][ti] = e.embedsAt(qn, qi, tn, ti)
+		}
+		// desc pass: desc[qi][ti] = OR over children c of tn of
+		// (sub[qi][c] || desc[qi][c]).
+		for ti := len(e.tNodes) - 1; ti >= 0; ti-- {
+			tn := e.tNodes[ti]
+			d := false
+			for _, c := range tn.Children {
+				ci := e.tIdx[c]
+				if e.sub[qi][ci] || e.desc[qi][ci] {
+					d = true
+					break
+				}
+			}
+			e.desc[qi][ti] = d
+		}
+	}
+	// Top-down: possible[qi] = set of ti that qi can take in a global
+	// embedding.
+	possible := make([][]bool, len(e.qNodes))
+	for i := range possible {
+		possible[i] = make([]bool, len(e.tNodes))
+	}
+	rootIdx := 0
+	if e.q.Root.Axis == Child {
+		if e.sub[rootIdx][0] {
+			possible[rootIdx][0] = true
+		}
+	} else {
+		for ti := range e.tNodes {
+			if e.sub[rootIdx][ti] {
+				possible[rootIdx][ti] = true
+			}
+		}
+	}
+	// Preorder over pattern: parents before children.
+	for qi, qn := range e.qNodes {
+		for _, qc := range qn.Children {
+			ci := e.qIdx[qc]
+			for ti, ok := range possible[qi] {
+				if !ok {
+					continue
+				}
+				tn := e.tNodes[ti]
+				if qc.Axis == Child {
+					for _, tc := range tn.Children {
+						tci := e.tIdx[tc]
+						if e.sub[ci][tci] {
+							possible[ci][tci] = true
+						}
+					}
+				} else {
+					e.markDescendants(tn, ci, possible[ci])
+				}
+			}
+		}
+	}
+	out := e.q.OutputNode()
+	oi := e.qIdx[out]
+	var res []*xmltree.Node
+	for ti, ok := range possible[oi] {
+		if ok {
+			res = append(res, e.tNodes[ti])
+		}
+	}
+	return res
+}
+
+// markDescendants sets dst[ti]=true for every proper descendant d of tn with
+// sub[qi][d].
+func (e *evaluator) markDescendants(tn *xmltree.Node, qi int, dst []bool) {
+	for _, c := range tn.Children {
+		ci := e.tIdx[c]
+		if e.sub[qi][ci] {
+			dst[ci] = true
+		}
+		e.markDescendants(c, qi, dst)
+	}
+}
+
+// embedsAt decides sub[qi][ti] assuming all deeper entries are filled.
+func (e *evaluator) embedsAt(qn *Node, qi int, tn *xmltree.Node, ti int) bool {
+	if !labelMatches(qn.Label, tn.Label) {
+		return false
+	}
+	for _, qc := range qn.Children {
+		ci := e.qIdx[qc]
+		ok := false
+		if qc.Axis == Child {
+			for _, tc := range tn.Children {
+				if e.sub[ci][e.tIdx[tc]] {
+					ok = true
+					break
+				}
+			}
+		} else {
+			// Descendant: need desc[ci][ti], but desc for ci is
+			// already computed (ci > qi in preorder, processed
+			// earlier in the reverse loop).
+			ok = e.desc[ci][ti]
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports syntactic equality of two queries up to reordering of filter
+// branches.
+func Equal(a, b Query) bool { return canonNode(a.Root) == canonNode(b.Root) }
+
+func canonNode(n *Node) string {
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = canonNode(c)
+	}
+	sort.Strings(parts)
+	o := ""
+	if n.Output {
+		o = "!"
+	}
+	return n.Axis.String() + n.Label + o + "(" + strings.Join(parts, ",") + ")"
+}

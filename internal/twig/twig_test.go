@@ -1,0 +1,428 @@
+package twig
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/xmltree"
+)
+
+// naiveEval is a brute-force embedding enumerator used as a correctness
+// oracle for Eval in property tests.
+func naiveEval(q Query, doc *xmltree.Node) []*xmltree.Node {
+	out := map[*xmltree.Node]bool{}
+	// sub recursively matches the pattern subtree at qn against the
+	// document node tn and returns whether an embedding exists plus the
+	// set of possible images of the output node within this subtree.
+	var sub func(qn *Node, tn *xmltree.Node) (bool, map[*xmltree.Node]bool)
+	sub = func(qn *Node, tn *xmltree.Node) (bool, map[*xmltree.Node]bool) {
+		if qn.Label != Wildcard && qn.Label != tn.Label {
+			return false, nil
+		}
+		imgs := map[*xmltree.Node]bool{}
+		if qn.Output {
+			imgs[tn] = true
+		}
+		for _, qc := range qn.Children {
+			var cands []*xmltree.Node
+			if qc.Axis == Child {
+				cands = tn.Children
+			} else {
+				for _, c := range tn.Children {
+					cands = append(cands, c.Nodes()...)
+				}
+			}
+			okAny := false
+			cimgs := map[*xmltree.Node]bool{}
+			for _, cand := range cands {
+				ok, ci := sub(qc, cand)
+				if ok {
+					okAny = true
+					for k := range ci {
+						cimgs[k] = true
+					}
+				}
+			}
+			if !okAny {
+				return false, nil
+			}
+			for k := range cimgs {
+				imgs[k] = true
+			}
+		}
+		return true, imgs
+	}
+	var roots []*xmltree.Node
+	if q.Root.Axis == Child {
+		roots = []*xmltree.Node{doc}
+	} else {
+		roots = doc.Nodes()
+	}
+	for _, r := range roots {
+		ok, imgs := sub(q.Root, r)
+		if ok {
+			for k := range imgs {
+				out[k] = true
+			}
+		}
+	}
+	var res []*xmltree.Node
+	doc.Walk(func(n *xmltree.Node) bool {
+		if out[n] {
+			res = append(res, n)
+		}
+		return true
+	})
+	return res
+}
+
+func countNodes(n *Node, _ map[*Node]*xmltree.Node) int { return n.size() }
+
+func labelsOf(ns []*xmltree.Node) string {
+	var ls []string
+	for _, n := range ns {
+		ls = append(ls, n.Label)
+	}
+	sort.Strings(ls)
+	return strings.Join(ls, ",")
+}
+
+func TestParseAndString(t *testing.T) {
+	cases := []struct{ in, out string }{
+		{"/a/b/c", "/a/b/c"},
+		{"//b", "//b"},
+		{"/a//b[c]/d", "/a//b[c]/d"},
+		{"/a[b//c][.//d]/e", "/a[b//c][.//d]/e"},
+		{"//*[b]", "//*[b]"},
+		{"/a[b/c]", "/a[b/c]"},
+	}
+	for _, c := range cases {
+		q, err := ParseQuery(c.in)
+		if err != nil {
+			t.Fatalf("ParseQuery(%q): %v", c.in, err)
+		}
+		if got := q.String(); got != c.out {
+			t.Errorf("ParseQuery(%q).String() = %q, want %q", c.in, got, c.out)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "a/b", "/a[", "/a[b", "/a]", "/a[]", "/", "/a/"} {
+		if _, err := ParseQuery(s); err == nil {
+			t.Errorf("ParseQuery(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"/a/b[c]/d", "//x[.//y][z/w]/v", "/*[a]/b"} {
+		q := MustParseQuery(s)
+		q2 := MustParseQuery(q.String())
+		if !Equal(q, q2) {
+			t.Errorf("round trip changed %q -> %q", s, q.String())
+		}
+	}
+}
+
+func TestEvalChildPath(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b><c/></b><b><d/></b></a>`)
+	q := MustParseQuery("/a/b/c")
+	got := q.Eval(doc)
+	if labelsOf(got) != "c" {
+		t.Errorf("Eval = %v", labelsOf(got))
+	}
+}
+
+func TestEvalDescendant(t *testing.T) {
+	doc := xmltree.MustParse(`<a><x><b/></x><b/></a>`)
+	q := MustParseQuery("//b")
+	if got := q.Eval(doc); len(got) != 2 {
+		t.Errorf("//b selected %d nodes, want 2", len(got))
+	}
+	q2 := MustParseQuery("/a/b")
+	if got := q2.Eval(doc); len(got) != 1 {
+		t.Errorf("/a/b selected %d nodes, want 1", len(got))
+	}
+}
+
+func TestEvalFilter(t *testing.T) {
+	doc := xmltree.MustParse(`<lib><book><title/><year/></book><book><title/></book></lib>`)
+	q := MustParseQuery("/lib/book[year]/title")
+	got := q.Eval(doc)
+	if len(got) != 1 {
+		t.Fatalf("selected %d, want 1", len(got))
+	}
+	// The selected title is inside the first book.
+	if got[0].Parent != doc.Children[0] {
+		t.Errorf("selected title from wrong book")
+	}
+}
+
+func TestEvalDescendantFilter(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b><x><y/></x></b><b><y/></b><b/></a>`)
+	q := MustParseQuery("/a/b[.//y]")
+	if got := q.Eval(doc); len(got) != 2 {
+		t.Errorf("selected %d, want 2", len(got))
+	}
+	q2 := MustParseQuery("/a/b[y]")
+	if got := q2.Eval(doc); len(got) != 1 {
+		t.Errorf("selected %d, want 1", len(got))
+	}
+}
+
+func TestEvalWildcard(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b><c/></b><d><c/></d></a>`)
+	q := MustParseQuery("/a/*/c")
+	if got := q.Eval(doc); len(got) != 2 {
+		t.Errorf("selected %d, want 2", len(got))
+	}
+}
+
+func TestEvalOutputMidPath(t *testing.T) {
+	// Output node is not a leaf of the pattern: /a/b[c] selects b nodes.
+	doc := xmltree.MustParse(`<a><b><c/></b><b/></a>`)
+	q := MustParseQuery("/a/b[c]")
+	got := q.Eval(doc)
+	if len(got) != 1 || got[0].Label != "b" {
+		t.Errorf("got %v", labelsOf(got))
+	}
+}
+
+func TestEvalRootAnchoring(t *testing.T) {
+	doc := xmltree.MustParse(`<a><a><b/></a></a>`)
+	// Child-rooted query: root pattern node must be the document root.
+	q := MustParseQuery("/a/b")
+	if got := q.Eval(doc); len(got) != 0 {
+		t.Errorf("/a/b should not match nested a, got %d", len(got))
+	}
+	q2 := MustParseQuery("//a/b")
+	if got := q2.Eval(doc); len(got) != 1 {
+		t.Errorf("//a/b should match, got %d", len(got))
+	}
+}
+
+func TestSelects(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b/><b/></a>`)
+	q := MustParseQuery("/a/b")
+	if !q.Selects(doc, doc.Children[0]) || !q.Selects(doc, doc.Children[1]) {
+		t.Errorf("should select both b nodes")
+	}
+	if q.Selects(doc, doc) {
+		t.Errorf("should not select root")
+	}
+}
+
+func TestContainment(t *testing.T) {
+	cases := []struct {
+		p, q string
+		want bool
+	}{
+		{"/a/b", "//b", true},
+		{"//b", "/a/b", false},
+		{"/a/b[c]", "/a/b", true},
+		{"/a/b", "/a/b[c]", false},
+		{"/a/b/c", "/a//c", true},
+		{"/a//c", "/a/b/c", false},
+		{"/a/b", "/a/*", true},
+		{"/a/*", "/a/b", false},
+		{"/a/b[c][d]", "/a/b[d]", true},
+		{"/a/b[c/d]", "/a/b[c]", true},
+		{"/a/b[c]", "/a/b[c/d]", false},
+		{"/a/b", "/a/b", true},
+		{"//a//b//c", "//a//c", true},
+	}
+	for _, c := range cases {
+		p, q := MustParseQuery(c.p), MustParseQuery(c.q)
+		if got := Contained(p, q); got != c.want {
+			t.Errorf("Contained(%s, %s) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	p := MustParseQuery("/a/b[c][c/d]")
+	q := MustParseQuery("/a/b[c/d]")
+	if !Equivalent(p, q) {
+		t.Errorf("filters [c][c/d] and [c/d] should be equivalent")
+	}
+	if Equivalent(MustParseQuery("/a/b"), MustParseQuery("//b")) {
+		t.Errorf("/a/b and //b are not equivalent")
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	q := MustParseQuery("/a/b[c][c/d]")
+	m := Minimize(q)
+	if m.Size() != 4 {
+		t.Errorf("Minimize size = %d (%s), want 4", m.Size(), m)
+	}
+	if !Equivalent(m, q) {
+		t.Errorf("minimized query not equivalent")
+	}
+	// Already-minimal query unchanged.
+	q2 := MustParseQuery("/a/b[c][d]")
+	if got := Minimize(q2); got.Size() != q2.Size() {
+		t.Errorf("minimal query shrank to %s", got)
+	}
+}
+
+func TestMinimizeNested(t *testing.T) {
+	// Redundancy inside a filter branch: b[x][x/y] -> b[x/y].
+	q := MustParseQuery("/a[b[x][x/y]]/c")
+	m := Minimize(q)
+	if !Equivalent(m, q) {
+		t.Fatalf("not equivalent after minimize")
+	}
+	if m.Size() >= q.Size() {
+		t.Errorf("expected shrink, got %s (size %d)", m, m.Size())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	q := Query{Root: NewNode("a", Child)}
+	if err := q.Validate(); err == nil {
+		t.Errorf("no output node should fail validation")
+	}
+	q.Root.Output = true
+	if err := q.Validate(); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	q.Root.Add(&Node{Label: "b", Output: true})
+	if err := q.Validate(); err == nil {
+		t.Errorf("two output nodes should fail")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := MustParseQuery("/a/b[c]")
+	c := q.Clone()
+	c.Root.Label = "z"
+	if q.Root.Label != "a" {
+		t.Errorf("clone mutation leaked")
+	}
+}
+
+// --- property tests against the naive oracle ---
+
+var propLabels = []string{"a", "b", "c"}
+
+func genDoc(seed int64, depth int) *xmltree.Node {
+	if seed < 0 {
+		seed = -seed
+	}
+	var build func(s int64, d int) *xmltree.Node
+	build = func(s int64, d int) *xmltree.Node {
+		n := xmltree.New(propLabels[int(s%3)])
+		if d <= 0 {
+			return n
+		}
+		k := int((s / 5) % 3)
+		for i := 0; i < k; i++ {
+			n.Add(build(s/2+int64(7*i+3), d-1))
+		}
+		return n
+	}
+	return build(seed+1, depth)
+}
+
+func genQuery(seed int64) Query {
+	if seed < 0 {
+		seed = -seed
+	}
+	axes := []Axis{Child, Descendant}
+	var build func(s int64, d int) *Node
+	build = func(s int64, d int) *Node {
+		lbl := propLabels[int(s%3)]
+		if s%7 == 0 {
+			lbl = Wildcard
+		}
+		n := NewNode(lbl, axes[int(s/3)%2])
+		if d <= 0 {
+			return n
+		}
+		k := int((s / 11) % 2)
+		for i := 0; i < k; i++ {
+			n.Add(build(s/2+int64(5*i+1), d-1))
+		}
+		return n
+	}
+	root := build(seed+2, 2)
+	// Mark a deterministic output node: deepest first child chain.
+	n := root
+	for len(n.Children) > 0 && (seed/13)%2 == 0 {
+		n = n.Children[0]
+	}
+	n.Output = true
+	return Query{Root: root}
+}
+
+func TestQuickEvalMatchesNaive(t *testing.T) {
+	f := func(qs, ds int64) bool {
+		q := genQuery(qs)
+		doc := genDoc(ds, 4)
+		got := labelsOf(q.Eval(doc))
+		want := labelsOf(naiveEval(q, doc))
+		if got != want {
+			t.Logf("q=%s doc=%s got=%q want=%q", q, doc, got, want)
+			return false
+		}
+		// Stronger: exact node sets.
+		g, w := q.Eval(doc), naiveEval(q, doc)
+		if len(g) != len(w) {
+			return false
+		}
+		set := map[*xmltree.Node]bool{}
+		for _, n := range g {
+			set[n] = true
+		}
+		for _, n := range w {
+			if !set[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickContainmentSoundOnEval(t *testing.T) {
+	// If Contained(p, q) then on every generated doc, p's answers ⊆ q's.
+	f := func(ps, qs, ds int64) bool {
+		p, q := genQuery(ps), genQuery(qs)
+		if !Contained(p, q) {
+			return true
+		}
+		doc := genDoc(ds, 4)
+		qa := map[*xmltree.Node]bool{}
+		for _, n := range q.Eval(doc) {
+			qa[n] = true
+		}
+		for _, n := range p.Eval(doc) {
+			if !qa[n] {
+				t.Logf("p=%s q=%s doc=%s: node %s selected by p not q", p, q, doc, n.Label)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinimizePreservesSemantics(t *testing.T) {
+	f := func(qs, ds int64) bool {
+		q := genQuery(qs)
+		m := Minimize(q)
+		doc := genDoc(ds, 4)
+		return labelsOf(q.Eval(doc)) == labelsOf(m.Eval(doc))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

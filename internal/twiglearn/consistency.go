@@ -1,0 +1,205 @@
+package twiglearn
+
+import (
+	"fmt"
+	"sort"
+
+	"querylearn/internal/twig"
+)
+
+// Consistency with positive AND negative examples. The paper: "adding
+// negative examples renders learning more complex: it is NP-complete to
+// decide whether there exists a query that selects all the positive
+// examples and none of the negative ones. [...] when considering the
+// restriction that the sets of positive and negative examples have a
+// bounded size, the problem becomes tractable." FindConsistent implements
+// the exact search: it first tries the most specific generalization of the
+// positives and, when that selects a negative, explores the bounded
+// candidate space of sub-path queries of the first positive's selecting
+// path decorated with subsets of common filters. The search budget makes
+// the exponential worst case explicit; the consistency ablation bench
+// measures its growth.
+
+// ErrNoConsistentQuery is returned when the candidate space contains no
+// query consistent with the examples.
+var ErrNoConsistentQuery = fmt.Errorf("twiglearn: no consistent query in the candidate space")
+
+// ErrBudgetExhausted is returned when the bounded search ran out of its
+// candidate budget before finding a consistent query.
+var ErrBudgetExhausted = fmt.Errorf("twiglearn: consistency search budget exhausted")
+
+// FindConsistent returns a twig query selecting every positive example's
+// node and no negative example's node, preferring the most specific
+// generalization when it is already consistent. budget bounds the number of
+// candidate queries evaluated (0 means a default of 100000).
+func FindConsistent(examples []Example, opts Options, budget int) (twig.Query, error) {
+	pos, neg := Split(examples)
+	if len(pos) == 0 {
+		return twig.Query{}, fmt.Errorf("twiglearn: need at least one positive example")
+	}
+	if budget == 0 {
+		budget = 100000
+	}
+	q, err := Learn(examples, opts)
+	if err != nil {
+		return twig.Query{}, err
+	}
+	if Consistent(q, examples) {
+		return q, nil
+	}
+	if len(neg) == 0 {
+		// The most specific generalization failed a positive — cannot
+		// happen by construction; guard anyway.
+		return twig.Query{}, ErrNoConsistentQuery
+	}
+	// Bounded exact search. Candidates: subsequences of the first
+	// positive's selecting path that keep the selected node, with child
+	// axes where positions stay consecutive and descendant axes across
+	// gaps, optionally keeping the root anchored; each candidate is also
+	// tried with every subset of the common filters, most specific
+	// first.
+	steps := stepsFromNode(pos[0].Node)
+	k := len(steps)
+	if k > 24 {
+		return twig.Query{}, fmt.Errorf("twiglearn: selecting path too long for exact search (%d)", k)
+	}
+	filters := commonFilterSet(pos, opts)
+	type cand struct {
+		q     twig.Query
+		score int
+	}
+	var cands []cand
+	// Enumerate subsets of path positions 0..k-2 (position k-1 is always
+	// kept: it is the output anchor).
+	for mask := 0; mask < (1 << (k - 1)); mask++ {
+		sub := buildSubpath(steps, mask)
+		score := 0
+		for _, s := range sub {
+			if s.label != twig.Wildcard {
+				score += scoreConcreteLabel
+			}
+			if s.axis == twig.Child {
+				score += scoreChildAxis
+			}
+		}
+		cands = append(cands, cand{queryFromSteps(sub), score})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	tried := 0
+	for _, c := range cands {
+		// Try with all filters first (most specific), then without.
+		for _, withFilters := range []bool{true, false} {
+			tried++
+			if tried > budget {
+				return twig.Query{}, ErrBudgetExhausted
+			}
+			q := c.q.Clone()
+			if withFilters && len(filters) > 0 {
+				attachFiltersEverywhere(q, filters, pos)
+			}
+			if Consistent(q, examples) {
+				if opts.Minimize {
+					q = twig.Minimize(q)
+				}
+				return q, nil
+			}
+		}
+	}
+	return twig.Query{}, ErrNoConsistentQuery
+}
+
+// buildSubpath keeps the positions of mask (plus the last position) from
+// the step sequence, assigning child axes to consecutive kept runs and
+// descendant axes across gaps.
+func buildSubpath(steps []step, mask int) []step {
+	k := len(steps)
+	var kept []int
+	for i := 0; i < k-1; i++ {
+		if mask&(1<<i) != 0 {
+			kept = append(kept, i)
+		}
+	}
+	kept = append(kept, k-1)
+	out := make([]step, len(kept))
+	for idx, i := range kept {
+		axis := twig.Descendant
+		if idx == 0 {
+			if i == 0 {
+				axis = twig.Child
+			}
+		} else if kept[idx-1] == i-1 {
+			axis = twig.Child
+		}
+		out[idx] = step{axis: axis, label: steps[i].label}
+	}
+	return out
+}
+
+// commonFilterSet mines the filters common to all positives at the output
+// node only (the dominant source of discriminating structure), as a cheap
+// filter pool for the consistency search.
+func commonFilterSet(pos []Example, opts Options) []*twig.Node {
+	if !opts.UseFilters {
+		return nil
+	}
+	depth := opts.MaxFilterDepth
+	if depth == 0 {
+		depth = 3
+	}
+	cands := filterCandidates(pos[0].Node, depth)
+	var common []*twig.Node
+	for _, f := range cands {
+		all := true
+		for _, e := range pos[1:] {
+			if !branchMatchesAt(f, e.Node) {
+				all = false
+				break
+			}
+		}
+		if all {
+			common = append(common, f)
+		}
+	}
+	return dropSubsumedFilters(common)
+}
+
+// attachFiltersEverywhere attaches the filter pool at the output node when
+// they hold at every positive's selected node (they do, by construction).
+func attachFiltersEverywhere(q twig.Query, filters []*twig.Node, pos []Example) {
+	out := q.OutputNode()
+	for _, f := range filters {
+		ok := true
+		for _, e := range pos {
+			if !branchMatchesAt(f, e.Node) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Children = append(out.Children, cloneBranch(f))
+		}
+	}
+}
+
+func cloneBranch(f *twig.Node) *twig.Node {
+	c := &twig.Node{Label: f.Label, Axis: f.Axis}
+	for _, ch := range f.Children {
+		c.Children = append(c.Children, cloneBranch(ch))
+	}
+	return c
+}
+
+// ConsistencyDecision reports whether some query in the bounded candidate
+// space is consistent with the examples — the decision problem whose
+// NP-completeness the paper cites. It is FindConsistent minus the query.
+func ConsistencyDecision(examples []Example, opts Options, budget int) (bool, error) {
+	_, err := FindConsistent(examples, opts, budget)
+	switch err {
+	case nil:
+		return true, nil
+	case ErrNoConsistentQuery:
+		return false, nil
+	default:
+		return false, err
+	}
+}

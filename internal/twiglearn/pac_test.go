@@ -1,0 +1,118 @@
+package twiglearn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/twig"
+	"querylearn/internal/xmark"
+	"querylearn/internal/xmltree"
+)
+
+func pacPool(t *testing.T, goal twig.Query, nDocs int) []Example {
+	t.Helper()
+	var pool []Example
+	for i := 0; i < nDocs; i++ {
+		doc := xmark.Generate(int64(i+1), xmark.ScaleConfig(1))
+		sel := map[*xmltree.Node]bool{}
+		for _, n := range goal.Eval(doc) {
+			sel[n] = true
+		}
+		// All selected nodes positive; same-label unselected nodes
+		// negative (the informative contrast set).
+		doc.Walk(func(n *xmltree.Node) bool {
+			if sel[n] {
+				pool = append(pool, Example{Doc: doc, Node: n, Positive: true})
+			} else if n.Label == goal.OutputNode().Label {
+				pool = append(pool, Example{Doc: doc, Node: n, Positive: false})
+			}
+			return true
+		})
+	}
+	if len(pool) == 0 {
+		t.Skip("empty pool for goal")
+	}
+	return pool
+}
+
+func TestLearnPACLowErrorOnRealizableGoal(t *testing.T) {
+	goal := twig.MustParseQuery("/site/people/person[address]/name")
+	pool := pacPool(t, goal, 4)
+	res, err := LearnPAC(pool, 0.1, 0.1, DefaultOptions(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SampleSize < 1 {
+		t.Errorf("sample size = %d", res.SampleSize)
+	}
+	if res.EmpiricalError > 0.15 {
+		t.Errorf("empirical error %.2f > 0.15 (learned %s)", res.EmpiricalError, res.Query)
+	}
+}
+
+func TestLearnPACParameterValidation(t *testing.T) {
+	d := xmltree.MustParse(`<a><b/></a>`)
+	pool := []Example{{Doc: d, Node: d.Children[0], Positive: true}}
+	for _, bad := range [][2]float64{{0, 0.1}, {1, 0.1}, {0.1, 0}, {0.1, 1}} {
+		if _, err := LearnPAC(pool, bad[0], bad[1], DefaultOptions(), rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("epsilon=%v delta=%v should fail", bad[0], bad[1])
+		}
+	}
+	if _, err := LearnPAC([]Example{{Doc: d, Node: d, Positive: false}}, 0.1, 0.1, DefaultOptions(), rand.New(rand.NewSource(1))); err == nil {
+		t.Errorf("no positives should fail")
+	}
+}
+
+func TestLearnPACToleratesContradictions(t *testing.T) {
+	// The same node labeled both ways: exact learning fails, PAC returns
+	// a hypothesis with bounded error anyway.
+	d := xmltree.MustParse(`<a><b/><b/></a>`)
+	pool := []Example{
+		{Doc: d, Node: d.Children[0], Positive: true},
+		{Doc: d, Node: d.Children[0], Positive: false},
+		{Doc: d, Node: d.Children[1], Positive: true},
+	}
+	res, err := LearnPAC(pool, 0.4, 0.2, DefaultOptions(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One of the three annotations is necessarily violated.
+	if res.EmpiricalError <= 0 || res.EmpiricalError > 0.67 {
+		t.Errorf("empirical error = %.2f, want in (0, 2/3]", res.EmpiricalError)
+	}
+}
+
+func TestQuickPACSampleBoundMonotone(t *testing.T) {
+	// Smaller epsilon must never shrink the requested sample.
+	goal := twig.MustParseQuery("//person/name")
+	pool := pacPool(t, goal, 2)
+	f := func(seed int64) bool {
+		rng1 := rand.New(rand.NewSource(seed))
+		rng2 := rand.New(rand.NewSource(seed))
+		loose, err1 := LearnPAC(pool, 0.5, 0.1, DefaultOptions(), rng1)
+		tight, err2 := LearnPAC(pool, 0.05, 0.1, DefaultOptions(), rng2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return tight.SampleSize >= loose.SampleSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmpiricalError(t *testing.T) {
+	d := xmltree.MustParse(`<a><b/><c/></a>`)
+	q := twig.MustParseQuery("/a/b")
+	exs := []Example{
+		{Doc: d, Node: d.Children[0], Positive: true}, // correct
+		{Doc: d, Node: d.Children[1], Positive: true}, // wrong: /a/b misses c
+	}
+	if got := EmpiricalError(q, exs); got != 0.5 {
+		t.Errorf("EmpiricalError = %.2f, want 0.5", got)
+	}
+	if got := EmpiricalError(q, nil); got != 0 {
+		t.Errorf("empty examples should have zero error")
+	}
+}

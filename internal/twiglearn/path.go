@@ -1,0 +1,275 @@
+package twiglearn
+
+import (
+	"fmt"
+
+	"querylearn/internal/twig"
+	"querylearn/internal/xmltree"
+)
+
+// Path-query generalization: the core of the learner. A path query is a
+// sequence of steps (axis, label); the most specific common generalization
+// of two step sequences is computed by a weighted alignment that rewards
+// concrete labels and child axes — the practical counterpart of the
+// anchored-path generalization of Staworko & Wieczorek.
+
+// step is one node of a path query: the axis connecting it to its
+// predecessor (for the first step: to the document root) and its label.
+type step struct {
+	axis  twig.Axis
+	label string
+}
+
+// stepsFromNode returns the selecting path of an example as a step sequence
+// (all child axes, concrete labels).
+func stepsFromNode(n *xmltree.Node) []step {
+	labels := n.LabelsFromRoot()
+	out := make([]step, len(labels))
+	for i, l := range labels {
+		out[i] = step{axis: twig.Child, label: l}
+	}
+	return out
+}
+
+// stepsFromQuery converts a pure path query (each pattern node has at most
+// one child) to a step sequence. It errors on branching queries.
+func stepsFromQuery(q twig.Query) ([]step, error) {
+	var out []step
+	n := q.Root
+	for n != nil {
+		out = append(out, step{axis: n.Axis, label: n.Label})
+		switch len(n.Children) {
+		case 0:
+			n = nil
+		case 1:
+			n = n.Children[0]
+		default:
+			return nil, fmt.Errorf("twiglearn: query %s is not a path", q)
+		}
+	}
+	return out, nil
+}
+
+// queryFromSteps builds a path query with the output at the last step.
+func queryFromSteps(steps []step) twig.Query {
+	if len(steps) == 0 {
+		return twig.Query{}
+	}
+	root := twig.NewNode(steps[0].label, steps[0].axis)
+	cur := root
+	for _, s := range steps[1:] {
+		next := twig.NewNode(s.label, s.axis)
+		cur.Add(next)
+		cur = next
+	}
+	cur.Output = true
+	return twig.Query{Root: root}
+}
+
+// Alignment scores. Concrete labels and child axes make a pattern more
+// specific; the generalization maximizes total specificity among patterns
+// that subsume both inputs.
+const (
+	scoreConcreteLabel = 4
+	scoreWildcard      = 1
+	scoreChildAxis     = 2
+	scoreNegInf        = -1 << 30
+)
+
+// generalizeSteps computes the most specific common generalization of two
+// step sequences: the highest-scoring path query Q' such that Q' has an
+// alignment-witnessed homomorphism onto each input (so L(Q') covers both).
+// Both inputs must be non-empty; the result's last step aligns with both
+// last steps (output anchoring).
+func generalizeSteps(a, b []step) []step {
+	k, l := len(a), len(b)
+	// memo[i][j]: best score of a pattern whose first node maps to a[i]
+	// and b[j] and whose last node maps to a[k-1], b[l-1]. choice[i][j]
+	// records the next mapped pair (or -1,-1 for end).
+	memo := make([][]int, k)
+	choice := make([][][2]int, k)
+	for i := range memo {
+		memo[i] = make([]int, l)
+		choice[i] = make([][2]int, l)
+		for j := range memo[i] {
+			memo[i][j] = scoreNegInf - 1 // un-computed marker
+		}
+	}
+	labelScore := func(i, j int) int {
+		if a[i].label == b[j].label && a[i].label != twig.Wildcard {
+			return scoreConcreteLabel
+		}
+		return scoreWildcard
+	}
+	var best func(i, j int) int
+	best = func(i, j int) int {
+		if memo[i][j] > scoreNegInf-1 {
+			return memo[i][j]
+		}
+		ls := labelScore(i, j)
+		res := scoreNegInf
+		ch := [2]int{-1, -1}
+		if i == k-1 && j == l-1 {
+			res, ch = ls, [2]int{-1, -1}
+		} else if i < k-1 && j < l-1 {
+			// Child transition: consecutive in both, both child axes.
+			if a[i+1].axis == twig.Child && b[j+1].axis == twig.Child {
+				if s := best(i+1, j+1); s > scoreNegInf {
+					res = ls + scoreChildAxis + s
+					ch = [2]int{i + 1, j + 1}
+				}
+			}
+			// Descendant transition: any strictly later pair.
+			for i2 := i + 1; i2 < k; i2++ {
+				for j2 := j + 1; j2 < l; j2++ {
+					if s := best(i2, j2); s > scoreNegInf && ls+s > res {
+						res = ls + s
+						ch = [2]int{i2, j2}
+					}
+				}
+			}
+		}
+		memo[i][j] = res
+		choice[i][j] = ch
+		return res
+	}
+	// Root options: anchored (both first steps are child-axis, map the
+	// pattern root there, keep the child root axis) or floating
+	// (descendant root axis, map anywhere).
+	bestScore, bi, bj := scoreNegInf, -1, -1
+	rootedChild := false
+	if a[0].axis == twig.Child && b[0].axis == twig.Child {
+		if s := best(0, 0); s > scoreNegInf {
+			bestScore, bi, bj, rootedChild = s+scoreChildAxis, 0, 0, true
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < l; j++ {
+			if s := best(i, j); s > bestScore {
+				bestScore, bi, bj, rootedChild = s, i, j, false
+			}
+		}
+	}
+	if bi < 0 {
+		return nil
+	}
+	// Reconstruct.
+	var out []step
+	i, j := bi, bj
+	axis := twig.Descendant
+	if rootedChild {
+		axis = twig.Child
+	}
+	for {
+		lbl := twig.Wildcard
+		if a[i].label == b[j].label {
+			lbl = a[i].label
+		}
+		out = append(out, step{axis: axis, label: lbl})
+		nxt := choice[i][j]
+		if nxt[0] < 0 {
+			break
+		}
+		if nxt[0] == i+1 && nxt[1] == j+1 && a[i+1].axis == twig.Child && b[j+1].axis == twig.Child {
+			axis = twig.Child
+		} else {
+			axis = twig.Descendant
+		}
+		i, j = nxt[0], nxt[1]
+	}
+	return out
+}
+
+// GeneralizePaths returns the most specific path query generalizing the
+// selecting paths of the given nodes (each taken in its own document).
+func GeneralizePaths(nodes []*xmltree.Node) (twig.Query, error) {
+	if len(nodes) == 0 {
+		return twig.Query{}, fmt.Errorf("twiglearn: no nodes to generalize")
+	}
+	acc := stepsFromNode(nodes[0])
+	for _, n := range nodes[1:] {
+		acc = generalizeSteps(acc, stepsFromNode(n))
+		if acc == nil {
+			return twig.Query{}, fmt.Errorf("twiglearn: generalization collapsed")
+		}
+	}
+	return queryFromSteps(acc), nil
+}
+
+// embedPositions returns, for each step of the path query, the index on the
+// node's selecting path where the step maps under the rightmost (closest to
+// the selected node) embedding, or nil when no embedding exists. Rightmost
+// embeddings make filter anchoring deterministic.
+func embedPositions(steps []step, pathLabels []string) []int {
+	m, k := len(steps), len(pathLabels)
+	if m == 0 || k == 0 {
+		return nil
+	}
+	// feasible[s][p]: steps[s:] embeds into path with steps[s] at p and
+	// last step at k-1.
+	feasible := make([][]bool, m)
+	for s := range feasible {
+		feasible[s] = make([]bool, k)
+	}
+	match := func(s, p int) bool {
+		return steps[s].label == twig.Wildcard || steps[s].label == pathLabels[p]
+	}
+	for s := m - 1; s >= 0; s-- {
+		for p := k - 1; p >= 0; p-- {
+			if !match(s, p) {
+				continue
+			}
+			if s == m-1 {
+				feasible[s][p] = p == k-1
+				continue
+			}
+			next := steps[s+1]
+			if next.axis == twig.Child {
+				feasible[s][p] = p+1 < k && feasible[s+1][p+1]
+			} else {
+				for p2 := p + 1; p2 < k; p2++ {
+					if feasible[s+1][p2] {
+						feasible[s][p] = true
+						break
+					}
+				}
+			}
+		}
+	}
+	// Start: step 0 at position 0 if child-rooted, else anywhere; pick the
+	// rightmost feasible start, then extend rightmost.
+	start := -1
+	if steps[0].axis == twig.Child {
+		if feasible[0][0] {
+			start = 0
+		}
+	} else {
+		for p := k - 1; p >= 0; p-- {
+			if feasible[0][p] {
+				start = p
+				break
+			}
+		}
+	}
+	if start < 0 {
+		return nil
+	}
+	pos := make([]int, m)
+	pos[0] = start
+	for s := 1; s < m; s++ {
+		prev := pos[s-1]
+		if steps[s].axis == twig.Child {
+			pos[s] = prev + 1
+			continue
+		}
+		found := -1
+		for p := k - 1; p > prev; p-- {
+			if feasible[s][p] {
+				found = p
+				break
+			}
+		}
+		pos[s] = found
+	}
+	return pos
+}

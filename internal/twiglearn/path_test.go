@@ -1,0 +1,255 @@
+package twiglearn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/twig"
+	"querylearn/internal/xmltree"
+)
+
+func steps(spec string) []step {
+	// spec: "/a/b//c" style.
+	var out []step
+	i := 0
+	for i < len(spec) {
+		axis := twig.Child
+		if strings.HasPrefix(spec[i:], "//") {
+			axis = twig.Descendant
+			i += 2
+		} else if spec[i] == '/' {
+			i++
+		}
+		j := i
+		for j < len(spec) && spec[j] != '/' {
+			j++
+		}
+		out = append(out, step{axis: axis, label: spec[i:j]})
+		i = j
+	}
+	return out
+}
+
+func renderSteps(ss []step) string {
+	var b strings.Builder
+	for _, s := range ss {
+		b.WriteString(s.axis.String())
+		b.WriteString(s.label)
+	}
+	return b.String()
+}
+
+func TestGeneralizeStepsTable(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want string
+	}{
+		{"/a/b/c", "/a/b/c", "/a/b/c"},
+		{"/a/b/c", "/a/x/b/c", "/a//b/c"},
+		{"/a/b/c", "/a/d/c", "/a/*/c"},
+		{"/a/c", "/c", "//c"},
+		{"/a/b", "/b/b", "/*/b"},
+		{"/r//b/c", "/r/b/c", "/r//b/c"}, // query vs path: keeps //
+		{"/r/*/c", "/r/b/c", "/r/*/c"},   // wildcard stays wildcard
+		{"/a/a/a", "/a/a", "/a/a"},       // suffix alignment wins... /a//a also scores; check below
+	}
+	for _, c := range cases {
+		got := renderSteps(generalizeSteps(steps(c.a), steps(c.b)))
+		if c.a == "/a/a/a" {
+			// Several maximal generalizations tie; just require it
+			// matches both inputs (checked by the property test) and
+			// is one of the sensible forms.
+			if got != "/a/a" && got != "/a//a" && got != "//a/a" {
+				t.Errorf("generalize(%s, %s) = %s", c.a, c.b, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("generalize(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestGeneralizeStepsAnchoredRoot(t *testing.T) {
+	// Child-rooted inputs with equal roots keep the anchored root.
+	got := renderSteps(generalizeSteps(steps("/a/b"), steps("/a/c/b")))
+	if !strings.HasPrefix(got, "/a") {
+		t.Errorf("anchored root lost: %s", got)
+	}
+	// Different roots: floating or wildcard root.
+	got2 := renderSteps(generalizeSteps(steps("/a/b"), steps("/x/b")))
+	if got2 != "/*/b" && got2 != "//b" {
+		t.Errorf("generalize(/a/b, /x/b) = %s", got2)
+	}
+}
+
+func TestEmbedPositionsChild(t *testing.T) {
+	ss := steps("/a/b/c")
+	pos := embedPositions(ss, []string{"a", "b", "c"})
+	if pos == nil || pos[0] != 0 || pos[1] != 1 || pos[2] != 2 {
+		t.Errorf("positions = %v", pos)
+	}
+}
+
+func TestEmbedPositionsDescendantRightmost(t *testing.T) {
+	ss := steps("/a//b/c")
+	// Path a b x b c: the b step should map to the RIGHTMOST feasible b
+	// (index 3), keeping filters anchored near the output.
+	pos := embedPositions(ss, []string{"a", "b", "x", "b", "c"})
+	if pos == nil {
+		t.Fatal("no embedding found")
+	}
+	if pos[1] != 3 {
+		t.Errorf("descendant step mapped to %d, want rightmost 3", pos[1])
+	}
+	if pos[2] != 4 {
+		t.Errorf("output step mapped to %d, want 4", pos[2])
+	}
+}
+
+func TestEmbedPositionsNoEmbedding(t *testing.T) {
+	ss := steps("/a/b")
+	if pos := embedPositions(ss, []string{"a", "c"}); pos != nil {
+		t.Errorf("expected nil, got %v", pos)
+	}
+	// Child-rooted step must anchor at position 0.
+	if pos := embedPositions(steps("/b"), []string{"a", "b"}); pos != nil {
+		t.Errorf("child-rooted /b cannot embed into a/b path: %v", pos)
+	}
+	if pos := embedPositions(steps("//b"), []string{"a", "b"}); pos == nil {
+		t.Errorf("descendant-rooted //b should embed")
+	}
+}
+
+func TestEmbedPositionsWildcard(t *testing.T) {
+	ss := steps("/a/*/c")
+	pos := embedPositions(ss, []string{"a", "zz", "c"})
+	if pos == nil || pos[1] != 1 {
+		t.Errorf("wildcard step positions = %v", pos)
+	}
+}
+
+func TestStepsFromQueryRejectsBranching(t *testing.T) {
+	q := twig.MustParseQuery("/a[b]/c")
+	if _, err := stepsFromQuery(q); err == nil {
+		t.Errorf("branching query must be rejected")
+	}
+	q2 := twig.MustParseQuery("/a/b/c")
+	ss, err := stepsFromQuery(q2)
+	if err != nil || len(ss) != 3 {
+		t.Errorf("stepsFromQuery = %v, %v", ss, err)
+	}
+}
+
+func TestQueryFromStepsOutputAtEnd(t *testing.T) {
+	q := queryFromSteps(steps("/a//b"))
+	out := q.OutputNode()
+	if out == nil || out.Label != "b" {
+		t.Errorf("output node = %v", out)
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("invalid query: %v", err)
+	}
+}
+
+// Property: the generalization of two document paths subsumes both, as a
+// path query evaluated on the straight-line documents.
+func TestQuickGeneralizeStepsMatchesInputs(t *testing.T) {
+	labels := []string{"a", "b"}
+	genPath := func(seed int64) []string {
+		if seed < 0 {
+			seed = -seed
+		}
+		n := 1 + int(seed%4)
+		out := make([]string, n)
+		s := seed
+		for i := range out {
+			out[i] = labels[int(s)%2]
+			s = s/2 + 3
+		}
+		return out
+	}
+	lineDoc := func(path []string) (*xmltree.Node, *xmltree.Node) {
+		root := xmltree.New(path[0])
+		cur := root
+		for _, l := range path[1:] {
+			cur = cur.AddNew(l)
+		}
+		return root, cur
+	}
+	f := func(s1, s2 int64) bool {
+		p1, p2 := genPath(s1), genPath(s2)
+		ss := generalizeSteps(stepsFromLabels(p1), stepsFromLabels(p2))
+		if ss == nil {
+			return false
+		}
+		q := queryFromSteps(ss)
+		d1, n1 := lineDoc(p1)
+		d2, n2 := lineDoc(p2)
+		if !q.Selects(d1, n1) || !q.Selects(d2, n2) {
+			t.Logf("q=%s p1=%v p2=%v", q, p1, p2)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func stepsFromLabels(labels []string) []step {
+	out := make([]step, len(labels))
+	for i, l := range labels {
+		out[i] = step{axis: twig.Child, label: l}
+	}
+	return out
+}
+
+func TestFilterCandidatesDepthBound(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b><c><d><e/></d></c></b></a>`)
+	cands := filterCandidates(doc, 2)
+	for _, f := range cands {
+		depth := 0
+		for n := f; n != nil; {
+			depth++
+			if len(n.Children) == 0 {
+				n = nil
+			} else {
+				n = n.Children[0]
+			}
+		}
+		if depth > 2 {
+			t.Errorf("candidate %v exceeds depth 2", filterKey(f))
+		}
+	}
+}
+
+func TestBranchImplies(t *testing.T) {
+	// b/c implies b; b does not imply b/c.
+	bc := chainToBranch([]string{"b", "c"}, twig.Child)
+	bOnly := chainToBranch([]string{"b"}, twig.Child)
+	if !branchImplies(bc, bOnly) {
+		t.Errorf("b/c should imply b")
+	}
+	if branchImplies(bOnly, bc) {
+		t.Errorf("b should not imply b/c")
+	}
+	// Child filter implies the descendant filter with the same label.
+	descB := &twig.Node{Label: "b", Axis: twig.Descendant}
+	if !branchImplies(bOnly, descB) {
+		t.Errorf("child b should imply .//b")
+	}
+	if branchImplies(descB, bOnly) {
+		t.Errorf(".//b should not imply child b")
+	}
+}
+
+func TestDropSubsumedFilters(t *testing.T) {
+	bc := chainToBranch([]string{"b", "c"}, twig.Child)
+	bOnly := chainToBranch([]string{"b"}, twig.Child)
+	kept := dropSubsumedFilters([]*twig.Node{bOnly, bc})
+	if len(kept) != 1 || filterKey(kept[0]) != filterKey(bc) {
+		t.Errorf("kept %d filters; want just b/c", len(kept))
+	}
+}

@@ -1,0 +1,87 @@
+package twiglearn
+
+import (
+	"testing"
+
+	"querylearn/internal/interact"
+	"querylearn/internal/twig"
+	"querylearn/internal/xmltree"
+)
+
+func TestTwigSessionConvergesToGoal(t *testing.T) {
+	goal := twig.MustParseQuery("/lib/book[year]/title")
+	corpus := []*xmltree.Node{
+		xmltree.MustParse(`<lib><book><title/><year/></book><book><title/></book></lib>`),
+		xmltree.MustParse(`<lib><book><year/><title/></book><book><title/><isbn/></book></lib>`),
+	}
+	// Seed: the first title the goal selects.
+	seedNode := goal.Eval(corpus[0])[0]
+	s, err := NewTwigSession(corpus, 0, seedNode, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := interact.OracleFunc[NodeRef](func(it NodeRef) bool {
+		return goal.Selects(s.Corpus[it.Doc], it.Node)
+	})
+	stats, err := interact.Run[NodeRef](s, oracle, interact.FirstPicker[NodeRef](), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hypothesis must agree with the goal on the whole corpus.
+	h := s.Hypothesis()
+	for di, doc := range corpus {
+		want := map[*xmltree.Node]bool{}
+		for _, n := range goal.Eval(doc) {
+			want[n] = true
+		}
+		for _, n := range h.Eval(doc) {
+			if !want[n] {
+				t.Errorf("doc %d: hypothesis %s selects extra node %s", di, h, n.Label)
+			}
+			delete(want, n)
+		}
+		for n := range want {
+			t.Errorf("doc %d: hypothesis %s misses node %s", di, h, n.Label)
+		}
+	}
+	t.Logf("converged with %d questions, hypothesis %s", stats.Questions, h)
+}
+
+func TestTwigSessionSeedValidation(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b/></a>`)
+	if _, err := NewTwigSession([]*xmltree.Node{doc}, 5, doc.Children[0], DefaultOptions()); err == nil {
+		t.Errorf("out-of-range doc index must error")
+	}
+	other := xmltree.MustParse(`<a><b/></a>`)
+	if _, err := NewTwigSession([]*xmltree.Node{doc}, 0, other.Children[0], DefaultOptions()); err == nil {
+		t.Errorf("foreign node must error")
+	}
+}
+
+func TestTwigSessionTerminates(t *testing.T) {
+	// Even with a degenerate goal (select every b), the loop must stop.
+	goal := twig.MustParseQuery("//b")
+	corpus := []*xmltree.Node{
+		xmltree.MustParse(`<a><b/><c><b/></c></a>`),
+		xmltree.MustParse(`<a><b/></a>`),
+	}
+	seed := goal.Eval(corpus[0])[0]
+	s, err := NewTwigSession(corpus, 0, seed, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := interact.OracleFunc[NodeRef](func(it NodeRef) bool {
+		return goal.Selects(s.Corpus[it.Doc], it.Node)
+	})
+	total := 0
+	for _, d := range corpus {
+		total += d.Size()
+	}
+	stats, err := interact.Run[NodeRef](s, oracle, interact.FirstPicker[NodeRef](), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Questions > total {
+		t.Errorf("asked %d questions for %d nodes", stats.Questions, total)
+	}
+}

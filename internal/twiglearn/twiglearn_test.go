@@ -1,0 +1,397 @@
+package twiglearn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/schema"
+	"querylearn/internal/twig"
+	"querylearn/internal/xmltree"
+)
+
+func mustExample(t *testing.T, doc *xmltree.Node, node *xmltree.Node, positive bool) Example {
+	t.Helper()
+	e, err := NewExample(doc, node, positive)
+	if err != nil {
+		t.Fatalf("NewExample: %v", err)
+	}
+	return e
+}
+
+func TestNewExampleRejectsForeignNode(t *testing.T) {
+	d1 := xmltree.MustParse(`<a><b/></a>`)
+	d2 := xmltree.MustParse(`<a><b/></a>`)
+	if _, err := NewExample(d1, d2.Children[0], true); err == nil {
+		t.Errorf("node from another tree must be rejected")
+	}
+}
+
+func TestGeneralizePathsIdentical(t *testing.T) {
+	d1 := xmltree.MustParse(`<a><b><c/></b></a>`)
+	d2 := xmltree.MustParse(`<a><b><c/><d/></b></a>`)
+	q, err := GeneralizePaths([]*xmltree.Node{d1.FindFirst("c"), d2.FindFirst("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "/a/b/c" {
+		t.Errorf("generalization = %s, want /a/b/c", q)
+	}
+}
+
+func TestGeneralizePathsGap(t *testing.T) {
+	// a/b/c vs a/x/b/c: common generalization /a//b/c.
+	d1 := xmltree.MustParse(`<a><b><c/></b></a>`)
+	d2 := xmltree.MustParse(`<a><x><b><c/></b></x></a>`)
+	q, err := GeneralizePaths([]*xmltree.Node{d1.FindFirst("c"), d2.FindFirst("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "/a//b/c" {
+		t.Errorf("generalization = %s, want /a//b/c", q)
+	}
+}
+
+func TestGeneralizePathsLabelMismatch(t *testing.T) {
+	// a/b/c vs a/d/c: /a/*/c.
+	d1 := xmltree.MustParse(`<a><b><c/></b></a>`)
+	d2 := xmltree.MustParse(`<a><d><c/></d></a>`)
+	q, err := GeneralizePaths([]*xmltree.Node{d1.FindFirst("c"), d2.FindFirst("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != "/a/*/c" {
+		t.Errorf("generalization = %s, want /a/*/c", q)
+	}
+}
+
+func TestGeneralizePathsDifferentDepths(t *testing.T) {
+	// r/a/c vs r/a/a/c — pattern /r/a//c? or /r//a/c: score equal; check
+	// the result matches both and keeps concrete labels.
+	d1 := xmltree.MustParse(`<r><a><c/></a></r>`)
+	d2 := xmltree.MustParse(`<r><a><a><c/></a></a></r>`)
+	q, err := GeneralizePaths([]*xmltree.Node{d1.FindFirst("c"), d2.FindFirst("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Selects(d1, d1.FindFirst("c")) {
+		t.Errorf("%s does not select c in d1", q)
+	}
+	if !q.Selects(d2, d2.FindFirst("c")) {
+		t.Errorf("%s does not select c in d2", q)
+	}
+}
+
+func TestLearnPathOnly(t *testing.T) {
+	goal := twig.MustParseQuery("/site/people/person")
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<site><people><person/></people></site>`),
+		xmltree.MustParse(`<site><people><person/><person/></people><items/></site>`),
+	}
+	exs := ExamplesFromQuery(goal, docs)
+	q, err := Learn(exs, Options{UseFilters: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !twig.Equivalent(q, goal) {
+		t.Errorf("learned %s, want equivalent to %s", q, goal)
+	}
+}
+
+func TestLearnWithFilters(t *testing.T) {
+	// Goal: /lib/book[year]/title — select titles of books with a year.
+	goal := twig.MustParseQuery("/lib/book[year]/title")
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<lib><book><title/><year/></book><book><title/></book></lib>`),
+		xmltree.MustParse(`<lib><book><year/><title/></book></lib>`),
+	}
+	exs := ExamplesFromQuery(goal, docs)
+	q, err := Learn(exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !twig.Equivalent(q, goal) {
+		t.Errorf("learned %s, want equivalent to %s", q, goal)
+	}
+}
+
+func TestLearnTwoExamplesConverge(t *testing.T) {
+	// The paper's T1 claim: generally two examples suffice. Goal with a
+	// descendant axis and a filter.
+	goal := twig.MustParseQuery("//person[name]/age")
+	d1 := xmltree.MustParse(`<site><people><person><name/><age/></person></people></site>`)
+	d2 := xmltree.MustParse(`<registry><person><name/><age/><x/></person><person><age/></person></registry>`)
+	exs := ExamplesFromQuery(goal, []*xmltree.Node{d1, d2})
+	q, err := Learn(exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With two examples the learner is most specific: contained in the
+	// goal and consistent with every example.
+	if !twig.Contained(q, goal) {
+		t.Errorf("learned %s not contained in goal %s", q, goal)
+	}
+	if !Consistent(q, exs) {
+		t.Errorf("learned %s not consistent", q)
+	}
+	// A third example with person at the document root pins the goal
+	// exactly — identification in the limit.
+	d3 := xmltree.MustParse(`<person><name/><age/></person>`)
+	exs = ExamplesFromQuery(goal, []*xmltree.Node{d1, d2, d3})
+	q, err = Learn(exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !twig.Equivalent(q, goal) {
+		t.Errorf("learned %s, want equivalent to %s", q, goal)
+	}
+}
+
+func TestLearnMostSpecificSingleExample(t *testing.T) {
+	// With one example the learner returns the fully specific query:
+	// the complete selecting path with all filters.
+	d := xmltree.MustParse(`<a><b><c/><d/></b></a>`)
+	exs := []Example{mustExample(t, d, d.FindFirst("c"), true)}
+	q, err := Learn(exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Selects(d, d.FindFirst("c")) {
+		t.Errorf("learned query %s does not select its own example", q)
+	}
+	// Must include the sibling filter d on node b.
+	if !twig.Contained(q, twig.MustParseQuery("/a/b[d]/c")) {
+		t.Errorf("most specific query should include [d]: got %s", q)
+	}
+}
+
+func TestLearnSchemaPruning(t *testing.T) {
+	// Schema: person must have a name; the name filter is implied, so the
+	// optimized learner omits it, while the plain learner keeps it.
+	s := schema.NewSchema("site")
+	s.SetRule("site", schema.MustExpr(schema.Disjunct{"person": schema.MStar}))
+	s.SetRule("person", schema.MustExpr(schema.Disjunct{
+		"name": schema.M1, "age": schema.MOpt}))
+
+	goal := twig.MustParseQuery("/site/person[age]")
+	docs := []*xmltree.Node{
+		xmltree.MustParse(`<site><person><name/><age/></person><person><name/></person></site>`),
+		xmltree.MustParse(`<site><person><name/><age/></person></site>`),
+	}
+	exs := ExamplesFromQuery(goal, docs)
+
+	plainOpts := DefaultOptions()
+	plainOpts.Minimize = false
+	plain, err := Learn(exs, plainOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemaOpts := plainOpts
+	schemaOpts.Schema = s
+	pruned, err := Learn(exs, schemaOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Size() >= plain.Size() {
+		t.Errorf("schema pruning did not shrink query: plain %s (%d) pruned %s (%d)",
+			plain, plain.Size(), pruned, pruned.Size())
+	}
+	// Both must still be consistent with the examples.
+	if !Consistent(plain, exs) || !Consistent(pruned, exs) {
+		t.Errorf("learned queries must stay consistent")
+	}
+	// On schema-valid documents both select the same nodes.
+	valid := xmltree.MustParse(`<site><person><name/><age/></person><person><name/></person></site>`)
+	if !s.Valid(valid) {
+		t.Fatal("test doc should be valid")
+	}
+	if len(plain.Eval(valid)) != len(pruned.Eval(valid)) {
+		t.Errorf("pruned query changed semantics on valid docs")
+	}
+}
+
+func TestFindConsistentPositivesOnly(t *testing.T) {
+	goal := twig.MustParseQuery("/a/b")
+	d := xmltree.MustParse(`<a><b/><c/></a>`)
+	exs := ExamplesFromQuery(goal, []*xmltree.Node{d})
+	q, err := FindConsistent(exs, DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Consistent(q, exs) {
+		t.Errorf("inconsistent result %s", q)
+	}
+}
+
+func TestFindConsistentWithNegatives(t *testing.T) {
+	// Document with two b-nodes; positive: the one under x, negative: the
+	// other. The most specific generalization of the single positive is
+	// already consistent.
+	d := xmltree.MustParse(`<a><x><b/></x><b/></a>`)
+	posNode := d.FindFirst("x").Children[0]
+	negNode := d.Children[1]
+	exs := []Example{
+		mustExample(t, d, posNode, true),
+		mustExample(t, d, negNode, false),
+	}
+	q, err := FindConsistent(exs, DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Consistent(q, exs) {
+		t.Errorf("result %s selects the negative", q)
+	}
+}
+
+func TestFindConsistentNeedsGeneralizationRepair(t *testing.T) {
+	// Two positives whose generalization selects the negative: positives
+	// are b-nodes under x in two docs; negative is a b directly under a.
+	d1 := xmltree.MustParse(`<a><x><b/></x></a>`)
+	d2 := xmltree.MustParse(`<a><x><b/></x><b/></a>`)
+	exs := []Example{
+		mustExample(t, d1, d1.FindFirst("x").Children[0], true),
+		mustExample(t, d2, d2.FindFirst("x").Children[0], true),
+		mustExample(t, d2, d2.Children[1], false),
+	}
+	q, err := FindConsistent(exs, DefaultOptions(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Consistent(q, exs) {
+		t.Errorf("result %s not consistent", q)
+	}
+}
+
+func TestFindConsistentImpossible(t *testing.T) {
+	// Same node positive and negative is plainly impossible.
+	d := xmltree.MustParse(`<a><b/></a>`)
+	n := d.Children[0]
+	exs := []Example{
+		mustExample(t, d, n, true),
+		mustExample(t, d, n, false),
+	}
+	if _, err := FindConsistent(exs, DefaultOptions(), 0); err == nil {
+		t.Errorf("expected failure for contradictory examples")
+	}
+}
+
+func TestConsistencyDecision(t *testing.T) {
+	d := xmltree.MustParse(`<a><x><b/></x><b/></a>`)
+	exs := []Example{
+		mustExample(t, d, d.FindFirst("x").Children[0], true),
+		mustExample(t, d, d.Children[1], false),
+	}
+	ok, err := ConsistencyDecision(exs, DefaultOptions(), 0)
+	if err != nil || !ok {
+		t.Errorf("ConsistencyDecision = %v, %v; want true", ok, err)
+	}
+}
+
+// --- property tests ---
+
+var propLabels = []string{"a", "b", "c", "d"}
+
+func genDoc(seed int64, depth int) *xmltree.Node {
+	if seed < 0 {
+		seed = -seed
+	}
+	var build func(s int64, d int) *xmltree.Node
+	build = func(s int64, d int) *xmltree.Node {
+		n := xmltree.New(propLabels[int(s%4)])
+		if d <= 0 {
+			return n
+		}
+		k := int((s / 5) % 3)
+		for i := 0; i < k; i++ {
+			n.Add(build(s/2+int64(7*i+3), d-1))
+		}
+		return n
+	}
+	return build(seed+1, depth)
+}
+
+func TestQuickLearnedSelectsAllPositives(t *testing.T) {
+	f := func(s1, s2, n1, n2 int64) bool {
+		d1, d2 := genDoc(s1, 3), genDoc(s2, 3)
+		nodes1, nodes2 := d1.Nodes(), d2.Nodes()
+		if n1 < 0 {
+			n1 = -n1
+		}
+		if n2 < 0 {
+			n2 = -n2
+		}
+		e1 := Example{Doc: d1, Node: nodes1[int(n1)%len(nodes1)], Positive: true}
+		e2 := Example{Doc: d2, Node: nodes2[int(n2)%len(nodes2)], Positive: true}
+		q, err := Learn([]Example{e1, e2}, DefaultOptions())
+		if err != nil {
+			return true // generalization may legitimately collapse
+		}
+		if !q.Selects(e1.Doc, e1.Node) || !q.Selects(e2.Doc, e2.Node) {
+			t.Logf("q=%s d1=%s sel1=%s d2=%s sel2=%s", q, d1, e1.Node.Label, d2, e2.Node.Label)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickGeneralizationIsUpperBound(t *testing.T) {
+	// The path generalization of two selecting paths subsumes each
+	// example's own fully specific path query.
+	f := func(s1, s2, n1, n2 int64) bool {
+		d1, d2 := genDoc(s1, 3), genDoc(s2, 3)
+		nodes1, nodes2 := d1.Nodes(), d2.Nodes()
+		if n1 < 0 {
+			n1 = -n1
+		}
+		if n2 < 0 {
+			n2 = -n2
+		}
+		a := nodes1[int(n1)%len(nodes1)]
+		b := nodes2[int(n2)%len(nodes2)]
+		g, err := GeneralizePaths([]*xmltree.Node{a, b})
+		if err != nil {
+			return true
+		}
+		pa := queryFromSteps(stepsFromNode(a))
+		pb := queryFromSteps(stepsFromNode(b))
+		return twig.Contained(pa, g) && twig.Contained(pb, g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFindConsistentHonorsLabels(t *testing.T) {
+	f := func(s1, n1, n2 int64) bool {
+		d := genDoc(s1, 3)
+		nodes := d.Nodes()
+		if len(nodes) < 2 {
+			return true
+		}
+		if n1 < 0 {
+			n1 = -n1
+		}
+		if n2 < 0 {
+			n2 = -n2
+		}
+		p := nodes[int(n1)%len(nodes)]
+		n := nodes[int(n2)%len(nodes)]
+		if p == n {
+			return true
+		}
+		exs := []Example{
+			{Doc: d, Node: p, Positive: true},
+			{Doc: d, Node: n, Positive: false},
+		}
+		q, err := FindConsistent(exs, DefaultOptions(), 0)
+		if err != nil {
+			return true // may genuinely be inconsistent (e.g. identical contexts)
+		}
+		return Consistent(q, exs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,137 @@
+package twiglearn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/twig"
+	"querylearn/internal/xmltree"
+)
+
+func TestUnionQueryEvalAndSelects(t *testing.T) {
+	doc := xmltree.MustParse(`<a><b/><c/><d/></a>`)
+	u := UnionQuery{Members: []twig.Query{
+		twig.MustParseQuery("/a/b"),
+		twig.MustParseQuery("/a/c"),
+	}}
+	got := u.Eval(doc)
+	if len(got) != 2 {
+		t.Fatalf("union selected %d nodes, want 2", len(got))
+	}
+	if !u.Selects(doc, doc.Children[0]) || u.Selects(doc, doc.Children[2]) {
+		t.Errorf("Selects wrong")
+	}
+	if u.Size() != 4 {
+		t.Errorf("Size = %d, want 4", u.Size())
+	}
+	if !strings.Contains(u.String(), " | ") {
+		t.Errorf("String = %s", u.String())
+	}
+}
+
+func TestLearnUnionTwoIntents(t *testing.T) {
+	// The user wants titles AND prices — no single twig covers both.
+	doc := xmltree.MustParse(`<shop><item><title/><price/></item><item><title/></item></shop>`)
+	title0 := doc.Children[0].Children[0]
+	price0 := doc.Children[0].Children[1]
+	exs := []Example{
+		{Doc: doc, Node: title0, Positive: true},
+		{Doc: doc, Node: price0, Positive: true},
+	}
+	u, err := LearnUnion(exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ConsistentUnion(u, exs) {
+		t.Errorf("union %s inconsistent", u)
+	}
+	if len(u.Members) != 2 {
+		t.Errorf("expected 2 members, got %s", u)
+	}
+}
+
+func TestLearnUnionSplitsOnNegatives(t *testing.T) {
+	// Two b-positives in different contexts plus a negative b whose
+	// context matches their generalization: the group must split.
+	doc := xmltree.MustParse(`<a><x><b/></x><y><b/></y><z><b/></z></a>`)
+	bx := doc.Children[0].Children[0]
+	by := doc.Children[1].Children[0]
+	bz := doc.Children[2].Children[0]
+	exs := []Example{
+		{Doc: doc, Node: bx, Positive: true},
+		{Doc: doc, Node: by, Positive: true},
+		{Doc: doc, Node: bz, Positive: false},
+	}
+	u, err := LearnUnion(exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ConsistentUnion(u, exs) {
+		t.Errorf("union %s selects the negative", u)
+	}
+}
+
+func TestLearnUnionImpossible(t *testing.T) {
+	// Positive and negative share the exact same context: no union works.
+	doc := xmltree.MustParse(`<a><b/><b/></a>`)
+	exs := []Example{
+		{Doc: doc, Node: doc.Children[0], Positive: true},
+		{Doc: doc, Node: doc.Children[1], Positive: false},
+	}
+	if _, err := LearnUnion(exs, DefaultOptions()); err == nil {
+		t.Errorf("identical contexts should make union learning fail")
+	}
+}
+
+func TestLearnUnionMergesWhenSafe(t *testing.T) {
+	// Two positives with the same intent must merge into one member.
+	d1 := xmltree.MustParse(`<a><b/></a>`)
+	d2 := xmltree.MustParse(`<a><b/><c/></a>`)
+	exs := []Example{
+		{Doc: d1, Node: d1.Children[0], Positive: true},
+		{Doc: d2, Node: d2.Children[0], Positive: true},
+	}
+	u, err := LearnUnion(exs, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Members) != 1 {
+		t.Errorf("same-intent positives should merge: %s", u)
+	}
+}
+
+func TestQuickUnionAlwaysConsistentOrFails(t *testing.T) {
+	f := func(s1, n1, n2, n3 int64) bool {
+		d := genDoc(s1, 3)
+		nodes := d.Nodes()
+		if len(nodes) < 3 {
+			return true
+		}
+		abs := func(x int64) int {
+			if x < 0 {
+				x = -x
+			}
+			return int(x)
+		}
+		p1 := nodes[abs(n1)%len(nodes)]
+		p2 := nodes[abs(n2)%len(nodes)]
+		ng := nodes[abs(n3)%len(nodes)]
+		if ng == p1 || ng == p2 {
+			return true
+		}
+		exs := []Example{
+			{Doc: d, Node: p1, Positive: true},
+			{Doc: d, Node: p2, Positive: true},
+			{Doc: d, Node: ng, Positive: false},
+		}
+		u, err := LearnUnion(exs, DefaultOptions())
+		if err != nil {
+			return true // legitimately unlearnable
+		}
+		return ConsistentUnion(u, exs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

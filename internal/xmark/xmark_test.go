@@ -1,0 +1,158 @@
+package xmark
+
+import (
+	"testing"
+	"testing/quick"
+
+	"querylearn/internal/twig"
+)
+
+func TestGenerateValidAgainstSchema(t *testing.T) {
+	s := Schema()
+	for seed := int64(0); seed < 10; seed++ {
+		doc := Generate(seed, ScaleConfig(1))
+		if !s.Valid(doc) {
+			t.Fatalf("seed %d: generated doc invalid: %v", seed, s.Violations(doc)[:3])
+		}
+	}
+}
+
+func TestGenerateValidAgainstDTD(t *testing.T) {
+	d := DTD()
+	for seed := int64(0); seed < 10; seed++ {
+		doc := Generate(seed, ScaleConfig(1))
+		if !d.Valid(doc) {
+			t.Fatalf("seed %d: generated doc violates ordered DTD", seed)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(7, ScaleConfig(1))
+	b := Generate(7, ScaleConfig(1))
+	if a.String() != b.String() {
+		t.Errorf("generation must be deterministic per seed")
+	}
+	c := Generate(8, ScaleConfig(1))
+	if a.String() == c.String() {
+		t.Errorf("different seeds should differ")
+	}
+}
+
+func TestGenerateScales(t *testing.T) {
+	small := Generate(1, ScaleConfig(1)).Size()
+	large := Generate(1, ScaleConfig(4)).Size()
+	if large < 3*small {
+		t.Errorf("scale 4 size %d should be >= 3x scale 1 size %d", large, small)
+	}
+}
+
+func TestSchemaDisjunctionMatchesXMark(t *testing.T) {
+	// The XMark DTD's only disjunctive content models are
+	// description/listitem -> (text | parlist); everything else is
+	// disjunction-free. The DMS mirrors that exactly — the paper's claim
+	// that DMS "can express the DTD from XMark" relies on it.
+	s := Schema()
+	for label, e := range s.Rules {
+		wantDisjunctive := label == "description" || label == "listitem"
+		if got := !e.IsDisjunctionFree(); got != wantDisjunctive {
+			t.Errorf("rule %s: disjunctive = %v, want %v", label, got, wantDisjunctive)
+		}
+	}
+}
+
+func TestParlistRecursionGenerated(t *testing.T) {
+	// Over enough seeds, both branches of the disjunction must occur.
+	sawText, sawParlist := false, false
+	for seed := int64(0); seed < 30 && !(sawText && sawParlist); seed++ {
+		doc := Generate(seed, ScaleConfig(2))
+		for _, d := range doc.FindAll("description") {
+			if d.FindFirst("parlist") != nil {
+				sawParlist = true
+			} else if d.FindFirst("text") != nil {
+				sawText = true
+			}
+		}
+	}
+	if !sawText || !sawParlist {
+		t.Errorf("generator should exercise both description branches (text=%v parlist=%v)",
+			sawText, sawParlist)
+	}
+}
+
+func TestQueriesCatalogShape(t *testing.T) {
+	qs := Queries()
+	if len(qs) != 50 {
+		t.Errorf("catalog has %d queries, want 50", len(qs))
+	}
+	expressible := 0
+	names := map[string]bool{}
+	for _, q := range qs {
+		if names[q.Name] {
+			t.Errorf("duplicate query name %s", q.Name)
+		}
+		names[q.Name] = true
+		if q.TwigExpressible {
+			expressible++
+			if q.Twig == "" {
+				t.Errorf("%s: expressible but no twig syntax", q.Name)
+			}
+		} else if q.Reason == "" {
+			t.Errorf("%s: inexpressible but no reason", q.Name)
+		}
+	}
+	// The paper's observation: ~15% of XPathMark is learnable.
+	pct := float64(expressible) / float64(len(qs)) * 100
+	if pct < 12 || pct > 20 {
+		t.Errorf("expressible fraction %.0f%%, want ~15%%", pct)
+	}
+}
+
+func TestTwigQueriesParseAndMatch(t *testing.T) {
+	doc := Generate(3, ScaleConfig(3))
+	for name, q := range TwigQueries() {
+		// Every catalog twig must at least be evaluable; most should
+		// select something on a scale-3 doc.
+		_ = q.Eval(doc)
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// A1 and A3 relate: A1 ⊆ A3.
+	qs := TwigQueries()
+	if !twig.Contained(qs["A1"], qs["A3"]) {
+		t.Errorf("A1 should be contained in A3")
+	}
+	if !twig.Contained(qs["A3"], qs["A2"]) {
+		t.Errorf("A3 should be contained in A2")
+	}
+}
+
+func TestLearningGoalsSatisfiable(t *testing.T) {
+	// Every learning goal should select nodes on some generated doc, so
+	// the T1 experiment has positive examples to draw from.
+	goals := LearningGoals()
+	doc := Generate(11, ScaleConfig(6))
+	missing := 0
+	for name, g := range goals {
+		if len(g.Eval(doc)) == 0 {
+			t.Logf("goal %s selects nothing on scale-6 doc (may need more docs)", name)
+			missing++
+		}
+	}
+	if missing > len(goals)/2 {
+		t.Errorf("%d/%d goals select nothing; generator too sparse", missing, len(goals))
+	}
+}
+
+func TestQuickGeneratedAlwaysValid(t *testing.T) {
+	s := Schema()
+	d := DTD()
+	f := func(seed int64) bool {
+		doc := Generate(seed, ScaleConfig(1))
+		return s.Valid(doc) && d.Valid(doc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

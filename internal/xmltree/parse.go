@@ -1,0 +1,194 @@
+package xmltree
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a document in the XML subset used by this library: element
+// tags, self-closing tags, and text content. Attributes are accepted and
+// discarded (the tree model is element-only, matching the twig-query data
+// model), comments and processing instructions are skipped, and entity
+// escapes for & < > are decoded. It returns the root element.
+func Parse(s string) (*Node, error) {
+	p := &parser{src: s}
+	p.skipProlog()
+	root, err := p.element()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("xmltree: trailing content at offset %d", p.pos)
+	}
+	return root, nil
+}
+
+// MustParse is Parse for tests and generators with known-good input; it
+// panics on error.
+func MustParse(s string) *Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *parser) skipProlog() {
+	for {
+		p.skipSpace()
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			if i := strings.Index(p.src[p.pos:], "?>"); i >= 0 {
+				p.pos += i + 2
+				continue
+			}
+			p.pos = len(p.src)
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			if i := strings.Index(p.src[p.pos:], "-->"); i >= 0 {
+				p.pos += i + 3
+				continue
+			}
+			p.pos = len(p.src)
+		case strings.HasPrefix(p.src[p.pos:], "<!"):
+			if i := strings.IndexByte(p.src[p.pos:], '>'); i >= 0 {
+				p.pos += i + 1
+				continue
+			}
+			p.pos = len(p.src)
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) element() (*Node, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '<' {
+		return nil, fmt.Errorf("xmltree: expected '<' at offset %d", p.pos)
+	}
+	p.pos++
+	name := p.name()
+	if name == "" {
+		return nil, fmt.Errorf("xmltree: expected element name at offset %d", p.pos)
+	}
+	n := New(name)
+	// Skip attributes.
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("xmltree: unterminated tag <%s>", name)
+		}
+		if p.src[p.pos] == '/' {
+			if p.pos+1 < len(p.src) && p.src[p.pos+1] == '>' {
+				p.pos += 2
+				return n, nil
+			}
+			return nil, fmt.Errorf("xmltree: malformed self-closing tag <%s>", name)
+		}
+		if p.src[p.pos] == '>' {
+			p.pos++
+			break
+		}
+		if err := p.skipAttr(); err != nil {
+			return nil, err
+		}
+	}
+	// Content: children and text until closing tag.
+	var text strings.Builder
+	for {
+		if p.pos >= len(p.src) {
+			return nil, fmt.Errorf("xmltree: missing </%s>", name)
+		}
+		if p.src[p.pos] == '<' {
+			if strings.HasPrefix(p.src[p.pos:], "<!--") {
+				i := strings.Index(p.src[p.pos:], "-->")
+				if i < 0 {
+					return nil, fmt.Errorf("xmltree: unterminated comment in <%s>", name)
+				}
+				p.pos += i + 3
+				continue
+			}
+			if strings.HasPrefix(p.src[p.pos:], "</") {
+				p.pos += 2
+				close := p.name()
+				if close != name {
+					return nil, fmt.Errorf("xmltree: mismatched </%s>, want </%s>", close, name)
+				}
+				p.skipSpace()
+				if p.pos >= len(p.src) || p.src[p.pos] != '>' {
+					return nil, fmt.Errorf("xmltree: malformed closing tag </%s>", name)
+				}
+				p.pos++
+				n.Text = strings.TrimSpace(unescape(text.String()))
+				return n, nil
+			}
+			child, err := p.element()
+			if err != nil {
+				return nil, err
+			}
+			n.Add(child)
+			continue
+		}
+		text.WriteByte(p.src[p.pos])
+		p.pos++
+	}
+}
+
+func (p *parser) name() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '>' || c == '/' || c == '=' {
+			break
+		}
+		p.pos++
+	}
+	return unescape(p.src[start:p.pos])
+}
+
+func (p *parser) skipAttr() error {
+	// name
+	if p.name() == "" {
+		return fmt.Errorf("xmltree: expected attribute at offset %d", p.pos)
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '=' {
+		p.pos++
+		p.skipSpace()
+		if p.pos < len(p.src) && (p.src[p.pos] == '"' || p.src[p.pos] == '\'') {
+			q := p.src[p.pos]
+			p.pos++
+			for p.pos < len(p.src) && p.src[p.pos] != q {
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return fmt.Errorf("xmltree: unterminated attribute value")
+			}
+			p.pos++
+		} else {
+			return fmt.Errorf("xmltree: expected quoted attribute value at offset %d", p.pos)
+		}
+	}
+	return nil
+}
+
+func unescape(s string) string {
+	if !strings.Contains(s, "&") {
+		return s
+	}
+	r := strings.NewReplacer("&amp;", "&", "&lt;", "<", "&gt;", ">", "&quot;", `"`, "&apos;", "'")
+	return r.Replace(s)
+}

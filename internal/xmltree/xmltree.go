@@ -1,0 +1,278 @@
+// Package xmltree provides the labeled unordered-tree data model used
+// throughout the library to represent XML documents.
+//
+// The model follows the paper's setting for twig queries and unordered-XML
+// schemas: a document is a rooted tree whose nodes carry element labels.
+// Sibling order is preserved for serialization but is irrelevant to query
+// semantics and schema validation (the multiplicity schemas of Boneva,
+// Ciucanu & Staworko deliberately ignore order). Text content is modeled as
+// an optional string on leaf nodes so that shredding pipelines can carry
+// values into relational tuples and RDF literals.
+package xmltree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a single element node of an XML tree. Nodes form an immutable-ish
+// tree: mutate only while building, then treat as read-only. All query
+// evaluation and learning code treats trees as read-only.
+type Node struct {
+	Label    string
+	Text     string // optional text content, used by shredding
+	Parent   *Node
+	Children []*Node
+}
+
+// New returns a fresh node with the given label and no children.
+func New(label string) *Node { return &Node{Label: label} }
+
+// NewText returns a leaf node with a label and text content.
+func NewText(label, text string) *Node { return &Node{Label: label, Text: text} }
+
+// Add appends children to n, setting their parent pointers, and returns n to
+// allow fluent tree construction in tests and generators.
+func (n *Node) Add(children ...*Node) *Node {
+	for _, c := range children {
+		c.Parent = n
+		n.Children = append(n.Children, c)
+	}
+	return n
+}
+
+// AddNew creates a child with the given label, appends it, and returns the
+// child (not n), which is convenient when building deep chains.
+func (n *Node) AddNew(label string) *Node {
+	c := New(label)
+	n.Add(c)
+	return c
+}
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Depth returns the number of edges on the path from the root to n.
+func (n *Node) Depth() int {
+	d := 0
+	for p := n.Parent; p != nil; p = p.Parent {
+		d++
+	}
+	return d
+}
+
+// Height returns the length of the longest downward path from n to a leaf.
+func (n *Node) Height() int {
+	h := 0
+	for _, c := range n.Children {
+		if ch := c.Height() + 1; ch > h {
+			h = ch
+		}
+	}
+	return h
+}
+
+// Root returns the root of the tree containing n.
+func (n *Node) Root() *Node {
+	for n.Parent != nil {
+		n = n.Parent
+	}
+	return n
+}
+
+// PathFromRoot returns the nodes on the path root..n, inclusive.
+func (n *Node) PathFromRoot() []*Node {
+	var rev []*Node
+	for m := n; m != nil; m = m.Parent {
+		rev = append(rev, m)
+	}
+	out := make([]*Node, len(rev))
+	for i, m := range rev {
+		out[len(rev)-1-i] = m
+	}
+	return out
+}
+
+// LabelsFromRoot returns the label sequence on the path root..n.
+func (n *Node) LabelsFromRoot() []string {
+	path := n.PathFromRoot()
+	out := make([]string, len(path))
+	for i, m := range path {
+		out[i] = m.Label
+	}
+	return out
+}
+
+// Walk visits every node of the subtree rooted at n in preorder. If fn
+// returns false the walk stops early.
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !fn(n) {
+		return false
+	}
+	for _, c := range n.Children {
+		if !c.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// Nodes returns all nodes of the subtree in preorder.
+func (n *Node) Nodes() []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool { out = append(out, m); return true })
+	return out
+}
+
+// FindAll returns all nodes in the subtree whose label equals label,
+// in preorder.
+func (n *Node) FindAll(label string) []*Node {
+	var out []*Node
+	n.Walk(func(m *Node) bool {
+		if m.Label == label {
+			out = append(out, m)
+		}
+		return true
+	})
+	return out
+}
+
+// FindFirst returns the first node in preorder with the given label, or nil.
+func (n *Node) FindFirst(label string) *Node {
+	var found *Node
+	n.Walk(func(m *Node) bool {
+		if m.Label == label {
+			found = m
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ChildBag returns the multiset of child labels of n as a count map. This is
+// the object that unordered multiplicity schemas validate.
+func (n *Node) ChildBag() map[string]int {
+	bag := make(map[string]int, len(n.Children))
+	for _, c := range n.Children {
+		bag[c.Label]++
+	}
+	return bag
+}
+
+// Labels returns the sorted set of distinct labels in the subtree.
+func (n *Node) Labels() []string {
+	set := map[string]struct{}{}
+	n.Walk(func(m *Node) bool { set[m.Label] = struct{}{}; return true })
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep copy of the subtree rooted at n. The copy's Parent
+// is nil.
+func (n *Node) Clone() *Node {
+	c := &Node{Label: n.Label, Text: n.Text}
+	for _, ch := range n.Children {
+		cc := ch.Clone()
+		cc.Parent = c
+		c.Children = append(c.Children, cc)
+	}
+	return c
+}
+
+// Equal reports whether two trees are equal as ordered labeled trees with
+// text. It is used by tests; query semantics never depend on order.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Label != b.Label || a.Text != b.Text || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualUnordered reports whether two trees are equal up to reordering of
+// siblings — the notion of document equality under the unordered-XML view.
+func EqualUnordered(a, b *Node) bool {
+	return canon(a) == canon(b)
+}
+
+// canon computes a canonical string for a subtree under sibling reordering.
+func canon(n *Node) string {
+	if n == nil {
+		return ""
+	}
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = canon(c)
+	}
+	sort.Strings(parts)
+	return n.Label + "(" + n.Text + ";" + strings.Join(parts, ",") + ")"
+}
+
+// String renders the tree as compact XML.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b, -1, 0)
+	return b.String()
+}
+
+// Pretty renders the tree as indented XML.
+func (n *Node) Pretty() string {
+	var b strings.Builder
+	n.write(&b, 0, 0)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder, indentStep, depth int) {
+	pad := ""
+	nl := ""
+	if indentStep >= 0 {
+		pad = strings.Repeat("  ", depth)
+		nl = "\n"
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		fmt.Fprintf(b, "%s<%s/>%s", pad, n.Label, nl)
+		return
+	}
+	if len(n.Children) == 0 {
+		fmt.Fprintf(b, "%s<%s>%s</%s>%s", pad, n.Label, escape(n.Text), n.Label, nl)
+		return
+	}
+	fmt.Fprintf(b, "%s<%s>%s", pad, n.Label, nl)
+	if n.Text != "" {
+		fmt.Fprintf(b, "%s%s%s", pad, escape(n.Text), nl)
+	}
+	for _, c := range n.Children {
+		c.write(b, indentStep, depth+1)
+	}
+	fmt.Fprintf(b, "%s</%s>%s", pad, n.Label, nl)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

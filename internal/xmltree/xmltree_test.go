@@ -1,0 +1,287 @@
+package xmltree
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildAndSize(t *testing.T) {
+	r := New("a").Add(New("b").Add(New("d")), New("c"))
+	if got := r.Size(); got != 4 {
+		t.Errorf("Size = %d, want 4", got)
+	}
+	if got := r.Height(); got != 2 {
+		t.Errorf("Height = %d, want 2", got)
+	}
+	d := r.Children[0].Children[0]
+	if got := d.Depth(); got != 2 {
+		t.Errorf("Depth(d) = %d, want 2", got)
+	}
+	if d.Root() != r {
+		t.Errorf("Root(d) != r")
+	}
+}
+
+func TestAddNewChain(t *testing.T) {
+	r := New("a")
+	leaf := r.AddNew("b").AddNew("c").AddNew("d")
+	if got := strings.Join(leaf.LabelsFromRoot(), "/"); got != "a/b/c/d" {
+		t.Errorf("LabelsFromRoot = %q, want a/b/c/d", got)
+	}
+}
+
+func TestPathFromRoot(t *testing.T) {
+	r := New("r")
+	c := r.AddNew("x")
+	g := c.AddNew("y")
+	path := g.PathFromRoot()
+	if len(path) != 3 || path[0] != r || path[1] != c || path[2] != g {
+		t.Errorf("PathFromRoot wrong: %v", path)
+	}
+}
+
+func TestWalkPreorderAndEarlyStop(t *testing.T) {
+	r := MustParse(`<a><b><c/></b><d/></a>`)
+	var labels []string
+	r.Walk(func(n *Node) bool { labels = append(labels, n.Label); return true })
+	if got := strings.Join(labels, ""); got != "abcd" {
+		t.Errorf("preorder = %q, want abcd", got)
+	}
+	count := 0
+	r.Walk(func(n *Node) bool { count++; return n.Label != "b" })
+	if count != 2 {
+		t.Errorf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestFindAllFindFirst(t *testing.T) {
+	r := MustParse(`<a><b/><c><b/></c></a>`)
+	if got := len(r.FindAll("b")); got != 2 {
+		t.Errorf("FindAll(b) = %d, want 2", got)
+	}
+	if r.FindFirst("b") != r.Children[0] {
+		t.Errorf("FindFirst(b) wrong node")
+	}
+	if r.FindFirst("zz") != nil {
+		t.Errorf("FindFirst(zz) should be nil")
+	}
+}
+
+func TestChildBag(t *testing.T) {
+	r := MustParse(`<a><b/><b/><c/></a>`)
+	bag := r.ChildBag()
+	if bag["b"] != 2 || bag["c"] != 1 || len(bag) != 2 {
+		t.Errorf("ChildBag = %v", bag)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	r := MustParse(`<a><b/><c><b/></c></a>`)
+	got := strings.Join(r.Labels(), ",")
+	if got != "a,b,c" {
+		t.Errorf("Labels = %q, want a,b,c", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := MustParse(`<a><b>hi</b></a>`)
+	c := r.Clone()
+	if !Equal(r, c) {
+		t.Fatalf("clone not equal")
+	}
+	c.Children[0].Label = "z"
+	if r.Children[0].Label != "b" {
+		t.Errorf("clone mutation leaked into original")
+	}
+	if c.Parent != nil {
+		t.Errorf("clone parent should be nil")
+	}
+	if c.Children[0].Parent != c {
+		t.Errorf("clone child parent not rewired")
+	}
+}
+
+func TestEqualUnordered(t *testing.T) {
+	a := MustParse(`<a><b/><c><d/><e/></c></a>`)
+	b := MustParse(`<a><c><e/><d/></c><b/></a>`)
+	if !EqualUnordered(a, b) {
+		t.Errorf("trees should be equal unordered")
+	}
+	if Equal(a, b) {
+		t.Errorf("trees should differ as ordered trees")
+	}
+	c := MustParse(`<a><c><e/><d/><d/></c><b/></a>`)
+	if EqualUnordered(a, c) {
+		t.Errorf("different multiplicity must not be equal")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		`<a/>`,
+		`<a><b/><c/></a>`,
+		`<a><b>text</b></a>`,
+		`<site><people><person><name>Bo</name></person></people></site>`,
+	}
+	for _, src := range cases {
+		n, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		back, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("reparse(%q): %v", n.String(), err)
+		}
+		if !Equal(n, back) {
+			t.Errorf("round trip failed for %q: got %q", src, back.String())
+		}
+	}
+}
+
+func TestParseSkipsAttributesAndProlog(t *testing.T) {
+	src := `<?xml version="1.0"?><!-- hey --><a id="1" x='2'><b class="k"/></a>`
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.Label != "a" || len(n.Children) != 1 || n.Children[0].Label != "b" {
+		t.Errorf("parsed wrong tree: %s", n.String())
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	n, err := Parse(`<a>x &amp; y &lt;z&gt;</a>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if n.Text != "x & y <z>" {
+		t.Errorf("Text = %q", n.Text)
+	}
+	if !strings.Contains(n.String(), "&amp;") {
+		t.Errorf("serializer must re-escape: %q", n.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`<a>`,
+		`<a></b>`,
+		`<a><b/></a><c/>`,
+		`<a attr=oops></a>`,
+		`no tags`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestPrettyIsParseable(t *testing.T) {
+	n := MustParse(`<a><b>t</b><c><d/></c></a>`)
+	back, err := Parse(n.Pretty())
+	if err != nil {
+		t.Fatalf("Parse(Pretty): %v", err)
+	}
+	if !EqualUnordered(n, back) {
+		t.Errorf("pretty round trip changed tree")
+	}
+}
+
+// genTree builds a deterministic pseudo-random tree from an integer seed,
+// for property tests.
+func genTree(seed int64, maxDepth int) *Node {
+	labels := []string{"a", "b", "c", "d"}
+	var build func(s int64, depth int) *Node
+	build = func(s int64, depth int) *Node {
+		n := New(labels[int(s%int64(len(labels)))])
+		if depth <= 0 {
+			return n
+		}
+		k := int((s / 7) % 3)
+		for i := 0; i < k; i++ {
+			n.Add(build(s/3+int64(i*13+1), depth-1))
+		}
+		return n
+	}
+	if seed < 0 {
+		seed = -seed
+	}
+	return build(seed+1, maxDepth)
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(seed int64) bool {
+		n := genTree(seed, 4)
+		c := n.Clone()
+		return Equal(n, c) && EqualUnordered(n, c) && n.Size() == c.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSerializeParse(t *testing.T) {
+	f := func(seed int64) bool {
+		n := genTree(seed, 4)
+		back, err := Parse(n.String())
+		return err == nil && Equal(n, back)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSizeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		n := genTree(seed, 4)
+		return len(n.Nodes()) == n.Size()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Robustness: Parse must never panic, whatever bytes arrive.
+func TestQuickParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Robustness: parsing a valid document plus injected noise either fails or
+// yields a tree that re-serializes consistently.
+func TestQuickParseNoiseInjection(t *testing.T) {
+	f := func(seed int64, noise uint8) bool {
+		n := genTree(seed, 3)
+		src := []byte(n.String())
+		if len(src) == 0 {
+			return true
+		}
+		pos := int(seed)
+		if pos < 0 {
+			pos = -pos
+		}
+		src[pos%len(src)] = noise
+		parsed, err := Parse(string(src))
+		if err != nil {
+			return true // rejection is fine
+		}
+		_, err = Parse(parsed.String())
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
