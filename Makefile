@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all build test vet bench-smoke bench-json ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Quick sanity pass over the tentpole benchmarks (naive vs optimized
+# evaluation core); catches gross perf/correctness regressions in seconds.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'NaiveVsFast' -benchtime 50ms -benchmem .
+
+# Capture the experiment tables as a JSON perf trajectory (BENCH_*.json).
+bench-json:
+	$(GO) run ./cmd/benchrunner -json > BENCH_$(shell date +%Y%m%d).json
+
+ci: build vet test bench-smoke

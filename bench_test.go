@@ -159,6 +159,60 @@ func BenchmarkT6ConsistencyJoinVsSemijoin(b *testing.B) {
 	}
 }
 
+// --- T6b: semijoin consistency, retained naive search vs interned/bitset
+// search (the tentpole's rellearn half) ---
+
+func BenchmarkT6SemijoinExactNaiveVsFast(b *testing.B) {
+	for _, k := range []int{4, 8} {
+		l, r := experiments.RandomJoinInstance(int64(k)*7, k, 16, 2)
+		rng := rand.New(rand.NewSource(int64(k)))
+		var exs []rellearn.SemijoinExample
+		for i := 0; i < l.Len(); i++ {
+			exs = append(exs, rellearn.SemijoinExample{Left: i, Positive: rng.Intn(2) == 0})
+		}
+		b.Run(fmt.Sprintf("naive-%d", k), func(b *testing.B) {
+			u := rellearn.NewUniverse(l, r)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := rellearn.SemijoinConsistentNaive(u, exs, 1<<22); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fast-%d", k), func(b *testing.B) {
+			u := rellearn.NewUniverse(l, r)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := rellearn.SemijoinConsistent(u, exs, 1<<22); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- T8b: all-pairs path evaluation, retained naive product BFS vs the
+// CSR/bitset parallel evaluator (the tentpole's graph half) ---
+
+func BenchmarkT8EvalAllPairsNaiveVsFast(b *testing.B) {
+	for _, n := range []int{60, 240} {
+		g := graph.GenerateGeo(int64(n), n)
+		q := graph.MustParsePathQuery("highway.road*")
+		b.Run(fmt.Sprintf("naive-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = g.EvalNaive(q)
+			}
+		})
+		b.Run(fmt.Sprintf("fast-%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = g.Eval(q)
+			}
+		})
+	}
+}
+
 // --- T7: interactive join learning ---
 
 func BenchmarkT7Interactions(b *testing.B) {

@@ -4,24 +4,41 @@
 //
 // Usage:
 //
-//	benchrunner [-scale N] [-only T4,T7]
+//	benchrunner [-scale N] [-only T4,T7] [-json]
 //
 // Scale 1 (default) finishes in seconds; larger scales sweep bigger
-// instances.
+// instances. With -json the tables are emitted as one JSON document
+// (schema below) so per-PR perf trajectories can be captured as
+// BENCH_*.json files:
+//
+//	benchrunner -json > BENCH_PR1.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"querylearn/internal/experiments"
 )
 
+// benchDoc is the -json output schema.
+type benchDoc struct {
+	SchemaVersion int                  `json:"schema_version"`
+	Scale         int                  `json:"scale"`
+	GoOS          string               `json:"goos"`
+	GoArch        string               `json:"goarch"`
+	NumCPU        int                  `json:"num_cpu"`
+	Tables        []*experiments.Table `json:"tables"`
+}
+
 func main() {
 	scale := flag.Int("scale", 1, "experiment scale factor (1 = quick)")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. T4,T7); empty = all")
+	asJSON := flag.Bool("json", false, "emit tables as one JSON document instead of text")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -31,16 +48,35 @@ func main() {
 			want[id] = true
 		}
 	}
-	ran := 0
+	var kept []*experiments.Table
 	for _, t := range experiments.All(*scale) {
 		if len(want) > 0 && !want[t.ID] {
 			continue
 		}
-		fmt.Println(t.Render())
-		ran++
+		kept = append(kept, t)
 	}
-	if ran == 0 {
+	if len(kept) == 0 {
 		fmt.Fprintln(os.Stderr, "benchrunner: no experiments matched -only filter")
 		os.Exit(1)
+	}
+	if *asJSON {
+		doc := benchDoc{
+			SchemaVersion: 1,
+			Scale:         *scale,
+			GoOS:          runtime.GOOS,
+			GoArch:        runtime.GOARCH,
+			NumCPU:        runtime.NumCPU(),
+			Tables:        kept,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	for _, t := range kept {
+		fmt.Println(t.Render())
 	}
 }

@@ -1,0 +1,3 @@
+module querylearn
+
+go 1.24

@@ -1,0 +1,122 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(130)
+	if s.Cap() != 130 || !s.Empty() || s.Count() != 0 {
+		t.Fatalf("fresh set: cap=%d empty=%v count=%d", s.Cap(), s.Empty(), s.Count())
+	}
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		s.Add(i)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("Count = %d, want 8", s.Count())
+	}
+	if !s.Has(129) || s.Has(2) {
+		t.Fatal("Has wrong")
+	}
+	s.Remove(129)
+	if s.Has(129) || s.Count() != 7 {
+		t.Fatal("Remove failed")
+	}
+	got := s.Slice()
+	want := []int{0, 1, 63, 64, 65, 127, 128}
+	if len(got) != len(want) {
+		t.Fatalf("Slice = %v", got)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Slice = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		s := New(n)
+		s.Fill()
+		if s.Count() != n {
+			t.Errorf("Fill(%d): Count = %d", n, s.Count())
+		}
+		s.Clear()
+		if !s.Empty() {
+			t.Errorf("Clear(%d) left bits", n)
+		}
+	}
+}
+
+func TestAlgebra(t *testing.T) {
+	a, b := New(100), New(100)
+	a.Add(3)
+	a.Add(70)
+	a.Add(99)
+	b.Add(70)
+	b.Add(5)
+
+	u := a.Clone()
+	u.Or(b)
+	if u.Count() != 4 || !u.Has(5) || !u.Has(99) {
+		t.Errorf("Or = %v", u.Slice())
+	}
+	i := a.Clone()
+	i.And(b)
+	if i.Count() != 1 || !i.Has(70) {
+		t.Errorf("And = %v", i.Slice())
+	}
+	d := a.Clone()
+	d.AndNot(b)
+	if d.Count() != 2 || d.Has(70) {
+		t.Errorf("AndNot = %v", d.Slice())
+	}
+	if !i.SubsetOf(a) || !i.SubsetOf(b) || a.SubsetOf(b) {
+		t.Error("SubsetOf wrong")
+	}
+	if !a.Intersects(b) || i.Equal(a) || !a.Equal(a.Clone()) {
+		t.Error("Intersects/Equal wrong")
+	}
+	c := New(100)
+	c.Copy(a)
+	if !c.Equal(a) {
+		t.Error("Copy wrong")
+	}
+}
+
+// Differential check against a map-backed model under random operations.
+func TestRandomizedVsMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 300
+	s := New(n)
+	model := map[int]bool{}
+	for step := 0; step < 5000; step++ {
+		i := rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			s.Add(i)
+			model[i] = true
+		case 1:
+			s.Remove(i)
+			delete(model, i)
+		case 2:
+			if s.Has(i) != model[i] {
+				t.Fatalf("step %d: Has(%d) = %v, model %v", step, i, s.Has(i), model[i])
+			}
+		}
+	}
+	if s.Count() != len(model) {
+		t.Fatalf("Count = %d, model %d", s.Count(), len(model))
+	}
+	seen := 0
+	s.ForEach(func(i int) {
+		if !model[i] {
+			t.Fatalf("ForEach yielded %d not in model", i)
+		}
+		seen++
+	})
+	if seen != len(model) {
+		t.Fatalf("ForEach yielded %d bits, model %d", seen, len(model))
+	}
+}

@@ -9,16 +9,22 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 )
 
-// Table is one experiment's result: a titled grid with footnotes.
+// Table is one experiment's result: a titled grid with footnotes. The
+// struct marshals to JSON for cmd/benchrunner's -json mode, which captures
+// per-PR perf trajectories as BENCH_*.json files.
 type Table struct {
-	ID     string
-	Title  string
-	Claim  string // the paper's claim being checked
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim,omitempty"` // the paper's claim being checked
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	// ElapsedMS is the wall-clock time producing the table took — the
+	// cheap per-experiment latency signal the JSON trajectories track.
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // Render formats the table for terminal output.
@@ -64,19 +70,28 @@ func (t *Table) Render() string {
 }
 
 // All runs every experiment at the given scale (1 = quick, larger = more
-// thorough) and returns the tables in claim order.
+// thorough) and returns the tables in claim order, each stamped with its
+// wall-clock cost.
 func All(scale int) []*Table {
-	return []*Table{
-		T1ExamplesToConvergence(scale),
-		T2XPathMarkCoverage(scale),
-		T3Overspecialization(scale),
-		T4SchemaContainment(scale),
-		T5SatImplication(scale),
-		T6ConsistencyJoinVsSemijoin(scale),
-		T7Interactions(scale),
-		T8GraphInteractions(scale),
-		T9CrowdCost(scale),
-		T10SchemaLearning(scale),
-		F1ExchangeScenarios(),
+	exps := []func(int) *Table{
+		T1ExamplesToConvergence,
+		T2XPathMarkCoverage,
+		T3Overspecialization,
+		T4SchemaContainment,
+		T5SatImplication,
+		T6ConsistencyJoinVsSemijoin,
+		T7Interactions,
+		T8GraphInteractions,
+		T9CrowdCost,
+		T10SchemaLearning,
+		func(int) *Table { return F1ExchangeScenarios() },
 	}
+	out := make([]*Table, 0, len(exps))
+	for _, exp := range exps {
+		start := time.Now()
+		t := exp(scale)
+		t.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		out = append(out, t)
+	}
+	return out
 }

@@ -1,0 +1,390 @@
+// Interned-ID evaluation core: a label-indexed CSR adjacency built lazily
+// over the graph, a chain-automaton product BFS over bitset frontiers, a
+// reverse-reachability precomputation that prunes hopeless sources, and a
+// parallel all-pairs Eval that fans sources out over a worker pool.
+//
+// The learnable path-query class (concatenations of letters and starred
+// letters) yields an NFA whose states form a chain: every transition goes
+// from state s to s or s+1. Reachable-node sets can therefore be computed
+// state by state with dense bitsets instead of a (node, state) hash map —
+// the representation shift that makes the T8/F1 hot path fast.
+package graph
+
+import (
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"querylearn/internal/bitset"
+)
+
+// UseNaive routes Eval, EvalFrom, Selects, and ShortestWord through the
+// original map-backed implementations. It exists as a differential-testing
+// oracle and an escape hatch; set QUERYLEARN_NAIVE=1 to flip it at startup.
+var UseNaive = os.Getenv("QUERYLEARN_NAIVE") != ""
+
+// csr is a compact adjacency for one edge label: row v's targets are
+// to[start[v]:start[v+1]], sorted ascending.
+type csr struct {
+	start []int32
+	to    []int32
+}
+
+func (c csr) row(v int) []int32 { return c.to[c.start[v]:c.start[v+1]] }
+
+// labelIndex is the interned-label view of a graph: label ids, per-label
+// forward and reverse CSR adjacencies, and one combined adjacency sorted by
+// (label, target) for deterministic shortest-path expansion.
+type labelIndex struct {
+	labels   []string
+	labelIDs map[string]int
+	out, in  []csr
+	// Combined adjacency, rows sorted by (label lexicographically, target).
+	sortedStart []int32
+	sortedLabel []int32
+	sortedTo    []int32
+}
+
+// index returns the cached label index, building it on first use after a
+// mutation. The lock makes concurrent queries on a quiescent graph safe;
+// the returned index is immutable once published.
+func (g *Graph) index() *labelIndex {
+	g.idxMu.Lock()
+	defer g.idxMu.Unlock()
+	if g.idx == nil {
+		g.idx = buildIndex(g)
+	}
+	return g.idx
+}
+
+func buildIndex(g *Graph) *labelIndex {
+	n := len(g.nodes)
+	ix := &labelIndex{labelIDs: map[string]int{}}
+	for _, es := range g.out {
+		for _, e := range es {
+			if _, ok := ix.labelIDs[e.label]; !ok {
+				ix.labelIDs[e.label] = len(ix.labels)
+				ix.labels = append(ix.labels, e.label)
+			}
+		}
+	}
+	ix.out = buildCSR(g, ix.labelIDs, len(ix.labels), false)
+	ix.in = buildCSR(g, ix.labelIDs, len(ix.labels), true)
+
+	// Combined lex-sorted adjacency: concatenate the per-label rows in
+	// lexicographic label order (rows are already target-sorted), matching
+	// the (label, node) expansion order of the naive ShortestWord.
+	lex := make([]int, len(ix.labels))
+	for i := range lex {
+		lex[i] = i
+	}
+	sort.Slice(lex, func(a, b int) bool { return ix.labels[lex[a]] < ix.labels[lex[b]] })
+	ix.sortedStart = make([]int32, n+1)
+	ix.sortedLabel = make([]int32, 0, g.m)
+	ix.sortedTo = make([]int32, 0, g.m)
+	for v := 0; v < n; v++ {
+		for _, l := range lex {
+			for _, t := range ix.out[l].row(v) {
+				ix.sortedLabel = append(ix.sortedLabel, int32(l))
+				ix.sortedTo = append(ix.sortedTo, t)
+			}
+		}
+		ix.sortedStart[v+1] = int32(len(ix.sortedTo))
+	}
+	return ix
+}
+
+func buildCSR(g *Graph, labelIDs map[string]int, nLabels int, reverse bool) []csr {
+	n := len(g.nodes)
+	cs := make([]csr, nLabels)
+	for l := range cs {
+		cs[l].start = make([]int32, n+1)
+	}
+	for f, es := range g.out {
+		for _, e := range es {
+			l := labelIDs[e.label]
+			if reverse {
+				cs[l].start[e.node+1]++
+			} else {
+				cs[l].start[f+1]++
+			}
+		}
+	}
+	cur := make([][]int32, nLabels)
+	for l := range cs {
+		for v := 0; v < n; v++ {
+			cs[l].start[v+1] += cs[l].start[v]
+		}
+		cs[l].to = make([]int32, cs[l].start[n])
+		cur[l] = append([]int32(nil), cs[l].start[:n]...)
+	}
+	for f, es := range g.out {
+		for _, e := range es {
+			l := labelIDs[e.label]
+			if reverse {
+				cs[l].to[cur[l][e.node]] = int32(f)
+				cur[l][e.node]++
+			} else {
+				cs[l].to[cur[l][f]] = int32(e.node)
+				cur[l][f]++
+			}
+		}
+	}
+	for l := range cs {
+		for v := 0; v < n; v++ {
+			row := cs[l].row(v)
+			sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		}
+	}
+	return cs
+}
+
+// evaluator carries the per-query immutable plan (label ids and the
+// backward can-accept sets) plus reusable per-worker scratch frontiers.
+type evaluator struct {
+	g    *Graph
+	ix   *labelIndex
+	q    PathQuery
+	lids []int // label id per atom, -1 when the label is absent
+	// canAccept[s]: nodes v such that some accepting run starts at (v, s).
+	// canAccept[0] is exactly the useful source set.
+	canAccept []*bitset.Set
+	// Scratch, one instance per worker (see fork).
+	states         []*bitset.Set
+	frontier, next *bitset.Set
+}
+
+func newEvaluator(g *Graph, q PathQuery) *evaluator {
+	ix := g.index()
+	n := len(g.nodes)
+	k := len(q.Atoms)
+	ev := &evaluator{g: g, ix: ix, q: q, lids: make([]int, k)}
+	for i, a := range q.Atoms {
+		if id, ok := ix.labelIDs[a.Label]; ok {
+			ev.lids[i] = id
+		} else {
+			ev.lids[i] = -1
+		}
+	}
+	ev.frontier, ev.next = bitset.New(n), bitset.New(n)
+	ev.states = make([]*bitset.Set, k+1)
+	for i := range ev.states {
+		ev.states[i] = bitset.New(n)
+	}
+	// Backward pass: every node accepts at state k; walk the chain right to
+	// left over the reverse CSR.
+	ev.canAccept = make([]*bitset.Set, k+1)
+	acc := bitset.New(n)
+	acc.Fill()
+	ev.canAccept[k] = acc
+	for s := k - 1; s >= 0; s-- {
+		cur := bitset.New(n)
+		lid := ev.lids[s]
+		if q.Atoms[s].Star {
+			// (v,s) accepts iff some a-path (possibly empty) leads to a
+			// node accepting at s+1: backward closure over reverse edges.
+			cur.Or(ev.canAccept[s+1])
+			if lid >= 0 {
+				ev.closure(cur, ev.ix.in[lid])
+			}
+		} else if lid >= 0 {
+			addSuccessors(cur, ev.canAccept[s+1], ev.ix.in[lid])
+		}
+		ev.canAccept[s] = cur
+	}
+	return ev
+}
+
+// fork returns an evaluator sharing the immutable plan with fresh scratch
+// sets, for use on another goroutine.
+func (ev *evaluator) fork() *evaluator {
+	n := len(ev.g.nodes)
+	c := &evaluator{g: ev.g, ix: ev.ix, q: ev.q, lids: ev.lids, canAccept: ev.canAccept}
+	c.frontier, c.next = bitset.New(n), bitset.New(n)
+	c.states = make([]*bitset.Set, len(ev.states))
+	for i := range c.states {
+		c.states[i] = bitset.New(n)
+	}
+	return c
+}
+
+// addSuccessors unions into dst the c-successors of every node in src.
+func addSuccessors(dst, src *bitset.Set, c csr) {
+	src.ForEach(func(v int) {
+		for _, t := range c.row(v) {
+			dst.Add(int(t))
+		}
+	})
+}
+
+// closure grows set to its fixpoint under c-edges (frontier BFS).
+func (ev *evaluator) closure(set *bitset.Set, c csr) {
+	ev.frontier.Copy(set)
+	for {
+		ev.next.Clear()
+		addSuccessors(ev.next, ev.frontier, c)
+		ev.next.AndNot(set)
+		if ev.next.Empty() {
+			return
+		}
+		set.Or(ev.next)
+		ev.frontier.Copy(ev.next)
+	}
+}
+
+// run returns the set of nodes reachable from src with the whole query
+// consumed. The returned set aliases the evaluator's scratch space.
+func (ev *evaluator) run(src int) *bitset.Set {
+	k := len(ev.q.Atoms)
+	S := ev.states
+	S[0].Clear()
+	if ev.canAccept[0].Has(src) {
+		S[0].Add(src)
+	}
+	for s := 0; s < k; s++ {
+		lid := ev.lids[s]
+		S[s+1].Clear()
+		if S[s].Empty() {
+			continue
+		}
+		if ev.q.Atoms[s].Star {
+			if lid >= 0 {
+				ev.closure(S[s], ev.ix.out[lid])
+			}
+			S[s+1].Or(S[s])
+		} else if lid >= 0 {
+			addSuccessors(S[s+1], S[s], ev.ix.out[lid])
+		}
+		S[s+1].And(ev.canAccept[s+1])
+	}
+	return S[k]
+}
+
+// EvalFrom returns the node indices reachable from src by a path whose
+// label word is in L(q), sorted ascending.
+func (g *Graph) EvalFrom(q PathQuery, src int) []int {
+	if UseNaive {
+		return g.EvalFromNaive(q, src)
+	}
+	return newEvaluator(g, q).run(src).Slice()
+}
+
+// Eval returns all pairs (src, dst) the query selects on the graph, in
+// (src, dst) ascending order. Sources that cannot start an accepting run
+// are pruned by the backward pass; the surviving sources are evaluated in
+// parallel across a worker pool.
+func (g *Graph) Eval(q PathQuery) []Pair {
+	if UseNaive {
+		return g.EvalNaive(q)
+	}
+	if len(g.nodes) == 0 {
+		return nil
+	}
+	proto := newEvaluator(g, q)
+	sources := proto.canAccept[0].Slice()
+	if len(sources) == 0 {
+		return nil
+	}
+	results := make([][]int, len(sources))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	// Parallelism only pays off past a handful of sources.
+	if workers <= 1 || len(sources) < 32 {
+		for i, src := range sources {
+			results[i] = proto.run(src).Slice()
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ev := proto.fork()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(sources) {
+						return
+					}
+					results[i] = ev.run(sources[i]).Slice()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	total := 0
+	for _, r := range results {
+		total += len(r)
+	}
+	out := make([]Pair, 0, total)
+	for i, src := range sources {
+		for _, d := range results[i] {
+			out = append(out, Pair{Src: src, Dst: d})
+		}
+	}
+	return out
+}
+
+// Selects reports whether the query selects the given pair.
+func (g *Graph) Selects(q PathQuery, src, dst int) bool {
+	if UseNaive {
+		for _, d := range g.EvalFromNaive(q, src) {
+			if d == dst {
+				return true
+			}
+		}
+		return false
+	}
+	return newEvaluator(g, q).run(src).Has(dst)
+}
+
+// ShortestWord returns the label word of a shortest path from src to dst
+// (ties broken by lexicographic label order), or nil when dst is
+// unreachable. It is the witness the path-query learner generalizes.
+func (g *Graph) ShortestWord(src, dst int) []string {
+	if UseNaive {
+		return g.shortestWordNaive(src, dst)
+	}
+	if src == dst {
+		return []string{}
+	}
+	ix := g.index()
+	n := len(g.nodes)
+	prevNode := make([]int32, n)
+	prevLabel := make([]int32, n)
+	for i := range prevNode {
+		prevNode[i] = -1
+	}
+	seen := bitset.New(n)
+	seen.Add(src)
+	queue := make([]int32, 1, 64)
+	queue[0] = int32(src)
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		for e := ix.sortedStart[v]; e < ix.sortedStart[v+1]; e++ {
+			t := int(ix.sortedTo[e])
+			if seen.Has(t) {
+				continue
+			}
+			seen.Add(t)
+			prevNode[t] = v
+			prevLabel[t] = ix.sortedLabel[e]
+			if t == dst {
+				var word []string
+				for c := int32(dst); c != int32(src); c = prevNode[c] {
+					word = append(word, ix.labels[prevLabel[c]])
+				}
+				for i, j := 0, len(word)-1; i < j; i, j = i+1, j-1 {
+					word[i], word[j] = word[j], word[i]
+				}
+				return word
+			}
+			queue = append(queue, int32(t))
+		}
+	}
+	return nil
+}

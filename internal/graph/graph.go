@@ -15,6 +15,7 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Edge is one labeled directed edge — equivalently an RDF triple
@@ -31,6 +32,13 @@ type Graph struct {
 	out [][]halfEdge
 	in  [][]halfEdge
 	m   int
+	// idx is the interned-label CSR view backing the fast evaluators
+	// (see eval.go); built lazily under idxMu, dropped on mutation.
+	// The mutex keeps concurrent queries on a quiescent graph safe;
+	// mutating concurrently with anything else remains unsafe, as it
+	// always was for the edge lists themselves.
+	idxMu sync.Mutex
+	idx   *labelIndex
 }
 
 type halfEdge struct {
@@ -53,6 +61,7 @@ func (g *Graph) AddNode(name string) int {
 	g.nodeIdx[name] = i
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.idx = nil
 	return i
 }
 
@@ -62,6 +71,7 @@ func (g *Graph) AddEdge(from, label, to string) {
 	g.out[f] = append(g.out[f], halfEdge{label: label, node: t})
 	g.in[t] = append(g.in[t], halfEdge{label: label, node: f})
 	g.m++
+	g.idx = nil
 }
 
 // AddTriple is AddEdge in RDF argument order (subject, predicate, object).
@@ -225,10 +235,10 @@ func (q PathQuery) closure(states map[int]bool) map[int]bool {
 // Pair is a source/target node pair (by index).
 type Pair struct{ Src, Dst int }
 
-// EvalFrom returns the node indices reachable from src by a path whose
-// label word is in L(q), via BFS over the product of the graph and the
-// query NFA.
-func (g *Graph) EvalFrom(q PathQuery, src int) []int {
+// EvalFromNaive is the original map-backed product-BFS evaluator, retained
+// as the differential-testing oracle for the CSR/bitset fast path in
+// eval.go (and selectable globally via UseNaive).
+func (g *Graph) EvalFromNaive(q PathQuery, src int) []int {
 	n := len(q.Atoms)
 	type cfg struct{ node, state int }
 	seen := map[cfg]bool{}
@@ -278,31 +288,21 @@ func (g *Graph) EvalFrom(q PathQuery, src int) []int {
 	return out
 }
 
-// Eval returns all pairs (src, dst) the query selects on the graph.
-func (g *Graph) Eval(q PathQuery) []Pair {
+// EvalNaive runs the all-pairs evaluation through the naive per-source
+// evaluator — the retained oracle the optimized Eval is measured against.
+func (g *Graph) EvalNaive(q PathQuery) []Pair {
 	var out []Pair
 	for s := 0; s < len(g.nodes); s++ {
-		for _, d := range g.EvalFrom(q, s) {
+		for _, d := range g.EvalFromNaive(q, s) {
 			out = append(out, Pair{Src: s, Dst: d})
 		}
 	}
 	return out
 }
 
-// Selects reports whether the query selects the given pair.
-func (g *Graph) Selects(q PathQuery, src, dst int) bool {
-	for _, d := range g.EvalFrom(q, src) {
-		if d == dst {
-			return true
-		}
-	}
-	return false
-}
-
-// ShortestWord returns the label word of a shortest path from src to dst
-// (ties broken by lexicographic label order), or nil when dst is
-// unreachable. It is the witness the path-query learner generalizes.
-func (g *Graph) ShortestWord(src, dst int) []string {
+// shortestWordNaive is the original copy-per-enqueue BFS, retained as the
+// oracle for the parent-pointer implementation in eval.go.
+func (g *Graph) shortestWordNaive(src, dst int) []string {
 	if src == dst {
 		return []string{}
 	}

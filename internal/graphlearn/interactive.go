@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"querylearn/internal/bitset"
 	"querylearn/internal/graph"
 )
 
@@ -28,17 +29,25 @@ type GoalOracle struct {
 // LabelPair implements Oracle.
 func (o GoalOracle) LabelPair(src, dst int) bool { return o.G.Selects(o.Goal, src, dst) }
 
-// Session is the state of one interactive run.
+// Session is the state of one interactive run. Candidate selection sets
+// are dense bitsets over interned pair ids (src*N + dst), so the
+// disagreement tests behind Informative and SplitStrategy are bit probes
+// rather than hash lookups.
 type Session struct {
 	G          *graph.Graph
 	Candidates []graph.PathQuery
-	// selects[i] caches candidate i's full selection set.
-	selects []map[graph.Pair]bool
-	labeled map[graph.Pair]bool
-	Pool    []graph.Pair
+	// selects[i] caches candidate i's full selection set, by pair id.
+	selects []*bitset.Set
+	// selCount[i] caches selects[i].Count() for Result's tie-breaking.
+	selCount []int
+	labeled  *bitset.Set
+	Pool     []graph.Pair
 	// Stats
 	Questions int
 }
+
+// pairID interns a node pair as src*NumNodes + dst.
+func (s *Session) pairID(p graph.Pair) int { return p.Src*s.G.NumNodes() + p.Dst }
 
 // NewSession builds a session from a positive seed pair and a candidate
 // pool of pairs the user may be asked about. The seed itself is treated as
@@ -50,17 +59,19 @@ func NewSession(g *graph.Graph, seed graph.Pair, pool []graph.Pair) (*Session, e
 			g.Node(seed.Src), g.Node(seed.Dst))
 	}
 	cands := CandidatesFromWord(word)
-	s := &Session{G: g, Pool: pool, labeled: map[graph.Pair]bool{}}
+	n := g.NumNodes()
+	s := &Session{G: g, Pool: pool, labeled: bitset.New(n * n)}
 	for _, q := range cands {
-		sel := map[graph.Pair]bool{}
+		sel := bitset.New(n * n)
 		for _, p := range g.Eval(q) {
-			sel[p] = true
+			sel.Add(s.pairID(p))
 		}
 		// Every candidate accepts the seed word, hence selects seed.
 		s.Candidates = append(s.Candidates, q)
 		s.selects = append(s.selects, sel)
+		s.selCount = append(s.selCount, sel.Count())
 	}
-	s.labeled[seed] = true
+	s.labeled.Add(s.pairID(seed))
 	if err := s.record(seed, true); err != nil {
 		return nil, err
 	}
@@ -69,12 +80,13 @@ func NewSession(g *graph.Graph, seed graph.Pair, pool []graph.Pair) (*Session, e
 
 // Informative reports whether surviving candidates disagree on the pair.
 func (s *Session) Informative(p graph.Pair) bool {
-	if s.labeled[p] {
+	id := s.pairID(p)
+	if s.labeled.Has(id) {
 		return false
 	}
 	first, rest := false, false
 	for i := range s.Candidates {
-		v := s.selects[i][p]
+		v := s.selects[i].Has(id)
 		if i == 0 {
 			first = v
 			continue
@@ -100,23 +112,26 @@ func (s *Session) InformativePairs() []graph.Pair {
 
 // Record applies a user answer, filtering the version space.
 func (s *Session) Record(p graph.Pair, positive bool) error {
-	s.labeled[p] = true
+	s.labeled.Add(s.pairID(p))
 	return s.record(p, positive)
 }
 
 func (s *Session) record(p graph.Pair, positive bool) error {
+	id := s.pairID(p)
 	var cands []graph.PathQuery
-	var sels []map[graph.Pair]bool
+	var sels []*bitset.Set
+	var counts []int
 	for i, q := range s.Candidates {
-		if s.selects[i][p] == positive {
+		if s.selects[i].Has(id) == positive {
 			cands = append(cands, q)
 			sels = append(sels, s.selects[i])
+			counts = append(counts, s.selCount[i])
 		}
 	}
 	if len(cands) == 0 {
 		return fmt.Errorf("graphlearn: answers eliminated every candidate (goal outside the class)")
 	}
-	s.Candidates, s.selects = cands, sels
+	s.Candidates, s.selects, s.selCount = cands, sels, counts
 	return nil
 }
 
@@ -125,7 +140,7 @@ func (s *Session) record(p graph.Pair, positive bool) error {
 func (s *Session) Result() graph.PathQuery {
 	best := 0
 	for i := range s.Candidates {
-		ci, cb := len(s.selects[i]), len(s.selects[best])
+		ci, cb := s.selCount[i], s.selCount[best]
 		if ci < cb || (ci == cb && s.Candidates[i].String() < s.Candidates[best].String()) {
 			best = i
 		}
@@ -186,10 +201,12 @@ func Run(g *graph.Graph, seed graph.Pair, pool []graph.Pair, oracle Oracle, stra
 // at limit pairs (0 = no cap), in deterministic order.
 func DefaultPool(g *graph.Graph, maxLen, limit int) []graph.Pair {
 	var out []graph.Pair
+	seen := bitset.New(g.NumNodes())
 	for s := 0; s < g.NumNodes(); s++ {
 		// BFS with depth bound.
 		type item struct{ node, depth int }
-		seen := map[int]bool{s: true}
+		seen.Clear()
+		seen.Add(s)
 		queue := []item{{s, 0}}
 		for len(queue) > 0 {
 			it := queue[0]
@@ -204,8 +221,8 @@ func DefaultPool(g *graph.Graph, maxLen, limit int) []graph.Pair {
 				continue
 			}
 			g.Out(it.node, func(_ string, to int) {
-				if !seen[to] {
-					seen[to] = true
+				if !seen.Has(to) {
+					seen.Add(to)
 					queue = append(queue, item{to, it.depth + 1})
 				}
 			})
@@ -231,9 +248,10 @@ type SplitStrategy struct{}
 func (SplitStrategy) Pick(s *Session, inf []graph.Pair) int {
 	best, bestDist := 0, 1<<30
 	for i, p := range inf {
+		id := s.pairID(p)
 		yes := 0
 		for c := range s.Candidates {
-			if s.selects[c][p] {
+			if s.selects[c].Has(id) {
 				yes++
 			}
 		}
@@ -259,16 +277,17 @@ type PriorStrategy struct {
 	G        *graph.Graph
 	Workload []graph.PathQuery
 	Fallback Strategy
-	cache    []map[graph.Pair]bool
+	cache    []*bitset.Set
 }
 
 // Pick implements Strategy.
 func (ps *PriorStrategy) Pick(s *Session, inf []graph.Pair) int {
 	if ps.cache == nil {
+		n := ps.G.NumNodes()
 		for _, w := range ps.Workload {
-			sel := map[graph.Pair]bool{}
+			sel := bitset.New(n * n)
 			for _, p := range ps.G.Eval(w) {
-				sel[p] = true
+				sel.Add(p.Src*n + p.Dst)
 			}
 			ps.cache = append(ps.cache, sel)
 		}
@@ -276,9 +295,10 @@ func (ps *PriorStrategy) Pick(s *Session, inf []graph.Pair) int {
 	bestScore := -1
 	var bestIdx []int
 	for i, p := range inf {
+		id := s.pairID(p)
 		score := 0
 		for _, sel := range ps.cache {
-			if sel[p] {
+			if sel.Has(id) {
 				score++
 			}
 		}

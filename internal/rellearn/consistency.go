@@ -2,8 +2,15 @@ package rellearn
 
 import (
 	"fmt"
+	"os"
 	"sort"
 )
+
+// UseNaive routes Agree and SemijoinConsistent through the original
+// string-comparing, fmt-keyed implementations. It exists as a
+// differential-testing oracle and an escape hatch; set QUERYLEARN_NAIVE=1
+// to flip it at startup.
+var UseNaive = os.Getenv("QUERYLEARN_NAIVE") != ""
 
 // Consistency checking for join and semijoin examples — the complexity
 // contrast at the heart of §3: "we have proved the tractability of some
@@ -25,7 +32,7 @@ func MostSpecificJoin(u *Universe, examples []JoinExample) PairSet {
 	p := u.Full()
 	for _, e := range examples {
 		if e.Positive {
-			p = p.Intersect(u.Agree(e.Left, e.Right))
+			p.IntersectWith(u.Agree(e.Left, e.Right))
 		}
 	}
 	return p
@@ -65,7 +72,210 @@ type SemijoinStats struct {
 // witness choices with subset pruning, bounded by maxNodes (0 = 1<<20).
 // It returns the found predicate, the decision, and search statistics; the
 // error is non-nil only when the node budget is exhausted.
+//
+// The search runs over interned agreement sets with a compact binary memo
+// key, and collapses to plain uint64 candidates when the universe fits one
+// word (≤ 64 attribute pairs — every instance the experiments generate).
+// SemijoinConsistentNaive is the retained original; UseNaive reroutes.
 func SemijoinConsistent(u *Universe, examples []SemijoinExample, maxNodes int) (PairSet, bool, SemijoinStats, error) {
+	if UseNaive {
+		return SemijoinConsistentNaive(u, examples, maxNodes)
+	}
+	if maxNodes == 0 {
+		maxNodes = 1 << 20
+	}
+	stats := SemijoinStats{}
+	forbidden, families, order, early, earlyOK := semijoinPrepare(u, examples)
+	if early {
+		if !earlyOK {
+			return nil, false, stats, nil
+		}
+		return u.Full(), true, stats, nil
+	}
+	var result PairSet
+	var found bool
+	if u.words == 1 {
+		result, found = semijoinDFS64(u, forbidden, families, order, maxNodes, &stats)
+	} else {
+		result, found = semijoinDFSWide(u, forbidden, families, order, maxNodes, &stats)
+	}
+	if !found && stats.NodesExplored > maxNodes {
+		return nil, false, stats, fmt.Errorf("rellearn: semijoin search budget exhausted after %d nodes", stats.NodesExplored)
+	}
+	if !found {
+		return nil, false, stats, nil
+	}
+	return result, true, stats, nil
+}
+
+// semijoinPrepare splits the examples, builds the forbidden down-sets and
+// per-positive witness families, and picks the fail-first order. When there
+// is no positive example the search degenerates: early reports that, with
+// earlyOK the decision for the full predicate.
+func semijoinPrepare(u *Universe, examples []SemijoinExample) (forbidden []PairSet, families [][]PairSet, order []int, early, earlyOK bool) {
+	var pos, neg []int
+	for _, e := range examples {
+		if e.Positive {
+			pos = append(pos, e.Left)
+		} else {
+			neg = append(neg, e.Left)
+		}
+	}
+	// Forbidden down-sets: P must not be ⊆ of any negative agreement set.
+	for _, n := range neg {
+		for j := 0; j < u.Right.Len(); j++ {
+			forbidden = append(forbidden, u.Agree(n, j))
+		}
+	}
+	// Dedupe before the quadratic maximal-set filter: agreement sets repeat
+	// heavily on small value domains, and maximalSets keeps the first of
+	// equals anyway, so this changes nothing but the cost.
+	forbidden = maximalSetsFast(dedupeSets(forbidden))
+	if len(pos) == 0 {
+		// Any predicate selecting no negative works; try the full set.
+		full := u.Full()
+		bad := false
+		for _, f := range forbidden {
+			if full.SubsetOf(f) {
+				bad = true
+				break
+			}
+		}
+		return nil, nil, nil, true, !(len(neg) > 0 && bad)
+	}
+	// Witness families per positive: maximal agreement sets suffice.
+	families = make([][]PairSet, len(pos))
+	for i, t := range pos {
+		var fam []PairSet
+		for j := 0; j < u.Right.Len(); j++ {
+			fam = append(fam, u.Agree(t, j))
+		}
+		fam = maximalSetsFast(dedupeSets(fam))
+		// Larger agreement sets first: keeps candidates big.
+		sort.Slice(fam, func(a, b int) bool { return fam[a].Count() > fam[b].Count() })
+		families[i] = fam
+	}
+	// Order positives by family size (fail-first).
+	order = make([]int, len(pos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return len(families[order[a]]) < len(families[order[b]]) })
+	return forbidden, families, order, false, false
+}
+
+// semijoinDFS64 is the single-word search: candidates are plain uint64s,
+// the memo key is a (depth, word) pair, and no set allocation happens on
+// the search path.
+func semijoinDFS64(u *Universe, forbidden []PairSet, families [][]PairSet, order []int, maxNodes int, stats *SemijoinStats) (PairSet, bool) {
+	forb := make([]uint64, len(forbidden))
+	for i, f := range forbidden {
+		forb[i] = f[0]
+	}
+	fams := make([][]uint64, len(families))
+	for i, fam := range families {
+		fams[i] = make([]uint64, len(fam))
+		for j, a := range fam {
+			fams[i][j] = a[0]
+		}
+	}
+	seen := make(map[[2]uint64]struct{})
+	var result uint64
+	var dfs func(depth int, cand uint64) bool
+	dfs = func(depth int, cand uint64) bool {
+		stats.NodesExplored++
+		if stats.NodesExplored > maxNodes {
+			return false
+		}
+		for _, f := range forb {
+			if cand&^f == 0 {
+				stats.Pruned++
+				return false
+			}
+		}
+		if depth == len(order) {
+			result = cand
+			return true
+		}
+		key := [2]uint64{uint64(depth), cand}
+		if _, ok := seen[key]; ok {
+			stats.Pruned++
+			return false
+		}
+		seen[key] = struct{}{}
+		for _, a := range fams[order[depth]] {
+			if dfs(depth+1, cand&a) {
+				return true
+			}
+			if stats.NodesExplored > maxNodes {
+				return false
+			}
+		}
+		return false
+	}
+	if !dfs(0, u.Full()[0]) {
+		return nil, false
+	}
+	return PairSet{result}, true
+}
+
+// semijoinDFSWide is the multi-word search: PairSet candidates with a
+// compact binary memo key instead of the hex-formatted string of the naive
+// path.
+func semijoinDFSWide(u *Universe, forbidden []PairSet, families [][]PairSet, order []int, maxNodes int, stats *SemijoinStats) (PairSet, bool) {
+	seen := make(map[string]struct{})
+	var keyBuf []byte
+	bad := func(p PairSet) bool {
+		for _, f := range forbidden {
+			if p.SubsetOf(f) {
+				return true
+			}
+		}
+		return false
+	}
+	var result PairSet
+	var dfs func(depth int, cand PairSet) bool
+	dfs = func(depth int, cand PairSet) bool {
+		stats.NodesExplored++
+		if stats.NodesExplored > maxNodes {
+			return false
+		}
+		if bad(cand) {
+			stats.Pruned++
+			return false
+		}
+		if depth == len(order) {
+			result = cand
+			return true
+		}
+		keyBuf = append(keyBuf[:0], byte(depth), byte(depth>>8))
+		keyBuf = cand.appendKey(keyBuf)
+		if _, ok := seen[string(keyBuf)]; ok {
+			stats.Pruned++
+			return false
+		}
+		seen[string(keyBuf)] = struct{}{}
+		for _, a := range families[order[depth]] {
+			if dfs(depth+1, cand.Intersect(a)) {
+				return true
+			}
+			if stats.NodesExplored > maxNodes {
+				return false
+			}
+		}
+		return false
+	}
+	if !dfs(0, u.Full()) {
+		return nil, false
+	}
+	return result, true
+}
+
+// SemijoinConsistentNaive is the retained original implementation —
+// string-comparing agreement sets, fmt-formatted memo keys, allocation per
+// search node — kept verbatim as the differential-testing oracle and the
+// baseline the T6 benchmark measures the optimized search against.
+func SemijoinConsistentNaive(u *Universe, examples []SemijoinExample, maxNodes int) (PairSet, bool, SemijoinStats, error) {
 	if maxNodes == 0 {
 		maxNodes = 1 << 20
 	}
@@ -82,7 +292,7 @@ func SemijoinConsistent(u *Universe, examples []SemijoinExample, maxNodes int) (
 	var forbidden []PairSet
 	for _, n := range neg {
 		for j := 0; j < u.Right.Len(); j++ {
-			forbidden = append(forbidden, u.Agree(n, j))
+			forbidden = append(forbidden, u.agreeNaive(n, j))
 		}
 	}
 	forbidden = maximalSets(forbidden)
@@ -107,7 +317,7 @@ func SemijoinConsistent(u *Universe, examples []SemijoinExample, maxNodes int) (
 	for i, t := range pos {
 		var fam []PairSet
 		for j := 0; j < u.Right.Len(); j++ {
-			fam = append(fam, u.Agree(t, j))
+			fam = append(fam, u.agreeNaive(t, j))
 		}
 		fam = maximalSets(fam)
 		// Larger agreement sets first: keeps candidates big.
@@ -199,6 +409,74 @@ func SemijoinGreedy(u *Universe, examples []SemijoinExample) (PairSet, bool) {
 		}
 	}
 	return cand, true
+}
+
+// dedupeSets removes duplicate sets, keeping the first occurrence — the
+// same first-of-equals rule maximalSets applies, at linear cost.
+func dedupeSets(sets []PairSet) []PairSet {
+	if len(sets) < 2 {
+		return sets
+	}
+	out := sets[:0:0]
+	if len(sets[0]) == 1 {
+		// Linear scan against the survivors: unique agreement sets are few,
+		// and this avoids a throwaway map per call.
+		for _, s := range sets {
+			dup := false
+			for _, t := range out {
+				if t[0] == s[0] {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				out = append(out, s)
+			}
+		}
+		return out
+	}
+	seen := make(map[string]struct{}, len(sets))
+	var buf []byte
+	for _, s := range sets {
+		buf = s.appendKey(buf[:0])
+		if _, ok := seen[string(buf)]; ok {
+			continue
+		}
+		seen[string(buf)] = struct{}{}
+		out = append(out, s)
+	}
+	return out
+}
+
+// maximalSetsFast is maximalSets with a word-level fast path for
+// single-word universes. Inputs are pre-deduped, so the first-of-equals
+// tie rule of the original never fires; the result set and order are
+// identical to maximalSets on the same input.
+func maximalSetsFast(sets []PairSet) []PairSet {
+	if len(sets) < 2 {
+		return sets
+	}
+	if len(sets[0]) != 1 {
+		return maximalSets(sets)
+	}
+	var out []PairSet
+	for i, s := range sets {
+		sw := s[0]
+		maximal := true
+		for j, t := range sets {
+			if i == j {
+				continue
+			}
+			if sw&^t[0] == 0 && t[0]&^sw != 0 {
+				maximal = false
+				break
+			}
+		}
+		if maximal {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // maximalSets keeps only the ⊆-maximal sets of the input.

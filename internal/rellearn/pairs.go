@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/bits"
 	"strings"
+	"sync"
 
 	"querylearn/internal/relational"
 )
@@ -23,7 +24,19 @@ type Universe struct {
 	Left, Right *relational.Relation
 	Pairs       []relational.AttrPair
 	words       int
+	// Interned evaluation core (built lazily by intern under mu): tuple
+	// values as int32 ids so agreement sets compare integers instead of
+	// strings, plus a cache of computed agreement rows. The cache is
+	// bounded by agreeCacheLimit total pairs; past it, sets are
+	// recomputed on demand (still over interned ids). The mutex keeps
+	// concurrent Agree calls on a shared universe safe.
+	mu                sync.Mutex
+	leftIDs, rightIDs [][]int32
+	agreeRows         [][]PairSet
 }
+
+// agreeCacheLimit caps the memoized agreement matrix at 1M tuple pairs.
+const agreeCacheLimit = 1 << 20
 
 // NewUniverse builds the pair universe of two relations.
 func NewUniverse(l, r *relational.Relation) *Universe {
@@ -35,6 +48,37 @@ func NewUniverse(l, r *relational.Relation) *Universe {
 	}
 	u.words = (len(u.Pairs) + 63) / 64
 	return u
+}
+
+// intern builds the value-id matrices on first use. Ids are shared across
+// both relations so cross-relation equality is id equality.
+func (u *Universe) intern() {
+	if u.leftIDs != nil {
+		return
+	}
+	ids := map[string]int32{}
+	internRel := func(r *relational.Relation) [][]int32 {
+		out := make([][]int32, r.Len())
+		for i := 0; i < r.Len(); i++ {
+			row := r.Tuple(i)
+			enc := make([]int32, len(row))
+			for j, v := range row {
+				id, ok := ids[v]
+				if !ok {
+					id = int32(len(ids))
+					ids[v] = id
+				}
+				enc[j] = id
+			}
+			out[i] = enc
+		}
+		return out
+	}
+	u.rightIDs = internRel(u.Right)
+	u.leftIDs = internRel(u.Left)
+	if u.Left.Len()*u.Right.Len() <= agreeCacheLimit {
+		u.agreeRows = make([][]PairSet, u.Left.Len())
+	}
 }
 
 // Size returns the number of candidate conjuncts.
@@ -70,6 +114,14 @@ func (s PairSet) Intersect(t PairSet) PairSet {
 		c[i] = s[i] & t[i]
 	}
 	return c
+}
+
+// IntersectWith sets s to s ∩ t in place, avoiding the allocation of
+// Intersect in accumulation loops.
+func (s PairSet) IntersectWith(t PairSet) {
+	for i := range s {
+		s[i] &= t[i]
+	}
 }
 
 // SubsetOf reports s ⊆ t.
@@ -120,6 +172,17 @@ func (s PairSet) Key() string {
 	return b.String()
 }
 
+// appendKey appends a compact binary key for the set to buf — the cheap
+// replacement for Key in the semijoin search's memo table.
+func (s PairSet) appendKey(buf []byte) []byte {
+	for _, w := range s {
+		buf = append(buf,
+			byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+			byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
+	}
+	return buf
+}
+
 // Decode converts a pair set back to attribute pairs, sorted.
 func (u *Universe) Decode(s PairSet) []relational.AttrPair {
 	var out []relational.AttrPair
@@ -152,8 +215,50 @@ func (u *Universe) Encode(pairs []relational.AttrPair) (PairSet, error) {
 
 // Agree returns the agreement set of a tuple pair: the pairs of attributes
 // on which the two tuples carry equal values. A predicate P selects the
-// pair exactly when P ⊆ Agree.
+// pair exactly when P ⊆ Agree. Computed over interned value ids and
+// memoized per tuple pair (treat the result as read-only); UseNaive
+// reverts to the original string-comparing implementation.
 func (u *Universe) Agree(li, ri int) PairSet {
+	if UseNaive {
+		return u.agreeNaive(li, ri)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.intern()
+	if u.agreeRows != nil {
+		row := u.agreeRows[li]
+		if row == nil {
+			row = make([]PairSet, u.Right.Len())
+			u.agreeRows[li] = row
+		}
+		if row[ri] == nil {
+			row[ri] = u.agreeInterned(li, ri)
+		}
+		return row[ri]
+	}
+	return u.agreeInterned(li, ri)
+}
+
+func (u *Universe) agreeInterned(li, ri int) PairSet {
+	s := make(PairSet, u.words)
+	lrow := u.leftIDs[li]
+	rrow := u.rightIDs[ri]
+	idx := 0
+	for _, lv := range lrow {
+		for _, rv := range rrow {
+			if lv == rv {
+				s[idx>>6] |= 1 << (uint(idx) & 63)
+			}
+			idx++
+		}
+	}
+	return s
+}
+
+// agreeNaive is the retained original: direct string comparison per
+// attribute pair, a fresh set per call — the differential-testing oracle
+// for the interned path.
+func (u *Universe) agreeNaive(li, ri int) PairSet {
 	s := u.EmptySet()
 	lrow := u.Left.Tuple(li)
 	rrow := u.Right.Tuple(ri)

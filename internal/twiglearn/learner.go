@@ -163,11 +163,12 @@ func spine(q twig.Query) []*twig.Node {
 // occurring deeper.
 func filterCandidates(n *xmltree.Node, depth int) []*twig.Node {
 	seen := map[string]bool{}
+	var keyBuf []byte
 	var out []*twig.Node
 	add := func(f *twig.Node) {
-		key := filterKey(f)
-		if !seen[key] {
-			seen[key] = true
+		keyBuf = appendFilterKey(keyBuf[:0], f)
+		if !seen[string(keyBuf)] {
+			seen[string(keyBuf)] = true
 			out = append(out, f)
 		}
 	}
@@ -223,13 +224,21 @@ func chainToBranch(chain []string, firstAxis twig.Axis) *twig.Node {
 	return root
 }
 
-func filterKey(f *twig.Node) string {
-	key := f.Axis.String() + f.Label
+func filterKey(f *twig.Node) string { return string(appendFilterKey(nil, f)) }
+
+// appendFilterKey serializes a filter branch canonically into b without the
+// quadratic string concatenation of the original filterKey.
+func appendFilterKey(b []byte, f *twig.Node) []byte {
+	b = append(b, f.Axis.String()...)
+	b = append(b, f.Label...)
 	for _, c := range f.Children {
-		key += "(" + filterKey(c) + ")"
+		b = append(b, '(')
+		b = appendFilterKey(b, c)
+		b = append(b, ')')
 	}
-	return key
+	return b
 }
+
 
 // branchMatchesAt reports whether the filter branch is satisfied at the
 // document node d (branch axis relative to d).
@@ -292,6 +301,22 @@ func simplifyBranch(f *twig.Node, parent string, dg *schema.DepGraph) *twig.Node
 // dropped when some other filter f2's presence guarantees f's (a
 // homomorphism from f into f2 rooted compatibly).
 func dropSubsumedFilters(fs []*twig.Node) []*twig.Node {
+	if len(fs) < 2 {
+		return fs
+	}
+	// Canonical-key prepass: drop exact duplicates (keeping the first) so
+	// the quadratic homomorphism loop below only sees distinct branches.
+	uniq := fs[:0:0]
+	seen := map[string]bool{}
+	var keyBuf []byte
+	for _, f := range fs {
+		keyBuf = appendFilterKey(keyBuf[:0], f)
+		if !seen[string(keyBuf)] {
+			seen[string(keyBuf)] = true
+			uniq = append(uniq, f)
+		}
+	}
+	fs = uniq
 	var out []*twig.Node
 	for i, f := range fs {
 		subsumed := false
