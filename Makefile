@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet bench-smoke bench-json ci
+.PHONY: all build test vet bench-smoke bench-json examples ci
 
 all: build
 
@@ -22,4 +22,12 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/benchrunner -json > BENCH_$(shell date +%Y%m%d).json
 
-ci: build vet test bench-smoke
+# Compile-and-run every example as a smoke test; they have no test files,
+# so this is the only thing keeping them honest.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/crowdjoin
+	$(GO) run ./examples/geopaths
+	$(GO) run ./examples/xmlshred
+
+ci: build vet test bench-smoke examples

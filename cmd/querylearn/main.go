@@ -27,7 +27,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) != 2 {
-		return fmt.Errorf("usage: querylearn {twig|join|path|schema} <task-file>")
+		return fmt.Errorf("usage: querylearn {twig|join|path|schema} <task-file>\n(to serve interactive learning sessions over HTTP, run the querylearnd daemon)")
 	}
 	kind, path := args[0], args[1]
 	data, err := os.ReadFile(path)

@@ -1,0 +1,458 @@
+// Command querylearnd serves interactive query-learning sessions over HTTP —
+// the daemon form of the paper's question/answer loop, hosting many
+// concurrent dialogues with TTL eviction and crowd-budget accounting.
+//
+// Usage:
+//
+//	querylearnd [flags]                      serve the JSON API
+//	querylearnd [flags] replay <model> <task-file>
+//
+// Serve mode binds -addr and exposes the endpoints documented in
+// internal/server. Replay mode is the end-to-end driver: it learns the goal
+// query from the full task in-process (the batch learner plays the user, the
+// paper's simulation protocol), strips the task down to its seed, then
+// re-learns it interactively over HTTP against an in-process server,
+// printing the full dialogue — the T8-style interactive runs, over the wire.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"querylearn/internal/core"
+	"querylearn/internal/rellearn"
+	"querylearn/internal/server"
+	"querylearn/internal/session"
+	"querylearn/internal/xmltree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "querylearnd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("querylearnd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	ttl := fs.Duration("ttl", 30*time.Minute, "evict sessions idle longer than this (0 = never)")
+	maxSessions := fs.Int("max-sessions", 10000, "cap on live sessions (0 = unlimited)")
+	shards := fs.Int("shards", 16, "lock shards in the session manager")
+	costPerHIT := fs.Float64("cost-per-hit", 0, "dollar cost per submitted label")
+	sweep := fs.Duration("sweep-interval", time.Minute, "TTL sweep period")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := session.Config{
+		Shards:      *shards,
+		MaxSessions: *maxSessions,
+		TTL:         *ttl,
+		CostPerHIT:  *costPerHIT,
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return serve(*addr, cfg, *sweep)
+	}
+	if rest[0] == "replay" && len(rest) == 3 {
+		data, err := os.ReadFile(rest[2])
+		if err != nil {
+			return err
+		}
+		return replay(rest[1], string(data), cfg, out)
+	}
+	return fmt.Errorf("usage: querylearnd [flags] [replay {twig|join|path|schema} <task-file>]")
+}
+
+// serve runs the daemon until SIGINT/SIGTERM, sweeping expired sessions in
+// the background.
+func serve(addr string, cfg session.Config, sweepEvery time.Duration) error {
+	mgr := session.NewManager(cfg)
+	srv := &http.Server{Addr: addr, Handler: server.New(mgr).Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if cfg.TTL > 0 && sweepEvery > 0 {
+		go func() {
+			t := time.NewTicker(sweepEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					if n := mgr.SweepExpired(); n > 0 {
+						fmt.Fprintf(os.Stderr, "querylearnd: evicted %d expired sessions\n", n)
+					}
+				}
+			}
+		}()
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "querylearnd: serving on %s (ttl %s, max %d sessions, %d shards)\n",
+		addr, cfg.TTL, cfg.MaxSessions, cfg.Shards)
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return srv.Shutdown(shutdownCtx)
+}
+
+// oracleFunc answers a question item; the batch-learned goal plays the user.
+type oracleFunc func(item json.RawMessage) (bool, error)
+
+// replay drives one full interactive run over HTTP. It returns an error if
+// the dialogue fails; the learned hypothesis and transcript go to out.
+func replay(model, taskSrc string, cfg session.Config, out io.Writer) error {
+	seedTask, oracle, goal, err := prepareReplay(model, taskSrc)
+	if err != nil {
+		return err
+	}
+
+	mgr := session.NewManager(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: server.New(mgr).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "replaying %s task against %s\n", model, base)
+	fmt.Fprintf(out, "goal (batch-learned in-process): %s\n", indentLines(goal))
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	id, err := createSession(client, base, model, seedTask)
+	if err != nil {
+		return err
+	}
+	questions := 0
+	for {
+		q, done, err := nextQuestion(client, base, id)
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		ans, err := oracle(q.Item)
+		if err != nil {
+			return err
+		}
+		questions++
+		verdict := "no"
+		if ans {
+			verdict = "yes"
+		}
+		fmt.Fprintf(out, "Q%d (%d open) %s -> %s\n", questions, q.Remaining, q.Prompt, verdict)
+		if err := postAnswer(client, base, id, q.Item, ans); err != nil {
+			return err
+		}
+	}
+	hyp, err := getHypothesis(client, base, id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "converged after %d questions\n", questions)
+	fmt.Fprintf(out, "learned over HTTP: %s\n", indentLines(hyp.Query))
+	return nil
+}
+
+// prepareReplay learns the goal from the full task, renders the seed-only
+// session task, and builds the oracle.
+func prepareReplay(model, taskSrc string) (seedTask string, oracle oracleFunc, goal string, err error) {
+	switch model {
+	case "twig":
+		return prepareTwig(taskSrc)
+	case "join":
+		return prepareJoin(taskSrc)
+	case "path":
+		return preparePath(taskSrc)
+	case "schema":
+		return prepareSchema(taskSrc)
+	}
+	return "", nil, "", fmt.Errorf("unknown model %q (want twig, join, path, or schema)", model)
+}
+
+func prepareTwig(src string) (string, oracleFunc, string, error) {
+	task, err := core.ParseTwigTask(src)
+	if err != nil {
+		return "", nil, "", err
+	}
+	goal, err := core.LearnXMLQuery(task.Examples, core.XMLOptions{Schema: task.Schema})
+	if err != nil {
+		return "", nil, "", err
+	}
+	// Selection sets per document, by node pointer.
+	selected := make([]map[*xmltree.Node]bool, len(task.Docs))
+	for i, d := range task.Docs {
+		selected[i] = map[*xmltree.Node]bool{}
+		for _, n := range goal.Eval(d) {
+			selected[i][n] = true
+		}
+	}
+	var b strings.Builder
+	for _, d := range task.Docs {
+		fmt.Fprintf(&b, "doc %s\n", d.String())
+	}
+	if task.Schema != nil {
+		for _, line := range strings.Split(strings.TrimSpace(task.Schema.String()), "\n") {
+			fmt.Fprintf(&b, "schema %s\n", line)
+		}
+	}
+	seeded := false
+	for _, ex := range task.Examples {
+		if !ex.Positive {
+			continue
+		}
+		for di, d := range task.Docs {
+			if d == ex.Doc {
+				fmt.Fprintf(&b, "pos %d %s\n", di, core.NodePathOf(ex.Node))
+				seeded = true
+			}
+		}
+		if seeded {
+			break
+		}
+	}
+	if !seeded {
+		return "", nil, "", fmt.Errorf("twig replay needs a positive example in the task")
+	}
+	oracle := func(item json.RawMessage) (bool, error) {
+		var it struct {
+			Doc  int    `json:"doc"`
+			Path string `json:"path"`
+		}
+		if err := json.Unmarshal(item, &it); err != nil {
+			return false, err
+		}
+		if it.Doc < 0 || it.Doc >= len(task.Docs) {
+			return false, fmt.Errorf("question doc %d out of range", it.Doc)
+		}
+		node, err := core.ResolveNodePath(task.Docs[it.Doc], it.Path)
+		if err != nil {
+			return false, err
+		}
+		return selected[it.Doc][node], nil
+	}
+	return b.String(), oracle, goal.String(), nil
+}
+
+func prepareJoin(src string) (string, oracleFunc, string, error) {
+	task, err := core.ParseJoinTask(src)
+	if err != nil {
+		return "", nil, "", err
+	}
+	if task.Semijoin {
+		return "", nil, "", fmt.Errorf("join replay supports equi-join tasks only")
+	}
+	u := rellearn.NewUniverse(task.Left, task.Right)
+	goalSet, ok := rellearn.JoinConsistent(u, task.Examples)
+	if !ok {
+		return "", nil, "", fmt.Errorf("no join predicate is consistent with the task examples")
+	}
+	goalOracle := rellearn.GoalOracle{U: u, Goal: goalSet}
+	var b strings.Builder
+	fmt.Fprintf(&b, "left %s %s\n", task.Left.Name, strings.Join(task.Left.Attrs, ","))
+	task.Left.Each(func(_ int, row []string) { fmt.Fprintf(&b, "lrow %s\n", strings.Join(row, ",")) })
+	fmt.Fprintf(&b, "right %s %s\n", task.Right.Name, strings.Join(task.Right.Attrs, ","))
+	task.Right.Each(func(_ int, row []string) { fmt.Fprintf(&b, "rrow %s\n", strings.Join(row, ",")) })
+	oracle := func(item json.RawMessage) (bool, error) {
+		var it struct {
+			Left  int `json:"left"`
+			Right int `json:"right"`
+		}
+		if err := json.Unmarshal(item, &it); err != nil {
+			return false, err
+		}
+		return goalOracle.LabelPair(it.Left, it.Right), nil
+	}
+	pred := u.Decode(goalSet)
+	parts := make([]string, len(pred))
+	for i, p := range pred {
+		parts[i] = p.String()
+	}
+	return b.String(), oracle, strings.Join(parts, " & "), nil
+}
+
+func preparePath(src string) (string, oracleFunc, string, error) {
+	task, err := core.ParsePathTask(src)
+	if err != nil {
+		return "", nil, "", err
+	}
+	goal, err := core.LearnPathQuery(task.Graph, task.Examples)
+	if err != nil {
+		return "", nil, "", err
+	}
+	g := task.Graph
+	var b strings.Builder
+	for _, e := range g.Triples() {
+		fmt.Fprintf(&b, "edge %s %s %s\n", e.From, e.Label, e.To)
+	}
+	seeded := false
+	for _, ex := range task.Examples {
+		if ex.Positive {
+			fmt.Fprintf(&b, "pos %s %s\n", g.Node(ex.Src), g.Node(ex.Dst))
+			seeded = true
+			break
+		}
+	}
+	if !seeded {
+		return "", nil, "", fmt.Errorf("path replay needs a positive example in the task")
+	}
+	oracle := func(item json.RawMessage) (bool, error) {
+		var it struct {
+			Src string `json:"src"`
+			Dst string `json:"dst"`
+		}
+		if err := json.Unmarshal(item, &it); err != nil {
+			return false, err
+		}
+		src, dst := g.NodeIndex(it.Src), g.NodeIndex(it.Dst)
+		if src < 0 || dst < 0 {
+			return false, fmt.Errorf("question names unknown node (%s, %s)", it.Src, it.Dst)
+		}
+		return g.Selects(goal, src, dst), nil
+	}
+	return b.String(), oracle, goal.String(), nil
+}
+
+func prepareSchema(src string) (string, oracleFunc, string, error) {
+	task, err := core.ParseSchemaTask(src)
+	if err != nil {
+		return "", nil, "", err
+	}
+	goal, err := core.LearnSchema(task.Docs)
+	if err != nil {
+		return "", nil, "", err
+	}
+	// Seed the session with the first document only; the dialogue must
+	// rediscover the rest of the language.
+	seedTask := fmt.Sprintf("doc %s\n", task.Docs[0].String())
+	oracle := func(item json.RawMessage) (bool, error) {
+		var it struct {
+			Doc string `json:"doc"`
+		}
+		if err := json.Unmarshal(item, &it); err != nil {
+			return false, err
+		}
+		doc, err := xmltree.Parse(it.Doc)
+		if err != nil {
+			return false, err
+		}
+		return goal.Valid(doc), nil
+	}
+	return seedTask, oracle, goal.String(), nil
+}
+
+// ---- HTTP client helpers ----
+
+func createSession(c *http.Client, base, model, task string) (string, error) {
+	body, _ := json.Marshal(map[string]any{"model": model, "task": task})
+	resp, err := c.Post(base+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var created struct {
+		ID    string `json:"id"`
+		Error *struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		return "", err
+	}
+	if created.Error != nil {
+		return "", fmt.Errorf("create: %s: %s", created.Error.Code, created.Error.Message)
+	}
+	return created.ID, nil
+}
+
+func nextQuestion(c *http.Client, base, id string) (session.Question, bool, error) {
+	resp, err := c.Get(base + "/sessions/" + id + "/question")
+	if err != nil {
+		return session.Question{}, false, err
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Done     bool              `json:"done"`
+		Question *session.Question `json:"question"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		return session.Question{}, false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return session.Question{}, false, fmt.Errorf("question: HTTP %d", resp.StatusCode)
+	}
+	if qr.Done || qr.Question == nil {
+		return session.Question{}, true, nil
+	}
+	return *qr.Question, false, nil
+}
+
+func postAnswer(c *http.Client, base, id string, item json.RawMessage, positive bool) error {
+	body, _ := json.Marshal(map[string]any{
+		"answers": []map[string]any{{"item": item, "positive": positive}},
+	})
+	resp, err := c.Post(base+"/sessions/"+id+"/answers", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("answers: HTTP %d %s: %s", resp.StatusCode, e.Error.Code, e.Error.Message)
+	}
+	return nil
+}
+
+func getHypothesis(c *http.Client, base, id string) (session.Hypothesis, error) {
+	resp, err := c.Get(base + "/sessions/" + id + "/query")
+	if err != nil {
+		return session.Hypothesis{}, err
+	}
+	defer resp.Body.Close()
+	var h session.Hypothesis
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return session.Hypothesis{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return session.Hypothesis{}, fmt.Errorf("query: HTTP %d", resp.StatusCode)
+	}
+	return h, nil
+}
+
+// indentLines keeps multi-line hypotheses (schemas) readable in the
+// transcript.
+func indentLines(s string) string {
+	s = strings.TrimSpace(s)
+	if !strings.Contains(s, "\n") {
+		return s
+	}
+	return "\n  " + strings.ReplaceAll(s, "\n", "\n  ")
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var replayTasks = map[string]string{
+	"twig": `
+doc <lib><book><title/><year/></book><book><title/></book></lib>
+doc <lib><book><year/><title/></book></lib>
+pos 0 /0/0
+pos 1 /0/1
+neg 0 /1/0
+`,
+	"join": `
+left P id,city
+lrow 1,lille
+lrow 2,paris
+right O buyer,place
+rrow 1,lille
+rrow 2,rome
+pos 0 0
+neg 0 1
+`,
+	"path": `
+edge lille highway paris
+edge paris highway lyon
+edge lille ferry dover
+pos lille lyon
+neg lille dover
+`,
+	"schema": `
+doc <r><a/><b/></r>
+doc <r><a/><a/><b/></r>
+`,
+}
+
+// TestReplayAllModels runs the end-to-end driver: for each model, the
+// interactive dialogue over HTTP must converge and re-learn the goal the
+// batch learner extracts from the full task.
+func TestReplayAllModels(t *testing.T) {
+	wantLearned := map[string]string{
+		"twig":   "learned over HTTP: /lib/book[year]/title",
+		"join":   "learned over HTTP: city=place & id=buyer",
+		"path":   "learned over HTTP: highway.highway",
+		"schema": "r -> a+ || b",
+	}
+	for model, task := range replayTasks {
+		path := filepath.Join(t.TempDir(), model+".txt")
+		if err := os.WriteFile(path, []byte(task), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if err := run([]string{"replay", model, path}, &out); err != nil {
+			t.Fatalf("replay %s: %v\n%s", model, err, out.String())
+		}
+		transcript := out.String()
+		if !strings.Contains(transcript, "converged after") {
+			t.Errorf("%s transcript missing convergence line:\n%s", model, transcript)
+		}
+		if !strings.Contains(transcript, wantLearned[model]) {
+			t.Errorf("%s transcript missing %q:\n%s", model, wantLearned[model], transcript)
+		}
+		// The learned hypothesis must equal the batch goal: every
+		// transcript prints both lines, so normalize and compare.
+		goal := section(transcript, "goal (batch-learned in-process):", "Q1 ")
+		learned := section(transcript, "learned over HTTP:", "\x00")
+		if strings.TrimSpace(goal) != strings.TrimSpace(learned) {
+			t.Errorf("%s: goal %q != learned %q", model, goal, learned)
+		}
+	}
+}
+
+// section extracts the text between a marker line and the next marker (or
+// the end for "\x00").
+func section(s, from, to string) string {
+	_, rest, ok := strings.Cut(s, from)
+	if !ok {
+		return ""
+	}
+	if to != "\x00" {
+		if cut, _, ok2 := strings.Cut(rest, to); ok2 {
+			return cut
+		}
+	}
+	return rest
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"replay", "twig"}, &out); err == nil || !strings.Contains(err.Error(), "usage") {
+		t.Errorf("short replay args = %v", err)
+	}
+	if err := run([]string{"replay", "nope", "/does/not/exist"}, &out); err == nil {
+		t.Errorf("missing file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "t.txt")
+	os.WriteFile(path, []byte(replayTasks["twig"]), 0o644)
+	if err := run([]string{"replay", "nope", path}, &out); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Errorf("unknown model = %v", err)
+	}
+	if err := run([]string{"-bad-flag"}, &out); err == nil {
+		t.Errorf("bad flag should fail")
+	}
+}

@@ -134,6 +134,22 @@ func TestT10AllSchemasConverge(t *testing.T) {
 	}
 }
 
+func TestT11ServiceServesDialogues(t *testing.T) {
+	tab := T11ServiceThroughput(1)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("expected join and path rows, got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[2] == "ERROR" {
+			t.Errorf("%s service bench failed: %v", row[0], row[3])
+			continue
+		}
+		if row[2] == "0" || row[3] == "0" {
+			t.Errorf("%s: empty bench row %v", row[0], row)
+		}
+	}
+}
+
 func TestF1AllScenariosSucceed(t *testing.T) {
 	tab := F1ExchangeScenarios()
 	if len(tab.Rows) != 4 {
@@ -189,8 +205,8 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full sweep in short mode")
 	}
 	tables := All(1)
-	if len(tables) != 11 {
-		t.Errorf("All returned %d tables, want 11", len(tables))
+	if len(tables) != 12 {
+		t.Errorf("All returned %d tables, want 12", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {

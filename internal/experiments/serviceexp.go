@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"querylearn/internal/server"
+	"querylearn/internal/session"
+)
+
+// Fixture tasks for the service benchmark: small enough that one dialogue is
+// a handful of requests, so the numbers measure the serving stack (routing,
+// JSON, shard locking) rather than the learners.
+const (
+	svcJoinTask = `left P id,city
+lrow 1,lille
+lrow 2,paris
+right O buyer,place
+rrow 1,lille
+rrow 2,rome
+`
+	svcPathTask = `edge lille highway paris
+edge paris highway lyon
+edge lille ferry dover
+pos lille lyon
+`
+)
+
+// svcAnswer answers the benchmark dialogues' questions: goals are
+// id=buyer & city=place for the join task and highway.highway for the path
+// task, matching the fixtures above.
+func svcAnswer(model string, item json.RawMessage) bool {
+	switch model {
+	case "join":
+		var it struct{ Left, Right int }
+		if json.Unmarshal(item, &it) != nil {
+			return false
+		}
+		return it.Left == 0 && it.Right == 0
+	case "path":
+		var it struct{ Src, Dst string }
+		if json.Unmarshal(item, &it) != nil {
+			return false
+		}
+		return it.Src == "lille" && it.Dst == "lyon"
+	}
+	return false
+}
+
+// T11ServiceThroughput measures the interactive learning service end to end:
+// full create→question→answer→query→delete dialogues against an in-process
+// HTTP server, reported as sessions/sec and answers/sec.
+func T11ServiceThroughput(scale int) *Table {
+	t := &Table{
+		ID:     "T11",
+		Title:  "interactive learning service throughput over HTTP",
+		Claim:  "the interactive loop survives the wire: concurrent sessions at service rates (ROADMAP north star)",
+		Header: []string{"model", "clients", "sessions", "answers", "elapsed ms", "sessions/s", "answers/s"},
+	}
+	clients := runtime.NumCPU()
+	if clients > 8 {
+		clients = 8
+	}
+	if clients < 2 {
+		clients = 2
+	}
+	sessionsPerClient := 25 * scale
+	for _, model := range []string{"join", "path"} {
+		task := svcJoinTask
+		if model == "path" {
+			task = svcPathTask
+		}
+		sessions, answers, elapsed, err := runServiceBench(model, task, clients, sessionsPerClient)
+		if err != nil {
+			t.Rows = append(t.Rows, []string{model, fmt.Sprint(clients), "ERROR", err.Error(), "", "", ""})
+			continue
+		}
+		secs := elapsed.Seconds()
+		t.Rows = append(t.Rows, []string{
+			model, fmt.Sprint(clients), fmt.Sprint(sessions), fmt.Sprint(answers),
+			fmt.Sprintf("%.1f", elapsed.Seconds()*1000),
+			fmt.Sprintf("%.0f", float64(sessions)/secs),
+			fmt.Sprintf("%.0f", float64(answers)/secs),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"each session is a full HTTP dialogue: create, question/answer to convergence, query, delete",
+		"in-process httptest server; numbers measure the serving stack, not network latency")
+	return t
+}
+
+func runServiceBench(model, task string, clients, perClient int) (sessions, answers int, elapsed time.Duration, err error) {
+	mgr := session.NewManager(session.Config{Shards: 16})
+	ts := httptest.NewServer(server.New(mgr).Handler())
+	defer ts.Close()
+
+	var answered atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hc := ts.Client()
+			for i := 0; i < perClient; i++ {
+				n, err := runOneDialogue(hc, ts.URL, model, task)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				answered.Add(int64(n))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	if e := firstErr.Load(); e != nil {
+		return 0, 0, 0, e.(error)
+	}
+	return clients * perClient, int(answered.Load()), elapsed, nil
+}
+
+func runOneDialogue(hc *http.Client, base, model, task string) (int, error) {
+	post := func(path string, body any, into any) error {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := hc.Post(base+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return fmt.Errorf("POST %s: HTTP %d", path, resp.StatusCode)
+		}
+		if into != nil {
+			return json.NewDecoder(resp.Body).Decode(into)
+		}
+		return nil
+	}
+	var created struct{ ID string }
+	if err := post("/sessions", map[string]any{"model": model, "task": task}, &created); err != nil {
+		return 0, err
+	}
+	answers := 0
+	for {
+		resp, err := hc.Get(base + "/sessions/" + created.ID + "/question")
+		if err != nil {
+			return answers, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return answers, fmt.Errorf("GET question: HTTP %d", resp.StatusCode)
+		}
+		var qr struct {
+			Done     bool `json:"done"`
+			Question *struct {
+				Item json.RawMessage `json:"item"`
+			} `json:"question"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&qr)
+		resp.Body.Close()
+		if decErr != nil {
+			return answers, decErr
+		}
+		if qr.Done || qr.Question == nil {
+			break
+		}
+		if err := post("/sessions/"+created.ID+"/answers", map[string]any{
+			"answers": []map[string]any{{"item": qr.Question.Item, "positive": svcAnswer(model, qr.Question.Item)}},
+		}, nil); err != nil {
+			return answers, err
+		}
+		answers++
+	}
+	req, err := http.NewRequest(http.MethodDelete, base+"/sessions/"+created.ID, nil)
+	if err != nil {
+		return answers, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return answers, err
+	}
+	resp.Body.Close()
+	return answers, nil
+}

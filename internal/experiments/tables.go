@@ -84,6 +84,7 @@ func All(scale int) []*Table {
 		T8GraphInteractions,
 		T9CrowdCost,
 		T10SchemaLearning,
+		T11ServiceThroughput,
 		func(int) *Table { return F1ExchangeScenarios() },
 	}
 	out := make([]*Table, 0, len(exps))

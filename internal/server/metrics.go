@@ -1,0 +1,43 @@
+package server
+
+import "sync/atomic"
+
+// endpointNames enumerates the instrumented endpoints in display order.
+var endpointNames = []string{
+	"create", "resume", "status", "question", "answers",
+	"query", "snapshot", "delete", "metrics", "healthz",
+}
+
+// endpointStats counts one endpoint's traffic.
+type endpointStats struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// metrics aggregates per-endpoint counters. The map is built once at server
+// construction and never mutated, so counter bumps need no lock.
+type metrics struct {
+	endpoints map[string]*endpointStats
+}
+
+func newMetrics() *metrics {
+	m := &metrics{endpoints: make(map[string]*endpointStats, len(endpointNames))}
+	for _, n := range endpointNames {
+		m.endpoints[n] = &endpointStats{}
+	}
+	return m
+}
+
+// EndpointMetrics is one endpoint's counter snapshot.
+type EndpointMetrics struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+func (m *metrics) snapshot() map[string]EndpointMetrics {
+	out := make(map[string]EndpointMetrics, len(m.endpoints))
+	for name, s := range m.endpoints {
+		out[name] = EndpointMetrics{Requests: s.requests.Load(), Errors: s.errors.Load()}
+	}
+	return out
+}

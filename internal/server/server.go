@@ -1,0 +1,275 @@
+// Package server exposes the interactive learning sessions of
+// internal/session over a JSON HTTP API — the wire form of the paper's
+// question/answer loop, built for many concurrent users:
+//
+//	POST   /sessions                  create a session from a task-file body
+//	POST   /sessions/resume           rehydrate a snapshotted session
+//	GET    /sessions/{id}             lifecycle status
+//	GET    /sessions/{id}/question    next informative item (or done)
+//	POST   /sessions/{id}/answers     batched labels, optional majority vote
+//	GET    /sessions/{id}/query       the learned hypothesis
+//	GET    /sessions/{id}/snapshot    persistable session state
+//	DELETE /sessions/{id}             evict
+//	GET    /metrics                   per-endpoint counters + manager stats
+//	GET    /healthz                   liveness
+//
+// Errors are structured: {"error":{"code":"...","message":"..."}}.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"querylearn/internal/session"
+)
+
+// maxBodyBytes bounds request bodies; task files and answer batches are
+// small.
+const maxBodyBytes = 4 << 20
+
+// Server is the HTTP front of a session.Manager.
+type Server struct {
+	mgr     *session.Manager
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New wires the routes onto a fresh mux.
+func New(mgr *session.Manager) *Server {
+	s := &Server{mgr: mgr, metrics: newMetrics(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /sessions", s.wrap("create", s.handleCreate))
+	s.mux.HandleFunc("POST /sessions/resume", s.wrap("resume", s.handleResume))
+	s.mux.HandleFunc("GET /sessions/{id}", s.wrap("status", s.handleStatus))
+	s.mux.HandleFunc("GET /sessions/{id}/question", s.wrap("question", s.handleQuestion))
+	s.mux.HandleFunc("POST /sessions/{id}/answers", s.wrap("answers", s.handleAnswers))
+	s.mux.HandleFunc("GET /sessions/{id}/query", s.wrap("query", s.handleQuery))
+	s.mux.HandleFunc("GET /sessions/{id}/snapshot", s.wrap("snapshot", s.handleSnapshot))
+	s.mux.HandleFunc("DELETE /sessions/{id}", s.wrap("delete", s.handleDelete))
+	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	return s
+}
+
+// Handler returns the routed handler, for http.Server and httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// apiError is a structured failure: an HTTP status, a stable machine code,
+// and a human message.
+type apiError struct {
+	Status  int    `json:"-"`
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+func errf(status int, code, format string, args ...any) *apiError {
+	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// fromManager maps session-layer sentinels onto wire errors.
+func fromManager(err error) *apiError {
+	switch {
+	case errors.Is(err, session.ErrNotFound):
+		return errf(http.StatusNotFound, "session_not_found", "%v", err)
+	case errors.Is(err, session.ErrTooManySessions):
+		return errf(http.StatusTooManyRequests, "too_many_sessions", "%v", err)
+	case errors.Is(err, session.ErrBudgetExhausted):
+		return errf(http.StatusPaymentRequired, "budget_exhausted", "%v", err)
+	case errors.Is(err, session.ErrFailed):
+		return errf(http.StatusConflict, "session_failed", "%v", err)
+	case errors.Is(err, session.ErrExists):
+		return errf(http.StatusConflict, "session_exists", "%v", err)
+	}
+	return errf(http.StatusBadRequest, "bad_request", "%v", err)
+}
+
+func (s *Server) wrap(name string, h func(w http.ResponseWriter, r *http.Request) *apiError) http.HandlerFunc {
+	stats := s.metrics.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		stats.requests.Add(1)
+		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		if e := h(w, r); e != nil {
+			stats.errors.Add(1)
+			writeJSON(w, e.Status, map[string]any{"error": e})
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+}
+
+func readJSON(r *http.Request, into any) *apiError {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		return errf(http.StatusBadRequest, "bad_body", "reading body: %v", err)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		return errf(http.StatusBadRequest, "bad_json", "decoding body: %v", err)
+	}
+	return nil
+}
+
+func (s *Server) get(r *http.Request) (*session.Session, *apiError) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		return nil, fromManager(err)
+	}
+	return sess, nil
+}
+
+// createRequest is the POST /sessions body.
+type createRequest struct {
+	Model string `json:"model"`
+	// Task is a task-file body in cmd/querylearn's line format; its
+	// examples seed the session.
+	Task string `json:"task"`
+	// MaxCost caps the session's crowd spend in dollars (0 = no cap).
+	MaxCost float64 `json:"max_cost,omitempty"`
+}
+
+// createResponse echoes the registered session.
+type createResponse struct {
+	ID    string `json:"id"`
+	Model string `json:"model"`
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) *apiError {
+	var req createRequest
+	if e := readJSON(r, &req); e != nil {
+		return e
+	}
+	sess, err := s.mgr.Create(req.Model, req.Task, session.CreateOptions{MaxCost: req.MaxCost})
+	if err != nil {
+		return fromManager(err)
+	}
+	writeJSON(w, http.StatusCreated, createResponse{ID: sess.ID(), Model: sess.Model()})
+	return nil
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) *apiError {
+	var snap session.Snapshot
+	if e := readJSON(r, &snap); e != nil {
+		return e
+	}
+	sess, err := s.mgr.Resume(snap)
+	if err != nil {
+		return fromManager(err)
+	}
+	writeJSON(w, http.StatusCreated, createResponse{ID: sess.ID(), Model: sess.Model()})
+	return nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) *apiError {
+	sess, e := s.get(r)
+	if e != nil {
+		return e
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+	return nil
+}
+
+// questionResponse wraps GET /sessions/{id}/question: either done, or the
+// next question.
+type questionResponse struct {
+	Done     bool              `json:"done"`
+	Question *session.Question `json:"question,omitempty"`
+}
+
+func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) *apiError {
+	sess, e := s.get(r)
+	if e != nil {
+		return e
+	}
+	q, ok, err := sess.Question()
+	if err != nil {
+		return fromManager(err)
+	}
+	resp := questionResponse{Done: !ok}
+	if ok {
+		resp.Question = &q
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// answersRequest is the POST /sessions/{id}/answers body.
+type answersRequest struct {
+	Answers []session.Answer `json:"answers"`
+	// Reconcile selects batch semantics: "" applies labels in order,
+	// "majority" groups repeated labels of one item as votes.
+	Reconcile string `json:"reconcile,omitempty"`
+}
+
+func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) *apiError {
+	sess, e := s.get(r)
+	if e != nil {
+		return e
+	}
+	var req answersRequest
+	if e := readJSON(r, &req); e != nil {
+		return e
+	}
+	res, err := sess.Answer(req.Answers, req.Reconcile)
+	if err != nil {
+		return fromManager(err)
+	}
+	s.mgr.CountLabels(len(req.Answers))
+	writeJSON(w, http.StatusOK, res)
+	return nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) *apiError {
+	sess, e := s.get(r)
+	if e != nil {
+		return e
+	}
+	h, err := sess.Hypothesis()
+	if err != nil {
+		return fromManager(err)
+	}
+	writeJSON(w, http.StatusOK, h)
+	return nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) *apiError {
+	sess, e := s.get(r)
+	if e != nil {
+		return e
+	}
+	writeJSON(w, http.StatusOK, sess.Snapshot())
+	return nil
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) *apiError {
+	if !s.mgr.Delete(r.PathValue("id")) {
+		return fromManager(session.ErrNotFound)
+	}
+	w.WriteHeader(http.StatusNoContent)
+	return nil
+}
+
+// metricsResponse is the GET /metrics document.
+type metricsResponse struct {
+	Sessions  session.Stats              `json:"sessions"`
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) *apiError {
+	writeJSON(w, http.StatusOK, metricsResponse{
+		Sessions:  s.mgr.Stats(),
+		Endpoints: s.metrics.snapshot(),
+	})
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *apiError {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	return nil
+}

@@ -1,0 +1,134 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"querylearn/internal/core"
+	"querylearn/internal/relational"
+	"querylearn/internal/rellearn"
+)
+
+// joinItem addresses a tuple pair on the wire by row indexes into the two
+// relations of the task.
+type joinItem struct {
+	Left  int `json:"left"`
+	Right int `json:"right"`
+}
+
+// joinLearner adapts the rellearn interactive join session. The version
+// space is the join-predicate lattice; questions are the informative tuple
+// pairs, proposed in deterministic (left, right) scan order.
+type joinLearner struct {
+	u    *rellearn.Universe
+	sess *rellearn.Session
+}
+
+func newJoinLearner(src string) (*joinLearner, error) {
+	task, err := core.ParseJoinTask(src)
+	if err != nil {
+		return nil, err
+	}
+	if task.Semijoin {
+		return nil, fmt.Errorf("session: semijoin tasks are batch-only (the consistency problem is NP-complete); use cmd/querylearn")
+	}
+	u := rellearn.NewUniverse(task.Left, task.Right)
+	l := &joinLearner{u: u, sess: rellearn.NewSession(u)}
+	for i, ex := range task.Examples {
+		if err := l.checkRange(ex.Left, ex.Right); err != nil {
+			return nil, fmt.Errorf("session: join task example %d: %w", i, err)
+		}
+		if err := l.sess.Record(ex.Left, ex.Right, ex.Positive); err != nil {
+			return nil, fmt.Errorf("session: replaying join task example %d: %w", i, err)
+		}
+	}
+	return l, nil
+}
+
+func (l *joinLearner) checkRange(li, ri int) error {
+	if li < 0 || li >= l.u.Left.Len() {
+		return fmt.Errorf("left index %d out of range (relation has %d tuples)", li, l.u.Left.Len())
+	}
+	if ri < 0 || ri >= l.u.Right.Len() {
+		return fmt.Errorf("right index %d out of range (relation has %d tuples)", ri, l.u.Right.Len())
+	}
+	return nil
+}
+
+// Model implements Learner.
+func (l *joinLearner) Model() string { return "join" }
+
+// Next implements Learner.
+func (l *joinLearner) Next() (Question, bool, error) {
+	cands := l.sess.Candidates()
+	if len(cands) == 0 {
+		return Question{}, false, nil
+	}
+	c := cands[0]
+	item, err := json.Marshal(joinItem{Left: c.Left, Right: c.Right})
+	if err != nil {
+		return Question{}, false, err
+	}
+	return Question{
+		Model: "join",
+		Item:  item,
+		Prompt: fmt.Sprintf("should %s tuple %d (%s) join with %s tuple %d (%s)?",
+			l.u.Left.Name, c.Left, strings.Join(l.u.Left.Tuple(c.Left), ","),
+			l.u.Right.Name, c.Right, strings.Join(l.u.Right.Tuple(c.Right), ",")),
+		Remaining: len(cands),
+	}, true, nil
+}
+
+// decode unmarshals and range-checks an item.
+func (l *joinLearner) decode(raw json.RawMessage) (joinItem, error) {
+	var it joinItem
+	if err := decodeItem(raw, &it); err != nil {
+		return joinItem{}, err
+	}
+	if err := l.checkRange(it.Left, it.Right); err != nil {
+		return joinItem{}, err
+	}
+	return it, nil
+}
+
+// Validate implements Learner.
+func (l *joinLearner) Validate(raw json.RawMessage) error {
+	_, err := l.decode(raw)
+	return err
+}
+
+// Record implements Learner.
+func (l *joinLearner) Record(raw json.RawMessage, positive bool) error {
+	it, err := l.decode(raw)
+	if err != nil {
+		return err
+	}
+	if err := l.sess.Record(it.Left, it.Right, positive); err != nil {
+		return err
+	}
+	l.sess.Questions++
+	return nil
+}
+
+// Hypothesis implements Learner.
+func (l *joinLearner) Hypothesis() (Hypothesis, error) {
+	pred := relational.SortPairs(l.u.Decode(l.sess.Result()))
+	parts := make([]string, len(pred))
+	for i, p := range pred {
+		parts[i] = p.String()
+	}
+	query := strings.Join(parts, " & ")
+	if query == "" {
+		query = "true" // empty predicate: the cross product
+	}
+	return Hypothesis{
+		Model:     "join",
+		Query:     query,
+		Converged: len(l.sess.Candidates()) == 0,
+		Detail: map[string]string{
+			"attr_pairs": fmt.Sprint(len(pred)),
+			"questions":  fmt.Sprint(l.sess.Questions),
+		},
+	}, nil
+}

@@ -1,0 +1,127 @@
+// Package session hosts long-lived interactive learning dialogues — the
+// paper's central scenario of a user (or paid crowd) labeling one example at
+// a time while the learner shrinks its version space. Where interact.Run
+// drives that loop in-process and start-to-finish, this package splits it at
+// the question/answer boundary so a session can survive the human-scale
+// latency between the two: a unified Learner interface over all four model
+// learners (twig, join, path, schema), a concurrent sharded Manager of live
+// sessions with TTL eviction and crowd-budget accounting, and JSON
+// snapshot/resume so a dialogue can be persisted and rehydrated mid-flight.
+// internal/server exposes the whole thing over HTTP.
+package session
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Question is one item a learner wants labeled. Item is the model-specific
+// wire encoding of the item; clients echo it back verbatim (or re-encode the
+// same fields) when answering.
+type Question struct {
+	Model  string          `json:"model"`
+	Item   json.RawMessage `json:"item"`
+	Prompt string          `json:"prompt"`
+	// Remaining counts the informative items still open, including the
+	// proposed one — the client's progress bar.
+	Remaining int `json:"remaining"`
+}
+
+// Hypothesis is a snapshot of the current best hypothesis of a session.
+type Hypothesis struct {
+	Model string `json:"model"`
+	// Query renders the hypothesis in the model's native syntax (a twig
+	// query, a join predicate, a path query, a multiplicity schema).
+	Query string `json:"query"`
+	// Converged is true when no informative item remains.
+	Converged bool              `json:"converged"`
+	Detail    map[string]string `json:"detail,omitempty"`
+}
+
+// Learner is the unified interactive contract the Manager hosts: propose the
+// next question, record an answer, snapshot the current hypothesis.
+// Implementations are NOT safe for concurrent use; the Manager serializes
+// access per session.
+type Learner interface {
+	// Model names the hypothesis class: "twig", "join", "path" or "schema".
+	Model() string
+	// Next proposes the next question. ok=false means the session has
+	// converged: every item is either labeled or uninformative.
+	Next() (q Question, ok bool, err error)
+	// Validate checks that an item decodes and addresses something that
+	// exists (a corpus node, tuple indexes in range, known graph nodes)
+	// WITHOUT touching the version space. The Manager validates a whole
+	// batch before applying any of it, so malformed client input is
+	// rejected cleanly instead of poisoning the session.
+	Validate(item json.RawMessage) error
+	// Record applies a user answer to the item encoded by a previous
+	// question (any informative item is acceptable, not only the last
+	// proposed one — batched answers arrive out of order). After a
+	// passing Validate, an error here means the answers are genuinely
+	// inconsistent: no hypothesis in the class fits them.
+	Record(item json.RawMessage, positive bool) error
+	// Hypothesis returns the current best hypothesis.
+	Hypothesis() (Hypothesis, error)
+}
+
+// Models lists the supported model names in stable order.
+var Models = []string{"twig", "join", "path", "schema"}
+
+// New builds a Learner of the given model from a task-file body (the same
+// line-oriented format cmd/querylearn reads, documented in
+// internal/core/task.go). The task's own examples are replayed into the
+// fresh session, so a task file doubles as a session seed.
+func New(model, task string) (Learner, error) {
+	switch model {
+	case "twig":
+		return newTwigLearner(task)
+	case "join":
+		return newJoinLearner(task)
+	case "path":
+		return newPathLearner(task)
+	case "schema":
+		return newSchemaLearner(task)
+	}
+	return nil, fmt.Errorf("session: unknown model %q (want twig, join, path, or schema)", model)
+}
+
+// ItemKey canonicalizes an item encoding for equality grouping (majority
+// vote reconciliation): JSON objects with the same fields in any key order
+// map to the same key.
+func ItemKey(raw json.RawMessage) (string, error) {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return "", fmt.Errorf("session: bad item: %w", err)
+	}
+	b, err := json.Marshal(v) // map keys marshal sorted
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// decodeItem unmarshals an item strictly, rejecting unknown fields so a
+// mis-modeled answer (a path item sent to a join session) fails loudly
+// instead of zero-valuing.
+func decodeItem(raw json.RawMessage, into any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("session: bad item %s: %w", compact(raw), err)
+	}
+	return nil
+}
+
+// compact renders an item for error messages without newlines.
+func compact(raw json.RawMessage) string {
+	var v any
+	if json.Unmarshal(raw, &v) != nil {
+		return string(raw)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return string(raw)
+	}
+	return string(b)
+}

@@ -1,0 +1,562 @@
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrNotFound reports an unknown or already-evicted session id.
+	ErrNotFound = errors.New("session not found")
+	// ErrTooManySessions reports the MaxSessions cap.
+	ErrTooManySessions = errors.New("session limit reached")
+	// ErrBudgetExhausted reports a batch that would exceed the session's
+	// crowd budget.
+	ErrBudgetExhausted = errors.New("session budget exhausted")
+	// ErrFailed reports an operation on a session whose answers became
+	// inconsistent; the version space is no longer trustworthy.
+	ErrFailed = errors.New("session failed")
+	// ErrExists reports a Resume under an id that is still live.
+	ErrExists = errors.New("session id already exists")
+)
+
+// Config tunes a Manager.
+type Config struct {
+	// Shards is the number of lock shards (default 16).
+	Shards int
+	// MaxSessions caps live sessions across all shards (0 = unlimited).
+	MaxSessions int
+	// TTL evicts sessions idle longer than this (0 = never). Eviction
+	// happens on SweepExpired, which the daemon calls periodically.
+	TTL time.Duration
+	// CostPerHIT prices one submitted label, the crowd-marketplace dollar
+	// cost of §3 (0 = free).
+	CostPerHIT float64
+	// Clock overrides time.Now for TTL tests.
+	Clock func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return c
+}
+
+// Manager hosts live learning sessions: a sharded map with per-session
+// locking, so many dialogues progress concurrently while each learner sees
+// strictly serialized answers.
+type Manager struct {
+	cfg    Config
+	shards []*shard
+	live   atomic.Int64
+
+	// Counters for /metrics.
+	created atomic.Int64
+	resumed atomic.Int64
+	deleted atomic.Int64
+	expired atomic.Int64
+	labels  atomic.Int64
+}
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]*Session
+}
+
+// NewManager builds a Manager with the given configuration.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	m := &Manager{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range m.shards {
+		m.shards[i] = &shard{m: map[string]*Session{}}
+	}
+	return m
+}
+
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+func newID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("session: crypto/rand failed: %v", err))
+	}
+	return "s" + hex.EncodeToString(b[:])
+}
+
+// Session is one live dialogue: a learner plus the bookkeeping that makes it
+// servable — the answer log (for snapshots), crowd-cost accounting, and idle
+// tracking for TTL eviction. All methods are safe for concurrent use.
+type Session struct {
+	mu sync.Mutex
+
+	id        string
+	model     string
+	task      string
+	learner   Learner
+	answers   []Answer
+	hits      int
+	maxCost   float64
+	createdAt time.Time
+	failed    error
+	// evicted is set under mu when the session leaves the manager (TTL
+	// sweep or DELETE), so an operation racing the eviction fails instead
+	// of silently applying labels to an unreachable session.
+	evicted bool
+
+	costPerHIT   float64
+	clock        func() time.Time
+	lastActiveNS atomic.Int64
+}
+
+// Answer is one label: the item a question encoded, and the verdict.
+type Answer struct {
+	Item     json.RawMessage `json:"item"`
+	Positive bool            `json:"positive"`
+}
+
+// CreateOptions are per-session knobs.
+type CreateOptions struct {
+	// MaxCost caps the crowd spend of this session in dollars (0 = no cap).
+	MaxCost float64
+}
+
+// Create parses the task, builds the model's learner, and registers a fresh
+// session.
+func (m *Manager) Create(model, task string, opts CreateOptions) (*Session, error) {
+	if err := m.reserve(); err != nil {
+		return nil, err
+	}
+	learner, err := New(model, task)
+	if err != nil {
+		m.live.Add(-1)
+		return nil, err
+	}
+	s := m.newSession(newID(), model, task, learner, opts.MaxCost)
+	m.insert(s)
+	m.created.Add(1)
+	return s, nil
+}
+
+func (m *Manager) reserve() error {
+	if m.cfg.MaxSessions > 0 && m.live.Add(1) > int64(m.cfg.MaxSessions) {
+		m.live.Add(-1)
+		return ErrTooManySessions
+	}
+	if m.cfg.MaxSessions <= 0 {
+		m.live.Add(1)
+	}
+	return nil
+}
+
+func (m *Manager) newSession(id, model, task string, learner Learner, maxCost float64) *Session {
+	now := m.cfg.Clock()
+	s := &Session{
+		id: id, model: model, task: task, learner: learner,
+		maxCost: maxCost, createdAt: now,
+		costPerHIT: m.cfg.CostPerHIT, clock: m.cfg.Clock,
+	}
+	s.lastActiveNS.Store(now.UnixNano())
+	return s
+}
+
+func (m *Manager) insert(s *Session) {
+	for {
+		sh := m.shardFor(s.id)
+		sh.mu.Lock()
+		if _, taken := sh.m[s.id]; !taken {
+			sh.m[s.id] = s
+			sh.mu.Unlock()
+			return
+		}
+		sh.mu.Unlock()
+		s.id = newID() // astronomically unlikely collision
+	}
+}
+
+// Get looks a live session up.
+func (m *Manager) Get(id string) (*Session, error) {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s := sh.m[id]
+	sh.mu.Unlock()
+	if s == nil {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Delete evicts a session, reporting whether it existed.
+func (m *Manager) Delete(id string) bool {
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.m[id]
+	if ok {
+		s.mu.Lock()
+		s.evicted = true
+		s.mu.Unlock()
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	if ok {
+		m.live.Add(-1)
+		m.deleted.Add(1)
+	}
+	return ok
+}
+
+// Len counts live sessions.
+func (m *Manager) Len() int { return int(m.live.Load()) }
+
+// SweepExpired evicts every session idle longer than the TTL and returns how
+// many it removed. A no-op when the TTL is zero.
+func (m *Manager) SweepExpired() int {
+	if m.cfg.TTL <= 0 {
+		return 0
+	}
+	deadline := m.cfg.Clock().Add(-m.cfg.TTL).UnixNano()
+	removed := 0
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, s := range sh.m {
+			if s.lastActiveNS.Load() >= deadline {
+				continue
+			}
+			// Re-check under the session lock: an in-flight operation
+			// that already holds (or is acquiring) s.mu touches
+			// lastActive, and marking evicted here makes any later
+			// operation on a stale pointer fail instead of applying
+			// labels to an unreachable session. Lock order is always
+			// shard.mu → s.mu, never the reverse, so this cannot
+			// deadlock.
+			s.mu.Lock()
+			if s.lastActiveNS.Load() < deadline {
+				s.evicted = true
+				delete(sh.m, id)
+				removed++
+			}
+			s.mu.Unlock()
+		}
+		sh.mu.Unlock()
+	}
+	if removed > 0 {
+		m.live.Add(int64(-removed))
+		m.expired.Add(int64(removed))
+	}
+	return removed
+}
+
+// Stats is the manager-level counter snapshot for /metrics.
+type Stats struct {
+	Live    int   `json:"live"`
+	Created int64 `json:"created"`
+	Resumed int64 `json:"resumed"`
+	Deleted int64 `json:"deleted"`
+	Expired int64 `json:"expired"`
+	Labels  int64 `json:"labels"`
+}
+
+// Stats snapshots the manager counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		Live:    m.Len(),
+		Created: m.created.Load(),
+		Resumed: m.resumed.Load(),
+		Deleted: m.deleted.Load(),
+		Expired: m.expired.Load(),
+		Labels:  m.labels.Load(),
+	}
+}
+
+// Snapshot is the JSON-persistable state of a session mid-dialogue: the task
+// source plus the answer log. Resume rebuilds the learner and replays the
+// log, which reproduces the version space exactly (learning is a pure
+// function of task + answers).
+type Snapshot struct {
+	ID        string    `json:"id"`
+	Model     string    `json:"model"`
+	Task      string    `json:"task"`
+	Answers   []Answer  `json:"answers,omitempty"`
+	HITs      int       `json:"hits"`
+	Cost      float64   `json:"cost"`
+	MaxCost   float64   `json:"max_cost,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+}
+
+// Resume rehydrates a snapshotted session under its original id.
+func (m *Manager) Resume(snap Snapshot) (*Session, error) {
+	if snap.ID == "" {
+		return nil, fmt.Errorf("session: snapshot has no id")
+	}
+	sh := m.shardFor(snap.ID)
+	sh.mu.Lock()
+	_, taken := sh.m[snap.ID]
+	sh.mu.Unlock()
+	if taken {
+		return nil, ErrExists
+	}
+	if err := m.reserve(); err != nil {
+		return nil, err
+	}
+	learner, err := New(snap.Model, snap.Task)
+	if err != nil {
+		m.live.Add(-1)
+		return nil, err
+	}
+	for i, a := range snap.Answers {
+		if err := learner.Record(a.Item, a.Positive); err != nil {
+			m.live.Add(-1)
+			return nil, fmt.Errorf("session: replaying snapshot answer %d: %w", i, err)
+		}
+	}
+	s := m.newSession(snap.ID, snap.Model, snap.Task, learner, snap.MaxCost)
+	s.answers = append(s.answers, snap.Answers...)
+	s.hits = snap.HITs
+	s.createdAt = snap.CreatedAt
+
+	sh.mu.Lock()
+	if _, taken := sh.m[snap.ID]; taken {
+		sh.mu.Unlock()
+		m.live.Add(-1)
+		return nil, ErrExists
+	}
+	sh.m[snap.ID] = s
+	sh.mu.Unlock()
+	m.resumed.Add(1)
+	return s, nil
+}
+
+// ---- per-session operations ----
+
+// ID returns the session id.
+func (s *Session) ID() string { return s.id }
+
+// Model returns the session's model name.
+func (s *Session) Model() string { return s.model }
+
+func (s *Session) touch() { s.lastActiveNS.Store(s.clock().UnixNano()) }
+
+// checkLive is called under s.mu before mutating operations.
+func (s *Session) checkLive() error {
+	if s.evicted {
+		return ErrNotFound
+	}
+	if s.failed != nil {
+		return fmt.Errorf("%w: %v", ErrFailed, s.failed)
+	}
+	return nil
+}
+
+// Question proposes the next question. ok=false means converged.
+func (s *Session) Question() (Question, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	if err := s.checkLive(); err != nil {
+		return Question{}, false, err
+	}
+	return s.learner.Next()
+}
+
+// Reconcile modes for batched answers.
+const (
+	// ReconcileNone applies every label in order.
+	ReconcileNone = ""
+	// ReconcileMajority groups labels by item and applies each item's
+	// majority verdict once — the crowd defence against worker error.
+	// Ties are rejected.
+	ReconcileMajority = "majority"
+)
+
+// AnswerResult reports what a batch of labels did to the session.
+type AnswerResult struct {
+	// Applied counts the answers recorded into the version space (after
+	// majority reconciliation, one per distinct item).
+	Applied int `json:"applied"`
+	// HITs and Cost account every submitted label as one paid task.
+	HITs int     `json:"hits"`
+	Cost float64 `json:"cost"`
+	// Remaining counts informative items left; Done means converged.
+	Remaining int  `json:"remaining"`
+	Done      bool `json:"done"`
+}
+
+// Answer ingests a batch of labels. Every submitted label is one paid HIT
+// for cost accounting; with majority reconciliation, repeated labels of one
+// item are votes. Budget and consistency are checked before anything is
+// applied; a Record error mid-batch marks the session failed.
+func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error) {
+	if len(batch) == 0 {
+		return AnswerResult{}, fmt.Errorf("session: empty answer batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	if err := s.checkLive(); err != nil {
+		return AnswerResult{}, err
+	}
+
+	var apply []Answer
+	switch reconcile {
+	case ReconcileNone:
+		apply = batch
+	case ReconcileMajority:
+		var err error
+		if apply, err = majority(batch); err != nil {
+			return AnswerResult{}, err
+		}
+	default:
+		return AnswerResult{}, fmt.Errorf("session: unknown reconcile mode %q (want %q or %q)",
+			reconcile, ReconcileNone, ReconcileMajority)
+	}
+
+	// Validate the whole batch before charging or applying anything: a
+	// malformed item (bad JSON, out-of-range index, unknown node) rejects
+	// the batch cleanly and leaves the session healthy. Only answers that
+	// survive validation can fail Record, and such a failure is genuine
+	// inconsistency — the poison-pill below.
+	for _, a := range apply {
+		if err := s.learner.Validate(a.Item); err != nil {
+			return AnswerResult{}, err
+		}
+	}
+
+	cost := float64(s.hits+len(batch)) * s.costPerHIT
+	if s.maxCost > 0 && cost > s.maxCost {
+		return AnswerResult{}, fmt.Errorf("%w: batch of %d labels would cost $%.2f of a $%.2f budget",
+			ErrBudgetExhausted, len(batch), cost, s.maxCost)
+	}
+	s.hits += len(batch)
+
+	for _, a := range apply {
+		if err := s.learner.Record(a.Item, a.Positive); err != nil {
+			s.failed = err
+			return AnswerResult{}, fmt.Errorf("%w: %v", ErrFailed, err)
+		}
+		s.answers = append(s.answers, a)
+	}
+	res := AnswerResult{
+		Applied: len(apply),
+		HITs:    s.hits,
+		Cost:    float64(s.hits) * s.costPerHIT,
+	}
+	q, ok, err := s.learner.Next()
+	if err != nil {
+		return AnswerResult{}, err
+	}
+	if ok {
+		res.Remaining = q.Remaining
+	} else {
+		res.Done = true
+	}
+	return res, nil
+}
+
+// majority reduces a batch to one verdict per distinct item, preserving
+// first-occurrence order.
+func majority(batch []Answer) ([]Answer, error) {
+	type tally struct {
+		item    json.RawMessage
+		yes, no int
+	}
+	var order []string
+	votes := map[string]*tally{}
+	for _, a := range batch {
+		key, err := ItemKey(a.Item)
+		if err != nil {
+			return nil, err
+		}
+		t := votes[key]
+		if t == nil {
+			t = &tally{item: a.Item}
+			votes[key] = t
+			order = append(order, key)
+		}
+		if a.Positive {
+			t.yes++
+		} else {
+			t.no++
+		}
+	}
+	out := make([]Answer, 0, len(order))
+	for _, key := range order {
+		t := votes[key]
+		if t.yes == t.no {
+			return nil, fmt.Errorf("session: majority tie (%d-%d) for item %s", t.yes, t.no, compact(t.item))
+		}
+		out = append(out, Answer{Item: t.item, Positive: t.yes > t.no})
+	}
+	return out, nil
+}
+
+// Hypothesis snapshots the current best hypothesis.
+func (s *Session) Hypothesis() (Hypothesis, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.touch()
+	if s.evicted {
+		return Hypothesis{}, ErrNotFound
+	}
+	return s.learner.Hypothesis()
+}
+
+// Snapshot captures the session for persistence.
+func (s *Session) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	answers := make([]Answer, len(s.answers))
+	copy(answers, s.answers)
+	return Snapshot{
+		ID: s.id, Model: s.model, Task: s.task,
+		Answers: answers, HITs: s.hits,
+		Cost: float64(s.hits) * s.costPerHIT, MaxCost: s.maxCost,
+		CreatedAt: s.createdAt,
+	}
+}
+
+// Status is the session's lifecycle summary.
+type Status struct {
+	ID        string    `json:"id"`
+	Model     string    `json:"model"`
+	Answers   int       `json:"answers"`
+	HITs      int       `json:"hits"`
+	Cost      float64   `json:"cost"`
+	MaxCost   float64   `json:"max_cost,omitempty"`
+	CreatedAt time.Time `json:"created_at"`
+	Failed    string    `json:"failed,omitempty"`
+}
+
+// Status summarizes the session.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		ID: s.id, Model: s.model,
+		Answers: len(s.answers), HITs: s.hits,
+		Cost: float64(s.hits) * s.costPerHIT, MaxCost: s.maxCost,
+		CreatedAt: s.createdAt,
+	}
+	if s.failed != nil {
+		st.Failed = s.failed.Error()
+	}
+	return st
+}
+
+// CountLabels adds to the manager's global label counter (called by the
+// server after successful Answer ingestion).
+func (m *Manager) CountLabels(n int) { m.labels.Add(int64(n)) }

@@ -1,0 +1,146 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"querylearn/internal/core"
+	"querylearn/internal/graph"
+	"querylearn/internal/graphlearn"
+)
+
+// pathItem addresses a node pair on the wire by node names (stable across
+// restarts, unlike interned indexes).
+type pathItem struct {
+	Src string `json:"src"`
+	Dst string `json:"dst"`
+}
+
+// Pool bounds for interactive path sessions: pairs within pathPoolMaxLen
+// hops, capped at pathPoolLimit — the same shape the T8 experiment uses.
+// pathMaxNodes caps the graph size a session will host: candidate selection
+// sets are dense n²-bit sets, so an unbounded client-supplied graph could
+// make one POST /sessions allocate gigabytes (4096² bits ≈ 2 MiB per
+// candidate is the accepted ceiling).
+const (
+	pathPoolMaxLen = 5
+	pathPoolLimit  = 2000
+	pathMaxNodes   = 4096
+)
+
+// pathLearner adapts the graphlearn interactive session. The task's first
+// positive example seeds the candidate space; further task examples are
+// replayed as answers.
+type pathLearner struct {
+	g    *graph.Graph
+	sess *graphlearn.Session
+}
+
+func newPathLearner(src string) (*pathLearner, error) {
+	task, err := core.ParsePathTask(src)
+	if err != nil {
+		return nil, err
+	}
+	seed := -1
+	for i, ex := range task.Examples {
+		if ex.Positive {
+			seed = i
+			break
+		}
+	}
+	if seed < 0 {
+		return nil, fmt.Errorf("session: path session needs at least one positive example as seed")
+	}
+	g := task.Graph
+	if g.NumNodes() > pathMaxNodes {
+		return nil, fmt.Errorf("session: graph has %d nodes, above the %d-node session limit", g.NumNodes(), pathMaxNodes)
+	}
+	pool := graphlearn.DefaultPool(g, pathPoolMaxLen, pathPoolLimit)
+	sess, err := graphlearn.NewSession(g,
+		graph.Pair{Src: task.Examples[seed].Src, Dst: task.Examples[seed].Dst}, pool)
+	if err != nil {
+		return nil, err
+	}
+	l := &pathLearner{g: g, sess: sess}
+	for i, ex := range task.Examples {
+		if i == seed {
+			continue
+		}
+		if err := sess.Record(graph.Pair{Src: ex.Src, Dst: ex.Dst}, ex.Positive); err != nil {
+			return nil, fmt.Errorf("session: replaying path task example %d: %w", i, err)
+		}
+	}
+	return l, nil
+}
+
+// Model implements Learner.
+func (l *pathLearner) Model() string { return "path" }
+
+// Next implements Learner.
+func (l *pathLearner) Next() (Question, bool, error) {
+	inf := l.sess.InformativePairs()
+	if len(inf) == 0 {
+		return Question{}, false, nil
+	}
+	p := inf[0]
+	item, err := json.Marshal(pathItem{Src: l.g.Node(p.Src), Dst: l.g.Node(p.Dst)})
+	if err != nil {
+		return Question{}, false, err
+	}
+	return Question{
+		Model: "path",
+		Item:  item,
+		Prompt: fmt.Sprintf("should the query select the pair (%s, %s)?",
+			l.g.Node(p.Src), l.g.Node(p.Dst)),
+		Remaining: len(inf),
+	}, true, nil
+}
+
+// resolve decodes an item and interns its node names.
+func (l *pathLearner) resolve(raw json.RawMessage) (graph.Pair, error) {
+	var it pathItem
+	if err := decodeItem(raw, &it); err != nil {
+		return graph.Pair{}, err
+	}
+	src, dst := l.g.NodeIndex(it.Src), l.g.NodeIndex(it.Dst)
+	if src < 0 {
+		return graph.Pair{}, fmt.Errorf("session: unknown node %q", it.Src)
+	}
+	if dst < 0 {
+		return graph.Pair{}, fmt.Errorf("session: unknown node %q", it.Dst)
+	}
+	return graph.Pair{Src: src, Dst: dst}, nil
+}
+
+// Validate implements Learner.
+func (l *pathLearner) Validate(raw json.RawMessage) error {
+	_, err := l.resolve(raw)
+	return err
+}
+
+// Record implements Learner.
+func (l *pathLearner) Record(raw json.RawMessage, positive bool) error {
+	p, err := l.resolve(raw)
+	if err != nil {
+		return err
+	}
+	if err := l.sess.Record(p, positive); err != nil {
+		return err
+	}
+	l.sess.Questions++
+	return nil
+}
+
+// Hypothesis implements Learner.
+func (l *pathLearner) Hypothesis() (Hypothesis, error) {
+	return Hypothesis{
+		Model:     "path",
+		Query:     l.sess.Result().String(),
+		Converged: len(l.sess.InformativePairs()) == 0,
+		Detail: map[string]string{
+			"survivors": fmt.Sprint(len(l.sess.Candidates)),
+			"pool":      fmt.Sprint(len(l.sess.Pool)),
+			"questions": fmt.Sprint(l.sess.Questions),
+		},
+	}, nil
+}

@@ -1,0 +1,144 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"querylearn/internal/core"
+	"querylearn/internal/twiglearn"
+)
+
+// twigItem addresses a document node on the wire: a corpus index and a
+// child-index path (core.ResolveNodePath / core.NodePathOf).
+type twigItem struct {
+	Doc  int    `json:"doc"`
+	Path string `json:"path"`
+}
+
+// twigLearner adapts twiglearn.TwigSession to the Learner contract. The
+// session corpus is the task's documents; the task must carry at least one
+// positive example (the session seed), and any further task examples are
+// replayed as pre-recorded answers.
+type twigLearner struct {
+	task *core.TwigTask
+	sess *twiglearn.TwigSession
+}
+
+func newTwigLearner(src string) (*twigLearner, error) {
+	task, err := core.ParseTwigTask(src)
+	if err != nil {
+		return nil, err
+	}
+	seed := -1
+	for i, ex := range task.Examples {
+		if ex.Positive {
+			seed = i
+			break
+		}
+	}
+	if seed < 0 {
+		return nil, fmt.Errorf("session: twig session needs at least one positive example as seed")
+	}
+	opts := twiglearn.DefaultOptions()
+	opts.Schema = task.Schema
+	docIdx, err := twigDocIndex(task, task.Examples[seed])
+	if err != nil {
+		return nil, err
+	}
+	sess, err := twiglearn.NewTwigSession(task.Docs, docIdx, task.Examples[seed].Node, opts)
+	if err != nil {
+		return nil, err
+	}
+	l := &twigLearner{task: task, sess: sess}
+	for i, ex := range task.Examples {
+		if i == seed {
+			continue
+		}
+		di, err := twigDocIndex(task, ex)
+		if err != nil {
+			return nil, err
+		}
+		if err := sess.Record(twiglearn.NodeRef{Doc: di, Node: ex.Node}, ex.Positive); err != nil {
+			return nil, fmt.Errorf("session: replaying twig task example %d: %w", i, err)
+		}
+	}
+	return l, nil
+}
+
+// twigDocIndex locates an example's document in the task corpus.
+func twigDocIndex(task *core.TwigTask, ex twiglearn.Example) (int, error) {
+	for i, d := range task.Docs {
+		if d == ex.Doc {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("session: twig example document not in corpus")
+}
+
+// Model implements Learner.
+func (l *twigLearner) Model() string { return "twig" }
+
+// Next implements Learner.
+func (l *twigLearner) Next() (Question, bool, error) {
+	inf := l.sess.Informative()
+	if len(inf) == 0 {
+		return Question{}, false, nil
+	}
+	ref := inf[0]
+	item, err := json.Marshal(twigItem{Doc: ref.Doc, Path: core.NodePathOf(ref.Node)})
+	if err != nil {
+		return Question{}, false, err
+	}
+	return Question{
+		Model: "twig",
+		Item:  item,
+		Prompt: fmt.Sprintf("does your query select node %s (<%s>) of document %d?",
+			core.NodePathOf(ref.Node), ref.Node.Label, ref.Doc),
+		Remaining: len(inf),
+	}, true, nil
+}
+
+// resolve decodes an item and locates its node in the corpus.
+func (l *twigLearner) resolve(raw json.RawMessage) (twiglearn.NodeRef, error) {
+	var it twigItem
+	if err := decodeItem(raw, &it); err != nil {
+		return twiglearn.NodeRef{}, err
+	}
+	if it.Doc < 0 || it.Doc >= len(l.task.Docs) {
+		return twiglearn.NodeRef{}, fmt.Errorf("session: document index %d out of range (corpus has %d)", it.Doc, len(l.task.Docs))
+	}
+	node, err := core.ResolveNodePath(l.task.Docs[it.Doc], it.Path)
+	if err != nil {
+		return twiglearn.NodeRef{}, err
+	}
+	return twiglearn.NodeRef{Doc: it.Doc, Node: node}, nil
+}
+
+// Validate implements Learner.
+func (l *twigLearner) Validate(raw json.RawMessage) error {
+	_, err := l.resolve(raw)
+	return err
+}
+
+// Record implements Learner.
+func (l *twigLearner) Record(raw json.RawMessage, positive bool) error {
+	ref, err := l.resolve(raw)
+	if err != nil {
+		return err
+	}
+	return l.sess.Record(ref, positive)
+}
+
+// Hypothesis implements Learner.
+func (l *twigLearner) Hypothesis() (Hypothesis, error) {
+	h := Hypothesis{
+		Model:     "twig",
+		Query:     l.sess.Hypothesis().String(),
+		Converged: len(l.sess.Informative()) == 0,
+		Detail: map[string]string{
+			"general_bound": l.sess.GeneralBound().String(),
+			"examples":      fmt.Sprint(len(l.sess.Examples())),
+		},
+	}
+	return h, nil
+}
