@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 2s
 
-.PHONY: all build test vet bench-smoke bench-json examples ci
+.PHONY: all build test vet bench-smoke bench-json fuzz-smoke examples ci
 
 all: build
 
@@ -22,6 +23,16 @@ bench-smoke:
 bench-json:
 	$(GO) run ./cmd/benchrunner -json > BENCH_$(shell date +%Y%m%d).json
 
+# Short fuzz pass over every wire-boundary decoder: the four task parsers
+# (untrusted POST /sessions bodies) and the journal replay (crash-truncated
+# bytes). ~10s total at the default FUZZTIME; raise it to dig deeper.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseTwigTask -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzParseJoinTask -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzParsePathTask -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzParseSchemaTask -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz FuzzStoreReplay -fuzztime $(FUZZTIME) ./internal/store
+
 # Compile-and-run every example as a smoke test; they have no test files,
 # so this is the only thing keeping them honest.
 examples:
@@ -30,4 +41,4 @@ examples:
 	$(GO) run ./examples/geopaths
 	$(GO) run ./examples/xmlshred
 
-ci: build vet test bench-smoke examples
+ci: build vet test bench-smoke fuzz-smoke examples

@@ -8,17 +8,22 @@
 //	querylearnd [flags] replay <model> <task-file>
 //
 // Serve mode binds -addr and exposes the endpoints documented in
-// internal/server. Replay mode is the end-to-end driver: it learns the goal
-// query from the full task in-process (the batch learner plays the user, the
-// paper's simulation protocol), strips the task down to its seed, then
-// re-learns it interactively over HTTP against an in-process server,
-// printing the full dialogue — the T8-style interactive runs, over the wire.
+// internal/server. With -data-dir every session mutation is journaled
+// write-ahead through internal/store and the daemon recovers all live
+// dialogues on restart; -fsync picks the durability mode and -compact-every
+// the journal rewrite period (see the README's Durability section). Replay
+// mode is the end-to-end driver: it learns the goal query from the full task
+// in-process (the batch learner plays the user, the paper's simulation
+// protocol), strips the task down to its seed, then re-learns it
+// interactively over HTTP against an in-process server, printing the full
+// dialogue — the T8-style interactive runs, over the wire.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,8 +39,56 @@ import (
 	"querylearn/internal/rellearn"
 	"querylearn/internal/server"
 	"querylearn/internal/session"
+	"querylearn/internal/store"
 	"querylearn/internal/xmltree"
 )
+
+// hardenServer applies the slowloris and slow-drain guards every listener
+// gets: a bare http.Server trusts clients to send headers and bodies
+// promptly, and a few hundred idling connections would otherwise pin the
+// daemon's file descriptors forever.
+func hardenServer(srv *http.Server) *http.Server {
+	srv.ReadHeaderTimeout = 5 * time.Second
+	srv.ReadTimeout = 30 * time.Second
+	srv.WriteTimeout = 60 * time.Second
+	srv.IdleTimeout = 2 * time.Minute
+	return srv
+}
+
+// storeConfig is the durability flag block.
+type storeConfig struct {
+	dataDir      string
+	fsync        string
+	compactEvery time.Duration
+}
+
+// openManager builds the session manager, and — when a data directory is
+// configured — opens the journal under it, recovers every surviving session
+// through the Resume machinery, and wires the store in as the manager's
+// journal. The returned store is nil when running in-memory.
+func openManager(cfg session.Config, sc storeConfig) (*session.Manager, *store.Store, error) {
+	if sc.dataDir == "" {
+		return session.NewManager(cfg), nil, nil
+	}
+	st, snaps, err := store.Open(sc.dataDir, store.Options{Fsync: sc.fsync})
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Journal = st
+	mgr := session.NewManager(cfg)
+	n, recErr := mgr.Recover(snaps)
+	if recErr != nil {
+		fmt.Fprintf(os.Stderr, "querylearnd: recovery skipped sessions: %v\n", recErr)
+	}
+	rs := st.Stats().Recovered
+	fmt.Fprintf(os.Stderr, "querylearnd: recovered %d of %d journaled sessions from %s (%d events)\n",
+		n, rs.Sessions, sc.dataDir, rs.Events)
+	if rs.TornTail != "" {
+		fmt.Fprintf(os.Stderr, "querylearnd: journal had a torn tail (%d bytes dropped): %s\n",
+			rs.DroppedBytes, rs.TornTail)
+	}
+	return mgr, st, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -52,6 +105,9 @@ func run(args []string, out io.Writer) error {
 	shards := fs.Int("shards", 16, "lock shards in the session manager")
 	costPerHIT := fs.Float64("cost-per-hit", 0, "dollar cost per submitted label")
 	sweep := fs.Duration("sweep-interval", time.Minute, "TTL sweep period")
+	dataDir := fs.String("data-dir", "", "journal live sessions under this directory and recover them on restart (empty = in-memory only)")
+	fsync := fs.String("fsync", store.FsyncBatched, "journal durability: off (OS decides), batched (background group commit), always (fsync per mutation)")
+	compactEvery := fs.Duration("compact-every", 5*time.Minute, "rewrite the journal as snapshots this often (0 = only at boot)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,9 +117,10 @@ func run(args []string, out io.Writer) error {
 		TTL:         *ttl,
 		CostPerHIT:  *costPerHIT,
 	}
+	sc := storeConfig{dataDir: *dataDir, fsync: *fsync, compactEvery: *compactEvery}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return serve(*addr, cfg, *sweep)
+		return serve(*addr, cfg, *sweep, sc)
 	}
 	if rest[0] == "replay" && len(rest) == 3 {
 		data, err := os.ReadFile(rest[2])
@@ -75,11 +132,18 @@ func run(args []string, out io.Writer) error {
 	return fmt.Errorf("usage: querylearnd [flags] [replay {twig|join|path|schema} <task-file>]")
 }
 
-// serve runs the daemon until SIGINT/SIGTERM, sweeping expired sessions in
-// the background.
-func serve(addr string, cfg session.Config, sweepEvery time.Duration) error {
-	mgr := session.NewManager(cfg)
-	srv := &http.Server{Addr: addr, Handler: server.New(mgr).Handler()}
+// serve runs the daemon until SIGINT/SIGTERM, sweeping expired sessions and
+// compacting the journal in the background.
+func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig) error {
+	mgr, st, err := openManager(cfg, sc)
+	if err != nil {
+		return err
+	}
+	var opts []server.Option
+	if st != nil {
+		opts = append(opts, server.WithStore(st.Stats))
+	}
+	srv := hardenServer(&http.Server{Addr: addr, Handler: server.New(mgr, opts...).Handler()})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -100,19 +164,55 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration) error {
 			}
 		}()
 	}
+	if st != nil && sc.compactEvery > 0 {
+		go func() {
+			t := time.NewTicker(sc.compactEvery)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					// A tick can race the shutdown path's final
+					// compact+close; ErrClosed there is not a fault.
+					if _, err := mgr.Compact(); err != nil && !errors.Is(err, store.ErrClosed) {
+						fmt.Fprintf(os.Stderr, "querylearnd: compaction failed: %v\n", err)
+					}
+				}
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "querylearnd: serving on %s (ttl %s, max %d sessions, %d shards)\n",
-		addr, cfg.TTL, cfg.MaxSessions, cfg.Shards)
+	durability := "in-memory"
+	if st != nil {
+		durability = fmt.Sprintf("journal %s fsync=%s compact-every=%s", sc.dataDir, sc.fsync, sc.compactEvery)
+	}
+	fmt.Fprintf(os.Stderr, "querylearnd: serving on %s (ttl %s, max %d sessions, %d shards, %s)\n",
+		addr, cfg.TTL, cfg.MaxSessions, cfg.Shards, durability)
 	select {
 	case err := <-errc:
+		if st != nil {
+			st.Close()
+		}
 		return err
 	case <-ctx.Done():
 	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	return srv.Shutdown(shutdownCtx)
+	err = srv.Shutdown(shutdownCtx)
+	if st != nil {
+		// Final flush: compact so the next boot replays one snapshot per
+		// session, then fsync whatever the shutdown raced.
+		if _, cerr := mgr.Compact(); cerr != nil {
+			fmt.Fprintf(os.Stderr, "querylearnd: shutdown compaction failed: %v\n", cerr)
+		}
+		if cerr := st.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // oracleFunc answers a question item; the batch-learned goal plays the user.
@@ -131,7 +231,7 @@ func replay(model, taskSrc string, cfg session.Config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: server.New(mgr).Handler()}
+	srv := hardenServer(&http.Server{Handler: server.New(mgr).Handler()})
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()

@@ -1,10 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"querylearn/internal/server"
+	"querylearn/internal/session"
+	"querylearn/internal/store"
 )
 
 var replayTasks = map[string]string{
@@ -87,6 +95,116 @@ func section(s, from, to string) string {
 		}
 	}
 	return rest
+}
+
+// TestDaemonKillRecovery is the acceptance scenario for the durable store: a
+// daemon started with a data dir, killed without any shutdown (SIGKILL
+// leaves no chance to flush or compact) mid-dialogue, and restarted over the
+// same directory serves the same session id with byte-identical snapshot
+// and hypothesis documents.
+func TestDaemonKillRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := session.Config{CostPerHIT: 0.25}
+	sc := storeConfig{dataDir: dir, fsync: store.FsyncOff}
+
+	mgr, st, err := openManager(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.New(mgr, server.WithStore(st.Stats)).Handler())
+
+	// Start a dialogue and answer one question over the wire.
+	body, _ := json.Marshal(map[string]any{"model": "join", "task": replayTasks["join"]})
+	resp, err := ts.Client().Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct{ ID string }
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ans, _ := json.Marshal(map[string]any{"answers": []map[string]any{
+		{"item": json.RawMessage(`{"left":1,"right":1}`), "positive": false},
+	}})
+	if resp, err = ts.Client().Post(ts.URL+"/sessions/"+created.ID+"/answers", "application/json", bytes.NewReader(ans)); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	wantSnap := httpGet(t, ts, "/sessions/"+created.ID+"/snapshot")
+	wantHyp := httpGet(t, ts, "/sessions/"+created.ID+"/query")
+
+	// SIGKILL: the server vanishes, the store never flushes, compacts, or
+	// closes; the OS releases its directory lock.
+	ts.Close()
+	st.Abandon()
+
+	mgr2, st2, err := openManager(cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	ts2 := httptest.NewServer(server.New(mgr2, server.WithStore(st2.Stats)).Handler())
+	defer ts2.Close()
+
+	if got := httpGet(t, ts2, "/sessions/"+created.ID+"/snapshot"); got != wantSnap {
+		t.Errorf("snapshot diverged across kill/restart:\n got %s\nwant %s", got, wantSnap)
+	}
+	if got := httpGet(t, ts2, "/sessions/"+created.ID+"/query"); got != wantHyp {
+		t.Errorf("hypothesis diverged across kill/restart:\n got %s\nwant %s", got, wantHyp)
+	}
+
+	// The restarted daemon reports its recovery in /healthz and /metrics.
+	var health struct {
+		Status string `json:"status"`
+		Store  *struct {
+			Fsync      string `json:"fsync"`
+			JournalLag int64  `json:"journal_lag"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, ts2, "/healthz")), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Store == nil || health.Store.Fsync != store.FsyncOff {
+		t.Errorf("healthz = %+v", health)
+	}
+	var metrics struct {
+		Store *struct {
+			Recovered struct {
+				Sessions int `json:"sessions"`
+			} `json:"recovered"`
+		} `json:"store"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, ts2, "/metrics")), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Store == nil || metrics.Store.Recovered.Sessions != 1 {
+		t.Errorf("metrics store block = %+v", metrics.Store)
+	}
+}
+
+func httpGet(t *testing.T, ts *httptest.Server, path string) string {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", path, resp.StatusCode, buf.String())
+	}
+	return buf.String()
+}
+
+func TestHardenServerTimeouts(t *testing.T) {
+	srv := hardenServer(&http.Server{})
+	if srv.ReadHeaderTimeout <= 0 || srv.ReadTimeout <= 0 || srv.WriteTimeout <= 0 || srv.IdleTimeout <= 0 {
+		t.Errorf("hardenServer left a zero timeout: %+v", srv)
+	}
 }
 
 func TestRunUsageErrors(t *testing.T) {

@@ -14,4 +14,24 @@
 // substrate in internal/xmark and internal/experiments. See README.md for a
 // tour, DESIGN.md for the system inventory, and EXPERIMENTS.md for the
 // claim-by-claim reproduction record.
+//
+// The serving stack layers the interactive loop into a durable daemon; each
+// layer only sees the one below it:
+//
+//	cmd/querylearnd      daemon: flags, boot-time recovery, TTL sweep and
+//	        │            compaction timers, hardened http.Server, final
+//	        │            flush on graceful shutdown
+//	        ▼
+//	internal/server      JSON HTTP API over the sessions; /metrics and
+//	        │            /healthz surface manager counters and, when
+//	        │            durable, the store's journal-lag/compaction block
+//	        ▼
+//	internal/session     Manager of live dialogues (sharded, per-session
+//	        │            locks, budgets, TTL); every mutation is one Event
+//	        │            through a single commit path, observed by an
+//	        ▼            optional Journal (nil = in-memory)
+//	internal/store       append-only write-ahead journal: length-prefixed
+//	                     CRC-checked JSON records, group-commit fsync,
+//	                     snapshot compaction; recovery folds the log into
+//	                     session.Snapshots that Manager.Recover replays
 package querylearn

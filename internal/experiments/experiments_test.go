@@ -150,6 +150,22 @@ func TestT11ServiceServesDialogues(t *testing.T) {
 	}
 }
 
+func TestT12DurabilityRuns(t *testing.T) {
+	tab := T12Durability(1)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("expected 4 ingest + 3 recovery rows, got %d: %v", len(tab.Rows), tab.Rows)
+	}
+	for _, row := range tab.Rows {
+		if row[2] == "ERROR" {
+			t.Errorf("%s/%s bench failed: %v", row[0], row[1], row[3])
+			continue
+		}
+		if row[0] == "recover" && row[2] == "0" {
+			t.Errorf("recovery row recovered nothing: %v", row)
+		}
+	}
+}
+
 func TestF1AllScenariosSucceed(t *testing.T) {
 	tab := F1ExchangeScenarios()
 	if len(tab.Rows) != 4 {
@@ -205,8 +221,8 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full sweep in short mode")
 	}
 	tables := All(1)
-	if len(tables) != 12 {
-		t.Errorf("All returned %d tables, want 12", len(tables))
+	if len(tables) != 13 {
+		t.Errorf("All returned %d tables, want 13", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {

@@ -85,6 +85,7 @@ func All(scale int) []*Table {
 		T9CrowdCost,
 		T10SchemaLearning,
 		T11ServiceThroughput,
+		T12Durability,
 		func(int) *Table { return F1ExchangeScenarios() },
 	}
 	out := make([]*Table, 0, len(exps))

@@ -24,6 +24,7 @@ import (
 	"net/http"
 
 	"querylearn/internal/session"
+	"querylearn/internal/store"
 )
 
 // maxBodyBytes bounds request bodies; task files and answer batches are
@@ -32,14 +33,27 @@ const maxBodyBytes = 4 << 20
 
 // Server is the HTTP front of a session.Manager.
 type Server struct {
-	mgr     *session.Manager
-	metrics *metrics
-	mux     *http.ServeMux
+	mgr        *session.Manager
+	metrics    *metrics
+	mux        *http.ServeMux
+	storeStats func() store.Stats // nil when running without a durable store
+}
+
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithStore surfaces the durable store's status: /metrics grows a "store"
+// block and /healthz reports journal lag and last-compaction stats.
+func WithStore(stats func() store.Stats) Option {
+	return func(s *Server) { s.storeStats = stats }
 }
 
 // New wires the routes onto a fresh mux.
-func New(mgr *session.Manager) *Server {
+func New(mgr *session.Manager, opts ...Option) *Server {
 	s := &Server{mgr: mgr, metrics: newMetrics(), mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("POST /sessions", s.wrap("create", s.handleCreate))
 	s.mux.HandleFunc("POST /sessions/resume", s.wrap("resume", s.handleResume))
 	s.mux.HandleFunc("GET /sessions/{id}", s.wrap("status", s.handleStatus))
@@ -81,6 +95,11 @@ func fromManager(err error) *apiError {
 		return errf(http.StatusConflict, "session_failed", "%v", err)
 	case errors.Is(err, session.ErrExists):
 		return errf(http.StatusConflict, "session_exists", "%v", err)
+	case errors.Is(err, session.ErrJournal):
+		// A durability fault is the server's problem, not the client's:
+		// 503 tells well-behaved clients to retry, and keeps disk failures
+		// out of the bad-request metrics.
+		return errf(http.StatusServiceUnavailable, "journal_unavailable", "%v", err)
 	}
 	return errf(http.StatusBadRequest, "bad_request", "%v", err)
 }
@@ -248,28 +267,70 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) *apiErro
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) *apiError {
-	if !s.mgr.Delete(r.PathValue("id")) {
-		return fromManager(session.ErrNotFound)
+	if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+		return fromManager(err)
 	}
 	w.WriteHeader(http.StatusNoContent)
 	return nil
 }
 
-// metricsResponse is the GET /metrics document.
+// metricsResponse is the GET /metrics document. Store is present only when
+// the daemon runs with a data directory.
 type metricsResponse struct {
 	Sessions  session.Stats              `json:"sessions"`
 	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+	Store     *store.Stats               `json:"store,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) *apiError {
-	writeJSON(w, http.StatusOK, metricsResponse{
+	resp := metricsResponse{
 		Sessions:  s.mgr.Stats(),
 		Endpoints: s.metrics.snapshot(),
-	})
+	}
+	if s.storeStats != nil {
+		st := s.storeStats()
+		resp.Store = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
+// healthStore is the durability summary /healthz carries: enough to alarm on
+// (journal lag, compaction recency) without the full /metrics document.
+type healthStore struct {
+	Fsync          string                 `json:"fsync"`
+	JournalLag     int64                  `json:"journal_lag"`
+	TailEvents     int64                  `json:"tail_events"`
+	LastCompaction *store.CompactionStats `json:"last_compaction,omitempty"`
+	// SyncError surfaces a sticky fsync/append failure. In batched mode
+	// appends keep succeeding while durability is silently gone, so this
+	// is the signal health probes must alarm on (the response is 503).
+	SyncError string `json:"sync_error,omitempty"`
+}
+
+// healthResponse is the GET /healthz document.
+type healthResponse struct {
+	Status string       `json:"status"`
+	Store  *healthStore `json:"store,omitempty"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *apiError {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	resp := healthResponse{Status: "ok"}
+	status := http.StatusOK
+	if s.storeStats != nil {
+		st := s.storeStats()
+		resp.Store = &healthStore{
+			Fsync:          st.Fsync,
+			JournalLag:     st.Lag,
+			TailEvents:     st.TailEvents,
+			LastCompaction: st.LastCompaction,
+			SyncError:      st.SyncError,
+		}
+		if st.SyncError != "" {
+			resp.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, resp)
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"querylearn/internal/interact"
 	"querylearn/internal/rellearn"
 	"querylearn/internal/session"
+	"querylearn/internal/store"
 	"querylearn/internal/twiglearn"
 )
 
@@ -450,9 +451,43 @@ func TestSnapshotResumeOverHTTP(t *testing.T) {
 
 func TestHealthz(t *testing.T) {
 	c, _ := newTestServer(t, session.Config{})
-	var out map[string]string
+	var out map[string]any
 	c.do("GET", "/healthz", nil, http.StatusOK, &out)
 	if out["status"] != "ok" {
 		t.Errorf("healthz = %v", out)
+	}
+	if _, present := out["store"]; present {
+		t.Errorf("in-memory healthz leaked a store block: %v", out)
+	}
+}
+
+// TestStoreStatusBlocks: with a durable store wired in, /metrics grows a
+// "store" block and /healthz reports journal lag and compaction stats.
+func TestStoreStatusBlocks(t *testing.T) {
+	st, _, err := store.Open(t.TempDir(), store.Options{Fsync: store.FsyncOff})
+	must(t, err)
+	t.Cleanup(func() { st.Close() })
+	mgr := session.NewManager(session.Config{Journal: st})
+	ts := httptest.NewServer(New(mgr, WithStore(st.Stats)).Handler())
+	t.Cleanup(ts.Close)
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+
+	id := c.create("join", joinTask)
+	var met metricsResponse
+	c.do("GET", "/metrics", nil, http.StatusOK, &met)
+	if met.Store == nil || met.Store.Appended == 0 || met.Store.Fsync != store.FsyncOff {
+		t.Fatalf("metrics store block = %+v", met.Store)
+	}
+	must(t, mgr.Delete(id))
+	if _, err := mgr.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	var health healthResponse
+	c.do("GET", "/healthz", nil, http.StatusOK, &health)
+	if health.Status != "ok" || health.Store == nil {
+		t.Fatalf("healthz = %+v", health)
+	}
+	if health.Store.TailEvents != 0 || health.Store.LastCompaction == nil {
+		t.Errorf("healthz store block missed the compaction: %+v", health.Store)
 	}
 }

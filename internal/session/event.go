@@ -1,0 +1,109 @@
+package session
+
+import (
+	"fmt"
+	"time"
+)
+
+// Event kinds. Every state mutation a Manager performs is expressed as
+// exactly one Event and routed through the manager's single commit path, so
+// a Journal observes the complete mutation history: replaying the events (in
+// order) reconstructs the live sessions byte-for-byte.
+const (
+	// EventCreate registers a fresh session from a task.
+	EventCreate = "create"
+	// EventResume registers a session rehydrated from a client-supplied
+	// snapshot (POST /sessions/resume).
+	EventResume = "resume"
+	// EventAnswers applies a batch of reconciled labels and advances the
+	// crowd-cost accounting.
+	EventAnswers = "answers"
+	// EventDelete removes a session at the client's request.
+	EventDelete = "delete"
+	// EventEvict removes a session that idled past the TTL.
+	EventEvict = "evict"
+	// EventSnapshot is a compaction record: the full state of one session,
+	// replacing its create/resume event and answer tail in a rewritten
+	// journal.
+	EventSnapshot = "snapshot"
+)
+
+// Event is one journal record: a session mutation in wire form. Only the
+// fields relevant to the kind are set.
+type Event struct {
+	Kind string `json:"kind"`
+	ID   string `json:"id"`
+
+	// Create fields.
+	Model     string    `json:"model,omitempty"`
+	Task      string    `json:"task,omitempty"`
+	MaxCost   float64   `json:"max_cost,omitempty"`
+	CreatedAt time.Time `json:"created_at,omitzero"`
+
+	// Answers fields. Answers holds the post-reconciliation labels actually
+	// applied; HITs and Cost are the absolute totals after the batch, so
+	// replay is insensitive to a lost prefix being re-established by a later
+	// snapshot record.
+	Answers []Answer `json:"answers,omitempty"`
+	HITs    int      `json:"hits,omitempty"`
+	Cost    float64  `json:"cost,omitempty"`
+
+	// Snapshot carries the full session state for resume and compaction
+	// records.
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
+}
+
+// Journal observes the manager's mutation events. Append must be durable (to
+// the implementation's configured degree) before it returns: the manager
+// journals write-ahead, so an event that fails to append aborts the mutation.
+// A nil Journal is the in-memory manager of PR 2 — no observation at all.
+// Implementations must be safe for concurrent use.
+type Journal interface {
+	Append(Event) error
+}
+
+// Compactor is the optional journal extension the manager's Compact uses: it
+// rewrites the log as one EventSnapshot record per live session, dropping
+// the event tail the snapshots subsume.
+type Compactor interface {
+	Compact(snaps []Snapshot) error
+}
+
+// ApplyEvent folds one journal event into a map of session snapshot states —
+// the single replay rule. The store's recovery and its fuzz targets both use
+// it, so there is exactly one definition of what a journal means.
+func ApplyEvent(states map[string]*Snapshot, ev Event) error {
+	switch ev.Kind {
+	case EventCreate:
+		if ev.ID == "" {
+			return fmt.Errorf("session: create event without id")
+		}
+		states[ev.ID] = &Snapshot{
+			ID: ev.ID, Model: ev.Model, Task: ev.Task,
+			MaxCost: ev.MaxCost, CreatedAt: ev.CreatedAt,
+		}
+	case EventResume, EventSnapshot:
+		if ev.Snapshot == nil {
+			return fmt.Errorf("session: %s event without snapshot", ev.Kind)
+		}
+		snap := *ev.Snapshot
+		if snap.ID == "" {
+			return fmt.Errorf("session: %s event snapshot without id", ev.Kind)
+		}
+		snap.Answers = append([]Answer(nil), snap.Answers...)
+		states[snap.ID] = &snap
+	case EventAnswers:
+		s := states[ev.ID]
+		if s == nil {
+			return fmt.Errorf("session: answers event for unknown session %q", ev.ID)
+		}
+		s.Answers = append(s.Answers, ev.Answers...)
+		s.HITs = ev.HITs
+		s.Cost = ev.Cost
+	case EventDelete, EventEvict:
+		delete(states, ev.ID)
+	default:
+		return fmt.Errorf("session: unknown event kind %q", ev.Kind)
+	}
+	return nil
+}

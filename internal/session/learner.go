@@ -7,7 +7,11 @@
 // learners (twig, join, path, schema), a concurrent sharded Manager of live
 // sessions with TTL eviction and crowd-budget accounting, and JSON
 // snapshot/resume so a dialogue can be persisted and rehydrated mid-flight.
-// internal/server exposes the whole thing over HTTP.
+// Every state mutation flows through the Manager's single commit path as an
+// Event, which an optional Journal (internal/store's write-ahead log)
+// observes write-ahead; boot-time recovery replays journaled state back in
+// through the same Resume machinery. internal/server exposes the whole
+// thing over HTTP.
 package session
 
 import (

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,9 @@ var (
 	ErrFailed = errors.New("session failed")
 	// ErrExists reports a Resume under an id that is still live.
 	ErrExists = errors.New("session id already exists")
+	// ErrJournal reports a mutation aborted because its write-ahead journal
+	// append failed — a server-side durability fault, not a client error.
+	ErrJournal = errors.New("session journal unavailable")
 )
 
 // Config tunes a Manager.
@@ -42,6 +46,9 @@ type Config struct {
 	CostPerHIT float64
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
+	// Journal observes every state mutation (write-ahead). Nil keeps the
+	// manager purely in-memory.
+	Journal Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -62,12 +69,49 @@ type Manager struct {
 	shards []*shard
 	live   atomic.Int64
 
-	// Counters for /metrics.
-	created atomic.Int64
-	resumed atomic.Int64
-	deleted atomic.Int64
-	expired atomic.Int64
-	labels  atomic.Int64
+	// compactMu freezes the event stream during journal compaction: every
+	// mutation holds it for read around its commit, Compact holds it for
+	// write while it snapshots all sessions and rewrites the log, so the
+	// snapshot set is consistent with the journal cut point. Lock order is
+	// compactMu → shard.mu → Session.mu → journal internals.
+	compactMu sync.RWMutex
+
+	// Counters for /metrics, all bumped on the commit path.
+	created   atomic.Int64
+	resumed   atomic.Int64
+	recovered atomic.Int64
+	deleted   atomic.Int64
+	expired   atomic.Int64
+	labels    atomic.Int64
+}
+
+// commit is the single mutation event path: every state change in the
+// Manager — create, resume, answers, delete, evict — is expressed as an
+// Event and routed here, write-ahead. With a journal configured the event
+// must append before the mutation proceeds; an append failure aborts it.
+// Boot-time recovery replays with journal=false because the journal already
+// contains the state being rebuilt.
+func (m *Manager) commit(ev Event, journal bool) error {
+	if journal && m.cfg.Journal != nil {
+		if err := m.cfg.Journal.Append(ev); err != nil {
+			return fmt.Errorf("%w (%s event): %v", ErrJournal, ev.Kind, err)
+		}
+	}
+	switch ev.Kind {
+	case EventCreate:
+		m.created.Add(1)
+	case EventResume:
+		if journal {
+			m.resumed.Add(1)
+		} else {
+			m.recovered.Add(1)
+		}
+	case EventDelete:
+		m.deleted.Add(1)
+	case EventEvict:
+		m.expired.Add(1)
+	}
+	return nil
 }
 
 type shard struct {
@@ -119,6 +163,7 @@ type Session struct {
 	// of silently applying labels to an unreachable session.
 	evicted bool
 
+	mgr          *Manager
 	costPerHIT   float64
 	clock        func() time.Time
 	lastActiveNS atomic.Int64
@@ -137,8 +182,11 @@ type CreateOptions struct {
 }
 
 // Create parses the task, builds the model's learner, and registers a fresh
-// session.
+// session. The create event is journaled after the session id is final but
+// before Create returns, so no acknowledged session can be lost to a crash.
 func (m *Manager) Create(model, task string, opts CreateOptions) (*Session, error) {
+	m.compactMu.RLock()
+	defer m.compactMu.RUnlock()
 	if err := m.reserve(); err != nil {
 		return nil, err
 	}
@@ -149,8 +197,36 @@ func (m *Manager) Create(model, task string, opts CreateOptions) (*Session, erro
 	}
 	s := m.newSession(newID(), model, task, learner, opts.MaxCost)
 	m.insert(s)
-	m.created.Add(1)
+	ev := Event{
+		Kind: EventCreate, ID: s.id, Model: model, Task: task,
+		MaxCost: opts.MaxCost, CreatedAt: s.createdAt,
+	}
+	if err := m.commit(ev, true); err != nil {
+		s.mu.Lock()
+		m.finishRemoval(s)
+		return nil, err
+	}
 	return s, nil
+}
+
+// finishRemoval is the one removal sequence every eviction path (Delete,
+// TTL sweep, create/resume rollback) funnels through. The caller holds s.mu
+// with s.evicted still false and has already journaled (or deliberately not
+// journaled) the removal; finishRemoval marks the session evicted, releases
+// s.mu, unlinks it from its shard if the same pointer is still registered,
+// and frees its live slot. Marking evicted under the caller's lock before
+// touching the shard makes removal exactly-once against racing paths, and
+// releasing s.mu before taking shard.mu keeps the lock order acyclic.
+func (m *Manager) finishRemoval(s *Session) {
+	s.evicted = true
+	s.mu.Unlock()
+	sh := m.shardFor(s.id)
+	sh.mu.Lock()
+	if sh.m[s.id] == s {
+		delete(sh.m, s.id)
+	}
+	sh.mu.Unlock()
+	m.live.Add(-1)
 }
 
 func (m *Manager) reserve() error {
@@ -169,7 +245,7 @@ func (m *Manager) newSession(id, model, task string, learner Learner, maxCost fl
 	s := &Session{
 		id: id, model: model, task: task, learner: learner,
 		maxCost: maxCost, createdAt: now,
-		costPerHIT: m.cfg.CostPerHIT, clock: m.cfg.Clock,
+		mgr: m, costPerHIT: m.cfg.CostPerHIT, clock: m.cfg.Clock,
 	}
 	s.lastActiveNS.Store(now.UnixNano())
 	return s
@@ -201,23 +277,33 @@ func (m *Manager) Get(id string) (*Session, error) {
 	return s, nil
 }
 
-// Delete evicts a session, reporting whether it existed.
-func (m *Manager) Delete(id string) bool {
+// Delete evicts a session. It returns ErrNotFound for an unknown id, or the
+// journal error if the delete event could not be made durable (in which case
+// the session stays live).
+func (m *Manager) Delete(id string) error {
+	m.compactMu.RLock()
+	defer m.compactMu.RUnlock()
 	sh := m.shardFor(id)
 	sh.mu.Lock()
 	s, ok := sh.m[id]
-	if ok {
-		s.mu.Lock()
-		s.evicted = true
-		s.mu.Unlock()
-		delete(sh.m, id)
-	}
 	sh.mu.Unlock()
-	if ok {
-		m.live.Add(-1)
-		m.deleted.Add(1)
+	if !ok {
+		return ErrNotFound
 	}
-	return ok
+	// Journal under the session lock only: a synchronous fsync (always
+	// mode) stalls this one session, not every session in the shard. The
+	// evicted flag makes removal exactly-once against a racing sweep.
+	s.mu.Lock()
+	if s.evicted {
+		s.mu.Unlock()
+		return ErrNotFound
+	}
+	if err := m.commit(Event{Kind: EventDelete, ID: id}, true); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	m.finishRemoval(s)
+	return nil
 }
 
 // Len counts live sessions.
@@ -229,57 +315,67 @@ func (m *Manager) SweepExpired() int {
 	if m.cfg.TTL <= 0 {
 		return 0
 	}
+	m.compactMu.RLock()
+	defer m.compactMu.RUnlock()
 	deadline := m.cfg.Clock().Add(-m.cfg.TTL).UnixNano()
 	removed := 0
 	for _, sh := range m.shards {
+		// Collect candidates under the shard lock, then evict each under
+		// its own session lock only, so the journal fsync of one eviction
+		// never stalls the whole shard.
 		sh.mu.Lock()
-		for id, s := range sh.m {
-			if s.lastActiveNS.Load() >= deadline {
-				continue
-			}
-			// Re-check under the session lock: an in-flight operation
-			// that already holds (or is acquiring) s.mu touches
-			// lastActive, and marking evicted here makes any later
-			// operation on a stale pointer fail instead of applying
-			// labels to an unreachable session. Lock order is always
-			// shard.mu → s.mu, never the reverse, so this cannot
-			// deadlock.
-			s.mu.Lock()
+		var victims []*Session
+		for _, s := range sh.m {
 			if s.lastActiveNS.Load() < deadline {
-				s.evicted = true
-				delete(sh.m, id)
-				removed++
+				victims = append(victims, s)
 			}
-			s.mu.Unlock()
 		}
 		sh.mu.Unlock()
-	}
-	if removed > 0 {
-		m.live.Add(int64(-removed))
-		m.expired.Add(int64(removed))
+		for _, s := range victims {
+			// Re-check under the session lock: an in-flight operation
+			// that already holds (or is acquiring) s.mu touches
+			// lastActive, and a racing Delete sets evicted. Marking
+			// evicted here makes any later operation on a stale pointer
+			// fail instead of applying labels to an unreachable session.
+			s.mu.Lock()
+			if s.evicted || s.lastActiveNS.Load() >= deadline {
+				s.mu.Unlock()
+				continue
+			}
+			// A session that cannot journal its eviction stays live and
+			// is retried on the next sweep.
+			if err := m.commit(Event{Kind: EventEvict, ID: s.id}, true); err != nil {
+				s.mu.Unlock()
+				continue
+			}
+			m.finishRemoval(s)
+			removed++
+		}
 	}
 	return removed
 }
 
 // Stats is the manager-level counter snapshot for /metrics.
 type Stats struct {
-	Live    int   `json:"live"`
-	Created int64 `json:"created"`
-	Resumed int64 `json:"resumed"`
-	Deleted int64 `json:"deleted"`
-	Expired int64 `json:"expired"`
-	Labels  int64 `json:"labels"`
+	Live      int   `json:"live"`
+	Created   int64 `json:"created"`
+	Resumed   int64 `json:"resumed"`
+	Recovered int64 `json:"recovered"`
+	Deleted   int64 `json:"deleted"`
+	Expired   int64 `json:"expired"`
+	Labels    int64 `json:"labels"`
 }
 
 // Stats snapshots the manager counters.
 func (m *Manager) Stats() Stats {
 	return Stats{
-		Live:    m.Len(),
-		Created: m.created.Load(),
-		Resumed: m.resumed.Load(),
-		Deleted: m.deleted.Load(),
-		Expired: m.expired.Load(),
-		Labels:  m.labels.Load(),
+		Live:      m.Len(),
+		Created:   m.created.Load(),
+		Resumed:   m.resumed.Load(),
+		Recovered: m.recovered.Load(),
+		Deleted:   m.deleted.Load(),
+		Expired:   m.expired.Load(),
+		Labels:    m.labels.Load(),
 	}
 }
 
@@ -300,8 +396,73 @@ type Snapshot struct {
 
 // Resume rehydrates a snapshotted session under its original id.
 func (m *Manager) Resume(snap Snapshot) (*Session, error) {
+	m.compactMu.RLock()
+	defer m.compactMu.RUnlock()
+	return m.resume(snap, true)
+}
+
+// Recover replays recovered snapshots back into live sessions through the
+// same Resume machinery clients use — replay is the one way state is ever
+// reconstructed. Journaling is disabled because the journal already contains
+// the state being rebuilt, and the untrusted-snapshot cost check is relaxed
+// to its structural part (crowd cost is rederived from the replayed HITs at
+// the current rate, so a -cost-per-hit change cannot destroy sessions).
+// Sessions that fail to replay (inconsistent answer logs, forged HITs) are
+// skipped; Recover reports how many came back and joins the per-session
+// errors.
+func (m *Manager) Recover(snaps []Snapshot) (int, error) {
+	m.compactMu.RLock()
+	defer m.compactMu.RUnlock()
+	n := 0
+	var errs []error
+	for _, snap := range snaps {
+		if _, err := m.resume(snap, false); err != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", snap.ID, err))
+			continue
+		}
+		n++
+	}
+	return n, errors.Join(errs...)
+}
+
+// validateSnapshot cross-checks a snapshot's stated crowd accounting against
+// what its answer log can justify, so a forged or corrupted snapshot cannot
+// smuggle budget into a resumed session. The structural check (every applied
+// answer costs at least one HIT) holds for any snapshot; the rate check
+// (stated cost must equal the recomputed HITs × CostPerHIT) applies only to
+// untrusted client snapshots — boot recovery of the daemon's own journal
+// must survive a -cost-per-hit change, where the live cost is simply
+// rederived from the replayed HITs at the current rate.
+func (m *Manager) validateSnapshot(snap Snapshot, untrusted bool) error {
+	if snap.HITs < 0 {
+		return fmt.Errorf("session: snapshot states negative HITs (%d)", snap.HITs)
+	}
+	if snap.HITs < len(snap.Answers) {
+		return fmt.Errorf("session: snapshot states %d HITs for %d applied answers",
+			snap.HITs, len(snap.Answers))
+	}
+	if !untrusted {
+		return nil
+	}
+	recomputed := float64(snap.HITs) * m.cfg.CostPerHIT
+	if diff := snap.Cost - recomputed; diff > 1e-9 || diff < -1e-9 {
+		return fmt.Errorf("session: snapshot states cost $%v but %d HITs at $%v/HIT recompute to $%v",
+			snap.Cost, snap.HITs, m.cfg.CostPerHIT, recomputed)
+	}
+	return nil
+}
+
+// resume is the shared rehydration path under compactMu; journalIt
+// distinguishes a client resume (journaled as a new event) from boot-time
+// recovery (already journaled).
+func (m *Manager) resume(snap Snapshot, journalIt bool) (*Session, error) {
 	if snap.ID == "" {
 		return nil, fmt.Errorf("session: snapshot has no id")
+	}
+	// A journaled client resume is an untrusted snapshot; a recovery replay
+	// (journalIt=false) is the daemon's own journal.
+	if err := m.validateSnapshot(snap, journalIt); err != nil {
+		return nil, err
 	}
 	sh := m.shardFor(snap.ID)
 	sh.mu.Lock()
@@ -329,16 +490,57 @@ func (m *Manager) Resume(snap Snapshot) (*Session, error) {
 	s.hits = snap.HITs
 	s.createdAt = snap.CreatedAt
 
+	// Unlike Create, the caller already knows this id, so an answer can
+	// race the resume the moment the session is visible. Insert it with
+	// its own lock held: racing operations block on s.mu until the resume
+	// event is journaled, so no acknowledged answer can precede (or be
+	// orphaned from) the resume event in the log.
+	s.mu.Lock()
 	sh.mu.Lock()
 	if _, taken := sh.m[snap.ID]; taken {
 		sh.mu.Unlock()
+		s.mu.Unlock()
 		m.live.Add(-1)
 		return nil, ErrExists
 	}
 	sh.m[snap.ID] = s
 	sh.mu.Unlock()
-	m.resumed.Add(1)
+	ev := Event{Kind: EventResume, ID: snap.ID, Snapshot: &snap}
+	if err := m.commit(ev, journalIt); err != nil {
+		m.finishRemoval(s)
+		return nil, err
+	}
+	s.mu.Unlock()
 	return s, nil
+}
+
+// Compact freezes the event stream, snapshots every live session, and asks
+// the journal to rewrite itself as those snapshots — dropping the event tail
+// they subsume. It returns the number of sessions written. A nil journal, or
+// one that cannot compact, is a no-op.
+func (m *Manager) Compact() (int, error) {
+	comp, ok := m.cfg.Journal.(Compactor)
+	if !ok {
+		return 0, nil
+	}
+	m.compactMu.Lock()
+	defer m.compactMu.Unlock()
+	var snaps []Snapshot
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for _, s := range sh.m {
+			snaps = append(snaps, s.Snapshot())
+		}
+		sh.mu.Unlock()
+	}
+	// Deterministic journal order: oldest session first.
+	sort.Slice(snaps, func(i, j int) bool {
+		if !snaps[i].CreatedAt.Equal(snaps[j].CreatedAt) {
+			return snaps[i].CreatedAt.Before(snaps[j].CreatedAt)
+		}
+		return snaps[i].ID < snaps[j].ID
+	})
+	return len(snaps), comp.Compact(snaps)
 }
 
 // ---- per-session operations ----
@@ -404,6 +606,11 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 	if len(batch) == 0 {
 		return AnswerResult{}, fmt.Errorf("session: empty answer batch")
 	}
+	// Answer mutates state, so it participates in the event stream: take the
+	// compaction read-lock before the session lock (the manager-wide lock
+	// order), then journal write-ahead below.
+	s.mgr.compactMu.RLock()
+	defer s.mgr.compactMu.RUnlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
@@ -441,11 +648,38 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 		return AnswerResult{}, fmt.Errorf("%w: batch of %d labels would cost $%.2f of a $%.2f budget",
 			ErrBudgetExhausted, len(batch), cost, s.maxCost)
 	}
+	// Write-ahead: the batch must be durable before it is applied or
+	// charged. A journal failure rejects the batch with the session intact.
+	preHITs, preAnswers := s.hits, len(s.answers)
+	ev := Event{
+		Kind: EventAnswers, ID: s.id, Answers: apply,
+		HITs: s.hits + len(batch), Cost: cost,
+	}
+	if err := s.mgr.commit(ev, true); err != nil {
+		return AnswerResult{}, err
+	}
 	s.hits += len(batch)
 
 	for _, a := range apply {
 		if err := s.learner.Record(a.Item, a.Positive); err != nil {
+			// Genuine inconsistency: no hypothesis fits the answers. The
+			// batch's event is already durable, so left alone it would
+			// poison every future boot (replaying it fails the same way,
+			// dropping the whole session) — and a half-applied answer log
+			// must not be what Snapshot() or a compaction captures. Roll
+			// the accounting back to the pre-batch state and journal a
+			// compensating snapshot record that restores it, so recovery
+			// resurrects the session at its last consistent state while
+			// the live one stays marked failed.
 			s.failed = err
+			s.hits, s.answers = preHITs, s.answers[:preAnswers]
+			comp := s.snapshotLocked()
+			if cerr := s.mgr.commit(Event{Kind: EventSnapshot, ID: s.id, Snapshot: &comp}, true); cerr != nil {
+				// Disk and version space both broken: the failed mark
+				// already stops further use; recovery will skip the
+				// session with an error.
+				err = errors.Join(err, cerr)
+			}
 			return AnswerResult{}, fmt.Errorf("%w: %v", ErrFailed, err)
 		}
 		s.answers = append(s.answers, a)
@@ -519,6 +753,12 @@ func (s *Session) Hypothesis() (Hypothesis, error) {
 func (s *Session) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// snapshotLocked builds the snapshot under an already-held s.mu (Answer's
+// compensating record needs it mid-operation).
+func (s *Session) snapshotLocked() Snapshot {
 	answers := make([]Answer, len(s.answers))
 	copy(answers, s.answers)
 	return Snapshot{

@@ -22,11 +22,11 @@ func TestManagerCreateGetDelete(t *testing.T) {
 	if m.Len() != 1 {
 		t.Errorf("Len = %d", m.Len())
 	}
-	if !m.Delete(s.ID()) {
-		t.Errorf("Delete reported missing")
+	if err := m.Delete(s.ID()); err != nil {
+		t.Errorf("Delete = %v", err)
 	}
-	if m.Delete(s.ID()) {
-		t.Errorf("double Delete reported present")
+	if err := m.Delete(s.ID()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double Delete = %v, want ErrNotFound", err)
 	}
 	if _, err := m.Get(s.ID()); !errors.Is(err, ErrNotFound) {
 		t.Errorf("Get after delete = %v", err)
@@ -396,8 +396,8 @@ func TestConcurrentLifecycleAcrossShards(t *testing.T) {
 					}
 				}
 				_ = s.Snapshot()
-				if !m.Delete(s.ID()) {
-					t.Errorf("delete lost session %s", s.ID())
+				if err := m.Delete(s.ID()); err != nil {
+					t.Errorf("delete lost session %s: %v", s.ID(), err)
 					return
 				}
 				converged.Add(1)
@@ -451,6 +451,61 @@ func TestConcurrentAnswersOneSession(t *testing.T) {
 	}
 	if h.Query != "city=place & id=buyer" {
 		t.Errorf("learned %q under concurrency", h.Query)
+	}
+}
+
+// failingJournal rejects every append — the disk-on-fire case.
+type failingJournal struct{ err error }
+
+func (f failingJournal) Append(Event) error { return f.err }
+
+// TestJournalFailureAbortsMutations: a mutation whose write-ahead append
+// fails must roll back completely (no session, no charge) and classify as
+// ErrJournal, not as a client error.
+func TestJournalFailureAbortsMutations(t *testing.T) {
+	m := NewManager(Config{Journal: failingJournal{errors.New("disk on fire")}})
+	if _, err := m.Create("join", joinTask, CreateOptions{}); !errors.Is(err, ErrJournal) {
+		t.Fatalf("create with dead journal = %v, want ErrJournal", err)
+	}
+	if m.Len() != 0 {
+		t.Errorf("failed create leaked a session: Len = %d", m.Len())
+	}
+	if st := m.Stats(); st.Created != 0 {
+		t.Errorf("failed create counted: %+v", st)
+	}
+
+	// A healthy manager's session, resumed into the dead-journal manager.
+	healthy := NewManager(Config{})
+	s, err := healthy.Create("join", joinTask, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Resume(s.Snapshot()); !errors.Is(err, ErrJournal) {
+		t.Errorf("resume with dead journal = %v, want ErrJournal", err)
+	}
+	if m.Len() != 0 {
+		t.Errorf("failed resume leaked a session: Len = %d", m.Len())
+	}
+
+	// Answers on a session that outlived its journal are rejected uncharged,
+	// and deletes keep the session live.
+	mgr2 := NewManager(Config{})
+	s2, err := mgr2.Create("join", joinTask, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr2.cfg.Journal = failingJournal{errors.New("disk on fire")}
+	if _, err := s2.Answer([]Answer{{Item: json.RawMessage(`{"left":0,"right":0}`), Positive: true}}, ReconcileNone); !errors.Is(err, ErrJournal) {
+		t.Errorf("answer with dead journal = %v, want ErrJournal", err)
+	}
+	if st := s2.Status(); st.HITs != 0 || st.Answers != 0 || st.Failed != "" {
+		t.Errorf("failed answer charged or poisoned the session: %+v", st)
+	}
+	if err := mgr2.Delete(s2.ID()); !errors.Is(err, ErrJournal) {
+		t.Errorf("delete with dead journal = %v, want ErrJournal", err)
+	}
+	if _, err := mgr2.Get(s2.ID()); err != nil {
+		t.Errorf("failed delete evicted the session anyway: %v", err)
 	}
 }
 

@@ -1,0 +1,313 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"querylearn/internal/session"
+)
+
+// Crash-recovery equivalence across all four models: kill the journal
+// mid-batch (a torn tail record, as a crash during a write leaves), recover,
+// and the recovered version spaces must be exactly the pre-crash ones —
+// byte-identical Snapshot() output and identical Hypothesis().
+
+const (
+	crashTwigTask = `
+doc <lib><book><title/><year/></book><book><title/></book></lib>
+doc <lib><book><year/><title/></book></lib>
+pos 0 /0/0
+`
+	crashSchemaTask = `
+doc <r><a/><b/></r>
+doc <r><a/><a/><b/></r>
+`
+)
+
+func crashTasks() map[string]string {
+	return map[string]string{
+		"twig": crashTwigTask, "join": joinTask, "path": pathTask, "schema": crashSchemaTask,
+	}
+}
+
+// crashOracles answers questions truthfully against each fixture's goal
+// (mirroring internal/session's test oracles).
+func crashOracles(t *testing.T) map[string]func(json.RawMessage) bool {
+	t.Helper()
+	mustUnmarshal := func(raw json.RawMessage, into any) {
+		if err := json.Unmarshal(raw, into); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+	}
+	return map[string]func(json.RawMessage) bool{
+		"twig": func(item json.RawMessage) bool {
+			var it struct {
+				Doc  int    `json:"doc"`
+				Path string `json:"path"`
+			}
+			mustUnmarshal(item, &it)
+			return it.Doc == 0 && it.Path == "/0/0" || it.Doc == 1 && it.Path == "/0/1"
+		},
+		"join": func(item json.RawMessage) bool {
+			var it struct{ Left, Right int }
+			mustUnmarshal(item, &it)
+			return it.Left == 0 && it.Right == 0
+		},
+		"path": func(item json.RawMessage) bool {
+			var it struct{ Src, Dst string }
+			mustUnmarshal(item, &it)
+			return it.Src == "lille" && it.Dst == "lyon"
+		},
+		"schema": func(item json.RawMessage) bool {
+			var it struct{ Doc string }
+			mustUnmarshal(item, &it)
+			as := strings.Count(it.Doc, "<a/>")
+			bs := strings.Count(it.Doc, "<b/>")
+			return as >= 1 && bs == 1 && strings.Count(it.Doc, "<r>") == 1
+		},
+	}
+}
+
+func TestCrashRecoveryEquivalenceAllModels(t *testing.T) {
+	oracles := crashOracles(t)
+	st, _, dir := openTemp(t, Options{Fsync: FsyncOff})
+	mgr := session.NewManager(session.Config{Journal: st, CostPerHIT: 0.05})
+
+	// Drive every model two answers into its dialogue.
+	live := map[string]*session.Session{}
+	for model, task := range crashTasks() {
+		s, err := mgr.Create(model, task, session.CreateOptions{MaxCost: 100})
+		if err != nil {
+			t.Fatalf("%s create: %v", model, err)
+		}
+		live[model] = s
+		for i := 0; i < 2; i++ {
+			q, ok, err := s.Question()
+			if err != nil {
+				t.Fatalf("%s question: %v", model, err)
+			}
+			if !ok {
+				break
+			}
+			if _, err := s.Answer([]session.Answer{
+				{Item: q.Item, Positive: oracles[model](q.Item)},
+			}, session.ReconcileNone); err != nil {
+				t.Fatalf("%s answer: %v", model, err)
+			}
+		}
+	}
+
+	// The pre-crash truth: snapshots and hypotheses as of now.
+	wantSnap := map[string]string{}
+	wantHyp := map[string]session.Hypothesis{}
+	for model, s := range live {
+		b, err := json.Marshal(s.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSnap[model] = string(b)
+		h, err := s.Hypothesis()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantHyp[model] = h
+	}
+	preSize := journalSize(t, dir)
+
+	// One more answer lands mid-crash: journal the batch, then tear the
+	// record by truncating into it — the write the power cut interrupted.
+	s := live["join"]
+	q, ok, err := s.Question()
+	if err != nil || !ok {
+		t.Fatalf("join question for the doomed batch: ok=%v err=%v", ok, err)
+	}
+	if _, err := s.Answer([]session.Answer{
+		{Item: q.Item, Positive: oracles["join"](q.Item)},
+	}, session.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	if journalSize(t, dir) <= preSize {
+		t.Fatal("doomed batch did not reach the journal")
+	}
+	// The crash: no flush, no compaction, lock released with the process.
+	// Then truncate into the torn record's header.
+	st.Abandon()
+	if err := os.Truncate(filepath.Join(dir, journalName), preSize+3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into a fresh manager.
+	st2, snaps, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got := st2.Stats().Recovered; got.TornTail == "" {
+		t.Errorf("torn tail not detected: %+v", got)
+	}
+	if len(snaps) != len(live) {
+		t.Fatalf("recovered %d sessions, want %d", len(snaps), len(live))
+	}
+	mgr2 := session.NewManager(session.Config{Journal: st2, CostPerHIT: 0.05})
+	if n, err := mgr2.Recover(snaps); n != len(live) || err != nil {
+		t.Fatalf("Recover = %d, %v", n, err)
+	}
+
+	for model, s := range live {
+		back, err := mgr2.Get(s.ID())
+		if err != nil {
+			t.Fatalf("%s lost across the crash: %v", model, err)
+		}
+		b, err := json.Marshal(back.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != wantSnap[model] {
+			t.Errorf("%s snapshot diverged across recovery:\n got %s\nwant %s", model, b, wantSnap[model])
+		}
+		h, err := back.Hypothesis()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, _ := json.Marshal(h)
+		wb, _ := json.Marshal(wantHyp[model])
+		if string(hb) != string(wb) {
+			t.Errorf("%s hypothesis diverged: got %s want %s", model, hb, wb)
+		}
+
+		// The recovered dialogue must still finish normally.
+		for {
+			q, ok, err := back.Question()
+			if err != nil {
+				t.Fatalf("%s question after recovery: %v", model, err)
+			}
+			if !ok {
+				break
+			}
+			if _, err := back.Answer([]session.Answer{
+				{Item: q.Item, Positive: oracles[model](q.Item)},
+			}, session.ReconcileNone); err != nil {
+				t.Fatalf("%s answer after recovery: %v", model, err)
+			}
+		}
+	}
+}
+
+// TestSnapshotCostValidation pins the trust split: a client-supplied
+// snapshot (POST /sessions/resume) whose stated cost diverges from its
+// replayed answer log must not come back to life with smuggled budget, while
+// boot recovery of the daemon's own journal survives a -cost-per-hit change
+// by rederiving the cost from the replayed HITs at the current rate.
+func TestSnapshotCostValidation(t *testing.T) {
+	st, _, dir := openTemp(t, Options{Fsync: FsyncOff})
+	mgr := session.NewManager(session.Config{Journal: st, CostPerHIT: 1})
+	s, err := mgr.Create("join", joinTask, session.CreateOptions{MaxCost: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Answer([]session.Answer{
+		{Item: json.RawMessage(`{"left":0,"right":0}`), Positive: true},
+	}, session.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	st2, snaps, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(snaps) != 1 || snaps[0].HITs != 1 {
+		t.Fatalf("expected one recovered session with 1 HIT, got %+v", snaps)
+	}
+
+	// Boot recovery at a DOUBLED rate: the journaled Cost (recorded at
+	// $1/HIT) no longer matches, but the daemon's own journal must survive
+	// a flag change — the live cost is rederived as HITs × current rate.
+	mgrBoot := session.NewManager(session.Config{Journal: st2, CostPerHIT: 2})
+	if n, err := mgrBoot.Recover(snaps); n != 1 || err != nil {
+		t.Fatalf("recovery after a -cost-per-hit change dropped sessions: n=%d err=%v", n, err)
+	}
+	back, err := mgrBoot.Get(snaps[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Status(); got.Cost != 2 {
+		t.Errorf("recovered cost = $%v, want $2 rederived from 1 HIT at $2/HIT", got.Cost)
+	}
+
+	// The wire path stays strict: forged cost and forged HITs are rejected.
+	mgrWire := session.NewManager(session.Config{CostPerHIT: 1})
+	forged := snaps[0]
+	forged.Cost = 0 // pretend the spend never happened
+	if _, err := mgrWire.Resume(forged); err == nil || !strings.Contains(err.Error(), "recompute") {
+		t.Errorf("forged cost resumed: %v", err)
+	}
+	forgedHITs := snaps[0]
+	forgedHITs.HITs = 0
+	forgedHITs.Cost = 0
+	if _, err := mgrWire.Resume(forgedHITs); err == nil || !strings.Contains(err.Error(), "applied answers") {
+		t.Errorf("forged HITs resumed: %v", err)
+	}
+	// Structural forgery is rejected even at boot.
+	if n, err := mgrWire.Recover([]session.Snapshot{forgedHITs}); n != 0 || err == nil {
+		t.Errorf("structurally forged snapshot recovered: n=%d err=%v", n, err)
+	}
+	// The honest snapshot still resumes.
+	if _, err := mgrWire.Resume(snaps[0]); err != nil {
+		t.Errorf("honest snapshot rejected: %v", err)
+	}
+}
+
+// TestPoisonBatchCompensated: a batch that passes validation but fails
+// Record (genuine inconsistency) is already journaled; the compensating
+// snapshot record must restore the pre-batch state so recovery resurrects
+// the session at its last consistent point instead of dropping it forever.
+func TestPoisonBatchCompensated(t *testing.T) {
+	st, _, dir := openTemp(t, Options{Fsync: FsyncOff})
+	mgr := session.NewManager(session.Config{Journal: st})
+	s, err := mgr.Create("join", joinTask, session.CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	item := json.RawMessage(`{"left":0,"right":0}`)
+	if _, err := s.Answer([]session.Answer{{Item: item, Positive: false}}, session.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	preSnap, _ := json.Marshal(s.Snapshot())
+	// The contradiction: the same pair labeled positive. Validate passes,
+	// Record fails, the session is poisoned in memory.
+	if _, err := s.Answer([]session.Answer{{Item: item, Positive: true}}, session.ReconcileNone); !errors.Is(err, session.ErrFailed) {
+		t.Fatalf("contradictory answer = %v, want ErrFailed", err)
+	}
+	if got, _ := json.Marshal(s.Snapshot()); string(got) != string(preSnap) {
+		t.Errorf("failed batch left partial state in the snapshot:\n got %s\nwant %s", got, preSnap)
+	}
+	st.Abandon()
+
+	st2, snaps, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	mgr2 := session.NewManager(session.Config{Journal: st2})
+	if n, err := mgr2.Recover(snaps); n != 1 || err != nil {
+		t.Fatalf("poisoned session did not recover at its pre-batch state: n=%d err=%v", n, err)
+	}
+	back, err := mgr2.Get(s.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := json.Marshal(back.Snapshot()); string(got) != string(preSnap) {
+		t.Errorf("recovered state is not the pre-batch state:\n got %s\nwant %s", got, preSnap)
+	}
+	// The recovered session is healthy again (the poison batch was never
+	// applied durably) and can continue.
+	if _, _, err := back.Question(); err != nil {
+		t.Errorf("recovered session unusable: %v", err)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// lockDir is advisory-only where flock is unavailable; single-writer
+// discipline is on the operator.
+func lockDir(dir string) (*os.File, error) { return nil, nil }

@@ -1,0 +1,26 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on the data directory so two
+// daemons pointed at the same -data-dir fail loudly at startup instead of
+// silently renaming journals out from under each other. The lock dies with
+// the process, so a SIGKILL never leaves a stale lock behind.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "journal.lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: data dir %s is already in use by another process: %w", dir, err)
+	}
+	return f, nil
+}

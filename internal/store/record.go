@@ -1,0 +1,73 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// The journal is a flat sequence of length-prefixed records:
+//
+//	┌────────────────┬──────────────────┬───────────────┐
+//	│ length uint32  │ crc32 uint32     │ payload (JSON │
+//	│ little-endian  │ IEEE of payload  │ session.Event)│
+//	└────────────────┴──────────────────┴───────────────┘
+//
+// The fixed header makes torn tails detectable without framing bytes: a
+// record whose payload runs past EOF was cut mid-write, and one whose CRC
+// mismatches was corrupted. Recovery keeps everything before the first bad
+// record and truncates the rest — the WAL contract that a crash can only
+// lose the tail that was never acknowledged as durable.
+
+const (
+	recordHeaderSize = 8
+	// maxRecordSize bounds one record so a corrupted length field cannot
+	// make recovery attempt a multi-gigabyte allocation.
+	maxRecordSize = 64 << 20
+)
+
+// errTornTail reports a truncated or corrupted record at the end of the
+// journal; everything before it is intact.
+var errTornTail = errors.New("store: torn journal tail")
+
+// appendRecord frames one payload onto w in a single write and returns the
+// bytes written.
+func appendRecord(w io.Writer, payload []byte) (int64, error) {
+	rec := make([]byte, recordHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[recordHeaderSize:], payload)
+	if _, err := w.Write(rec); err != nil {
+		return 0, err
+	}
+	return int64(len(rec)), nil
+}
+
+// readRecord decodes the next record. It returns io.EOF at a clean end of
+// the journal, or an error wrapping errTornTail when the tail is truncated
+// or fails its CRC.
+func readRecord(r *bufio.Reader) ([]byte, error) {
+	var hdr [recordHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: truncated header: %v", errTornTail, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	want := binary.LittleEndian.Uint32(hdr[4:8])
+	if length > maxRecordSize {
+		return nil, fmt.Errorf("%w: implausible record length %d", errTornTail, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("%w: truncated payload: %v", errTornTail, err)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", errTornTail, want, got)
+	}
+	return payload, nil
+}

@@ -1,0 +1,68 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+
+	"querylearn/internal/session"
+)
+
+// replayResult is what reading a journal yields: the surviving session
+// states plus enough forensics for the /metrics store block.
+type replayResult struct {
+	// snaps are the live sessions at the end of the journal, oldest first.
+	snaps []session.Snapshot
+	// events counts well-formed records, skipped those whose payload did
+	// not decode or apply (schema drift, answers for a deleted session).
+	events  int64
+	skipped int64
+	// goodBytes is the offset of the last intact record's end; everything
+	// past it is a torn tail.
+	goodBytes int64
+	// tailErr is non-nil when the journal ended in a truncated or corrupt
+	// record (wrapping errTornTail).
+	tailErr error
+}
+
+// replayJournal folds a journal byte stream into final session snapshots
+// using session.ApplyEvent — the same single replay rule everywhere. It
+// never fails outright: a torn tail stops the read and is reported, and
+// undecodable-but-intact records are counted and skipped.
+func replayJournal(r io.Reader) replayResult {
+	var res replayResult
+	br := bufio.NewReaderSize(r, 1<<16)
+	states := map[string]*session.Snapshot{}
+	for {
+		payload, err := readRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			res.tailErr = err
+			break
+		}
+		res.goodBytes += recordHeaderSize + int64(len(payload))
+		res.events++
+		var ev session.Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			res.skipped++
+			continue
+		}
+		if err := session.ApplyEvent(states, ev); err != nil {
+			res.skipped++
+		}
+	}
+	res.snaps = make([]session.Snapshot, 0, len(states))
+	for _, s := range states {
+		res.snaps = append(res.snaps, *s)
+	}
+	sort.Slice(res.snaps, func(i, j int) bool {
+		if !res.snaps[i].CreatedAt.Equal(res.snaps[j].CreatedAt) {
+			return res.snaps[i].CreatedAt.Before(res.snaps[j].CreatedAt)
+		}
+		return res.snaps[i].ID < res.snaps[j].ID
+	})
+	return res
+}

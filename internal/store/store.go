@@ -1,0 +1,524 @@
+// Package store is the durable session store behind querylearnd: an
+// append-only write-ahead journal of session events (create, resume,
+// answers-applied, delete, evict) with length-prefixed CRC-checked JSON
+// records, group-commit fsync, and compaction that rewrites the log as one
+// snapshot record per live session plus a tail of newer events.
+//
+// The layering mirrors janus-datalog's "streaming engine over a simple
+// durable log" shape rather than bolting a database on: internal/session's
+// Manager emits every state mutation as a session.Event through its single
+// commit path; the Store appends those events write-ahead; boot-time
+// recovery folds the journal back into session.Snapshots (via
+// session.ApplyEvent, the one replay rule) that Manager.Recover replays into
+// live sessions through the ordinary Resume machinery.
+//
+// Durability modes trade throughput for the crash window:
+//
+//	off      every record reaches the OS (surviving a SIGKILL) but fsync is
+//	         left to the kernel — power loss can drop the tail.
+//	batched  a background group commit fsyncs the accumulated tail every
+//	         BatchWindow; appenders do not block, and /metrics reports the
+//	         journal lag (events appended but not yet known durable).
+//	always   every append blocks until an fsync covers it; concurrent
+//	         appenders share one fsync (group commit).
+//
+// A crash can truncate the final record mid-write; recovery detects the torn
+// tail by its length/CRC framing, keeps everything before it, and rewrites
+// the journal compacted — so a restart always begins from a clean,
+// normalized log.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"querylearn/internal/session"
+)
+
+// Fsync modes for Options.Fsync.
+const (
+	FsyncOff     = "off"
+	FsyncBatched = "batched"
+	FsyncAlways  = "always"
+)
+
+// journal file names inside the data directory.
+const (
+	journalName = "journal.log"
+	scratchName = "journal.tmp"
+)
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Options tunes a Store.
+type Options struct {
+	// Fsync is the durability mode: FsyncOff, FsyncBatched (default), or
+	// FsyncAlways.
+	Fsync string
+	// BatchWindow is the group-commit window in batched mode (default 5ms):
+	// how long appended events may sit in the OS before the background
+	// fsync makes them durable.
+	BatchWindow time.Duration
+}
+
+func (o Options) withDefaults() (Options, error) {
+	switch o.Fsync {
+	case "":
+		o.Fsync = FsyncBatched
+	case FsyncOff, FsyncBatched, FsyncAlways:
+	default:
+		return o, fmt.Errorf("store: unknown fsync mode %q (want %q, %q, or %q)",
+			o.Fsync, FsyncOff, FsyncBatched, FsyncAlways)
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 5 * time.Millisecond
+	}
+	return o, nil
+}
+
+// Store is an append-only journal of session events in one data directory.
+// It implements session.Journal and session.Compactor. All methods are safe
+// for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu     sync.Mutex
+	f      *os.File
+	lock   *os.File // flock on the data dir (nil where unsupported)
+	closed bool
+
+	// LSNs: appended counts records written to the OS, durable counts
+	// records covered by an fsync. Their gap is the journal lag.
+	appended int64
+	durable  int64
+	syncErr  error
+	// appendErr poisons the store after a partial write that could not be
+	// rolled back: appending past garbage would make recovery truncate
+	// every later record as a torn tail.
+	appendErr error
+
+	// kick wakes the flusher when there is undurable tail; done wakes
+	// always-mode appenders waiting for their LSN to become durable.
+	kick *sync.Cond
+	done *sync.Cond
+
+	flusherDone chan struct{}
+
+	// Stats under mu.
+	baseBytes  int64 // journal size after the last open/compaction
+	tailBytes  int64 // bytes appended since
+	tailEvents int64 // events appended since the last compaction
+	fsyncs     int64
+	recovered  RecoveryStats
+	lastComp   *CompactionStats
+}
+
+// RecoveryStats describes what the last Open found in the journal.
+type RecoveryStats struct {
+	Sessions      int   `json:"sessions"`
+	Events        int64 `json:"events"`
+	SkippedEvents int64 `json:"skipped_events,omitempty"`
+	// DroppedBytes counts the torn tail recovery discarded; TornTail says
+	// why (empty for a clean journal).
+	DroppedBytes int64  `json:"dropped_bytes,omitempty"`
+	TornTail     string `json:"torn_tail,omitempty"`
+}
+
+// CompactionStats describes the last journal rewrite.
+type CompactionStats struct {
+	At          time.Time `json:"at"`
+	Sessions    int       `json:"sessions"`
+	DurationMS  float64   `json:"duration_ms"`
+	BytesBefore int64     `json:"bytes_before"`
+	BytesAfter  int64     `json:"bytes_after"`
+}
+
+// Stats is the store's status block for /metrics and /healthz.
+type Stats struct {
+	Dir   string `json:"dir"`
+	Fsync string `json:"fsync"`
+	// Appended and Durable are event LSNs since open; Lag is their gap —
+	// the events that would be lost to a power failure right now.
+	Appended int64 `json:"events_appended"`
+	Durable  int64 `json:"events_durable"`
+	Lag      int64 `json:"journal_lag"`
+	Fsyncs   int64 `json:"fsyncs"`
+	// Bytes is the journal's current size; TailEvents counts events since
+	// the last compaction (what a compaction would fold away).
+	Bytes          int64            `json:"journal_bytes"`
+	TailEvents     int64            `json:"tail_events"`
+	Recovered      RecoveryStats    `json:"recovered"`
+	LastCompaction *CompactionStats `json:"last_compaction,omitempty"`
+	// SyncError reports a sticky fsync failure. Always-mode appends fail
+	// loudly on it; in batched mode this field is the only signal, so
+	// health checks should alarm on it.
+	SyncError string `json:"sync_error,omitempty"`
+}
+
+// Open recovers the journal in dir and returns the store plus the live
+// sessions it held, ready for session.Manager.Recover. The journal is
+// rewritten compacted as part of opening (dropping any torn tail), so every
+// boot starts from a normalized log: one snapshot record per session.
+func Open(dir string, opts Options) (*Store, []session.Snapshot, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, journalName)
+
+	var res replayResult
+	if f, err := os.Open(path); err == nil {
+		res = replayJournal(f)
+		f.Close()
+	} else if !os.IsNotExist(err) {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+
+	st := &Store{dir: dir, opts: opts, lock: lock, flusherDone: make(chan struct{})}
+	st.kick = sync.NewCond(&st.mu)
+	st.done = sync.NewCond(&st.mu)
+	st.recovered = RecoveryStats{
+		Sessions:      len(res.snaps),
+		Events:        res.events,
+		SkippedEvents: res.skipped,
+	}
+	if res.tailErr != nil {
+		st.recovered.TornTail = res.tailErr.Error()
+		if fi, err := os.Stat(path); err == nil {
+			st.recovered.DroppedBytes = fi.Size() - res.goodBytes
+		}
+	}
+
+	// Boot-time compaction: atomically replace the journal with one
+	// snapshot record per surviving session. A crash at any point leaves
+	// either the old journal or the new one — never a half state.
+	if err := st.rewrite(res.snaps); err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, nil, err
+	}
+	if st.opts.Fsync != FsyncOff {
+		go st.flusher()
+	} else {
+		close(st.flusherDone)
+	}
+	return st, res.snaps, nil
+}
+
+// rewrite replaces the journal with the given snapshots and (re)opens the
+// append handle. Callers hold mu or have exclusive access.
+func (st *Store) rewrite(snaps []session.Snapshot) error {
+	path := filepath.Join(st.dir, journalName)
+	scratch := filepath.Join(st.dir, scratchName)
+	tmp, err := os.OpenFile(scratch, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var size int64
+	for i := range snaps {
+		payload, err := json.Marshal(session.Event{
+			Kind: session.EventSnapshot, ID: snaps[i].ID, Snapshot: &snaps[i],
+		})
+		if err == nil {
+			var n int64
+			n, err = appendRecord(tmp, payload)
+			size += n
+		}
+		if err != nil {
+			tmp.Close()
+			os.Remove(scratch)
+			return fmt.Errorf("store: writing compacted journal: %w", err)
+		}
+	}
+	// The rewrite is always fsynced, whatever the append mode: it is the
+	// one copy of every session it contains.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(scratch)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(scratch, path); err != nil {
+		os.Remove(scratch)
+		return fmt.Errorf("store: %w", err)
+	}
+	syncDir(st.dir)
+
+	if st.f != nil {
+		st.f.Close()
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		// The compacted journal on disk is intact, but we no longer hold a
+		// usable append handle; poison loudly (503s, degraded healthz)
+		// rather than letting Append write to a closed fd. A restart
+		// recovers cleanly.
+		st.appendErr = fmt.Errorf("reopening journal after rewrite: %w", err)
+		return fmt.Errorf("store: %w", err)
+	}
+	st.f = f
+	st.baseBytes = size
+	st.tailBytes = 0
+	st.tailEvents = 0
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable; best-effort
+// on filesystems that refuse directory fsync.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}
+
+// Append journals one event (the session.Journal contract). The record is
+// written through to the OS before Append returns in every mode — a SIGKILL
+// cannot lose it — and in always mode Append additionally blocks until an
+// fsync covers it.
+func (st *Store) Append(ev session.Event) error {
+	payload, err := json.Marshal(ev)
+	if err != nil {
+		return fmt.Errorf("store: encoding %s event: %w", ev.Kind, err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if st.appendErr != nil {
+		return fmt.Errorf("store: journal poisoned by earlier write failure: %w", st.appendErr)
+	}
+	n, err := appendRecord(st.f, payload)
+	if err != nil {
+		// A partial write leaves a torn record mid-file; anything appended
+		// after it would be silently discarded at recovery (replay stops at
+		// the first bad record). Roll the file back to its last good
+		// length, or poison the store if even that fails.
+		goodSize := st.baseBytes + st.tailBytes
+		if terr := st.f.Truncate(goodSize); terr != nil {
+			st.appendErr = fmt.Errorf("%v (rollback truncate to %d failed: %v)", err, goodSize, terr)
+		}
+		return fmt.Errorf("store: appending %s event: %w", ev.Kind, err)
+	}
+	st.appended++
+	st.tailBytes += n
+	st.tailEvents++
+	lsn := st.appended
+
+	switch st.opts.Fsync {
+	case FsyncOff:
+		st.durable = st.appended
+		return nil
+	case FsyncBatched:
+		st.kick.Signal()
+		return nil
+	default: // FsyncAlways: group commit — wait for a covering fsync.
+		st.kick.Signal()
+		for st.durable < lsn && st.syncErr == nil && !st.closed {
+			st.done.Wait()
+		}
+		if st.syncErr != nil {
+			return fmt.Errorf("store: fsync: %w", st.syncErr)
+		}
+		if st.durable < lsn {
+			return ErrClosed
+		}
+		return nil
+	}
+}
+
+// flusher is the group-commit loop: whenever there is an undurable tail it
+// fsyncs once for the whole batch. Batched mode sleeps BatchWindow first so
+// a burst of appends shares one fsync; always mode syncs as fast as the disk
+// allows while appenders wait.
+func (st *Store) flusher() {
+	defer close(st.flusherDone)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		for !st.closed && st.durable >= st.appended {
+			st.kick.Wait()
+		}
+		if st.closed {
+			return
+		}
+		if st.opts.Fsync == FsyncBatched {
+			st.mu.Unlock()
+			time.Sleep(st.opts.BatchWindow)
+			st.mu.Lock()
+			if st.closed {
+				return
+			}
+		}
+		// Sync outside the lock so appenders keep writing while the disk
+		// flushes — the fsync covers everything appended up to target.
+		target := st.appended
+		f := st.f
+		st.mu.Unlock()
+		err := f.Sync()
+		st.mu.Lock()
+		st.fsyncs++
+		// A compaction or close may have swapped the file underneath the
+		// sync; its own fsync already covered the tail, so only account a
+		// sync of the still-current handle.
+		if st.f == f {
+			if err != nil {
+				st.syncErr = err
+			}
+			if target > st.durable {
+				st.durable = target
+			}
+		}
+		st.done.Broadcast()
+	}
+}
+
+// Compact rewrites the journal as the given snapshots (the session.Compactor
+// contract). The manager calls it with the event stream frozen, so the
+// snapshot set and the journal cut point agree; events appended afterwards
+// form the new tail.
+func (st *Store) Compact(snaps []session.Snapshot) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	start := time.Now()
+	before := st.baseBytes + st.tailBytes
+	if err := st.rewrite(snaps); err != nil {
+		return err
+	}
+	// Everything appended so far is subsumed by the fsynced rewrite.
+	st.durable = st.appended
+	st.done.Broadcast()
+	st.lastComp = &CompactionStats{
+		At:          start,
+		Sessions:    len(snaps),
+		DurationMS:  float64(time.Since(start).Nanoseconds()) / 1e6,
+		BytesBefore: before,
+		BytesAfter:  st.baseBytes,
+	}
+	return nil
+}
+
+// Sync forces an fsync of everything appended so far — the final flush on
+// graceful shutdown.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	return st.syncLocked()
+}
+
+func (st *Store) syncLocked() error {
+	if err := st.f.Sync(); err != nil {
+		return fmt.Errorf("store: fsync: %w", err)
+	}
+	st.fsyncs++
+	st.durable = st.appended
+	st.done.Broadcast()
+	return nil
+}
+
+// Close flushes, fsyncs, and releases the journal. Appends after Close fail
+// with ErrClosed.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil
+	}
+	err := st.syncLocked()
+	st.closed = true
+	st.kick.Broadcast()
+	st.done.Broadcast()
+	st.mu.Unlock()
+	<-st.flusherDone
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if cerr := st.f.Close(); err == nil {
+		err = cerr
+	}
+	if st.lock != nil {
+		st.lock.Close() // releases the flock
+	}
+	return err
+}
+
+// Abandon drops the store's file handles without flushing, fsyncing, or
+// compacting — exactly what a SIGKILL does (the OS releases the directory
+// lock and keeps whatever bytes the journal's writes already handed it).
+// Crash tests and the durability experiment use it to die mid-flight and
+// reopen the same directory in-process.
+func (st *Store) Abandon() {
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.closed = true
+	st.kick.Broadcast()
+	st.done.Broadcast()
+	st.f.Close()
+	if st.lock != nil {
+		st.lock.Close()
+	}
+	st.mu.Unlock()
+	<-st.flusherDone
+}
+
+// Stats snapshots the store's status block.
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Stats{
+		Dir:        st.dir,
+		Fsync:      st.opts.Fsync,
+		Appended:   st.appended,
+		Durable:    st.durable,
+		Lag:        st.appended - st.durable,
+		Fsyncs:     st.fsyncs,
+		Bytes:      st.baseBytes + st.tailBytes,
+		TailEvents: st.tailEvents,
+		Recovered:  st.recovered,
+	}
+	if st.lastComp != nil {
+		cp := *st.lastComp
+		s.LastCompaction = &cp
+	}
+	// Both sticky faults matter to operators; report whichever happened,
+	// or both.
+	switch {
+	case st.syncErr != nil && st.appendErr != nil:
+		s.SyncError = st.syncErr.Error() + "; " + st.appendErr.Error()
+	case st.syncErr != nil:
+		s.SyncError = st.syncErr.Error()
+	case st.appendErr != nil:
+		s.SyncError = st.appendErr.Error()
+	}
+	return s
+}

@@ -1,0 +1,298 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"querylearn/internal/session"
+)
+
+const (
+	joinTask = `
+left P id,city
+lrow 1,lille
+lrow 2,paris
+right O buyer,place
+rrow 1,lille
+rrow 2,rome
+`
+	pathTask = `
+edge lille highway paris
+edge paris highway lyon
+edge lille ferry dover
+pos lille lyon
+`
+)
+
+func openTemp(t *testing.T, opts Options) (*Store, []session.Snapshot, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, snaps, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, snaps, dir
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	st, snaps, _ := openTemp(t, Options{})
+	defer st.Close()
+	if len(snaps) != 0 {
+		t.Errorf("fresh dir recovered %d sessions", len(snaps))
+	}
+	stats := st.Stats()
+	if stats.Fsync != FsyncBatched {
+		t.Errorf("default fsync = %q", stats.Fsync)
+	}
+	if stats.Recovered.Events != 0 || stats.Recovered.TornTail != "" {
+		t.Errorf("fresh dir recovery stats = %+v", stats.Recovered)
+	}
+}
+
+func TestOpenRejectsBadFsync(t *testing.T) {
+	if _, _, err := Open(t.TempDir(), Options{Fsync: "sometimes"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown fsync mode") {
+		t.Errorf("bad fsync mode = %v", err)
+	}
+}
+
+// TestJournalRoundtrip drives a journaled manager through create, answer,
+// and delete, then reopens the directory and checks the recovered sessions
+// are exactly the live ones.
+func TestJournalRoundtrip(t *testing.T) {
+	for _, mode := range []string{FsyncOff, FsyncBatched, FsyncAlways} {
+		t.Run(mode, func(t *testing.T) {
+			st, _, dir := openTemp(t, Options{Fsync: mode, BatchWindow: time.Millisecond})
+			mgr := session.NewManager(session.Config{Journal: st, CostPerHIT: 0.05})
+
+			kept, err := mgr.Create("join", joinTask, session.CreateOptions{MaxCost: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := kept.Answer([]session.Answer{
+				{Item: json.RawMessage(`{"left":0,"right":0}`), Positive: true},
+			}, session.ReconcileNone); err != nil {
+				t.Fatal(err)
+			}
+			gone, err := mgr.Create("path", pathTask, session.CreateOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mgr.Delete(gone.ID()); err != nil {
+				t.Fatal(err)
+			}
+			wantSnap, _ := json.Marshal(kept.Snapshot())
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			st2, snaps, err := Open(dir, Options{Fsync: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer st2.Close()
+			if len(snaps) != 1 || snaps[0].ID != kept.ID() {
+				t.Fatalf("recovered %d sessions (want the undeleted one): %+v", len(snaps), snaps)
+			}
+			mgr2 := session.NewManager(session.Config{Journal: st2, CostPerHIT: 0.05})
+			if n, err := mgr2.Recover(snaps); n != 1 || err != nil {
+				t.Fatalf("Recover = %d, %v", n, err)
+			}
+			back, err := mgr2.Get(kept.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSnap, _ := json.Marshal(back.Snapshot())
+			if string(gotSnap) != string(wantSnap) {
+				t.Errorf("recovered snapshot differs:\n got %s\nwant %s", gotSnap, wantSnap)
+			}
+			if _, err := mgr2.Get(gone.ID()); !errors.Is(err, session.ErrNotFound) {
+				t.Errorf("deleted session resurrected: %v", err)
+			}
+			if stats := mgr2.Stats(); stats.Recovered != 1 || stats.Resumed != 0 {
+				t.Errorf("recovery counted as %+v", stats)
+			}
+		})
+	}
+}
+
+// TestAlwaysModeIsDurablePerAppend: in always mode no append may return
+// before an fsync covers it, so the journal lag is zero at every quiescent
+// point.
+func TestAlwaysModeIsDurablePerAppend(t *testing.T) {
+	st, _, _ := openTemp(t, Options{Fsync: FsyncAlways})
+	defer st.Close()
+	mgr := session.NewManager(session.Config{Journal: st})
+	if _, err := mgr.Create("join", joinTask, session.CreateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	stats := st.Stats()
+	if stats.Lag != 0 {
+		t.Errorf("always-mode lag = %d after create", stats.Lag)
+	}
+	if stats.Fsyncs == 0 {
+		t.Errorf("always mode never fsynced")
+	}
+}
+
+// TestCompactionFoldsTail: compaction rewrites the journal as snapshot
+// records, zeroing the tail and preserving state across a reopen.
+func TestCompactionFoldsTail(t *testing.T) {
+	st, _, dir := openTemp(t, Options{Fsync: FsyncOff})
+	mgr := session.NewManager(session.Config{Journal: st})
+	s, err := mgr.Create("join", joinTask, session.CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, item := range []string{`{"left":0,"right":0}`, `{"left":0,"right":1}`} {
+		if _, err := s.Answer([]session.Answer{
+			{Item: json.RawMessage(item), Positive: item == `{"left":0,"right":0}`},
+		}, session.ReconcileNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Stats().TailEvents != 3 {
+		t.Fatalf("tail events = %d, want 3 (create + 2 answers)", st.Stats().TailEvents)
+	}
+	n, err := mgr.Compact()
+	if n != 1 || err != nil {
+		t.Fatalf("Compact = %d, %v", n, err)
+	}
+	stats := st.Stats()
+	if stats.TailEvents != 0 {
+		t.Errorf("tail events after compaction = %d", stats.TailEvents)
+	}
+	if stats.LastCompaction == nil || stats.LastCompaction.Sessions != 1 {
+		t.Errorf("compaction stats = %+v", stats.LastCompaction)
+	}
+	if stats.Lag != 0 {
+		t.Errorf("lag after compaction = %d (rewrite is fsynced)", stats.Lag)
+	}
+	wantSnap, _ := json.Marshal(s.Snapshot())
+	st.Close()
+
+	st2, snaps, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(snaps) != 1 {
+		t.Fatalf("recovered %d sessions after compaction", len(snaps))
+	}
+	gotSnap, _ := json.Marshal(snaps[0])
+	if string(gotSnap) != string(wantSnap) {
+		t.Errorf("compacted snapshot differs:\n got %s\nwant %s", gotSnap, wantSnap)
+	}
+}
+
+// TestMutationsSurviveWithoutClose: every mode writes through to the OS per
+// append, so a SIGKILL (no Close, no fsync) loses nothing on a surviving
+// filesystem.
+func TestMutationsSurviveWithoutClose(t *testing.T) {
+	st, _, dir := openTemp(t, Options{Fsync: FsyncOff})
+	mgr := session.NewManager(session.Config{Journal: st})
+	s, err := mgr.Create("join", joinTask, session.CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No flush, no compaction: die as a SIGKILL would.
+	st.Abandon()
+	st2, snaps, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(snaps) != 1 || snaps[0].ID != s.ID() {
+		t.Fatalf("unsynced create lost: %+v", snaps)
+	}
+}
+
+// TestSecondOpenRefused: two stores on one data dir would rename journals
+// out from under each other; the directory flock turns that into a loud
+// startup failure, released by Close (and by process death).
+func TestSecondOpenRefused(t *testing.T) {
+	st, _, dir := openTemp(t, Options{Fsync: FsyncOff})
+	if _, _, err := Open(dir, Options{Fsync: FsyncOff}); err == nil ||
+		!strings.Contains(err.Error(), "already in use") {
+		t.Fatalf("second Open on a live dir = %v, want in-use error", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, err := Open(dir, Options{Fsync: FsyncOff})
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	st2.Close()
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	st, _, _ := openTemp(t, Options{Fsync: FsyncBatched, BatchWindow: time.Millisecond})
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(session.Event{Kind: session.EventDelete, ID: "x"}); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close = %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+// TestRecoveryDropsCorruptTail flips a byte in the middle of the last record
+// (CRC failure, not truncation) and checks recovery keeps the prefix.
+func TestRecoveryDropsCorruptTail(t *testing.T) {
+	st, _, dir := openTemp(t, Options{Fsync: FsyncOff})
+	mgr := session.NewManager(session.Config{Journal: st})
+	s, err := mgr.Create("join", joinTask, session.CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preSize := journalSize(t, dir)
+	if _, err := s.Answer([]session.Answer{
+		{Item: json.RawMessage(`{"left":0,"right":0}`), Positive: true},
+	}, session.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+
+	st.Abandon()
+	path := filepath.Join(dir, journalName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[preSize+recordHeaderSize+2] ^= 0xff // corrupt the tail record's payload
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, snaps, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if len(snaps) != 1 || len(snaps[0].Answers) != 0 {
+		t.Fatalf("recovered %+v, want the pre-corruption create only", snaps)
+	}
+	stats := st2.Stats()
+	if !strings.Contains(stats.Recovered.TornTail, "CRC mismatch") {
+		t.Errorf("torn tail reason = %q", stats.Recovered.TornTail)
+	}
+	if stats.Recovered.DroppedBytes == 0 {
+		t.Errorf("dropped bytes not reported: %+v", stats.Recovered)
+	}
+}
+
+func journalSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	fi, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fi.Size()
+}
