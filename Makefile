@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: all build test vet bench-smoke bench-json fuzz-smoke examples ci
+.PHONY: all build test vet bench-smoke bench-json fuzz-smoke examples api-check ci
 
 all: build
 
@@ -41,4 +41,15 @@ examples:
 	$(GO) run ./examples/geopaths
 	$(GO) run ./examples/xmlshred
 
-ci: build vet test bench-smoke fuzz-smoke examples
+# Guard the public SDK surface: build the external consumer module (a
+# separate go.mod importing only pkg/api + pkg/client, the way a third
+# party would) and fail if pkg/ ever grows a dependency on internal/.
+api-check:
+	cd examples/apicheck && $(GO) build -o /dev/null .
+	@leaks=$$($(GO) list -deps ./pkg/... | grep '^querylearn/internal' || true); \
+	if [ -n "$$leaks" ]; then \
+		echo "pkg/ must not depend on internal/ (the SDK would drag private types):"; \
+		echo "$$leaks"; exit 1; \
+	fi
+
+ci: build vet test bench-smoke fuzz-smoke examples api-check

@@ -20,7 +20,6 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -41,6 +40,8 @@ import (
 	"querylearn/internal/session"
 	"querylearn/internal/store"
 	"querylearn/internal/xmltree"
+	"querylearn/pkg/api"
+	"querylearn/pkg/client"
 )
 
 // hardenServer applies the slowloris and slow-drain guards every listener
@@ -108,6 +109,7 @@ func run(args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "journal live sessions under this directory and recover them on restart (empty = in-memory only)")
 	fsync := fs.String("fsync", store.FsyncBatched, "journal durability: off (OS decides), batched (background group commit), always (fsync per mutation)")
 	compactEvery := fs.Duration("compact-every", 5*time.Minute, "rewrite the journal as snapshots this often (0 = only at boot)")
+	batch := fs.Int("batch", 1, "replay mode: questions fetched and answered per round-trip (parallel crowd dispatch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -127,7 +129,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return replay(rest[1], string(data), cfg, out)
+		return replay(rest[1], string(data), cfg, *batch, out)
 	}
 	return fmt.Errorf("usage: querylearnd [flags] [replay {twig|join|path|schema} <task-file>]")
 }
@@ -218,12 +220,18 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 // oracleFunc answers a question item; the batch-learned goal plays the user.
 type oracleFunc func(item json.RawMessage) (bool, error)
 
-// replay drives one full interactive run over HTTP. It returns an error if
-// the dialogue fails; the learned hypothesis and transcript go to out.
-func replay(model, taskSrc string, cfg session.Config, out io.Writer) error {
+// replay drives one full interactive run over HTTP via the pkg/client SDK.
+// It returns an error if the dialogue fails; the learned hypothesis and
+// transcript go to out. With batch > 1 each round fetches up to that many
+// questions at once and answers them as one batch — the paper's parallel
+// crowd dispatch.
+func replay(model, taskSrc string, cfg session.Config, batch int, out io.Writer) error {
 	seedTask, oracle, goal, err := prepareReplay(model, taskSrc)
 	if err != nil {
 		return err
+	}
+	if batch < 1 || batch > api.MaxQuestionBatch {
+		return fmt.Errorf("-batch must be in [1, %d]", api.MaxQuestionBatch)
 	}
 
 	mgr := session.NewManager(cfg)
@@ -235,40 +243,46 @@ func replay(model, taskSrc string, cfg session.Config, out io.Writer) error {
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(out, "replaying %s task against %s\n", model, base)
+	fmt.Fprintf(out, "replaying %s task against %s (batch %d)\n", model, base, batch)
 	fmt.Fprintf(out, "goal (batch-learned in-process): %s\n", indentLines(goal))
 
-	client := &http.Client{Timeout: 30 * time.Second}
-	id, err := createSession(client, base, model, seedTask)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	c := client.New(base, client.WithHTTPClient(&http.Client{Timeout: 30 * time.Second}))
+	created, err := c.Create(ctx, api.CreateRequest{Model: model, Task: seedTask})
 	if err != nil {
-		return err
+		return fmt.Errorf("create: %w", err)
 	}
 	questions := 0
 	for {
-		q, done, err := nextQuestion(client, base, id)
+		qs, err := c.Questions(ctx, created.ID, batch)
 		if err != nil {
-			return err
+			return fmt.Errorf("questions: %w", err)
 		}
-		if done {
+		if len(qs) == 0 {
 			break
 		}
-		ans, err := oracle(q.Item)
-		if err != nil {
-			return err
+		answers := make([]api.Answer, 0, len(qs))
+		for _, q := range qs {
+			ans, err := oracle(q.Item)
+			if err != nil {
+				return err
+			}
+			questions++
+			verdict := "no"
+			if ans {
+				verdict = "yes"
+			}
+			fmt.Fprintf(out, "Q%d (%d open) %s -> %s\n", questions, q.Remaining, q.Prompt, verdict)
+			answers = append(answers, api.Answer{Item: q.Item, Positive: ans})
 		}
-		questions++
-		verdict := "no"
-		if ans {
-			verdict = "yes"
-		}
-		fmt.Fprintf(out, "Q%d (%d open) %s -> %s\n", questions, q.Remaining, q.Prompt, verdict)
-		if err := postAnswer(client, base, id, q.Item, ans); err != nil {
-			return err
+		if _, err := c.Answers(ctx, created.ID, answers, api.ReconcileNone); err != nil {
+			return fmt.Errorf("answers: %w", err)
 		}
 	}
-	hyp, err := getHypothesis(client, base, id)
+	hyp, err := c.Hypothesis(ctx, created.ID)
 	if err != nil {
-		return err
+		return fmt.Errorf("query: %w", err)
 	}
 	fmt.Fprintf(out, "converged after %d questions\n", questions)
 	fmt.Fprintf(out, "learned over HTTP: %s\n", indentLines(hyp.Query))
@@ -460,91 +474,6 @@ func prepareSchema(src string) (string, oracleFunc, string, error) {
 		return goal.Valid(doc), nil
 	}
 	return seedTask, oracle, goal.String(), nil
-}
-
-// ---- HTTP client helpers ----
-
-func createSession(c *http.Client, base, model, task string) (string, error) {
-	body, _ := json.Marshal(map[string]any{"model": model, "task": task})
-	resp, err := c.Post(base+"/sessions", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return "", err
-	}
-	defer resp.Body.Close()
-	var created struct {
-		ID    string `json:"id"`
-		Error *struct {
-			Code    string `json:"code"`
-			Message string `json:"message"`
-		} `json:"error"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
-		return "", err
-	}
-	if created.Error != nil {
-		return "", fmt.Errorf("create: %s: %s", created.Error.Code, created.Error.Message)
-	}
-	return created.ID, nil
-}
-
-func nextQuestion(c *http.Client, base, id string) (session.Question, bool, error) {
-	resp, err := c.Get(base + "/sessions/" + id + "/question")
-	if err != nil {
-		return session.Question{}, false, err
-	}
-	defer resp.Body.Close()
-	var qr struct {
-		Done     bool              `json:"done"`
-		Question *session.Question `json:"question"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
-		return session.Question{}, false, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return session.Question{}, false, fmt.Errorf("question: HTTP %d", resp.StatusCode)
-	}
-	if qr.Done || qr.Question == nil {
-		return session.Question{}, true, nil
-	}
-	return *qr.Question, false, nil
-}
-
-func postAnswer(c *http.Client, base, id string, item json.RawMessage, positive bool) error {
-	body, _ := json.Marshal(map[string]any{
-		"answers": []map[string]any{{"item": item, "positive": positive}},
-	})
-	resp, err := c.Post(base+"/sessions/"+id+"/answers", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error struct {
-				Code    string `json:"code"`
-				Message string `json:"message"`
-			} `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("answers: HTTP %d %s: %s", resp.StatusCode, e.Error.Code, e.Error.Message)
-	}
-	return nil
-}
-
-func getHypothesis(c *http.Client, base, id string) (session.Hypothesis, error) {
-	resp, err := c.Get(base + "/sessions/" + id + "/query")
-	if err != nil {
-		return session.Hypothesis{}, err
-	}
-	defer resp.Body.Close()
-	var h session.Hypothesis
-	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
-		return session.Hypothesis{}, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return session.Hypothesis{}, fmt.Errorf("query: HTTP %d", resp.StatusCode)
-	}
-	return h, nil
 }
 
 // indentLines keeps multi-line hypotheses (schemas) readable in the

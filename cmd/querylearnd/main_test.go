@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -13,6 +14,8 @@ import (
 	"querylearn/internal/server"
 	"querylearn/internal/session"
 	"querylearn/internal/store"
+	"querylearn/pkg/api"
+	"querylearn/pkg/client"
 )
 
 var replayTasks = map[string]string{
@@ -113,26 +116,21 @@ func TestDaemonKillRecovery(t *testing.T) {
 	}
 	ts := httptest.NewServer(server.New(mgr, server.WithStore(st.Stats)).Handler())
 
-	// Start a dialogue and answer one question over the wire.
-	body, _ := json.Marshal(map[string]any{"model": "join", "task": replayTasks["join"]})
-	resp, err := ts.Client().Post(ts.URL+"/sessions", "application/json", bytes.NewReader(body))
+	// Start a dialogue and answer one question over the wire, through the
+	// public SDK (the supported client surface).
+	ctx := context.Background()
+	sdk := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+	created, err := sdk.Create(ctx, api.CreateRequest{Model: "join", Task: replayTasks["join"]})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var created struct{ ID string }
-	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+	if _, err := sdk.Answers(ctx, created.ID, []api.Answer{
+		{Item: json.RawMessage(`{"left":1,"right":1}`), Positive: false},
+	}, api.ReconcileNone); err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
-	ans, _ := json.Marshal(map[string]any{"answers": []map[string]any{
-		{"item": json.RawMessage(`{"left":1,"right":1}`), "positive": false},
-	}})
-	if resp, err = ts.Client().Post(ts.URL+"/sessions/"+created.ID+"/answers", "application/json", bytes.NewReader(ans)); err != nil {
-		t.Fatal(err)
-	}
-	resp.Body.Close()
-	wantSnap := httpGet(t, ts, "/sessions/"+created.ID+"/snapshot")
-	wantHyp := httpGet(t, ts, "/sessions/"+created.ID+"/query")
+	wantSnap := httpGet(t, ts, "/v1/sessions/"+created.ID+"/snapshot")
+	wantHyp := httpGet(t, ts, "/v1/sessions/"+created.ID+"/query")
 
 	// SIGKILL: the server vanishes, the store never flushes, compacts, or
 	// closes; the OS releases its directory lock.
@@ -147,10 +145,10 @@ func TestDaemonKillRecovery(t *testing.T) {
 	ts2 := httptest.NewServer(server.New(mgr2, server.WithStore(st2.Stats)).Handler())
 	defer ts2.Close()
 
-	if got := httpGet(t, ts2, "/sessions/"+created.ID+"/snapshot"); got != wantSnap {
+	if got := httpGet(t, ts2, "/v1/sessions/"+created.ID+"/snapshot"); got != wantSnap {
 		t.Errorf("snapshot diverged across kill/restart:\n got %s\nwant %s", got, wantSnap)
 	}
-	if got := httpGet(t, ts2, "/sessions/"+created.ID+"/query"); got != wantHyp {
+	if got := httpGet(t, ts2, "/v1/sessions/"+created.ID+"/query"); got != wantHyp {
 		t.Errorf("hypothesis diverged across kill/restart:\n got %s\nwant %s", got, wantHyp)
 	}
 

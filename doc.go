@@ -16,13 +16,25 @@
 // claim-by-claim reproduction record.
 //
 // The serving stack layers the interactive loop into a durable daemon; each
-// layer only sees the one below it:
+// layer only sees the one below it, and both ends of the wire share one
+// protocol definition:
 //
+//	pkg/client           typed Go SDK over the /v1 protocol: context-aware,
+//	        │            retries 503s, generates Idempotency-Keys so
+//	        │            retried writes are safe (external consumers,
+//	        │            the replay driver, and the experiments all use it)
+//	        ▼
+//	pkg/api              the v1 wire protocol: request/response bodies,
+//	        │            question/answer/snapshot types, stable error
+//	        │            codes — imported by both sides (internal/session
+//	        ▼            aliases these types as its dialogue vocabulary)
 //	cmd/querylearnd      daemon: flags, boot-time recovery, TTL sweep and
 //	        │            compaction timers, hardened http.Server, final
 //	        │            flush on graceful shutdown
 //	        ▼
-//	internal/server      JSON HTTP API over the sessions; /metrics and
+//	internal/server      versioned JSON HTTP API (/v1/...) over the
+//	        │            sessions, with batch question dispatch, paginated
+//	        │            listing, and idempotent writes; /metrics and
 //	        │            /healthz surface manager counters and, when
 //	        │            durable, the store's journal-lag/compaction block
 //	        ▼
@@ -34,4 +46,16 @@
 //	                     CRC-checked JSON records, group-commit fsync,
 //	                     snapshot compaction; recovery folds the log into
 //	                     session.Snapshots that Manager.Recover replays
+//
+// Legacy-route deprecation policy: the pre-v1 unversioned routes (POST
+// /sessions, GET /sessions/{id}/question, ...) remain as thin aliases of
+// their /v1 successors. They answer identically but set a "Deprecation:
+// true" header plus a Link to the successor route, keep lax request
+// decoding for old clients (no Content-Type requirement, unknown body
+// fields ignored — where /v1 demands application/json and rejects unknown
+// fields), and do not gain v1-only features (batch questions, session
+// listing, idempotency keys; the Idempotency-Key header is ignored on
+// aliases). Aliases are removed no earlier than two minor releases after v1;
+// the deprecated_requests counter in GET /metrics tracks remaining legacy
+// traffic.
 package querylearn

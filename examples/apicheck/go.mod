@@ -1,0 +1,12 @@
+// An intentionally external module: it consumes querylearn the way a
+// third-party crowd frontend would, importing only pkg/api and pkg/client.
+// `make api-check` builds it to prove the public SDK surface compiles from
+// outside the module (and the paired `go list -deps` check proves pkg/
+// does not depend on internal/).
+module querylearn.example/apicheck
+
+go 1.24
+
+require querylearn v0.0.0
+
+replace querylearn => ../..

@@ -1,0 +1,74 @@
+// Command apicheck is the external-consumer compile check for the public
+// SDK: a separate Go module that imports only querylearn/pkg/api and
+// querylearn/pkg/client, exercising the typed surface a third-party crowd
+// frontend would use. It is built (not run) by `make api-check`; running it
+// against a live daemon drives one tiny join dialogue.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"querylearn/pkg/api"
+	"querylearn/pkg/client"
+)
+
+const task = `left P id,city
+lrow 1,lille
+lrow 2,paris
+right O buyer,place
+rrow 1,lille
+rrow 2,rome
+`
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "querylearnd base URL")
+	flag.Parse()
+	if err := run(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(base string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	c := client.New(base, client.WithRetry(2, 100*time.Millisecond))
+
+	created, err := c.Create(ctx, api.CreateRequest{Model: "join", Task: task, MaxCost: 5})
+	if err != nil {
+		if api.IsCode(err, api.CodeTooManySessions) {
+			return fmt.Errorf("daemon is at capacity, try later: %w", err)
+		}
+		return err
+	}
+	fmt.Printf("session %s (%s)\n", created.ID, created.Model)
+
+	for {
+		qs, err := c.Questions(ctx, created.ID, api.MaxQuestionBatch)
+		if err != nil {
+			return err
+		}
+		if len(qs) == 0 {
+			break
+		}
+		answers := make([]api.Answer, len(qs))
+		for i, q := range qs {
+			fmt.Printf("  Q: %s\n", q.Prompt)
+			// The "crowd" of this example says yes to the first pair only.
+			answers[i] = api.Answer{Item: q.Item, Positive: i == 0 && q.Remaining == len(qs)}
+		}
+		if _, err := c.Answers(ctx, created.ID, answers, api.ReconcileNone); err != nil {
+			return err
+		}
+	}
+	hyp, err := c.Hypothesis(ctx, created.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("learned: %s\n", hyp.Query)
+	return c.Delete(ctx, created.ID)
+}

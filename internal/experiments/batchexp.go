@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"querylearn/internal/graph"
+	"querylearn/internal/server"
+	"querylearn/internal/session"
+	"querylearn/pkg/api"
+	"querylearn/pkg/client"
+)
+
+// t13WireLatency is the simulated per-request wire latency. An in-process
+// httptest server makes round-trips unrealistically free; the paper's crowd
+// scenario pays real network (and human) latency per round, which is exactly
+// the cost batched question dispatch amortizes. 2ms is a conservative
+// same-region RTT.
+const t13WireLatency = 2 * time.Millisecond
+
+// latencyTransport delays every request by a fixed wire latency.
+type latencyTransport struct {
+	base  http.RoundTripper
+	delay time.Duration
+}
+
+func (t latencyTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	time.Sleep(t.delay)
+	return t.base.RoundTrip(r)
+}
+
+// t13Oracle labels one wire item for a T13 task.
+type t13Oracle func(item json.RawMessage) (bool, error)
+
+// t13JoinTask builds an 8x8 join task (goal: id=buyer & city=place, with
+// positives exactly on the diagonal) whose candidate space comfortably
+// exceeds one 16-question batch.
+func t13JoinTask() (string, t13Oracle) {
+	const n = 8
+	var b strings.Builder
+	b.WriteString("left P id,city\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "lrow %d,c%d\n", i+1, i%3)
+	}
+	b.WriteString("right O buyer,place\n")
+	for j := 0; j < n; j++ {
+		fmt.Fprintf(&b, "rrow %d,c%d\n", j+1, j%3)
+	}
+	oracle := func(item json.RawMessage) (bool, error) {
+		var it struct{ Left, Right int }
+		if err := json.Unmarshal(item, &it); err != nil {
+			return false, err
+		}
+		// id==buyer iff same index; city==place iff same index mod 3.
+		return it.Left == it.Right, nil
+	}
+	return b.String(), oracle
+}
+
+// t13PathTask generates a T8-style geographic graph and renders it as a
+// session task seeded with a goal-selected pair (goal: highway.road*).
+func t13PathTask() (string, t13Oracle, error) {
+	goal := graph.MustParsePathQuery("highway.road*")
+	const n = 60
+	var g *graph.Graph
+	var seed graph.Pair
+	bestLen := 0
+	for s := int64(1); s < 60; s++ {
+		cand := graph.GenerateGeo(s*n, n)
+		if p, ok := mixedSeed(cand, goal); ok {
+			if w := cand.ShortestWord(p.Src, p.Dst); len(w) > bestLen {
+				g, seed, bestLen = cand, p, len(w)
+			}
+		}
+	}
+	if g == nil {
+		return "", nil, fmt.Errorf("no generator seed yielded a usable goal pair")
+	}
+	var b strings.Builder
+	for _, e := range g.Triples() {
+		fmt.Fprintf(&b, "edge %s %s %s\n", e.From, e.Label, e.To)
+	}
+	fmt.Fprintf(&b, "pos %s %s\n", g.Node(seed.Src), g.Node(seed.Dst))
+	oracle := func(item json.RawMessage) (bool, error) {
+		var it struct{ Src, Dst string }
+		if err := json.Unmarshal(item, &it); err != nil {
+			return false, err
+		}
+		src, dst := g.NodeIndex(it.Src), g.NodeIndex(it.Dst)
+		if src < 0 || dst < 0 {
+			return false, fmt.Errorf("unknown node pair (%s, %s)", it.Src, it.Dst)
+		}
+		return g.Selects(goal, src, dst), nil
+	}
+	return b.String(), oracle, nil
+}
+
+// t13SchemaTask builds a wide single-document schema task: ten child labels
+// give a ~20-question mutation frontier. The goal accepts any document with
+// root r and at least one of every label (li+ for all i).
+func t13SchemaTask() (string, t13Oracle) {
+	const labels = 10
+	var b strings.Builder
+	b.WriteString("doc <r>")
+	for i := 0; i < labels; i++ {
+		fmt.Fprintf(&b, "<l%d/>", i)
+	}
+	b.WriteString("</r>\n")
+	oracle := func(item json.RawMessage) (bool, error) {
+		var it struct{ Doc string }
+		if err := json.Unmarshal(item, &it); err != nil {
+			return false, err
+		}
+		for i := 0; i < labels; i++ {
+			if !strings.Contains(it.Doc, fmt.Sprintf("<l%d/>", i)) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	return b.String(), oracle
+}
+
+// T13BatchDialogues measures the win of the /v1 batch question surface: the
+// same dialogues driven at batch sizes k ∈ {1, 4, 16} through the SDK, as
+// labels ingested per second and convergence round-trips.
+func T13BatchDialogues(scale int) *Table {
+	t := &Table{
+		ID:    "T13",
+		Title: "parallel question batches over /v1 (GET questions?n=k)",
+		Claim: "batched question dispatch amortizes the round-trip cost of the crowd loop: " +
+			"k=16 converges in fewer round-trips and ingests labels faster than k=1",
+		Header: []string{"model", "k", "sessions", "labels", "round trips", "elapsed ms", "labels/s", "vs k=1"},
+	}
+	dialogues := 2 * scale
+	if dialogues < 2 {
+		dialogues = 2
+	}
+	type fixture struct {
+		model  string
+		task   string
+		oracle t13Oracle
+	}
+	var fixtures []fixture
+	joinTask, joinOracle := t13JoinTask()
+	fixtures = append(fixtures, fixture{"join", joinTask, joinOracle})
+	if pathTask, pathOracle, err := t13PathTask(); err == nil {
+		fixtures = append(fixtures, fixture{"path", pathTask, pathOracle})
+	} else {
+		t.Notes = append(t.Notes, "path fixture unavailable: "+err.Error())
+	}
+	schemaTask, schemaOracle := t13SchemaTask()
+	fixtures = append(fixtures, fixture{"schema", schemaTask, schemaOracle})
+
+	for _, f := range fixtures {
+		var baseRate float64
+		for _, k := range []int{1, 4, 16} {
+			labels, rts, elapsed, err := runBatchBench(f.model, f.task, f.oracle, k, dialogues)
+			if err != nil {
+				t.Rows = append(t.Rows, []string{f.model, fmt.Sprint(k), "ERROR", err.Error(), "", "", "", ""})
+				continue
+			}
+			rate := float64(labels) / elapsed.Seconds()
+			vs := ""
+			if k == 1 {
+				baseRate = rate
+			} else if baseRate > 0 {
+				vs = fmt.Sprintf("%.1fx", rate/baseRate)
+			}
+			t.Rows = append(t.Rows, []string{
+				f.model, fmt.Sprint(k), fmt.Sprint(dialogues), fmt.Sprint(labels),
+				fmt.Sprint(rts), fmt.Sprintf("%.1f", elapsed.Seconds()*1000),
+				fmt.Sprintf("%.0f", rate), vs,
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("every request carries a simulated %s wire latency; in-process httptest is otherwise unrealistically free", t13WireLatency),
+		"round trips count the convergence loop only (questions fetches + answer posts), not create/delete",
+		"k>1 submits every fetched question's label in one batch — some labels are redundant by the time they apply, the crowd-parallelism trade of §3",
+	)
+	return t
+}
+
+// runBatchBench drives `dialogues` sequential sessions at batch size k and
+// returns total labels submitted, convergence-loop round trips, and elapsed
+// wall-clock.
+func runBatchBench(model, task string, oracle t13Oracle, k, dialogues int) (labels, roundTrips int, elapsed time.Duration, err error) {
+	mgr := session.NewManager(session.Config{Shards: 16})
+	ts := httptest.NewServer(server.New(mgr).Handler())
+	defer ts.Close()
+	hc := &http.Client{Transport: latencyTransport{base: http.DefaultTransport, delay: t13WireLatency}}
+	sdk := client.New(ts.URL, client.WithHTTPClient(hc))
+	ctx := context.Background()
+
+	start := time.Now()
+	for d := 0; d < dialogues; d++ {
+		created, cerr := sdk.Create(ctx, api.CreateRequest{Model: model, Task: task})
+		if cerr != nil {
+			return 0, 0, 0, cerr
+		}
+		for rounds := 0; ; rounds++ {
+			if rounds > 10000 {
+				return 0, 0, 0, fmt.Errorf("%s k=%d did not converge", model, k)
+			}
+			qs, qerr := sdk.Questions(ctx, created.ID, k)
+			roundTrips++
+			if qerr != nil {
+				return 0, 0, 0, qerr
+			}
+			if len(qs) == 0 {
+				break
+			}
+			batch := make([]api.Answer, 0, len(qs))
+			for _, q := range qs {
+				positive, oerr := oracle(q.Item)
+				if oerr != nil {
+					return 0, 0, 0, oerr
+				}
+				batch = append(batch, api.Answer{Item: q.Item, Positive: positive})
+			}
+			if _, aerr := sdk.Answers(ctx, created.ID, batch, api.ReconcileNone); aerr != nil {
+				return 0, 0, 0, aerr
+			}
+			roundTrips++
+			labels += len(batch)
+		}
+		if derr := sdk.Delete(ctx, created.ID); derr != nil {
+			return 0, 0, 0, derr
+		}
+	}
+	return labels, roundTrips, time.Since(start), nil
+}

@@ -221,8 +221,8 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full sweep in short mode")
 	}
 	tables := All(1)
-	if len(tables) != 13 {
-		t.Errorf("All returned %d tables, want 13", len(tables))
+	if len(tables) != 14 {
+		t.Errorf("All returned %d tables, want 14", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {

@@ -1,10 +1,9 @@
 package experiments
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
-	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sync"
@@ -13,6 +12,8 @@ import (
 
 	"querylearn/internal/server"
 	"querylearn/internal/session"
+	"querylearn/pkg/api"
+	"querylearn/pkg/client"
 )
 
 // Fixture tasks for the service benchmark: small enough that one dialogue is
@@ -56,7 +57,8 @@ func svcAnswer(model string, item json.RawMessage) bool {
 
 // T11ServiceThroughput measures the interactive learning service end to end:
 // full create→question→answer→query→delete dialogues against an in-process
-// HTTP server, reported as sessions/sec and answers/sec.
+// HTTP server, driven through the pkg/client SDK over the /v1 protocol,
+// reported as sessions/sec and answers/sec.
 func T11ServiceThroughput(scale int) *Table {
 	t := &Table{
 		ID:     "T11",
@@ -91,7 +93,7 @@ func T11ServiceThroughput(scale int) *Table {
 		})
 	}
 	t.Notes = append(t.Notes,
-		"each session is a full HTTP dialogue: create, question/answer to convergence, query, delete",
+		"each session is a full /v1 dialogue through the pkg/client SDK: create, question/answer to convergence, delete",
 		"in-process httptest server; numbers measure the serving stack, not network latency")
 	return t
 }
@@ -109,9 +111,9 @@ func runServiceBench(model, task string, clients, perClient int) (sessions, answ
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			hc := ts.Client()
+			sdk := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
 			for i := 0; i < perClient; i++ {
-				n, err := runOneDialogue(hc, ts.URL, model, task)
+				n, err := runOneDialogue(sdk, model, task)
 				if err != nil {
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -128,68 +130,27 @@ func runServiceBench(model, task string, clients, perClient int) (sessions, answ
 	return clients * perClient, int(answered.Load()), elapsed, nil
 }
 
-func runOneDialogue(hc *http.Client, base, model, task string) (int, error) {
-	post := func(path string, body any, into any) error {
-		b, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		resp, err := hc.Post(base+path, "application/json", bytes.NewReader(b))
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode/100 != 2 {
-			return fmt.Errorf("POST %s: HTTP %d", path, resp.StatusCode)
-		}
-		if into != nil {
-			return json.NewDecoder(resp.Body).Decode(into)
-		}
-		return nil
-	}
-	var created struct{ ID string }
-	if err := post("/sessions", map[string]any{"model": model, "task": task}, &created); err != nil {
+func runOneDialogue(sdk *client.Client, model, task string) (int, error) {
+	ctx := context.Background()
+	created, err := sdk.Create(ctx, api.CreateRequest{Model: model, Task: task})
+	if err != nil {
 		return 0, err
 	}
 	answers := 0
 	for {
-		resp, err := hc.Get(base + "/sessions/" + created.ID + "/question")
+		q, ok, err := sdk.Question(ctx, created.ID)
 		if err != nil {
 			return answers, err
 		}
-		if resp.StatusCode != http.StatusOK {
-			resp.Body.Close()
-			return answers, fmt.Errorf("GET question: HTTP %d", resp.StatusCode)
-		}
-		var qr struct {
-			Done     bool `json:"done"`
-			Question *struct {
-				Item json.RawMessage `json:"item"`
-			} `json:"question"`
-		}
-		decErr := json.NewDecoder(resp.Body).Decode(&qr)
-		resp.Body.Close()
-		if decErr != nil {
-			return answers, decErr
-		}
-		if qr.Done || qr.Question == nil {
+		if !ok {
 			break
 		}
-		if err := post("/sessions/"+created.ID+"/answers", map[string]any{
-			"answers": []map[string]any{{"item": qr.Question.Item, "positive": svcAnswer(model, qr.Question.Item)}},
-		}, nil); err != nil {
+		if _, err := sdk.Answers(ctx, created.ID, []api.Answer{
+			{Item: q.Item, Positive: svcAnswer(model, q.Item)},
+		}, api.ReconcileNone); err != nil {
 			return answers, err
 		}
 		answers++
 	}
-	req, err := http.NewRequest(http.MethodDelete, base+"/sessions/"+created.ID, nil)
-	if err != nil {
-		return answers, err
-	}
-	resp, err := hc.Do(req)
-	if err != nil {
-		return answers, err
-	}
-	resp.Body.Close()
-	return answers, nil
+	return answers, sdk.Delete(ctx, created.ID)
 }

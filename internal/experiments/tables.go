@@ -86,6 +86,7 @@ func All(scale int) []*Table {
 		T10SchemaLearning,
 		T11ServiceThroughput,
 		T12Durability,
+		T13BatchDialogues,
 		func(int) *Table { return F1ExchangeScenarios() },
 	}
 	out := make([]*Table, 0, len(exps))

@@ -1,0 +1,92 @@
+package server
+
+import "sync"
+
+// idemCacheCap bounds the idempotency store; completed entries are evicted
+// FIFO past the cap. At a few hundred bytes per stored response this holds
+// the window clients actually retry within at well under a couple MB.
+const idemCacheCap = 4096
+
+// idemState is the outcome of reserving an idempotency key.
+type idemState int
+
+const (
+	// idemFresh: the key is new; the caller owns it and must finish or
+	// cancel it.
+	idemFresh idemState = iota
+	// idemReplay: the key completed earlier with the same body; replay the
+	// stored response.
+	idemReplay
+	// idemInFlight: another request holds the key right now.
+	idemInFlight
+	// idemMismatch: the key was used with a different request body.
+	idemMismatch
+)
+
+// idemEntry is one remembered write: the request-body fingerprint it was
+// reserved under and, once done, the rendered 2xx response.
+type idemEntry struct {
+	fingerprint string
+	status      int
+	body        []byte
+	done        bool
+}
+
+// idemCache remembers the first 2xx response of each idempotency key so a
+// retried create/answers replays instead of re-executing. Only completed
+// entries are subject to FIFO eviction; a pending reservation lives until
+// its owner finishes or cancels it.
+type idemCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*idemEntry
+	order   []string // completed keys in finish order, for eviction
+}
+
+func newIdemCache(capacity int) *idemCache {
+	return &idemCache{cap: capacity, entries: make(map[string]*idemEntry)}
+}
+
+// begin reserves key for a request with the given body fingerprint. On
+// idemFresh the caller must call finish or cancel exactly once.
+func (c *idemCache) begin(key, fingerprint string) (*idemEntry, idemState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.entries[key]; ok {
+		switch {
+		case !ent.done:
+			return nil, idemInFlight
+		case ent.fingerprint != fingerprint:
+			return nil, idemMismatch
+		}
+		return ent, idemReplay
+	}
+	c.entries[key] = &idemEntry{fingerprint: fingerprint}
+	return nil, idemFresh
+}
+
+// finish stores the rendered 2xx response under a reserved key.
+func (c *idemCache) finish(key string, status int, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.entries[key]
+	if !ok || ent.done {
+		return
+	}
+	ent.status, ent.body, ent.done = status, body, true
+	c.order = append(c.order, key)
+	for len(c.order) > c.cap {
+		delete(c.entries, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// cancel releases a reserved key after a failed attempt, so the client's
+// retry re-executes instead of replaying a failure.
+func (c *idemCache) cancel(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.entries[key]; ok && !ent.done {
+		delete(c.entries, key)
+	}
+}

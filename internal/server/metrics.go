@@ -3,8 +3,10 @@ package server
 import "sync/atomic"
 
 // endpointNames enumerates the instrumented endpoints in display order.
+// A v1 route and its deprecated legacy alias share one entry; the global
+// deprecated counter separates the dialects.
 var endpointNames = []string{
-	"create", "resume", "status", "question", "answers",
+	"create", "resume", "list", "status", "question", "questions", "answers",
 	"query", "snapshot", "delete", "metrics", "healthz",
 }
 
@@ -18,6 +20,8 @@ type endpointStats struct {
 // construction and never mutated, so counter bumps need no lock.
 type metrics struct {
 	endpoints map[string]*endpointStats
+	// deprecated counts requests served by pre-v1 legacy aliases.
+	deprecated atomic.Int64
 }
 
 func newMetrics() *metrics {

@@ -1,30 +1,48 @@
 // Package server exposes the interactive learning sessions of
-// internal/session over a JSON HTTP API — the wire form of the paper's
-// question/answer loop, built for many concurrent users:
+// internal/session over the versioned JSON HTTP API defined in pkg/api —
+// the wire form of the paper's question/answer loop, built for many
+// concurrent users:
 //
-//	POST   /sessions                  create a session from a task-file body
-//	POST   /sessions/resume           rehydrate a snapshotted session
-//	GET    /sessions/{id}             lifecycle status
-//	GET    /sessions/{id}/question    next informative item (or done)
-//	POST   /sessions/{id}/answers     batched labels, optional majority vote
-//	GET    /sessions/{id}/query       the learned hypothesis
-//	GET    /sessions/{id}/snapshot    persistable session state
-//	DELETE /sessions/{id}             evict
-//	GET    /metrics                   per-endpoint counters + manager stats
-//	GET    /healthz                   liveness
+//	POST   /v1/sessions                   create a session from a task-file body
+//	POST   /v1/sessions/resume            rehydrate a snapshotted session
+//	GET    /v1/sessions                   paginated session list
+//	GET    /v1/sessions/{id}              lifecycle status
+//	GET    /v1/sessions/{id}/question     next informative item (or done)
+//	GET    /v1/sessions/{id}/questions    up to ?n=k distinct informative items
+//	POST   /v1/sessions/{id}/answers      batched labels, optional majority vote
+//	GET    /v1/sessions/{id}/query        the learned hypothesis
+//	GET    /v1/sessions/{id}/snapshot     persistable session state
+//	DELETE /v1/sessions/{id}              evict
+//	GET    /metrics                       per-endpoint counters + manager stats
+//	GET    /healthz                       liveness
 //
-// Errors are structured: {"error":{"code":"...","message":"..."}}.
+// The pre-v1 unversioned routes are kept as thin deprecated aliases: same
+// handlers, a "Deprecation: true" header plus a Link to the /v1 successor,
+// and lax request decoding (unknown body fields ignored) for old clients.
+// /v1 request bodies are decoded strictly — a typo'd field fails loudly.
+//
+// POST /v1/sessions and POST /v1/sessions/{id}/answers honor an
+// Idempotency-Key header so retried writes are safe; see pkg/api.
+//
+// Errors are structured: {"error":{"code":"...","message":"..."}}, with the
+// stable codes enumerated in pkg/api.
 package server
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
+	"strconv"
 
 	"querylearn/internal/session"
 	"querylearn/internal/store"
+	"querylearn/pkg/api"
 )
 
 // maxBodyBytes bounds request bodies; task files and answer batches are
@@ -36,6 +54,7 @@ type Server struct {
 	mgr        *session.Manager
 	metrics    *metrics
 	mux        *http.ServeMux
+	idem       *idemCache
 	storeStats func() store.Stats // nil when running without a durable store
 }
 
@@ -48,91 +67,164 @@ func WithStore(stats func() store.Stats) Option {
 	return func(s *Server) { s.storeStats = stats }
 }
 
-// New wires the routes onto a fresh mux.
+// handler is the inner handler shape; a returned *apiError is rendered as
+// the structured error envelope.
+type handler func(w http.ResponseWriter, r *http.Request) *apiError
+
+// New wires the routes onto a fresh mux: every endpoint under /v1 (strict
+// decoding), the pre-v1 surface as deprecated lax aliases, and the
+// unversioned infra endpoints (/metrics, /healthz).
 func New(mgr *session.Manager, opts ...Option) *Server {
-	s := &Server{mgr: mgr, metrics: newMetrics(), mux: http.NewServeMux()}
+	s := &Server{
+		mgr:     mgr,
+		metrics: newMetrics(),
+		mux:     http.NewServeMux(),
+		idem:    newIdemCache(idemCacheCap),
+	}
 	for _, opt := range opts {
 		opt(s)
 	}
-	s.mux.HandleFunc("POST /sessions", s.wrap("create", s.handleCreate))
-	s.mux.HandleFunc("POST /sessions/resume", s.wrap("resume", s.handleResume))
-	s.mux.HandleFunc("GET /sessions/{id}", s.wrap("status", s.handleStatus))
-	s.mux.HandleFunc("GET /sessions/{id}/question", s.wrap("question", s.handleQuestion))
-	s.mux.HandleFunc("POST /sessions/{id}/answers", s.wrap("answers", s.handleAnswers))
-	s.mux.HandleFunc("GET /sessions/{id}/query", s.wrap("query", s.handleQuery))
-	s.mux.HandleFunc("GET /sessions/{id}/snapshot", s.wrap("snapshot", s.handleSnapshot))
-	s.mux.HandleFunc("DELETE /sessions/{id}", s.wrap("delete", s.handleDelete))
-	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
-	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	// versioned registers a handler factory under /v1 and as a deprecated
+	// legacy alias; the factory is told which dialect it serves.
+	versioned := func(method, path, name string, mk func(v1 bool) handler) {
+		s.mux.HandleFunc(method+" "+api.V1Prefix+path, s.wrap(name, false, mk(true)))
+		s.mux.HandleFunc(method+" "+path, s.wrap(name, true, mk(false)))
+	}
+	versioned("POST", "/sessions", "create", s.handleCreate)
+	versioned("POST", "/sessions/resume", "resume", s.handleResume)
+	versioned("GET", "/sessions/{id}", "status", s.handleStatus)
+	versioned("GET", "/sessions/{id}/question", "question", s.handleQuestion)
+	versioned("POST", "/sessions/{id}/answers", "answers", s.handleAnswers)
+	versioned("GET", "/sessions/{id}/query", "query", s.handleQuery)
+	versioned("GET", "/sessions/{id}/snapshot", "snapshot", s.handleSnapshot)
+	versioned("DELETE", "/sessions/{id}", "delete", s.handleDelete)
+	// v1-only endpoints: the batch-first question surface and the session
+	// list have no legacy form.
+	s.mux.HandleFunc("GET "+api.V1Prefix+"/sessions", s.wrap("list", false, s.handleList))
+	s.mux.HandleFunc("GET "+api.V1Prefix+"/sessions/{id}/questions", s.wrap("questions", false, s.handleQuestions))
+	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", false, s.handleMetrics))
+	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", false, s.handleHealthz))
 	return s
 }
 
 // Handler returns the routed handler, for http.Server and httptest.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// apiError is a structured failure: an HTTP status, a stable machine code,
-// and a human message.
+// apiError is a structured failure: an HTTP status plus the wire error body
+// (stable machine code, human message).
 type apiError struct {
-	Status  int    `json:"-"`
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Status int
+	api.Error
 }
 
 func errf(status int, code, format string, args ...any) *apiError {
-	return &apiError{Status: status, Code: code, Message: fmt.Sprintf(format, args...)}
+	return &apiError{Status: status, Error: api.Error{Code: code, Message: fmt.Sprintf(format, args...)}}
 }
 
 // fromManager maps session-layer sentinels onto wire errors.
 func fromManager(err error) *apiError {
 	switch {
 	case errors.Is(err, session.ErrNotFound):
-		return errf(http.StatusNotFound, "session_not_found", "%v", err)
+		return errf(http.StatusNotFound, api.CodeSessionNotFound, "%v", err)
 	case errors.Is(err, session.ErrTooManySessions):
-		return errf(http.StatusTooManyRequests, "too_many_sessions", "%v", err)
+		return errf(http.StatusTooManyRequests, api.CodeTooManySessions, "%v", err)
 	case errors.Is(err, session.ErrBudgetExhausted):
-		return errf(http.StatusPaymentRequired, "budget_exhausted", "%v", err)
+		return errf(http.StatusPaymentRequired, api.CodeBudgetExhausted, "%v", err)
 	case errors.Is(err, session.ErrFailed):
-		return errf(http.StatusConflict, "session_failed", "%v", err)
+		return errf(http.StatusConflict, api.CodeSessionFailed, "%v", err)
 	case errors.Is(err, session.ErrExists):
-		return errf(http.StatusConflict, "session_exists", "%v", err)
+		return errf(http.StatusConflict, api.CodeSessionExists, "%v", err)
 	case errors.Is(err, session.ErrJournal):
 		// A durability fault is the server's problem, not the client's:
 		// 503 tells well-behaved clients to retry, and keeps disk failures
 		// out of the bad-request metrics.
-		return errf(http.StatusServiceUnavailable, "journal_unavailable", "%v", err)
+		return errf(http.StatusServiceUnavailable, api.CodeJournalUnavailable, "%v", err)
 	}
-	return errf(http.StatusBadRequest, "bad_request", "%v", err)
+	return errf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 }
 
-func (s *Server) wrap(name string, h func(w http.ResponseWriter, r *http.Request) *apiError) http.HandlerFunc {
+// wrap applies the per-endpoint bookkeeping: request/error counters, the
+// body-size cap, and — on legacy aliases — the deprecation headers.
+func (s *Server) wrap(name string, deprecated bool, h handler) http.HandlerFunc {
 	stats := s.metrics.endpoints[name]
 	return func(w http.ResponseWriter, r *http.Request) {
 		stats.requests.Add(1)
+		if deprecated {
+			s.metrics.deprecated.Add(1)
+			w.Header().Set(api.DeprecationHeader, "true")
+			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", api.V1Prefix, r.URL.Path))
+		}
 		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 		if e := h(w, r); e != nil {
 			stats.errors.Add(1)
-			writeJSON(w, e.Status, map[string]any{"error": e})
+			writeJSON(w, e.Status, api.ErrorResponse{Error: &e.Error})
 		}
 	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v) // the status line is already out; nothing to do on error
+	b, err := marshalBody(v)
+	if err != nil {
+		// Our own response types always marshal; defend anyway.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeRaw(w, status, b)
 }
 
-func readJSON(r *http.Request, into any) *apiError {
+// writeRaw emits pre-rendered JSON — the shared tail of the normal path and
+// an idempotent replay, so both produce byte-identical responses.
+func writeRaw(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body) // the status line is already out; nothing to do on error
+}
+
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// readJSON consumes a POST body: on /v1 it enforces a JSON Content-Type
+// (415 otherwise) and decodes strictly (unknown fields rejected); legacy
+// aliases stay fully lax so pre-v1 clients keep working unchanged. Both
+// dialects map the body-size cap onto 413 instead of a generic bad-body
+// 400. The raw bytes are returned for idempotency fingerprinting.
+func readJSON(r *http.Request, strict bool, into any) ([]byte, *apiError) {
+	if strict {
+		ct := r.Header.Get("Content-Type")
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || (mt != "application/json" && !isJSONSuffix(mt)) {
+			return nil, errf(http.StatusUnsupportedMediaType, api.CodeUnsupportedMediaType,
+				"Content-Type %q is not JSON (want application/json)", ct)
+		}
+	}
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
-		return errf(http.StatusBadRequest, "bad_body", "reading body: %v", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, errf(http.StatusRequestEntityTooLarge, api.CodeBodyTooLarge,
+				"request body exceeds %d bytes", mbe.Limit)
+		}
+		return nil, errf(http.StatusBadRequest, api.CodeBadBody, "reading body: %v", err)
 	}
-	if err := json.Unmarshal(body, into); err != nil {
-		return errf(http.StatusBadRequest, "bad_json", "decoding body: %v", err)
+	dec := json.NewDecoder(bytes.NewReader(body))
+	if strict {
+		dec.DisallowUnknownFields()
 	}
-	return nil
+	if err := dec.Decode(into); err != nil {
+		return nil, errf(http.StatusBadRequest, api.CodeBadJSON, "decoding body: %v", err)
+	}
+	return body, nil
+}
+
+// isJSONSuffix accepts structured-syntax JSON media types (application/foo+json).
+func isJSONSuffix(mt string) bool {
+	const suffix = "+json"
+	return len(mt) > len(suffix) && mt[len(mt)-len(suffix):] == suffix
 }
 
 func (s *Server) get(r *http.Request) (*session.Session, *apiError) {
@@ -143,149 +235,239 @@ func (s *Server) get(r *http.Request) (*session.Session, *apiError) {
 	return sess, nil
 }
 
-// createRequest is the POST /sessions body.
-type createRequest struct {
-	Model string `json:"model"`
-	// Task is a task-file body in cmd/querylearn's line format; its
-	// examples seed the session.
-	Task string `json:"task"`
-	// MaxCost caps the session's crowd spend in dollars (0 = no cap).
-	MaxCost float64 `json:"max_cost,omitempty"`
-}
-
-// createResponse echoes the registered session.
-type createResponse struct {
-	ID    string `json:"id"`
-	Model string `json:"model"`
-}
-
-func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) *apiError {
-	var req createRequest
-	if e := readJSON(r, &req); e != nil {
+// idempotent executes exec under the request's Idempotency-Key, if any:
+// a repeated key with the same body replays the stored first response, a
+// mismatched or in-flight key conflicts, and only 2xx outcomes are stored
+// (a failed attempt releases the key so the retry re-executes). Keys are
+// a v1 feature; on legacy aliases the header is ignored, per the
+// deprecation policy in doc.go.
+func (s *Server) idempotent(w http.ResponseWriter, r *http.Request, v1 bool, scope string, body []byte,
+	exec func() (int, any, *apiError)) *apiError {
+	key := ""
+	if v1 {
+		key = r.Header.Get(api.IdempotencyKeyHeader)
+	}
+	if key == "" {
+		status, v, e := exec()
+		if e != nil {
+			return e
+		}
+		writeJSON(w, status, v)
+		return nil
+	}
+	sum := sha256.Sum256(body)
+	full := scope + "\x00" + key
+	ent, state := s.idem.begin(full, hex.EncodeToString(sum[:]))
+	switch state {
+	case idemReplay:
+		w.Header().Set(api.IdempotencyReplayedHeader, "true")
+		writeRaw(w, ent.status, ent.body)
+		return nil
+	case idemInFlight:
+		return errf(http.StatusConflict, api.CodeIdempotencyConflict,
+			"request with Idempotency-Key %q is still in flight", key)
+	case idemMismatch:
+		return errf(http.StatusConflict, api.CodeIdempotencyConflict,
+			"Idempotency-Key %q was already used with a different request body", key)
+	}
+	status, v, e := exec()
+	if e != nil {
+		s.idem.cancel(full)
 		return e
 	}
-	sess, err := s.mgr.Create(req.Model, req.Task, session.CreateOptions{MaxCost: req.MaxCost})
+	rendered, err := marshalBody(v)
 	if err != nil {
-		return fromManager(err)
+		s.idem.cancel(full)
+		return errf(http.StatusInternalServerError, api.CodeBadRequest, "encoding response: %v", err)
 	}
-	writeJSON(w, http.StatusCreated, createResponse{ID: sess.ID(), Model: sess.Model()})
+	s.idem.finish(full, status, rendered)
+	writeRaw(w, status, rendered)
 	return nil
 }
 
-func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) *apiError {
-	var snap session.Snapshot
-	if e := readJSON(r, &snap); e != nil {
-		return e
+func (s *Server) handleCreate(v1 bool) handler {
+	return func(w http.ResponseWriter, r *http.Request) *apiError {
+		var req api.CreateRequest
+		body, e := readJSON(r, v1, &req)
+		if e != nil {
+			return e
+		}
+		return s.idempotent(w, r, v1, "create", body, func() (int, any, *apiError) {
+			sess, err := s.mgr.Create(req.Model, req.Task, session.CreateOptions{MaxCost: req.MaxCost})
+			if err != nil {
+				return 0, nil, fromManager(err)
+			}
+			return http.StatusCreated, api.CreateResponse{ID: sess.ID(), Model: sess.Model()}, nil
+		})
 	}
-	sess, err := s.mgr.Resume(snap)
-	if err != nil {
-		return fromManager(err)
-	}
-	writeJSON(w, http.StatusCreated, createResponse{ID: sess.ID(), Model: sess.Model()})
-	return nil
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) *apiError {
+func (s *Server) handleResume(v1 bool) handler {
+	return func(w http.ResponseWriter, r *http.Request) *apiError {
+		var snap session.Snapshot
+		if _, e := readJSON(r, v1, &snap); e != nil {
+			return e
+		}
+		sess, err := s.mgr.Resume(snap)
+		if err != nil {
+			return fromManager(err)
+		}
+		writeJSON(w, http.StatusCreated, api.CreateResponse{ID: sess.ID(), Model: sess.Model()})
+		return nil
+	}
+}
+
+func (s *Server) handleStatus(bool) handler {
+	return func(w http.ResponseWriter, r *http.Request) *apiError {
+		sess, e := s.get(r)
+		if e != nil {
+			return e
+		}
+		writeJSON(w, http.StatusOK, sess.Status())
+		return nil
+	}
+}
+
+func (s *Server) handleQuestion(bool) handler {
+	return func(w http.ResponseWriter, r *http.Request) *apiError {
+		sess, e := s.get(r)
+		if e != nil {
+			return e
+		}
+		q, ok, err := sess.Question()
+		if err != nil {
+			return fromManager(err)
+		}
+		resp := api.QuestionResponse{Done: !ok}
+		if ok {
+			resp.Question = &q
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return nil
+	}
+}
+
+// handleQuestions is GET /v1/sessions/{id}/questions?n=k — the batch-first
+// question surface for parallel crowd dispatch: up to k pairwise-distinct
+// informative items in one round-trip.
+func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) *apiError {
 	sess, e := s.get(r)
 	if e != nil {
 		return e
 	}
-	writeJSON(w, http.StatusOK, sess.Status())
-	return nil
-}
-
-// questionResponse wraps GET /sessions/{id}/question: either done, or the
-// next question.
-type questionResponse struct {
-	Done     bool              `json:"done"`
-	Question *session.Question `json:"question,omitempty"`
-}
-
-func (s *Server) handleQuestion(w http.ResponseWriter, r *http.Request) *apiError {
-	sess, e := s.get(r)
-	if e != nil {
-		return e
+	n := 1
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > api.MaxQuestionBatch {
+			return errf(http.StatusBadRequest, api.CodeBadParam,
+				"n=%q must be an integer in [1, %d]", raw, api.MaxQuestionBatch)
+		}
+		n = v
 	}
-	q, ok, err := sess.Question()
+	qs, err := sess.Questions(n)
 	if err != nil {
 		return fromManager(err)
 	}
-	resp := questionResponse{Done: !ok}
-	if ok {
-		resp.Question = &q
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, api.QuestionsResponse{Done: len(qs) == 0, Questions: qs})
 	return nil
 }
 
-// answersRequest is the POST /sessions/{id}/answers body.
-type answersRequest struct {
-	Answers []session.Answer `json:"answers"`
-	// Reconcile selects batch semantics: "" applies labels in order,
-	// "majority" groups repeated labels of one item as votes.
-	Reconcile string `json:"reconcile,omitempty"`
-}
-
-func (s *Server) handleAnswers(w http.ResponseWriter, r *http.Request) *apiError {
-	sess, e := s.get(r)
-	if e != nil {
-		return e
+// handleList is GET /v1/sessions?limit=&page_token= — the paginated live
+// session listing.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) *apiError {
+	limit := 100
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 || v > api.MaxListLimit {
+			return errf(http.StatusBadRequest, api.CodeBadParam,
+				"limit=%q must be an integer in [1, %d]", raw, api.MaxListLimit)
+		}
+		limit = v
 	}
-	var req answersRequest
-	if e := readJSON(r, &req); e != nil {
-		return e
+	statuses, next := s.mgr.List(limit, r.URL.Query().Get("page_token"))
+	if statuses == nil {
+		statuses = []session.Status{} // an empty page is [], not null
 	}
-	res, err := sess.Answer(req.Answers, req.Reconcile)
-	if err != nil {
-		return fromManager(err)
-	}
-	s.mgr.CountLabels(len(req.Answers))
-	writeJSON(w, http.StatusOK, res)
+	writeJSON(w, http.StatusOK, api.SessionList{Sessions: statuses, NextPageToken: next})
 	return nil
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) *apiError {
-	sess, e := s.get(r)
-	if e != nil {
-		return e
+func (s *Server) handleAnswers(v1 bool) handler {
+	return func(w http.ResponseWriter, r *http.Request) *apiError {
+		var req api.AnswersRequest
+		body, e := readJSON(r, v1, &req)
+		if e != nil {
+			return e
+		}
+		// The idempotency check runs before the session lookup (scoped by
+		// the path id): a batch whose 200 was stored and whose session was
+		// then deleted or evicted must still replay the success, not 404.
+		return s.idempotent(w, r, v1, "answers\x00"+r.PathValue("id"), body, func() (int, any, *apiError) {
+			sess, e := s.get(r)
+			if e != nil {
+				return 0, nil, e
+			}
+			res, err := sess.Answer(req.Answers, req.Reconcile)
+			if err != nil {
+				return 0, nil, fromManager(err)
+			}
+			return http.StatusOK, res, nil
+		})
 	}
-	h, err := sess.Hypothesis()
-	if err != nil {
-		return fromManager(err)
-	}
-	writeJSON(w, http.StatusOK, h)
-	return nil
 }
 
-func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) *apiError {
-	sess, e := s.get(r)
-	if e != nil {
-		return e
+func (s *Server) handleQuery(bool) handler {
+	return func(w http.ResponseWriter, r *http.Request) *apiError {
+		sess, e := s.get(r)
+		if e != nil {
+			return e
+		}
+		h, err := sess.Hypothesis()
+		if err != nil {
+			return fromManager(err)
+		}
+		writeJSON(w, http.StatusOK, h)
+		return nil
 	}
-	writeJSON(w, http.StatusOK, sess.Snapshot())
-	return nil
 }
 
-func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) *apiError {
-	if err := s.mgr.Delete(r.PathValue("id")); err != nil {
-		return fromManager(err)
+func (s *Server) handleSnapshot(bool) handler {
+	return func(w http.ResponseWriter, r *http.Request) *apiError {
+		sess, e := s.get(r)
+		if e != nil {
+			return e
+		}
+		writeJSON(w, http.StatusOK, sess.Snapshot())
+		return nil
 	}
-	w.WriteHeader(http.StatusNoContent)
-	return nil
+}
+
+func (s *Server) handleDelete(bool) handler {
+	return func(w http.ResponseWriter, r *http.Request) *apiError {
+		if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+			return fromManager(err)
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return nil
+	}
 }
 
 // metricsResponse is the GET /metrics document. Store is present only when
 // the daemon runs with a data directory.
 type metricsResponse struct {
-	Sessions  session.Stats              `json:"sessions"`
-	Endpoints map[string]EndpointMetrics `json:"endpoints"`
-	Store     *store.Stats               `json:"store,omitempty"`
+	Sessions session.Stats `json:"sessions"`
+	// DeprecatedRequests counts hits on the pre-v1 legacy aliases — the
+	// signal for retiring them.
+	DeprecatedRequests int64                      `json:"deprecated_requests"`
+	Endpoints          map[string]EndpointMetrics `json:"endpoints"`
+	Store              *store.Stats               `json:"store,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) *apiError {
 	resp := metricsResponse{
-		Sessions:  s.mgr.Stats(),
-		Endpoints: s.metrics.snapshot(),
+		Sessions:           s.mgr.Stats(),
+		DeprecatedRequests: s.metrics.deprecated.Load(),
+		Endpoints:          s.metrics.snapshot(),
 	}
 	if s.storeStats != nil {
 		st := s.storeStats()

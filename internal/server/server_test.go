@@ -114,6 +114,9 @@ func (c *client) do(method, path string, body any, wantStatus int, into any) {
 	}
 	req, err := http.NewRequest(method, c.base+path, rd)
 	must(c.t, err)
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.http.Do(req)
 	must(c.t, err)
 	defer resp.Body.Close()
@@ -214,7 +217,7 @@ func inProcessResult(t *testing.T, model string, oracle func(json.RawMessage) bo
 		l, err := session.New("schema", schemaTask)
 		must(t, err)
 		for {
-			q, ok, err := l.Next()
+			q, ok, err := session.Next(l)
 			must(t, err)
 			if !ok {
 				break

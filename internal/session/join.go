@@ -59,25 +59,29 @@ func (l *joinLearner) checkRange(li, ri int) error {
 // Model implements Learner.
 func (l *joinLearner) Model() string { return "join" }
 
-// Next implements Learner.
-func (l *joinLearner) Next() (Question, bool, error) {
+// Propose implements Learner: the first k informative tuple pairs in
+// deterministic (left, right) scan order.
+func (l *joinLearner) Propose(k int) ([]Question, error) {
 	cands := l.sess.Candidates()
 	if len(cands) == 0 {
-		return Question{}, false, nil
+		return nil, nil
 	}
-	c := cands[0]
-	item, err := json.Marshal(joinItem{Left: c.Left, Right: c.Right})
-	if err != nil {
-		return Question{}, false, err
+	qs := make([]Question, 0, clampBatch(k, len(cands)))
+	for _, c := range cands[:clampBatch(k, len(cands))] {
+		item, err := json.Marshal(joinItem{Left: c.Left, Right: c.Right})
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, Question{
+			Model: "join",
+			Item:  item,
+			Prompt: fmt.Sprintf("should %s tuple %d (%s) join with %s tuple %d (%s)?",
+				l.u.Left.Name, c.Left, strings.Join(l.u.Left.Tuple(c.Left), ","),
+				l.u.Right.Name, c.Right, strings.Join(l.u.Right.Tuple(c.Right), ",")),
+			Remaining: len(cands),
+		})
 	}
-	return Question{
-		Model: "join",
-		Item:  item,
-		Prompt: fmt.Sprintf("should %s tuple %d (%s) join with %s tuple %d (%s)?",
-			l.u.Left.Name, c.Left, strings.Join(l.u.Left.Tuple(c.Left), ","),
-			l.u.Right.Name, c.Right, strings.Join(l.u.Right.Tuple(c.Right), ",")),
-		Remaining: len(cands),
-	}, true, nil
+	return qs, nil
 }
 
 // decode unmarshals and range-checks an item.

@@ -18,41 +18,35 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+
+	"querylearn/pkg/api"
 )
 
-// Question is one item a learner wants labeled. Item is the model-specific
-// wire encoding of the item; clients echo it back verbatim (or re-encode the
-// same fields) when answering.
-type Question struct {
-	Model  string          `json:"model"`
-	Item   json.RawMessage `json:"item"`
-	Prompt string          `json:"prompt"`
-	// Remaining counts the informative items still open, including the
-	// proposed one — the client's progress bar.
-	Remaining int `json:"remaining"`
-}
+// The dialogue vocabulary is the wire protocol: pkg/api owns the type
+// definitions (shared with pkg/client and external consumers) and this
+// package aliases them, so the journal format, the HTTP bodies, and the
+// in-memory dialogue state are one set of types.
+type (
+	// Question is one item a learner wants labeled.
+	Question = api.Question
+	// Hypothesis is a snapshot of the current best hypothesis of a session.
+	Hypothesis = api.Hypothesis
+)
 
-// Hypothesis is a snapshot of the current best hypothesis of a session.
-type Hypothesis struct {
-	Model string `json:"model"`
-	// Query renders the hypothesis in the model's native syntax (a twig
-	// query, a join predicate, a path query, a multiplicity schema).
-	Query string `json:"query"`
-	// Converged is true when no informative item remains.
-	Converged bool              `json:"converged"`
-	Detail    map[string]string `json:"detail,omitempty"`
-}
-
-// Learner is the unified interactive contract the Manager hosts: propose the
-// next question, record an answer, snapshot the current hypothesis.
+// Learner is the unified interactive contract the Manager hosts: propose
+// informative questions, record an answer, snapshot the current hypothesis.
 // Implementations are NOT safe for concurrent use; the Manager serializes
 // access per session.
 type Learner interface {
 	// Model names the hypothesis class: "twig", "join", "path" or "schema".
 	Model() string
-	// Next proposes the next question. ok=false means the session has
-	// converged: every item is either labeled or uninformative.
-	Next() (q Question, ok bool, err error)
+	// Propose returns up to k pairwise-distinct informative items for
+	// parallel (crowd) dispatch, in the learner's deterministic proposal
+	// order. k < 1 is treated as 1. An empty result means the session has
+	// converged: every item is either labeled or uninformative. Each
+	// returned Question carries the same Remaining count — the open
+	// informative items at proposal time.
+	Propose(k int) ([]Question, error)
 	// Validate checks that an item decodes and addresses something that
 	// exists (a corpus node, tuple indexes in range, known graph nodes)
 	// WITHOUT touching the version space. The Manager validates a whole
@@ -67,6 +61,27 @@ type Learner interface {
 	Record(item json.RawMessage, positive bool) error
 	// Hypothesis returns the current best hypothesis.
 	Hypothesis() (Hypothesis, error)
+}
+
+// Next proposes a single question — the k=1 convenience over Propose.
+// ok=false means the session has converged.
+func Next(l Learner) (q Question, ok bool, err error) {
+	qs, err := l.Propose(1)
+	if err != nil || len(qs) == 0 {
+		return Question{}, false, err
+	}
+	return qs[0], true, nil
+}
+
+// clampBatch normalizes a Propose k against the open-item count.
+func clampBatch(k, open int) int {
+	if k < 1 {
+		k = 1
+	}
+	if k > open {
+		k = open
+	}
+	return k
 }
 
 // Models lists the supported model names in stable order.

@@ -11,6 +11,20 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"querylearn/pkg/api"
+)
+
+// Wire types shared with pkg/api (see learner.go for the rationale).
+type (
+	// Answer is one label: the item a question encoded, and the verdict.
+	Answer = api.Answer
+	// Snapshot is the JSON-persistable state of a session mid-dialogue.
+	Snapshot = api.Snapshot
+	// Status is the session's lifecycle summary.
+	Status = api.Status
+	// AnswerResult reports what a batch of labels did to the session.
+	AnswerResult = api.AnswerResult
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -76,13 +90,16 @@ type Manager struct {
 	// compactMu → shard.mu → Session.mu → journal internals.
 	compactMu sync.RWMutex
 
-	// Counters for /metrics, all bumped on the commit path.
+	// Counters for /metrics. The event counters are bumped on the commit
+	// path; labels on the Answer path (per submitted HIT) and questions on
+	// the Propose path (per informative item served).
 	created   atomic.Int64
 	resumed   atomic.Int64
 	recovered atomic.Int64
 	deleted   atomic.Int64
 	expired   atomic.Int64
 	labels    atomic.Int64
+	questions atomic.Int64
 }
 
 // commit is the single mutation event path: every state change in the
@@ -167,12 +184,6 @@ type Session struct {
 	costPerHIT   float64
 	clock        func() time.Time
 	lastActiveNS atomic.Int64
-}
-
-// Answer is one label: the item a question encoded, and the verdict.
-type Answer struct {
-	Item     json.RawMessage `json:"item"`
-	Positive bool            `json:"positive"`
 }
 
 // CreateOptions are per-session knobs.
@@ -364,6 +375,7 @@ type Stats struct {
 	Deleted   int64 `json:"deleted"`
 	Expired   int64 `json:"expired"`
 	Labels    int64 `json:"labels"`
+	Questions int64 `json:"questions"`
 }
 
 // Stats snapshots the manager counters.
@@ -376,22 +388,54 @@ func (m *Manager) Stats() Stats {
 		Deleted:   m.deleted.Load(),
 		Expired:   m.expired.Load(),
 		Labels:    m.labels.Load(),
+		Questions: m.questions.Load(),
 	}
 }
 
-// Snapshot is the JSON-persistable state of a session mid-dialogue: the task
-// source plus the answer log. Resume rebuilds the learner and replays the
-// log, which reproduces the version space exactly (learning is a pure
-// function of task + answers).
-type Snapshot struct {
-	ID        string    `json:"id"`
-	Model     string    `json:"model"`
-	Task      string    `json:"task"`
-	Answers   []Answer  `json:"answers,omitempty"`
-	HITs      int       `json:"hits"`
-	Cost      float64   `json:"cost"`
-	MaxCost   float64   `json:"max_cost,omitempty"`
-	CreatedAt time.Time `json:"created_at"`
+// List pages through the live sessions in ascending id order: up to limit
+// statuses with ids strictly greater than after (the page token; "" starts
+// from the beginning). The second result is the token of the next page, or
+// "" when this page reaches the end. The listing is a point-in-time sample —
+// sessions created or evicted mid-scan may or may not appear — which is the
+// honest contract for a paginated view of a live, sharded map.
+func (m *Manager) List(limit int, after string) ([]Status, string) {
+	if limit < 1 {
+		limit = 1
+	}
+	// Bounded selection: keep only the limit+1 smallest qualifying ids in a
+	// sorted slice, so one page over N live sessions costs O(N·limit) in
+	// the worst case instead of sorting all N — a full pagination sweep
+	// stays linear-ish in N rather than quadratic.
+	live := make([]*Session, 0, limit+1)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		for id, s := range sh.m {
+			if id <= after {
+				continue
+			}
+			if len(live) == limit+1 && id >= live[len(live)-1].id {
+				continue
+			}
+			at := sort.Search(len(live), func(i int) bool { return live[i].id > id })
+			live = append(live, nil)
+			copy(live[at+1:], live[at:])
+			live[at] = s
+			if len(live) > limit+1 {
+				live = live[:limit+1]
+			}
+		}
+		sh.mu.Unlock()
+	}
+	next := ""
+	if len(live) > limit {
+		live = live[:limit]
+		next = live[limit-1].id
+	}
+	statuses := make([]Status, len(live))
+	for i, s := range live {
+		statuses[i] = s.Status()
+	}
+	return statuses, next
 }
 
 // Resume rehydrates a snapshotted session under its original id.
@@ -566,37 +610,41 @@ func (s *Session) checkLive() error {
 
 // Question proposes the next question. ok=false means converged.
 func (s *Session) Question() (Question, bool, error) {
+	qs, err := s.Questions(1)
+	if err != nil || len(qs) == 0 {
+		return Question{}, false, err
+	}
+	return qs[0], true, nil
+}
+
+// Questions proposes up to k pairwise-distinct informative items for
+// parallel crowd dispatch — the paper's many-workers scenario, where k HITs
+// go out at once and the answers come back as one batch. An empty result
+// means converged.
+func (s *Session) Questions(k int) ([]Question, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.touch()
 	if err := s.checkLive(); err != nil {
-		return Question{}, false, err
+		return nil, err
 	}
-	return s.learner.Next()
+	qs, err := s.learner.Propose(k)
+	if err != nil {
+		return nil, err
+	}
+	s.mgr.questions.Add(int64(len(qs)))
+	return qs, nil
 }
 
-// Reconcile modes for batched answers.
+// Reconcile modes for batched answers, re-exported from the wire protocol.
 const (
 	// ReconcileNone applies every label in order.
-	ReconcileNone = ""
+	ReconcileNone = api.ReconcileNone
 	// ReconcileMajority groups labels by item and applies each item's
 	// majority verdict once — the crowd defence against worker error.
 	// Ties are rejected.
-	ReconcileMajority = "majority"
+	ReconcileMajority = api.ReconcileMajority
 )
-
-// AnswerResult reports what a batch of labels did to the session.
-type AnswerResult struct {
-	// Applied counts the answers recorded into the version space (after
-	// majority reconciliation, one per distinct item).
-	Applied int `json:"applied"`
-	// HITs and Cost account every submitted label as one paid task.
-	HITs int     `json:"hits"`
-	Cost float64 `json:"cost"`
-	// Remaining counts informative items left; Done means converged.
-	Remaining int  `json:"remaining"`
-	Done      bool `json:"done"`
-}
 
 // Answer ingests a batch of labels. Every submitted label is one paid HIT
 // for cost accounting; with majority reconciliation, repeated labels of one
@@ -684,17 +732,21 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 		}
 		s.answers = append(s.answers, a)
 	}
+	// Label accounting lives on the session path (not the HTTP layer), so
+	// every ingestion surface — server, SDK-driven experiments, direct
+	// manager use — counts identically.
+	s.mgr.labels.Add(int64(len(batch)))
 	res := AnswerResult{
 		Applied: len(apply),
 		HITs:    s.hits,
 		Cost:    float64(s.hits) * s.costPerHIT,
 	}
-	q, ok, err := s.learner.Next()
+	qs, err := s.learner.Propose(1)
 	if err != nil {
 		return AnswerResult{}, err
 	}
-	if ok {
-		res.Remaining = q.Remaining
+	if len(qs) > 0 {
+		res.Remaining = qs[0].Remaining
 	} else {
 		res.Done = true
 	}
@@ -769,18 +821,6 @@ func (s *Session) snapshotLocked() Snapshot {
 	}
 }
 
-// Status is the session's lifecycle summary.
-type Status struct {
-	ID        string    `json:"id"`
-	Model     string    `json:"model"`
-	Answers   int       `json:"answers"`
-	HITs      int       `json:"hits"`
-	Cost      float64   `json:"cost"`
-	MaxCost   float64   `json:"max_cost,omitempty"`
-	CreatedAt time.Time `json:"created_at"`
-	Failed    string    `json:"failed,omitempty"`
-}
-
 // Status summarizes the session.
 func (s *Session) Status() Status {
 	s.mu.Lock()
@@ -796,7 +836,3 @@ func (s *Session) Status() Status {
 	}
 	return st
 }
-
-// CountLabels adds to the manager's global label counter (called by the
-// server after successful Answer ingestion).
-func (m *Manager) CountLabels(n int) { m.labels.Add(int64(n)) }

@@ -76,24 +76,28 @@ func newPathLearner(src string) (*pathLearner, error) {
 // Model implements Learner.
 func (l *pathLearner) Model() string { return "path" }
 
-// Next implements Learner.
-func (l *pathLearner) Next() (Question, bool, error) {
+// Propose implements Learner: the first k informative node pairs in the
+// session's deterministic pool order.
+func (l *pathLearner) Propose(k int) ([]Question, error) {
 	inf := l.sess.InformativePairs()
 	if len(inf) == 0 {
-		return Question{}, false, nil
+		return nil, nil
 	}
-	p := inf[0]
-	item, err := json.Marshal(pathItem{Src: l.g.Node(p.Src), Dst: l.g.Node(p.Dst)})
-	if err != nil {
-		return Question{}, false, err
+	qs := make([]Question, 0, clampBatch(k, len(inf)))
+	for _, p := range inf[:clampBatch(k, len(inf))] {
+		item, err := json.Marshal(pathItem{Src: l.g.Node(p.Src), Dst: l.g.Node(p.Dst)})
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, Question{
+			Model: "path",
+			Item:  item,
+			Prompt: fmt.Sprintf("should the query select the pair (%s, %s)?",
+				l.g.Node(p.Src), l.g.Node(p.Dst)),
+			Remaining: len(inf),
+		})
 	}
-	return Question{
-		Model: "path",
-		Item:  item,
-		Prompt: fmt.Sprintf("should the query select the pair (%s, %s)?",
-			l.g.Node(p.Src), l.g.Node(p.Dst)),
-		Remaining: len(inf),
-	}, true, nil
+	return qs, nil
 }
 
 // resolve decodes an item and interns its node names.

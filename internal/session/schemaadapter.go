@@ -116,23 +116,28 @@ func mutateDoc(doc, node *xmltree.Node, i int, drop bool) *xmltree.Node {
 // Model implements Learner.
 func (l *schemaLearner) Model() string { return "schema" }
 
-// Next implements Learner.
-func (l *schemaLearner) Next() (Question, bool, error) {
+// Propose implements Learner: the first k frontier mutants in the
+// deterministic corpus enumeration order (distinct by construction — the
+// frontier is deduplicated on canonical XML).
+func (l *schemaLearner) Propose(k int) ([]Question, error) {
 	cands := l.candidates()
 	if len(cands) == 0 {
-		return Question{}, false, nil
+		return nil, nil
 	}
-	doc := cands[0]
-	item, err := json.Marshal(schemaItem{Doc: doc.String()})
-	if err != nil {
-		return Question{}, false, err
+	qs := make([]Question, 0, clampBatch(k, len(cands)))
+	for _, doc := range cands[:clampBatch(k, len(cands))] {
+		item, err := json.Marshal(schemaItem{Doc: doc.String()})
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, Question{
+			Model:     "schema",
+			Item:      item,
+			Prompt:    fmt.Sprintf("should the schema accept this document? %s", doc.String()),
+			Remaining: len(cands),
+		})
 	}
-	return Question{
-		Model:     "schema",
-		Item:      item,
-		Prompt:    fmt.Sprintf("should the schema accept this document? %s", doc.String()),
-		Remaining: len(cands),
-	}, true, nil
+	return qs, nil
 }
 
 // parseDoc decodes an item and checks the document fits the corpus.

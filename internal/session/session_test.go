@@ -92,7 +92,7 @@ func drive(t *testing.T, l Learner, oracle func(json.RawMessage) bool) (Hypothes
 	t.Helper()
 	questions := 0
 	for {
-		q, ok, err := l.Next()
+		q, ok, err := Next(l)
 		if err != nil {
 			t.Fatalf("%s Next after %d questions: %v", l.Model(), questions, err)
 		}
@@ -229,14 +229,14 @@ func TestSchemaNegativeAnswersPruneFrontier(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	q, ok, err := l.Next()
+	q, ok, err := Next(l)
 	if err != nil || !ok {
 		t.Fatalf("Next: ok=%v err=%v", ok, err)
 	}
 	if err := l.Record(q.Item, false); err != nil {
 		t.Fatalf("negative Record: %v", err)
 	}
-	q2, ok, err := l.Next()
+	q2, ok, err := Next(l)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -78,24 +78,28 @@ func twigDocIndex(task *core.TwigTask, ex twiglearn.Example) (int, error) {
 // Model implements Learner.
 func (l *twigLearner) Model() string { return "twig" }
 
-// Next implements Learner.
-func (l *twigLearner) Next() (Question, bool, error) {
+// Propose implements Learner: the first k informative nodes in the
+// session's deterministic document-order enumeration.
+func (l *twigLearner) Propose(k int) ([]Question, error) {
 	inf := l.sess.Informative()
 	if len(inf) == 0 {
-		return Question{}, false, nil
+		return nil, nil
 	}
-	ref := inf[0]
-	item, err := json.Marshal(twigItem{Doc: ref.Doc, Path: core.NodePathOf(ref.Node)})
-	if err != nil {
-		return Question{}, false, err
+	qs := make([]Question, 0, clampBatch(k, len(inf)))
+	for _, ref := range inf[:clampBatch(k, len(inf))] {
+		item, err := json.Marshal(twigItem{Doc: ref.Doc, Path: core.NodePathOf(ref.Node)})
+		if err != nil {
+			return nil, err
+		}
+		qs = append(qs, Question{
+			Model: "twig",
+			Item:  item,
+			Prompt: fmt.Sprintf("does your query select node %s (<%s>) of document %d?",
+				core.NodePathOf(ref.Node), ref.Node.Label, ref.Doc),
+			Remaining: len(inf),
+		})
 	}
-	return Question{
-		Model: "twig",
-		Item:  item,
-		Prompt: fmt.Sprintf("does your query select node %s (<%s>) of document %d?",
-			core.NodePathOf(ref.Node), ref.Node.Label, ref.Doc),
-		Remaining: len(inf),
-	}, true, nil
+	return qs, nil
 }
 
 // resolve decodes an item and locates its node in the corpus.

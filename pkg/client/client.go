@@ -1,0 +1,291 @@
+// Package client is the typed Go SDK for the querylearn interactive
+// learning service: a thin, dependency-free wrapper over the /v1 wire
+// protocol defined in pkg/api. Every consumer of the service — the replay
+// driver, the throughput experiments, crowd frontends — talks through it
+// instead of re-implementing the wire format by hand.
+//
+// All methods are context-aware. Server-side durability faults (HTTP 503,
+// code "journal_unavailable") are retried with backoff: the server
+// guarantees a 503'd mutation did not take effect. Create and Answers
+// additionally attach a generated Idempotency-Key per logical call, so
+// transport-level retries (a response lost to a timeout) are safe too —
+// the service replays the stored first response instead of double-creating
+// a session or double-charging a batch.
+//
+//	c := client.New("http://localhost:8080")
+//	created, err := c.Create(ctx, api.CreateRequest{Model: "join", Task: task})
+//	qs, err := c.Questions(ctx, created.ID, 16)   // parallel crowd dispatch
+//	res, err := c.Answers(ctx, created.ID, labels, api.ReconcileNone)
+//	hyp, err := c.Hypothesis(ctx, created.ID)
+//
+// Failures surface as *api.Error values; switch on the stable code with
+// api.IsCode(err, api.CodeSessionNotFound) etc.
+package client
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"querylearn/pkg/api"
+)
+
+// Client talks to one querylearn service. The zero value is not usable;
+// construct with New. Clients are safe for concurrent use.
+type Client struct {
+	base    string
+	hc      *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client at construction.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the transport (httptest clients, instrumented
+// transports, custom timeouts).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithRetry tunes the retry policy: up to retries re-attempts after a 503
+// or a safe-to-retry transport error, with linear backoff between them.
+// retries = 0 disables retrying.
+func WithRetry(retries int, backoff time.Duration) Option {
+	return func(c *Client) { c.retries, c.backoff = retries, backoff }
+}
+
+// New builds a Client for the service at baseURL (scheme://host[:port],
+// with or without a trailing slash).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		hc:      http.DefaultClient,
+		retries: 3,
+		backoff: 50 * time.Millisecond,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Create registers a fresh session. The call carries a generated
+// idempotency key, so it is safe against lost responses and 503 retries.
+func (c *Client) Create(ctx context.Context, req api.CreateRequest) (api.CreateResponse, error) {
+	var out api.CreateResponse
+	err := c.do(ctx, http.MethodPost, "/sessions", req, newIdemKey(), &out)
+	return out, err
+}
+
+// Resume rehydrates a snapshotted session under its original id.
+func (c *Client) Resume(ctx context.Context, snap api.Snapshot) (api.CreateResponse, error) {
+	var out api.CreateResponse
+	err := c.do(ctx, http.MethodPost, "/sessions/resume", snap, "", &out)
+	return out, err
+}
+
+// Status fetches a session's lifecycle summary.
+func (c *Client) Status(ctx context.Context, id string) (api.Status, error) {
+	var out api.Status
+	err := c.do(ctx, http.MethodGet, "/sessions/"+url.PathEscape(id), nil, "", &out)
+	return out, err
+}
+
+// List pages through the live sessions: up to limit statuses (0 = server
+// default) starting after pageToken ("" = first page). The returned
+// NextPageToken fetches the following page.
+func (c *Client) List(ctx context.Context, limit int, pageToken string) (api.SessionList, error) {
+	q := url.Values{}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	if pageToken != "" {
+		q.Set("page_token", pageToken)
+	}
+	path := "/sessions"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out api.SessionList
+	err := c.do(ctx, http.MethodGet, path, nil, "", &out)
+	return out, err
+}
+
+// Question fetches the next informative item. ok=false means the session
+// has converged.
+func (c *Client) Question(ctx context.Context, id string) (q api.Question, ok bool, err error) {
+	var out api.QuestionResponse
+	if err := c.do(ctx, http.MethodGet, "/sessions/"+url.PathEscape(id)+"/question", nil, "", &out); err != nil {
+		return api.Question{}, false, err
+	}
+	if out.Done || out.Question == nil {
+		return api.Question{}, false, nil
+	}
+	return *out.Question, true, nil
+}
+
+// Questions fetches up to n pairwise-distinct informative items for
+// parallel crowd dispatch (1 <= n <= api.MaxQuestionBatch). An empty
+// result means the session has converged.
+func (c *Client) Questions(ctx context.Context, id string, n int) ([]api.Question, error) {
+	var out api.QuestionsResponse
+	path := fmt.Sprintf("/sessions/%s/questions?n=%d", url.PathEscape(id), n)
+	if err := c.do(ctx, http.MethodGet, path, nil, "", &out); err != nil {
+		return nil, err
+	}
+	return out.Questions, nil
+}
+
+// Answers submits a batch of labels. The call carries a generated
+// idempotency key, so a retried batch within this call's retry loop never
+// double-charges the session's crowd budget (the server holds stored
+// responses in memory; see the Idempotency section of pkg/api for the
+// window's limits).
+func (c *Client) Answers(ctx context.Context, id string, answers []api.Answer, reconcile string) (api.AnswerResult, error) {
+	var out api.AnswerResult
+	req := api.AnswersRequest{Answers: answers, Reconcile: reconcile}
+	err := c.do(ctx, http.MethodPost, "/sessions/"+url.PathEscape(id)+"/answers", req, newIdemKey(), &out)
+	return out, err
+}
+
+// Hypothesis fetches the current best hypothesis.
+func (c *Client) Hypothesis(ctx context.Context, id string) (api.Hypothesis, error) {
+	var out api.Hypothesis
+	err := c.do(ctx, http.MethodGet, "/sessions/"+url.PathEscape(id)+"/query", nil, "", &out)
+	return out, err
+}
+
+// Snapshot fetches the persistable session state.
+func (c *Client) Snapshot(ctx context.Context, id string) (api.Snapshot, error) {
+	var out api.Snapshot
+	err := c.do(ctx, http.MethodGet, "/sessions/"+url.PathEscape(id)+"/snapshot", nil, "", &out)
+	return out, err
+}
+
+// Delete evicts a session.
+func (c *Client) Delete(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/sessions/"+url.PathEscape(id), nil, "", nil)
+}
+
+// do is the one wire path: marshal, attach headers, retry per policy,
+// decode the 2xx body or surface the structured error.
+func (c *Client) do(ctx context.Context, method, path string, body any, idemKey string, into any) error {
+	var payload []byte
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		payload = b
+	}
+	u := c.base + api.V1Prefix + path
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if idemKey != "" {
+			req.Header.Set(api.IdempotencyKeyHeader, idemKey)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			// A transport error may have lost a response after the server
+			// acted; only requests that are safe to re-send (reads, or
+			// writes pinned by an idempotency key) are retried.
+			if attempt < c.retries && (method == http.MethodGet || idemKey != "") {
+				if werr := c.wait(ctx, attempt); werr != nil {
+					return werr
+				}
+				continue
+			}
+			return err
+		}
+		respBody, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("client: reading response: %w", err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
+			// 503 is the server's contract that the mutation did NOT take
+			// effect (journal unavailable), so any method may retry it.
+			if werr := c.wait(ctx, attempt); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusConflict && idemKey != "" && attempt < c.retries &&
+			api.IsCode(decodeError(resp.StatusCode, respBody), api.CodeIdempotencyConflict) {
+			// Our own earlier attempt may still be executing server-side (a
+			// timeout-triggered retry racing the original request); once it
+			// finishes, the same key replays its stored response. Keys are
+			// generated fresh per logical call, so a body-mismatch conflict
+			// cannot be our doing and resolves to the terminal 409 below
+			// after the retries run out.
+			if werr := c.wait(ctx, attempt); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if resp.StatusCode/100 == 2 {
+			if into == nil || len(respBody) == 0 {
+				return nil
+			}
+			if err := json.Unmarshal(respBody, into); err != nil {
+				return fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+			}
+			return nil
+		}
+		return decodeError(resp.StatusCode, respBody)
+	}
+}
+
+// wait sleeps the linear backoff for attempt, honoring ctx cancellation.
+func (c *Client) wait(ctx context.Context, attempt int) error {
+	d := c.backoff * time.Duration(attempt+1)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// decodeError turns a non-2xx response into a *api.Error, falling back to
+// a plain error when the body is not the structured envelope.
+func decodeError(status int, body []byte) error {
+	var er api.ErrorResponse
+	if err := json.Unmarshal(body, &er); err == nil && er.Error != nil && er.Error.Code != "" {
+		er.Error.Status = status
+		return er.Error
+	}
+	return fmt.Errorf("client: HTTP %d: %s", status, bytes.TrimSpace(body))
+}
+
+// newIdemKey generates a fresh idempotency key: 128 random bits, hex.
+func newIdemKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable for the process anyway;
+		// degrade to "no key" rather than panic inside a client library.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,528 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"querylearn/internal/server"
+	"querylearn/internal/session"
+	"querylearn/pkg/api"
+)
+
+const (
+	joinTask = `left P id,city
+lrow 1,lille
+lrow 2,paris
+right O buyer,place
+rrow 1,lille
+rrow 2,rome
+`
+	pathTask = `edge lille highway paris
+edge paris highway lyon
+edge lille ferry dover
+pos lille lyon
+`
+	twigTask = `doc <lib><book><title/><year/></book><book><title/></book></lib>
+doc <lib><book><year/><title/></book></lib>
+pos 0 /0/0
+`
+	schemaTask = `doc <r><a/><b/></r>
+doc <r><a/><a/><b/></r>
+`
+)
+
+var contractTasks = map[string]string{
+	"twig": twigTask, "join": joinTask, "path": pathTask, "schema": schemaTask,
+}
+
+// contractOracles answers the wire items for the fixed goals of the
+// fixtures above.
+func contractOracles() map[string]func(json.RawMessage) bool {
+	return map[string]func(json.RawMessage) bool{
+		"twig": func(item json.RawMessage) bool {
+			var it struct {
+				Doc  int    `json:"doc"`
+				Path string `json:"path"`
+			}
+			_ = json.Unmarshal(item, &it)
+			return it.Doc == 0 && it.Path == "/0/0" || it.Doc == 1 && it.Path == "/0/1"
+		},
+		"join": func(item json.RawMessage) bool {
+			var it struct{ Left, Right int }
+			_ = json.Unmarshal(item, &it)
+			return it.Left == 0 && it.Right == 0
+		},
+		"path": func(item json.RawMessage) bool {
+			var it struct{ Src, Dst string }
+			_ = json.Unmarshal(item, &it)
+			return it.Src == "lille" && it.Dst == "lyon"
+		},
+		"schema": func(item json.RawMessage) bool {
+			var it struct{ Doc string }
+			_ = json.Unmarshal(item, &it)
+			return strings.Count(it.Doc, "<a/>") >= 1 && strings.Count(it.Doc, "<b/>") == 1
+		},
+	}
+}
+
+func newContractServer(t *testing.T, cfg session.Config) (*Client, *httptest.Server, *session.Manager) {
+	t.Helper()
+	mgr := session.NewManager(cfg)
+	ts := httptest.NewServer(server.New(mgr).Handler())
+	t.Cleanup(ts.Close)
+	return New(ts.URL, WithHTTPClient(ts.Client())), ts, mgr
+}
+
+// TestSDKFullDialogueAllModels drives every model's complete dialogue —
+// create, status, question/answer to convergence, hypothesis, snapshot,
+// resume, list, delete — through the typed SDK alone.
+func TestSDKFullDialogueAllModels(t *testing.T) {
+	ctx := context.Background()
+	sdk, _, mgr := newContractServer(t, session.Config{})
+	orcs := contractOracles()
+	for model, task := range contractTasks {
+		created, err := sdk.Create(ctx, api.CreateRequest{Model: model, Task: task})
+		if err != nil {
+			t.Fatalf("%s create: %v", model, err)
+		}
+		if created.Model != model || created.ID == "" {
+			t.Fatalf("%s create response = %+v", model, created)
+		}
+		st, err := sdk.Status(ctx, created.ID)
+		if err != nil || st.ID != created.ID {
+			t.Fatalf("%s status = %+v, %v", model, st, err)
+		}
+		for rounds := 0; ; rounds++ {
+			if rounds > 500 {
+				t.Fatalf("%s did not converge", model)
+			}
+			q, ok, err := sdk.Question(ctx, created.ID)
+			if err != nil {
+				t.Fatalf("%s question: %v", model, err)
+			}
+			if !ok {
+				break
+			}
+			if _, err := sdk.Answers(ctx, created.ID, []api.Answer{
+				{Item: q.Item, Positive: orcs[model](q.Item)},
+			}, api.ReconcileNone); err != nil {
+				t.Fatalf("%s answers: %v", model, err)
+			}
+		}
+		hyp, err := sdk.Hypothesis(ctx, created.ID)
+		if err != nil || !hyp.Converged || hyp.Model != model {
+			t.Fatalf("%s hypothesis = %+v, %v", model, hyp, err)
+		}
+		// Snapshot → resume round-trips through the SDK types exactly.
+		snap, err := sdk.Snapshot(ctx, created.ID)
+		if err != nil || snap.ID != created.ID {
+			t.Fatalf("%s snapshot = %+v, %v", model, snap, err)
+		}
+		if err := sdk.Delete(ctx, created.ID); err != nil {
+			t.Fatalf("%s delete: %v", model, err)
+		}
+		resumed, err := sdk.Resume(ctx, snap)
+		if err != nil || resumed.ID != created.ID {
+			t.Fatalf("%s resume = %+v, %v", model, resumed, err)
+		}
+		hyp2, err := sdk.Hypothesis(ctx, created.ID)
+		if err != nil || hyp2.Query != hyp.Query {
+			t.Fatalf("%s resumed hypothesis %q != %q (%v)", model, hyp2.Query, hyp.Query, err)
+		}
+		if err := sdk.Delete(ctx, created.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mgr.Len() != 0 {
+		t.Errorf("%d sessions leaked", mgr.Len())
+	}
+}
+
+// TestSDKQuestionsBatch: the batch surface through the SDK returns distinct
+// items and answering them as one batch converges the dialogue.
+func TestSDKQuestionsBatch(t *testing.T) {
+	ctx := context.Background()
+	sdk, _, _ := newContractServer(t, session.Config{})
+	orcs := contractOracles()
+	created, err := sdk.Create(ctx, api.CreateRequest{Model: "join", Task: joinTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := sdk.Questions(ctx, created.ID, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 || len(qs) > 16 {
+		t.Fatalf("Questions(16) returned %d items", len(qs))
+	}
+	seen := map[string]bool{}
+	answers := make([]api.Answer, len(qs))
+	for i, q := range qs {
+		key, err := session.ItemKey(q.Item)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[key] {
+			t.Errorf("duplicate item in SDK batch: %s", q.Item)
+		}
+		seen[key] = true
+		answers[i] = api.Answer{Item: q.Item, Positive: orcs["join"](q.Item)}
+	}
+	res, err := sdk.Answers(ctx, created.ID, answers, api.ReconcileNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != len(answers) {
+		t.Errorf("batch applied %d of %d", res.Applied, len(answers))
+	}
+}
+
+// TestSDKListPagination pages the live sessions through the SDK.
+func TestSDKListPagination(t *testing.T) {
+	ctx := context.Background()
+	sdk, _, _ := newContractServer(t, session.Config{})
+	for i := 0; i < 5; i++ {
+		if _, err := sdk.Create(ctx, api.CreateRequest{Model: "join", Task: joinTask}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total, token := 0, ""
+	for page := 0; ; page++ {
+		if page > 10 {
+			t.Fatal("pagination did not terminate")
+		}
+		list, err := sdk.List(ctx, 2, token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(list.Sessions)
+		if list.NextPageToken == "" {
+			break
+		}
+		token = list.NextPageToken
+	}
+	if total != 5 {
+		t.Errorf("listed %d sessions, want 5", total)
+	}
+}
+
+// failingJournal fails its first fail appends, then succeeds.
+type failingJournal struct {
+	attempts atomic.Int64
+	fail     int64
+}
+
+func (j *failingJournal) Append(session.Event) error {
+	if j.attempts.Add(1) <= j.fail {
+		return errors.New("disk on fire")
+	}
+	return nil
+}
+
+// TestSDKRetriesOn503: a transient journal failure surfaces as 503
+// journal_unavailable, which the SDK retries until the write lands.
+func TestSDKRetriesOn503(t *testing.T) {
+	j := &failingJournal{fail: 2}
+	mgr := session.NewManager(session.Config{Journal: j})
+	ts := httptest.NewServer(server.New(mgr).Handler())
+	t.Cleanup(ts.Close)
+	sdk := New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(3, time.Millisecond))
+
+	created, err := sdk.Create(context.Background(), api.CreateRequest{Model: "join", Task: joinTask})
+	if err != nil {
+		t.Fatalf("create did not survive transient journal failure: %v", err)
+	}
+	if created.ID == "" || j.attempts.Load() != 3 {
+		t.Errorf("created %+v after %d journal attempts, want 3", created, j.attempts.Load())
+	}
+	if mgr.Len() != 1 {
+		t.Errorf("%d live sessions, want 1", mgr.Len())
+	}
+}
+
+// droppingTransport forwards requests but reports a transport error for the
+// first matched response — simulating a reply lost on the wire after the
+// server already acted.
+type droppingTransport struct {
+	base    http.RoundTripper
+	dropped atomic.Bool
+	match   string
+}
+
+func (d *droppingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	resp, err := d.base.RoundTrip(r)
+	if err != nil {
+		return nil, err
+	}
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, d.match) && d.dropped.CompareAndSwap(false, true) {
+		resp.Body.Close()
+		return nil, errors.New("connection reset mid-response")
+	}
+	return resp, nil
+}
+
+// TestSDKIdempotentRetryAfterLostResponse: the SDK's generated
+// Idempotency-Key makes a lost create response safe — the retry replays
+// the stored response and exactly one session exists.
+func TestSDKIdempotentRetryAfterLostResponse(t *testing.T) {
+	mgr := session.NewManager(session.Config{})
+	ts := httptest.NewServer(server.New(mgr).Handler())
+	t.Cleanup(ts.Close)
+	hc := &http.Client{Transport: &droppingTransport{base: http.DefaultTransport, match: "/sessions"}}
+	sdk := New(ts.URL, WithHTTPClient(hc), WithRetry(3, time.Millisecond))
+
+	created, err := sdk.Create(context.Background(), api.CreateRequest{Model: "join", Task: joinTask})
+	if err != nil {
+		t.Fatalf("create did not survive a lost response: %v", err)
+	}
+	if mgr.Len() != 1 {
+		t.Errorf("%d live sessions after idempotent retry, want exactly 1", mgr.Len())
+	}
+	if _, err := sdk.Status(context.Background(), created.ID); err != nil {
+		t.Errorf("replayed id %q is not live: %v", created.ID, err)
+	}
+}
+
+// conflictOnceTransport fabricates one 409 idempotency_conflict response
+// for the first matched request — the shape the server returns while an
+// earlier attempt under the same key is still in flight — then forwards.
+type conflictOnceTransport struct {
+	base     http.RoundTripper
+	conflict atomic.Bool
+	match    string
+}
+
+func (d *conflictOnceTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Method == http.MethodPost && strings.HasSuffix(r.URL.Path, d.match) && d.conflict.CompareAndSwap(false, true) {
+		body, _ := json.Marshal(api.ErrorResponse{Error: &api.Error{
+			Code: api.CodeIdempotencyConflict, Message: "request with this key is still in flight",
+		}})
+		return &http.Response{
+			StatusCode:    http.StatusConflict,
+			Header:        http.Header{"Content-Type": []string{"application/json"}},
+			Body:          io.NopCloser(bytes.NewReader(body)),
+			Request:       r,
+			ContentLength: int64(len(body)),
+		}, nil
+	}
+	return d.base.RoundTrip(r)
+}
+
+// TestSDKRetriesInFlightConflict: a keyed write that races its own earlier
+// attempt (409 idempotency_conflict) is retried until the stored response
+// replays, instead of surfacing a spurious failure.
+func TestSDKRetriesInFlightConflict(t *testing.T) {
+	mgr := session.NewManager(session.Config{})
+	ts := httptest.NewServer(server.New(mgr).Handler())
+	t.Cleanup(ts.Close)
+	tr := &conflictOnceTransport{base: http.DefaultTransport, match: "/sessions"}
+	sdk := New(ts.URL, WithHTTPClient(&http.Client{Transport: tr}), WithRetry(3, time.Millisecond))
+
+	created, err := sdk.Create(context.Background(), api.CreateRequest{Model: "join", Task: joinTask})
+	if err != nil {
+		t.Fatalf("create did not survive an in-flight idempotency conflict: %v", err)
+	}
+	if created.ID == "" || !tr.conflict.Load() {
+		t.Fatalf("conflict was not injected (created %+v)", created)
+	}
+	if mgr.Len() != 1 {
+		t.Errorf("%d live sessions, want 1", mgr.Len())
+	}
+}
+
+// TestEveryStableErrorCode is the error-contract sweep: every code in
+// api.Codes is provoked over a real HTTP connection and comes back with
+// that exact code (through the SDK where the SDK can express the request,
+// raw HTTP where it cannot).
+func TestEveryStableErrorCode(t *testing.T) {
+	ctx := context.Background()
+	covered := map[string]bool{}
+
+	// expect asserts err is an *api.Error with the given code.
+	expect := func(code string, err error) {
+		t.Helper()
+		var ae *api.Error
+		if !errors.As(err, &ae) {
+			t.Errorf("%s: got %v (type %T), want *api.Error", code, err, err)
+			return
+		}
+		if ae.Code != code {
+			t.Errorf("got code %q (%s), want %q", ae.Code, ae.Message, code)
+			return
+		}
+		if !api.IsCode(err, code) {
+			t.Errorf("api.IsCode(%q) = false for %v", code, err)
+		}
+		covered[code] = true
+	}
+	// rawExpect posts raw bytes and asserts the envelope code.
+	sdkNoRetry := func(ts *httptest.Server) *Client {
+		return New(ts.URL, WithHTTPClient(ts.Client()), WithRetry(0, 0))
+	}
+
+	sdk, ts, _ := newContractServer(t, session.Config{MaxSessions: 2, CostPerHIT: 1})
+	rawExpect := func(code string, path, contentType string, body []byte, extra map[string]string) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		for k, v := range extra {
+			req.Header.Set(k, v)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var er api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == nil {
+			t.Errorf("%s: could not decode error envelope: %v", code, err)
+			return
+		}
+		er.Error.Status = resp.StatusCode
+		expect(code, er.Error)
+	}
+
+	// bad_request: unknown model.
+	_, err := sdk.Create(ctx, api.CreateRequest{Model: "nope", Task: "x"})
+	expect(api.CodeBadRequest, err)
+
+	// session_not_found.
+	_, err = sdk.Status(ctx, "missing")
+	expect(api.CodeSessionNotFound, err)
+
+	// A live session for the parameter/answer cases.
+	created, err := sdk.Create(ctx, api.CreateRequest{Model: "join", Task: joinTask, MaxCost: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// bad_param: n out of range.
+	_, err = sdk.Questions(ctx, created.ID, 0)
+	expect(api.CodeBadParam, err)
+
+	// budget_exhausted: two $1 labels against a $1.50 cap.
+	item := json.RawMessage(`{"left":0,"right":0}`)
+	_, err = sdk.Answers(ctx, created.ID, []api.Answer{
+		{Item: item, Positive: true}, {Item: item, Positive: true},
+	}, api.ReconcileNone)
+	expect(api.CodeBudgetExhausted, err)
+
+	// too_many_sessions: the cap is 2.
+	uncapped, err := sdk.Create(ctx, api.CreateRequest{Model: "join", Task: joinTask})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sdk.Create(ctx, api.CreateRequest{Model: "join", Task: joinTask})
+	expect(api.CodeTooManySessions, err)
+
+	// session_exists: resuming over a live id.
+	snap, err := sdk.Snapshot(ctx, created.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sdk.Resume(ctx, snap)
+	expect(api.CodeSessionExists, err)
+
+	// session_failed: contradictory labels across two batches, on the
+	// session with no budget cap so the failure is genuinely version-space
+	// inconsistency.
+	if _, err := sdk.Answers(ctx, uncapped.ID, []api.Answer{{Item: item, Positive: false}}, api.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sdk.Answers(ctx, uncapped.ID, []api.Answer{{Item: item, Positive: true}}, api.ReconcileNone)
+	expect(api.CodeSessionFailed, err)
+
+	// bad_json: invalid body.
+	rawExpect(api.CodeBadJSON, "/v1/sessions", "application/json", []byte(`{`), nil)
+
+	// unsupported_media_type: non-JSON Content-Type.
+	rawExpect(api.CodeUnsupportedMediaType, "/v1/sessions", "text/plain", []byte(`{}`), nil)
+
+	// body_too_large: a body beyond the server's 4MB cap.
+	huge := append([]byte(`{"task":"`), bytes.Repeat([]byte("x"), (4<<20)+1024)...)
+	huge = append(huge, []byte(`"}`)...)
+	rawExpect(api.CodeBodyTooLarge, "/v1/sessions", "application/json", huge, nil)
+
+	// idempotency_conflict: one key, two bodies. A failed attempt releases
+	// its key, so the first use must succeed — free a slot under the
+	// 2-session cap and create with an explicit key.
+	keyed := map[string]string{api.IdempotencyKeyHeader: "contract-key"}
+	okBody, _ := json.Marshal(api.CreateRequest{Model: "join", Task: joinTask})
+	if err := sdk.Delete(ctx, created.ID); err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/sessions", bytes.NewReader(okBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.IdempotencyKeyHeader, "contract-key")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("keyed create: HTTP %d", resp.StatusCode)
+	}
+	otherBody, _ := json.Marshal(api.CreateRequest{Model: "path", Task: pathTask})
+	rawExpect(api.CodeIdempotencyConflict, "/v1/sessions", "application/json", otherBody, keyed)
+
+	// journal_unavailable: a dead journal turns every mutation into 503.
+	deadMgr := session.NewManager(session.Config{Journal: &failingJournal{fail: 1 << 30}})
+	deadTS := httptest.NewServer(server.New(deadMgr).Handler())
+	t.Cleanup(deadTS.Close)
+	_, err = sdkNoRetry(deadTS).Create(ctx, api.CreateRequest{Model: "join", Task: joinTask})
+	expect(api.CodeJournalUnavailable, err)
+
+	// bad_body: a declared Content-Length the client never delivers makes
+	// the server's body read fail mid-stream. Raw TCP, because no sane
+	// client library sends this.
+	func() {
+		addr := ts.Listener.Addr().String()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		fmt.Fprintf(conn, "POST /v1/sessions HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: 4096\r\n\r\n{\"model\"", addr)
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+		if err != nil {
+			t.Errorf("bad_body: reading truncated-request response: %v", err)
+			return
+		}
+		defer resp.Body.Close()
+		var er api.ErrorResponse
+		if err := json.NewDecoder(resp.Body).Decode(&er); err != nil || er.Error == nil {
+			t.Errorf("bad_body: decoding envelope: %v", err)
+			return
+		}
+		expect(api.CodeBadBody, er.Error)
+	}()
+
+	for _, code := range api.Codes {
+		if !covered[code] {
+			t.Errorf("stable error code %q was not exercised by the contract sweep", code)
+		}
+	}
+}
