@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: all build test vet bench-smoke bench-json fuzz-smoke examples api-check ci
+.PHONY: all build test vet bench-smoke bench-t14 bench-json fuzz-smoke examples api-check ci
 
 all: build
 
@@ -18,6 +18,11 @@ vet:
 # evaluation core); catches gross perf/correctness regressions in seconds.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'NaiveVsFast' -benchtime 50ms -benchmem .
+
+# Big-graph smoke: create and converge path sessions on 20k/100k-node graphs
+# over /v1 (T14) — keeps the sparse version-space path exercised end to end.
+bench-t14:
+	$(GO) run ./cmd/benchrunner -only T14
 
 # Capture the experiment tables as a JSON perf trajectory (BENCH_*.json).
 bench-json:
@@ -52,4 +57,4 @@ api-check:
 		echo "$$leaks"; exit 1; \
 	fi
 
-ci: build vet test bench-smoke fuzz-smoke examples api-check
+ci: build vet test bench-smoke bench-t14 fuzz-smoke examples api-check

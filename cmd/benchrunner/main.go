@@ -41,20 +41,15 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit tables as one JSON document instead of text")
 	flag.Parse()
 
-	want := map[string]bool{}
+	// Resolve the -only filter against the registry BEFORE running anything,
+	// so a single-experiment smoke run does not pay for the whole suite.
+	var ids []string
 	for _, id := range strings.Split(*only, ",") {
-		id = strings.TrimSpace(strings.ToUpper(id))
-		if id != "" {
-			want[id] = true
+		if id = strings.TrimSpace(id); id != "" {
+			ids = append(ids, id)
 		}
 	}
-	var kept []*experiments.Table
-	for _, t := range experiments.All(*scale) {
-		if len(want) > 0 && !want[t.ID] {
-			continue
-		}
-		kept = append(kept, t)
-	}
+	kept := experiments.Only(ids, *scale)
 	if len(kept) == 0 {
 		fmt.Fprintln(os.Stderr, "benchrunner: no experiments matched -only filter")
 		os.Exit(1)

@@ -105,6 +105,10 @@ func run(args []string, out io.Writer) error {
 	maxSessions := fs.Int("max-sessions", 10000, "cap on live sessions (0 = unlimited)")
 	shards := fs.Int("shards", 16, "lock shards in the session manager")
 	costPerHIT := fs.Float64("cost-per-hit", 0, "dollar cost per submitted label")
+	pathMaxNodes := fs.Int("path-max-nodes", session.DefaultPathMaxNodes, "cap on a path task's graph size in nodes (requests may tighten, never exceed)")
+	pathPoolLimit := fs.Int("path-pool-limit", session.DefaultPathPoolLimit, "cap on a path session's question-pool pairs")
+	pathPoolMaxLen := fs.Int("path-pool-max-len", session.DefaultPathPoolMaxLen, "cap on pool pairs' shortest-path length in hops")
+	maxBody := fs.Int64("max-body-bytes", 64<<20, "request body size cap; big-graph tasks are one edge line per edge")
 	sweep := fs.Duration("sweep-interval", time.Minute, "TTL sweep period")
 	dataDir := fs.String("data-dir", "", "journal live sessions under this directory and recover them on restart (empty = in-memory only)")
 	fsync := fs.String("fsync", store.FsyncBatched, "journal durability: off (OS decides), batched (background group commit), always (fsync per mutation)")
@@ -118,30 +122,38 @@ func run(args []string, out io.Writer) error {
 		MaxSessions: *maxSessions,
 		TTL:         *ttl,
 		CostPerHIT:  *costPerHIT,
+		Limits: session.Limits{
+			PathMaxNodes:   *pathMaxNodes,
+			PathPoolLimit:  *pathPoolLimit,
+			PathPoolMaxLen: *pathPoolMaxLen,
+		},
 	}
 	sc := storeConfig{dataDir: *dataDir, fsync: *fsync, compactEvery: *compactEvery}
+	if *maxBody <= 0 {
+		return fmt.Errorf("-max-body-bytes must be positive (got %d)", *maxBody)
+	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return serve(*addr, cfg, *sweep, sc)
+		return serve(*addr, cfg, *sweep, sc, *maxBody)
 	}
 	if rest[0] == "replay" && len(rest) == 3 {
 		data, err := os.ReadFile(rest[2])
 		if err != nil {
 			return err
 		}
-		return replay(rest[1], string(data), cfg, *batch, out)
+		return replay(rest[1], string(data), cfg, *batch, *maxBody, out)
 	}
 	return fmt.Errorf("usage: querylearnd [flags] [replay {twig|join|path|schema} <task-file>]")
 }
 
 // serve runs the daemon until SIGINT/SIGTERM, sweeping expired sessions and
 // compacting the journal in the background.
-func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig) error {
+func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig, maxBody int64) error {
 	mgr, st, err := openManager(cfg, sc)
 	if err != nil {
 		return err
 	}
-	var opts []server.Option
+	opts := []server.Option{server.WithMaxBodyBytes(maxBody)}
 	if st != nil {
 		opts = append(opts, server.WithStore(st.Stats))
 	}
@@ -225,7 +237,7 @@ type oracleFunc func(item json.RawMessage) (bool, error)
 // transcript go to out. With batch > 1 each round fetches up to that many
 // questions at once and answers them as one batch — the paper's parallel
 // crowd dispatch.
-func replay(model, taskSrc string, cfg session.Config, batch int, out io.Writer) error {
+func replay(model, taskSrc string, cfg session.Config, batch int, maxBody int64, out io.Writer) error {
 	seedTask, oracle, goal, err := prepareReplay(model, taskSrc)
 	if err != nil {
 		return err
@@ -239,7 +251,9 @@ func replay(model, taskSrc string, cfg session.Config, batch int, out io.Writer)
 	if err != nil {
 		return err
 	}
-	srv := hardenServer(&http.Server{Handler: server.New(mgr).Handler()})
+	// The in-process server honors -max-body-bytes like serve mode: a
+	// big-graph task file is a big create body.
+	srv := hardenServer(&http.Server{Handler: server.New(mgr, server.WithMaxBodyBytes(maxBody)).Handler()})
 	go srv.Serve(ln)
 	defer srv.Close()
 	base := "http://" + ln.Addr().String()

@@ -47,6 +47,17 @@
 //	                     snapshot compaction; recovery folds the log into
 //	                     session.Snapshots that Manager.Recover replays
 //
+// Scale: interactive path sessions run on a sparse, pool-projected version
+// space — candidate membership is interned over the question pool (pool ∪
+// task examples ∪ seed) and evaluated by the source-restricted
+// graph.EvalPairs, so per-session memory is O(candidates × pool) bits and
+// the old dense-bitset 4096-node graph cap is gone. Session limits are
+// daemon flags (-path-max-nodes, default one million nodes; -path-pool-limit;
+// -path-pool-max-len; -max-body-bytes for the edge-list bodies) that create
+// requests may tighten per session via the "limits" field; the limits travel
+// inside snapshots and journal events so resume/recovery rebuilds the exact
+// version space. See README.md's "Scale limits".
+//
 // Legacy-route deprecation policy: the pre-v1 unversioned routes (POST
 // /sessions, GET /sessions/{id}/question, ...) remain as thin aliases of
 // their /v1 successors. They answer identically but set a "Deprecation:

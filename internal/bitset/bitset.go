@@ -91,6 +91,22 @@ func (s *Set) AndNot(t *Set) {
 	}
 }
 
+// Grow extends the capacity to n bits, preserving contents; a no-op when n
+// does not exceed the current capacity. It exists for the sparse interned
+// universes of internal/graphlearn, whose pair space can gain a late slot
+// when an answer names a pair outside the initial pool.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	if w := (n + 63) / 64; w > len(s.words) {
+		words := make([]uint64, w)
+		copy(words, s.words)
+		s.words = words
+	}
+	s.n = n
+}
+
 // Fill sets every bit in 0..Cap()-1.
 func (s *Set) Fill() {
 	for i := range s.words {

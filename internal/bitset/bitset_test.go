@@ -35,6 +35,39 @@ func TestBasicOps(t *testing.T) {
 	}
 }
 
+func TestGrow(t *testing.T) {
+	for _, c := range []struct{ from, to int }{{0, 1}, {10, 70}, {64, 64}, {64, 65}, {130, 5000}, {100, 50}} {
+		s := New(c.from)
+		for i := 0; i < c.from; i += 7 {
+			s.Add(i)
+		}
+		before := s.Slice()
+		s.Grow(c.to)
+		wantCap := c.to
+		if wantCap < c.from {
+			wantCap = c.from // shrinking is a no-op
+		}
+		if s.Cap() != wantCap {
+			t.Fatalf("Grow(%d) from %d: cap = %d, want %d", c.to, c.from, s.Cap(), wantCap)
+		}
+		after := s.Slice()
+		if len(before) != len(after) {
+			t.Fatalf("Grow changed contents: %v -> %v", before, after)
+		}
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("Grow changed contents: %v -> %v", before, after)
+			}
+		}
+		if wantCap > 0 {
+			s.Add(wantCap - 1) // the new top bit must be addressable
+			if !s.Has(wantCap - 1) {
+				t.Fatal("new capacity not addressable")
+			}
+		}
+	}
+}
+
 func TestFill(t *testing.T) {
 	for _, n := range []int{0, 1, 63, 64, 65, 200} {
 		s := New(n)

@@ -22,7 +22,8 @@ type Config struct {
 	// WorkerErrorRate is the probability a single worker answers wrong.
 	WorkerErrorRate float64
 	// VotesPerQuestion is the number of workers asked per question
-	// (majority decides). Use an odd number; values < 1 mean 1.
+	// (majority decides). Values < 1 mean 1; an even value is rounded up
+	// to the next odd one so a vote can never tie.
 	VotesPerQuestion int
 }
 
@@ -54,17 +55,18 @@ func RunJoin(u *rellearn.Universe, goal rellearn.PairSet, strat rellearn.Strateg
 	maj := &interact.MajorityOracle[[2]int]{Inner: noisy, K: cfg.VotesPerQuestion}
 	report := Report{Strategy: strat.Name()}
 	stats, err := rellearn.Run(u, crowdOracle{maj}, strat)
+	// The partial stats are meaningful even on failure: every question up to
+	// the inconsistency was asked and its HITs were paid, so the report must
+	// account them either way.
+	report.Questions = stats.Questions
+	report.HITs = maj.Calls
+	report.Cost = float64(maj.Calls) * cfg.CostPerHIT
 	if err != nil {
 		// Noise produced inconsistent answers; the run is a failure
 		// but the money is spent.
 		report.Failed = true
-		report.HITs = maj.Calls
-		report.Cost = float64(maj.Calls) * cfg.CostPerHIT
 		return report, nil
 	}
-	report.Questions = stats.Questions
-	report.HITs = maj.Calls
-	report.Cost = float64(maj.Calls) * cfg.CostPerHIT
 	learned, encErr := u.Encode(stats.Learned)
 	if encErr != nil {
 		return Report{}, encErr

@@ -99,6 +99,49 @@ func TestRunJoinNoisyWorkersMajorityHelps(t *testing.T) {
 	}
 }
 
+// failAfterStrategy answers like FirstStrategy for a few questions and then
+// derails the run by picking out of range — a deterministic way to make
+// rellearn.Run fail mid-dialogue after real HITs were paid.
+type failAfterStrategy struct{ after, calls int }
+
+func (f *failAfterStrategy) Pick(_ *rellearn.Session, cands []rellearn.Candidate) int {
+	f.calls++
+	if f.calls > f.after {
+		return len(cands) // out of range → Run returns an error
+	}
+	return 0
+}
+
+func (f *failAfterStrategy) Name() string { return "fail-after" }
+
+// A failed run still paid for every HIT it asked, so the report's Questions
+// must match the spent HITs instead of reading 0 — the regression where
+// rellearn.Run's partial stats were dropped on error.
+func TestRunJoinFailedRunAccountsQuestions(t *testing.T) {
+	u := instance(t, 8, 5)
+	goal, err := u.Encode([]relational.AttrPair{{Left: "a", Right: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{CostPerHIT: 0.05, WorkerErrorRate: 0, VotesPerQuestion: 4} // normalized to 5 votes
+	rep, err := RunJoin(u, goal, &failAfterStrategy{after: 3}, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed {
+		t.Fatal("derailed run not reported as failed")
+	}
+	if rep.Questions != 3 {
+		t.Fatalf("failed run reports %d questions, want the 3 asked before the failure", rep.Questions)
+	}
+	if rep.HITs != 5*rep.Questions {
+		t.Errorf("HITs %d != questions %d × 5 votes: the paid work and the stats disagree", rep.HITs, rep.Questions)
+	}
+	if want := float64(rep.HITs) * 0.05; rep.Cost != want {
+		t.Errorf("cost %.2f, want %.2f", rep.Cost, want)
+	}
+}
+
 func TestRunJoinNegativeCost(t *testing.T) {
 	u := instance(t, 4, 1)
 	goal, _ := u.Encode(nil)

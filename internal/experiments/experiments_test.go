@@ -221,8 +221,12 @@ func TestAllRuns(t *testing.T) {
 		t.Skip("full sweep in short mode")
 	}
 	tables := All(1)
-	if len(tables) != 14 {
-		t.Errorf("All returned %d tables, want 14", len(tables))
+	// The explicit list (not len(Registry())) guards registration drift: an
+	// experiment dropped from — or double-added to — the registry fails here.
+	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10",
+		"T11", "T12", "T13", "F1", "T14"}
+	if len(tables) != len(want) {
+		t.Errorf("All returned %d tables, want %d", len(tables), len(want))
 	}
 	ids := map[string]bool{}
 	for _, tab := range tables {
@@ -232,6 +236,11 @@ func TestAllRuns(t *testing.T) {
 		ids[tab.ID] = true
 		if tab.Render() == "" {
 			t.Errorf("table %s renders empty", tab.ID)
+		}
+	}
+	for _, id := range want {
+		if !ids[id] {
+			t.Errorf("experiment %s missing from All", id)
 		}
 	}
 }

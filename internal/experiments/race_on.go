@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// heavyweight experiment sweeps (T14's big graphs) shrink under it so
+// `go test -race ./...` exercises the same code paths without tripping the
+// per-package test timeout on small machines; the real sizes run in the
+// non-race benchrunner targets.
+const raceEnabled = true

@@ -69,32 +69,63 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// Experiment pairs a claim id with its runner, so callers (cmd/benchrunner's
+// -only flag, make bench-t14) can run a selection without paying for the
+// rest.
+type Experiment struct {
+	ID  string
+	Run func(scale int) *Table
+}
+
+// Registry lists every experiment in claim order.
+func Registry() []Experiment {
+	return []Experiment{
+		{"T1", T1ExamplesToConvergence},
+		{"T2", T2XPathMarkCoverage},
+		{"T3", T3Overspecialization},
+		{"T4", T4SchemaContainment},
+		{"T5", T5SatImplication},
+		{"T6", T6ConsistencyJoinVsSemijoin},
+		{"T7", T7Interactions},
+		{"T8", T8GraphInteractions},
+		{"T9", T9CrowdCost},
+		{"T10", T10SchemaLearning},
+		{"T11", T11ServiceThroughput},
+		{"T12", T12Durability},
+		{"T13", T13BatchDialogues},
+		{"F1", func(int) *Table { return F1ExchangeScenarios() }},
+		{"T14", T14BigGraphSessions},
+	}
+}
+
+// Run executes one registered experiment, stamping its wall-clock cost.
+func (e Experiment) run(scale int) *Table {
+	start := time.Now()
+	t := e.Run(scale)
+	t.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	return t
+}
+
 // All runs every experiment at the given scale (1 = quick, larger = more
 // thorough) and returns the tables in claim order, each stamped with its
 // wall-clock cost.
 func All(scale int) []*Table {
-	exps := []func(int) *Table{
-		T1ExamplesToConvergence,
-		T2XPathMarkCoverage,
-		T3Overspecialization,
-		T4SchemaContainment,
-		T5SatImplication,
-		T6ConsistencyJoinVsSemijoin,
-		T7Interactions,
-		T8GraphInteractions,
-		T9CrowdCost,
-		T10SchemaLearning,
-		T11ServiceThroughput,
-		T12Durability,
-		T13BatchDialogues,
-		func(int) *Table { return F1ExchangeScenarios() },
+	return Only(nil, scale)
+}
+
+// Only runs the experiments whose ids are listed (nil or empty = all), in
+// claim order.
+func Only(ids []string, scale int) []*Table {
+	want := map[string]bool{}
+	for _, id := range ids {
+		want[strings.ToUpper(strings.TrimSpace(id))] = true
 	}
-	out := make([]*Table, 0, len(exps))
-	for _, exp := range exps {
-		start := time.Now()
-		t := exp(scale)
-		t.ElapsedMS = float64(time.Since(start).Nanoseconds()) / 1e6
-		out = append(out, t)
+	var out []*Table
+	for _, e := range Registry() {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		out = append(out, e.run(scale))
 	}
 	return out
 }

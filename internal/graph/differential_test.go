@@ -117,6 +117,112 @@ func TestDifferentialShortestWordVsNaive(t *testing.T) {
 	}
 }
 
+// EvalPairs (the pool-restricted evaluation behind sparse interactive
+// sessions) must agree with the all-pairs Eval and with the naive per-source
+// oracle on randomized graphs, queries, and pair pools — including repeated
+// pairs, repeated sources, and self-loops.
+func TestDifferentialEvalPairsVsEval(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed * 7))
+		n := 2 + rng.Intn(50)
+		g := randomGraph(rng, n, rng.Intn(4*n), labels)
+		for qi := 0; qi < 4; qi++ {
+			q := randomQuery(rng, labels)
+			selected := map[Pair]bool{}
+			for _, p := range g.Eval(q) {
+				selected[p] = true
+			}
+			pairs := make([]Pair, 0, 60)
+			for i := 0; i < 50; i++ {
+				pairs = append(pairs, Pair{Src: rng.Intn(n), Dst: rng.Intn(n)})
+			}
+			pairs = append(pairs, pairs[:5]...) // duplicates must answer alike
+			for i := 0; i < 5; i++ {
+				v := rng.Intn(n)
+				pairs = append(pairs, Pair{Src: v, Dst: v})
+			}
+			got := g.EvalPairs(q, pairs)
+			naive := g.EvalPairsNaive(q, pairs)
+			for i, p := range pairs {
+				if got[i] != selected[p] {
+					t.Fatalf("seed %d query %s pair %v: EvalPairs %v, Eval says %v",
+						seed, q, p, got[i], selected[p])
+				}
+				if got[i] != naive[i] {
+					t.Fatalf("seed %d query %s pair %v: EvalPairs %v != naive %v",
+						seed, q, p, got[i], naive[i])
+				}
+			}
+		}
+	}
+}
+
+// The parallel EvalPairs path (≥32 distinct sources) must be deterministic
+// and agree with the sequential oracle.
+func TestEvalPairsParallelDeterministic(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	g := GenerateGeo(13, 200)
+	q := MustParsePathQuery("highway.road*")
+	rng := rand.New(rand.NewSource(42))
+	var pairs []Pair
+	for i := 0; i < 400; i++ {
+		pairs = append(pairs, Pair{Src: rng.Intn(g.NumNodes()), Dst: rng.Intn(g.NumNodes())})
+	}
+	first := g.EvalPairs(q, pairs)
+	naive := g.EvalPairsNaive(q, pairs)
+	for i := range first {
+		if first[i] != naive[i] {
+			t.Fatalf("pair %v: parallel %v != naive %v", pairs[i], first[i], naive[i])
+		}
+	}
+	for run := 0; run < 3; run++ {
+		again := g.EvalPairs(q, pairs)
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("run %d: nondeterministic answer for %v", run, pairs[i])
+			}
+		}
+	}
+}
+
+// SelectsMany shares one visited scratch across queries of different
+// lengths; every verdict must still match an independent Selects call.
+func TestSelectsManyMatchesSelects(t *testing.T) {
+	labels := []string{"a", "b", "c"}
+	rng := rand.New(rand.NewSource(5))
+	n := 40
+	g := randomGraph(rng, n, 120, labels)
+	var qs []PathQuery
+	for i := 0; i < 10; i++ {
+		qs = append(qs, randomQuery(rng, labels))
+	}
+	for trial := 0; trial < 50; trial++ {
+		src, dst := rng.Intn(n), rng.Intn(n)
+		got := g.SelectsMany(qs, src, dst)
+		for i, q := range qs {
+			if want := g.Selects(q, src, dst); got[i] != want {
+				t.Fatalf("query %q pair (%d,%d): SelectsMany %v != Selects %v", q, src, dst, got[i], want)
+			}
+		}
+	}
+	if out := g.SelectsMany(nil, 0, 0); len(out) != 0 {
+		t.Fatalf("empty query list: %v", out)
+	}
+}
+
+// EvalPairs on empty inputs must not panic.
+func TestEvalPairsEmpty(t *testing.T) {
+	g := New()
+	if got := g.EvalPairs(MustParsePathQuery("a"), nil); len(got) != 0 {
+		t.Fatalf("empty graph/pairs: %v", got)
+	}
+	g.AddEdge("a", "r", "b")
+	if got := g.EvalPairs(PathQuery{}, []Pair{{0, 0}, {0, 1}}); !got[0] || got[1] {
+		t.Fatalf("empty query: %v (want [true false])", got)
+	}
+}
+
 // Mutating the graph after an evaluation must invalidate the cached index.
 func TestIndexInvalidationOnMutation(t *testing.T) {
 	g := New()

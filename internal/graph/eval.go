@@ -329,6 +329,232 @@ func (g *Graph) Eval(q PathQuery) []Pair {
 	return out
 }
 
+// pairEvaluator is the sparse per-source product-BFS behind EvalPairs: an
+// explicit (node, state) worklist with an epoch-stamped visited array, so
+// each source costs O(configurations reached), never O(n) bitset sweeps per
+// frontier round. The dense evaluator's word-parallel closures win when most
+// of the graph is reachable (all-pairs Eval); for a few thousand pool
+// sources on a huge graph, output-sensitive beats word-parallel by orders of
+// magnitude — chain-shaped subgraphs make the dense closure O(n²/64) per
+// source.
+type pairEvaluator struct {
+	g    *Graph
+	ix   *labelIndex
+	q    PathQuery
+	lids []int
+	k    int
+	// visited[node*(k+1)+state] == epoch marks a reached configuration.
+	visited []uint32
+	epoch   uint32
+	stack   []int64
+}
+
+func newPairEvaluator(g *Graph, q PathQuery) *pairEvaluator {
+	ev := newPairEvaluatorPlan(g, q)
+	ev.visited = make([]uint32, len(g.nodes)*(ev.k+1))
+	return ev
+}
+
+// newPairEvaluatorPlan builds the immutable query plan without the visited
+// scratch, for callers that inject a shared array (SelectsMany).
+func newPairEvaluatorPlan(g *Graph, q PathQuery) *pairEvaluator {
+	ix := g.index()
+	k := len(q.Atoms)
+	ev := &pairEvaluator{g: g, ix: ix, q: q, k: k, lids: make([]int, k)}
+	for i, a := range q.Atoms {
+		if id, ok := ix.labelIDs[a.Label]; ok {
+			ev.lids[i] = id
+		} else {
+			ev.lids[i] = -1
+		}
+	}
+	return ev
+}
+
+// fork returns an evaluator sharing the immutable plan with fresh scratch,
+// for use on another goroutine.
+func (ev *pairEvaluator) fork() *pairEvaluator {
+	c := &pairEvaluator{g: ev.g, ix: ev.ix, q: ev.q, lids: ev.lids, k: ev.k}
+	c.visited = make([]uint32, len(ev.visited))
+	return c
+}
+
+// push marks (node, state) and its epsilon closure (skipping starred atoms)
+// reached, enqueueing newly discovered configurations.
+func (ev *pairEvaluator) push(node, state int) {
+	for {
+		idx := node*(ev.k+1) + state
+		if ev.visited[idx] == ev.epoch {
+			return
+		}
+		ev.visited[idx] = ev.epoch
+		ev.stack = append(ev.stack, int64(idx))
+		if state < ev.k && ev.q.Atoms[state].Star {
+			state++
+			continue
+		}
+		return
+	}
+}
+
+// run explores every configuration reachable from (src, 0). Membership of a
+// destination is then a visited probe at state k.
+func (ev *pairEvaluator) run(src int) {
+	ev.epoch++
+	if ev.epoch == 0 { // wrapped: invalidate stale stamps
+		for i := range ev.visited {
+			ev.visited[i] = 0
+		}
+		ev.epoch = 1
+	}
+	ev.stack = ev.stack[:0]
+	ev.push(src, 0)
+	for len(ev.stack) > 0 {
+		idx := ev.stack[len(ev.stack)-1]
+		ev.stack = ev.stack[:len(ev.stack)-1]
+		node, state := int(idx)/(ev.k+1), int(idx)%(ev.k+1)
+		if state >= ev.k {
+			continue
+		}
+		lid := ev.lids[state]
+		if lid < 0 {
+			continue
+		}
+		star := ev.q.Atoms[state].Star
+		for _, to := range ev.ix.out[lid].row(node) {
+			if star {
+				ev.push(int(to), state)
+			} else {
+				ev.push(int(to), state+1)
+			}
+		}
+	}
+}
+
+func (ev *pairEvaluator) selects(dst int) bool {
+	return ev.visited[dst*(ev.k+1)+ev.k] == ev.epoch
+}
+
+// EvalPairs reports, for each requested pair, whether the query selects it —
+// the pool-restricted evaluation behind sparse interactive sessions. Work is
+// proportional to the distinct sources among the pairs (one sparse
+// automaton-product BFS each, in parallel past a handful of sources), never
+// to the n² pair space, so candidate membership over a question pool stays
+// cheap on graphs far beyond the all-pairs regime. Pair node indexes must be
+// valid.
+func (g *Graph) EvalPairs(q PathQuery, pairs []Pair) []bool {
+	if UseNaive {
+		return g.EvalPairsNaive(q, pairs)
+	}
+	out := make([]bool, len(pairs))
+	if len(pairs) == 0 || len(g.nodes) == 0 {
+		return out
+	}
+	// Group pair indexes by source, preserving first-occurrence order of the
+	// sources for deterministic scheduling.
+	bySrc := make(map[int][]int)
+	var sources []int
+	for i, p := range pairs {
+		if _, ok := bySrc[p.Src]; !ok {
+			sources = append(sources, p.Src)
+		}
+		bySrc[p.Src] = append(bySrc[p.Src], i)
+	}
+	proto := newPairEvaluator(g, q)
+	probe := func(ev *pairEvaluator, src int) {
+		ev.run(src)
+		for _, i := range bySrc[src] {
+			out[i] = ev.selects(pairs[i].Dst)
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sources) {
+		workers = len(sources)
+	}
+	if workers <= 1 || len(sources) < 32 {
+		for _, src := range sources {
+			probe(proto, src)
+		}
+		return out
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := proto.fork()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(sources) {
+					return
+				}
+				probe(ev, sources[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// SelectsMany reports, for each query, whether it selects the pair — the
+// ensemble-membership probe behind version-space growth (an answer naming a
+// pair outside a session's interned universe must be judged by every
+// surviving candidate). One visited array sized for the longest query is
+// shared across all the runs, so the whole call allocates O(n·maxK) once
+// instead of per query; epoch stamping makes the reuse safe because stale
+// entries from a previous query always carry a smaller epoch.
+func (g *Graph) SelectsMany(qs []PathQuery, src, dst int) []bool {
+	out := make([]bool, len(qs))
+	if len(qs) == 0 || len(g.nodes) == 0 {
+		return out
+	}
+	if UseNaive {
+		one := []Pair{{Src: src, Dst: dst}}
+		for i, q := range qs {
+			out[i] = g.EvalPairsNaive(q, one)[0]
+		}
+		return out
+	}
+	maxK := 0
+	for _, q := range qs {
+		if len(q.Atoms) > maxK {
+			maxK = len(q.Atoms)
+		}
+	}
+	shared := make([]uint32, len(g.nodes)*(maxK+1))
+	epoch := uint32(0)
+	for i, q := range qs {
+		ev := newPairEvaluatorPlan(g, q)
+		ev.visited = shared[:len(g.nodes)*(ev.k+1)]
+		ev.epoch = epoch
+		ev.run(src)
+		epoch = ev.epoch
+		out[i] = ev.selects(dst)
+	}
+	return out
+}
+
+// EvalPairsNaive answers the same membership questions through the original
+// map-backed per-source evaluator — the differential-testing oracle for
+// EvalPairs.
+func (g *Graph) EvalPairsNaive(q PathQuery, pairs []Pair) []bool {
+	out := make([]bool, len(pairs))
+	reach := map[int]map[int]bool{}
+	for i, p := range pairs {
+		dsts, ok := reach[p.Src]
+		if !ok {
+			dsts = map[int]bool{}
+			for _, d := range g.EvalFromNaive(q, p.Src) {
+				dsts[d] = true
+			}
+			reach[p.Src] = dsts
+		}
+		out[i] = dsts[p.Dst]
+	}
+	return out
+}
+
 // Selects reports whether the query selects the given pair.
 func (g *Graph) Selects(q PathQuery, src, dst int) bool {
 	if UseNaive {

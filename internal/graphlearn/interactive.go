@@ -29,14 +29,22 @@ type GoalOracle struct {
 // LabelPair implements Oracle.
 func (o GoalOracle) LabelPair(src, dst int) bool { return o.G.Selects(o.Goal, src, dst) }
 
-// Session is the state of one interactive run. Candidate selection sets
-// are dense bitsets over interned pair ids (src*N + dst), so the
-// disagreement tests behind Informative and SplitStrategy are bit probes
-// rather than hash lookups.
+// Session is the state of one interactive run. The version space is
+// pool-projected and sparse: only the pairs that can ever be probed — the
+// candidate pool, the seed, and any pair an answer later names — are
+// interned into a compact pair-index universe, and each candidate's
+// membership is a |universe|-bit set filled by the source-restricted
+// graph.EvalPairs. Session memory is therefore O(candidates · |pool|) bits
+// and creation runs one product BFS per distinct pool source, independent of
+// the n² pair space that capped earlier versions at a few thousand nodes.
 type Session struct {
 	G          *graph.Graph
 	Candidates []graph.PathQuery
-	// selects[i] caches candidate i's full selection set, by pair id.
+	// universe is the interned probe-able pair space; slots maps a pair to
+	// its index. Answers about pairs outside the initial universe grow it.
+	universe []graph.Pair
+	slots    map[graph.Pair]int
+	// selects[i] is candidate i's membership over the universe.
 	selects []*bitset.Set
 	// selCount[i] caches selects[i].Count() for Result's tie-breaking.
 	selCount []int
@@ -46,57 +54,125 @@ type Session struct {
 	Questions int
 }
 
-// pairID interns a node pair as src*NumNodes + dst.
-func (s *Session) pairID(p graph.Pair) int { return p.Src*s.G.NumNodes() + p.Dst }
+// membershipFunc computes, for one candidate, which of the pairs it selects.
+// The production implementation is the pool-restricted graph.EvalPairs; the
+// differential tests substitute a dense all-pairs oracle.
+type membershipFunc func(g *graph.Graph, q graph.PathQuery, pairs []graph.Pair) []bool
+
+func sparseMembership(g *graph.Graph, q graph.PathQuery, pairs []graph.Pair) []bool {
+	return g.EvalPairs(q, pairs)
+}
 
 // NewSession builds a session from a positive seed pair and a candidate
 // pool of pairs the user may be asked about. The seed itself is treated as
 // answered positively.
 func NewSession(g *graph.Graph, seed graph.Pair, pool []graph.Pair) (*Session, error) {
+	return newSession(g, seed, pool, nil, sparseMembership)
+}
+
+// NewSessionProbes is NewSession with further known probe-able pairs — a
+// task's replayed examples — interned into the universe up front, so their
+// candidate membership rides the same batched pool-restricted evaluation
+// instead of the per-pair fallback of a post-construction Record.
+func NewSessionProbes(g *graph.Graph, seed graph.Pair, pool, probes []graph.Pair) (*Session, error) {
+	return newSession(g, seed, pool, probes, sparseMembership)
+}
+
+func newSession(g *graph.Graph, seed graph.Pair, pool, probes []graph.Pair, membership membershipFunc) (*Session, error) {
 	word := g.ShortestWord(seed.Src, seed.Dst)
 	if word == nil {
 		return nil, fmt.Errorf("graphlearn: seed pair (%s,%s) is not connected",
 			g.Node(seed.Src), g.Node(seed.Dst))
 	}
 	cands := CandidatesFromWord(word)
-	n := g.NumNodes()
-	s := &Session{G: g, Pool: pool, labeled: bitset.New(n * n)}
+	s := &Session{G: g, Pool: pool, slots: make(map[graph.Pair]int, len(pool)+1)}
+	intern := func(p graph.Pair) {
+		if _, ok := s.slots[p]; !ok {
+			s.slots[p] = len(s.universe)
+			s.universe = append(s.universe, p)
+		}
+	}
+	for _, p := range pool {
+		intern(p)
+	}
+	for _, p := range probes {
+		intern(p)
+	}
+	intern(seed)
+	s.labeled = bitset.New(len(s.universe))
 	for _, q := range cands {
-		sel := bitset.New(n * n)
-		for _, p := range g.Eval(q) {
-			sel.Add(s.pairID(p))
+		sel := bitset.New(len(s.universe))
+		count := 0
+		for id, in := range membership(g, q, s.universe) {
+			if in {
+				sel.Add(id)
+				count++
+			}
 		}
 		// Every candidate accepts the seed word, hence selects seed.
 		s.Candidates = append(s.Candidates, q)
 		s.selects = append(s.selects, sel)
-		s.selCount = append(s.selCount, sel.Count())
+		s.selCount = append(s.selCount, count)
 	}
-	s.labeled.Add(s.pairID(seed))
-	if err := s.record(seed, true); err != nil {
+	seedID := s.slots[seed]
+	if err := s.record(seedID, true); err != nil {
 		return nil, err
 	}
+	s.labeled.Add(seedID)
 	return s, nil
+}
+
+// ensureSlot interns a pair into the universe, extending every surviving
+// candidate's membership set by its verdict on the new pair. Pool and probe
+// pairs are interned at construction; this grows the universe only when an
+// answer names a pair outside it (an arbitrary wire answer). Membership is
+// judged by SelectsMany — sparse per-source runs over one shared scratch
+// allocation, not a dense whole-graph pass or a per-candidate array.
+func (s *Session) ensureSlot(p graph.Pair) int {
+	if id, ok := s.slots[p]; ok {
+		return id
+	}
+	id := len(s.universe)
+	s.universe = append(s.universe, p)
+	s.slots[p] = id
+	s.labeled.Grow(id + 1)
+	for i, in := range s.G.SelectsMany(s.Candidates, p.Src, p.Dst) {
+		s.selects[i].Grow(id + 1)
+		if in {
+			s.selects[i].Add(id)
+			s.selCount[i]++
+		}
+	}
+	return id
 }
 
 // Informative reports whether surviving candidates disagree on the pair.
 func (s *Session) Informative(p graph.Pair) bool {
-	id := s.pairID(p)
+	if len(s.Candidates) < 2 {
+		return false
+	}
+	id, ok := s.slots[p]
+	if !ok {
+		// A pair outside the interned universe: answer from the graph
+		// directly without growing the universe (Informative is a read).
+		verdicts := s.G.SelectsMany(s.Candidates, p.Src, p.Dst)
+		for _, v := range verdicts[1:] {
+			if v != verdicts[0] {
+				return true
+			}
+		}
+		return false
+	}
 	if s.labeled.Has(id) {
 		return false
 	}
-	first, rest := false, false
-	for i := range s.Candidates {
-		v := s.selects[i].Has(id)
-		if i == 0 {
-			first = v
-			continue
-		}
-		if v != first {
-			rest = true
-			break
+	first := s.selects[0].Has(id)
+	for _, sel := range s.selects[1:] {
+		if sel.Has(id) != first {
+			return true
 		}
 	}
-	return rest
+	return false
 }
 
 // InformativePairs lists the informative pool pairs.
@@ -110,14 +186,19 @@ func (s *Session) InformativePairs() []graph.Pair {
 	return out
 }
 
-// Record applies a user answer, filtering the version space.
+// Record applies a user answer, filtering the version space. The pair is
+// committed to the labeled set only after the answer applies cleanly, so a
+// rejected (inconsistent) answer does not poison Informative for the pair.
 func (s *Session) Record(p graph.Pair, positive bool) error {
-	s.labeled.Add(s.pairID(p))
-	return s.record(p, positive)
+	id := s.ensureSlot(p)
+	if err := s.record(id, positive); err != nil {
+		return err
+	}
+	s.labeled.Add(id)
+	return nil
 }
 
-func (s *Session) record(p graph.Pair, positive bool) error {
-	id := s.pairID(p)
+func (s *Session) record(id int, positive bool) error {
 	var cands []graph.PathQuery
 	var sels []*bitset.Set
 	var counts []int
@@ -136,7 +217,11 @@ func (s *Session) record(p graph.Pair, positive bool) error {
 }
 
 // Result returns the most specific surviving candidate: the one selecting
-// the fewest pairs (ties broken by query string).
+// the fewest pairs of the interned universe (the pool plus every answered
+// pair), ties broken by query string. Projecting specificity onto the
+// universe instead of the full n² pair space keeps the measure computable on
+// large graphs; at convergence all survivors agree on the whole pool, so the
+// choice among them is indistinguishable by any probe-able pair.
 func (s *Session) Result() graph.PathQuery {
 	best := 0
 	for i := range s.Candidates {
@@ -198,37 +283,88 @@ func Run(g *graph.Graph, seed graph.Pair, pool []graph.Pair, oracle Oracle, stra
 
 // DefaultPool returns the candidate pairs a user could reasonably be shown:
 // every connected pair with a shortest path of at most maxLen edges, capped
-// at limit pairs (0 = no cap), in deterministic order.
+// at limit pairs (0 = no cap). Sources are interleaved deterministically —
+// round-robin, one pair per source per round, over lazily advanced
+// per-source BFS frontiers — so a truncating limit samples pairs from across
+// the whole graph instead of exhausting the lowest-index sources first (the
+// bias that skewed big-graph sessions).
 func DefaultPool(g *graph.Graph, maxLen, limit int) []graph.Pair {
+	n := g.NumNodes()
 	var out []graph.Pair
-	seen := bitset.New(g.NumNodes())
-	for s := 0; s < g.NumNodes(); s++ {
-		// BFS with depth bound.
-		type item struct{ node, depth int }
-		seen.Clear()
-		seen.Add(s)
-		queue := []item{{s, 0}}
-		for len(queue) > 0 {
-			it := queue[0]
-			queue = queue[1:]
-			if it.node != s {
-				out = append(out, graph.Pair{Src: s, Dst: it.node})
-				if limit > 0 && len(out) >= limit {
-					return out
-				}
-			}
-			if it.depth == maxLen {
+	// active holds the sources whose BFS still has pairs to yield, in node
+	// order; iterators are created lazily so a small limit over a huge graph
+	// never materializes per-source state it will not use.
+	var active []*poolIter
+	for src := 0; src < n; src++ {
+		it := newPoolIter(g, src, maxLen)
+		p, ok := it.next()
+		if !ok {
+			continue
+		}
+		out = append(out, p)
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+		active = append(active, it)
+	}
+	for len(active) > 0 {
+		live := active[:0]
+		for _, it := range active {
+			p, ok := it.next()
+			if !ok {
 				continue
 			}
-			g.Out(it.node, func(_ string, to int) {
-				if !seen.Has(to) {
-					seen.Add(to)
-					queue = append(queue, item{to, it.depth + 1})
+			out = append(out, p)
+			if limit > 0 && len(out) >= limit {
+				return out
+			}
+			live = append(live, it)
+		}
+		active = live
+	}
+	return out
+}
+
+// poolIter is one source's depth-bounded BFS, advanced one discovered pair
+// at a time. Visited-set state is a map so a thousand live iterators over a
+// million-node graph stay proportional to what they actually visited.
+type poolIter struct {
+	g      *graph.Graph
+	src    int
+	maxLen int
+	queue  []poolItem
+	qi     int
+	seen   map[int]struct{}
+}
+
+type poolItem struct{ node, depth int }
+
+func newPoolIter(g *graph.Graph, src, maxLen int) *poolIter {
+	it := &poolIter{g: g, src: src, maxLen: maxLen, seen: map[int]struct{}{src: {}}}
+	it.queue = append(it.queue, poolItem{src, 0})
+	return it
+}
+
+// next yields the source's next BFS-discovered pair, in the same per-source
+// order the original single-pass implementation produced.
+func (it *poolIter) next() (graph.Pair, bool) {
+	for it.qi < len(it.queue) {
+		cur := it.queue[it.qi]
+		it.qi++
+		if cur.depth < it.maxLen {
+			it.g.Out(cur.node, func(_ string, to int) {
+				if _, ok := it.seen[to]; !ok {
+					it.seen[to] = struct{}{}
+					it.queue = append(it.queue, poolItem{to, cur.depth + 1})
 				}
 			})
 		}
+		if cur.node != it.src {
+			return graph.Pair{Src: it.src, Dst: cur.node}, true
+		}
 	}
-	return out
+	it.queue, it.seen = nil, nil
+	return graph.Pair{}, false
 }
 
 // RandomStrategy asks a uniformly random informative pair.
@@ -248,7 +384,10 @@ type SplitStrategy struct{}
 func (SplitStrategy) Pick(s *Session, inf []graph.Pair) int {
 	best, bestDist := 0, 1<<30
 	for i, p := range inf {
-		id := s.pairID(p)
+		id, ok := s.slots[p]
+		if !ok {
+			continue // informative pairs come from the interned pool
+		}
 		yes := 0
 		for c := range s.Candidates {
 			if s.selects[c].Has(id) {
@@ -277,17 +416,25 @@ type PriorStrategy struct {
 	G        *graph.Graph
 	Workload []graph.PathQuery
 	Fallback Strategy
+	// cache holds each workload query's membership over cacheFor's interned
+	// universe — pool-projected like the session itself, so the prior costs
+	// one EvalPairs per workload query instead of an n²-bit all-pairs set.
+	cacheFor *Session
 	cache    []*bitset.Set
 }
 
 // Pick implements Strategy.
 func (ps *PriorStrategy) Pick(s *Session, inf []graph.Pair) int {
-	if ps.cache == nil {
-		n := ps.G.NumNodes()
+	if ps.cacheFor != s {
+		ps.cacheFor = s
+		ps.cache = ps.cache[:0]
+		universe := append([]graph.Pair(nil), s.universe...)
 		for _, w := range ps.Workload {
-			sel := bitset.New(n * n)
-			for _, p := range ps.G.Eval(w) {
-				sel.Add(p.Src*n + p.Dst)
+			sel := bitset.New(len(universe))
+			for id, in := range ps.G.EvalPairs(w, universe) {
+				if in {
+					sel.Add(id)
+				}
 			}
 			ps.cache = append(ps.cache, sel)
 		}
@@ -295,11 +442,14 @@ func (ps *PriorStrategy) Pick(s *Session, inf []graph.Pair) int {
 	bestScore := -1
 	var bestIdx []int
 	for i, p := range inf {
-		id := s.pairID(p)
+		id, ok := s.slots[p]
 		score := 0
-		for _, sel := range ps.cache {
-			if sel.Has(id) {
-				score++
+		if ok {
+			for _, sel := range ps.cache {
+				// Slots interned after the cache was built score zero.
+				if id < sel.Cap() && sel.Has(id) {
+					score++
+				}
 			}
 		}
 		if score > bestScore {

@@ -115,21 +115,35 @@ func (n NoisyOracle[I]) Label(item I) bool {
 	return ans
 }
 
-// MajorityOracle asks an inner oracle K times (K odd) and returns the
-// majority answer — the standard crowd-sourcing defence against worker
-// error. Calls counts the total inner questions for cost accounting.
+// MajorityOracle asks an inner oracle K times and returns the majority
+// answer — the standard crowd-sourcing defence against worker error. K is
+// normalized to an odd vote count (see Votes), so a 50/50 tie can never be
+// silently resolved. Calls counts the total inner questions for cost
+// accounting.
 type MajorityOracle[I any] struct {
 	Inner Oracle[I]
 	K     int
 	Calls int
 }
 
-// Label implements Oracle.
-func (m *MajorityOracle[I]) Label(item I) bool {
+// Votes is the effective vote count: K normalized in one place — values
+// below one mean one vote, and an even K is rounded up to the next odd
+// value so every majority is strict (an even panel would resolve ties
+// arbitrarily, silently biasing the answers).
+func (m *MajorityOracle[I]) Votes() int {
 	k := m.K
 	if k < 1 {
 		k = 1
 	}
+	if k%2 == 0 {
+		k++
+	}
+	return k
+}
+
+// Label implements Oracle.
+func (m *MajorityOracle[I]) Label(item I) bool {
+	k := m.Votes()
 	yes := 0
 	for i := 0; i < k; i++ {
 		m.Calls++

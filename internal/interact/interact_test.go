@@ -144,3 +144,31 @@ func TestMajorityOracleKDefaults(t *testing.T) {
 		t.Errorf("K<1 should default to a single call")
 	}
 }
+
+// An even K is normalized up to the next odd vote count, so a 50/50 split
+// can never be silently resolved to negative. The alternating inner oracle
+// would tie 1–1 under a literal K=2; with the odd panel the true majority
+// (2 of 3 yes) wins.
+func TestMajorityOracleEvenKCannotTie(t *testing.T) {
+	calls := 0
+	alternating := OracleFunc[int](func(int) bool {
+		calls++
+		return calls%2 == 1 // yes, no, yes, no, ...
+	})
+	maj := &MajorityOracle[int]{Inner: alternating, K: 2}
+	if got := maj.Votes(); got != 3 {
+		t.Fatalf("Votes() for K=2 = %d, want 3", got)
+	}
+	if !maj.Label(0) {
+		t.Error("K=2 tie resolved to negative; the odd panel must decide yes (2 of 3)")
+	}
+	if maj.Calls != 3 {
+		t.Errorf("Calls = %d, want 3 (the normalized vote count)", maj.Calls)
+	}
+	for _, c := range []struct{ k, want int }{{-3, 1}, {0, 1}, {1, 1}, {4, 5}, {7, 7}, {100, 101}} {
+		m := &MajorityOracle[int]{Inner: alternating, K: c.k}
+		if got := m.Votes(); got != c.want {
+			t.Errorf("Votes() for K=%d = %d, want %d", c.k, got, c.want)
+		}
+	}
+}

@@ -148,9 +148,15 @@ type RunStats struct {
 
 // Run drives the interactive loop until every pair is labeled or
 // uninformative, asking the oracle at each step and pruning in between.
+// On failure the returned stats still carry the questions asked up to the
+// failure point — callers accounting for paid crowd work (internal/crowd)
+// need them even when noise makes the answers inconsistent.
 func Run(u *Universe, oracle Oracle, strat Strategy) (RunStats, error) {
 	s := NewSession(u)
 	total := u.Left.Len() * u.Right.Len()
+	partial := func() RunStats {
+		return RunStats{Strategy: strat.Name(), Questions: s.Questions, TotalPairs: total}
+	}
 	for {
 		cands := s.Candidates()
 		if len(cands) == 0 {
@@ -158,13 +164,13 @@ func Run(u *Universe, oracle Oracle, strat Strategy) (RunStats, error) {
 		}
 		pick := strat.Pick(s, cands)
 		if pick < 0 || pick >= len(cands) {
-			return RunStats{}, fmt.Errorf("rellearn: strategy %s picked out of range", strat.Name())
+			return partial(), fmt.Errorf("rellearn: strategy %s picked out of range", strat.Name())
 		}
 		c := cands[pick]
 		ans := oracle.LabelPair(c.Left, c.Right)
 		s.Questions++
 		if err := s.Record(c.Left, c.Right, ans); err != nil {
-			return RunStats{}, err
+			return partial(), err
 		}
 	}
 	s.PrunedCertain = total - s.Questions

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"querylearn/internal/graph"
+	"querylearn/internal/session"
+	"querylearn/pkg/api"
+)
+
+// geoTask renders a generated geographic graph as a path-task body seeded
+// with its first highway edge.
+func geoTask(t *testing.T, genSeed int64, nodes int) string {
+	t.Helper()
+	g := graph.GenerateGeo(genSeed, nodes)
+	seedFrom, seedTo := "", ""
+	for _, e := range g.Triples() {
+		if e.Label == "highway" && e.From != e.To {
+			seedFrom, seedTo = e.From, e.To
+			break
+		}
+	}
+	if seedFrom == "" {
+		t.Fatal("generated graph has no highway edge")
+	}
+	var b strings.Builder
+	for _, e := range g.Triples() {
+		fmt.Fprintf(&b, "edge %s %s %s\n", e.From, e.Label, e.To)
+	}
+	fmt.Fprintf(&b, "pos %s %s\n", seedFrom, seedTo)
+	return b.String()
+}
+
+// A path session on a graph far above the old 4096-node dense-bitset cap
+// must create over /v1 and serve a live dialogue. The request tightens the
+// pool to keep the test quick; the node count is what the old cap rejected.
+func TestV1BigGraphPathSessionCreates(t *testing.T) {
+	task := geoTask(t, 23, 8192)
+	c, _ := newTestServer(t, session.Config{})
+	var created api.CreateResponse
+	c.do("POST", "/v1/sessions", api.CreateRequest{
+		Model:  "path",
+		Task:   task,
+		Limits: &api.PathLimits{PoolLimit: 200, PoolMaxLen: 3},
+	}, http.StatusCreated, &created)
+	if created.ID == "" {
+		t.Fatal("create returned no id")
+	}
+	var qs api.QuestionsResponse
+	c.do("GET", "/v1/sessions/"+created.ID+"/questions?n=4", nil, http.StatusOK, &qs)
+	var hyp api.Hypothesis
+	c.do("GET", "/v1/sessions/"+created.ID+"/query", nil, http.StatusOK, &hyp)
+	if hyp.Model != "path" || hyp.Query == "" {
+		t.Fatalf("hypothesis = %+v", hyp)
+	}
+	var snap api.Snapshot
+	c.do("GET", "/v1/sessions/"+created.ID+"/snapshot", nil, http.StatusOK, &snap)
+	if snap.Limits == nil || snap.Limits.PoolLimit != 200 {
+		t.Fatalf("snapshot lost request limits: %+v", snap.Limits)
+	}
+}
+
+// Request limits are validated at the HTTP layer: negatives and values above
+// the server's caps are 400 bad_request before any work happens.
+func TestV1CreateLimitsValidation(t *testing.T) {
+	task := geoTask(t, 23, 512)
+	c, _ := newTestServer(t, session.Config{Limits: session.Limits{PathMaxNodes: 1000, PathPoolLimit: 100}})
+	cases := []*api.PathLimits{
+		{MaxNodes: -1},
+		{PoolLimit: -5},
+		{MaxNodes: 2000},  // above the server's max_nodes cap
+		{PoolLimit: 500},  // above the server's pool_limit cap
+		{PoolMaxLen: 100}, // above the server's pool_max_len cap
+	}
+	for _, lim := range cases {
+		var er api.ErrorResponse
+		c.do("POST", "/v1/sessions", api.CreateRequest{Model: "path", Task: task, Limits: lim},
+			http.StatusBadRequest, &er)
+		if er.Error == nil || er.Error.Code != api.CodeBadRequest {
+			t.Fatalf("limits %+v: error = %+v, want code %s", lim, er.Error, api.CodeBadRequest)
+		}
+	}
+	// A valid tightening passes.
+	var created api.CreateResponse
+	c.do("POST", "/v1/sessions", api.CreateRequest{
+		Model: "path", Task: task, Limits: &api.PathLimits{MaxNodes: 600, PoolLimit: 50},
+	}, http.StatusCreated, &created)
+	// A graph larger than the server's node cap is refused outright.
+	big := geoTask(t, 29, 1200)
+	var er api.ErrorResponse
+	c.do("POST", "/v1/sessions", api.CreateRequest{Model: "path", Task: big},
+		http.StatusBadRequest, &er)
+	if er.Error == nil || !strings.Contains(er.Error.Message, "session limit") {
+		t.Fatalf("over-cap graph: %+v", er.Error)
+	}
+}
+
+// WithMaxBodyBytes moves the 413 threshold — the knob daemons hosting
+// big-graph tasks use.
+func TestWithMaxBodyBytes(t *testing.T) {
+	mgr := session.NewManager(session.Config{})
+	ts := httptest.NewServer(New(mgr, WithMaxBodyBytes(1<<10)).Handler())
+	defer ts.Close()
+	body := `{"model":"path","task":"` + strings.Repeat("x", 2<<10) + `"}`
+	resp, err := ts.Client().Post(ts.URL+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("2KiB body against a 1KiB cap: HTTP %d, want 413", resp.StatusCode)
+	}
+}

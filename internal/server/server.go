@@ -45,8 +45,10 @@ import (
 	"querylearn/pkg/api"
 )
 
-// maxBodyBytes bounds request bodies; task files and answer batches are
-// small.
+// maxBodyBytes is the default request-body bound. Answer batches are tiny;
+// task files are usually small too, but a big-graph path task is one edge
+// line per edge — daemons meant to host such sessions raise the cap with
+// WithMaxBodyBytes (querylearnd exposes it as -max-body-bytes).
 const maxBodyBytes = 4 << 20
 
 // Server is the HTTP front of a session.Manager.
@@ -55,6 +57,7 @@ type Server struct {
 	metrics    *metrics
 	mux        *http.ServeMux
 	idem       *idemCache
+	maxBody    int64
 	storeStats func() store.Stats // nil when running without a durable store
 }
 
@@ -65,6 +68,17 @@ type Option func(*Server)
 // block and /healthz reports journal lag and last-compaction stats.
 func WithStore(stats func() store.Stats) Option {
 	return func(s *Server) { s.storeStats = stats }
+}
+
+// WithMaxBodyBytes overrides the request-body size cap (default 4 MiB).
+// Large graph tasks — one edge line per edge — need a correspondingly large
+// cap to be POSTable.
+func WithMaxBodyBytes(n int64) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxBody = n
+		}
+	}
 }
 
 // handler is the inner handler shape; a returned *apiError is rendered as
@@ -80,6 +94,7 @@ func New(mgr *session.Manager, opts ...Option) *Server {
 		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 		idem:    newIdemCache(idemCacheCap),
+		maxBody: maxBodyBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -154,7 +169,7 @@ func (s *Server) wrap(name string, deprecated bool, h handler) http.HandlerFunc 
 			w.Header().Set(api.DeprecationHeader, "true")
 			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", api.V1Prefix, r.URL.Path))
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
 		if e := h(w, r); e != nil {
 			stats.errors.Add(1)
 			writeJSON(w, e.Status, api.ErrorResponse{Error: &e.Error})
@@ -292,14 +307,28 @@ func (s *Server) handleCreate(v1 bool) handler {
 		if e != nil {
 			return e
 		}
+		if e := s.validateLimits(req.Limits); e != nil {
+			return e
+		}
 		return s.idempotent(w, r, v1, "create", body, func() (int, any, *apiError) {
-			sess, err := s.mgr.Create(req.Model, req.Task, session.CreateOptions{MaxCost: req.MaxCost})
+			sess, err := s.mgr.Create(req.Model, req.Task, session.CreateOptions{MaxCost: req.MaxCost, Limits: req.Limits})
 			if err != nil {
 				return 0, nil, fromManager(err)
 			}
 			return http.StatusCreated, api.CreateResponse{ID: sess.ID(), Model: sess.Model()}, nil
 		})
 	}
+}
+
+// validateLimits vets a create request's optional session limits at the
+// HTTP layer — non-negative, no larger than the manager's caps — before the
+// idempotency machinery stores anything. The rules live in one place
+// (session.Limits.Merge); this is just the early, well-coded 400.
+func (s *Server) validateLimits(lim *api.PathLimits) *apiError {
+	if _, err := s.mgr.Limits().Merge(lim, true); err != nil {
+		return errf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+	}
+	return nil
 }
 
 func (s *Server) handleResume(v1 bool) handler {

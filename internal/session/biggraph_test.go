@@ -1,0 +1,255 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"querylearn/internal/graph"
+	"querylearn/pkg/api"
+)
+
+// geoPathTask renders a generated geographic graph as a path task whose
+// positive seed has a highway-then-roads witness word, so the candidate
+// space is non-trivial. It returns the task text, the graph, and the seed.
+func geoPathTask(t *testing.T, genSeed int64, nodes int) (string, *graph.Graph, graph.Pair) {
+	t.Helper()
+	g := graph.GenerateGeo(genSeed, nodes)
+	seed, ok := findGeoSeed(g)
+	if !ok {
+		t.Skipf("no highway.road+ seed pair in geo graph (seed %d, %d nodes)", genSeed, nodes)
+	}
+	var b strings.Builder
+	for _, e := range g.Triples() {
+		fmt.Fprintf(&b, "edge %s %s %s\n", e.From, e.Label, e.To)
+	}
+	fmt.Fprintf(&b, "pos %s %s\n", g.Node(seed.Src), g.Node(seed.Dst))
+	return b.String(), g, seed
+}
+
+// findGeoSeed walks the graph for a pair whose shortest word is one highway
+// hop followed by 2..4 road hops — cheap (no all-pairs evaluation), so it
+// works on graphs of any size.
+func findGeoSeed(g *graph.Graph) (graph.Pair, bool) {
+	n := g.NumNodes()
+	for src := 0; src < n; src++ {
+		var mid int
+		found := false
+		g.Out(src, func(label string, to int) {
+			if !found && label == "highway" && to != src {
+				mid, found = to, true
+			}
+		})
+		if !found {
+			continue
+		}
+		cur := mid
+		for hop := 0; hop < 3; hop++ {
+			next, ok := -1, false
+			g.Out(cur, func(label string, to int) {
+				if !ok && label == "road" && to != cur && to != src {
+					next, ok = to, true
+				}
+			})
+			if !ok {
+				break
+			}
+			cur = next
+			if hop == 0 {
+				continue // want at least two road hops
+			}
+			w := g.ShortestWord(src, cur)
+			if len(w) < 3 || w[0] != "highway" {
+				continue
+			}
+			good := true
+			for _, l := range w[1:] {
+				if l != "road" {
+					good = false
+					break
+				}
+			}
+			if good {
+				return graph.Pair{Src: src, Dst: cur}, true
+			}
+		}
+	}
+	return graph.Pair{}, false
+}
+
+// geoOracle answers wire path items against a goal query on the graph.
+func geoOracle(t *testing.T, g *graph.Graph, goal graph.PathQuery) func(json.RawMessage) bool {
+	t.Helper()
+	return func(item json.RawMessage) bool {
+		var it struct{ Src, Dst string }
+		mustUnmarshal(t, item, &it)
+		src, dst := g.NodeIndex(it.Src), g.NodeIndex(it.Dst)
+		if src < 0 || dst < 0 {
+			t.Fatalf("question names unknown node: %s", item)
+		}
+		return g.Selects(goal, src, dst)
+	}
+}
+
+// TestBigGraphSnapshotResumeEquivalence creates a path session on a graph
+// well above the old 4096-node cap, answers part of the dialogue, snapshots
+// it, resumes it in a fresh manager, and checks the resumed session is
+// byte-for-byte the same dialogue: identical snapshot, hypothesis, and next
+// question batch.
+func TestBigGraphSnapshotResumeEquivalence(t *testing.T) {
+	task, g, _ := geoPathTask(t, 17, 8000)
+	lim := &api.PathLimits{PoolLimit: 300, PoolMaxLen: 4}
+	mgr := NewManager(Config{})
+	s, err := mgr.Create("path", task, CreateOptions{Limits: lim})
+	if err != nil {
+		t.Fatalf("create on 8000-node graph: %v", err)
+	}
+	oracle := geoOracle(t, g, graph.MustParsePathQuery("highway.road*"))
+	// Answer two batches, leaving the dialogue mid-flight.
+	for round := 0; round < 2; round++ {
+		qs, err := s.Questions(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(qs) == 0 {
+			break
+		}
+		batch := make([]Answer, 0, len(qs))
+		for _, q := range qs {
+			batch = append(batch, Answer{Item: q.Item, Positive: oracle(q.Item)})
+		}
+		if _, err := s.Answer(batch, ReconcileNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Limits == nil || snap.Limits.PoolLimit != 300 {
+		t.Fatalf("snapshot lost the per-session limits: %+v", snap.Limits)
+	}
+
+	mgr2 := NewManager(Config{})
+	r, err := mgr2.Resume(snap)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(r.Snapshot(), snap) {
+		t.Fatal("resumed snapshot differs from the original")
+	}
+	h1, err := s.Hypothesis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := r.Hypothesis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h1, h2) {
+		t.Fatalf("hypotheses diverge after resume:\n%+v\n%+v", h1, h2)
+	}
+	q1, err := s.Questions(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := r.Questions(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q1, q2) {
+		t.Fatalf("question batches diverge after resume:\n%+v\n%+v", q1, q2)
+	}
+}
+
+// A path session snapshots its EFFECTIVE limits even when the create
+// request specified none, so resuming on a daemon with different flag
+// defaults rebuilds the identical question pool and version space.
+func TestSnapshotStampsEffectiveLimits(t *testing.T) {
+	task, g, _ := geoPathTask(t, 17, 600)
+	mgrA := NewManager(Config{Limits: Limits{PathPoolLimit: 80, PathPoolMaxLen: 3}})
+	s, err := mgrA.Create("path", task, CreateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := geoOracle(t, g, graph.MustParsePathQuery("highway.road*"))
+	qs, err := s.Questions(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if _, err := s.Answer([]Answer{{Item: q.Item, Positive: oracle(q.Item)}}, ReconcileNone); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.Limits == nil || snap.Limits.PoolLimit != 80 || snap.Limits.PoolMaxLen != 3 {
+		t.Fatalf("snapshot carries %+v, want the effective daemon limits stamped", snap.Limits)
+	}
+	// A manager with the (larger) default limits must rebuild the same
+	// 80-pair pool, not its own default-shaped one.
+	mgrB := NewManager(Config{})
+	r, err := mgrB.Resume(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := s.Hypothesis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := r.Hypothesis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(h1, h2) {
+		t.Fatalf("hypotheses diverge across daemons with different defaults:\n%+v\n%+v", h1, h2)
+	}
+	q1, err := s.Questions(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := r.Questions(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(q1, q2) {
+		t.Fatalf("question batches diverge across daemons:\n%+v\n%+v", q1, q2)
+	}
+}
+
+// Per-request limits shape the session and are enforced against the
+// manager's caps.
+func TestCreateOptionsLimits(t *testing.T) {
+	task, _, _ := geoPathTask(t, 17, 600)
+	mgr := NewManager(Config{Limits: Limits{PathMaxNodes: 1000, PathPoolLimit: 100}})
+	// Tightening works.
+	if _, err := mgr.Create("path", task, CreateOptions{Limits: &api.PathLimits{MaxNodes: 800, PoolLimit: 50}}); err != nil {
+		t.Fatalf("tightened create: %v", err)
+	}
+	// Exceeding the manager's caps is rejected.
+	if _, err := mgr.Create("path", task, CreateOptions{Limits: &api.PathLimits{MaxNodes: 5000}}); err == nil {
+		t.Fatal("create above the manager's max_nodes cap succeeded")
+	}
+	if _, err := mgr.Create("path", task, CreateOptions{Limits: &api.PathLimits{PoolLimit: 101}}); err == nil {
+		t.Fatal("create above the manager's pool_limit cap succeeded")
+	}
+	// Negative limits are rejected.
+	if _, err := mgr.Create("path", task, CreateOptions{Limits: &api.PathLimits{MaxNodes: -1}}); err == nil {
+		t.Fatal("negative limits accepted")
+	}
+	// A graph above a tightened max_nodes is refused.
+	if _, err := mgr.Create("path", task, CreateOptions{Limits: &api.PathLimits{MaxNodes: 100}}); err == nil ||
+		!strings.Contains(err.Error(), "session limit") {
+		t.Fatalf("graph above tightened cap = %v, want node-limit error", err)
+	}
+	// An untrusted resume cannot smuggle limits past the caps.
+	s, err := mgr.Create("path", task, CreateOptions{Limits: &api.PathLimits{PoolLimit: 50}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	snap.ID = "sforged"
+	snap.Limits = &api.PathLimits{MaxNodes: 1 << 30}
+	if _, err := mgr.Resume(snap); err == nil {
+		t.Fatal("resume smuggled limits past the manager's caps")
+	}
+}

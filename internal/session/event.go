@@ -3,6 +3,8 @@ package session
 import (
 	"fmt"
 	"time"
+
+	"querylearn/pkg/api"
 )
 
 // Event kinds. Every state mutation a Manager performs is expressed as
@@ -35,10 +37,11 @@ type Event struct {
 	ID   string `json:"id"`
 
 	// Create fields.
-	Model     string    `json:"model,omitempty"`
-	Task      string    `json:"task,omitempty"`
-	MaxCost   float64   `json:"max_cost,omitempty"`
-	CreatedAt time.Time `json:"created_at,omitzero"`
+	Model     string          `json:"model,omitempty"`
+	Task      string          `json:"task,omitempty"`
+	MaxCost   float64         `json:"max_cost,omitempty"`
+	Limits    *api.PathLimits `json:"limits,omitempty"`
+	CreatedAt time.Time       `json:"created_at,omitzero"`
 
 	// Answers fields. Answers holds the post-reconciliation labels actually
 	// applied; HITs and Cost are the absolute totals after the batch, so
@@ -80,7 +83,7 @@ func ApplyEvent(states map[string]*Snapshot, ev Event) error {
 		}
 		states[ev.ID] = &Snapshot{
 			ID: ev.ID, Model: ev.Model, Task: ev.Task,
-			MaxCost: ev.MaxCost, CreatedAt: ev.CreatedAt,
+			MaxCost: ev.MaxCost, Limits: ev.Limits, CreatedAt: ev.CreatedAt,
 		}
 	case EventResume, EventSnapshot:
 		if ev.Snapshot == nil {

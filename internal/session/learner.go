@@ -87,18 +87,111 @@ func clampBatch(k, open int) int {
 // Models lists the supported model names in stable order.
 var Models = []string{"twig", "join", "path", "schema"}
 
+// Default session limits. The path engine's version space is pool-projected
+// (O(candidates · pool) bits, pool-restricted BFS at creation), so the node
+// cap defaults to a million — a guard against absurd inputs, not the dense
+// n²-bitset ceiling of 4096 nodes that earlier versions enforced.
+const (
+	DefaultPathMaxNodes   = 1 << 20
+	DefaultPathPoolLimit  = 2000
+	DefaultPathPoolMaxLen = 5
+)
+
+// Limits bounds the resources one session may claim. The zero value means
+// "use the defaults"; a daemon overrides them globally via Config.Limits and
+// a client tightens them per request via CreateOptions.Limits.
+type Limits struct {
+	// PathMaxNodes caps a path task's graph size (nodes).
+	PathMaxNodes int
+	// PathPoolLimit caps the candidate question pool (pairs).
+	PathPoolLimit int
+	// PathPoolMaxLen caps pool pairs' shortest-path length (hops).
+	PathPoolMaxLen int
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.PathMaxNodes <= 0 {
+		l.PathMaxNodes = DefaultPathMaxNodes
+	}
+	if l.PathPoolLimit <= 0 {
+		l.PathPoolLimit = DefaultPathPoolLimit
+	}
+	if l.PathPoolMaxLen <= 0 {
+		l.PathPoolMaxLen = DefaultPathPoolMaxLen
+	}
+	return l
+}
+
+// wire renders the effective limits as the api type, for stamping into
+// snapshots and journal events: a persisted session records the concrete
+// limits it was built under, so resuming on a daemon with different flag
+// defaults still rebuilds the identical question pool and version space.
+func (l Limits) wire() *api.PathLimits {
+	l = l.withDefaults()
+	return &api.PathLimits{
+		MaxNodes:   l.PathMaxNodes,
+		PoolLimit:  l.PathPoolLimit,
+		PoolMaxLen: l.PathPoolMaxLen,
+	}
+}
+
+// Merge applies a client's per-request limits on top of the server's. When
+// enforceCaps is set (untrusted input: create requests, client resumes) a
+// request may only tighten — values above the server's own limits are
+// rejected; boot-time recovery replays with enforceCaps false so lowering a
+// daemon flag cannot destroy journaled sessions.
+func (l Limits) Merge(req *api.PathLimits, enforceCaps bool) (Limits, error) {
+	l = l.withDefaults()
+	if req == nil {
+		return l, nil
+	}
+	if req.MaxNodes < 0 || req.PoolLimit < 0 || req.PoolMaxLen < 0 {
+		return l, fmt.Errorf("session: limits must be non-negative (got max_nodes=%d pool_limit=%d pool_max_len=%d)",
+			req.MaxNodes, req.PoolLimit, req.PoolMaxLen)
+	}
+	if enforceCaps {
+		if req.MaxNodes > l.PathMaxNodes {
+			return l, fmt.Errorf("session: requested max_nodes %d exceeds the server limit %d", req.MaxNodes, l.PathMaxNodes)
+		}
+		if req.PoolLimit > l.PathPoolLimit {
+			return l, fmt.Errorf("session: requested pool_limit %d exceeds the server limit %d", req.PoolLimit, l.PathPoolLimit)
+		}
+		if req.PoolMaxLen > l.PathPoolMaxLen {
+			return l, fmt.Errorf("session: requested pool_max_len %d exceeds the server limit %d", req.PoolMaxLen, l.PathPoolMaxLen)
+		}
+	}
+	if req.MaxNodes > 0 {
+		l.PathMaxNodes = req.MaxNodes
+	}
+	if req.PoolLimit > 0 {
+		l.PathPoolLimit = req.PoolLimit
+	}
+	if req.PoolMaxLen > 0 {
+		l.PathPoolMaxLen = req.PoolMaxLen
+	}
+	return l, nil
+}
+
 // New builds a Learner of the given model from a task-file body (the same
 // line-oriented format cmd/querylearn reads, documented in
-// internal/core/task.go). The task's own examples are replayed into the
-// fresh session, so a task file doubles as a session seed.
+// internal/core/task.go) under the default limits. The task's own examples
+// are replayed into the fresh session, so a task file doubles as a session
+// seed.
 func New(model, task string) (Learner, error) {
+	return NewLimited(model, task, Limits{})
+}
+
+// NewLimited is New under explicit resource limits (zero fields mean the
+// defaults).
+func NewLimited(model, task string, lim Limits) (Learner, error) {
+	lim = lim.withDefaults()
 	switch model {
 	case "twig":
 		return newTwigLearner(task)
 	case "join":
 		return newJoinLearner(task)
 	case "path":
-		return newPathLearner(task)
+		return newPathLearner(task, lim)
 	case "schema":
 		return newSchemaLearner(task)
 	}

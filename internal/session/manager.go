@@ -58,6 +58,9 @@ type Config struct {
 	// CostPerHIT prices one submitted label, the crowd-marketplace dollar
 	// cost of §3 (0 = free).
 	CostPerHIT float64
+	// Limits bounds per-session resources (zero fields = defaults). Create
+	// requests may tighten them per session but never exceed them.
+	Limits Limits
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
 	// Journal observes every state mutation (write-ahead). Nil keeps the
@@ -72,6 +75,7 @@ func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = time.Now
 	}
+	c.Limits = c.Limits.withDefaults()
 	return c
 }
 
@@ -166,10 +170,15 @@ func newID() string {
 type Session struct {
 	mu sync.Mutex
 
-	id        string
-	model     string
-	task      string
-	learner   Learner
+	id      string
+	model   string
+	task    string
+	learner Learner
+	// limits records the EFFECTIVE session limits (path model only) for
+	// snapshots and journal events, so a resume — even on a daemon with
+	// different flag defaults — rebuilds the identical pool and version
+	// space.
+	limits    *api.PathLimits
 	answers   []Answer
 	hits      int
 	maxCost   float64
@@ -190,7 +199,15 @@ type Session struct {
 type CreateOptions struct {
 	// MaxCost caps the crowd spend of this session in dollars (0 = no cap).
 	MaxCost float64
+	// Limits optionally tightens the manager's session limits for this
+	// session (path model). Values above the manager's own limits are
+	// rejected. The limits are persisted with the session's snapshot.
+	Limits *api.PathLimits
 }
+
+// Limits reports the manager's effective (defaulted) session limits — what a
+// create request may tighten but not exceed.
+func (m *Manager) Limits() Limits { return m.cfg.Limits }
 
 // Create parses the task, builds the model's learner, and registers a fresh
 // session. The create event is journaled after the session id is final but
@@ -198,19 +215,29 @@ type CreateOptions struct {
 func (m *Manager) Create(model, task string, opts CreateOptions) (*Session, error) {
 	m.compactMu.RLock()
 	defer m.compactMu.RUnlock()
+	lim, err := m.cfg.Limits.Merge(opts.Limits, true)
+	if err != nil {
+		return nil, err
+	}
 	if err := m.reserve(); err != nil {
 		return nil, err
 	}
-	learner, err := New(model, task)
+	learner, err := NewLimited(model, task, lim)
 	if err != nil {
 		m.live.Add(-1)
 		return nil, err
 	}
 	s := m.newSession(newID(), model, task, learner, opts.MaxCost)
+	if model == "path" {
+		// Stamp the EFFECTIVE limits, not the request's: a snapshot must
+		// rebuild the identical pool even on a daemon with different flag
+		// defaults.
+		s.limits = lim.wire()
+	}
 	m.insert(s)
 	ev := Event{
 		Kind: EventCreate, ID: s.id, Model: model, Task: task,
-		MaxCost: opts.MaxCost, CreatedAt: s.createdAt,
+		MaxCost: opts.MaxCost, Limits: s.limits, CreatedAt: s.createdAt,
 	}
 	if err := m.commit(ev, true); err != nil {
 		s.mu.Lock()
@@ -488,6 +515,13 @@ func (m *Manager) validateSnapshot(snap Snapshot, untrusted bool) error {
 	if !untrusted {
 		return nil
 	}
+	// An untrusted snapshot must not smuggle resource limits past the
+	// manager's caps any more than a create request could; merge errors on
+	// excess. Boot recovery skips this so lowering a daemon flag cannot
+	// destroy journaled sessions.
+	if _, err := m.cfg.Limits.Merge(snap.Limits, true); err != nil {
+		return err
+	}
 	recomputed := float64(snap.HITs) * m.cfg.CostPerHIT
 	if diff := snap.Cost - recomputed; diff > 1e-9 || diff < -1e-9 {
 		return fmt.Errorf("session: snapshot states cost $%v but %d HITs at $%v/HIT recompute to $%v",
@@ -518,7 +552,16 @@ func (m *Manager) resume(snap Snapshot, journalIt bool) (*Session, error) {
 	if err := m.reserve(); err != nil {
 		return nil, err
 	}
-	learner, err := New(snap.Model, snap.Task)
+	// Rebuild under the snapshot's own limits so the question pool — hence
+	// the version space — matches the session that was snapshotted. A client
+	// resume already passed the validateSnapshot cap check; recovery honors
+	// journaled limits even past a lowered daemon cap.
+	lim, err := m.cfg.Limits.Merge(snap.Limits, false)
+	if err != nil {
+		m.live.Add(-1)
+		return nil, err
+	}
+	learner, err := NewLimited(snap.Model, snap.Task, lim)
 	if err != nil {
 		m.live.Add(-1)
 		return nil, err
@@ -530,6 +573,13 @@ func (m *Manager) resume(snap Snapshot, journalIt bool) (*Session, error) {
 		}
 	}
 	s := m.newSession(snap.ID, snap.Model, snap.Task, learner, snap.MaxCost)
+	if snap.Model == "path" {
+		// Stamp the effective limits the learner was actually rebuilt with,
+		// exactly like Create: a legacy limits-free snapshot is thereby
+		// pinned to this daemon's current defaults from now on, instead of
+		// silently reshaping on every future flag change.
+		s.limits = lim.wire()
+	}
 	s.answers = append(s.answers, snap.Answers...)
 	s.hits = snap.HITs
 	s.createdAt = snap.CreatedAt
@@ -817,7 +867,7 @@ func (s *Session) snapshotLocked() Snapshot {
 		ID: s.id, Model: s.model, Task: s.task,
 		Answers: answers, HITs: s.hits,
 		Cost: float64(s.hits) * s.costPerHIT, MaxCost: s.maxCost,
-		CreatedAt: s.createdAt,
+		CreatedAt: s.createdAt, Limits: s.limits,
 	}
 }
 

@@ -16,27 +16,20 @@ type pathItem struct {
 	Dst string `json:"dst"`
 }
 
-// Pool bounds for interactive path sessions: pairs within pathPoolMaxLen
-// hops, capped at pathPoolLimit — the same shape the T8 experiment uses.
-// pathMaxNodes caps the graph size a session will host: candidate selection
-// sets are dense n²-bit sets, so an unbounded client-supplied graph could
-// make one POST /sessions allocate gigabytes (4096² bits ≈ 2 MiB per
-// candidate is the accepted ceiling).
-const (
-	pathPoolMaxLen = 5
-	pathPoolLimit  = 2000
-	pathMaxNodes   = 4096
-)
-
 // pathLearner adapts the graphlearn interactive session. The task's first
 // positive example seeds the candidate space; further task examples are
-// replayed as answers.
+// replayed as answers. The session's version space is pool-projected and
+// sparse (see internal/graphlearn): memory is O(candidates · pool pairs) and
+// creation runs one product BFS per distinct pool source, so graphs far
+// beyond the old dense-bitset 4096-node ceiling are served. The effective
+// pool shape and node cap come from the Limits the caller resolved (daemon
+// flags, optionally tightened per request).
 type pathLearner struct {
 	g    *graph.Graph
 	sess *graphlearn.Session
 }
 
-func newPathLearner(src string) (*pathLearner, error) {
+func newPathLearner(src string, lim Limits) (*pathLearner, error) {
 	task, err := core.ParsePathTask(src)
 	if err != nil {
 		return nil, err
@@ -52,12 +45,19 @@ func newPathLearner(src string) (*pathLearner, error) {
 		return nil, fmt.Errorf("session: path session needs at least one positive example as seed")
 	}
 	g := task.Graph
-	if g.NumNodes() > pathMaxNodes {
-		return nil, fmt.Errorf("session: graph has %d nodes, above the %d-node session limit", g.NumNodes(), pathMaxNodes)
+	if g.NumNodes() > lim.PathMaxNodes {
+		return nil, fmt.Errorf("session: graph has %d nodes, above the %d-node session limit", g.NumNodes(), lim.PathMaxNodes)
 	}
-	pool := graphlearn.DefaultPool(g, pathPoolMaxLen, pathPoolLimit)
-	sess, err := graphlearn.NewSession(g,
-		graph.Pair{Src: task.Examples[seed].Src, Dst: task.Examples[seed].Dst}, pool)
+	pool := graphlearn.DefaultPool(g, lim.PathPoolMaxLen, lim.PathPoolLimit)
+	// The task's own examples are probe-able pairs: intern them with the
+	// pool so their candidate membership is evaluated in the same batched
+	// pool-restricted pass, not one by one during replay below.
+	probes := make([]graph.Pair, 0, len(task.Examples))
+	for _, ex := range task.Examples {
+		probes = append(probes, graph.Pair{Src: ex.Src, Dst: ex.Dst})
+	}
+	sess, err := graphlearn.NewSessionProbes(g,
+		graph.Pair{Src: task.Examples[seed].Src, Dst: task.Examples[seed].Dst}, pool, probes)
 	if err != nil {
 		return nil, err
 	}

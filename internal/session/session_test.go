@@ -193,17 +193,29 @@ func TestRecordRejectsMalformedItems(t *testing.T) {
 	}
 }
 
-func TestPathSessionRejectsHugeGraphs(t *testing.T) {
-	// Candidate selection sets are dense n²-bit sets; an unbounded
-	// client-supplied graph must be refused at creation, not OOM the
-	// daemon.
+func TestPathSessionNodeLimit(t *testing.T) {
+	// The version space is pool-projected and sparse, so the old dense
+	// 4096-node ceiling is gone: a graph above it must create fine under the
+	// default limits, while an explicitly tightened limit still rejects.
 	var b strings.Builder
 	for i := 0; i <= 4096; i++ {
 		fmt.Fprintf(&b, "edge n%d r n%d\n", i, i+1)
 	}
-	b.WriteString("pos n0 n1\n")
-	if _, err := New("path", b.String()); err == nil || !strings.Contains(err.Error(), "session limit") {
-		t.Errorf("huge graph = %v, want node-limit error", err)
+	// A two-hop seed (witness word r.r) so distance-1 pool pairs are
+	// informative: r.r rejects them, the starred generalizations accept.
+	b.WriteString("pos n0 n2\n")
+	task := b.String()
+	lim := Limits{PathPoolLimit: 60, PathPoolMaxLen: 3} // small pool keeps the test quick
+	l, err := NewLimited("path", task, lim)
+	if err != nil {
+		t.Fatalf("4097-node graph rejected under default node limit: %v", err)
+	}
+	if qs, err := l.Propose(1); err != nil || len(qs) == 0 {
+		t.Fatalf("big-graph session proposes nothing: qs=%v err=%v", qs, err)
+	}
+	lim.PathMaxNodes = 4096
+	if _, err := NewLimited("path", task, lim); err == nil || !strings.Contains(err.Error(), "session limit") {
+		t.Errorf("tightened limit = %v, want node-limit error", err)
 	}
 }
 

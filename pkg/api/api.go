@@ -198,6 +198,9 @@ type Snapshot struct {
 	Cost      float64   `json:"cost"`
 	MaxCost   float64   `json:"max_cost,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
+	// Limits preserves the create request's session limits so a resumed
+	// session rebuilds the identical question pool and version space.
+	Limits *PathLimits `json:"limits,omitempty"`
 }
 
 // Status is a session's lifecycle summary.
@@ -212,6 +215,25 @@ type Status struct {
 	Failed    string    `json:"failed,omitempty"`
 }
 
+// PathLimits tunes a path-model session at creation. Zero fields inherit
+// the server's defaults (configurable via querylearnd flags); non-zero
+// fields may only tighten — a request above the server's own limit is
+// rejected. The limits travel with the session's Snapshot so resuming
+// reproduces the exact version space.
+type PathLimits struct {
+	// MaxNodes caps the client-supplied graph's node count. The engine's
+	// version space is pool-projected (memory proportional to the question
+	// pool, not n²), so the server default is generous — one million nodes
+	// unless the daemon lowers it.
+	MaxNodes int `json:"max_nodes,omitempty"`
+	// PoolLimit caps the candidate question pool's pair count (server
+	// default 2000). Session memory and creation time scale with it.
+	PoolLimit int `json:"pool_limit,omitempty"`
+	// PoolMaxLen caps the shortest-path length of pool pairs (server
+	// default 5 hops).
+	PoolMaxLen int `json:"pool_max_len,omitempty"`
+}
+
 // CreateRequest is the POST /v1/sessions body.
 type CreateRequest struct {
 	// Model names the hypothesis class: "twig", "join", "path" or "schema".
@@ -221,6 +243,11 @@ type CreateRequest struct {
 	Task string `json:"task"`
 	// MaxCost caps the session's crowd spend in dollars (0 = no cap).
 	MaxCost float64 `json:"max_cost,omitempty"`
+	// Limits optionally tightens the path-model session limits. The field
+	// is validated against the server's caps for every model (a value above
+	// a cap is a 400 regardless of Model), but only path sessions consume
+	// it.
+	Limits *PathLimits `json:"limits,omitempty"`
 }
 
 // CreateResponse echoes the registered session (also the resume response).

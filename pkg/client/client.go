@@ -12,6 +12,11 @@
 // the service replays the stored first response instead of double-creating
 // a session or double-charging a batch.
 //
+// Big-graph path tasks are plain create requests: the task body carries one
+// edge line per edge (size the server's -max-body-bytes accordingly) and the
+// optional api.CreateRequest.Limits field tightens the session's node and
+// question-pool caps below the server's defaults.
+//
 //	c := client.New("http://localhost:8080")
 //	created, err := c.Create(ctx, api.CreateRequest{Model: "join", Task: task})
 //	qs, err := c.Questions(ctx, created.ID, 16)   // parallel crowd dispatch
