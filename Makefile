@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: all build test vet bench-smoke bench-t14 bench-json fuzz-smoke examples api-check ci
+.PHONY: all build test vet bench-smoke bench-t14 bench-json chaos-smoke fuzz-smoke examples api-check ci
 
 all: build
 
@@ -27,6 +27,14 @@ bench-t14:
 # Capture the experiment tables as a JSON perf trajectory (BENCH_*.json).
 bench-json:
 	$(GO) run ./cmd/benchrunner -json > BENCH_$(shell date +%Y%m%d).json
+
+# Chaos smoke: one kill/recover scenario per registered store injection
+# point (the fault-injection chaos suite) plus the degraded-mode /v1
+# contract, under the race detector — the durability invariants in
+# adversarial form, in a few seconds.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosEveryInjectionPoint' ./internal/store
+	$(GO) test -race -run 'TestDegradedModeOverV1|TestAdmissionShedsWith429' ./internal/server
 
 # Short fuzz pass over every wire-boundary decoder: the four task parsers
 # (untrusted POST /sessions bodies) and the journal replay (crash-truncated
@@ -57,4 +65,4 @@ api-check:
 		echo "$$leaks"; exit 1; \
 	fi
 
-ci: build vet test bench-smoke bench-t14 fuzz-smoke examples api-check
+ci: build vet test bench-smoke bench-t14 chaos-smoke fuzz-smoke examples api-check

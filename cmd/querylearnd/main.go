@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"querylearn/internal/core"
+	"querylearn/internal/fault"
 	"querylearn/internal/rellearn"
 	"querylearn/internal/server"
 	"querylearn/internal/session"
@@ -61,6 +62,15 @@ type storeConfig struct {
 	dataDir      string
 	fsync        string
 	compactEvery time.Duration
+	// faults is the -fault-spec registry (nil in production runs); the
+	// store registers its injection points here on open.
+	faults *fault.Registry
+}
+
+// robustConfig is the overload/chaos flag block.
+type robustConfig struct {
+	faultSpec   string
+	maxInflight int
 }
 
 // openManager builds the session manager, and — when a data directory is
@@ -71,7 +81,7 @@ func openManager(cfg session.Config, sc storeConfig) (*session.Manager, *store.S
 	if sc.dataDir == "" {
 		return session.NewManager(cfg), nil, nil
 	}
-	st, snaps, err := store.Open(sc.dataDir, store.Options{Fsync: sc.fsync})
+	st, snaps, err := store.Open(sc.dataDir, store.Options{Fsync: sc.fsync, Faults: sc.faults})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -113,6 +123,8 @@ func run(args []string, out io.Writer) error {
 	dataDir := fs.String("data-dir", "", "journal live sessions under this directory and recover them on restart (empty = in-memory only)")
 	fsync := fs.String("fsync", store.FsyncBatched, "journal durability: off (OS decides), batched (background group commit), always (fsync per mutation)")
 	compactEvery := fs.Duration("compact-every", 5*time.Minute, "rewrite the journal as snapshots this often (0 = only at boot)")
+	maxInflight := fs.Int("max-inflight", 64, "per-shard in-flight request budget; excess requests are shed with 429 overloaded (0 = unlimited)")
+	faultSpec := fs.String("fault-spec", "", `DEV ONLY: arm deterministic fault injection, e.g. "store.append=error:times=3,server.request=latency:delay=50ms" (see internal/fault)`)
 	batch := fs.Int("batch", 1, "replay mode: questions fetched and answered per round-trip (parallel crowd dispatch)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,7 +146,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return serve(*addr, cfg, *sweep, sc, *maxBody)
+		return serve(*addr, cfg, *sweep, sc, robustConfig{faultSpec: *faultSpec, maxInflight: *maxInflight}, *maxBody)
 	}
 	if rest[0] == "replay" && len(rest) == 3 {
 		data, err := os.ReadFile(rest[2])
@@ -148,7 +160,12 @@ func run(args []string, out io.Writer) error {
 
 // serve runs the daemon until SIGINT/SIGTERM, sweeping expired sessions and
 // compacting the journal in the background.
-func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig, maxBody int64) error {
+func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig, rc robustConfig, maxBody int64) error {
+	var reg *fault.Registry
+	if rc.faultSpec != "" {
+		reg = fault.NewRegistry()
+		sc.faults = reg
+	}
 	mgr, st, err := openManager(cfg, sc)
 	if err != nil {
 		return err
@@ -157,10 +174,34 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 	if st != nil {
 		opts = append(opts, server.WithStore(st.Stats))
 	}
-	srv := hardenServer(&http.Server{Addr: addr, Handler: server.New(mgr, opts...).Handler()})
+	if rc.maxInflight > 0 {
+		opts = append(opts, server.WithAdmission(rc.maxInflight, cfg.Shards))
+	}
+	if reg != nil {
+		opts = append(opts, server.WithFaults(reg))
+	}
+	qsrv := server.New(mgr, opts...)
+	srv := hardenServer(&http.Server{Addr: addr, Handler: qsrv.Handler()})
+	if reg != nil {
+		// Arm after both the store and the server registered their points,
+		// so a typo in the spec is caught here instead of silently ignored.
+		if err := reg.ArmSpec(rc.faultSpec); err != nil {
+			if st != nil {
+				st.Close()
+			}
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "querylearnd: FAULT INJECTION ARMED (dev only): %s\n", rc.faultSpec)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if st != nil {
+		// Background journal probe: while the store is degraded, retry a
+		// healing compaction with exponential backoff (1s doubling to 30s).
+		mgr.StartJournalProbe(ctx, time.Second, 30*time.Second)
+	}
 
 	if cfg.TTL > 0 && sweepEvery > 0 {
 		go func() {
@@ -213,6 +254,9 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 		return err
 	case <-ctx.Done():
 	}
+	// Stop accepting new sessions first: in-flight dialogues finish under
+	// Shutdown's grace period while creates/resumes bounce with Retry-After.
+	qsrv.Drain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx)

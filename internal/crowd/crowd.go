@@ -8,6 +8,7 @@
 package crowd
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -25,6 +26,11 @@ type Config struct {
 	// (majority decides). Values < 1 mean 1; an even value is rounded up
 	// to the next odd one so a vote can never tie.
 	VotesPerQuestion int
+	// WorkerFailRate is the probability a worker call fails outright — the
+	// HIT times out or is abandoned — instead of answering. A failed call
+	// produces no label and is never charged, unlike WorkerErrorRate's
+	// answered-but-wrong votes.
+	WorkerFailRate float64
 }
 
 // Report summarizes a crowdsourced learning run.
@@ -34,7 +40,11 @@ type Report struct {
 	HITs      int     // paid worker tasks (Questions × votes)
 	Cost      float64 // HITs × CostPerHIT
 	Accuracy  float64 // fraction of instance pairs the result labels correctly
-	Failed    bool    // answers became inconsistent (noise won)
+	Failed    bool    // the run aborted before learning a predicate
+	// OracleFailed narrows Failed: the dialogue died because a worker call
+	// failed (timeout, abandoned HIT), not because noisy answers became
+	// inconsistent. The unanswered HIT is not in HITs or Cost.
+	OracleFailed bool
 }
 
 // RunJoin learns a join predicate over the universe with crowd answers and
@@ -52,19 +62,25 @@ func RunJoin(u *rellearn.Universe, goal rellearn.PairSet, strat rellearn.Strateg
 		ErrorRate: cfg.WorkerErrorRate,
 		Rng:       rng,
 	}
-	maj := &interact.MajorityOracle[[2]int]{Inner: noisy, K: cfg.VotesPerQuestion}
+	var worker interact.Oracle[[2]int] = noisy
+	if cfg.WorkerFailRate > 0 {
+		worker = &interact.FlakyOracle[[2]int]{Inner: noisy, ErrorRate: cfg.WorkerFailRate, Rng: rng}
+	}
+	maj := &interact.MajorityOracle[[2]int]{Inner: worker, K: cfg.VotesPerQuestion}
 	report := Report{Strategy: strat.Name()}
 	stats, err := rellearn.Run(u, crowdOracle{maj}, strat)
 	// The partial stats are meaningful even on failure: every question up to
-	// the inconsistency was asked and its HITs were paid, so the report must
-	// account them either way.
+	// the failure was asked and its answered HITs were paid, so the report
+	// must account them either way. maj.Calls counts only answered votes —
+	// an unanswered (failed) HIT is never charged.
 	report.Questions = stats.Questions
 	report.HITs = maj.Calls
 	report.Cost = float64(maj.Calls) * cfg.CostPerHIT
 	if err != nil {
-		// Noise produced inconsistent answers; the run is a failure
-		// but the money is spent.
+		// The dialogue died — workers went dark, or noise produced
+		// inconsistent answers; either way the money spent stays spent.
 		report.Failed = true
+		report.OracleFailed = errors.Is(err, interact.ErrOracle)
 		return report, nil
 	}
 	learned, encErr := u.Encode(stats.Learned)
@@ -82,6 +98,13 @@ type crowdOracle struct {
 
 // LabelPair implements rellearn.Oracle.
 func (c crowdOracle) LabelPair(li, ri int) bool { return c.inner.Label([2]int{li, ri}) }
+
+// TryLabelPair implements rellearn.FallibleOracle, surfacing worker
+// failures so rellearn.Run aborts the question instead of inventing an
+// answer — and so the charge accounting above stays truthful.
+func (c crowdOracle) TryLabelPair(li, ri int) (bool, error) {
+	return c.inner.TryLabel([2]int{li, ri})
+}
 
 // accuracy measures agreement of two predicates over the whole instance.
 func accuracy(u *rellearn.Universe, goal, learned rellearn.PairSet) float64 {

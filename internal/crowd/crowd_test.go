@@ -1,10 +1,12 @@
 package crowd
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"testing"
 
+	"querylearn/internal/interact"
 	"querylearn/internal/relational"
 	"querylearn/internal/rellearn"
 )
@@ -139,6 +141,79 @@ func TestRunJoinFailedRunAccountsQuestions(t *testing.T) {
 	}
 	if want := float64(rep.HITs) * 0.05; rep.Cost != want {
 		t.Errorf("cost %.2f, want %.2f", rep.Cost, want)
+	}
+}
+
+// countingOracle sits beneath the flaky layer and counts every question a
+// worker actually answered — the ground truth the HIT ledger must match.
+type countingOracle struct {
+	inner    interact.Oracle[[2]int]
+	answered int
+}
+
+func (c *countingOracle) Label(p [2]int) bool { c.answered++; return c.inner.Label(p) }
+
+// TestWorkerFailureNeverChargesUnansweredHIT is the mid-dialogue failure
+// regression: a worker call that dies (timeout, abandoned HIT) aborts the
+// dialogue with an error, and the HIT ledger charges exactly the answered
+// calls — never the unanswered one.
+func TestWorkerFailureNeverChargesUnansweredHIT(t *testing.T) {
+	u := instance(t, 8, 5)
+	goal, err := u.Encode([]relational.AttrPair{{Left: "a", Right: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := rellearn.GoalOracle{U: u, Goal: goal}
+	counter := &countingOracle{inner: interact.OracleFunc[[2]int](func(p [2]int) bool {
+		return truth.LabelPair(p[0], p[1])
+	})}
+	// Failures are drawn BEFORE the worker answers, so a failed call never
+	// reaches the counter — counter.answered is exactly the answered HITs.
+	flaky := &interact.FlakyOracle[[2]int]{Inner: counter, ErrorRate: 0.15, Rng: rand.New(rand.NewSource(11))}
+	maj := &interact.MajorityOracle[[2]int]{Inner: flaky, K: 3}
+
+	stats, err := rellearn.Run(u, crowdOracle{maj}, rellearn.MaxAgreeStrategy{})
+	if !errors.Is(err, interact.ErrOracle) {
+		t.Fatalf("seeded flaky dialogue = %v, want an ErrOracle failure mid-run", err)
+	}
+	if maj.Calls != counter.answered {
+		t.Fatalf("charged %d HITs but workers answered %d: an unanswered HIT was charged", maj.Calls, counter.answered)
+	}
+	// The aborted question charged only its answered votes: full rounds for
+	// every completed question, strictly less than a full round on top.
+	if maj.Calls < 3*stats.Questions || maj.Calls >= 3*(stats.Questions+1) {
+		t.Errorf("Calls = %d with %d completed questions × 3 votes: aborted question mischarged", maj.Calls, stats.Questions)
+	}
+}
+
+// TestRunJoinWorkerFailRate checks the same property end-to-end through
+// RunJoin's own chain and report accounting.
+func TestRunJoinWorkerFailRate(t *testing.T) {
+	u := instance(t, 8, 5)
+	goal, err := u.Encode([]relational.AttrPair{{Left: "a", Right: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{CostPerHIT: 0.05, VotesPerQuestion: 3, WorkerFailRate: 0.15}
+	rep, err := RunJoin(u, goal, rellearn.MaxAgreeStrategy{}, cfg, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Failed || !rep.OracleFailed {
+		t.Fatalf("worker failure not surfaced: %+v", rep)
+	}
+	if rep.HITs < 3*rep.Questions || rep.HITs >= 3*(rep.Questions+1) {
+		t.Errorf("HITs %d vs %d questions × 3 votes: unanswered HIT charged", rep.HITs, rep.Questions)
+	}
+	if want := float64(rep.HITs) * 0.05; rep.Cost != want {
+		t.Errorf("cost %.4f, want %.4f", rep.Cost, want)
+	}
+
+	// Control: without a fail rate the same run completes un-failed.
+	cfg.WorkerFailRate = 0
+	rep, err = RunJoin(u, goal, rellearn.MaxAgreeStrategy{}, cfg, rand.New(rand.NewSource(11)))
+	if err != nil || rep.Failed || rep.OracleFailed {
+		t.Fatalf("control run = (%+v, %v)", rep, err)
 	}
 }
 

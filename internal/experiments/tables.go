@@ -95,6 +95,7 @@ func Registry() []Experiment {
 		{"T13", T13BatchDialogues},
 		{"F1", func(int) *Table { return F1ExchangeScenarios() }},
 		{"T14", T14BigGraphSessions},
+		{"T15", T15FaultAvailability},
 	}
 }
 

@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	if inj := r.Fire("x"); inj != nil {
+		t.Fatalf("nil registry fired %+v", inj)
+	}
+	if err := r.Sleep("x"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if w := r.Writer(&buf, "x"); w != &buf {
+		t.Error("nil registry wrapped the writer")
+	}
+	r.Register("x")
+	r.Disarm("x")
+	r.DisarmAll()
+	if got := r.Counts(); got != nil {
+		t.Errorf("Counts on nil registry = %v", got)
+	}
+	if got := r.Points(); got != nil {
+		t.Errorf("Points on nil registry = %v", got)
+	}
+}
+
+func TestUnarmedPointCountsHits(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a", "b")
+	for i := 0; i < 3; i++ {
+		if inj := r.Fire("a"); inj != nil {
+			t.Fatalf("unarmed point injected %+v", inj)
+		}
+	}
+	c := r.Counts()
+	if c["a"].Hits != 3 || c["a"].Injected != 0 {
+		t.Errorf("point a = %+v, want 3 hits 0 injected", c["a"])
+	}
+	if c["b"].Hits != 0 {
+		t.Errorf("point b = %+v, want zero", c["b"])
+	}
+	if got := r.Points(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Points = %v", got)
+	}
+}
+
+func TestScheduleAfterTimesEvery(t *testing.T) {
+	r := NewRegistry()
+	// Skip 2 hits, then fire every 2nd eligible hit, at most 3 times.
+	if err := r.Arm("p", Spec{Mode: ModeError, After: 2, Every: 2, Times: 3}); err != nil {
+		t.Fatal(err)
+	}
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if inj := r.Fire("p"); inj != nil {
+			fired = append(fired, i)
+			if !errors.Is(inj.Err, ErrInjected) {
+				t.Errorf("hit %d: error %v does not wrap ErrInjected", i, inj.Err)
+			}
+		}
+	}
+	// Eligible hits are 3,4,5,...; every 2nd of those is 4,6,8; Times=3.
+	want := []int{4, 6, 8}
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+	if c := r.Counts()["p"]; c.Injected != 3 || c.Hits != 12 {
+		t.Errorf("counts = %+v", c)
+	}
+	if r.Injected() != 3 {
+		t.Errorf("Injected() = %d", r.Injected())
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func() []int {
+		r := NewRegistry()
+		if err := r.Arm("p", Spec{Mode: ModeError, P: 0.3, Seed: 42}); err != nil {
+			t.Fatal(err)
+		}
+		var fired []int
+		for i := 0; i < 100; i++ {
+			if r.Fire("p") != nil {
+				fired = append(fired, i)
+			}
+		}
+		return fired
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) == 100 {
+		t.Fatalf("p=0.3 fired %d of 100 times", len(a))
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestENOSPCMode(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("disk", Spec{Mode: ModeENOSPC}); err != nil {
+		t.Fatal(err)
+	}
+	err := r.Sleep("disk")
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Errorf("enospc injection = %v, want ENOSPC", err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("enospc injection %v does not wrap ErrInjected", err)
+	}
+}
+
+func TestPartialWriter(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("w", Spec{Mode: ModePartial, Bytes: 5, Times: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := r.Writer(&buf, "w")
+	n, err := w.Write([]byte("hello world"))
+	if err == nil || n != 5 {
+		t.Fatalf("partial write = (%d, %v), want (5, injected error)", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Errorf("prefix on disk = %q, want %q (the torn-record bytes must land)", buf.String(), "hello")
+	}
+	// Times spent: the next write goes through untouched.
+	if n, err := w.Write([]byte("rest")); err != nil || n != 4 {
+		t.Fatalf("post-schedule write = (%d, %v)", n, err)
+	}
+	if buf.String() != "hellorest" {
+		t.Errorf("buffer = %q", buf.String())
+	}
+}
+
+func TestLatencyMode(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("slow", Spec{Mode: ModeLatency, Delay: 20 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := r.Sleep("slow"); err != nil {
+		t.Fatalf("latency injection surfaced an error: %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Errorf("latency injection slept %v, want >= 20ms", d)
+	}
+}
+
+func TestDisarmAndRearm(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Arm("p", Spec{Mode: ModeError}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Fire("p") == nil {
+		t.Fatal("armed point did not fire")
+	}
+	r.Disarm("p")
+	if r.Fire("p") != nil {
+		t.Fatal("disarmed point fired")
+	}
+	// The point stays registered for metrics.
+	if _, ok := r.Counts()["p"]; !ok {
+		t.Error("disarmed point vanished from Counts")
+	}
+}
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	r := NewRegistry()
+	for _, s := range []Spec{
+		{Mode: "nope"},
+		{Mode: ModeError, P: 1.5},
+		{Mode: ModePartial, Bytes: -1},
+	} {
+		if err := r.Arm("p", s); err == nil {
+			t.Errorf("Arm accepted invalid spec %+v", s)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	specs, err := ParseSpec("store.append=error:after=100:times=1, store.compact.sync=enospc,server.request=latency:delay=25ms:p=0.1:seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 3 {
+		t.Fatalf("parsed %d specs: %v", len(specs), specs)
+	}
+	ap := specs["store.append"]
+	if ap.Mode != ModeError || ap.After != 100 || ap.Times != 1 {
+		t.Errorf("store.append = %+v", ap)
+	}
+	if specs["store.compact.sync"].Mode != ModeENOSPC {
+		t.Errorf("store.compact.sync = %+v", specs["store.compact.sync"])
+	}
+	sr := specs["server.request"]
+	if sr.Mode != ModeLatency || sr.Delay != 25*time.Millisecond || sr.P != 0.1 || sr.Seed != 7 {
+		t.Errorf("server.request = %+v", sr)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, src := range []string{
+		"noequals",
+		"p=unknownmode",
+		"p=error:bogus=1",
+		"p=error:times=x",
+		"p=error:delay=notaduration",
+		"p=error:times",
+	} {
+		if _, err := ParseSpec(src); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", src)
+		}
+	}
+}
+
+func TestArmSpec(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a", "b")
+	if err := r.ArmSpec("a=error:times=1,b=latency:delay=1ms"); err != nil {
+		t.Fatal(err)
+	}
+	// The flag surface is strict: a point nothing registered is a typo, not
+	// a silent no-op.
+	if err := r.ArmSpec("tpyo=error"); err == nil {
+		t.Error("ArmSpec accepted an unregistered point")
+	}
+	if r.Fire("a") == nil {
+		t.Error("armed point a did not fire")
+	}
+	if inj := r.Fire("b"); inj == nil || inj.Err != nil || inj.Delay != time.Millisecond {
+		t.Errorf("point b injection = %+v", inj)
+	}
+}

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the -fault-spec dev-flag syntax into per-point specs:
+//
+//	point=mode[:key=value]...[,point=mode...]
+//
+// e.g.
+//
+//	store.append=error:after=100:times=1
+//	store.compact.sync=enospc,server.request=latency:delay=25ms:p=0.1:seed=7
+//
+// Recognized keys: after, times, every, p, seed, delay (a Go duration),
+// bytes, msg. Whitespace around items is ignored.
+func ParseSpec(src string) (map[Point]Spec, error) {
+	out := map[Point]Spec{}
+	for _, item := range strings.Split(src, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(item, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("fault: item %q is not point=mode[:key=value...]", item)
+		}
+		parts := strings.Split(rest, ":")
+		spec := Spec{Mode: strings.TrimSpace(parts[0])}
+		for _, kv := range parts[1:] {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("fault: option %q of point %s is not key=value", kv, name)
+			}
+			key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+			var err error
+			switch key {
+			case "after":
+				spec.After, err = strconv.Atoi(val)
+			case "times":
+				spec.Times, err = strconv.Atoi(val)
+			case "every":
+				spec.Every, err = strconv.Atoi(val)
+			case "p":
+				spec.P, err = strconv.ParseFloat(val, 64)
+			case "seed":
+				spec.Seed, err = strconv.ParseInt(val, 10, 64)
+			case "delay":
+				spec.Delay, err = time.ParseDuration(val)
+			case "bytes":
+				spec.Bytes, err = strconv.Atoi(val)
+			case "msg":
+				spec.Msg = val
+			default:
+				return nil, fmt.Errorf("fault: unknown option %q of point %s", key, name)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault: option %s of point %s: %v", key, name, err)
+			}
+		}
+		if err := spec.validate(); err != nil {
+			return nil, fmt.Errorf("fault: point %s: %w", name, err)
+		}
+		out[Point(strings.TrimSpace(name))] = spec
+	}
+	return out, nil
+}
+
+// ArmSpec parses src and arms every parsed point on the registry. Unlike
+// Arm (which auto-registers, for tests), ArmSpec is the -fault-spec flag
+// surface and rejects points nothing has registered: a typo'd point would
+// otherwise arm an injection that can never fire.
+func (r *Registry) ArmSpec(src string) error {
+	specs, err := ParseSpec(src)
+	if err != nil {
+		return err
+	}
+	if r == nil {
+		return errors.New("fault: arming a nil registry")
+	}
+	r.mu.Lock()
+	for p := range specs {
+		if r.known[p] == nil {
+			known := make([]string, 0, len(r.known))
+			for k := range r.known {
+				known = append(known, string(k))
+			}
+			sort.Strings(known)
+			r.mu.Unlock()
+			return fmt.Errorf("fault: unknown injection point %q (registered: %s)", p, strings.Join(known, ", "))
+		}
+	}
+	r.mu.Unlock()
+	for p, s := range specs {
+		if err := r.Arm(p, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package interact
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrOracle is the base error of every oracle-availability failure: the
+// answerer (a crowd worker, a remote service) did not produce a label at
+// all — as opposed to producing a wrong one, which NoisyOracle models.
+var ErrOracle = errors.New("interact: oracle unavailable")
+
+// ErrOracleTimeout marks the timed-out flavour (an abandoned HIT). It wraps
+// ErrOracle, so errors.Is(err, ErrOracle) catches both.
+var ErrOracleTimeout = fmt.Errorf("%w: timed out", ErrOracle)
+
+// FallibleOracle is an Oracle whose answers can fail mid-dialogue. Loops
+// that account for paid work ask through TryLabel so an unanswered question
+// is never charged.
+type FallibleOracle[I any] interface {
+	Oracle[I]
+	// TryLabel answers, or reports that no answer was produced (the item
+	// was not labeled; nothing should be charged for the attempt).
+	TryLabel(item I) (bool, error)
+}
+
+// TryLabel asks o the failure-aware way: fallible oracles surface their
+// errors, plain oracles are by definition always available.
+func TryLabel[I any](o Oracle[I], item I) (bool, error) {
+	if f, ok := o.(FallibleOracle[I]); ok {
+		return f.TryLabel(item)
+	}
+	return o.Label(item), nil
+}
+
+// FlakyOracle simulates an unreliable answering channel: each TryLabel call
+// fails outright with probability ErrorRate (ErrOracle) or TimeoutRate
+// (ErrOracleTimeout) before the inner oracle is consulted — a worker who
+// never answers, as opposed to NoisyOracle's worker who answers wrongly.
+// Failures draw from Rng, so a seeded run fails deterministically.
+//
+// Label (the infallible interface) delegates straight to Inner without
+// faults: flakiness surfaces only through TryLabel, which every
+// failure-aware loop uses — an infallible caller has no way to observe an
+// absent answer anyway.
+type FlakyOracle[I any] struct {
+	Inner       Oracle[I]
+	ErrorRate   float64
+	TimeoutRate float64
+	Rng         *rand.Rand
+}
+
+// Label implements Oracle, faultlessly (see the type comment).
+func (f *FlakyOracle[I]) Label(item I) bool { return f.Inner.Label(item) }
+
+// TryLabel implements FallibleOracle.
+func (f *FlakyOracle[I]) TryLabel(item I) (bool, error) {
+	draw := f.Rng.Float64()
+	if draw < f.ErrorRate {
+		return false, ErrOracle
+	}
+	if draw < f.ErrorRate+f.TimeoutRate {
+		return false, ErrOracleTimeout
+	}
+	return TryLabel(f.Inner, item)
+}
+
+// TryLabel implements FallibleOracle for the majority vote: each vote asks
+// the inner oracle the failure-aware way, and Calls — the paid-HIT counter —
+// is incremented only after a vote actually answers. A failed vote aborts
+// the question with no charge for the unanswered HIT; the votes answered
+// before it were real worker output and stay charged.
+func (m *MajorityOracle[I]) TryLabel(item I) (bool, error) {
+	k := m.Votes()
+	yes := 0
+	for i := 0; i < k; i++ {
+		ans, err := TryLabel(m.Inner, item)
+		if err != nil {
+			return false, err
+		}
+		m.Calls++
+		if ans {
+			yes++
+		}
+	}
+	return 2*yes > k, nil
+}

@@ -1,0 +1,106 @@
+package interact
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// scriptedOracle fails on exact call numbers (1-based) and answers false
+// otherwise (so a numberGame dialogue keeps going); answered counts only
+// the calls that produced a label.
+type scriptedOracle struct {
+	failOn   map[int]bool
+	calls    int
+	answered int
+}
+
+func (s *scriptedOracle) Label(int) bool { s.answered++; return false }
+
+func (s *scriptedOracle) TryLabel(int) (bool, error) {
+	s.calls++
+	if s.failOn[s.calls] {
+		return false, ErrOracleTimeout
+	}
+	s.answered++
+	return false, nil
+}
+
+func TestFlakyOracleSeededAndFaultlessLabel(t *testing.T) {
+	inner := OracleFunc[int](func(i int) bool { return i >= 0 })
+	draw := func(seed int64) []bool {
+		f := &FlakyOracle[int]{Inner: inner, ErrorRate: 0.3, Rng: rand.New(rand.NewSource(seed))}
+		var fails []bool
+		for i := 0; i < 50; i++ {
+			_, err := f.TryLabel(i)
+			fails = append(fails, err != nil)
+		}
+		return fails
+	}
+	a, b := draw(42), draw(42)
+	sawFailure := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		sawFailure = sawFailure || a[i]
+	}
+	if !sawFailure {
+		t.Fatal("rate 0.3 over 50 calls produced no failure")
+	}
+
+	// The infallible interface stays faultless regardless of the rates.
+	f := &FlakyOracle[int]{Inner: inner, ErrorRate: 1, Rng: rand.New(rand.NewSource(1))}
+	if !f.Label(3) {
+		t.Error("Label answered wrong")
+	}
+	if _, err := f.TryLabel(3); !errors.Is(err, ErrOracle) {
+		t.Errorf("rate 1 TryLabel = %v, want ErrOracle", err)
+	}
+}
+
+func TestFlakyOracleTimeoutRate(t *testing.T) {
+	inner := OracleFunc[int](func(int) bool { return true })
+	f := &FlakyOracle[int]{Inner: inner, TimeoutRate: 1, Rng: rand.New(rand.NewSource(1))}
+	_, err := f.TryLabel(0)
+	if !errors.Is(err, ErrOracleTimeout) || !errors.Is(err, ErrOracle) {
+		t.Errorf("timeout = %v, want ErrOracleTimeout wrapping ErrOracle", err)
+	}
+}
+
+// TestMajorityTryLabelChargesOnlyAnsweredVotes: a vote that fails aborts the
+// question, and Calls — the paid-HIT ledger — matches exactly the votes that
+// were answered; the unanswered one is never charged.
+func TestMajorityTryLabelChargesOnlyAnsweredVotes(t *testing.T) {
+	s := &scriptedOracle{failOn: map[int]bool{4: true}}
+	m := &MajorityOracle[int]{Inner: s, K: 5}
+	_, err := m.TryLabel(7)
+	if !errors.Is(err, ErrOracle) {
+		t.Fatalf("TryLabel = %v, want ErrOracle", err)
+	}
+	if m.Calls != 3 || m.Calls != s.answered {
+		t.Errorf("Calls = %d, answered = %d: want both 3 (votes before the failure)", m.Calls, s.answered)
+	}
+
+	// A later retry that completes charges its full round on top.
+	if _, err := m.TryLabel(7); err != nil {
+		t.Fatalf("retry = %v", err)
+	}
+	if m.Calls != 8 || m.Calls != s.answered {
+		t.Errorf("after retry Calls = %d, answered = %d, want both 8", m.Calls, s.answered)
+	}
+}
+
+// TestRunSurfacesOracleFailure: the generic loop asks failure-aware; a dead
+// oracle aborts the dialogue without counting the unanswered question.
+func TestRunSurfacesOracleFailure(t *testing.T) {
+	game := newNumberGame(16)
+	s := &scriptedOracle{failOn: map[int]bool{3: true}}
+	stats, err := Run[int](game, s, FirstPicker[int](), 0)
+	if !errors.Is(err, ErrOracle) {
+		t.Fatalf("Run = %v, want ErrOracle", err)
+	}
+	if stats.Questions != 2 {
+		t.Errorf("Questions = %d, want the 2 answered before the failure", stats.Questions)
+	}
+}

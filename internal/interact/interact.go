@@ -90,7 +90,12 @@ func Run[I any](l Learner[I], o Oracle[I], p Picker[I], maxQuestions int) (Stats
 			return stats, fmt.Errorf("interact: picker %s chose %d of %d items", p.Name(), idx, len(items))
 		}
 		it := items[idx]
-		ans := o.Label(it)
+		ans, err := TryLabel(o, it)
+		if err != nil {
+			// The oracle never answered: surface the failure before the
+			// question is counted as asked.
+			return stats, fmt.Errorf("interact: oracle: %w", err)
+		}
 		stats.Questions++
 		if err := l.Record(it, ans); err != nil {
 			return stats, err

@@ -34,6 +34,15 @@ type Oracle interface {
 	LabelPair(li, ri int) bool
 }
 
+// FallibleOracle is an Oracle whose answers can fail mid-dialogue — a crowd
+// worker who times out or abandons the HIT. Run asks through TryLabelPair
+// when the oracle supports it, so a failed question surfaces as an error
+// before it is counted (or, upstream, charged).
+type FallibleOracle interface {
+	Oracle
+	TryLabelPair(li, ri int) (bool, error)
+}
+
 // GoalOracle is the standard simulation oracle: a hidden goal predicate.
 type GoalOracle struct {
 	U    *Universe
@@ -167,7 +176,17 @@ func Run(u *Universe, oracle Oracle, strat Strategy) (RunStats, error) {
 			return partial(), fmt.Errorf("rellearn: strategy %s picked out of range", strat.Name())
 		}
 		c := cands[pick]
-		ans := oracle.LabelPair(c.Left, c.Right)
+		var ans bool
+		if f, ok := oracle.(FallibleOracle); ok {
+			var err error
+			if ans, err = f.TryLabelPair(c.Left, c.Right); err != nil {
+				// The question was never answered: surface the failure
+				// before counting it as an interaction.
+				return partial(), fmt.Errorf("rellearn: oracle: %w", err)
+			}
+		} else {
+			ans = oracle.LabelPair(c.Left, c.Right)
+		}
 		s.Questions++
 		if err := s.Record(c.Left, c.Right, ans); err != nil {
 			return partial(), err

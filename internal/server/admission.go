@@ -1,0 +1,110 @@
+package server
+
+import (
+	"hash/fnv"
+	"net/http"
+	"sync/atomic"
+
+	"querylearn/internal/fault"
+	"querylearn/pkg/api"
+)
+
+// PointRequest is the server's fault-injection point, crossed once per
+// routed request before its handler runs. Latency mode simulates a slow
+// peer; error mode sheds the request with a 503 the SDK will retry.
+const PointRequest fault.Point = "server.request"
+
+// clampK is the question-batch size the server clamps Propose(k) to while
+// its admission budget is under pressure (at least half spent): large
+// parallel dispatches are the first load to shave, because the client can
+// simply ask again once the rush passes.
+const clampK = 4
+
+// retryAfterSeconds is the Retry-After hint on shed (429) and unavailable
+// (503) responses. One second matches the SDK's first backoff step.
+const retryAfterSeconds = "1"
+
+// admission is the per-shard in-flight budget. Requests hash by session id
+// onto a shard; a request that would push its shard past perShard is shed
+// with 429 before any work happens, so one hot session (or a stampede of
+// creates) cannot queue unboundedly behind the session locks.
+type admission struct {
+	perShard int64
+	inflight []atomic.Int64
+}
+
+func newAdmission(perShard, shards int) *admission {
+	if shards <= 0 {
+		shards = 16
+	}
+	return &admission{perShard: int64(perShard), inflight: make([]atomic.Int64, shards)}
+}
+
+// shard picks the budget shard for a request: by session id for session
+// routes, all other traffic (create, resume, list) shares shard 0.
+func (a *admission) shard(id string) *atomic.Int64 {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &a.inflight[h.Sum32()%uint32(len(a.inflight))]
+}
+
+// WithAdmission bounds in-flight requests to perShard per shard (ids hash
+// across shards); excess requests are shed with 429 "overloaded" and a
+// Retry-After hint. Zero or negative perShard disables admission control.
+func WithAdmission(perShard, shards int) Option {
+	return func(s *Server) {
+		if perShard > 0 {
+			s.adm = newAdmission(perShard, shards)
+		}
+	}
+}
+
+// WithFaults wires a fault-injection registry: the server.request point is
+// crossed per request, and /metrics grows a "faults" block with per-point
+// hit/injected counters (the chaos observability surface).
+func WithFaults(reg *fault.Registry) Option {
+	return func(s *Server) {
+		s.faults = reg
+		reg.Register(PointRequest)
+	}
+}
+
+// Drain puts the server into shutdown mode: session creates and resumes are
+// rejected with 503 "overloaded" (and a Retry-After hint) while everything
+// else — in-flight dialogues, reads, health — keeps working, so the daemon
+// can stop accepting new work, finish what it has, and exit cleanly.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// admit reserves an in-flight slot for the request, or returns the
+// structured shed error. release undoes the reservation (nil when admission
+// is disabled or the request was shed).
+func (s *Server) admit(name string, r *http.Request) (release func(), e *apiError) {
+	if s.draining.Load() && (name == "create" || name == "resume") {
+		return nil, errf(http.StatusServiceUnavailable, api.CodeOverloaded,
+			"the server is draining for shutdown; no new sessions")
+	}
+	if s.adm == nil {
+		return func() {}, nil
+	}
+	sh := s.adm.shard(r.PathValue("id"))
+	if sh.Add(1) > s.adm.perShard {
+		sh.Add(-1)
+		s.metrics.shed.Add(1)
+		return nil, errf(http.StatusTooManyRequests, api.CodeOverloaded,
+			"in-flight request budget exhausted; retry shortly")
+	}
+	return func() { sh.Add(-1) }, nil
+}
+
+// clampN bounds a question-batch request under admission pressure: once the
+// request's shard has at least half its budget in flight, parallel
+// dispatches are clamped to clampK items.
+func (s *Server) clampN(r *http.Request, n int) int {
+	if s.adm == nil || n <= clampK {
+		return n
+	}
+	if s.adm.shard(r.PathValue("id")).Load()*2 >= s.adm.perShard {
+		return clampK
+	}
+	return n
+}

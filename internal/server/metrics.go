@@ -22,6 +22,8 @@ type metrics struct {
 	endpoints map[string]*endpointStats
 	// deprecated counts requests served by pre-v1 legacy aliases.
 	deprecated atomic.Int64
+	// shed counts requests rejected by admission control (429 overloaded).
+	shed atomic.Int64
 }
 
 func newMetrics() *metrics {

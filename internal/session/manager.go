@@ -104,6 +104,8 @@ type Manager struct {
 	expired   atomic.Int64
 	labels    atomic.Int64
 	questions atomic.Int64
+	// heals counts journal probe recoveries (see StartJournalProbe).
+	heals atomic.Int64
 }
 
 // commit is the single mutation event path: every state change in the
@@ -403,6 +405,8 @@ type Stats struct {
 	Expired   int64 `json:"expired"`
 	Labels    int64 `json:"labels"`
 	Questions int64 `json:"questions"`
+	// JournalHeals counts degraded-journal recoveries by the probe.
+	JournalHeals int64 `json:"journal_heals,omitempty"`
 }
 
 // Stats snapshots the manager counters.
@@ -414,8 +418,9 @@ func (m *Manager) Stats() Stats {
 		Recovered: m.recovered.Load(),
 		Deleted:   m.deleted.Load(),
 		Expired:   m.expired.Load(),
-		Labels:    m.labels.Load(),
-		Questions: m.questions.Load(),
+		Labels:       m.labels.Load(),
+		Questions:    m.questions.Load(),
+		JournalHeals: m.heals.Load(),
 	}
 }
 

@@ -1,0 +1,74 @@
+package session
+
+import (
+	"context"
+	"time"
+)
+
+// DegradedJournal is the optional face of a Journal that can report itself
+// degraded — intact but not accepting writes (failed appends, sticky fsync
+// errors). The store implements it; the manager surfaces it to /healthz and
+// the journal probe drives recovery off it.
+type DegradedJournal interface {
+	Degraded() (reason string, since time.Time, degraded bool)
+}
+
+// Degraded reports the journal's degraded state, or all-healthy when the
+// journal does not expose one (or there is no journal at all).
+func (m *Manager) Degraded() (reason string, since time.Time, degraded bool) {
+	dj, ok := m.cfg.Journal.(DegradedJournal)
+	if !ok {
+		return "", time.Time{}, false
+	}
+	return dj.Degraded()
+}
+
+// JournalHeals counts successful probe recoveries (for /metrics).
+func (m *Manager) JournalHeals() int64 { return m.heals.Load() }
+
+// StartJournalProbe runs the degraded-mode recovery loop until ctx is
+// cancelled, returning a channel closed when the loop exits. Every initial
+// interval it checks the journal; while the journal reports degraded it
+// attempts a compaction — the one operation that rewrites every live session
+// into a fresh fully-fsynced file and thereby clears durability doubt (a
+// mere fsync succeeding later would not prove earlier failed writes reached
+// disk). Failed attempts back off exponentially up to max; a successful heal
+// resets the cadence. The loop is a no-op scheduler cost while healthy.
+func (m *Manager) StartJournalProbe(ctx context.Context, initial, max time.Duration) <-chan struct{} {
+	if initial <= 0 {
+		initial = time.Second
+	}
+	if max < initial {
+		max = initial
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		delay := initial
+		timer := time.NewTimer(delay)
+		defer timer.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-timer.C:
+			}
+			if _, _, degraded := m.Degraded(); !degraded {
+				delay = initial
+				timer.Reset(delay)
+				continue
+			}
+			if _, err := m.Compact(); err != nil {
+				delay *= 2
+				if delay > max {
+					delay = max
+				}
+			} else {
+				m.heals.Add(1)
+				delay = initial
+			}
+			timer.Reset(delay)
+		}
+	}()
+	return done
+}

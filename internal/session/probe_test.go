@@ -1,0 +1,117 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// healableJournal is degraded until Compact has been called failuresLeft+1
+// times; the first failuresLeft compactions fail (the disk is still broken),
+// then one succeeds and clears the degraded state — the store's contract.
+type healableJournal struct {
+	mu           sync.Mutex
+	degraded     bool
+	since        time.Time
+	failuresLeft int
+	compactions  int
+}
+
+func (j *healableJournal) Append(Event) error { return nil }
+
+func (j *healableJournal) Compact([]Snapshot) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.compactions++
+	if j.failuresLeft > 0 {
+		j.failuresLeft--
+		return errors.New("still broken")
+	}
+	j.degraded = false
+	j.since = time.Time{}
+	return nil
+}
+
+func (j *healableJournal) Degraded() (string, time.Time, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.degraded {
+		return "", time.Time{}, false
+	}
+	return "append failing: injected", j.since, true
+}
+
+func (j *healableJournal) snapshot() (int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.compactions, j.degraded
+}
+
+func TestManagerDegradedSurfacesJournalState(t *testing.T) {
+	// No journal, or a journal without the Degraded face: healthy.
+	m := NewManager(Config{})
+	if _, _, degraded := m.Degraded(); degraded {
+		t.Fatal("journal-less manager reports degraded")
+	}
+	m = NewManager(Config{Journal: failingJournal{errors.New("x")}})
+	if _, _, degraded := m.Degraded(); degraded {
+		t.Fatal("plain journal reports degraded")
+	}
+
+	j := &healableJournal{degraded: true, since: time.Now()}
+	m = NewManager(Config{Journal: j})
+	reason, since, degraded := m.Degraded()
+	if !degraded || reason == "" || since.IsZero() {
+		t.Fatalf("Degraded() = (%q, %v, %v), want degraded with reason and since", reason, since, degraded)
+	}
+}
+
+func TestJournalProbeHealsWithBackoff(t *testing.T) {
+	j := &healableJournal{degraded: true, since: time.Now(), failuresLeft: 2}
+	m := NewManager(Config{Journal: j})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := m.StartJournalProbe(ctx, 2*time.Millisecond, 20*time.Millisecond)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, degraded := j.snapshot(); !degraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe never healed the journal")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	compactions, _ := j.snapshot()
+	if compactions != 3 {
+		t.Errorf("probe compacted %d times, want 3 (two failures, one heal)", compactions)
+	}
+	if m.JournalHeals() != 1 {
+		t.Errorf("JournalHeals = %d, want 1", m.JournalHeals())
+	}
+
+	// The loop exits when the context is cancelled.
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe loop did not exit on cancel")
+	}
+}
+
+func TestJournalProbeIdlesWhileHealthy(t *testing.T) {
+	j := &healableJournal{}
+	m := NewManager(Config{Journal: j})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := m.StartJournalProbe(ctx, time.Millisecond, 10*time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	if compactions, _ := j.snapshot(); compactions != 0 {
+		t.Errorf("probe compacted a healthy journal %d times", compactions)
+	}
+	cancel()
+	<-done
+}

@@ -1,0 +1,186 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+
+	"querylearn/internal/fault"
+	"querylearn/internal/session"
+)
+
+// The chaos suite: every registered injection point gets a scenario that
+// drives a four-model dialogue into the armed fault, then kills the process
+// (Abandon — no flush, no goodbye) and recovers. The invariants are the
+// durability contract in adversarial form:
+//
+//   - no acknowledged answer is lost: every answer the store acked before
+//     the kill is present after recovery;
+//   - no double-charged HIT: the recovered ledger bills exactly the acked
+//     answers — a failed (never-acked) answer costs nothing;
+//   - recovery is exact: the recovered snapshot is byte-identical to the
+//     live session's last snapshot, and the dialogue can continue.
+
+// chaosCase arms one scenario. spec is a fault.ParseSpec string and may arm
+// helper points (a rollback fault needs an append fault to reach it); fsync
+// picks the store mode the point fires under.
+type chaosCase struct {
+	spec  string
+	fsync string
+	// poll waits for a background loop (the group-commit flusher) to cross
+	// the point instead of a directly-driven call.
+	poll bool
+}
+
+func TestChaosEveryInjectionPoint(t *testing.T) {
+	cases := map[fault.Point]chaosCase{
+		PointAppend:           {spec: "store.append=partial:bytes=5", fsync: FsyncOff},
+		PointRollbackTruncate: {spec: "store.append=error,store.rollback.truncate=error", fsync: FsyncOff},
+		PointFsync:            {spec: "store.fsync=error", fsync: FsyncBatched, poll: true},
+		PointSync:             {spec: "store.sync=error", fsync: FsyncOff},
+		PointCompactCreate:    {spec: "store.compact.create=error", fsync: FsyncOff},
+		PointCompactWrite:     {spec: "store.compact.write=partial:bytes=7", fsync: FsyncOff},
+		PointCompactSync:      {spec: "store.compact.sync=error", fsync: FsyncOff},
+		PointCompactClose:     {spec: "store.compact.close=error", fsync: FsyncOff},
+		PointCompactRename:    {spec: "store.compact.rename=error", fsync: FsyncOff},
+		PointCompactReopen:    {spec: "store.compact.reopen=error", fsync: FsyncOff},
+		PointDirSync:          {spec: "store.dir.sync=error", fsync: FsyncOff},
+	}
+	// Enumerate the registry, not the case table: a new injection point
+	// without a chaos scenario fails here by construction.
+	for _, p := range InjectionPoints() {
+		c, ok := cases[p]
+		if !ok {
+			t.Fatalf("injection point %q has no chaos case — add one to this suite", p)
+		}
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			t.Parallel()
+			runChaos(t, p, c)
+		})
+	}
+	if len(cases) != len(InjectionPoints()) {
+		t.Errorf("case table has %d entries for %d points: stale case?", len(cases), len(InjectionPoints()))
+	}
+}
+
+func runChaos(t *testing.T, point fault.Point, c chaosCase) {
+	oracles := crashOracles(t)
+	reg := fault.NewRegistry()
+	opts := Options{Fsync: c.fsync, Faults: reg}
+	if c.fsync == FsyncBatched {
+		opts.BatchWindow = time.Millisecond
+	}
+	st, _, dir := openTemp(t, opts)
+	mgr := session.NewManager(session.Config{Journal: st, CostPerHIT: 0.05})
+
+	live := map[string]*session.Session{}
+	acked := map[string]int{} // answers the store acknowledged, per model
+	answer := func(model string) error {
+		s := live[model]
+		q, ok, err := s.Question()
+		if err != nil || !ok {
+			return err
+		}
+		if _, err := s.Answer([]session.Answer{
+			{Item: q.Item, Positive: oracles[model](q.Item)},
+		}, session.ReconcileNone); err != nil {
+			return err
+		}
+		acked[model]++
+		return nil
+	}
+
+	// Healthy phase: all four models one acked answer into their dialogue.
+	for model, task := range crashTasks() {
+		s, err := mgr.Create(model, task, session.CreateOptions{MaxCost: 100})
+		if err != nil {
+			t.Fatalf("%s create: %v", model, err)
+		}
+		live[model] = s
+		if err := answer(model); err != nil {
+			t.Fatalf("%s healthy answer: %v", model, err)
+		}
+	}
+
+	// Chaos phase: arm the scenario and keep talking. Errors are expected —
+	// what matters is that a failed call is never half-acked. The Sync and
+	// Compact drive the points the dialogue itself does not cross.
+	if err := reg.ArmSpec(c.spec); err != nil {
+		t.Fatal(err)
+	}
+	for model := range live {
+		_ = answer(model) // failure tolerated: the answer is simply not acked
+	}
+	if c.poll {
+		// Wait for the group-commit flusher to pick up the undurable tail
+		// the answers just appended — before Sync/Compact would drain it.
+		deadline := time.Now().Add(5 * time.Second)
+		for reg.Counts()[string(point)].Injected == 0 && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	_ = st.Sync()
+	_, _ = mgr.Compact()
+	if reg.Counts()[string(point)].Injected == 0 {
+		t.Fatalf("scenario never crossed %q", point)
+	}
+
+	// Heal phase: the fault clears; a compaction rewrites the journal (the
+	// only cure for a poisoned or fsync-failed store) and the dialogue
+	// finishes one more acked round per model.
+	reg.DisarmAll()
+	if _, err := mgr.Compact(); err != nil {
+		t.Fatalf("healing compaction: %v", err)
+	}
+	for model := range live {
+		if err := answer(model); err != nil {
+			t.Fatalf("%s answer after heal: %v", model, err)
+		}
+	}
+
+	// The truth ledger as of the kill.
+	wantSnap := map[string]string{}
+	for model, s := range live {
+		b, err := json.Marshal(s.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSnap[model] = string(b)
+	}
+	st.Abandon() // SIGKILL: no flush, no compaction, lock dies with us
+
+	st2, snaps, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer st2.Close()
+	if len(snaps) != len(live) {
+		t.Fatalf("recovered %d sessions, want %d", len(snaps), len(live))
+	}
+	mgr2 := session.NewManager(session.Config{Journal: st2, CostPerHIT: 0.05})
+	if n, err := mgr2.Recover(snaps); n != len(live) || err != nil {
+		t.Fatalf("Recover = %d, %v", n, err)
+	}
+	for model, s := range live {
+		back, err := mgr2.Get(s.ID())
+		if err != nil {
+			t.Fatalf("%s: acked dialogue lost across the kill: %v", model, err)
+		}
+		got := back.Snapshot()
+		b, err := json.Marshal(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != wantSnap[model] {
+			t.Errorf("%s snapshot not byte-identical after recovery:\n got %s\nwant %s", model, b, wantSnap[model])
+		}
+		if got.HITs != acked[model] {
+			t.Errorf("%s billed %d HITs for %d acked answers: %s", model, got.HITs, acked[model],
+				map[bool]string{true: "un-acked answer charged", false: "acked answer lost"}[got.HITs > acked[model]])
+		}
+		if _, _, err := back.Question(); err != nil {
+			t.Errorf("%s recovered session unusable: %v", model, err)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"io"
+
+	"querylearn/internal/fault"
+)
+
+// The store's fault-injection points: one per syscall-shaped edge. The
+// chaos suite (chaos_test.go) enumerates InjectionPoints and proves the
+// recovery invariants hold with a fault injected at every one of them;
+// querylearnd's -fault-spec arms them in a running daemon.
+const (
+	// PointAppend is the journal record write in Append. Partial mode
+	// leaves a genuine torn record mid-file — the crash shape recovery
+	// truncates away.
+	PointAppend fault.Point = "store.append"
+	// PointRollbackTruncate is the file rollback after a failed append;
+	// its failure poisons the store (degraded mode) because garbage sits
+	// mid-journal.
+	PointRollbackTruncate fault.Point = "store.rollback.truncate"
+	// PointFsync is the group-commit flusher's fsync (batched/always
+	// modes).
+	PointFsync fault.Point = "store.fsync"
+	// PointSync is the explicit Sync — the final flush on shutdown.
+	PointSync fault.Point = "store.sync"
+	// PointCompact* are the snapshot-compaction edges: create/write/
+	// sync/close the scratch file, atomically rename it over the journal,
+	// reopen the append handle.
+	PointCompactCreate fault.Point = "store.compact.create"
+	PointCompactWrite  fault.Point = "store.compact.write"
+	PointCompactSync   fault.Point = "store.compact.sync"
+	PointCompactClose  fault.Point = "store.compact.close"
+	PointCompactRename fault.Point = "store.compact.rename"
+	PointCompactReopen fault.Point = "store.compact.reopen"
+	// PointDirSync is the best-effort directory fsync after the rename;
+	// injected failures must stay best-effort.
+	PointDirSync fault.Point = "store.dir.sync"
+)
+
+// InjectionPoints enumerates every fault-injection point the store wires,
+// in documentation order. The chaos suite iterates this list so a new edge
+// cannot be added without a chaos case covering it.
+func InjectionPoints() []fault.Point {
+	return []fault.Point{
+		PointAppend, PointRollbackTruncate, PointFsync, PointSync,
+		PointCompactCreate, PointCompactWrite, PointCompactSync,
+		PointCompactClose, PointCompactRename, PointCompactReopen,
+		PointDirSync,
+	}
+}
+
+// fire crosses an injection point: nil without a registry or schedule,
+// otherwise the injected error after any injected latency.
+func (st *Store) fire(p fault.Point) error {
+	return st.opts.Faults.Sleep(p)
+}
+
+// faultW wraps a writer with the registry's write-shaped injection (error,
+// ENOSPC, partial prefix). Without a registry it returns w unchanged.
+func (st *Store) faultW(w io.Writer, p fault.Point) io.Writer {
+	return st.opts.Faults.Writer(w, p)
+}

@@ -34,9 +34,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
+	"querylearn/internal/fault"
 	"querylearn/internal/session"
 )
 
@@ -65,6 +67,10 @@ type Options struct {
 	// how long appended events may sit in the OS before the background
 	// fsync makes them durable.
 	BatchWindow time.Duration
+	// Faults optionally wires a fault-injection registry through every
+	// syscall-shaped edge (see InjectionPoints). Nil disables injection;
+	// the hooks then cost one nil check each.
+	Faults *fault.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -103,6 +109,14 @@ type Store struct {
 	// rolled back: appending past garbage would make recovery truncate
 	// every later record as a torn tail.
 	appendErr error
+	// lastAppendErr remembers the most recent append failure that WAS
+	// rolled back cleanly: the journal is intact but unavailable, so the
+	// store reports itself degraded until an append succeeds again (or a
+	// compaction rewrites the log).
+	lastAppendErr error
+	// degradedSince timestamps the first sticky fault above, for
+	// /healthz; zero while healthy.
+	degradedSince time.Time
 
 	// kick wakes the flusher when there is undurable tail; done wakes
 	// always-mode appenders waiting for their LSN to become durable.
@@ -160,6 +174,12 @@ type Stats struct {
 	// loudly on it; in batched mode this field is the only signal, so
 	// health checks should alarm on it.
 	SyncError string `json:"sync_error,omitempty"`
+	// Degraded reports the journal-unavailable state: mutations are being
+	// rejected while reads keep serving. Reason and Since describe the
+	// current episode for /healthz.
+	Degraded       bool       `json:"degraded,omitempty"`
+	DegradedReason string     `json:"degraded_reason,omitempty"`
+	DegradedSince  *time.Time `json:"degraded_since,omitempty"`
 }
 
 // Open recovers the journal in dir and returns the store plus the live
@@ -174,6 +194,9 @@ func Open(dir string, opts Options) (*Store, []session.Snapshot, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("store: %w", err)
 	}
+	// Declare every injection point up front so the chaos suite and /metrics
+	// see the full set even before any is crossed. Nil registry: no-op.
+	opts.Faults.Register(InjectionPoints()...)
 	lock, err := lockDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -228,10 +251,19 @@ func Open(dir string, opts Options) (*Store, []session.Snapshot, error) {
 func (st *Store) rewrite(snaps []session.Snapshot) error {
 	path := filepath.Join(st.dir, journalName)
 	scratch := filepath.Join(st.dir, scratchName)
+	// A previous compaction that died before its rename (ENOSPC, crash)
+	// leaves journal.tmp behind. Reclaim its space before writing the new
+	// scratch file — on a full disk the leftover may be the very thing
+	// wedging this compaction.
+	os.Remove(scratch)
+	if err := st.fire(PointCompactCreate); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
 	tmp, err := os.OpenFile(scratch, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: %w", err)
 	}
+	w := st.faultW(tmp, PointCompactWrite)
 	var size int64
 	for i := range snaps {
 		payload, err := json.Marshal(session.Event{
@@ -239,7 +271,7 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 		})
 		if err == nil {
 			var n int64
-			n, err = appendRecord(tmp, payload)
+			n, err = appendRecord(w, payload)
 			size += n
 		}
 		if err != nil {
@@ -250,36 +282,69 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 	}
 	// The rewrite is always fsynced, whatever the append mode: it is the
 	// one copy of every session it contains.
-	if err := tmp.Sync(); err != nil {
+	err = st.fire(PointCompactSync)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
 		tmp.Close()
 		os.Remove(scratch)
 		return fmt.Errorf("store: %w", err)
 	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("store: %w", err)
+	closeErr := st.fire(PointCompactClose)
+	if err := tmp.Close(); closeErr == nil {
+		closeErr = err
 	}
-	if err := os.Rename(scratch, path); err != nil {
+	if closeErr != nil {
+		// The scratch file never made it to a clean close, so it will never
+		// be renamed in; leaving it behind would eat disk until the next
+		// boot. Remove it now.
+		os.Remove(scratch)
+		return fmt.Errorf("store: %w", closeErr)
+	}
+	err = st.fire(PointCompactRename)
+	if err == nil {
+		err = os.Rename(scratch, path)
+	}
+	if err != nil {
 		os.Remove(scratch)
 		return fmt.Errorf("store: %w", err)
 	}
-	syncDir(st.dir)
+	// Directory fsync is best-effort on real filesystems, so an injected
+	// failure here must be tolerated the same way: skip, don't fail.
+	if err := st.fire(PointDirSync); err == nil {
+		syncDir(st.dir)
+	}
 
 	if st.f != nil {
 		st.f.Close()
 	}
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	err = st.fire(PointCompactReopen)
+	var f *os.File
+	if err == nil {
+		f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	}
 	if err != nil {
 		// The compacted journal on disk is intact, but we no longer hold a
 		// usable append handle; poison loudly (503s, degraded healthz)
 		// rather than letting Append write to a closed fd. A restart
 		// recovers cleanly.
 		st.appendErr = fmt.Errorf("reopening journal after rewrite: %w", err)
+		st.markDegradedLocked()
 		return fmt.Errorf("store: %w", err)
 	}
 	st.f = f
 	st.baseBytes = size
 	st.tailBytes = 0
 	st.tailEvents = 0
+	// Every live session now sits in one fresh, fully-fsynced file, which is
+	// the only event that resolves durability doubt: a later fsync succeeding
+	// does not prove earlier failed writes reached disk, but a whole-file
+	// rewrite does. Clear the sticky faults and leave degraded mode.
+	st.appendErr = nil
+	st.syncErr = nil
+	st.lastAppendErr = nil
+	st.degradedSince = time.Time{}
 	return nil
 }
 
@@ -309,21 +374,34 @@ func (st *Store) Append(ev session.Event) error {
 	if st.appendErr != nil {
 		return fmt.Errorf("store: journal poisoned by earlier write failure: %w", st.appendErr)
 	}
-	n, err := appendRecord(st.f, payload)
+	n, err := appendRecord(st.faultW(st.f, PointAppend), payload)
 	if err != nil {
 		// A partial write leaves a torn record mid-file; anything appended
 		// after it would be silently discarded at recovery (replay stops at
 		// the first bad record). Roll the file back to its last good
 		// length, or poison the store if even that fails.
 		goodSize := st.baseBytes + st.tailBytes
-		if terr := st.f.Truncate(goodSize); terr != nil {
+		terr := st.fire(PointRollbackTruncate)
+		if terr == nil {
+			terr = st.f.Truncate(goodSize)
+		}
+		if terr != nil {
 			st.appendErr = fmt.Errorf("%v (rollback truncate to %d failed: %v)", err, goodSize, terr)
 		}
+		// Even a cleanly rolled-back failure means the journal is not
+		// accepting writes: report degraded until an append succeeds again.
+		st.lastAppendErr = err
+		st.markDegradedLocked()
 		return fmt.Errorf("store: appending %s event: %w", ev.Kind, err)
 	}
 	st.appended++
 	st.tailBytes += n
 	st.tailEvents++
+	if st.lastAppendErr != nil {
+		// This append proves the journal is writable again.
+		st.lastAppendErr = nil
+		st.refreshDegradedLocked()
+	}
 	lsn := st.appended
 
 	switch st.opts.Fsync {
@@ -376,7 +454,10 @@ func (st *Store) flusher() {
 		target := st.appended
 		f := st.f
 		st.mu.Unlock()
-		err := f.Sync()
+		err := st.fire(PointFsync)
+		if err == nil {
+			err = f.Sync()
+		}
 		st.mu.Lock()
 		st.fsyncs++
 		// A compaction or close may have swapped the file underneath the
@@ -385,6 +466,7 @@ func (st *Store) flusher() {
 		if st.f == f {
 			if err != nil {
 				st.syncErr = err
+				st.markDegradedLocked()
 			}
 			if target > st.durable {
 				st.durable = target
@@ -434,7 +516,13 @@ func (st *Store) Sync() error {
 }
 
 func (st *Store) syncLocked() error {
-	if err := st.f.Sync(); err != nil {
+	err := st.fire(PointSync)
+	if err == nil {
+		err = st.f.Sync()
+	}
+	if err != nil {
+		st.syncErr = err
+		st.markDegradedLocked()
 		return fmt.Errorf("store: fsync: %w", err)
 	}
 	st.fsyncs++
@@ -520,5 +608,52 @@ func (st *Store) Stats() Stats {
 	case st.appendErr != nil:
 		s.SyncError = st.appendErr.Error()
 	}
+	if reason := st.degradedLocked(); reason != "" {
+		s.Degraded = true
+		s.DegradedReason = reason
+		since := st.degradedSince
+		s.DegradedSince = &since
+	}
 	return s
+}
+
+// markDegradedLocked stamps the start of the current degraded episode; a
+// later fault inside the same episode keeps the original timestamp.
+func (st *Store) markDegradedLocked() {
+	if st.degradedSince.IsZero() {
+		st.degradedSince = time.Now()
+	}
+}
+
+// refreshDegradedLocked ends the episode once no fault remains.
+func (st *Store) refreshDegradedLocked() {
+	if st.appendErr == nil && st.syncErr == nil && st.lastAppendErr == nil {
+		st.degradedSince = time.Time{}
+	}
+}
+
+// degradedLocked composes the operator-facing reason; empty while healthy.
+func (st *Store) degradedLocked() string {
+	var parts []string
+	if st.appendErr != nil {
+		parts = append(parts, "journal poisoned: "+st.appendErr.Error())
+	}
+	if st.lastAppendErr != nil {
+		parts = append(parts, "append failing: "+st.lastAppendErr.Error())
+	}
+	if st.syncErr != nil {
+		parts = append(parts, "fsync failing: "+st.syncErr.Error())
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Degraded reports whether the journal is in degraded mode — sticky or
+// transient write faults outstanding — with the operator-facing reason and
+// when the episode began. A degraded store keeps serving reads; mutations
+// fail until an append succeeds or a compaction rewrites the log.
+func (st *Store) Degraded() (reason string, since time.Time, degraded bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	reason = st.degradedLocked()
+	return reason, st.degradedSince, reason != ""
 }

@@ -75,6 +75,13 @@ const (
 	// DeprecationHeader is set to "true" on responses served by a legacy
 	// unversioned route; the Link header names the /v1 successor.
 	DeprecationHeader = "Deprecation"
+	// RetryAfterHeader accompanies 429 and 503 responses: the seconds a
+	// well-behaved client should wait before retrying. The SDK honors it.
+	RetryAfterHeader = "Retry-After"
+	// DegradedHeader is set to "true" on every response while the service is
+	// in degraded mode (journal unavailable): reads keep working, mutations
+	// fail with 503, and /healthz carries the reason.
+	DegradedHeader = "X-Querylearn-Degraded"
 )
 
 // MaxQuestionBatch caps the n parameter of GET /v1/sessions/{id}/questions.
@@ -120,6 +127,10 @@ const (
 	// CodeIdempotencyConflict: an Idempotency-Key was reused with a
 	// different request body, or while its first attempt is in flight.
 	CodeIdempotencyConflict = "idempotency_conflict"
+	// CodeOverloaded: the daemon shed the request — its in-flight admission
+	// budget is spent (HTTP 429) or it is draining for shutdown (HTTP 503).
+	// The request did not take effect; retry after the Retry-After delay.
+	CodeOverloaded = "overloaded"
 )
 
 // Codes lists every stable error code, in documentation order. Contract
@@ -128,7 +139,7 @@ var Codes = []string{
 	CodeBadBody, CodeBadJSON, CodeBodyTooLarge, CodeUnsupportedMediaType,
 	CodeBadParam, CodeBadRequest, CodeSessionNotFound, CodeTooManySessions,
 	CodeBudgetExhausted, CodeSessionFailed, CodeSessionExists,
-	CodeJournalUnavailable, CodeIdempotencyConflict,
+	CodeJournalUnavailable, CodeIdempotencyConflict, CodeOverloaded,
 }
 
 // Error is the structured failure body. It implements error so SDK callers

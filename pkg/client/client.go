@@ -33,24 +33,52 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	mrand "math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"querylearn/pkg/api"
 )
 
+// ErrCircuitOpen reports a call the circuit breaker failed fast: the
+// service has produced breakerThreshold consecutive transport/503 failures,
+// and the cooldown since the last one has not elapsed. The call never
+// reached the wire; retry after the cooldown.
+var ErrCircuitOpen = errors.New("client: circuit open: service repeatedly unavailable")
+
+// Defaults of the resilience knobs.
+const (
+	defaultRetries    = 3
+	defaultBackoff    = 50 * time.Millisecond
+	defaultBackoffCap = 2 * time.Second
+	// breakerThreshold consecutive transport/503 failures open the circuit;
+	// breakerCooldown later a single probe is let through (half-open).
+	breakerThreshold = 8
+	breakerCooldown  = 2 * time.Second
+)
+
 // Client talks to one querylearn service. The zero value is not usable;
 // construct with New. Clients are safe for concurrent use.
 type Client struct {
-	base    string
-	hc      *http.Client
-	retries int
-	backoff time.Duration
+	base       string
+	hc         *http.Client
+	retries    int
+	backoff    time.Duration
+	backoffCap time.Duration
+	cb         *breaker
+
+	// Test seams: the backoff sleeper, the jitter source, and the breaker
+	// clock. Production uses real time; unit tests fake all three.
+	sleep func(ctx context.Context, d time.Duration) error
+	rng   func() float64
+	now   func() time.Time
 }
 
 // Option configures a Client at construction.
@@ -62,26 +90,125 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
-// WithRetry tunes the retry policy: up to retries re-attempts after a 503
-// or a safe-to-retry transport error, with linear backoff between them.
-// retries = 0 disables retrying.
+// WithRetry tunes the retry policy: up to retries re-attempts after a
+// retryable failure (503, 429 "overloaded", safe transport errors), with
+// exponential full-jitter backoff between them — each wait is uniform in
+// [0, min(cap, backoff·2^attempt)), so a burst of retrying clients spreads
+// out instead of stampeding in lockstep. A server Retry-After header
+// overrides the computed wait. retries = 0 disables retrying.
 func WithRetry(retries int, backoff time.Duration) Option {
 	return func(c *Client) { c.retries, c.backoff = retries, backoff }
 }
 
+// WithBackoffCap bounds the exponential backoff's largest wait (default 2s).
+func WithBackoffCap(cap time.Duration) Option {
+	return func(c *Client) {
+		if cap > 0 {
+			c.backoffCap = cap
+		}
+	}
+}
+
+// WithCircuitBreaker tunes the client's circuit breaker: threshold
+// consecutive transport/503 failures open it (calls fail fast with
+// ErrCircuitOpen), and after cooldown one probe call is let through — its
+// outcome closes or re-opens the circuit. threshold <= 0 disables the
+// breaker entirely.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) Option {
+	return func(c *Client) {
+		if threshold <= 0 {
+			c.cb = nil
+			return
+		}
+		c.cb = &breaker{threshold: threshold, cooldown: cooldown}
+	}
+}
+
 // New builds a Client for the service at baseURL (scheme://host[:port],
-// with or without a trailing slash).
+// with or without a trailing slash). The breaker is on by default with
+// generous settings (8 consecutive failures, 2s cooldown); tune or disable
+// it with WithCircuitBreaker.
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
-		base:    strings.TrimRight(baseURL, "/"),
-		hc:      http.DefaultClient,
-		retries: 3,
-		backoff: 50 * time.Millisecond,
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         http.DefaultClient,
+		retries:    defaultRetries,
+		backoff:    defaultBackoff,
+		backoffCap: defaultBackoffCap,
+		cb:         &breaker{threshold: breakerThreshold, cooldown: breakerCooldown},
+		rng:        mrand.Float64,
+		now:        time.Now,
+	}
+	c.sleep = func(ctx context.Context, d time.Duration) error {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-t.C:
+			return nil
+		}
 	}
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.cb != nil {
+		c.cb.now = c.now
+	}
 	return c
+}
+
+// breaker is a half-open circuit breaker. Closed: calls flow, consecutive
+// transport/503 failures count up. Open: calls fail fast until cooldown
+// elapses. Half-open: one probe call is admitted; its success closes the
+// circuit, its failure re-opens it for another cooldown.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu       sync.Mutex
+	failures int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// allow gates one attempt, returning ErrCircuitOpen when the circuit is
+// open (or a probe already holds the half-open slot).
+func (b *breaker) allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold {
+		return nil
+	}
+	if b.now().Sub(b.openedAt) < b.cooldown || b.probing {
+		return ErrCircuitOpen
+	}
+	b.probing = true
+	return nil
+}
+
+// record reports an attempt's outcome. Any received HTTP response other
+// than a 503 counts as contact with a live service and closes the circuit;
+// transport errors and 503s count toward opening it.
+func (b *breaker) record(ok bool) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openedAt = b.now()
+	}
 }
 
 // Create registers a fresh session. The call carries a generated
@@ -195,8 +322,12 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 	}
 	u := c.base + api.V1Prefix + path
 	for attempt := 0; ; attempt++ {
+		if err := c.cb.allow(); err != nil {
+			return err
+		}
 		req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(payload))
 		if err != nil {
+			c.cb.record(true) // a malformed request says nothing about the service
 			return err
 		}
 		if body != nil {
@@ -207,11 +338,12 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
+			c.cb.record(false)
 			// A transport error may have lost a response after the server
 			// acted; only requests that are safe to re-send (reads, or
 			// writes pinned by an idempotency key) are retried.
 			if attempt < c.retries && (method == http.MethodGet || idemKey != "") {
-				if werr := c.wait(ctx, attempt); werr != nil {
+				if werr := c.wait(ctx, attempt, 0); werr != nil {
 					return werr
 				}
 				continue
@@ -220,13 +352,27 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 		}
 		respBody, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		// Any answer but a 503 is a live, functioning service to the breaker
+		// — including 4xx rejections of this particular request.
+		c.cb.record(resp.StatusCode != http.StatusServiceUnavailable)
 		if err != nil {
 			return fmt.Errorf("client: reading response: %w", err)
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
 			// 503 is the server's contract that the mutation did NOT take
-			// effect (journal unavailable), so any method may retry it.
-			if werr := c.wait(ctx, attempt); werr != nil {
+			// effect (journal unavailable, draining), so any method may retry
+			// it, waiting out a server-provided Retry-After first.
+			if werr := c.wait(ctx, attempt, retryAfter(resp)); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if resp.StatusCode == http.StatusTooManyRequests && attempt < c.retries &&
+			api.IsCode(decodeError(resp.StatusCode, respBody), api.CodeOverloaded) {
+			// Admission control shed the request before any work happened, so
+			// it is retryable regardless of method — unlike other 429s (e.g.
+			// "too_many_sessions"), which are terminal resource limits.
+			if werr := c.wait(ctx, attempt, retryAfter(resp)); werr != nil {
 				return werr
 			}
 			continue
@@ -239,7 +385,7 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 			// generated fresh per logical call, so a body-mismatch conflict
 			// cannot be our doing and resolves to the terminal 409 below
 			// after the retries run out.
-			if werr := c.wait(ctx, attempt); werr != nil {
+			if werr := c.wait(ctx, attempt, 0); werr != nil {
 				return werr
 			}
 			continue
@@ -257,20 +403,43 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 	}
 }
 
-// wait sleeps the linear backoff for attempt, honoring ctx cancellation.
-func (c *Client) wait(ctx context.Context, attempt int) error {
-	d := c.backoff * time.Duration(attempt+1)
+// retryAfter reads a response's Retry-After header as whole seconds (the
+// only form the service emits); 0 when absent or unparseable.
+func retryAfter(resp *http.Response) time.Duration {
+	raw := resp.Header.Get(api.RetryAfterHeader)
+	if raw == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(raw)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// wait sleeps before the next attempt, honoring ctx cancellation. A
+// server-provided Retry-After wins; otherwise the wait is exponential with
+// full jitter — uniform in [0, min(cap, backoff·2^attempt)] — so retrying
+// clients decorrelate instead of stampeding the recovering server together.
+func (c *Client) wait(ctx context.Context, attempt int, server time.Duration) error {
+	d := server
+	if d <= 0 {
+		ceil := c.backoff
+		for i := 0; i < attempt && ceil < c.backoffCap; i++ {
+			ceil *= 2
+		}
+		if ceil > c.backoffCap {
+			ceil = c.backoffCap
+		}
+		if ceil <= 0 {
+			return ctx.Err()
+		}
+		d = time.Duration(c.rng() * float64(ceil))
+	}
 	if d <= 0 {
 		return ctx.Err()
 	}
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-ctx.Done():
-		return ctx.Err()
-	case <-t.C:
-		return nil
-	}
+	return c.sleep(ctx, d)
 }
 
 // decodeError turns a non-2xx response into a *api.Error, falling back to

@@ -492,6 +492,14 @@ func TestEveryStableErrorCode(t *testing.T) {
 	_, err = sdkNoRetry(deadTS).Create(ctx, api.CreateRequest{Model: "join", Task: joinTask})
 	expect(api.CodeJournalUnavailable, err)
 
+	// overloaded: a draining server sheds new sessions with 503.
+	drainSrv := server.New(session.NewManager(session.Config{}))
+	drainSrv.Drain()
+	drainTS := httptest.NewServer(drainSrv.Handler())
+	t.Cleanup(drainTS.Close)
+	_, err = sdkNoRetry(drainTS).Create(ctx, api.CreateRequest{Model: "join", Task: joinTask})
+	expect(api.CodeOverloaded, err)
+
 	// bad_body: a declared Content-Length the client never delivers makes
 	// the server's body read fail mid-stream. Raw TCP, because no sane
 	// client library sends this.

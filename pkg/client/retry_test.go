@@ -1,0 +1,236 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"querylearn/pkg/api"
+)
+
+// rtFunc adapts a function to http.RoundTripper.
+type rtFunc func(*http.Request) (*http.Response, error)
+
+func (f rtFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
+
+// fakeClock drives the client's time seams: sleeps are recorded instead of
+// slept, and now() is an advanceable instant.
+type fakeClock struct {
+	slept []time.Duration
+	at    time.Time
+}
+
+func (f *fakeClock) sleep(_ context.Context, d time.Duration) error {
+	f.slept = append(f.slept, d)
+	return nil
+}
+
+// wire installs the clock into a client.
+func (f *fakeClock) wire(c *Client) {
+	c.sleep = f.sleep
+	c.now = func() time.Time { return f.at }
+	if c.cb != nil {
+		c.cb.now = c.now
+	}
+}
+
+// jsonResponse fabricates a structured API response.
+func jsonResponse(status int, body string, headers map[string]string) *http.Response {
+	resp := &http.Response{
+		StatusCode: status,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(bytes.NewReader([]byte(body))),
+	}
+	for k, v := range headers {
+		resp.Header.Set(k, v)
+	}
+	return resp
+}
+
+func errBody(code string) string {
+	return fmt.Sprintf(`{"error":{"code":%q,"message":"synthetic"}}`, code)
+}
+
+// TestBackoffIsExponentialWithFullJitter: without a Retry-After, waits are
+// rng() times an exponentially growing ceiling, capped.
+func TestBackoffIsExponentialWithFullJitter(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(0, 0)}
+	calls := 0
+	c := New("http://fake",
+		WithHTTPClient(&http.Client{Transport: rtFunc(func(*http.Request) (*http.Response, error) {
+			calls++
+			return nil, errors.New("connection refused")
+		})}),
+		WithRetry(4, 100*time.Millisecond),
+		WithBackoffCap(400*time.Millisecond),
+		WithCircuitBreaker(0, 0), // isolate the backoff behavior
+	)
+	clk.wire(c)
+	c.rng = func() float64 { return 0.5 } // jitter draw is deterministic
+
+	_, err := c.Status(context.Background(), "x")
+	if err == nil {
+		t.Fatal("all attempts failing must surface the error")
+	}
+	if calls != 5 {
+		t.Fatalf("transport called %d times, want 5 (1 + 4 retries)", calls)
+	}
+	// Ceilings 100, 200, 400, 400 (capped); each wait = 0.5 × ceiling.
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond, 200 * time.Millisecond}
+	if len(clk.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", clk.slept, want)
+	}
+	for i := range want {
+		if clk.slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", clk.slept, want)
+		}
+	}
+}
+
+// TestRetryAfterOverridesBackoff: a server Retry-After header wins over the
+// computed jitter, on both 503 and 429 "overloaded".
+func TestRetryAfterOverridesBackoff(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(0, 0)}
+	responses := []*http.Response{
+		jsonResponse(http.StatusServiceUnavailable, errBody(api.CodeJournalUnavailable),
+			map[string]string{api.RetryAfterHeader: "7"}),
+		jsonResponse(http.StatusTooManyRequests, errBody(api.CodeOverloaded),
+			map[string]string{api.RetryAfterHeader: "3"}),
+		jsonResponse(http.StatusOK, `{"id":"s1","model":"join"}`, nil),
+	}
+	i := 0
+	c := New("http://fake",
+		WithHTTPClient(&http.Client{Transport: rtFunc(func(*http.Request) (*http.Response, error) {
+			resp := responses[i]
+			i++
+			return resp, nil
+		})}),
+		WithRetry(3, 50*time.Millisecond),
+	)
+	clk.wire(c)
+	c.rng = func() float64 { t.Error("jitter drawn despite Retry-After"); return 0 }
+
+	out, err := c.Create(context.Background(), api.CreateRequest{Model: "join", Task: "t"})
+	if err != nil || out.ID != "s1" {
+		t.Fatalf("Create = (%+v, %v)", out, err)
+	}
+	want := []time.Duration{7 * time.Second, 3 * time.Second}
+	if len(clk.slept) != 2 || clk.slept[0] != want[0] || clk.slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", clk.slept, want)
+	}
+}
+
+// Test429OnlyOverloadedRetries: a 429 with a terminal code (the session
+// cap) is NOT retried — only admission sheds are.
+func Test429OnlyOverloadedRetries(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(0, 0)}
+	calls := 0
+	c := New("http://fake",
+		WithHTTPClient(&http.Client{Transport: rtFunc(func(*http.Request) (*http.Response, error) {
+			calls++
+			return jsonResponse(http.StatusTooManyRequests, errBody(api.CodeTooManySessions), nil), nil
+		})}),
+		WithRetry(3, 50*time.Millisecond),
+	)
+	clk.wire(c)
+
+	_, err := c.Create(context.Background(), api.CreateRequest{Model: "join", Task: "t"})
+	if !api.IsCode(err, api.CodeTooManySessions) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 1 || len(clk.slept) != 0 {
+		t.Errorf("terminal 429 retried: %d calls, slept %v", calls, clk.slept)
+	}
+}
+
+// TestCircuitBreakerHalfOpenCycle: consecutive failures open the circuit
+// (fail-fast with ErrCircuitOpen, no wire traffic), the cooldown admits one
+// probe, and the probe's outcome re-opens or closes the circuit.
+func TestCircuitBreakerHalfOpenCycle(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(1000, 0)}
+	calls, healthy := 0, false
+	c := New("http://fake",
+		WithHTTPClient(&http.Client{Transport: rtFunc(func(*http.Request) (*http.Response, error) {
+			calls++
+			if healthy {
+				return jsonResponse(http.StatusOK, `{"id":"s","model":"join"}`, nil), nil
+			}
+			return nil, errors.New("connection refused")
+		})}),
+		WithRetry(0, 0), // one attempt per call: failures count 1:1
+		WithCircuitBreaker(3, 10*time.Second),
+	)
+	clk.wire(c)
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		if _, err := c.Status(ctx, "x"); err == nil {
+			t.Fatal("failing transport must error")
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("transport calls = %d", calls)
+	}
+	// Open: the next call fails fast without touching the wire.
+	if _, err := c.Status(ctx, "x"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open-circuit call = %v, want ErrCircuitOpen", err)
+	}
+	if calls != 3 {
+		t.Fatalf("open circuit still hit the wire (%d calls)", calls)
+	}
+
+	// Half-open: after the cooldown one probe goes through; it fails, so the
+	// circuit re-opens for another cooldown.
+	clk.at = clk.at.Add(11 * time.Second)
+	if _, err := c.Status(ctx, "x"); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("cooldown elapsed but probe was not admitted")
+	}
+	if calls != 4 {
+		t.Fatalf("probe did not reach the wire (%d calls)", calls)
+	}
+	if _, err := c.Status(ctx, "x"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("failed probe did not re-open the circuit: %v", err)
+	}
+
+	// The service recovers: the next probe succeeds and closes the circuit.
+	healthy = true
+	clk.at = clk.at.Add(11 * time.Second)
+	if _, err := c.Status(ctx, "x"); err != nil {
+		t.Fatalf("successful probe = %v", err)
+	}
+	if _, err := c.Status(ctx, "x"); err != nil {
+		t.Fatalf("closed circuit rejected a call: %v", err)
+	}
+	if calls != 6 {
+		t.Errorf("transport calls = %d, want 6", calls)
+	}
+}
+
+// TestBreakerIgnoresClientErrors: 4xx responses prove the service is alive
+// and must not open the circuit.
+func TestBreakerIgnoresClientErrors(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(0, 0)}
+	calls := 0
+	c := New("http://fake",
+		WithHTTPClient(&http.Client{Transport: rtFunc(func(*http.Request) (*http.Response, error) {
+			calls++
+			return jsonResponse(http.StatusNotFound, errBody(api.CodeSessionNotFound), nil), nil
+		})}),
+		WithRetry(0, 0),
+		WithCircuitBreaker(2, 10*time.Second),
+	)
+	clk.wire(c)
+	for i := 0; i < 5; i++ {
+		if _, err := c.Status(context.Background(), "x"); !api.IsCode(err, api.CodeSessionNotFound) {
+			t.Fatalf("call %d = %v", i, err)
+		}
+	}
+	if calls != 5 {
+		t.Errorf("4xx responses opened the circuit: %d wire calls", calls)
+	}
+}
