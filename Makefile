@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: all build test vet bench-smoke bench-t14 bench-json chaos-smoke fuzz-smoke examples api-check ci
+.PHONY: all build test vet bench-smoke bench-t14 bench-json chaos-smoke fuzz-smoke loadgen-smoke examples api-check ci
 
 all: build
 
@@ -46,6 +46,12 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseSchemaTask -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzStoreReplay -fuzztime $(FUZZTIME) ./internal/store
 
+# Open-loop load smoke: a short fixed-seed Poisson run against an
+# in-process daemon (cmd/loadgen self-host). Fails on any request error or
+# a p99 over budget — the observability layer's end-to-end gate.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -smoke -p99-budget 1s
+
 # Compile-and-run every example as a smoke test; they have no test files,
 # so this is the only thing keeping them honest.
 examples:
@@ -65,4 +71,4 @@ api-check:
 		echo "$$leaks"; exit 1; \
 	fi
 
-ci: build vet test bench-smoke bench-t14 chaos-smoke fuzz-smoke examples api-check
+ci: build vet test bench-smoke bench-t14 chaos-smoke fuzz-smoke loadgen-smoke examples api-check

@@ -1,0 +1,155 @@
+// Command loadgen drives open-loop load at a querylearnd daemon and reports
+// the saturation curve: offered load vs achieved throughput and p50/p99/p999
+// latency. Arrivals are Poisson-scheduled against the wall clock (a slowing
+// server grows the in-flight population instead of slowing the offered
+// rate), land on zipf-popular session slots, and walk mixed four-model
+// dialogues to convergence via the pkg/client SDK.
+//
+// Usage:
+//
+//	loadgen -rates 100,400,1600 -duration 5s            # self-hosted daemon
+//	loadgen -addr http://localhost:8080 -rates 500      # external daemon
+//	loadgen -smoke -p99-budget 1s                       # CI gate
+//
+// With no -addr the generator self-hosts an in-process daemon, so the
+// numbers measure the serving stack without network noise — the T16
+// configuration. -smoke runs one short fixed-seed point and exits non-zero
+// on any request error or a p99 over budget.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"querylearn/internal/loadgen"
+	"querylearn/internal/obs"
+	"querylearn/internal/server"
+	"querylearn/internal/session"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target daemon base URL (empty = self-host an in-process daemon)")
+	rates := fs.String("rates", "100,400,1600", "comma-separated offered arrival rates (requests/second), swept in order")
+	duration := fs.Duration("duration", 3*time.Second, "wall-clock length of each rate's run")
+	sessions := fs.Int("sessions", 32, "concurrent dialogue slots arrivals land on")
+	zipf := fs.Float64("zipf", 1.3, "zipf exponent for slot popularity (<=1 = uniform)")
+	slowFrac := fs.Float64("slow-frac", 0.05, "fraction of arrivals that stall before sending (slow-client tail)")
+	slowDelay := fs.Duration("slow-delay", 50*time.Millisecond, "stall length for slow-client arrivals")
+	seed := fs.Int64("seed", 1, "rng seed for arrivals, slot choice, and the slow-client coin")
+	jsonOut := fs.Bool("json", false, "emit the curve as JSON instead of a table")
+	smoke := fs.Bool("smoke", false, "CI gate: one short fixed run; fail on any error or p99 over budget")
+	p99Budget := fs.Duration("p99-budget", time.Second, "smoke mode: maximum acceptable p99 latency")
+	maxInflight := fs.Int("max-inflight", 256, "self-hosted daemon: per-shard admission budget (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	base := *addr
+	var hc *http.Client
+	if base == "" {
+		var stop func()
+		var err error
+		base, hc, stop, err = selfHost(*maxInflight)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Fprintf(os.Stderr, "loadgen: self-hosted daemon at %s\n", base)
+	}
+
+	cfg := loadgen.Config{
+		BaseURL:   base,
+		Client:    hc,
+		Duration:  *duration,
+		Sessions:  *sessions,
+		ZipfS:     *zipf,
+		SlowFrac:  *slowFrac,
+		SlowDelay: *slowDelay,
+		Seed:      *seed,
+	}
+
+	if *smoke {
+		cfg.Rate, cfg.Duration = 100, 2*time.Second
+		cfg.SlowFrac = 0 // the smoke budget gates the server, not the stall
+		r, err := loadgen.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "smoke: %d arrivals, %d dialogues, %d errors, p50 %.1fms p99 %.1fms (budget %s)\n",
+			r.Arrivals, r.Dialogues, r.Errors, r.P50Seconds*1000, r.P99Seconds*1000, *p99Budget)
+		if r.Errors > 0 {
+			return fmt.Errorf("smoke: %d request errors (want 0)", r.Errors)
+		}
+		if !r.ScrapeOK {
+			return fmt.Errorf("smoke: post-run metrics scrape failed")
+		}
+		if budget := p99Budget.Seconds(); r.P99Seconds > budget {
+			return fmt.Errorf("smoke: p99 %.1fms over budget %s", r.P99Seconds*1000, *p99Budget)
+		}
+		return nil
+	}
+
+	var rateList []float64
+	for _, s := range strings.Split(*rates, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v <= 0 {
+			return fmt.Errorf("bad -rates entry %q", s)
+		}
+		rateList = append(rateList, v)
+	}
+	points, err := loadgen.RunCurve(cfg, rateList)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(struct {
+			Points []loadgen.Point `json:"points"`
+		}{points})
+	}
+	fmt.Fprintf(out, "%10s %10s %9s %7s %6s %9s %9s %9s %9s\n",
+		"offered/s", "achieved/s", "arrivals", "errors", "shed", "p50 ms", "p99 ms", "p999 ms", "max ms")
+	for _, p := range points {
+		fmt.Fprintf(out, "%10.0f %10.0f %9d %7d %6d %9.2f %9.2f %9.2f %9.2f\n",
+			p.OfferedRPS, p.AchievedRPS, p.Arrivals, p.Errors, p.Shed,
+			p.P50Seconds*1000, p.P99Seconds*1000, p.P999Seconds*1000, p.MaxSeconds*1000)
+	}
+	return nil
+}
+
+// selfHost starts an in-process daemon with the full observability wiring,
+// on a loopback port.
+func selfHost(maxInflight int) (base string, hc *http.Client, stop func(), err error) {
+	reg := obs.NewRegistry()
+	mgr := session.NewManager(session.Config{Shards: 16})
+	opts := []server.Option{server.WithObs(reg)}
+	if maxInflight > 0 {
+		opts = append(opts, server.WithAdmission(maxInflight, 16))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	srv := &http.Server{Handler: server.New(mgr, opts...).Handler()}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(),
+		&http.Client{Timeout: 30 * time.Second},
+		func() { srv.Close() }, nil
+}

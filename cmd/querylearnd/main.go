@@ -21,26 +21,27 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime/metrics"
 	"strings"
 	"syscall"
 	"time"
 
-	"querylearn/internal/core"
 	"querylearn/internal/fault"
-	"querylearn/internal/rellearn"
+	"querylearn/internal/loadgen"
+	"querylearn/internal/obs"
 	"querylearn/internal/server"
 	"querylearn/internal/session"
 	"querylearn/internal/store"
-	"querylearn/internal/xmltree"
 	"querylearn/pkg/api"
 	"querylearn/pkg/client"
 )
@@ -65,12 +66,22 @@ type storeConfig struct {
 	// faults is the -fault-spec registry (nil in production runs); the
 	// store registers its injection points here on open.
 	faults *fault.Registry
+	// obs is the daemon's shared metrics registry; the store contributes
+	// its journal/fsync/compaction instruments to the same /metrics scrape.
+	obs *obs.Registry
 }
 
 // robustConfig is the overload/chaos flag block.
 type robustConfig struct {
 	faultSpec   string
 	maxInflight int
+}
+
+// obsConfig is the observability flag block.
+type obsConfig struct {
+	debugAddr     string
+	slowThreshold time.Duration
+	slowEvery     int
 }
 
 // openManager builds the session manager, and — when a data directory is
@@ -81,7 +92,7 @@ func openManager(cfg session.Config, sc storeConfig) (*session.Manager, *store.S
 	if sc.dataDir == "" {
 		return session.NewManager(cfg), nil, nil
 	}
-	st, snaps, err := store.Open(sc.dataDir, store.Options{Fsync: sc.fsync, Faults: sc.faults})
+	st, snaps, err := store.Open(sc.dataDir, store.Options{Fsync: sc.fsync, Faults: sc.faults, Obs: sc.obs})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -125,6 +136,9 @@ func run(args []string, out io.Writer) error {
 	compactEvery := fs.Duration("compact-every", 5*time.Minute, "rewrite the journal as snapshots this often (0 = only at boot)")
 	maxInflight := fs.Int("max-inflight", 64, "per-shard in-flight request budget; excess requests are shed with 429 overloaded (0 = unlimited)")
 	faultSpec := fs.String("fault-spec", "", `DEV ONLY: arm deterministic fault injection, e.g. "store.append=error:times=3,server.request=latency:delay=50ms" (see internal/fault)`)
+	debugAddr := fs.String("debug-addr", "", "serve pprof and runtime/metrics on this address (empty = off; bind loopback, the listener is unauthenticated)")
+	slowThreshold := fs.Duration("slow-log-threshold", 500*time.Millisecond, "log requests slower than this with their phase breakdown (0 = off)")
+	slowEvery := fs.Int("slow-log-every", 1, "sample 1 in N slow requests for the structured log")
 	batch := fs.Int("batch", 1, "replay mode: questions fetched and answered per round-trip (parallel crowd dispatch)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,7 +160,10 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return serve(*addr, cfg, *sweep, sc, robustConfig{faultSpec: *faultSpec, maxInflight: *maxInflight}, *maxBody)
+		return serve(*addr, cfg, *sweep, sc,
+			robustConfig{faultSpec: *faultSpec, maxInflight: *maxInflight},
+			obsConfig{debugAddr: *debugAddr, slowThreshold: *slowThreshold, slowEvery: *slowEvery},
+			*maxBody)
 	}
 	if rest[0] == "replay" && len(rest) == 3 {
 		data, err := os.ReadFile(rest[2])
@@ -160,17 +177,21 @@ func run(args []string, out io.Writer) error {
 
 // serve runs the daemon until SIGINT/SIGTERM, sweeping expired sessions and
 // compacting the journal in the background.
-func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig, rc robustConfig, maxBody int64) error {
+func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig, rc robustConfig, oc obsConfig, maxBody int64) error {
 	var reg *fault.Registry
 	if rc.faultSpec != "" {
 		reg = fault.NewRegistry()
 		sc.faults = reg
 	}
+	// One registry for the whole process: the store's journal instruments
+	// and the server's request instruments land in the same scrape.
+	obsReg := obs.NewRegistry()
+	sc.obs = obsReg
 	mgr, st, err := openManager(cfg, sc)
 	if err != nil {
 		return err
 	}
-	opts := []server.Option{server.WithMaxBodyBytes(maxBody)}
+	opts := []server.Option{server.WithMaxBodyBytes(maxBody), server.WithObs(obsReg)}
 	if st != nil {
 		opts = append(opts, server.WithStore(st.Stats))
 	}
@@ -179,6 +200,10 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 	}
 	if reg != nil {
 		opts = append(opts, server.WithFaults(reg))
+	}
+	if oc.slowThreshold > 0 {
+		opts = append(opts, server.WithSlowRequestLog(
+			slog.New(slog.NewJSONHandler(os.Stderr, nil)), oc.slowThreshold, oc.slowEvery))
 	}
 	qsrv := server.New(mgr, opts...)
 	srv := hardenServer(&http.Server{Addr: addr, Handler: qsrv.Handler()})
@@ -196,6 +221,22 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if oc.debugAddr != "" {
+		if !isLoopback(oc.debugAddr) {
+			fmt.Fprintf(os.Stderr, "querylearnd: WARNING: -debug-addr %s is not loopback; pprof is unauthenticated and leaks heap contents\n", oc.debugAddr)
+		}
+		dbg := hardenServer(&http.Server{Addr: oc.debugAddr, Handler: debugHandler()})
+		// Profile captures run longer than the serving timeouts allow.
+		dbg.ReadTimeout, dbg.WriteTimeout = 0, 0
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "querylearnd: debug listener: %v\n", err)
+			}
+		}()
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "querylearnd: debug listener (pprof, runtime metrics) on %s\n", oc.debugAddr)
+	}
 
 	if st != nil {
 		// Background journal probe: while the store is degraded, retry a
@@ -273,8 +314,48 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 	return err
 }
 
-// oracleFunc answers a question item; the batch-learned goal plays the user.
-type oracleFunc func(item json.RawMessage) (bool, error)
+// isLoopback reports whether a listen address is bound to localhost.
+func isLoopback(addr string) bool {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		host = addr
+	}
+	if host == "localhost" {
+		return true
+	}
+	ip := net.ParseIP(host)
+	return ip != nil && ip.IsLoopback()
+}
+
+// debugHandler serves pprof and a runtime/metrics dump on an explicit mux —
+// the net/http/pprof side effects on DefaultServeMux never reach the API
+// listener, which stays free of debug surfaces.
+func debugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, _ *http.Request) {
+		descs := metrics.All()
+		samples := make([]metrics.Sample, len(descs))
+		for i, d := range descs {
+			samples[i].Name = d.Name
+		}
+		metrics.Read(samples)
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, s := range samples {
+			switch s.Value.Kind() {
+			case metrics.KindUint64:
+				fmt.Fprintf(w, "%s %d\n", s.Name, s.Value.Uint64())
+			case metrics.KindFloat64:
+				fmt.Fprintf(w, "%s %g\n", s.Name, s.Value.Float64())
+			}
+		}
+	})
+	return mux
+}
 
 // replay drives one full interactive run over HTTP via the pkg/client SDK.
 // It returns an error if the dialogue fails; the learned hypothesis and
@@ -282,7 +363,7 @@ type oracleFunc func(item json.RawMessage) (bool, error)
 // questions at once and answers them as one batch — the paper's parallel
 // crowd dispatch.
 func replay(model, taskSrc string, cfg session.Config, batch int, maxBody int64, out io.Writer) error {
-	seedTask, oracle, goal, err := prepareReplay(model, taskSrc)
+	seedTask, oracle, goal, err := loadgen.PrepareOracle(model, taskSrc)
 	if err != nil {
 		return err
 	}
@@ -345,193 +426,6 @@ func replay(model, taskSrc string, cfg session.Config, batch int, maxBody int64,
 	fmt.Fprintf(out, "converged after %d questions\n", questions)
 	fmt.Fprintf(out, "learned over HTTP: %s\n", indentLines(hyp.Query))
 	return nil
-}
-
-// prepareReplay learns the goal from the full task, renders the seed-only
-// session task, and builds the oracle.
-func prepareReplay(model, taskSrc string) (seedTask string, oracle oracleFunc, goal string, err error) {
-	switch model {
-	case "twig":
-		return prepareTwig(taskSrc)
-	case "join":
-		return prepareJoin(taskSrc)
-	case "path":
-		return preparePath(taskSrc)
-	case "schema":
-		return prepareSchema(taskSrc)
-	}
-	return "", nil, "", fmt.Errorf("unknown model %q (want twig, join, path, or schema)", model)
-}
-
-func prepareTwig(src string) (string, oracleFunc, string, error) {
-	task, err := core.ParseTwigTask(src)
-	if err != nil {
-		return "", nil, "", err
-	}
-	goal, err := core.LearnXMLQuery(task.Examples, core.XMLOptions{Schema: task.Schema})
-	if err != nil {
-		return "", nil, "", err
-	}
-	// Selection sets per document, by node pointer.
-	selected := make([]map[*xmltree.Node]bool, len(task.Docs))
-	for i, d := range task.Docs {
-		selected[i] = map[*xmltree.Node]bool{}
-		for _, n := range goal.Eval(d) {
-			selected[i][n] = true
-		}
-	}
-	var b strings.Builder
-	for _, d := range task.Docs {
-		fmt.Fprintf(&b, "doc %s\n", d.String())
-	}
-	if task.Schema != nil {
-		for _, line := range strings.Split(strings.TrimSpace(task.Schema.String()), "\n") {
-			fmt.Fprintf(&b, "schema %s\n", line)
-		}
-	}
-	seeded := false
-	for _, ex := range task.Examples {
-		if !ex.Positive {
-			continue
-		}
-		for di, d := range task.Docs {
-			if d == ex.Doc {
-				fmt.Fprintf(&b, "pos %d %s\n", di, core.NodePathOf(ex.Node))
-				seeded = true
-			}
-		}
-		if seeded {
-			break
-		}
-	}
-	if !seeded {
-		return "", nil, "", fmt.Errorf("twig replay needs a positive example in the task")
-	}
-	oracle := func(item json.RawMessage) (bool, error) {
-		var it struct {
-			Doc  int    `json:"doc"`
-			Path string `json:"path"`
-		}
-		if err := json.Unmarshal(item, &it); err != nil {
-			return false, err
-		}
-		if it.Doc < 0 || it.Doc >= len(task.Docs) {
-			return false, fmt.Errorf("question doc %d out of range", it.Doc)
-		}
-		node, err := core.ResolveNodePath(task.Docs[it.Doc], it.Path)
-		if err != nil {
-			return false, err
-		}
-		return selected[it.Doc][node], nil
-	}
-	return b.String(), oracle, goal.String(), nil
-}
-
-func prepareJoin(src string) (string, oracleFunc, string, error) {
-	task, err := core.ParseJoinTask(src)
-	if err != nil {
-		return "", nil, "", err
-	}
-	if task.Semijoin {
-		return "", nil, "", fmt.Errorf("join replay supports equi-join tasks only")
-	}
-	u := rellearn.NewUniverse(task.Left, task.Right)
-	goalSet, ok := rellearn.JoinConsistent(u, task.Examples)
-	if !ok {
-		return "", nil, "", fmt.Errorf("no join predicate is consistent with the task examples")
-	}
-	goalOracle := rellearn.GoalOracle{U: u, Goal: goalSet}
-	var b strings.Builder
-	fmt.Fprintf(&b, "left %s %s\n", task.Left.Name, strings.Join(task.Left.Attrs, ","))
-	task.Left.Each(func(_ int, row []string) { fmt.Fprintf(&b, "lrow %s\n", strings.Join(row, ",")) })
-	fmt.Fprintf(&b, "right %s %s\n", task.Right.Name, strings.Join(task.Right.Attrs, ","))
-	task.Right.Each(func(_ int, row []string) { fmt.Fprintf(&b, "rrow %s\n", strings.Join(row, ",")) })
-	oracle := func(item json.RawMessage) (bool, error) {
-		var it struct {
-			Left  int `json:"left"`
-			Right int `json:"right"`
-		}
-		if err := json.Unmarshal(item, &it); err != nil {
-			return false, err
-		}
-		return goalOracle.LabelPair(it.Left, it.Right), nil
-	}
-	pred := u.Decode(goalSet)
-	parts := make([]string, len(pred))
-	for i, p := range pred {
-		parts[i] = p.String()
-	}
-	return b.String(), oracle, strings.Join(parts, " & "), nil
-}
-
-func preparePath(src string) (string, oracleFunc, string, error) {
-	task, err := core.ParsePathTask(src)
-	if err != nil {
-		return "", nil, "", err
-	}
-	goal, err := core.LearnPathQuery(task.Graph, task.Examples)
-	if err != nil {
-		return "", nil, "", err
-	}
-	g := task.Graph
-	var b strings.Builder
-	for _, e := range g.Triples() {
-		fmt.Fprintf(&b, "edge %s %s %s\n", e.From, e.Label, e.To)
-	}
-	seeded := false
-	for _, ex := range task.Examples {
-		if ex.Positive {
-			fmt.Fprintf(&b, "pos %s %s\n", g.Node(ex.Src), g.Node(ex.Dst))
-			seeded = true
-			break
-		}
-	}
-	if !seeded {
-		return "", nil, "", fmt.Errorf("path replay needs a positive example in the task")
-	}
-	oracle := func(item json.RawMessage) (bool, error) {
-		var it struct {
-			Src string `json:"src"`
-			Dst string `json:"dst"`
-		}
-		if err := json.Unmarshal(item, &it); err != nil {
-			return false, err
-		}
-		src, dst := g.NodeIndex(it.Src), g.NodeIndex(it.Dst)
-		if src < 0 || dst < 0 {
-			return false, fmt.Errorf("question names unknown node (%s, %s)", it.Src, it.Dst)
-		}
-		return g.Selects(goal, src, dst), nil
-	}
-	return b.String(), oracle, goal.String(), nil
-}
-
-func prepareSchema(src string) (string, oracleFunc, string, error) {
-	task, err := core.ParseSchemaTask(src)
-	if err != nil {
-		return "", nil, "", err
-	}
-	goal, err := core.LearnSchema(task.Docs)
-	if err != nil {
-		return "", nil, "", err
-	}
-	// Seed the session with the first document only; the dialogue must
-	// rediscover the rest of the language.
-	seedTask := fmt.Sprintf("doc %s\n", task.Docs[0].String())
-	oracle := func(item json.RawMessage) (bool, error) {
-		var it struct {
-			Doc string `json:"doc"`
-		}
-		if err := json.Unmarshal(item, &it); err != nil {
-			return false, err
-		}
-		doc, err := xmltree.Parse(it.Doc)
-		if err != nil {
-			return false, err
-		}
-		return goal.Valid(doc), nil
-	}
-	return seedTask, oracle, goal.String(), nil
 }
 
 // indentLines keeps multi-line hypotheses (schemas) readable in the

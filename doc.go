@@ -47,6 +47,20 @@
 //	                     snapshot compaction; recovery folds the log into
 //	                     session.Snapshots that Manager.Recover replays
 //
+// Observability cuts across the serving stack rather than sitting in it:
+// internal/obs provides the zero-dependency metrics core (atomic
+// log-bucketed latency histograms, labeled counters/gauges, a Prometheus
+// text-exposition encoder and strict lint parser, per-request phase traces)
+// and every serving layer records into one shared registry — the server its
+// per-endpoint/per-code request histograms, the session manager its
+// lock/learner/journal phases, the store its append/fsync/compaction
+// timings and journal-lag gauges. GET /metrics renders the registry as both
+// the legacy JSON document and ?format=prometheus exposition; the daemon
+// adds pprof + runtime/metrics on -debug-addr and a sampled slow-request
+// log keyed by X-Request-Id. internal/loadgen + cmd/loadgen drive the stack
+// open-loop (Poisson arrivals, zipf session popularity) for the T16
+// saturation curves. See README.md's "Observability".
+//
 // Scale: interactive path sessions run on a sparse, pool-projected version
 // space — candidate membership is interned over the question pool (pool ∪
 // task examples ∪ seed) and evaluated by the source-restricted

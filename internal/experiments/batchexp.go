@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"querylearn/internal/graph"
+	"querylearn/internal/obs"
 	"querylearn/internal/server"
 	"querylearn/internal/session"
 	"querylearn/pkg/api"
@@ -160,11 +161,12 @@ func T13BatchDialogues(scale int) *Table {
 	for _, f := range fixtures {
 		var baseRate float64
 		for _, k := range []int{1, 4, 16} {
-			labels, rts, elapsed, err := runBatchBench(f.model, f.task, f.oracle, k, dialogues)
+			labels, rts, elapsed, hist, err := runBatchBench(f.model, f.task, f.oracle, k, dialogues)
 			if err != nil {
 				t.Rows = append(t.Rows, []string{f.model, fmt.Sprint(k), "ERROR", err.Error(), "", "", "", ""})
 				continue
 			}
+			t.Latency = append(t.Latency, latencyStat(fmt.Sprintf("T13 %s k=%d per-request", f.model, k), hist))
 			rate := float64(labels) / elapsed.Seconds()
 			vs := ""
 			if k == 1 {
@@ -190,11 +192,17 @@ func T13BatchDialogues(scale int) *Table {
 // runBatchBench drives `dialogues` sequential sessions at batch size k and
 // returns total labels submitted, convergence-loop round trips, and elapsed
 // wall-clock.
-func runBatchBench(model, task string, oracle t13Oracle, k, dialogues int) (labels, roundTrips int, elapsed time.Duration, err error) {
+func runBatchBench(model, task string, oracle t13Oracle, k, dialogues int) (labels, roundTrips int, elapsed time.Duration, hist obs.HistogramSnapshot, err error) {
 	mgr := session.NewManager(session.Config{Shards: 16})
 	ts := httptest.NewServer(server.New(mgr).Handler())
 	defer ts.Close()
-	hc := &http.Client{Transport: latencyTransport{base: http.DefaultTransport, delay: t13WireLatency}}
+	// The recorder sits inside the latency shim so the histogram measures
+	// the server, not the simulated wire.
+	var reqHist obs.Histogram
+	hc := &http.Client{Transport: latencyTransport{
+		base:  recordingTransport{base: http.DefaultTransport, hist: &reqHist},
+		delay: t13WireLatency,
+	}}
 	sdk := client.New(ts.URL, client.WithHTTPClient(hc))
 	ctx := context.Background()
 
@@ -202,16 +210,16 @@ func runBatchBench(model, task string, oracle t13Oracle, k, dialogues int) (labe
 	for d := 0; d < dialogues; d++ {
 		created, cerr := sdk.Create(ctx, api.CreateRequest{Model: model, Task: task})
 		if cerr != nil {
-			return 0, 0, 0, cerr
+			return 0, 0, 0, obs.HistogramSnapshot{}, cerr
 		}
 		for rounds := 0; ; rounds++ {
 			if rounds > 10000 {
-				return 0, 0, 0, fmt.Errorf("%s k=%d did not converge", model, k)
+				return 0, 0, 0, obs.HistogramSnapshot{}, fmt.Errorf("%s k=%d did not converge", model, k)
 			}
 			qs, qerr := sdk.Questions(ctx, created.ID, k)
 			roundTrips++
 			if qerr != nil {
-				return 0, 0, 0, qerr
+				return 0, 0, 0, obs.HistogramSnapshot{}, qerr
 			}
 			if len(qs) == 0 {
 				break
@@ -220,19 +228,19 @@ func runBatchBench(model, task string, oracle t13Oracle, k, dialogues int) (labe
 			for _, q := range qs {
 				positive, oerr := oracle(q.Item)
 				if oerr != nil {
-					return 0, 0, 0, oerr
+					return 0, 0, 0, obs.HistogramSnapshot{}, oerr
 				}
 				batch = append(batch, api.Answer{Item: q.Item, Positive: positive})
 			}
 			if _, aerr := sdk.Answers(ctx, created.ID, batch, api.ReconcileNone); aerr != nil {
-				return 0, 0, 0, aerr
+				return 0, 0, 0, obs.HistogramSnapshot{}, aerr
 			}
 			roundTrips++
 			labels += len(batch)
 		}
 		if derr := sdk.Delete(ctx, created.ID); derr != nil {
-			return 0, 0, 0, derr
+			return 0, 0, 0, obs.HistogramSnapshot{}, derr
 		}
 	}
-	return labels, roundTrips, time.Since(start), nil
+	return labels, roundTrips, time.Since(start), reqHist.Snapshot(), nil
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"querylearn/internal/fault"
+	"querylearn/internal/obs"
 	"querylearn/internal/server"
 	"querylearn/internal/session"
 	"querylearn/internal/store"
@@ -62,6 +63,7 @@ func T15FaultAvailability(scale int) *Table {
 	}
 	readPath := "/v1/sessions/" + anchor.ID()
 
+	var phaseHist *obs.Histogram
 	status := func(method, path string) int {
 		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(
 			`{"model":"join","task":"left P id,city\nlrow 1,lille\nright O buyer,place\nrrow 1,lille\n"}`))
@@ -69,7 +71,9 @@ func T15FaultAvailability(scale int) *Table {
 			return 0
 		}
 		req.Header.Set("Content-Type", "application/json")
+		start := time.Now()
 		resp, err := ts.Client().Do(req)
+		phaseHist.Observe(time.Since(start))
 		if err != nil {
 			return 0
 		}
@@ -79,8 +83,12 @@ func T15FaultAvailability(scale int) *Table {
 
 	// phase drives `rounds` read+mutation pairs and tallies the outcomes.
 	// The mutation is a session create (a journaled write); successful
-	// creates are deleted right away so the phases stay comparable.
+	// creates are deleted right away so the phases stay comparable. Each
+	// phase gets its own latency histogram: rejected-cleanly must also mean
+	// rejected-fast, and the quantiles in t.Latency are the evidence.
 	phase := func(name string) []string {
+		phaseHist = &obs.Histogram{}
+		defer func() { t.Latency = append(t.Latency, latencyStat("T15 "+name, phaseHist.Snapshot())) }()
 		var readsOK, mutsOK, rejected int
 		for i := 0; i < rounds; i++ {
 			if status(http.MethodGet, readPath) == http.StatusOK {

@@ -4,17 +4,33 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"querylearn/internal/obs"
 	"querylearn/internal/server"
 	"querylearn/internal/session"
 	"querylearn/pkg/api"
 	"querylearn/pkg/client"
 )
+
+// recordingTransport observes every round-trip's latency into a shared
+// histogram — the per-request tail view the throughput tables were missing.
+type recordingTransport struct {
+	base http.RoundTripper
+	hist *obs.Histogram
+}
+
+func (t recordingTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	start := time.Now()
+	resp, err := t.base.RoundTrip(r)
+	t.hist.Observe(time.Since(start))
+	return resp, err
+}
 
 // Fixture tasks for the service benchmark: small enough that one dialogue is
 // a handful of requests, so the numbers measure the serving stack (routing,
@@ -79,11 +95,12 @@ func T11ServiceThroughput(scale int) *Table {
 		if model == "path" {
 			task = svcPathTask
 		}
-		sessions, answers, elapsed, err := runServiceBench(model, task, clients, sessionsPerClient)
+		sessions, answers, elapsed, hist, err := runServiceBench(model, task, clients, sessionsPerClient)
 		if err != nil {
 			t.Rows = append(t.Rows, []string{model, fmt.Sprint(clients), "ERROR", err.Error(), "", "", ""})
 			continue
 		}
+		t.Latency = append(t.Latency, latencyStat("T11 "+model+" per-request", hist))
 		secs := elapsed.Seconds()
 		t.Rows = append(t.Rows, []string{
 			model, fmt.Sprint(clients), fmt.Sprint(sessions), fmt.Sprint(answers),
@@ -98,11 +115,12 @@ func T11ServiceThroughput(scale int) *Table {
 	return t
 }
 
-func runServiceBench(model, task string, clients, perClient int) (sessions, answers int, elapsed time.Duration, err error) {
+func runServiceBench(model, task string, clients, perClient int) (sessions, answers int, elapsed time.Duration, hist obs.HistogramSnapshot, err error) {
 	mgr := session.NewManager(session.Config{Shards: 16})
 	ts := httptest.NewServer(server.New(mgr).Handler())
 	defer ts.Close()
 
+	var reqHist obs.Histogram
 	var answered atomic.Int64
 	var firstErr atomic.Value
 	start := time.Now()
@@ -111,7 +129,8 @@ func runServiceBench(model, task string, clients, perClient int) (sessions, answ
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			sdk := client.New(ts.URL, client.WithHTTPClient(ts.Client()))
+			hc := &http.Client{Transport: recordingTransport{base: http.DefaultTransport, hist: &reqHist}}
+			sdk := client.New(ts.URL, client.WithHTTPClient(hc))
 			for i := 0; i < perClient; i++ {
 				n, err := runOneDialogue(sdk, model, task)
 				if err != nil {
@@ -125,9 +144,9 @@ func runServiceBench(model, task string, clients, perClient int) (sessions, answ
 	wg.Wait()
 	elapsed = time.Since(start)
 	if e := firstErr.Load(); e != nil {
-		return 0, 0, 0, e.(error)
+		return 0, 0, 0, obs.HistogramSnapshot{}, e.(error)
 	}
-	return clients * perClient, int(answered.Load()), elapsed, nil
+	return clients * perClient, int(answered.Load()), elapsed, reqHist.Snapshot(), nil
 }
 
 func runOneDialogue(sdk *client.Client, model, task string) (int, error) {

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"querylearn/internal/obs"
 )
 
 // Table is one experiment's result: a titled grid with footnotes. The
@@ -25,6 +27,35 @@ type Table struct {
 	// ElapsedMS is the wall-clock time producing the table took — the
 	// cheap per-experiment latency signal the JSON trajectories track.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Latency carries labeled quantile distributions for experiments that
+	// measure request latency: means alone hide the tail the crowd-learning
+	// setting cares about, so T11/T13/T15/T16 publish p50/p99/p999 here.
+	Latency []LatencyStat `json:"latency,omitempty"`
+}
+
+// LatencyStat is one labeled latency distribution, summarized from an
+// internal/obs histogram.
+type LatencyStat struct {
+	Label       string  `json:"label"`
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	P999Seconds float64 `json:"p999_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// latencyStat summarizes a histogram snapshot under a label.
+func latencyStat(label string, s obs.HistogramSnapshot) LatencyStat {
+	return LatencyStat{
+		Label:       label,
+		Count:       int64(s.Count),
+		MeanSeconds: obs.Round6(s.Mean()),
+		P50Seconds:  obs.Round6(s.Quantile(0.50)),
+		P99Seconds:  obs.Round6(s.Quantile(0.99)),
+		P999Seconds: obs.Round6(s.Quantile(0.999)),
+		MaxSeconds:  obs.Round6(s.MaxSeconds),
+	}
 }
 
 // Render formats the table for terminal output.
@@ -96,6 +127,7 @@ func Registry() []Experiment {
 		{"F1", func(int) *Table { return F1ExchangeScenarios() }},
 		{"T14", T14BigGraphSessions},
 		{"T15", T15FaultAvailability},
+		{"T16", T16SaturationCurve},
 	}
 }
 

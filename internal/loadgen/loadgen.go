@@ -1,0 +1,316 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"querylearn/internal/obs"
+	"querylearn/pkg/api"
+	"querylearn/pkg/client"
+)
+
+// Config parameterizes one fixed-duration open-loop run.
+type Config struct {
+	// BaseURL is the daemon under load; Client issues the requests (nil =
+	// http.DefaultClient with a 30s timeout).
+	BaseURL string
+	Client  *http.Client
+	// Rate is the offered arrival rate in requests/second (Poisson).
+	Rate     float64
+	Duration time.Duration
+	// Sessions is the number of concurrent dialogue slots arrivals land on
+	// (default 32). Popularity across slots is zipf-skewed with exponent
+	// ZipfS (values <= 1 mean uniform), so a few slots run hot — the
+	// contended-session shape admission control exists for.
+	Sessions int
+	ZipfS    float64
+	// SlowFrac of arrivals stall SlowDelay before issuing their request —
+	// the slow-client tail of a crowd of human workers.
+	SlowFrac  float64
+	SlowDelay time.Duration
+	// Seed fixes the arrival schedule, slot choices, and slow-client coin.
+	Seed int64
+	// Workloads are the dialogue templates slots cycle through (default
+	// Builtin(): all four models mixed).
+	Workloads []Workload
+}
+
+// Result is one run's client-side tally plus the server-side shed count
+// scraped from /metrics?format=prometheus after the run.
+type Result struct {
+	OfferedRPS      float64 `json:"offered_rps"`
+	AchievedRPS     float64 `json:"achieved_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	Arrivals        int64   `json:"arrivals"`
+	Errors          int64   `json:"errors"`
+	// BusyReads counts arrivals that found their slot's dialogue mid-flight
+	// and issued a list read instead of stalling the open loop.
+	BusyReads int64 `json:"busy_reads"`
+	// Dialogues counts full create→converge→delete cycles completed.
+	Dialogues int64 `json:"dialogues"`
+	// Shed is the server's own 429 count, scraped post-run (0 when the
+	// target does not expose the Prometheus format — see ScrapeOK).
+	Shed     int64 `json:"shed"`
+	ScrapeOK bool  `json:"scrape_ok"`
+
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	P999Seconds float64 `json:"p999_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+	MeanSeconds float64 `json:"mean_seconds"`
+
+	Hist obs.HistogramSnapshot `json:"-"`
+}
+
+// slot is one dialogue's state machine. TryLock keeps the loop open: an
+// arrival that finds the slot busy does a read instead of queueing behind it.
+type slot struct {
+	mu sync.Mutex
+	w  Workload
+	id string
+	q  *api.Question
+}
+
+type engine struct {
+	cfg       cfg
+	sdk       *client.Client
+	slots     []*slot
+	errors    atomic.Int64
+	busyReads atomic.Int64
+	dialogues atomic.Int64
+	hist      obs.Histogram
+}
+
+// cfg is Config with defaults resolved.
+type cfg struct {
+	Config
+}
+
+func (c Config) resolved() (cfg, error) {
+	if c.Rate <= 0 {
+		return cfg{}, fmt.Errorf("loadgen: rate must be positive (got %g)", c.Rate)
+	}
+	if c.Duration <= 0 {
+		return cfg{}, fmt.Errorf("loadgen: duration must be positive (got %s)", c.Duration)
+	}
+	if c.BaseURL == "" {
+		return cfg{}, fmt.Errorf("loadgen: base URL required")
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 32
+	}
+	if len(c.Workloads) == 0 {
+		ws, err := Builtin()
+		if err != nil {
+			return cfg{}, err
+		}
+		c.Workloads = ws
+	}
+	return cfg{c}, nil
+}
+
+// Run drives one fixed-duration open-loop run. Arrivals follow a Poisson
+// process scheduled against absolute wall-clock targets: a slow server does
+// not slow the arrival rate, it grows the in-flight population — which is
+// what pushes the measured tail at saturation.
+func Run(c Config) (Result, error) {
+	rc, err := c.resolved()
+	if err != nil {
+		return Result{}, err
+	}
+	e := &engine{cfg: rc, sdk: client.New(rc.BaseURL, client.WithHTTPClient(rc.Client))}
+	e.slots = make([]*slot, rc.Sessions)
+	for i := range e.slots {
+		e.slots[i] = &slot{w: rc.Workloads[i%len(rc.Workloads)]}
+	}
+	rng := rand.New(rand.NewSource(rc.Seed))
+	var zipf *rand.Zipf
+	if rc.ZipfS > 1 && rc.Sessions > 1 {
+		zipf = rand.NewZipf(rng, rc.ZipfS, 1, uint64(rc.Sessions-1))
+	}
+
+	start := time.Now()
+	deadline := start.Add(rc.Duration)
+	var next time.Duration
+	var arrivals int64
+	var wg sync.WaitGroup
+	for {
+		next += time.Duration(rng.ExpFloat64() / rc.Rate * float64(time.Second))
+		at := start.Add(next)
+		if at.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(at))
+		var idx int
+		if zipf != nil {
+			idx = int(zipf.Uint64())
+		} else {
+			idx = rng.Intn(rc.Sessions)
+		}
+		slow := rc.SlowFrac > 0 && rng.Float64() < rc.SlowFrac
+		arrivals++
+		wg.Add(1)
+		go func(sl *slot) {
+			defer wg.Done()
+			if slow {
+				time.Sleep(rc.SlowDelay)
+			}
+			t0 := time.Now()
+			if err := e.step(sl); err != nil {
+				e.errors.Add(1)
+			}
+			e.hist.Observe(time.Since(t0))
+		}(e.slots[idx])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := e.hist.Snapshot()
+	r := Result{
+		OfferedRPS:      rc.Rate,
+		AchievedRPS:     float64(snap.Count) / elapsed.Seconds(),
+		DurationSeconds: elapsed.Seconds(),
+		Arrivals:        arrivals,
+		Errors:          e.errors.Load(),
+		BusyReads:       e.busyReads.Load(),
+		Dialogues:       e.dialogues.Load(),
+		P50Seconds:      obs.Round6(snap.Quantile(0.50)),
+		P99Seconds:      obs.Round6(snap.Quantile(0.99)),
+		P999Seconds:     obs.Round6(snap.Quantile(0.999)),
+		MaxSeconds:      obs.Round6(snap.MaxSeconds),
+		MeanSeconds:     obs.Round6(snap.Mean()),
+		Hist:            snap,
+	}
+	if exp, err := Scrape(rc.BaseURL, rc.Client); err == nil {
+		r.Shed = int64(exp.SumByName("querylearn_http_shed_total"))
+		r.ScrapeOK = true
+	}
+	return r, nil
+}
+
+// step advances one slot's dialogue by a single request. A busy slot gets a
+// list read instead — the arrival still measures a real round-trip.
+func (e *engine) step(sl *slot) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if !sl.mu.TryLock() {
+		e.busyReads.Add(1)
+		_, err := e.sdk.List(ctx, 1, "")
+		return err
+	}
+	defer sl.mu.Unlock()
+	switch {
+	case sl.id == "":
+		created, err := e.sdk.Create(ctx, api.CreateRequest{Model: sl.w.Model, Task: sl.w.Task})
+		if err != nil {
+			return err
+		}
+		sl.id = created.ID
+	case sl.q == nil:
+		q, ok, err := e.sdk.Question(ctx, sl.id)
+		if err != nil {
+			sl.reset()
+			return err
+		}
+		if !ok {
+			// Converged: recycle the slot so the run is a stream of
+			// dialogues, not one long-lived session per slot.
+			err := e.sdk.Delete(ctx, sl.id)
+			sl.reset()
+			if err != nil {
+				return err
+			}
+			e.dialogues.Add(1)
+			return nil
+		}
+		sl.q = &q
+	default:
+		positive, err := sl.w.Oracle(sl.q.Item)
+		if err != nil {
+			sl.reset()
+			return err
+		}
+		_, err = e.sdk.Answers(ctx, sl.id, []api.Answer{{Item: sl.q.Item, Positive: positive}}, api.ReconcileNone)
+		sl.q = nil
+		if err != nil {
+			sl.reset()
+			return err
+		}
+	}
+	return nil
+}
+
+func (sl *slot) reset() {
+	sl.id, sl.q = "", nil
+}
+
+// Scrape fetches and lints the target's Prometheus exposition.
+func Scrape(baseURL string, hc *http.Client) (*obs.Exposition, error) {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Get(baseURL + "/metrics?format=prometheus")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scrape: HTTP %d", resp.StatusCode)
+	}
+	return obs.ParseExposition(resp.Body)
+}
+
+// Point is one saturation-curve sample: the shape T16 emits to BENCH JSON.
+type Point struct {
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	Arrivals    int64   `json:"arrivals"`
+	Errors      int64   `json:"errors"`
+	Shed        int64   `json:"shed"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	P999Seconds float64 `json:"p999_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// Point projects the curve sample out of a run result.
+func (r Result) Point() Point {
+	return Point{
+		OfferedRPS:  r.OfferedRPS,
+		AchievedRPS: obs.Round6(r.AchievedRPS),
+		Arrivals:    r.Arrivals,
+		Errors:      r.Errors,
+		Shed:        r.Shed,
+		P50Seconds:  r.P50Seconds,
+		P99Seconds:  r.P99Seconds,
+		P999Seconds: r.P999Seconds,
+		MaxSeconds:  r.MaxSeconds,
+	}
+}
+
+// RunCurve sweeps the offered rates in order against one target, reseeding
+// each run identically so the only variable is load. Shed counts are
+// cumulative server-side; the curve reports per-run deltas.
+func RunCurve(c Config, rates []float64) ([]Point, error) {
+	points := make([]Point, 0, len(rates))
+	var prevShed int64
+	for _, rate := range rates {
+		c.Rate = rate
+		r, err := Run(c)
+		if err != nil {
+			return points, err
+		}
+		p := r.Point()
+		p.Shed, prevShed = p.Shed-prevShed, p.Shed
+		points = append(points, p)
+	}
+	return points, nil
+}

@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"querylearn/internal/obs"
+	"querylearn/internal/server"
+	"querylearn/internal/session"
+)
+
+func TestBuiltinWorkloads(t *testing.T) {
+	ws, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("got %d builtin workloads, want 4", len(ws))
+	}
+	for _, w := range ws {
+		if w.Task == "" || w.Oracle == nil || w.Goal == "" {
+			t.Errorf("%s workload incomplete: task=%q goal=%q", w.Model, w.Task, w.Goal)
+		}
+	}
+}
+
+func TestPrepareOracleUnknownModel(t *testing.T) {
+	if _, _, _, err := PrepareOracle("nope", ""); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+// TestOpenLoopRun drives a short fixed-seed run against an in-process daemon
+// and checks the engine completes dialogues, stays error-free, and scrapes
+// the server's own metrics.
+func TestOpenLoopRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	mgr := session.NewManager(session.Config{Shards: 4})
+	ts := httptest.NewServer(server.New(mgr, server.WithObs(reg)).Handler())
+	defer ts.Close()
+
+	r, err := Run(Config{
+		BaseURL:  ts.URL,
+		Client:   ts.Client(),
+		Rate:     200,
+		Duration: 500 * time.Millisecond,
+		Sessions: 8,
+		ZipfS:    1.3,
+		Seed:     42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrivals < 50 {
+		t.Errorf("only %d arrivals in 500ms at 200/s", r.Arrivals)
+	}
+	if r.Errors != 0 {
+		t.Errorf("%d errors against a healthy in-process server", r.Errors)
+	}
+	if r.Dialogues < 1 {
+		t.Errorf("no dialogue completed (arrivals=%d busy=%d)", r.Arrivals, r.BusyReads)
+	}
+	if !r.ScrapeOK {
+		t.Error("post-run scrape failed against an obs-wired server")
+	}
+	if r.P99Seconds < r.P50Seconds || r.MaxSeconds < r.P99Seconds {
+		t.Errorf("quantiles out of order: %+v", r)
+	}
+	if r.Hist.Count != uint64(r.Arrivals) {
+		t.Errorf("histogram count %d != arrivals %d", r.Hist.Count, r.Arrivals)
+	}
+	// The point projection is what T16 serializes; it must round-trip JSON.
+	b, err := json.Marshal(r.Point())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p Point
+	if err := json.Unmarshal(b, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.OfferedRPS != 200 {
+		t.Errorf("point offered = %v", p.OfferedRPS)
+	}
+}
+
+// TestRunValidation rejects nonsense configs instead of spinning.
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{BaseURL: "http://x", Rate: 0, Duration: time.Second}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(Config{BaseURL: "http://x", Rate: 1, Duration: 0}); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Run(Config{Rate: 1, Duration: time.Second}); err == nil {
+		t.Error("empty base URL accepted")
+	}
+}

@@ -1,0 +1,163 @@
+// Package obs is the zero-dependency observability core of the serving
+// stack: atomic log-bucketed latency histograms (p50/p99/p999 plus
+// sum/count), labeled counters and gauges, a hand-rolled Prometheus
+// text-exposition encoder, and a lightweight per-request span trace that the
+// server threads through session and store so a slow request can say where
+// its time went.
+//
+// Everything here is hot-path safe: recording an observation is a couple of
+// atomic adds with no locks and no allocation, so instrumenting the serving
+// path costs well under the 5% budget the T11 throughput numbers guard.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// The histogram's buckets are powers of two over microseconds: bucket i
+// covers observations up to 1µs·2^i, from 1µs (i=0) to ~67s (i=26), with one
+// overflow bucket above. 27 buckets resolve a latency distribution to within
+// a factor of two anywhere in six decades — enough for a p999 — while an
+// Observe is one array index computed with bits.Len64.
+const (
+	histBuckets = 27
+	histBaseNS  = 1000 // 1µs, bucket 0's upper bound in nanoseconds
+)
+
+// bucketUpperSeconds reports bucket i's inclusive upper bound in seconds.
+func bucketUpperSeconds(i int) float64 {
+	return float64(int64(histBaseNS)<<i) / 1e9
+}
+
+// bucketIndex maps a duration to its bucket: the smallest i with
+// ns <= 1000<<i, or histBuckets for the overflow bucket.
+func bucketIndex(ns int64) int {
+	if ns <= histBaseNS {
+		return 0
+	}
+	i := bits.Len64(uint64(ns-1) / histBaseNS)
+	if i >= histBuckets {
+		return histBuckets
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// recording: every field is atomic, Observe takes no locks and allocates
+// nothing. The zero value is ready to use.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Uint64
+	sumNS  atomic.Int64
+	maxNS  atomic.Int64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketIndex(ns)].Add(1)
+	h.sumNS.Add(ns)
+	for {
+		cur := h.maxNS.Load()
+		if ns <= cur || h.maxNS.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot captures a point-in-time view. Bucket counts are read one atomic
+// at a time, so a snapshot taken mid-burst may straddle concurrent Observes
+// by a few counts; Count is derived from the bucket reads themselves, which
+// keeps the exposition internally consistent (sum of buckets == count).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.SumSeconds = float64(h.sumNS.Load()) / 1e9
+	s.MaxSeconds = float64(h.maxNS.Load()) / 1e9
+	return s
+}
+
+// HistogramSnapshot is a consistent read of a Histogram, with quantile
+// estimation and merging (for collapsing labeled series into one summary).
+type HistogramSnapshot struct {
+	Counts     [histBuckets + 1]uint64
+	Count      uint64
+	SumSeconds float64
+	MaxSeconds float64
+}
+
+// Merge folds another snapshot in (summing buckets, keeping the larger max).
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Count += o.Count
+	s.SumSeconds += o.SumSeconds
+	if o.MaxSeconds > s.MaxSeconds {
+		s.MaxSeconds = o.MaxSeconds
+	}
+}
+
+// Mean reports the mean observation in seconds (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.SumSeconds / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) in seconds by linear
+// interpolation inside the bucket holding the target rank. Observations in
+// the overflow bucket report the recorded maximum. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i := 0; i <= histBuckets; i++ {
+		c := float64(s.Counts[i])
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			if i == histBuckets {
+				return s.MaxSeconds
+			}
+			upper := bucketUpperSeconds(i)
+			lower := 0.0
+			if i > 0 {
+				lower = bucketUpperSeconds(i - 1)
+			}
+			frac := (rank - cum) / c
+			v := lower + frac*(upper-lower)
+			// Never report past the recorded maximum: the top occupied
+			// bucket's upper bound can overshoot what was actually seen.
+			if s.MaxSeconds > 0 && v > s.MaxSeconds {
+				v = s.MaxSeconds
+			}
+			return v
+		}
+		cum += c
+	}
+	return s.MaxSeconds
+}
+
+// Round6 rounds to microsecond precision: full float precision is noise for
+// a log-bucketed estimate, and it keeps JSON snapshots readable.
+func Round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric family types, in Prometheus vocabulary.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Counter is a monotonically increasing count. The zero value is usable.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter (negative deltas are programmer error and
+// ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value reads the count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by a (possibly negative) delta.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// series is one labeled instance inside a family: its label values plus the
+// metric it carries (exactly one of counter/gauge/hist is non-nil, matching
+// the family type).
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	gaugeFn     func() float64
+	hist        *Histogram
+}
+
+// family is one named metric with a fixed label schema and a set of labeled
+// series. Series creation takes the family lock; recording into an existing
+// series is lock-free (callers hold the *Counter / *Histogram directly).
+type family struct {
+	name   string
+	help   string
+	typ    string
+	labels []string
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+const labelSep = "\x1f"
+
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d",
+			f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labelValues: append([]string(nil), values...)}
+	switch f.typ {
+	case typeCounter:
+		s.counter = &Counter{}
+	case typeGauge:
+		s.gauge = &Gauge{}
+	case typeHistogram:
+		s.hist = &Histogram{}
+	}
+	f.series[key] = s
+	return s
+}
+
+// snapshotSeries returns the family's series sorted by label values, for
+// deterministic exposition and enumeration.
+func (f *family) snapshotSeries() []*series {
+	f.mu.RLock()
+	out := make([]*series, 0, len(f.series))
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].labelValues, out[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Registry holds a process's metric families. Registration methods are
+// idempotent — asking for an existing name with the same type and label
+// schema returns the existing family, so shared registries (server + store)
+// compose without coordination. A name collision with a different type or
+// label schema panics: that is a programmer error, not a runtime condition.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+func (r *Registry) family(name, help, typ string, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s with %d labels (was %s with %d)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		for i := range labels {
+			if labels[i] != f.labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with label %q (was %q)",
+					name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels: append([]string(nil), labels...),
+		series: map[string]*series{},
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.family(name, help, typeCounter, nil).get(nil).counter
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.family(name, help, typeCounter, labels)}
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.family(name, help, typeGauge, nil).get(nil).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time — the
+// natural shape for values another subsystem already tracks (live sessions,
+// journal lag, goroutine counts). Re-registering a name replaces the
+// callback, so a rebuilt server can re-bind its stats sources.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, typeGauge, nil)
+	s := f.get(nil)
+	f.mu.Lock()
+	s.gaugeFn = fn
+	f.mu.Unlock()
+}
+
+// Histogram registers (or returns) an unlabeled histogram.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.family(name, help, typeHistogram, nil).get(nil).hist
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.family(name, help, typeHistogram, labels)}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values, creating it on first
+// use. Hot paths should hold the returned *Counter instead of calling With
+// per event.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).counter }
+
+// Each visits every series (label values, current count) in sorted order.
+func (v *CounterVec) Each(fn func(labels []string, value int64)) {
+	for _, s := range v.f.snapshotSeries() {
+		fn(s.labelValues, s.counter.Value())
+	}
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values, creating it on
+// first use.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).hist }
+
+// Each visits every series (label values, snapshot) in sorted order.
+func (v *HistogramVec) Each(fn func(labels []string, snap HistogramSnapshot)) {
+	for _, s := range v.f.snapshotSeries() {
+		fn(s.labelValues, s.hist.Snapshot())
+	}
+}

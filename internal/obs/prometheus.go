@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the content type of the text exposition format.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the registry in the Prometheus
+// text exposition format (version 0.0.4): families sorted by name, each with
+// its # HELP and # TYPE lines, series sorted by label values, histograms
+// expanded into cumulative _bucket{le=...} lines plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := writeFamily(w, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, f *family) error {
+	series := f.snapshotSeries()
+	if len(series) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+		return err
+	}
+	for _, s := range series {
+		var err error
+		switch f.typ {
+		case typeCounter:
+			err = writeSample(w, f.name, f.labels, s.labelValues, "", "", float64(s.counter.Value()))
+		case typeGauge:
+			v := float64(s.gauge.Value())
+			if s.gaugeFn != nil {
+				v = s.gaugeFn()
+			}
+			err = writeSample(w, f.name, f.labels, s.labelValues, "", "", v)
+		case typeHistogram:
+			err = writeHistogram(w, f.name, f.labels, s.labelValues, s.hist.Snapshot())
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, labels, values []string, snap HistogramSnapshot) error {
+	var cum uint64
+	for i := 0; i <= histBuckets; i++ {
+		cum += snap.Counts[i]
+		le := "+Inf"
+		if i < histBuckets {
+			le = formatFloat(bucketUpperSeconds(i))
+		}
+		if err := writeSample(w, name+"_bucket", labels, values, "le", le, float64(cum)); err != nil {
+			return err
+		}
+	}
+	if err := writeSample(w, name+"_sum", labels, values, "", "", snap.SumSeconds); err != nil {
+		return err
+	}
+	return writeSample(w, name+"_count", labels, values, "", "", float64(snap.Count))
+}
+
+// writeSample emits one exposition line; extraName/extraValue append a final
+// label (the histogram "le").
+func writeSample(w io.Writer, name string, labels, values []string, extraName, extraValue string, v float64) error {
+	var b strings.Builder
+	b.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		b.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(l)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraName)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extraValue))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

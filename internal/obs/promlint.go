@@ -1,0 +1,302 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// This file is a strict reader for the Prometheus text exposition format —
+// enough of a parser to lint our own output (tests), to let cmd/loadgen
+// scrape the daemon it drives, and to cross-check client-side measurements
+// against server-side counters. It is deliberately unforgiving: anything a
+// real Prometheus scraper would reject (bad names, duplicate series,
+// unparsable values, samples under an undeclared TYPE) is an error here.
+
+var (
+	metricNameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRE  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// Sample is one parsed exposition line: a metric name, its labels in
+// declaration order, and the value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+	// Series is the canonical identity: name plus sorted label pairs.
+	Series string
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	// Types maps family name to its declared TYPE.
+	Types map[string]string
+	// Samples holds every sample line in document order.
+	Samples []Sample
+}
+
+// Value returns the sample value for a canonical series string (as built by
+// SeriesKey), and whether it was present.
+func (e *Exposition) Value(series string) (float64, bool) {
+	for i := range e.Samples {
+		if e.Samples[i].Series == series {
+			return e.Samples[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumByName totals every sample of one metric name (e.g. all label
+// combinations of a counter family).
+func (e *Exposition) SumByName(name string) float64 {
+	var sum float64
+	for i := range e.Samples {
+		if e.Samples[i].Name == name {
+			sum += e.Samples[i].Value
+		}
+	}
+	return sum
+}
+
+// SeriesKey builds the canonical series identity used by Value.
+func SeriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	// Insertion sort; label sets are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseExposition reads and lints a text-format scrape. It enforces: legal
+// metric and label names, a TYPE declaration before any sample of a family,
+// no duplicate series, parsable float values, and — for histograms —
+// cumulative non-decreasing buckets whose +Inf bucket equals _count.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: map[string]string{}}
+	seen := map[string]bool{}
+	// histCheck tracks per-series histogram invariants.
+	type histState struct {
+		last    float64
+		infSeen bool
+		inf     float64
+	}
+	hists := map[string]*histState{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			name, typ := parts[2], parts[3]
+			if !metricNameRE.MatchString(name) {
+				return nil, fmt.Errorf("line %d: illegal metric name %q", lineNo, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := exp.Types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			exp.Types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // HELP or comment
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := familyOf(s.Name)
+		if _, ok := exp.Types[base]; !ok {
+			return nil, fmt.Errorf("line %d: sample %s before any TYPE declaration", lineNo, s.Name)
+		}
+		if seen[s.Series] {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, s.Series)
+		}
+		seen[s.Series] = true
+		if exp.Types[base] == "histogram" {
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				le, ok := s.Labels["le"]
+				if !ok {
+					return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				key := s.Series[:strings.Index(s.Series, "{")] + bucketSeriesKey(s.Labels)
+				st := hists[key]
+				if st == nil {
+					st = &histState{}
+					hists[key] = st
+				}
+				if s.Value < st.last {
+					return nil, fmt.Errorf("line %d: histogram %s bucket le=%s decreases (%g < %g)",
+						lineNo, s.Name, le, s.Value, st.last)
+				}
+				st.last = s.Value
+				if le == "+Inf" {
+					st.infSeen = true
+					st.inf = s.Value
+				}
+			case strings.HasSuffix(s.Name, "_count"):
+				key := strings.TrimSuffix(s.Name, "_count") + "_bucket" + bucketSeriesKey(s.Labels)
+				if st := hists[key]; st != nil && st.infSeen && st.inf != s.Value {
+					return nil, fmt.Errorf("line %d: histogram %s +Inf bucket %g != count %g",
+						lineNo, s.Name, st.inf, s.Value)
+				}
+			}
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// bucketSeriesKey canonicalizes a bucket's non-le labels, so _count lines
+// can be matched to their bucket series.
+func bucketSeriesKey(labels map[string]string) string {
+	rest := make(map[string]string, len(labels))
+	for k, v := range labels {
+		if k != "le" {
+			rest[k] = v
+		}
+	}
+	return SeriesKey("", rest)
+}
+
+// familyOf strips the histogram sample suffixes back to the family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		s.Name = rest[:brace]
+		rest = rest[brace+1:]
+		for {
+			rest = strings.TrimLeft(rest, " ")
+			if strings.HasPrefix(rest, "}") {
+				rest = rest[1:]
+				break
+			}
+			eq := strings.IndexByte(rest, '=')
+			if eq < 0 {
+				return s, fmt.Errorf("malformed labels in %q", line)
+			}
+			lname := strings.TrimSpace(rest[:eq])
+			if !labelNameRE.MatchString(lname) {
+				return s, fmt.Errorf("illegal label name %q", lname)
+			}
+			rest = rest[eq+1:]
+			if !strings.HasPrefix(rest, `"`) {
+				return s, fmt.Errorf("unquoted label value in %q", line)
+			}
+			val, n, err := unquoteLabel(rest[1:])
+			if err != nil {
+				return s, err
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %q", lname)
+			}
+			s.Labels[lname] = val
+			rest = rest[1+n:]
+			rest = strings.TrimPrefix(rest, ",")
+		}
+	} else {
+		if sp < 0 {
+			return s, fmt.Errorf("no value in %q", line)
+		}
+		s.Name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !metricNameRE.MatchString(s.Name) {
+		return s, fmt.Errorf("illegal metric name %q", s.Name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("unparsable value %q: %w", fields[0], err)
+	}
+	s.Value = v
+	if len(s.Labels) == 0 {
+		s.Labels = nil
+	}
+	s.Series = SeriesKey(s.Name, s.Labels)
+	return s, nil
+}
+
+// unquoteLabel consumes an escaped label value up to its closing quote,
+// returning the value and how many input bytes (including the quote) were
+// consumed.
+func unquoteLabel(in string) (string, int, error) {
+	var b strings.Builder
+	for i := 0; i < len(in); i++ {
+		switch in[i] {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(in) {
+				return "", 0, fmt.Errorf("dangling escape in label value")
+			}
+			i++
+			switch in[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '\\', '"':
+				b.WriteByte(in[i])
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c in label value", in[i])
+			}
+		default:
+			b.WriteByte(in[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}

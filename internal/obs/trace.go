@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight per-request span record: a request id plus the
+// named phases the request passed through (admission wait, session lock,
+// learner work, journal append, fsync wait) with their durations. It is
+// threaded from the HTTP layer down through session and store so a slow
+// request can say where its time went, and dumped into the slow-request log.
+//
+// All methods are nil-safe: untraced call paths (tests, background sweeps,
+// recovery) pass a nil *Trace and pay only a nil check.
+type Trace struct {
+	RequestID string
+	Start     time.Time
+
+	mu     sync.Mutex
+	phases []Phase
+}
+
+// Phase is one named, timed segment of a request.
+type Phase struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"-"`
+	// Seconds mirrors Duration for structured logs.
+	Seconds float64 `json:"seconds"`
+}
+
+// NewTrace starts a trace for one request.
+func NewTrace(requestID string) *Trace {
+	return &Trace{RequestID: requestID, Start: time.Now()}
+}
+
+// Add records a completed phase.
+func (t *Trace) Add(name string, d time.Duration) {
+	if t == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	t.mu.Lock()
+	t.phases = append(t.phases, Phase{Name: name, Duration: d, Seconds: d.Seconds()})
+	t.mu.Unlock()
+}
+
+// StartPhase begins a phase and returns the function that ends it:
+//
+//	done := tr.StartPhase("journal.append")
+//	... work ...
+//	done()
+func (t *Trace) StartPhase(name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Add(name, time.Since(start)) }
+}
+
+// Phases returns a copy of the recorded phases.
+func (t *Trace) Phases() []Phase {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := append([]Phase(nil), t.phases...)
+	t.mu.Unlock()
+	return out
+}
+
+type traceKey struct{}
+
+// NewContext attaches a trace to a context.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the context's trace, or nil — safe to use directly
+// with Trace's nil-tolerant methods.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// NewRequestID generates a 16-byte random hex request id. Ids are log
+// correlators, not secrets, so this draws from math/rand/v2's OS-seeded
+// ChaCha8 generator — collision-safe across the process without paying a
+// crypto/rand syscall on every request.
+func NewRequestID() string {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], rand.Uint64())
+	binary.LittleEndian.PutUint64(b[8:], rand.Uint64())
+	return hex.EncodeToString(b[:])
+}

@@ -89,7 +89,7 @@ func (s *Server) admit(name string, r *http.Request) (release func(), e *apiErro
 	sh := s.adm.shard(r.PathValue("id"))
 	if sh.Add(1) > s.adm.perShard {
 		sh.Add(-1)
-		s.metrics.shed.Add(1)
+		s.metrics.endpoints[name].shed.Inc()
 		return nil, errf(http.StatusTooManyRequests, api.CodeOverloaded,
 			"in-flight request budget exhausted; retry shortly")
 	}

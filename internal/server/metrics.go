@@ -1,6 +1,11 @@
 package server
 
-import "sync/atomic"
+import (
+	"runtime"
+	"sync/atomic"
+
+	"querylearn/internal/obs"
+)
 
 // endpointNames enumerates the instrumented endpoints in display order.
 // A v1 route and its deprecated legacy alias share one entry; the global
@@ -10,31 +15,75 @@ var endpointNames = []string{
 	"query", "snapshot", "delete", "metrics", "healthz",
 }
 
-// endpointStats counts one endpoint's traffic.
+// endpointStats holds one endpoint's prebuilt metric handles, so the hot
+// path bumps counters without any family lookup.
 type endpointStats struct {
-	requests atomic.Int64
-	errors   atomic.Int64
+	requests *obs.Counter
+	// errors is the per-endpoint total for the legacy JSON shape; the
+	// Prometheus side splits the same failures by api error code.
+	errors atomic.Int64
+	shed   *obs.Counter
 }
 
-// metrics aggregates per-endpoint counters. The map is built once at server
-// construction and never mutated, so counter bumps need no lock.
+// metrics is the server's observability surface: per-endpoint counters and
+// latency histograms in an obs.Registry (shared with the store when the
+// daemon wires one), exposed as both the legacy JSON document and the
+// Prometheus text format.
 type metrics struct {
+	reg       *obs.Registry
 	endpoints map[string]*endpointStats
 	// deprecated counts requests served by pre-v1 legacy aliases.
-	deprecated atomic.Int64
-	// shed counts requests rejected by admission control (429 overloaded).
-	shed atomic.Int64
+	deprecated *obs.Counter
+	// errorsVec splits error responses by endpoint and stable api error code.
+	errorsVec *obs.CounterVec
+	// latency is the per-endpoint, per-HTTP-status request histogram.
+	latency *obs.HistogramVec
+	// phases aggregates the per-request trace phases (admission.wait,
+	// session.lock, journal.append, fsync.wait, learner.*) across requests.
+	phases *obs.HistogramVec
 }
 
-func newMetrics() *metrics {
-	m := &metrics{endpoints: make(map[string]*endpointStats, len(endpointNames))}
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	m := &metrics{
+		reg:       reg,
+		endpoints: make(map[string]*endpointStats, len(endpointNames)),
+		deprecated: reg.Counter("querylearn_http_deprecated_requests_total",
+			"requests served by pre-v1 legacy alias routes"),
+		errorsVec: reg.CounterVec("querylearn_http_errors_total",
+			"error responses by endpoint and stable api error code", "endpoint", "code"),
+		latency: reg.HistogramVec("querylearn_http_request_seconds",
+			"request latency by endpoint and HTTP status", "endpoint", "status"),
+		phases: reg.HistogramVec("querylearn_phase_seconds",
+			"per-request phase durations from the span trace", "phase"),
+	}
+	requests := reg.CounterVec("querylearn_http_requests_total",
+		"requests routed, by endpoint (v1 and legacy alias combined)", "endpoint")
+	shed := reg.CounterVec("querylearn_http_shed_total",
+		"requests shed by admission control (429), by endpoint", "endpoint")
 	for _, n := range endpointNames {
-		m.endpoints[n] = &endpointStats{}
+		m.endpoints[n] = &endpointStats{requests: requests.With(n), shed: shed.With(n)}
 	}
 	return m
 }
 
-// EndpointMetrics is one endpoint's counter snapshot.
+// registerRuntimeGauges binds process-level gauges. Called once per server;
+// re-registering replaces the callbacks, which is what a rebuilt test server
+// sharing a registry wants.
+func (m *metrics) registerRuntimeGauges() {
+	m.reg.GaugeFunc("querylearn_go_goroutines", "current goroutine count",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	m.reg.GaugeFunc("querylearn_go_heap_bytes", "heap bytes in use",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}
+
+// EndpointMetrics is one endpoint's counter snapshot (the PR 6 JSON shape).
 type EndpointMetrics struct {
 	Requests int64 `json:"requests"`
 	Errors   int64 `json:"errors"`
@@ -43,7 +92,97 @@ type EndpointMetrics struct {
 func (m *metrics) snapshot() map[string]EndpointMetrics {
 	out := make(map[string]EndpointMetrics, len(m.endpoints))
 	for name, s := range m.endpoints {
-		out[name] = EndpointMetrics{Requests: s.requests.Load(), Errors: s.errors.Load()}
+		out[name] = EndpointMetrics{Requests: s.requests.Value(), Errors: s.errors.Load()}
 	}
 	return out
+}
+
+// LatencySummary is the JSON rendering of one latency histogram: the
+// quantiles the tail-latency story runs on, rounded to microseconds.
+type LatencySummary struct {
+	Count       int64   `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	P999Seconds float64 `json:"p999_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// summarize renders a histogram snapshot for JSON.
+func summarize(s obs.HistogramSnapshot) LatencySummary {
+	return LatencySummary{
+		Count:       int64(s.Count),
+		MeanSeconds: obs.Round6(s.Mean()),
+		P50Seconds:  obs.Round6(s.Quantile(0.50)),
+		P99Seconds:  obs.Round6(s.Quantile(0.99)),
+		P999Seconds: obs.Round6(s.Quantile(0.999)),
+		MaxSeconds:  obs.Round6(s.MaxSeconds),
+	}
+}
+
+// latencyByEndpoint collapses the {endpoint, status} histogram series into
+// one summary per endpoint for the JSON document.
+func (m *metrics) latencyByEndpoint() map[string]LatencySummary {
+	merged := map[string]obs.HistogramSnapshot{}
+	m.latency.Each(func(labels []string, snap obs.HistogramSnapshot) {
+		acc := merged[labels[0]]
+		acc.Merge(snap)
+		merged[labels[0]] = acc
+	})
+	out := make(map[string]LatencySummary, len(merged))
+	for ep, snap := range merged {
+		if snap.Count > 0 {
+			out[ep] = summarize(snap)
+		}
+	}
+	return out
+}
+
+// phaseSummaries renders the phase histograms for the JSON document.
+func (m *metrics) phaseSummaries() map[string]LatencySummary {
+	out := map[string]LatencySummary{}
+	m.phases.Each(func(labels []string, snap obs.HistogramSnapshot) {
+		if snap.Count > 0 {
+			out[labels[0]] = summarize(snap)
+		}
+	})
+	return out
+}
+
+// errorsByCode renders the {endpoint, code} error counters as nested maps,
+// omitting endpoints with no errors.
+func (m *metrics) errorsByCode() map[string]map[string]int64 {
+	out := map[string]map[string]int64{}
+	m.errorsVec.Each(func(labels []string, value int64) {
+		if value == 0 {
+			return
+		}
+		ep := out[labels[0]]
+		if ep == nil {
+			ep = map[string]int64{}
+			out[labels[0]] = ep
+		}
+		ep[labels[1]] = value
+	})
+	return out
+}
+
+// shedByEndpoint renders the per-endpoint shed counters, omitting zeros.
+func (m *metrics) shedByEndpoint() map[string]int64 {
+	out := map[string]int64{}
+	for name, s := range m.endpoints {
+		if v := s.shed.Value(); v > 0 {
+			out[name] = v
+		}
+	}
+	return out
+}
+
+// shedTotal sums the per-endpoint sheds — the legacy admission.shed field.
+func (m *metrics) shedTotal() int64 {
+	var total int64
+	for _, s := range m.endpoints {
+		total += s.shed.Value()
+	}
+	return total
 }

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"querylearn/internal/obs"
+	"querylearn/internal/session"
+	"querylearn/internal/store"
+	"querylearn/pkg/api"
+)
+
+// newObsServer spins a fully-wired daemon shape: shared obs registry across
+// store and server, admission control, always-mode fsync so the fsync
+// histograms and fsync.wait phase actually fire.
+func newObsServer(t *testing.T) (*client, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	st, _, err := store.Open(t.TempDir(), store.Options{Fsync: store.FsyncAlways, Obs: reg})
+	must(t, err)
+	t.Cleanup(func() { st.Close() })
+	mgr := session.NewManager(session.Config{Journal: st})
+	ts := httptest.NewServer(New(mgr,
+		WithObs(reg), WithStore(st.Stats), WithAdmission(64, 4)).Handler())
+	t.Cleanup(ts.Close)
+	return &client{t: t, base: ts.URL, http: ts.Client()}, reg
+}
+
+// driveTraffic produces a little of everything: successful dialogue turns,
+// a 400 (unknown model), and a 404 (missing session).
+func driveTraffic(t *testing.T, c *client) {
+	t.Helper()
+	id := c.create("twig", twigTask)
+	var qr struct {
+		Done     bool              `json:"done"`
+		Question *session.Question `json:"question"`
+	}
+	c.do("GET", "/sessions/"+id+"/question", nil, http.StatusOK, &qr)
+	if !qr.Done {
+		c.do("POST", "/sessions/"+id+"/answers", map[string]any{
+			"answers": []map[string]any{{"item": qr.Question.Item, "positive": true}},
+		}, http.StatusOK, nil)
+	}
+	c.do("POST", "/sessions", map[string]any{"model": "nope", "task": "x"}, http.StatusBadRequest, nil)
+	c.do("GET", "/sessions/missing", nil, http.StatusNotFound, nil)
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	c, _ := newObsServer(t)
+	driveTraffic(t, c)
+
+	resp, err := c.http.Get(c.base + "/metrics?format=prometheus")
+	must(t, err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prometheus scrape: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("content type %q, want %q", ct, obs.PrometheusContentType)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not lint: %v", err)
+	}
+
+	// Per-endpoint request histograms.
+	if exp.Types["querylearn_http_request_seconds"] != "histogram" {
+		t.Error("querylearn_http_request_seconds missing or not a histogram")
+	}
+	if v, ok := exp.Value(obs.SeriesKey("querylearn_http_request_seconds_count",
+		map[string]string{"endpoint": "create", "status": "201"})); !ok || v < 1 {
+		t.Errorf("create/201 latency count = %v (present=%v), want >= 1", v, ok)
+	}
+	// Errors labeled by stable api code.
+	if v, ok := exp.Value(obs.SeriesKey("querylearn_http_errors_total",
+		map[string]string{"endpoint": "status", "code": api.CodeSessionNotFound})); !ok || v != 1 {
+		t.Errorf("status/session_not_found errors = %v (present=%v), want 1", v, ok)
+	}
+	// Store histograms and gauges from the shared registry.
+	for _, name := range []string{
+		"querylearn_store_append_seconds", "querylearn_store_fsync_seconds",
+		"querylearn_store_fsync_batch_events",
+	} {
+		if exp.Types[name] != "histogram" {
+			t.Errorf("%s missing or not a histogram", name)
+		}
+		if v := exp.SumByName(name + "_count"); v < 1 {
+			t.Errorf("%s count = %v, want >= 1", name, v)
+		}
+	}
+	if v, ok := exp.Value("querylearn_store_journal_lag"); !ok || v != 0 {
+		t.Errorf("journal lag gauge = %v (present=%v), want 0 in always mode", v, ok)
+	}
+	if v, ok := exp.Value("querylearn_sessions_live"); !ok || v != 1 {
+		t.Errorf("sessions_live = %v (present=%v), want 1", v, ok)
+	}
+	// Phase histograms recorded via the request trace, down to the store.
+	for _, phase := range []string{"admission.wait", "session.lock", "journal.append", "fsync.wait"} {
+		if v, ok := exp.Value(obs.SeriesKey("querylearn_phase_seconds_count",
+			map[string]string{"phase": phase})); !ok || v < 1 {
+			t.Errorf("phase %s count = %v (present=%v), want >= 1", phase, v, ok)
+		}
+	}
+
+	// An unknown format is a clean 400, not silent JSON.
+	c.do("GET", "/metrics?format=xml", nil, http.StatusBadRequest, nil)
+}
+
+// TestMetricsJSONCompat pins the PR 6 JSON shape: stripping the keys this PR
+// added must leave a document that strict-decodes into the old layout.
+func TestMetricsJSONCompat(t *testing.T) {
+	c, _ := newObsServer(t)
+	driveTraffic(t, c)
+
+	var doc map[string]json.RawMessage
+	c.do("GET", "/metrics", nil, http.StatusOK, &doc)
+
+	newKeys := map[string]bool{
+		"latency": true, "phases": true, "errors_by_code": true, "shed_by_endpoint": true,
+	}
+	oldKeys := map[string]bool{
+		"sessions": true, "deprecated_requests": true, "endpoints": true,
+		"store": true, "admission": true, "faults": true,
+	}
+	for k := range doc {
+		if !newKeys[k] && !oldKeys[k] {
+			t.Errorf("unexpected /metrics key %q — neither PR 6 shape nor a documented addition", k)
+		}
+	}
+	for k := range newKeys {
+		delete(doc, k)
+	}
+	stripped, err := json.Marshal(doc)
+	must(t, err)
+
+	// The PR 6 layout, field for field.
+	type pr6 struct {
+		Sessions           session.Stats              `json:"sessions"`
+		DeprecatedRequests int64                      `json:"deprecated_requests"`
+		Endpoints          map[string]EndpointMetrics `json:"endpoints"`
+		Store              *store.Stats               `json:"store,omitempty"`
+		Admission          *admissionMetrics          `json:"admission,omitempty"`
+		Faults             *faultMetrics              `json:"faults,omitempty"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(stripped))
+	dec.DisallowUnknownFields()
+	var legacy pr6
+	if err := dec.Decode(&legacy); err != nil {
+		t.Fatalf("stripped /metrics no longer decodes as the PR 6 shape: %v", err)
+	}
+	if legacy.Sessions.Live != 1 || legacy.Endpoints["create"].Requests < 1 {
+		t.Errorf("legacy fields lost their meaning: %+v", legacy)
+	}
+	if legacy.Store == nil || legacy.Store.Fsync != store.FsyncAlways {
+		t.Errorf("store block missing or wrong: %+v", legacy.Store)
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	c, _ := newObsServer(t)
+
+	// Server-minted: present and echoed on a plain request.
+	resp, err := c.http.Get(c.base + "/healthz")
+	must(t, err)
+	resp.Body.Close()
+	if rid := resp.Header.Get(api.RequestIDHeader); len(rid) != 32 {
+		t.Errorf("server-minted request id %q, want 32 hex chars", rid)
+	}
+
+	// Client-supplied: echoed verbatim, and repeated in the error envelope.
+	req, err := http.NewRequest("GET", c.base+"/v1/sessions/missing", nil)
+	must(t, err)
+	req.Header.Set(api.RequestIDHeader, "trace-me-42")
+	resp, err = c.http.Do(req)
+	must(t, err)
+	defer resp.Body.Close()
+	if rid := resp.Header.Get(api.RequestIDHeader); rid != "trace-me-42" {
+		t.Errorf("client-supplied request id came back as %q", rid)
+	}
+	var er api.ErrorResponse
+	must(t, json.NewDecoder(resp.Body).Decode(&er))
+	if er.Error == nil || er.Error.RequestID != "trace-me-42" {
+		t.Errorf("error envelope request_id = %+v, want trace-me-42", er.Error)
+	}
+
+	// Oversized ids are replaced, not reflected (header reflection hygiene).
+	req, err = http.NewRequest("GET", c.base+"/healthz", nil)
+	must(t, err)
+	req.Header.Set(api.RequestIDHeader, strings.Repeat("x", 300))
+	resp, err = c.http.Do(req)
+	must(t, err)
+	resp.Body.Close()
+	if rid := resp.Header.Get(api.RequestIDHeader); len(rid) != 32 {
+		t.Errorf("oversized request id reflected back: %q", rid)
+	}
+}
+
+func TestSlowRequestLog(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	mgr := session.NewManager(session.Config{})
+	// Threshold zero: every request is "slow", so one dialogue turn logs.
+	ts := httptest.NewServer(New(mgr,
+		WithObs(reg), WithSlowRequestLog(logger, 0, 1)).Handler())
+	t.Cleanup(ts.Close)
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	id := c.create("twig", twigTask)
+	c.do("GET", "/sessions/"+id+"/question", nil, http.StatusOK, nil)
+
+	if buf.Len() == 0 {
+		t.Fatal("no slow-request log emitted at threshold 0")
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var logged struct {
+		Msg       string  `json:"msg"`
+		RequestID string  `json:"request_id"`
+		Endpoint  string  `json:"endpoint"`
+		Status    int     `json:"status"`
+		Duration  float64 `json:"duration_seconds"`
+		Phases    []struct {
+			Name    string  `json:"name"`
+			Seconds float64 `json:"seconds"`
+		} `json:"phases"`
+	}
+	// The question turn is the last logged request.
+	must(t, json.Unmarshal([]byte(lines[len(lines)-1]), &logged))
+	if logged.Msg != "slow request" || logged.Endpoint != "question" || logged.RequestID == "" {
+		t.Errorf("slow log line = %+v", logged)
+	}
+	if logged.Status != http.StatusOK || logged.Duration < 0 {
+		t.Errorf("slow log status/duration = %+v", logged)
+	}
+	found := false
+	for _, ph := range logged.Phases {
+		if ph.Name == "session.lock" || ph.Name == "learner.propose" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("slow log phases missing session phases: %+v", logged.Phases)
+	}
+
+	// Sampling: every=3 logs the 1st, 4th, 7th... slow request.
+	buf.Reset()
+	ts2 := httptest.NewServer(New(session.NewManager(session.Config{}),
+		WithSlowRequestLog(logger, 0, 3)).Handler())
+	t.Cleanup(ts2.Close)
+	c2 := &client{t: t, base: ts2.URL, http: ts2.Client()}
+	for i := 0; i < 6; i++ {
+		resp, err := c2.http.Get(c2.base + "/healthz")
+		must(t, err)
+		resp.Body.Close()
+	}
+	got := strings.Count(buf.String(), "slow request")
+	if got != 2 {
+		t.Errorf("every=3 over 6 requests logged %d lines, want 2", got)
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"strconv"
@@ -43,6 +44,7 @@ import (
 	"time"
 
 	"querylearn/internal/fault"
+	"querylearn/internal/obs"
 	"querylearn/internal/session"
 	"querylearn/internal/store"
 	"querylearn/pkg/api"
@@ -65,6 +67,15 @@ type Server struct {
 	adm        *admission         // nil = admission control disabled
 	faults     *fault.Registry    // nil = no fault injection
 	draining   atomic.Bool        // set by Drain: shed new sessions
+
+	// obsReg is the registry handed in by WithObs (nil = private registry).
+	obsReg *obs.Registry
+	// Slow-request structured logging (WithSlowRequestLog); slowLog nil
+	// disables it.
+	slowLog       *slog.Logger
+	slowThreshold time.Duration
+	slowEvery     int64
+	slowSeen      atomic.Int64
 }
 
 // Option configures a Server at construction.
@@ -87,6 +98,30 @@ func WithMaxBodyBytes(n int64) Option {
 	}
 }
 
+// WithObs shares an observability registry with the server: its HTTP
+// counters and histograms register there, so a store wired with the same
+// registry lands in the same /metrics?format=prometheus scrape. Without this
+// option the server keeps a private registry.
+func WithObs(reg *obs.Registry) Option {
+	return func(s *Server) { s.obsReg = reg }
+}
+
+// WithSlowRequestLog enables structured slow-request logging: requests at or
+// above threshold emit one slog record carrying the request id, endpoint,
+// status, total duration, and the per-phase trace breakdown. every samples
+// the stream (1 = every slow request, N = every Nth), so an overloaded
+// daemon does not drown in its own slowness reports.
+func WithSlowRequestLog(logger *slog.Logger, threshold time.Duration, every int) Option {
+	return func(s *Server) {
+		s.slowLog = logger
+		s.slowThreshold = threshold
+		if every < 1 {
+			every = 1
+		}
+		s.slowEvery = int64(every)
+	}
+}
+
 // handler is the inner handler shape; a returned *apiError is rendered as
 // the structured error envelope.
 type handler func(w http.ResponseWriter, r *http.Request) *apiError
@@ -97,13 +132,26 @@ type handler func(w http.ResponseWriter, r *http.Request) *apiError
 func New(mgr *session.Manager, opts ...Option) *Server {
 	s := &Server{
 		mgr:     mgr,
-		metrics: newMetrics(),
 		mux:     http.NewServeMux(),
 		idem:    newIdemCache(idemCacheCap),
 		maxBody: maxBodyBytes,
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	s.metrics = newMetrics(s.obsReg)
+	s.metrics.registerRuntimeGauges()
+	s.metrics.reg.GaugeFunc("querylearn_sessions_live", "live learning sessions",
+		func() float64 { return float64(mgr.Len()) })
+	if s.adm != nil {
+		s.metrics.reg.GaugeFunc("querylearn_admission_inflight",
+			"admitted requests currently in flight across all shards", func() float64 {
+				var sum int64
+				for i := range s.adm.inflight {
+					sum += s.adm.inflight[i].Load()
+				}
+				return float64(sum)
+			})
 	}
 	// versioned registers a handler factory under /v1 and as a deprecated
 	// legacy alias; the factory is told which dialect it serves.
@@ -130,6 +178,10 @@ func New(mgr *session.Manager, opts ...Option) *Server {
 
 // Handler returns the routed handler, for http.Server and httptest.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Obs returns the server's observability registry — the one WithObs shared,
+// or the private one the server built.
+func (s *Server) Obs() *obs.Registry { return s.metrics.reg }
 
 // apiError is a structured failure: an HTTP status plus the wire error body
 // (stable machine code, human message).
@@ -164,7 +216,30 @@ func fromManager(err error) *apiError {
 	return errf(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 }
 
-// wrap applies the per-endpoint bookkeeping: request/error counters, the
+// statusWriter captures the response status for the latency histogram's
+// status label. The default 200 covers handlers that Write without an
+// explicit WriteHeader.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.status = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// wrap applies the per-endpoint bookkeeping: request counters, the request
+// id, the span trace, latency/phase histograms, slow-request logging, the
 // degraded-mode flag, admission control, the request fault point, the
 // body-size cap, and — on legacy aliases — the deprecation headers. The
 // infra endpoints (/metrics, /healthz) bypass admission and fault injection
@@ -172,10 +247,30 @@ func fromManager(err error) *apiError {
 func (s *Server) wrap(name string, deprecated bool, h handler) http.HandlerFunc {
 	stats := s.metrics.endpoints[name]
 	infra := name == "metrics" || name == "healthz"
+	// Phase traces only have consumers when a shared registry or the
+	// slow-request log is configured; without either, skip the trace
+	// allocation and context rewrap entirely so an unobserved server pays
+	// nothing on the hot path (a nil *Trace no-ops everywhere downstream).
+	traced := s.obsReg != nil || s.slowLog != nil
 	return func(w http.ResponseWriter, r *http.Request) {
-		stats.requests.Add(1)
+		start := time.Now()
+		stats.requests.Inc()
+		// Accept a sane client-supplied request id, mint one otherwise, and
+		// echo it on every response so both sides log the same correlator.
+		rid := r.Header.Get(api.RequestIDHeader)
+		if rid == "" || len(rid) > 128 {
+			rid = obs.NewRequestID()
+		}
+		w.Header().Set(api.RequestIDHeader, rid)
+		var tr *obs.Trace
+		if traced {
+			tr = &obs.Trace{RequestID: rid, Start: start}
+			r = r.WithContext(obs.NewContext(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer s.finishRequest(name, r, sw, tr, start)
 		if deprecated {
-			s.metrics.deprecated.Add(1)
+			s.metrics.deprecated.Inc()
 			w.Header().Set(api.DeprecationHeader, "true")
 			w.Header().Set("Link", fmt.Sprintf("<%s%s>; rel=\"successor-version\"", api.V1Prefix, r.URL.Path))
 		}
@@ -184,13 +279,17 @@ func (s *Server) wrap(name string, deprecated bool, h handler) http.HandlerFunc 
 		}
 		fail := func(e *apiError) {
 			stats.errors.Add(1)
+			s.metrics.errorsVec.With(name, e.Code).Inc()
+			e.Error.RequestID = rid
 			if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
-				w.Header().Set(api.RetryAfterHeader, retryAfterSeconds)
+				sw.Header().Set(api.RetryAfterHeader, retryAfterSeconds)
 			}
-			writeJSON(w, e.Status, api.ErrorResponse{Error: &e.Error})
+			writeJSON(sw, e.Status, api.ErrorResponse{Error: &e.Error})
 		}
 		if !infra {
+			admitDone := tr.StartPhase("admission.wait")
 			release, e := s.admit(name, r)
+			admitDone()
 			if e != nil {
 				fail(e)
 				return
@@ -202,11 +301,70 @@ func (s *Server) wrap(name string, deprecated bool, h handler) http.HandlerFunc 
 				return
 			}
 		}
-		r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
-		if e := h(w, r); e != nil {
+		r.Body = http.MaxBytesReader(sw, r.Body, s.maxBody)
+		if e := h(sw, r); e != nil {
 			fail(e)
 		}
 	}
+}
+
+// finishRequest records the request's latency and trace phases, and emits
+// the sampled slow-request log line.
+func (s *Server) finishRequest(name string, r *http.Request, sw *statusWriter, tr *obs.Trace, start time.Time) {
+	dur := time.Since(start)
+	s.metrics.latency.With(name, statusLabel(sw.status)).Observe(dur)
+	if tr == nil {
+		return
+	}
+	phases := tr.Phases()
+	for _, ph := range phases {
+		s.metrics.phases.With(ph.Name).Observe(ph.Duration)
+	}
+	if s.slowLog == nil || dur < s.slowThreshold {
+		return
+	}
+	if n := s.slowSeen.Add(1); s.slowEvery > 1 && n%s.slowEvery != 1 {
+		return
+	}
+	s.slowLog.Warn("slow request",
+		"request_id", tr.RequestID,
+		"endpoint", name,
+		"method", r.Method,
+		"path", r.URL.Path,
+		"status", sw.status,
+		"duration_seconds", dur.Seconds(),
+		"phases", phases,
+	)
+}
+
+// statusLabel renders an HTTP status as a metric label without allocating
+// for the codes this API actually returns.
+func statusLabel(status int) string {
+	switch status {
+	case http.StatusOK:
+		return "200"
+	case http.StatusCreated:
+		return "201"
+	case http.StatusNoContent:
+		return "204"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusConflict:
+		return "409"
+	case http.StatusRequestEntityTooLarge:
+		return "413"
+	case http.StatusUnsupportedMediaType:
+		return "415"
+	case http.StatusTooManyRequests:
+		return "429"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return strconv.Itoa(status)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -343,7 +501,8 @@ func (s *Server) handleCreate(v1 bool) handler {
 			return e
 		}
 		return s.idempotent(w, r, v1, "create", body, func() (int, any, *apiError) {
-			sess, err := s.mgr.Create(req.Model, req.Task, session.CreateOptions{MaxCost: req.MaxCost, Limits: req.Limits})
+			sess, err := s.mgr.CreateTraced(req.Model, req.Task,
+				session.CreateOptions{MaxCost: req.MaxCost, Limits: req.Limits}, obs.FromContext(r.Context()))
 			if err != nil {
 				return 0, nil, fromManager(err)
 			}
@@ -369,7 +528,7 @@ func (s *Server) handleResume(v1 bool) handler {
 		if _, e := readJSON(r, v1, &snap); e != nil {
 			return e
 		}
-		sess, err := s.mgr.Resume(snap)
+		sess, err := s.mgr.ResumeTraced(snap, obs.FromContext(r.Context()))
 		if err != nil {
 			return fromManager(err)
 		}
@@ -395,13 +554,13 @@ func (s *Server) handleQuestion(bool) handler {
 		if e != nil {
 			return e
 		}
-		q, ok, err := sess.Question()
+		qs, err := sess.QuestionsTraced(1, obs.FromContext(r.Context()))
 		if err != nil {
 			return fromManager(err)
 		}
-		resp := api.QuestionResponse{Done: !ok}
-		if ok {
-			resp.Question = &q
+		resp := api.QuestionResponse{Done: len(qs) == 0}
+		if len(qs) > 0 {
+			resp.Question = &qs[0]
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return nil
@@ -428,7 +587,7 @@ func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) *apiErr
 	// Under admission pressure the batch size is clamped: parallel dispatch
 	// is the cheapest load to shave, and the client can just ask again.
 	n = s.clampN(r, n)
-	qs, err := sess.Questions(n)
+	qs, err := sess.QuestionsTraced(n, obs.FromContext(r.Context()))
 	if err != nil {
 		return fromManager(err)
 	}
@@ -471,7 +630,7 @@ func (s *Server) handleAnswers(v1 bool) handler {
 			if e != nil {
 				return 0, nil, e
 			}
-			res, err := sess.Answer(req.Answers, req.Reconcile)
+			res, err := sess.AnswerTraced(req.Answers, req.Reconcile, obs.FromContext(r.Context()))
 			if err != nil {
 				return 0, nil, fromManager(err)
 			}
@@ -486,7 +645,7 @@ func (s *Server) handleQuery(bool) handler {
 		if e != nil {
 			return e
 		}
-		h, err := sess.Hypothesis()
+		h, err := sess.HypothesisTraced(obs.FromContext(r.Context()))
 		if err != nil {
 			return fromManager(err)
 		}
@@ -508,7 +667,7 @@ func (s *Server) handleSnapshot(bool) handler {
 
 func (s *Server) handleDelete(bool) handler {
 	return func(w http.ResponseWriter, r *http.Request) *apiError {
-		if err := s.mgr.Delete(r.PathValue("id")); err != nil {
+		if err := s.mgr.DeleteTraced(r.PathValue("id"), obs.FromContext(r.Context())); err != nil {
 			return fromManager(err)
 		}
 		w.WriteHeader(http.StatusNoContent)
@@ -520,6 +679,10 @@ func (s *Server) handleDelete(bool) handler {
 // the daemon runs with a data directory; Admission and Faults only when the
 // respective subsystems are configured. The store block carries the
 // degraded gauge (store.degraded / degraded_reason / degraded_since).
+//
+// The PR 6 keys keep their exact shape and order; the observability keys
+// (latency, phases, errors_by_code, shed_by_endpoint) are strictly appended
+// so pre-existing scrapers decode unchanged.
 type metricsResponse struct {
 	Sessions session.Stats `json:"sessions"`
 	// DeprecatedRequests counts hits on the pre-v1 legacy aliases — the
@@ -529,6 +692,14 @@ type metricsResponse struct {
 	Store              *store.Stats               `json:"store,omitempty"`
 	Admission          *admissionMetrics          `json:"admission,omitempty"`
 	Faults             *faultMetrics              `json:"faults,omitempty"`
+	// Latency summarizes the per-endpoint request histograms (statuses
+	// merged); Phases the span-trace phase histograms.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
+	Phases  map[string]LatencySummary `json:"phases,omitempty"`
+	// ErrorsByCode splits each endpoint's error total by stable api code;
+	// ShedByEndpoint breaks the admission shed total down per endpoint.
+	ErrorsByCode   map[string]map[string]int64 `json:"errors_by_code,omitempty"`
+	ShedByEndpoint map[string]int64            `json:"shed_by_endpoint,omitempty"`
 }
 
 // admissionMetrics is the load-shedding status block.
@@ -549,10 +720,27 @@ type faultMetrics struct {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) *apiError {
+	// format=prometheus serves the full registry — HTTP, session, store, and
+	// runtime families — in the text exposition format. Any other (or no)
+	// format keeps the legacy JSON document byte-compatible.
+	if format := r.URL.Query().Get("format"); format != "" {
+		if format != "prometheus" {
+			return errf(http.StatusBadRequest, api.CodeBadParam,
+				"format=%q is not supported (want prometheus, or omit for JSON)", format)
+		}
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		w.WriteHeader(http.StatusOK)
+		_ = s.metrics.reg.WritePrometheus(w) // status line already out
+		return nil
+	}
 	resp := metricsResponse{
 		Sessions:           s.mgr.Stats(),
-		DeprecatedRequests: s.metrics.deprecated.Load(),
+		DeprecatedRequests: s.metrics.deprecated.Value(),
 		Endpoints:          s.metrics.snapshot(),
+		Latency:            s.metrics.latencyByEndpoint(),
+		Phases:             s.metrics.phaseSummaries(),
+		ErrorsByCode:       s.metrics.errorsByCode(),
+		ShedByEndpoint:     s.metrics.shedByEndpoint(),
 	}
 	if s.storeStats != nil {
 		st := s.storeStats()
@@ -562,7 +750,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) *apiError
 		am := &admissionMetrics{
 			PerShard: s.adm.perShard,
 			Shards:   len(s.adm.inflight),
-			Shed:     s.metrics.shed.Load(),
+			Shed:     s.metrics.shedTotal(),
 			Draining: s.draining.Load(),
 		}
 		for i := range s.adm.inflight {

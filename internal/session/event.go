@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"querylearn/internal/obs"
 	"querylearn/pkg/api"
 )
 
@@ -63,6 +64,15 @@ type Event struct {
 // Implementations must be safe for concurrent use.
 type Journal interface {
 	Append(Event) error
+}
+
+// TracedJournal is the optional journal extension for request tracing: an
+// implementation that can attribute its own internal phases (group-commit
+// fsync wait, say) records them on the request's trace. The manager prefers
+// AppendTraced over Append when the journal supports it and a trace is
+// present; Append remains the durability contract.
+type TracedJournal interface {
+	AppendTraced(ev Event, tr *obs.Trace) error
 }
 
 // Compactor is the optional journal extension the manager's Compact uses: it

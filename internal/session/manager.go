@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"querylearn/internal/obs"
 	"querylearn/pkg/api"
 )
 
@@ -113,10 +114,20 @@ type Manager struct {
 // Event and routed here, write-ahead. With a journal configured the event
 // must append before the mutation proceeds; an append failure aborts it.
 // Boot-time recovery replays with journal=false because the journal already
-// contains the state being rebuilt.
-func (m *Manager) commit(ev Event, journal bool) error {
+// contains the state being rebuilt. tr (nil-safe) attributes the append to
+// the request's journal.append phase; a TracedJournal additionally breaks
+// out its own internal phases (fsync wait) on the same trace.
+func (m *Manager) commit(tr *obs.Trace, ev Event, journal bool) error {
 	if journal && m.cfg.Journal != nil {
-		if err := m.cfg.Journal.Append(ev); err != nil {
+		done := tr.StartPhase("journal.append")
+		var err error
+		if tj, ok := m.cfg.Journal.(TracedJournal); ok && tr != nil {
+			err = tj.AppendTraced(ev, tr)
+		} else {
+			err = m.cfg.Journal.Append(ev)
+		}
+		done()
+		if err != nil {
 			return fmt.Errorf("%w (%s event): %v", ErrJournal, ev.Kind, err)
 		}
 	}
@@ -215,6 +226,11 @@ func (m *Manager) Limits() Limits { return m.cfg.Limits }
 // session. The create event is journaled after the session id is final but
 // before Create returns, so no acknowledged session can be lost to a crash.
 func (m *Manager) Create(model, task string, opts CreateOptions) (*Session, error) {
+	return m.CreateTraced(model, task, opts, nil)
+}
+
+// CreateTraced is Create with per-phase attribution onto tr (nil-safe).
+func (m *Manager) CreateTraced(model, task string, opts CreateOptions, tr *obs.Trace) (*Session, error) {
 	m.compactMu.RLock()
 	defer m.compactMu.RUnlock()
 	lim, err := m.cfg.Limits.Merge(opts.Limits, true)
@@ -224,7 +240,9 @@ func (m *Manager) Create(model, task string, opts CreateOptions) (*Session, erro
 	if err := m.reserve(); err != nil {
 		return nil, err
 	}
+	buildDone := tr.StartPhase("learner.build")
 	learner, err := NewLimited(model, task, lim)
+	buildDone()
 	if err != nil {
 		m.live.Add(-1)
 		return nil, err
@@ -241,7 +259,7 @@ func (m *Manager) Create(model, task string, opts CreateOptions) (*Session, erro
 		Kind: EventCreate, ID: s.id, Model: model, Task: task,
 		MaxCost: opts.MaxCost, Limits: s.limits, CreatedAt: s.createdAt,
 	}
-	if err := m.commit(ev, true); err != nil {
+	if err := m.commit(tr, ev, true); err != nil {
 		s.mu.Lock()
 		m.finishRemoval(s)
 		return nil, err
@@ -320,7 +338,10 @@ func (m *Manager) Get(id string) (*Session, error) {
 // Delete evicts a session. It returns ErrNotFound for an unknown id, or the
 // journal error if the delete event could not be made durable (in which case
 // the session stays live).
-func (m *Manager) Delete(id string) error {
+func (m *Manager) Delete(id string) error { return m.DeleteTraced(id, nil) }
+
+// DeleteTraced is Delete with per-phase attribution onto tr (nil-safe).
+func (m *Manager) DeleteTraced(id string, tr *obs.Trace) error {
 	m.compactMu.RLock()
 	defer m.compactMu.RUnlock()
 	sh := m.shardFor(id)
@@ -333,12 +354,14 @@ func (m *Manager) Delete(id string) error {
 	// Journal under the session lock only: a synchronous fsync (always
 	// mode) stalls this one session, not every session in the shard. The
 	// evicted flag makes removal exactly-once against a racing sweep.
+	lockDone := tr.StartPhase("session.lock")
 	s.mu.Lock()
+	lockDone()
 	if s.evicted {
 		s.mu.Unlock()
 		return ErrNotFound
 	}
-	if err := m.commit(Event{Kind: EventDelete, ID: id}, true); err != nil {
+	if err := m.commit(tr, Event{Kind: EventDelete, ID: id}, true); err != nil {
 		s.mu.Unlock()
 		return err
 	}
@@ -384,7 +407,7 @@ func (m *Manager) SweepExpired() int {
 			}
 			// A session that cannot journal its eviction stays live and
 			// is retried on the next sweep.
-			if err := m.commit(Event{Kind: EventEvict, ID: s.id}, true); err != nil {
+			if err := m.commit(nil, Event{Kind: EventEvict, ID: s.id}, true); err != nil {
 				s.mu.Unlock()
 				continue
 			}
@@ -472,9 +495,14 @@ func (m *Manager) List(limit int, after string) ([]Status, string) {
 
 // Resume rehydrates a snapshotted session under its original id.
 func (m *Manager) Resume(snap Snapshot) (*Session, error) {
+	return m.ResumeTraced(snap, nil)
+}
+
+// ResumeTraced is Resume with per-phase attribution onto tr (nil-safe).
+func (m *Manager) ResumeTraced(snap Snapshot, tr *obs.Trace) (*Session, error) {
 	m.compactMu.RLock()
 	defer m.compactMu.RUnlock()
-	return m.resume(snap, true)
+	return m.resume(snap, true, tr)
 }
 
 // Recover replays recovered snapshots back into live sessions through the
@@ -492,7 +520,7 @@ func (m *Manager) Recover(snaps []Snapshot) (int, error) {
 	n := 0
 	var errs []error
 	for _, snap := range snaps {
-		if _, err := m.resume(snap, false); err != nil {
+		if _, err := m.resume(snap, false, nil); err != nil {
 			errs = append(errs, fmt.Errorf("session %s: %w", snap.ID, err))
 			continue
 		}
@@ -538,7 +566,7 @@ func (m *Manager) validateSnapshot(snap Snapshot, untrusted bool) error {
 // resume is the shared rehydration path under compactMu; journalIt
 // distinguishes a client resume (journaled as a new event) from boot-time
 // recovery (already journaled).
-func (m *Manager) resume(snap Snapshot, journalIt bool) (*Session, error) {
+func (m *Manager) resume(snap Snapshot, journalIt bool, tr *obs.Trace) (*Session, error) {
 	if snap.ID == "" {
 		return nil, fmt.Errorf("session: snapshot has no id")
 	}
@@ -566,17 +594,21 @@ func (m *Manager) resume(snap Snapshot, journalIt bool) (*Session, error) {
 		m.live.Add(-1)
 		return nil, err
 	}
+	buildDone := tr.StartPhase("learner.build")
 	learner, err := NewLimited(snap.Model, snap.Task, lim)
 	if err != nil {
+		buildDone()
 		m.live.Add(-1)
 		return nil, err
 	}
 	for i, a := range snap.Answers {
 		if err := learner.Record(a.Item, a.Positive); err != nil {
+			buildDone()
 			m.live.Add(-1)
 			return nil, fmt.Errorf("session: replaying snapshot answer %d: %w", i, err)
 		}
 	}
+	buildDone()
 	s := m.newSession(snap.ID, snap.Model, snap.Task, learner, snap.MaxCost)
 	if snap.Model == "path" {
 		// Stamp the effective limits the learner was actually rebuilt with,
@@ -605,7 +637,7 @@ func (m *Manager) resume(snap Snapshot, journalIt bool) (*Session, error) {
 	sh.m[snap.ID] = s
 	sh.mu.Unlock()
 	ev := Event{Kind: EventResume, ID: snap.ID, Snapshot: &snap}
-	if err := m.commit(ev, journalIt); err != nil {
+	if err := m.commit(tr, ev, journalIt); err != nil {
 		m.finishRemoval(s)
 		return nil, err
 	}
@@ -676,14 +708,23 @@ func (s *Session) Question() (Question, bool, error) {
 // parallel crowd dispatch — the paper's many-workers scenario, where k HITs
 // go out at once and the answers come back as one batch. An empty result
 // means converged.
-func (s *Session) Questions(k int) ([]Question, error) {
+func (s *Session) Questions(k int) ([]Question, error) { return s.QuestionsTraced(k, nil) }
+
+// QuestionsTraced is Questions with per-phase attribution onto tr
+// (nil-safe): session.lock is the wait for this session's serializing lock,
+// learner.propose the informative-item search itself.
+func (s *Session) QuestionsTraced(k int, tr *obs.Trace) ([]Question, error) {
+	lockDone := tr.StartPhase("session.lock")
 	s.mu.Lock()
+	lockDone()
 	defer s.mu.Unlock()
 	s.touch()
 	if err := s.checkLive(); err != nil {
 		return nil, err
 	}
+	proposeDone := tr.StartPhase("learner.propose")
 	qs, err := s.learner.Propose(k)
+	proposeDone()
 	if err != nil {
 		return nil, err
 	}
@@ -706,15 +747,25 @@ const (
 // item are votes. Budget and consistency are checked before anything is
 // applied; a Record error mid-batch marks the session failed.
 func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error) {
+	return s.AnswerTraced(batch, reconcile, nil)
+}
+
+// AnswerTraced is Answer with per-phase attribution onto tr (nil-safe):
+// session.lock (compaction gate + session serialization), learner.validate,
+// journal.append (inside commit), learner.record, and the trailing
+// learner.propose that computes Remaining.
+func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) (AnswerResult, error) {
 	if len(batch) == 0 {
 		return AnswerResult{}, fmt.Errorf("session: empty answer batch")
 	}
 	// Answer mutates state, so it participates in the event stream: take the
 	// compaction read-lock before the session lock (the manager-wide lock
 	// order), then journal write-ahead below.
+	lockDone := tr.StartPhase("session.lock")
 	s.mgr.compactMu.RLock()
 	defer s.mgr.compactMu.RUnlock()
 	s.mu.Lock()
+	lockDone()
 	defer s.mu.Unlock()
 	s.touch()
 	if err := s.checkLive(); err != nil {
@@ -740,11 +791,14 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 	// the batch cleanly and leaves the session healthy. Only answers that
 	// survive validation can fail Record, and such a failure is genuine
 	// inconsistency — the poison-pill below.
+	validateDone := tr.StartPhase("learner.validate")
 	for _, a := range apply {
 		if err := s.learner.Validate(a.Item); err != nil {
+			validateDone()
 			return AnswerResult{}, err
 		}
 	}
+	validateDone()
 
 	cost := float64(s.hits+len(batch)) * s.costPerHIT
 	if s.maxCost > 0 && cost > s.maxCost {
@@ -758,13 +812,15 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 		Kind: EventAnswers, ID: s.id, Answers: apply,
 		HITs: s.hits + len(batch), Cost: cost,
 	}
-	if err := s.mgr.commit(ev, true); err != nil {
+	if err := s.mgr.commit(tr, ev, true); err != nil {
 		return AnswerResult{}, err
 	}
 	s.hits += len(batch)
 
+	recordDone := tr.StartPhase("learner.record")
 	for _, a := range apply {
 		if err := s.learner.Record(a.Item, a.Positive); err != nil {
+			recordDone()
 			// Genuine inconsistency: no hypothesis fits the answers. The
 			// batch's event is already durable, so left alone it would
 			// poison every future boot (replaying it fails the same way,
@@ -777,7 +833,7 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 			s.failed = err
 			s.hits, s.answers = preHITs, s.answers[:preAnswers]
 			comp := s.snapshotLocked()
-			if cerr := s.mgr.commit(Event{Kind: EventSnapshot, ID: s.id, Snapshot: &comp}, true); cerr != nil {
+			if cerr := s.mgr.commit(tr, Event{Kind: EventSnapshot, ID: s.id, Snapshot: &comp}, true); cerr != nil {
 				// Disk and version space both broken: the failed mark
 				// already stops further use; recovery will skip the
 				// session with an error.
@@ -787,6 +843,7 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 		}
 		s.answers = append(s.answers, a)
 	}
+	recordDone()
 	// Label accounting lives on the session path (not the HTTP layer), so
 	// every ingestion surface — server, SDK-driven experiments, direct
 	// manager use — counts identically.
@@ -796,7 +853,9 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 		HITs:    s.hits,
 		Cost:    float64(s.hits) * s.costPerHIT,
 	}
+	proposeDone := tr.StartPhase("learner.propose")
 	qs, err := s.learner.Propose(1)
+	proposeDone()
 	if err != nil {
 		return AnswerResult{}, err
 	}
@@ -846,8 +905,14 @@ func majority(batch []Answer) ([]Answer, error) {
 }
 
 // Hypothesis snapshots the current best hypothesis.
-func (s *Session) Hypothesis() (Hypothesis, error) {
+func (s *Session) Hypothesis() (Hypothesis, error) { return s.HypothesisTraced(nil) }
+
+// HypothesisTraced is Hypothesis with per-phase attribution onto tr
+// (nil-safe).
+func (s *Session) HypothesisTraced(tr *obs.Trace) (Hypothesis, error) {
+	lockDone := tr.StartPhase("session.lock")
 	s.mu.Lock()
+	lockDone()
 	defer s.mu.Unlock()
 	s.touch()
 	if s.evicted {

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"querylearn/internal/fault"
+	"querylearn/internal/obs"
 	"querylearn/internal/session"
 )
 
@@ -71,6 +72,12 @@ type Options struct {
 	// syscall-shaped edge (see InjectionPoints). Nil disables injection;
 	// the hooks then cost one nil check each.
 	Faults *fault.Registry
+	// Obs optionally wires an observability registry: the store registers
+	// append/fsync/compaction latency histograms, the fsync group-size
+	// histogram, and journal-lag/bytes/degraded gauges under querylearn_store_*.
+	// Sharing one registry with the server puts store and HTTP metrics in the
+	// same /metrics?format=prometheus scrape. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -132,6 +139,13 @@ type Store struct {
 	fsyncs     int64
 	recovered  RecoveryStats
 	lastComp   *CompactionStats
+
+	// Observability handles, nil without Options.Obs (each use is one nil
+	// check on the hot path).
+	appendHist  *obs.Histogram // per-record write latency
+	fsyncHist   *obs.Histogram // per-fsync latency
+	fsyncBatch  *obs.Histogram // events covered per fsync group (value = count)
+	compactHist *obs.Histogram // journal rewrite latency
 }
 
 // RecoveryStats describes what the last Open found in the journal.
@@ -217,6 +231,7 @@ func Open(dir string, opts Options) (*Store, []session.Snapshot, error) {
 	st := &Store{dir: dir, opts: opts, lock: lock, flusherDone: make(chan struct{})}
 	st.kick = sync.NewCond(&st.mu)
 	st.done = sync.NewCond(&st.mu)
+	st.registerObs()
 	st.recovered = RecoveryStats{
 		Sessions:      len(res.snaps),
 		Events:        res.events,
@@ -357,11 +372,64 @@ func syncDir(dir string) {
 	}
 }
 
+// registerObs wires the store's metric families into Options.Obs. The
+// group-size histogram reuses the latency bucket layout by encoding one
+// event as one second, so its le bounds read as approximate powers of two
+// of events; _sum/_count give the exact mean group size.
+func (st *Store) registerObs() {
+	reg := st.opts.Obs
+	if reg == nil {
+		return
+	}
+	st.appendHist = reg.Histogram("querylearn_store_append_seconds",
+		"journal record write latency (write-through to the OS, excluding fsync)")
+	st.fsyncHist = reg.Histogram("querylearn_store_fsync_seconds",
+		"journal fsync latency")
+	st.fsyncBatch = reg.Histogram("querylearn_store_fsync_batch_events",
+		"events made durable per fsync group (1 event encoded as 1s)")
+	st.compactHist = reg.Histogram("querylearn_store_compaction_seconds",
+		"journal compaction (rewrite) latency")
+	reg.GaugeFunc("querylearn_store_journal_lag",
+		"events appended but not yet covered by an fsync", func() float64 {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			return float64(st.appended - st.durable)
+		})
+	reg.GaugeFunc("querylearn_store_journal_bytes",
+		"current journal size in bytes", func() float64 {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			return float64(st.baseBytes + st.tailBytes)
+		})
+	reg.GaugeFunc("querylearn_store_degraded",
+		"1 while the journal is degraded (mutations rejected), else 0", func() float64 {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if st.degradedLocked() != "" {
+				return 1
+			}
+			return 0
+		})
+}
+
+// observe is the nil-tolerant histogram record.
+func observe(h *obs.Histogram, d time.Duration) {
+	if h != nil {
+		h.Observe(d)
+	}
+}
+
 // Append journals one event (the session.Journal contract). The record is
 // written through to the OS before Append returns in every mode — a SIGKILL
 // cannot lose it — and in always mode Append additionally blocks until an
 // fsync covers it.
-func (st *Store) Append(ev session.Event) error {
+func (st *Store) Append(ev session.Event) error { return st.AppendTraced(ev, nil) }
+
+// AppendTraced is Append with per-phase attribution onto the request's
+// trace (the session.TracedJournal contract, nil-safe): in always mode the
+// group-commit wait is recorded as the fsync.wait phase, separating "the
+// disk was slow" from "the write itself was slow" in slow-request logs.
+func (st *Store) AppendTraced(ev session.Event, tr *obs.Trace) error {
 	payload, err := json.Marshal(ev)
 	if err != nil {
 		return fmt.Errorf("store: encoding %s event: %w", ev.Kind, err)
@@ -374,7 +442,9 @@ func (st *Store) Append(ev session.Event) error {
 	if st.appendErr != nil {
 		return fmt.Errorf("store: journal poisoned by earlier write failure: %w", st.appendErr)
 	}
+	writeStart := time.Now()
 	n, err := appendRecord(st.faultW(st.f, PointAppend), payload)
+	observe(st.appendHist, time.Since(writeStart))
 	if err != nil {
 		// A partial write leaves a torn record mid-file; anything appended
 		// after it would be silently discarded at recovery (replay stops at
@@ -413,9 +483,11 @@ func (st *Store) Append(ev session.Event) error {
 		return nil
 	default: // FsyncAlways: group commit — wait for a covering fsync.
 		st.kick.Signal()
+		waitDone := tr.StartPhase("fsync.wait")
 		for st.durable < lsn && st.syncErr == nil && !st.closed {
 			st.done.Wait()
 		}
+		waitDone()
 		if st.syncErr != nil {
 			return fmt.Errorf("store: fsync: %w", st.syncErr)
 		}
@@ -454,12 +526,15 @@ func (st *Store) flusher() {
 		target := st.appended
 		f := st.f
 		st.mu.Unlock()
+		syncStart := time.Now()
 		err := st.fire(PointFsync)
 		if err == nil {
 			err = f.Sync()
 		}
+		syncDur := time.Since(syncStart)
 		st.mu.Lock()
 		st.fsyncs++
+		observe(st.fsyncHist, syncDur)
 		// A compaction or close may have swapped the file underneath the
 		// sync; its own fsync already covered the tail, so only account a
 		// sync of the still-current handle.
@@ -469,6 +544,9 @@ func (st *Store) flusher() {
 				st.markDegradedLocked()
 			}
 			if target > st.durable {
+				// The group this fsync made durable, in the 1-event-per-second
+				// encoding registerObs documents.
+				observe(st.fsyncBatch, time.Duration(target-st.durable)*time.Second)
 				st.durable = target
 			}
 		}
@@ -494,10 +572,12 @@ func (st *Store) Compact(snaps []session.Snapshot) error {
 	// Everything appended so far is subsumed by the fsynced rewrite.
 	st.durable = st.appended
 	st.done.Broadcast()
+	dur := time.Since(start)
+	observe(st.compactHist, dur)
 	st.lastComp = &CompactionStats{
 		At:          start,
 		Sessions:    len(snaps),
-		DurationMS:  float64(time.Since(start).Nanoseconds()) / 1e6,
+		DurationMS:  float64(dur.Nanoseconds()) / 1e6,
 		BytesBefore: before,
 		BytesAfter:  st.baseBytes,
 	}
@@ -516,10 +596,12 @@ func (st *Store) Sync() error {
 }
 
 func (st *Store) syncLocked() error {
+	syncStart := time.Now()
 	err := st.fire(PointSync)
 	if err == nil {
 		err = st.f.Sync()
 	}
+	observe(st.fsyncHist, time.Since(syncStart))
 	if err != nil {
 		st.syncErr = err
 		st.markDegradedLocked()

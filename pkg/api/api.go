@@ -82,6 +82,13 @@ const (
 	// in degraded mode (journal unavailable): reads keep working, mutations
 	// fail with 503, and /healthz carries the reason.
 	DegradedHeader = "X-Querylearn-Degraded"
+	// RequestIDHeader correlates one request across client, server, and
+	// logs: the server echoes a client-supplied id or generates one, every
+	// response carries it, error bodies repeat it as request_id, and
+	// slow-request logs key on it. The SDK stamps a fresh id per logical
+	// call, reused across its retries, so a stalled dialogue can be traced
+	// end-to-end.
+	RequestIDHeader = "X-Request-Id"
 )
 
 // MaxQuestionBatch caps the n parameter of GET /v1/sessions/{id}/questions.
@@ -147,6 +154,9 @@ var Codes = []string{
 type Error struct {
 	Code    string `json:"code"`
 	Message string `json:"message"`
+	// RequestID echoes the X-Request-Id the failing request carried, so an
+	// error report can be matched to the server's logs and traces.
+	RequestID string `json:"request_id,omitempty"`
 	// Status is the HTTP status the error arrived with; filled by the
 	// client, never serialized.
 	Status int `json:"-"`

@@ -321,6 +321,10 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 		payload = b
 	}
 	u := c.base + api.V1Prefix + path
+	// One request id per logical call, reused across retries: server-side
+	// logs then show every attempt of a stalled dialogue under one
+	// correlator, exactly like the idempotency key pins the write itself.
+	requestID := newIdemKey()
 	for attempt := 0; ; attempt++ {
 		if err := c.cb.allow(); err != nil {
 			return err
@@ -335,6 +339,9 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 		}
 		if idemKey != "" {
 			req.Header.Set(api.IdempotencyKeyHeader, idemKey)
+		}
+		if requestID != "" {
+			req.Header.Set(api.RequestIDHeader, requestID)
 		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
