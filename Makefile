@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: all build test vet bench-smoke bench-t14 bench-json chaos-smoke fuzz-smoke loadgen-smoke examples api-check ci
+.PHONY: all build test vet test-v1 bench-smoke bench-t14 bench-recovery bench-json chaos-smoke fuzz-smoke loadgen-smoke examples api-check ci
 
 all: build
 
@@ -14,6 +14,12 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Run the storage-touching suites with the journal pinned to format v1
+# (JSON): the rollback path of -store-format must keep passing the same
+# crash/torn-tail/recovery tests as the v2 default.
+test-v1:
+	QUERYLEARN_STORE_FORMAT=v1 $(GO) test ./internal/store ./internal/session ./internal/server
+
 # Quick sanity pass over the tentpole benchmarks (naive vs optimized
 # evaluation core); catches gross perf/correctness regressions in seconds.
 bench-smoke:
@@ -23,6 +29,12 @@ bench-smoke:
 # over /v1 (T14) — keeps the sparse version-space path exercised end to end.
 bench-t14:
 	$(GO) run ./cmd/benchrunner -only T14
+
+# Recovery-format benchmark (T17): cold-open throughput v2 vs v1 on
+# identical corpora plus allocs/op on POST answers — the storage codec's
+# perf gate.
+bench-recovery:
+	$(GO) run ./cmd/benchrunner -only T17
 
 # Capture the experiment tables as a JSON perf trajectory (BENCH_*.json).
 bench-json:
@@ -37,14 +49,17 @@ chaos-smoke:
 	$(GO) test -race -run 'TestDegradedModeOverV1|TestAdmissionShedsWith429' ./internal/server
 
 # Short fuzz pass over every wire-boundary decoder: the four task parsers
-# (untrusted POST /sessions bodies) and the journal replay (crash-truncated
-# bytes). ~10s total at the default FUZZTIME; raise it to dig deeper.
+# (untrusted POST /sessions bodies), the journal replay (crash-truncated
+# bytes, both formats), and the v2 codec (round-trip identity and decoder
+# robustness). ~15s total at the default FUZZTIME; raise it to dig deeper.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseTwigTask -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzParseJoinTask -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzParsePathTask -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzParseSchemaTask -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz FuzzStoreReplay -fuzztime $(FUZZTIME) ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime $(FUZZTIME) ./internal/codec
 
 # Open-loop load smoke: a short fixed-seed Poisson run against an
 # in-process daemon (cmd/loadgen self-host). Fails on any request error or
@@ -71,4 +86,4 @@ api-check:
 		echo "$$leaks"; exit 1; \
 	fi
 
-ci: build vet test bench-smoke bench-t14 chaos-smoke fuzz-smoke loadgen-smoke examples api-check
+ci: build vet test test-v1 bench-smoke bench-t14 bench-recovery chaos-smoke fuzz-smoke loadgen-smoke examples api-check

@@ -8,6 +8,12 @@
 //	querylearn join   task.txt     learn an equi-join or semijoin predicate
 //	querylearn path   task.txt     learn a graph path query
 //	querylearn schema task.txt     infer a multiplicity schema
+//	querylearn journal-dump <file> render a querylearnd journal as JSON lines
+//
+// journal-dump is recovery forensics for a daemon's -data-dir: it renders
+// both journal formats (v1 JSON and v2 binary, including mixed files) as one
+// JSON object per record, reporting corrupt records and a torn tail inline
+// instead of failing.
 package main
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"querylearn/internal/core"
 	"querylearn/internal/relational"
+	"querylearn/internal/store"
 )
 
 func main() {
@@ -27,9 +34,17 @@ func main() {
 
 func run(args []string) error {
 	if len(args) != 2 {
-		return fmt.Errorf("usage: querylearn {twig|join|path|schema} <task-file>\n(to serve interactive learning sessions over HTTP, run the querylearnd daemon)")
+		return fmt.Errorf("usage: querylearn {twig|join|path|schema} <task-file> | querylearn journal-dump <journal-file>\n(to serve interactive learning sessions over HTTP, run the querylearnd daemon)")
 	}
 	kind, path := args[0], args[1]
+	if kind == "journal-dump" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return store.DumpJournal(f, os.Stdout)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err

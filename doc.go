@@ -43,9 +43,16 @@
 //	        │            through a single commit path, observed by an
 //	        ▼            optional Journal (nil = in-memory)
 //	internal/store       append-only write-ahead journal: length-prefixed
-//	                     CRC-checked JSON records, group-commit fsync,
-//	                     snapshot compaction; recovery folds the log into
-//	                     session.Snapshots that Manager.Recover replays
+//	        │            CRC-checked records, group-commit fsync, snapshot
+//	        │            compaction; recovery folds the log into
+//	        ▼            session.Snapshots that Manager.Recover replays
+//	internal/codec       journal record wire format v2: varint/zigzag binary
+//	                     event encoding with a per-file string intern table
+//	                     (dictionary records), dispatched per record by its
+//	                     first byte so v1 JSON and v2 mix in one file; the
+//	                     store writes the configured format (-store-format,
+//	                     default v2), reads both, and upgrades v1 files to
+//	                     v2 at their first compaction
 //
 // Observability cuts across the serving stack rather than sitting in it:
 // internal/obs provides the zero-dependency metrics core (atomic

@@ -1,0 +1,153 @@
+// Package codec is the compact binary encoding behind the store's journal
+// format v2: session events and snapshots as length-delimited fields with
+// varint integers and a per-file string intern table.
+//
+// The JSON journal of format v1 spends most of its bytes — and most of its
+// decode CPU — on strings that repeat thousands of times across records:
+// task sources (identical for every snapshot of one session and often
+// shared across sessions), answer items (the same few JSON objects labeled
+// again and again), model names, session ids. Format v2 writes each
+// distinct string once, in a dictionary frame, and every later reference is
+// a varint id — the same interning pattern janus-datalog's codec layer uses
+// to keep its streaming engine's numbers alive through persistence.
+//
+// # Payload format
+//
+// The codec produces frame payloads; the store wraps each in its existing
+// length+CRC record framing (internal/store/record.go), so torn-tail
+// detection, rollback, and the chaos suite work identically for both
+// formats. A payload's first byte is its tag:
+//
+//	0x01 TagDict   intern-table extension: uvarint count, then count
+//	               strings (uvarint length + bytes). Ids are assigned
+//	               sequentially in file order starting at 0.
+//	0x02 TagEvent  one session.Event, referencing dictionary ids.
+//
+// JSON payloads always start with '{' (0x7b), so a reader can dispatch
+// per record and a single file may mix v1 and v2 records — which is exactly
+// what a v1 journal looks like after a v2 daemon appends to it, before the
+// first compaction rewrites it wholesale.
+//
+// Within an event payload, integers are unsigned varints (zigzag for signed
+// fields), floats are 8-byte little-endian IEEE 754 bit patterns,
+// timestamps are time.Time.MarshalBinary bytes (exact round-trip, no
+// normalization), and optional fields sit behind a presence bitmap so the
+// zero value survives encode→decode unchanged.
+//
+// The decoder is strict: every length is bounded by the remaining payload,
+// string references must be inside the table, and trailing garbage is an
+// error — arbitrary bytes can never panic it (FuzzCodecDecode) and a
+// well-formed encode always round-trips (FuzzCodecRoundTrip).
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Payload tags. TagJSON is not written by this package — it is what a JSON
+// record's first byte happens to be, listed here so readers can dispatch.
+const (
+	// TagDict marks an intern-table extension payload.
+	TagDict byte = 0x01
+	// TagEvent marks a binary session.Event payload.
+	TagEvent byte = 0x02
+	// TagJSON is '{': the first byte of every v1 (JSON) record.
+	TagJSON byte = '{'
+)
+
+// ErrCorrupt reports a payload the strict decoder rejected. It wraps the
+// specific cause; callers usually only care that the record is unusable.
+var ErrCorrupt = errors.New("codec: corrupt payload")
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// appendUvarint appends v in unsigned varint form.
+func appendUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+// appendVarint appends v in zigzag varint form (small magnitudes of either
+// sign stay small).
+func appendVarint(dst []byte, v int64) []byte {
+	return binary.AppendVarint(dst, v)
+}
+
+// appendFloat appends the 8-byte little-endian IEEE 754 bit pattern of v.
+func appendFloat(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// reader is a bounds-checked cursor over one payload. Every method returns
+// an error instead of panicking on truncated input.
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated or overlong uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		return 0, corruptf("truncated or overlong varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *reader) float() (float64, error) {
+	if r.remaining() < 8 {
+		return 0, corruptf("truncated float at offset %d", r.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.buf[r.off:]))
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, corruptf("truncated byte at offset %d", r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+// bytes reads a uvarint length followed by that many bytes. The length is
+// bounded by the remaining payload, so a corrupted field cannot provoke a
+// huge allocation.
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.remaining()) {
+		return nil, corruptf("field length %d exceeds remaining %d bytes", n, r.remaining())
+	}
+	b := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+// done verifies the whole payload was consumed — trailing garbage means a
+// corrupted or forged record, never silently ignored.
+func (r *reader) done() error {
+	if r.off != len(r.buf) {
+		return corruptf("%d trailing bytes after payload", len(r.buf)-r.off)
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package codec
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+
+	"querylearn/internal/session"
+	"querylearn/pkg/api"
+)
+
+// fixtureEvents covers every event kind and every optional field at least
+// once, with strings deliberately repeated across events so the dictionary
+// actually dedupes.
+func fixtureEvents() []session.Event {
+	now := time.Date(2026, 8, 8, 12, 0, 0, 12345, time.UTC)
+	item1 := json.RawMessage(`{"left":0,"right":0}`)
+	item2 := json.RawMessage(`{"left":1,"right":2}`)
+	task := "left L a b\nright R c d\npos 0 0\n"
+	return []session.Event{
+		{Kind: session.EventCreate, ID: "s1", Model: "join", Task: task,
+			MaxCost: 2.5, CreatedAt: now},
+		{Kind: session.EventAnswers, ID: "s1", HITs: 2, Cost: 0.2,
+			Answers: []session.Answer{{Item: item1, Positive: true}, {Item: item2}}},
+		{Kind: session.EventAnswers, ID: "s1", HITs: 3, Cost: 0.3,
+			Answers: []session.Answer{{Item: item1, Positive: true}}},
+		{Kind: session.EventCreate, ID: "s2", Model: "path", Task: "edge a r b\npos a b\n",
+			Limits:    &api.PathLimits{MaxNodes: 4096, PoolLimit: 100, PoolMaxLen: 3},
+			CreatedAt: now.Add(time.Second)},
+		{Kind: session.EventResume, ID: "s3", Snapshot: &session.Snapshot{
+			ID: "s3", Model: "join", Task: task, HITs: 1, Cost: 0.1, MaxCost: 5,
+			Answers:   []session.Answer{{Item: item1, Positive: true}},
+			CreatedAt: now, Limits: &api.PathLimits{MaxNodes: 10},
+		}},
+		{Kind: session.EventSnapshot, ID: "s1", Snapshot: &session.Snapshot{
+			ID: "s1", Model: "join", Task: task, HITs: 3, Cost: 0.3, MaxCost: 2.5,
+			Answers:   []session.Answer{{Item: item1, Positive: true}, {Item: item2}},
+			CreatedAt: now,
+		}},
+		{Kind: session.EventEvict, ID: "s3"},
+		{Kind: session.EventDelete, ID: "s2"},
+	}
+}
+
+// roundTrip encodes events through one encoder and decodes them back
+// through one decoder, payload by payload.
+func roundTrip(t *testing.T, events []session.Event) []session.Event {
+	t.Helper()
+	enc := NewEncoder()
+	var payloads [][]byte
+	for _, ev := range events {
+		buf, dictEnd, err := enc.EncodeEvent(nil, ev)
+		if err != nil {
+			t.Fatalf("encode %s: %v", ev.Kind, err)
+		}
+		if dictEnd > 0 {
+			payloads = append(payloads, buf[:dictEnd])
+		}
+		payloads = append(payloads, buf[dictEnd:])
+		enc.Commit()
+	}
+	dec := NewDecoder()
+	var out []session.Event
+	for i, p := range payloads {
+		ev, ok, err := dec.DecodePayload(p)
+		if err != nil {
+			t.Fatalf("decode payload %d: %v", i, err)
+		}
+		if ok {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	events := fixtureEvents()
+	got := roundTrip(t, events)
+	if len(got) != len(events) {
+		t.Fatalf("decoded %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if !reflect.DeepEqual(got[i], events[i]) {
+			gb, _ := json.Marshal(got[i])
+			wb, _ := json.Marshal(events[i])
+			t.Errorf("event %d diverged:\n got %s\nwant %s", i, gb, wb)
+		}
+	}
+}
+
+func TestInterningDedupes(t *testing.T) {
+	events := fixtureEvents()
+	enc := NewEncoder()
+	var total int
+	for _, ev := range events {
+		buf, _, err := enc.EncodeEvent(nil, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(buf)
+		enc.Commit()
+	}
+	jsonTotal := 0
+	for _, ev := range events {
+		b, _ := json.Marshal(ev)
+		jsonTotal += len(b)
+	}
+	if total >= jsonTotal {
+		t.Errorf("v2 encoding (%d bytes) not smaller than JSON (%d bytes)", total, jsonTotal)
+	}
+	// The shared task string and the repeated items must intern to single
+	// dictionary entries: well under one entry per string occurrence.
+	if n := enc.TableLen(); n > 12 {
+		t.Errorf("intern table has %d entries; repetition is not being deduped", n)
+	}
+}
+
+func TestRollbackForgetsPendingStrings(t *testing.T) {
+	enc := NewEncoder()
+	ev := session.Event{Kind: session.EventCreate, ID: "s1", Model: "join", Task: "t"}
+	if _, _, err := enc.EncodeEvent(nil, ev); err != nil {
+		t.Fatal(err)
+	}
+	enc.Rollback()
+	if enc.TableLen() != 0 {
+		t.Fatalf("table has %d committed entries after rollback", enc.TableLen())
+	}
+	// Re-encoding after a rollback must define the strings again (the file
+	// never saw the first dictionary).
+	buf, dictEnd, err := enc.EncodeEvent(nil, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dictEnd == 0 {
+		t.Fatal("no dictionary payload after rollback; decoder would see undefined ids")
+	}
+	enc.Commit()
+	dec := NewDecoder()
+	if _, _, err := dec.DecodePayload(buf[:dictEnd]); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := dec.DecodePayload(buf[dictEnd:])
+	if err != nil || !ok {
+		t.Fatalf("decode after rollback: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, ev) {
+		t.Fatalf("got %+v want %+v", got, ev)
+	}
+}
+
+func TestDecoderRejectsMalformed(t *testing.T) {
+	enc := NewEncoder()
+	buf, dictEnd, err := enc.EncodeEvent(nil, session.Event{
+		Kind: session.EventCreate, ID: "s1", Model: "join", Task: "task",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.Commit()
+	dict, event := buf[:dictEnd], buf[dictEnd:]
+
+	cases := map[string][]byte{
+		"empty":                 {},
+		"unknown tag":           {0x7f, 1, 2, 3},
+		"unknown kind":          {TagEvent, 0xee},
+		"truncated event":       event[:len(event)-1],
+		"trailing garbage":      append(append([]byte{}, event...), 0xff),
+		"undefined string id":   event, // decoded below WITHOUT the dict first
+		"truncated dict":        dict[:len(dict)-1],
+		"dict trailing garbage": append(append([]byte{}, dict...), 0xff),
+	}
+	for name, payload := range cases {
+		dec := NewDecoder()
+		if _, _, err := dec.DecodePayload(payload); err == nil {
+			t.Errorf("%s: decoder accepted malformed payload % x", name, payload)
+		}
+	}
+
+	// An implausible field bitmap must be rejected, not silently masked.
+	bad := []byte{TagEvent, kindDelete}
+	bad = appendUvarint(bad, uint64(evSnapshot)<<3)
+	if _, _, err := NewDecoder().DecodePayload(bad); err == nil {
+		t.Error("decoder accepted unknown field bits")
+	}
+}
+
+func TestIsV2(t *testing.T) {
+	if IsV2([]byte(`{"kind":"create"}`)) {
+		t.Error("JSON payload classified as v2")
+	}
+	if !IsV2([]byte{TagDict, 0}) || !IsV2([]byte{TagEvent, 1, 0}) {
+		t.Error("v2 payloads not recognized")
+	}
+	if IsV2(nil) {
+		t.Error("empty payload classified as v2")
+	}
+}

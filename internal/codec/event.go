@@ -1,0 +1,551 @@
+package codec
+
+import (
+	"encoding/json"
+	"time"
+
+	"querylearn/internal/session"
+	"querylearn/pkg/api"
+)
+
+// Event kind bytes. The wire enum is frozen: new kinds append, nothing is
+// renumbered (a v2 journal outlives the binary that wrote it).
+const (
+	kindCreate byte = iota + 1
+	kindResume
+	kindAnswers
+	kindDelete
+	kindEvict
+	kindSnapshot
+)
+
+var kindToByte = map[string]byte{
+	session.EventCreate:   kindCreate,
+	session.EventResume:   kindResume,
+	session.EventAnswers:  kindAnswers,
+	session.EventDelete:   kindDelete,
+	session.EventEvict:    kindEvict,
+	session.EventSnapshot: kindSnapshot,
+}
+
+var byteToKind = map[byte]string{
+	kindCreate:   session.EventCreate,
+	kindResume:   session.EventResume,
+	kindAnswers:  session.EventAnswers,
+	kindDelete:   session.EventDelete,
+	kindEvict:    session.EventEvict,
+	kindSnapshot: session.EventSnapshot,
+}
+
+// Presence bits of an event payload's field bitmap.
+const (
+	evID = 1 << iota
+	evModel
+	evTask
+	evMaxCost
+	evLimits
+	evCreatedAt
+	evAnswers
+	evHITs
+	evCost
+	evSnapshot
+)
+
+// Presence bits of a snapshot's field bitmap.
+const (
+	snID = 1 << iota
+	snModel
+	snTask
+	snAnswers
+	snHITs
+	snCost
+	snMaxCost
+	snCreatedAt
+	snLimits
+)
+
+// Encoder turns session events into v2 payloads against one per-file
+// intern table. It is not safe for concurrent use; the store serializes
+// encodes under its append lock. The encode is transactional: after the
+// returned payloads are durably in the file call Commit, after a failed
+// write (rolled back by truncation) call Rollback, so the encoder's table
+// never references strings the file does not define.
+type Encoder struct {
+	table *internTable
+	// scratch holds the event payload while the dictionary — only known
+	// once every string is interned — is placed before it; reused across
+	// encodes so the steady state allocates nothing.
+	scratch []byte
+	// events counts committed event payloads, for metrics.
+	events int64
+}
+
+// NewEncoder returns an encoder with an empty intern table — one per
+// journal file generation (a compaction rewrite starts a fresh one).
+func NewEncoder() *Encoder {
+	return &Encoder{table: newInternTable()}
+}
+
+// EncodeEvent appends to dst: an optional TagDict payload defining any
+// strings this event references for the first time, then the TagEvent
+// payload itself. It returns the extended buffer and the boundary offset
+// between the two payloads (dictEnd == start when no dictionary was
+// needed), so the caller can frame each payload as its own CRC record with
+// the dictionary first.
+func (e *Encoder) EncodeEvent(dst []byte, ev session.Event) (buf []byte, dictEnd int, err error) {
+	kind, ok := kindToByte[ev.Kind]
+	if !ok {
+		return dst, len(dst), corruptf("unknown event kind %q", ev.Kind)
+	}
+	e.scratch = e.appendEvent(e.scratch[:0], kind, ev)
+	dst = e.table.appendDict(dst)
+	dictEnd = len(dst)
+	return append(dst, e.scratch...), dictEnd, nil
+}
+
+// Commit finalizes the last EncodeEvent: its frames reached the file.
+func (e *Encoder) Commit() {
+	e.table.commit()
+	e.events++
+}
+
+// Rollback forgets the last EncodeEvent: its frames were rolled back.
+func (e *Encoder) Rollback() { e.table.rollback() }
+
+// TableLen reports the committed intern-table entry count.
+func (e *Encoder) TableLen() int { return int(e.table.n) }
+
+// TableBytes reports the total committed string bytes in the table.
+func (e *Encoder) TableBytes() int64 { return e.table.bytes }
+
+// Events reports the committed event count.
+func (e *Encoder) Events() int64 { return e.events }
+
+func (e *Encoder) appendEvent(dst []byte, kind byte, ev session.Event) []byte {
+	dst = append(dst, TagEvent, kind)
+	var bits uint64
+	if ev.ID != "" {
+		bits |= evID
+	}
+	if ev.Model != "" {
+		bits |= evModel
+	}
+	if ev.Task != "" {
+		bits |= evTask
+	}
+	if ev.MaxCost != 0 {
+		bits |= evMaxCost
+	}
+	if ev.Limits != nil {
+		bits |= evLimits
+	}
+	if !ev.CreatedAt.IsZero() {
+		bits |= evCreatedAt
+	}
+	if ev.Answers != nil {
+		bits |= evAnswers
+	}
+	if ev.HITs != 0 {
+		bits |= evHITs
+	}
+	if ev.Cost != 0 {
+		bits |= evCost
+	}
+	if ev.Snapshot != nil {
+		bits |= evSnapshot
+	}
+	dst = appendUvarint(dst, bits)
+	if bits&evID != 0 {
+		dst = appendUvarint(dst, uint64(e.table.intern(ev.ID)))
+	}
+	if bits&evModel != 0 {
+		dst = appendUvarint(dst, uint64(e.table.intern(ev.Model)))
+	}
+	if bits&evTask != 0 {
+		dst = appendUvarint(dst, uint64(e.table.intern(ev.Task)))
+	}
+	if bits&evMaxCost != 0 {
+		dst = appendFloat(dst, ev.MaxCost)
+	}
+	if bits&evLimits != 0 {
+		dst = appendLimits(dst, ev.Limits)
+	}
+	if bits&evCreatedAt != 0 {
+		dst = appendTime(dst, ev.CreatedAt)
+	}
+	if bits&evAnswers != 0 {
+		dst = e.appendAnswers(dst, ev.Answers)
+	}
+	if bits&evHITs != 0 {
+		dst = appendVarint(dst, int64(ev.HITs))
+	}
+	if bits&evCost != 0 {
+		dst = appendFloat(dst, ev.Cost)
+	}
+	if bits&evSnapshot != 0 {
+		dst = e.appendSnapshot(dst, ev.Snapshot)
+	}
+	return dst
+}
+
+func (e *Encoder) appendAnswers(dst []byte, answers []session.Answer) []byte {
+	dst = appendUvarint(dst, uint64(len(answers)))
+	for _, a := range answers {
+		dst = appendUvarint(dst, uint64(e.table.intern(string(a.Item))))
+		if a.Positive {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+func (e *Encoder) appendSnapshot(dst []byte, s *session.Snapshot) []byte {
+	var bits uint64
+	if s.ID != "" {
+		bits |= snID
+	}
+	if s.Model != "" {
+		bits |= snModel
+	}
+	if s.Task != "" {
+		bits |= snTask
+	}
+	if s.Answers != nil {
+		bits |= snAnswers
+	}
+	if s.HITs != 0 {
+		bits |= snHITs
+	}
+	if s.Cost != 0 {
+		bits |= snCost
+	}
+	if s.MaxCost != 0 {
+		bits |= snMaxCost
+	}
+	if !s.CreatedAt.IsZero() {
+		bits |= snCreatedAt
+	}
+	if s.Limits != nil {
+		bits |= snLimits
+	}
+	dst = appendUvarint(dst, bits)
+	if bits&snID != 0 {
+		dst = appendUvarint(dst, uint64(e.table.intern(s.ID)))
+	}
+	if bits&snModel != 0 {
+		dst = appendUvarint(dst, uint64(e.table.intern(s.Model)))
+	}
+	if bits&snTask != 0 {
+		dst = appendUvarint(dst, uint64(e.table.intern(s.Task)))
+	}
+	if bits&snAnswers != 0 {
+		dst = e.appendAnswers(dst, s.Answers)
+	}
+	if bits&snHITs != 0 {
+		dst = appendVarint(dst, int64(s.HITs))
+	}
+	if bits&snCost != 0 {
+		dst = appendFloat(dst, s.Cost)
+	}
+	if bits&snMaxCost != 0 {
+		dst = appendFloat(dst, s.MaxCost)
+	}
+	if bits&snCreatedAt != 0 {
+		dst = appendTime(dst, s.CreatedAt)
+	}
+	if bits&snLimits != 0 {
+		dst = appendLimits(dst, s.Limits)
+	}
+	return dst
+}
+
+func appendLimits(dst []byte, l *api.PathLimits) []byte {
+	dst = appendVarint(dst, int64(l.MaxNodes))
+	dst = appendVarint(dst, int64(l.PoolLimit))
+	return appendVarint(dst, int64(l.PoolMaxLen))
+}
+
+// appendTime encodes t via its binary marshaling — an exact round-trip
+// (wall clock, nanoseconds, zone offset), unlike a unix-nano normalization,
+// so a v2 journal reproduces v1's timestamps bit for bit.
+func appendTime(dst []byte, t time.Time) []byte {
+	b, err := t.MarshalBinary()
+	if err != nil {
+		// MarshalBinary only fails on a malformed zone cache entry; encode
+		// the normalized instant rather than corrupting the record.
+		b, _ = t.Round(0).UTC().MarshalBinary()
+	}
+	dst = appendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// Decoder reconstructs session events from v2 payloads, mirroring the
+// encoder's intern table as TagDict payloads stream past. Not safe for
+// concurrent use.
+type Decoder struct {
+	table []string
+	// items lazily caches table entries as json.RawMessage so the answer
+	// items that repeat across thousands of records decode to ONE shared
+	// backing array instead of a fresh copy per reference — the decode-side
+	// interning win.
+	items []json.RawMessage
+	// bytesIn counts payload bytes consumed, for metrics.
+	bytesIn int64
+}
+
+// NewDecoder returns a decoder with an empty table.
+func NewDecoder() *Decoder { return &Decoder{} }
+
+// TableLen reports the current intern-table entry count.
+func (d *Decoder) TableLen() int { return len(d.table) }
+
+// Table exposes the current intern table in id order. The slice is shared
+// with the decoder; callers must not mutate it (journal-dump forensics).
+func (d *Decoder) Table() []string { return d.table }
+
+// BytesIn reports the total payload bytes decoded.
+func (d *Decoder) BytesIn() int64 { return d.bytesIn }
+
+// IsV2 reports whether a record payload is a v2 frame this package decodes
+// (as opposed to a v1 JSON record, whose first byte is '{').
+func IsV2(payload []byte) bool {
+	return len(payload) > 0 && (payload[0] == TagDict || payload[0] == TagEvent)
+}
+
+// DecodePayload consumes one v2 payload. A TagDict payload extends the
+// table and returns ok=false (no event); a TagEvent payload returns the
+// decoded event and ok=true. Any malformation — truncation, out-of-table
+// string ids, trailing bytes, unknown tags or kinds — is an error wrapping
+// ErrCorrupt; the decoder never panics on arbitrary input.
+func (d *Decoder) DecodePayload(payload []byte) (ev session.Event, ok bool, err error) {
+	if len(payload) == 0 {
+		return ev, false, corruptf("empty payload")
+	}
+	d.bytesIn += int64(len(payload))
+	switch payload[0] {
+	case TagDict:
+		d.table, err = decodeDict(d.table, payload)
+		return ev, false, err
+	case TagEvent:
+		ev, err = d.decodeEvent(payload)
+		return ev, err == nil, err
+	}
+	return ev, false, corruptf("unknown payload tag 0x%02x", payload[0])
+}
+
+func (d *Decoder) str(r *reader) (string, error) {
+	id, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if id >= uint64(len(d.table)) {
+		return "", corruptf("string id %d outside table of %d", id, len(d.table))
+	}
+	return d.table[id], nil
+}
+
+// item resolves a string reference as shared json.RawMessage bytes.
+func (d *Decoder) item(r *reader) (json.RawMessage, error) {
+	id, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if id >= uint64(len(d.table)) {
+		return nil, corruptf("string id %d outside table of %d", id, len(d.table))
+	}
+	if len(d.items) < len(d.table) {
+		d.items = append(d.items, make([]json.RawMessage, len(d.table)-len(d.items))...)
+	}
+	if d.items[id] == nil {
+		d.items[id] = json.RawMessage(d.table[id])
+	}
+	return d.items[id], nil
+}
+
+func (d *Decoder) decodeEvent(payload []byte) (session.Event, error) {
+	var ev session.Event
+	r := &reader{buf: payload, off: 1} // skip the tag
+	kb, err := r.byte()
+	if err != nil {
+		return ev, err
+	}
+	kind, ok := byteToKind[kb]
+	if !ok {
+		return ev, corruptf("unknown event kind byte 0x%02x", kb)
+	}
+	ev.Kind = kind
+	bits, err := r.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	if bits >= evSnapshot<<1 {
+		return ev, corruptf("unknown event field bits %#x", bits)
+	}
+	if bits&evID != 0 {
+		if ev.ID, err = d.str(r); err != nil {
+			return ev, err
+		}
+	}
+	if bits&evModel != 0 {
+		if ev.Model, err = d.str(r); err != nil {
+			return ev, err
+		}
+	}
+	if bits&evTask != 0 {
+		if ev.Task, err = d.str(r); err != nil {
+			return ev, err
+		}
+	}
+	if bits&evMaxCost != 0 {
+		if ev.MaxCost, err = r.float(); err != nil {
+			return ev, err
+		}
+	}
+	if bits&evLimits != 0 {
+		if ev.Limits, err = decodeLimits(r); err != nil {
+			return ev, err
+		}
+	}
+	if bits&evCreatedAt != 0 {
+		if ev.CreatedAt, err = decodeTime(r); err != nil {
+			return ev, err
+		}
+	}
+	if bits&evAnswers != 0 {
+		if ev.Answers, err = d.decodeAnswers(r); err != nil {
+			return ev, err
+		}
+	}
+	if bits&evHITs != 0 {
+		v, err := r.varint()
+		if err != nil {
+			return ev, err
+		}
+		ev.HITs = int(v)
+	}
+	if bits&evCost != 0 {
+		if ev.Cost, err = r.float(); err != nil {
+			return ev, err
+		}
+	}
+	if bits&evSnapshot != 0 {
+		snap, err := d.decodeSnapshot(r)
+		if err != nil {
+			return ev, err
+		}
+		ev.Snapshot = &snap
+	}
+	return ev, r.done()
+}
+
+func (d *Decoder) decodeAnswers(r *reader) ([]session.Answer, error) {
+	count, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each answer takes at least two bytes (id varint + verdict byte).
+	if count > uint64(r.remaining()/2)+1 {
+		return nil, corruptf("implausible answer count %d", count)
+	}
+	answers := make([]session.Answer, 0, count)
+	for i := uint64(0); i < count; i++ {
+		item, err := d.item(r)
+		if err != nil {
+			return nil, err
+		}
+		verdict, err := r.byte()
+		if err != nil {
+			return nil, err
+		}
+		if verdict > 1 {
+			return nil, corruptf("answer verdict byte 0x%02x", verdict)
+		}
+		answers = append(answers, session.Answer{Item: item, Positive: verdict == 1})
+	}
+	return answers, nil
+}
+
+func (d *Decoder) decodeSnapshot(r *reader) (session.Snapshot, error) {
+	var s session.Snapshot
+	bits, err := r.uvarint()
+	if err != nil {
+		return s, err
+	}
+	if bits >= snLimits<<1 {
+		return s, corruptf("unknown snapshot field bits %#x", bits)
+	}
+	if bits&snID != 0 {
+		if s.ID, err = d.str(r); err != nil {
+			return s, err
+		}
+	}
+	if bits&snModel != 0 {
+		if s.Model, err = d.str(r); err != nil {
+			return s, err
+		}
+	}
+	if bits&snTask != 0 {
+		if s.Task, err = d.str(r); err != nil {
+			return s, err
+		}
+	}
+	if bits&snAnswers != 0 {
+		if s.Answers, err = d.decodeAnswers(r); err != nil {
+			return s, err
+		}
+	}
+	if bits&snHITs != 0 {
+		v, err := r.varint()
+		if err != nil {
+			return s, err
+		}
+		s.HITs = int(v)
+	}
+	if bits&snCost != 0 {
+		if s.Cost, err = r.float(); err != nil {
+			return s, err
+		}
+	}
+	if bits&snMaxCost != 0 {
+		if s.MaxCost, err = r.float(); err != nil {
+			return s, err
+		}
+	}
+	if bits&snCreatedAt != 0 {
+		if s.CreatedAt, err = decodeTime(r); err != nil {
+			return s, err
+		}
+	}
+	if bits&snLimits != 0 {
+		if s.Limits, err = decodeLimits(r); err != nil {
+			return s, err
+		}
+	}
+	return s, nil
+}
+
+func decodeLimits(r *reader) (*api.PathLimits, error) {
+	var l api.PathLimits
+	for _, field := range []*int{&l.MaxNodes, &l.PoolLimit, &l.PoolMaxLen} {
+		v, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		*field = int(v)
+	}
+	return &l, nil
+}
+
+func decodeTime(r *reader) (time.Time, error) {
+	b, err := r.bytes()
+	if err != nil {
+		return time.Time{}, err
+	}
+	var t time.Time
+	if err := t.UnmarshalBinary(b); err != nil {
+		return time.Time{}, corruptf("timestamp: %v", err)
+	}
+	return t, nil
+}

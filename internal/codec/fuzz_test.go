@@ -1,0 +1,139 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"querylearn/internal/session"
+	"querylearn/pkg/api"
+)
+
+var fuzzKinds = []string{
+	session.EventCreate, session.EventResume, session.EventAnswers,
+	session.EventDelete, session.EventEvict, session.EventSnapshot,
+}
+
+// fuzzEvent deterministically builds an event from fuzzed primitives. Items
+// are kept non-empty (an empty item interns to "" and decodes to an empty
+// non-nil RawMessage, a nil-vs-empty artifact outside the codec's contract:
+// the session layer never journals empty items).
+func fuzzEvent(kindSel byte, id, model, task string, costBits uint64,
+	hasLimits bool, maxNodes, poolLimit, poolMaxLen int,
+	sec, nsec int64, itemSeed []byte, positive, withSnapshot bool) session.Event {
+
+	cost := math.Float64frombits(costBits)
+	if math.IsNaN(cost) {
+		cost = 0 // NaN != NaN would fail DeepEqual without being a codec bug
+	}
+	var answers []session.Answer
+	for i := 0; i < len(itemSeed) && i < 4; i++ {
+		answers = append(answers, session.Answer{
+			Item:     []byte(fmt.Sprintf(`{"v":%d}`, itemSeed[i])),
+			Positive: positive != (i%2 == 0),
+		})
+	}
+	var limits *api.PathLimits
+	if hasLimits {
+		limits = &api.PathLimits{MaxNodes: maxNodes, PoolLimit: poolLimit, PoolMaxLen: poolMaxLen}
+	}
+	ev := session.Event{
+		Kind:      fuzzKinds[int(kindSel)%len(fuzzKinds)],
+		ID:        id,
+		Model:     model,
+		Task:      task,
+		MaxCost:   cost,
+		Limits:    limits,
+		CreatedAt: time.Unix(sec%(1<<40), nsec).UTC(),
+		Answers:   answers,
+		HITs:      int(int32(costBits)),
+		Cost:      cost / 2,
+	}
+	if withSnapshot {
+		ev.Snapshot = &session.Snapshot{
+			ID: id, Model: model, Task: task, Answers: answers,
+			HITs: ev.HITs, Cost: ev.Cost, MaxCost: cost,
+			CreatedAt: ev.CreatedAt, Limits: limits,
+		}
+	}
+	return ev
+}
+
+// FuzzCodecRoundTrip checks encode→decode == identity on arbitrary events,
+// including dictionary continuity across consecutive events sharing strings.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(byte(0), "s1", "join", "left L a b\n", uint64(0x4004000000000000),
+		true, 4096, 100, 3, int64(1754650000), int64(12345), []byte{1, 2, 1}, true, false)
+	f.Add(byte(5), "", "", "", uint64(0), false, 0, 0, 0, int64(0), int64(0), []byte{}, false, true)
+	f.Add(byte(2), "id", "path", "edge a r b\n", uint64(math.MaxUint64),
+		false, -1, -2, -3, int64(-5), int64(2e9), []byte{7}, false, true)
+	f.Fuzz(func(t *testing.T, kindSel byte, id, model, task string, costBits uint64,
+		hasLimits bool, maxNodes, poolLimit, poolMaxLen int,
+		sec, nsec int64, itemSeed []byte, positive, withSnapshot bool) {
+
+		ev := fuzzEvent(kindSel, id, model, task, costBits, hasLimits,
+			maxNodes, poolLimit, poolMaxLen, sec, nsec, itemSeed, positive, withSnapshot)
+		// A second event reusing the same strings exercises the already-
+		// interned path (no dictionary frame the second time).
+		events := []session.Event{ev, ev}
+
+		enc := NewEncoder()
+		dec := NewDecoder()
+		for i, want := range events {
+			buf, dictEnd, err := enc.EncodeEvent(nil, want)
+			if err != nil {
+				t.Fatalf("encode %d: %v", i, err)
+			}
+			if i > 0 && dictEnd != 0 {
+				t.Fatalf("second identical event re-emitted a dictionary (%d bytes)", dictEnd)
+			}
+			enc.Commit()
+			if dictEnd > 0 {
+				if _, ok, err := dec.DecodePayload(buf[:dictEnd]); err != nil || ok {
+					t.Fatalf("dict payload: ok=%v err=%v", ok, err)
+				}
+			}
+			got, ok, err := dec.DecodePayload(buf[dictEnd:])
+			if err != nil || !ok {
+				t.Fatalf("decode %d: ok=%v err=%v", i, ok, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("event %d diverged:\n got %#v\nwant %#v", i, got, want)
+			}
+		}
+	})
+}
+
+// FuzzCodecDecode feeds arbitrary bytes to the strict decoder: it must never
+// panic, and every rejection must wrap ErrCorrupt.
+func FuzzCodecDecode(f *testing.F) {
+	enc := NewEncoder()
+	for _, ev := range fixtureEvents() {
+		buf, dictEnd, err := enc.EncodeEvent(nil, ev)
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc.Commit()
+		if dictEnd > 0 {
+			f.Add(buf[:dictEnd])
+		}
+		f.Add(buf[dictEnd:])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{TagDict, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{TagEvent, kindAnswers, byte(evAnswers), 0x10})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		dec := NewDecoder()
+		// Feed the same payload twice: the second pass sees a non-empty
+		// table if the first was a valid dict.
+		for i := 0; i < 2; i++ {
+			_, _, err := dec.DecodePayload(payload)
+			if err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt rejection: %v", err)
+			}
+		}
+	})
+}

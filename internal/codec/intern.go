@@ -1,0 +1,104 @@
+package codec
+
+import "fmt"
+
+// The per-file string intern table. An Encoder assigns ids to distinct
+// strings in first-reference order; new strings accumulate as "pending"
+// until the caller flushes them into a TagDict payload, which MUST land in
+// the file before any payload referencing them. The Decoder mirrors the
+// table by applying dict payloads in file order.
+//
+// The encoder side is transactional around the store's write+rollback
+// machinery: EncodeEvent interns provisionally, and the caller either
+// Commits (the frames reached the file) or Rollbacks (the write failed and
+// the file was truncated back, so the strings were never defined on disk).
+
+// maxDictStrings bounds one dictionary payload's entry count during decode
+// beyond what its byte length already implies — belt and braces against a
+// corrupted count field.
+const maxDictStrings = 1 << 24
+
+// internTable is the encoder-side string→id map.
+type internTable struct {
+	ids map[string]uint32
+	// n counts committed strings; pending are interned but not yet flushed
+	// in a dict payload (their ids are n, n+1, ...).
+	n       uint32
+	pending []string
+	// bytes tracks the total length of committed strings, for the
+	// querylearn_codec_intern_bytes gauge.
+	bytes int64
+}
+
+func newInternTable() *internTable {
+	return &internTable{ids: make(map[string]uint32)}
+}
+
+// intern returns the id of s, assigning a provisional one on first sight.
+func (t *internTable) intern(s string) uint32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := t.n + uint32(len(t.pending))
+	t.ids[s] = id
+	t.pending = append(t.pending, s)
+	return id
+}
+
+// appendDict flushes the pending strings as a TagDict payload appended to
+// dst, or returns dst unchanged when nothing is pending. The caller must
+// still Commit or rollback afterwards.
+func (t *internTable) appendDict(dst []byte) []byte {
+	if len(t.pending) == 0 {
+		return dst
+	}
+	dst = append(dst, TagDict)
+	dst = appendUvarint(dst, uint64(len(t.pending)))
+	for _, s := range t.pending {
+		dst = appendUvarint(dst, uint64(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// commit makes the pending strings permanent.
+func (t *internTable) commit() {
+	t.n += uint32(len(t.pending))
+	for _, s := range t.pending {
+		t.bytes += int64(len(s))
+	}
+	t.pending = t.pending[:0]
+}
+
+// rollback forgets the pending strings — the frames defining them never
+// reached the file.
+func (t *internTable) rollback() {
+	for _, s := range t.pending {
+		delete(t.ids, s)
+	}
+	t.pending = t.pending[:0]
+}
+
+// decodeDict applies one TagDict payload (tag byte included) to the
+// decoder-side table.
+func decodeDict(table []string, payload []byte) ([]string, error) {
+	r := &reader{buf: payload, off: 1} // skip the tag
+	count, err := r.uvarint()
+	if err != nil {
+		return table, err
+	}
+	if count > maxDictStrings || count > uint64(r.remaining()) {
+		return table, corruptf("implausible dictionary entry count %d", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		b, err := r.bytes()
+		if err != nil {
+			return table, fmt.Errorf("dictionary entry %d: %w", i, err)
+		}
+		table = append(table, string(b))
+	}
+	if err := r.done(); err != nil {
+		return table, err
+	}
+	return table, nil
+}

@@ -31,6 +31,19 @@ type Table struct {
 	// measure request latency: means alone hide the tail the crowd-learning
 	// setting cares about, so T11/T13/T15/T16 publish p50/p99/p999 here.
 	Latency []LatencyStat `json:"latency,omitempty"`
+	// Mem carries labeled allocation benchmarks (testing.Benchmark) for
+	// experiments that check memory claims: T17 publishes allocs/op and
+	// bytes/op for the POST answers path here.
+	Mem []MemStat `json:"mem,omitempty"`
+}
+
+// MemStat is one labeled allocation benchmark result.
+type MemStat struct {
+	Label       string  `json:"label"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 // LatencyStat is one labeled latency distribution, summarized from an
@@ -128,6 +141,7 @@ func Registry() []Experiment {
 		{"T14", T14BigGraphSessions},
 		{"T15", T15FaultAvailability},
 		{"T16", T16SaturationCurve},
+		{"T17", T17CodecRecovery},
 	}
 }
 

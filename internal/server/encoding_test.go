@@ -1,0 +1,69 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"querylearn/internal/session"
+	"querylearn/pkg/api"
+)
+
+// TestPooledEncodingByteIdentical pins the pooled writer's contract: its
+// output is byte-for-byte what the allocate-per-response path produced
+// (MarshalIndent two-space + trailing newline), including HTML-escaping and
+// headers, so enabling the pool is invisible on the wire.
+func TestPooledEncodingByteIdentical(t *testing.T) {
+	mgr := session.NewManager(session.Config{})
+	pooled := New(mgr)
+	baseline := New(mgr, WithPooledEncoding(false))
+
+	values := []any{
+		api.CreateResponse{ID: "s1", Model: "join"},
+		api.QuestionsResponse{Done: false, Questions: []session.Question{
+			{Item: json.RawMessage(`{"left":0,"right":1}`), Remaining: 3},
+		}},
+		api.ErrorResponse{Error: &api.Error{Code: api.CodeBadJSON, Message: `needs <escaping> & "quotes"`}},
+		map[string]any{"nested": map[string]any{"html": "<b>&</b>", "n": 1.5}},
+	}
+	for i, v := range values {
+		rp, rb := httptest.NewRecorder(), httptest.NewRecorder()
+		pooled.writeJSON(rp, 200, v)
+		baseline.writeJSON(rb, 200, v)
+		if got, want := rp.Body.String(), rb.Body.String(); got != want {
+			t.Errorf("value %d diverged:\npooled   %q\nbaseline %q", i, got, want)
+		}
+		if got, want := rp.Header().Get("Content-Type"), rb.Header().Get("Content-Type"); got != want {
+			t.Errorf("value %d content-type: pooled %q baseline %q", i, got, want)
+		}
+	}
+}
+
+// TestPooledEncodingConcurrent hammers the pooled path from many goroutines
+// (run under -race in CI): recycled buffers must never leak bytes across
+// responses.
+func TestPooledEncodingConcurrent(t *testing.T) {
+	s := New(session.NewManager(session.Config{}))
+	want := map[int]string{}
+	for i := 0; i < 8; i++ {
+		b, _ := json.MarshalIndent(api.CreateResponse{ID: string(rune('a' + i)), Model: "join"}, "", "  ")
+		want[i] = string(b) + "\n"
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				rec := httptest.NewRecorder()
+				s.writeJSON(rec, 200, api.CreateResponse{ID: string(rune('a' + i)), Model: "join"})
+				if rec.Body.String() != want[i] {
+					t.Errorf("goroutine %d saw cross-talk: %q", i, rec.Body.String())
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

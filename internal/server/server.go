@@ -40,6 +40,7 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -70,6 +71,10 @@ type Server struct {
 
 	// obsReg is the registry handed in by WithObs (nil = private registry).
 	obsReg *obs.Registry
+	// pooledEnc selects the pooled response-encoding path (default true);
+	// WithPooledEncoding(false) restores per-response allocation, kept as
+	// the measured baseline for the T17 experiment.
+	pooledEnc bool
 	// Slow-request structured logging (WithSlowRequestLog); slowLog nil
 	// disables it.
 	slowLog       *slog.Logger
@@ -106,6 +111,14 @@ func WithObs(reg *obs.Registry) Option {
 	return func(s *Server) { s.obsReg = reg }
 }
 
+// WithPooledEncoding toggles the pooled response-encoding path (on by
+// default). Off, every response allocates its own buffer and rendered body
+// — the pre-pooling behavior, used as the baseline arm of the allocation
+// benchmarks.
+func WithPooledEncoding(enabled bool) Option {
+	return func(s *Server) { s.pooledEnc = enabled }
+}
+
 // WithSlowRequestLog enables structured slow-request logging: requests at or
 // above threshold emit one slog record carrying the request id, endpoint,
 // status, total duration, and the per-phase trace breakdown. every samples
@@ -131,10 +144,11 @@ type handler func(w http.ResponseWriter, r *http.Request) *apiError
 // unversioned infra endpoints (/metrics, /healthz).
 func New(mgr *session.Manager, opts ...Option) *Server {
 	s := &Server{
-		mgr:     mgr,
-		mux:     http.NewServeMux(),
-		idem:    newIdemCache(idemCacheCap),
-		maxBody: maxBodyBytes,
+		mgr:       mgr,
+		mux:       http.NewServeMux(),
+		idem:      newIdemCache(idemCacheCap),
+		maxBody:   maxBodyBytes,
+		pooledEnc: true,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -284,7 +298,7 @@ func (s *Server) wrap(name string, deprecated bool, h handler) http.HandlerFunc 
 			if e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable {
 				sw.Header().Set(api.RetryAfterHeader, retryAfterSeconds)
 			}
-			writeJSON(sw, e.Status, api.ErrorResponse{Error: &e.Error})
+			s.writeJSON(sw, e.Status, api.ErrorResponse{Error: &e.Error})
 		}
 		if !infra {
 			admitDone := tr.StartPhase("admission.wait")
@@ -367,14 +381,42 @@ func statusLabel(status int) string {
 	return strconv.Itoa(status)
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	b, err := marshalBody(v)
-	if err != nil {
-		// Our own response types always marshal; defend anyway.
+// encodeBufPool recycles response-encoding buffers across requests; the
+// steady-state /v1 hot path allocates no per-request bytes.Buffer or
+// rendered-body slice. Buffers that grew past encodeBufMax (a huge session
+// list or snapshot) are dropped rather than pinned in the pool.
+var encodeBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const encodeBufMax = 1 << 20
+
+// writeJSON renders v exactly like marshalBody (two-space indent plus a
+// trailing newline — json.Encoder with SetIndent is byte-identical) but
+// through a pooled buffer written straight to the wire. WithPooledEncoding
+// (false) falls back to the allocate-per-response path.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	if !s.pooledEnc {
+		b, err := marshalBody(v)
+		if err != nil {
+			// Our own response types always marshal; defend anyway.
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		writeRaw(w, status, b)
+		return
+	}
+	buf := encodeBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	enc := json.NewEncoder(buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		encodeBufPool.Put(buf)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeRaw(w, status, b)
+	writeRaw(w, status, buf.Bytes())
+	if buf.Cap() <= encodeBufMax {
+		encodeBufPool.Put(buf)
+	}
 }
 
 // writeRaw emits pre-rendered JSON — the shared tail of the normal path and
@@ -457,7 +499,7 @@ func (s *Server) idempotent(w http.ResponseWriter, r *http.Request, v1 bool, sco
 		if e != nil {
 			return e
 		}
-		writeJSON(w, status, v)
+		s.writeJSON(w, status, v)
 		return nil
 	}
 	sum := sha256.Sum256(body)
@@ -532,7 +574,7 @@ func (s *Server) handleResume(v1 bool) handler {
 		if err != nil {
 			return fromManager(err)
 		}
-		writeJSON(w, http.StatusCreated, api.CreateResponse{ID: sess.ID(), Model: sess.Model()})
+		s.writeJSON(w, http.StatusCreated, api.CreateResponse{ID: sess.ID(), Model: sess.Model()})
 		return nil
 	}
 }
@@ -543,7 +585,7 @@ func (s *Server) handleStatus(bool) handler {
 		if e != nil {
 			return e
 		}
-		writeJSON(w, http.StatusOK, sess.Status())
+		s.writeJSON(w, http.StatusOK, sess.Status())
 		return nil
 	}
 }
@@ -562,7 +604,7 @@ func (s *Server) handleQuestion(bool) handler {
 		if len(qs) > 0 {
 			resp.Question = &qs[0]
 		}
-		writeJSON(w, http.StatusOK, resp)
+		s.writeJSON(w, http.StatusOK, resp)
 		return nil
 	}
 }
@@ -591,7 +633,7 @@ func (s *Server) handleQuestions(w http.ResponseWriter, r *http.Request) *apiErr
 	if err != nil {
 		return fromManager(err)
 	}
-	writeJSON(w, http.StatusOK, api.QuestionsResponse{Done: len(qs) == 0, Questions: qs})
+	s.writeJSON(w, http.StatusOK, api.QuestionsResponse{Done: len(qs) == 0, Questions: qs})
 	return nil
 }
 
@@ -611,7 +653,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) *apiError {
 	if statuses == nil {
 		statuses = []session.Status{} // an empty page is [], not null
 	}
-	writeJSON(w, http.StatusOK, api.SessionList{Sessions: statuses, NextPageToken: next})
+	s.writeJSON(w, http.StatusOK, api.SessionList{Sessions: statuses, NextPageToken: next})
 	return nil
 }
 
@@ -649,7 +691,7 @@ func (s *Server) handleQuery(bool) handler {
 		if err != nil {
 			return fromManager(err)
 		}
-		writeJSON(w, http.StatusOK, h)
+		s.writeJSON(w, http.StatusOK, h)
 		return nil
 	}
 }
@@ -660,7 +702,7 @@ func (s *Server) handleSnapshot(bool) handler {
 		if e != nil {
 			return e
 		}
-		writeJSON(w, http.StatusOK, sess.Snapshot())
+		s.writeJSON(w, http.StatusOK, sess.Snapshot())
 		return nil
 	}
 }
@@ -761,7 +803,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) *apiError
 	if s.faults != nil {
 		resp.Faults = &faultMetrics{Injected: s.faults.Injected(), Points: s.faults.Counts()}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return nil
 }
 
@@ -823,6 +865,6 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *apiError
 			resp.Degraded = d
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeJSON(w, http.StatusOK, resp)
 	return nil
 }

@@ -1,0 +1,121 @@
+package session
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// itemInterner canonicalizes answer-item bytes across the whole manager.
+//
+// Answer items arrive as json.RawMessage slices pointing into per-request
+// body buffers, and a version-space dialogue labels the same small question
+// vocabulary over and over: every session's answer log, every snapshot, and
+// every journaled event would otherwise retain its own copy of the same few
+// objects — each one pinning its whole request-body allocation alive.
+// Interning swaps each item for one shared canonical copy, so the steady
+// state holds the vocabulary once and answer batches retain nothing of
+// their transport buffers.
+//
+// The table is capped: past internMaxItems entries or internMaxBytes total,
+// new items pass through un-interned (correctness is unaffected — interning
+// is purely a sharing optimization, and an adversarial stream of distinct
+// items must not grow memory without bound).
+const (
+	internMaxItems = 1 << 20
+	internMaxBytes = 256 << 20
+)
+
+type itemInterner struct {
+	mu    sync.Mutex
+	items map[string]json.RawMessage
+	bytes int64
+	// decoded memoizes decodeItem results per model: the typed struct an
+	// item's bytes decode to is a pure function of (model, bytes) — range
+	// and existence checks against a session's task stay per-call — so
+	// equal items across requests and sessions decode once instead of
+	// paying a json.Decoder per Validate and per Record.
+	decoded  map[string]map[string]any
+	nDecoded int
+}
+
+func newItemInterner() *itemInterner {
+	return &itemInterner{
+		items:   make(map[string]json.RawMessage),
+		decoded: make(map[string]map[string]any),
+	}
+}
+
+// internAnswers rewrites each answer's Item to the canonical shared copy,
+// in place. Nil-safe.
+func (in *itemInterner) internAnswers(answers []Answer) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i := range answers {
+		item := answers[i].Item
+		if len(item) == 0 {
+			continue
+		}
+		// The string(item) map lookup does not allocate (compiler-recognized
+		// pattern); only a genuinely new item pays for its canonical copy.
+		if canon, ok := in.items[string(item)]; ok {
+			answers[i].Item = canon
+			continue
+		}
+		if len(in.items) >= internMaxItems || in.bytes+int64(len(item)) > internMaxBytes {
+			continue
+		}
+		canon := make(json.RawMessage, len(item))
+		copy(canon, item)
+		in.items[string(canon)] = canon
+		in.bytes += int64(len(canon))
+		answers[i].Item = canon
+	}
+}
+
+// getDecoded returns the memoized decode of an item under a model. Nil-safe.
+func (in *itemInterner) getDecoded(model string, raw json.RawMessage) (any, bool) {
+	if in == nil {
+		return nil, false
+	}
+	in.mu.Lock()
+	v, ok := in.decoded[model][string(raw)]
+	in.mu.Unlock()
+	return v, ok
+}
+
+// putDecoded memoizes a successful decode. Values must be plain value
+// structs (no pointers into session or task state) so sharing them across
+// sessions is safe. Capped like the byte table; past the cap new items
+// simply decode every time. Nil-safe.
+func (in *itemInterner) putDecoded(model string, raw json.RawMessage, v any) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.nDecoded >= internMaxItems {
+		return
+	}
+	m := in.decoded[model]
+	if m == nil {
+		m = make(map[string]any)
+		in.decoded[model] = m
+	}
+	if _, ok := m[string(raw)]; !ok {
+		m[string(raw)] = v
+		in.nDecoded++
+	}
+}
+
+// stats reports the table's entry count and byte size.
+func (in *itemInterner) stats() (items int, bytes int64) {
+	if in == nil {
+		return 0, 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.items), in.bytes
+}

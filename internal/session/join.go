@@ -21,6 +21,7 @@ type joinItem struct {
 // space is the join-predicate lattice; questions are the informative tuple
 // pairs, proposed in deterministic (left, right) scan order.
 type joinLearner struct {
+	decodeCache
 	u    *rellearn.Universe
 	sess *rellearn.Session
 }
@@ -86,8 +87,8 @@ func (l *joinLearner) Propose(k int) ([]Question, error) {
 
 // decode unmarshals and range-checks an item.
 func (l *joinLearner) decode(raw json.RawMessage) (joinItem, error) {
-	var it joinItem
-	if err := decodeItem(raw, &it); err != nil {
+	it, err := decodeItemCached[joinItem](&l.decodeCache, "join", raw)
+	if err != nil {
 		return joinItem{}, err
 	}
 	if err := l.checkRange(it.Left, it.Right); err != nil {

@@ -213,6 +213,32 @@ func ItemKey(raw json.RawMessage) (string, error) {
 	return string(b), nil
 }
 
+// decodeCache is a learner's handle on the manager's item interner, used to
+// memoize decodeItem results. Learners embed it; the Manager injects the
+// interner after construction, so learners built standalone (New) simply
+// decode every time. The zero value is a valid always-miss cache.
+type decodeCache struct{ in *itemInterner }
+
+func (c *decodeCache) setDecodeCache(in *itemInterner) { c.in = in }
+
+// decodeItemCached is decodeItem memoized through the interner: the typed
+// struct an item decodes to is a pure function of (model, bytes), so a
+// dialogue relabeling its small question vocabulary decodes each item once
+// manager-wide instead of once per Validate and once per Record. Cached
+// values MUST be plain value structs — task-dependent checks (index ranges,
+// node existence) stay with the caller.
+func decodeItemCached[T any](c *decodeCache, model string, raw json.RawMessage) (T, error) {
+	if v, ok := c.in.getDecoded(model, raw); ok {
+		return v.(T), nil
+	}
+	var it T
+	if err := decodeItem(raw, &it); err != nil {
+		return it, err
+	}
+	c.in.putDecoded(model, raw, it)
+	return it, nil
+}
+
 // decodeItem unmarshals an item strictly, rejecting unknown fields so a
 // mis-modeled answer (a path item sent to a join session) fails loudly
 // instead of zero-valuing.

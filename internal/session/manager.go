@@ -67,6 +67,11 @@ type Config struct {
 	// Journal observes every state mutation (write-ahead). Nil keeps the
 	// manager purely in-memory.
 	Journal Journal
+	// DisableInterning turns off the manager-wide item vocabulary (byte
+	// canonicalization and the decode memo) — the pre-interning behavior,
+	// kept as a rollback/measurement knob. Purely an optimization toggle;
+	// sessions behave identically either way.
+	DisableInterning bool
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +92,10 @@ type Manager struct {
 	cfg    Config
 	shards []*shard
 	live   atomic.Int64
+	// intern canonicalizes answer-item bytes across sessions (see
+	// intern.go): the few distinct question items a dialogue labels are
+	// stored once instead of once per answer per session.
+	intern *itemInterner
 
 	// compactMu freezes the event stream during journal compaction: every
 	// mutation holds it for read around its commit, Compact holds it for
@@ -157,10 +166,22 @@ type shard struct {
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	m := &Manager{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	if !cfg.DisableInterning {
+		m.intern = newItemInterner()
+	}
 	for i := range m.shards {
 		m.shards[i] = &shard{m: map[string]*Session{}}
 	}
 	return m
+}
+
+// attachCache hands a freshly built learner the manager-wide decode memo,
+// so equal items across sessions decode once (see intern.go). Learners
+// built standalone via New/NewLimited run uncached.
+func (m *Manager) attachCache(l Learner) {
+	if c, ok := l.(interface{ setDecodeCache(*itemInterner) }); ok {
+		c.setDecodeCache(m.intern)
+	}
 }
 
 func (m *Manager) shardFor(id string) *shard {
@@ -247,6 +268,7 @@ func (m *Manager) CreateTraced(model, task string, opts CreateOptions, tr *obs.T
 		m.live.Add(-1)
 		return nil, err
 	}
+	m.attachCache(learner)
 	s := m.newSession(newID(), model, task, learner, opts.MaxCost)
 	if model == "path" {
 		// Stamp the EFFECTIVE limits, not the request's: a snapshot must
@@ -430,20 +452,27 @@ type Stats struct {
 	Questions int64 `json:"questions"`
 	// JournalHeals counts degraded-journal recoveries by the probe.
 	JournalHeals int64 `json:"journal_heals,omitempty"`
+	// InternItems/InternBytes describe the shared answer-item vocabulary
+	// (see intern.go): distinct items retained once across all sessions.
+	InternItems int   `json:"intern_items"`
+	InternBytes int64 `json:"intern_bytes"`
 }
 
 // Stats snapshots the manager counters.
 func (m *Manager) Stats() Stats {
+	items, bytes := m.intern.stats()
 	return Stats{
-		Live:      m.Len(),
-		Created:   m.created.Load(),
-		Resumed:   m.resumed.Load(),
-		Recovered: m.recovered.Load(),
-		Deleted:   m.deleted.Load(),
-		Expired:   m.expired.Load(),
+		Live:         m.Len(),
+		Created:      m.created.Load(),
+		Resumed:      m.resumed.Load(),
+		Recovered:    m.recovered.Load(),
+		Deleted:      m.deleted.Load(),
+		Expired:      m.expired.Load(),
 		Labels:       m.labels.Load(),
 		Questions:    m.questions.Load(),
 		JournalHeals: m.heals.Load(),
+		InternItems:  items,
+		InternBytes:  bytes,
 	}
 }
 
@@ -594,6 +623,9 @@ func (m *Manager) resume(snap Snapshot, journalIt bool, tr *obs.Trace) (*Session
 		m.live.Add(-1)
 		return nil, err
 	}
+	// Resumed answer logs (client snapshots, boot recovery) fold into the
+	// same shared vocabulary as live batches.
+	m.intern.internAnswers(snap.Answers)
 	buildDone := tr.StartPhase("learner.build")
 	learner, err := NewLimited(snap.Model, snap.Task, lim)
 	if err != nil {
@@ -601,6 +633,7 @@ func (m *Manager) resume(snap Snapshot, journalIt bool, tr *obs.Trace) (*Session
 		m.live.Add(-1)
 		return nil, err
 	}
+	m.attachCache(learner)
 	for i, a := range snap.Answers {
 		if err := learner.Record(a.Item, a.Positive); err != nil {
 			buildDone()
@@ -805,6 +838,10 @@ func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) 
 		return AnswerResult{}, fmt.Errorf("%w: batch of %d labels would cost $%.2f of a $%.2f budget",
 			ErrBudgetExhausted, len(batch), cost, s.maxCost)
 	}
+	// Canonicalize the surviving items before they are journaled or retained
+	// in s.answers: the session then shares the manager-wide vocabulary
+	// bytes instead of pinning this request's body buffer.
+	s.mgr.intern.internAnswers(apply)
 	// Write-ahead: the batch must be durable before it is applied or
 	// charged. A journal failure rejects the batch with the session intact.
 	preHITs, preAnswers := s.hits, len(s.answers)

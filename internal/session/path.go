@@ -25,6 +25,7 @@ type pathItem struct {
 // pool shape and node cap come from the Limits the caller resolved (daemon
 // flags, optionally tightened per request).
 type pathLearner struct {
+	decodeCache
 	g    *graph.Graph
 	sess *graphlearn.Session
 }
@@ -102,8 +103,8 @@ func (l *pathLearner) Propose(k int) ([]Question, error) {
 
 // resolve decodes an item and interns its node names.
 func (l *pathLearner) resolve(raw json.RawMessage) (graph.Pair, error) {
-	var it pathItem
-	if err := decodeItem(raw, &it); err != nil {
+	it, err := decodeItemCached[pathItem](&l.decodeCache, "path", raw)
+	if err != nil {
 		return graph.Pair{}, err
 	}
 	src, dst := l.g.NodeIndex(it.Src), l.g.NodeIndex(it.Dst)

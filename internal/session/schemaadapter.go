@@ -30,6 +30,7 @@ type schemaItem struct {
 // theory). The frontier is finite and multiplicities saturate at {0, 1, ∞},
 // so the dialogue converges.
 type schemaLearner struct {
+	decodeCache
 	corpus   []*xmltree.Node
 	hyp      *schema.Schema
 	rejected map[string]bool // canonical XML of negatively labeled docs
@@ -142,8 +143,8 @@ func (l *schemaLearner) Propose(k int) ([]Question, error) {
 
 // parseDoc decodes an item and checks the document fits the corpus.
 func (l *schemaLearner) parseDoc(raw json.RawMessage) (*xmltree.Node, error) {
-	var it schemaItem
-	if err := decodeItem(raw, &it); err != nil {
+	it, err := decodeItemCached[schemaItem](&l.decodeCache, "schema", raw)
+	if err != nil {
 		return nil, err
 	}
 	doc, err := xmltree.Parse(it.Doc)

@@ -20,6 +20,7 @@ type twigItem struct {
 // positive example (the session seed), and any further task examples are
 // replayed as pre-recorded answers.
 type twigLearner struct {
+	decodeCache
 	task *core.TwigTask
 	sess *twiglearn.TwigSession
 }
@@ -104,8 +105,8 @@ func (l *twigLearner) Propose(k int) ([]Question, error) {
 
 // resolve decodes an item and locates its node in the corpus.
 func (l *twigLearner) resolve(raw json.RawMessage) (twiglearn.NodeRef, error) {
-	var it twigItem
-	if err := decodeItem(raw, &it); err != nil {
+	it, err := decodeItemCached[twigItem](&l.decodeCache, "twig", raw)
+	if err != nil {
 		return twiglearn.NodeRef{}, err
 	}
 	if it.Doc < 0 || it.Doc >= len(l.task.Docs) {

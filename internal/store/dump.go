@@ -1,0 +1,92 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"querylearn/internal/codec"
+)
+
+// dumpLine is one record of DumpJournal's output: exactly one JSON object
+// per journal record (plus a final torn-tail line when the journal ends in
+// one), so the output greps and jq-filters like a log.
+type dumpLine struct {
+	Record int    `json:"record"`
+	Format string `json:"format,omitempty"`
+	// Type is "event" or "dict".
+	Type string `json:"type,omitempty"`
+	// Event is the decoded record for both formats (v1 records are passed
+	// through verbatim, v2 records re-rendered as the equivalent JSON).
+	Event json.RawMessage `json:"event,omitempty"`
+	// Strings holds a dictionary record's new intern-table entries.
+	Strings []string `json:"strings,omitempty"`
+	// TableSize is the intern table's entry count after this record.
+	TableSize int    `json:"table_size,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// TornTail describes a truncated/corrupt final record; Record then
+	// indexes where the journal broke off.
+	TornTail  string `json:"torn_tail,omitempty"`
+	GoodBytes int64  `json:"good_bytes,omitempty"`
+}
+
+// DumpJournal renders a journal byte stream as human-readable JSON lines —
+// recovery forensics now that v2 records are not greppable. It understands
+// both formats (and files mixing them), never fails on corruption past the
+// framing layer (bad records become error lines), and reports a torn tail
+// as its final line.
+func DumpJournal(r io.Reader, w io.Writer) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	out := bufio.NewWriter(w)
+	enc := json.NewEncoder(out)
+	dec := codec.NewDecoder()
+	var goodBytes int64
+	for rec := 0; ; rec++ {
+		payload, err := readRecord(br)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if werr := enc.Encode(dumpLine{Record: rec, TornTail: err.Error(), GoodBytes: goodBytes}); werr != nil {
+				return werr
+			}
+			break
+		}
+		goodBytes += recordHeaderSize + int64(len(payload))
+		line := dumpLine{Record: rec}
+		switch {
+		case codec.IsV2(payload):
+			line.Format = FormatV2
+			before := dec.TableLen()
+			ev, isEvent, err := dec.DecodePayload(payload)
+			switch {
+			case err != nil:
+				line.Error = err.Error()
+			case isEvent:
+				line.Type = "event"
+				line.TableSize = dec.TableLen()
+				if b, err := json.Marshal(ev); err != nil {
+					line.Error = fmt.Sprintf("re-rendering event: %v", err)
+				} else {
+					line.Event = b
+				}
+			default:
+				line.Type = "dict"
+				line.TableSize = dec.TableLen()
+				line.Strings = dec.Table()[before:]
+			}
+		case json.Valid(payload):
+			line.Format = FormatV1
+			line.Type = "event"
+			line.Event = payload
+		default:
+			line.Format = FormatV1
+			line.Error = "payload is not valid JSON"
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return out.Flush()
+}

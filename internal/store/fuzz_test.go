@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"querylearn/internal/codec"
 	"querylearn/internal/session"
 )
 
@@ -38,6 +39,33 @@ func FuzzStoreReplay(f *testing.F) {
 	}
 	f.Add(good.Bytes())
 	f.Add(good.Bytes()[:len(good.Bytes())-5]) // torn tail
+
+	// ...the same journal in format v2 — dictionary records interleaved
+	// before the event records referencing them, exactly as the v2 append
+	// path frames them...
+	var goodV2 bytes.Buffer
+	enc := codec.NewEncoder()
+	for _, ev := range events {
+		buf, dictEnd, err := enc.EncodeEvent(nil, ev)
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc.Commit()
+		if dictEnd > 0 {
+			if _, err := appendRecord(&goodV2, buf[:dictEnd]); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if _, err := appendRecord(&goodV2, buf[dictEnd:]); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(goodV2.Bytes())
+	f.Add(goodV2.Bytes()[:goodV2.Len()-3]) // v2 torn tail
+	// ...and a mixed-format file: what a v1 journal looks like after a v2
+	// daemon appends to it, before its first compaction.
+	f.Add(append(append([]byte{}, good.Bytes()...), goodV2.Bytes()...))
+
 	f.Add([]byte{})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})         // implausible length
 	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 0, 'a', 'b', 'c', 'd'}) // CRC mismatch

@@ -33,13 +33,20 @@ const (
 // journal; everything before it is intact.
 var errTornTail = errors.New("store: torn journal tail")
 
+// frameRecord appends one length+CRC framed record to dst. The v2 append
+// path uses it to build a dictionary record and its event record in one
+// reusable buffer for a single write.
+func frameRecord(dst, payload []byte) []byte {
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	return append(append(dst, hdr[:]...), payload...)
+}
+
 // appendRecord frames one payload onto w in a single write and returns the
 // bytes written.
 func appendRecord(w io.Writer, payload []byte) (int64, error) {
-	rec := make([]byte, recordHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
-	copy(rec[recordHeaderSize:], payload)
+	rec := frameRecord(make([]byte, 0, recordHeaderSize+len(payload)), payload)
 	if _, err := w.Write(rec); err != nil {
 		return 0, err
 	}

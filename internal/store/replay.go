@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"querylearn/internal/codec"
 	"querylearn/internal/session"
 )
 
@@ -24,6 +25,9 @@ type replayResult struct {
 	// tailErr is non-nil when the journal ended in a truncated or corrupt
 	// record (wrapping errTornTail).
 	tailErr error
+	// bytesIn counts v2 payload bytes decoded, for the codec bytes-in
+	// counter.
+	bytesIn int64
 }
 
 // replayJournal folds a journal byte stream into final session snapshots
@@ -34,6 +38,10 @@ func replayJournal(r io.Reader) replayResult {
 	var res replayResult
 	br := bufio.NewReaderSize(r, 1<<16)
 	states := map[string]*session.Snapshot{}
+	// One decoder per file: its intern table is the file's dictionary,
+	// extended in record order. v1 and v2 records may interleave (a v1
+	// journal appended to by a v2 daemon), dispatched per record below.
+	dec := codec.NewDecoder()
 	for {
 		payload, err := readRecord(br)
 		if err == io.EOF {
@@ -44,11 +52,28 @@ func replayJournal(r io.Reader) replayResult {
 			break
 		}
 		res.goodBytes += recordHeaderSize + int64(len(payload))
-		res.events++
 		var ev session.Event
-		if err := json.Unmarshal(payload, &ev); err != nil {
-			res.skipped++
-			continue
+		if codec.IsV2(payload) {
+			res.bytesIn += int64(len(payload))
+			ev2, isEvent, err := dec.DecodePayload(payload)
+			if err != nil {
+				// CRC-intact but undecodable (schema drift, a dictionary
+				// record lost to skew): count and skip, like bad JSON.
+				res.events++
+				res.skipped++
+				continue
+			}
+			if !isEvent {
+				continue // dictionary record: table extended, no event
+			}
+			ev = ev2
+			res.events++
+		} else {
+			res.events++
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				res.skipped++
+				continue
+			}
 		}
 		if err := session.ApplyEvent(states, ev); err != nil {
 			res.skipped++

@@ -38,6 +38,7 @@ import (
 	"sync"
 	"time"
 
+	"querylearn/internal/codec"
 	"querylearn/internal/fault"
 	"querylearn/internal/obs"
 	"querylearn/internal/session"
@@ -49,6 +50,24 @@ const (
 	FsyncBatched = "batched"
 	FsyncAlways  = "always"
 )
+
+// Journal formats for Options.Format. Reads are format-agnostic either way
+// (the journal dispatches per record: '{' is a v1 JSON event, anything else
+// is a v2 codec frame); the format only chooses what NEW records look like.
+const (
+	// FormatV1 writes JSON records — the PR 7 wire format, kept as the
+	// rollback escape hatch (-store-format=v1 on querylearnd).
+	FormatV1 = "v1"
+	// FormatV2 writes binary codec frames with a per-file string intern
+	// table (the default). Opening a v1 directory under v2 upgrades it in
+	// place: the boot-time compaction rewrites every record as v2.
+	FormatV2 = "v2"
+)
+
+// FormatEnv is consulted when Options.Format is empty, so the whole test
+// suite can be re-run against v1 (make test-v1) without threading a flag
+// through every helper.
+const FormatEnv = "QUERYLEARN_STORE_FORMAT"
 
 // journal file names inside the data directory.
 const (
@@ -74,10 +93,16 @@ type Options struct {
 	Faults *fault.Registry
 	// Obs optionally wires an observability registry: the store registers
 	// append/fsync/compaction latency histograms, the fsync group-size
-	// histogram, and journal-lag/bytes/degraded gauges under querylearn_store_*.
-	// Sharing one registry with the server puts store and HTTP metrics in the
-	// same /metrics?format=prometheus scrape. Nil disables instrumentation.
+	// histogram, journal-lag/bytes/degraded gauges, and the codec's
+	// bytes/intern-table instruments under querylearn_store_* and
+	// querylearn_codec_*. Sharing one registry with the server puts store and
+	// HTTP metrics in the same /metrics?format=prometheus scrape. Nil
+	// disables instrumentation.
 	Obs *obs.Registry
+	// Format selects the journal wire format for new records: FormatV2
+	// (default) or FormatV1. Empty falls back to the FormatEnv environment
+	// variable, then to FormatV2.
+	Format string
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -91,6 +116,17 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.BatchWindow <= 0 {
 		o.BatchWindow = 5 * time.Millisecond
+	}
+	if o.Format == "" {
+		o.Format = os.Getenv(FormatEnv)
+	}
+	switch o.Format {
+	case "":
+		o.Format = FormatV2
+	case FormatV1, FormatV2:
+	default:
+		return o, fmt.Errorf("store: unknown journal format %q (want %q or %q)",
+			o.Format, FormatV1, FormatV2)
 	}
 	return o, nil
 }
@@ -140,12 +176,24 @@ type Store struct {
 	recovered  RecoveryStats
 	lastComp   *CompactionStats
 
+	// enc is the v2 journal encoder for the CURRENT file generation (nil in
+	// v1 mode); each rewrite starts a fresh one, since the new file defines
+	// its own dictionary from scratch. Guarded by mu. encBuf and recBuf are
+	// its reused payload and record-framing buffers: the steady-state append
+	// path allocates nothing.
+	enc    *codec.Encoder
+	encBuf []byte
+	recBuf []byte
+
 	// Observability handles, nil without Options.Obs (each use is one nil
 	// check on the hot path).
 	appendHist  *obs.Histogram // per-record write latency
 	fsyncHist   *obs.Histogram // per-fsync latency
 	fsyncBatch  *obs.Histogram // events covered per fsync group (value = count)
 	compactHist *obs.Histogram // journal rewrite latency
+	encodeHist  *obs.Histogram // v2 event encode latency
+	bytesOut    *obs.Counter   // v2 payload bytes written
+	bytesIn     *obs.Counter   // v2 payload bytes decoded during recovery
 }
 
 // RecoveryStats describes what the last Open found in the journal.
@@ -237,6 +285,9 @@ func Open(dir string, opts Options) (*Store, []session.Snapshot, error) {
 		Events:        res.events,
 		SkippedEvents: res.skipped,
 	}
+	if st.bytesIn != nil && res.bytesIn > 0 {
+		st.bytesIn.Add(res.bytesIn)
+	}
 	if res.tailErr != nil {
 		st.recovered.TornTail = res.tailErr.Error()
 		if fi, err := os.Stat(path); err == nil {
@@ -280,10 +331,13 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 	}
 	w := st.faultW(tmp, PointCompactWrite)
 	var size int64
-	for i := range snaps {
-		payload, err := json.Marshal(session.Event{
-			Kind: session.EventSnapshot, ID: snaps[i].ID, Snapshot: &snaps[i],
-		})
+	// A fresh per-file encoder: the rewrite defines the new file's
+	// dictionary from scratch (only installed as st.enc once the rename
+	// succeeds). This is also the v1→v2 upgrade path — whatever format the
+	// old records were, the rewrite emits the configured one.
+	var enc *codec.Encoder
+	writeOne := func(payload []byte, encErr error) error {
+		err := encErr
 		if err == nil {
 			var n int64
 			n, err = appendRecord(w, payload)
@@ -293,6 +347,53 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 			tmp.Close()
 			os.Remove(scratch)
 			return fmt.Errorf("store: writing compacted journal: %w", err)
+		}
+		return nil
+	}
+	if st.opts.Format == FormatV2 {
+		enc = codec.NewEncoder()
+		// Two passes so the whole dictionary forms one section at the head
+		// of the file: first encode every snapshot event (interning all
+		// strings), then emit the dictionary frames followed by the event
+		// frames.
+		events := make([][]byte, 0, len(snaps))
+		dicts := make([][]byte, 0, 1)
+		for i := range snaps {
+			buf, dictEnd, err := enc.EncodeEvent(nil, session.Event{
+				Kind: session.EventSnapshot, ID: snaps[i].ID, Snapshot: &snaps[i],
+			})
+			if err != nil {
+				tmp.Close()
+				os.Remove(scratch)
+				return fmt.Errorf("store: encoding compacted journal: %w", err)
+			}
+			enc.Commit()
+			if dictEnd > 0 {
+				dicts = append(dicts, buf[:dictEnd:dictEnd])
+			}
+			events = append(events, buf[dictEnd:])
+		}
+		for _, payload := range dicts {
+			if err := writeOne(payload, nil); err != nil {
+				return err
+			}
+		}
+		for _, payload := range events {
+			if err := writeOne(payload, nil); err != nil {
+				return err
+			}
+		}
+		if st.bytesOut != nil {
+			st.bytesOut.Add(size - int64(len(dicts)+len(events))*recordHeaderSize)
+		}
+	} else {
+		for i := range snaps {
+			payload, err := json.Marshal(session.Event{
+				Kind: session.EventSnapshot, ID: snaps[i].ID, Snapshot: &snaps[i],
+			})
+			if err := writeOne(payload, err); err != nil {
+				return err
+			}
 		}
 	}
 	// The rewrite is always fsynced, whatever the append mode: it is the
@@ -349,6 +450,7 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	st.f = f
+	st.enc = enc // fresh dictionary for the new file generation (nil in v1 mode)
 	st.baseBytes = size
 	st.tailBytes = 0
 	st.tailEvents = 0
@@ -410,6 +512,30 @@ func (st *Store) registerObs() {
 			}
 			return 0
 		})
+	st.encodeHist = reg.Histogram("querylearn_codec_encode_seconds",
+		"v2 journal event encode latency (binary codec, excluding the write)")
+	st.bytesOut = reg.Counter("querylearn_codec_bytes_out_total",
+		"v2 payload bytes written to the journal (records' framing excluded)")
+	st.bytesIn = reg.Counter("querylearn_codec_bytes_in_total",
+		"v2 payload bytes decoded during journal replay")
+	reg.GaugeFunc("querylearn_codec_intern_strings",
+		"distinct strings in the current journal file's intern table", func() float64 {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if st.enc == nil {
+				return 0
+			}
+			return float64(st.enc.TableLen())
+		})
+	reg.GaugeFunc("querylearn_codec_intern_bytes",
+		"total bytes of the current journal file's interned strings", func() float64 {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			if st.enc == nil {
+				return 0
+			}
+			return float64(st.enc.TableBytes())
+		})
 }
 
 // observe is the nil-tolerant histogram record.
@@ -430,9 +556,13 @@ func (st *Store) Append(ev session.Event) error { return st.AppendTraced(ev, nil
 // group-commit wait is recorded as the fsync.wait phase, separating "the
 // disk was slow" from "the write itself was slow" in slow-request logs.
 func (st *Store) AppendTraced(ev session.Event, tr *obs.Trace) error {
-	payload, err := json.Marshal(ev)
-	if err != nil {
-		return fmt.Errorf("store: encoding %s event: %w", ev.Kind, err)
+	var payload []byte
+	if st.opts.Format == FormatV1 {
+		var err error
+		payload, err = json.Marshal(ev)
+		if err != nil {
+			return fmt.Errorf("store: encoding %s event: %w", ev.Kind, err)
+		}
 	}
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -442,9 +572,44 @@ func (st *Store) AppendTraced(ev session.Event, tr *obs.Trace) error {
 	if st.appendErr != nil {
 		return fmt.Errorf("store: journal poisoned by earlier write failure: %w", st.appendErr)
 	}
-	writeStart := time.Now()
-	n, err := appendRecord(st.faultW(st.f, PointAppend), payload)
-	observe(st.appendHist, time.Since(writeStart))
+	var n int64
+	var err error
+	if st.opts.Format == FormatV2 {
+		// Encode under mu (the encoder's intern table is per-file state) and
+		// frame the dictionary-extension record, if any, together with the
+		// event record into ONE write: either both land or the rollback
+		// truncation below removes both, keeping the file and the encoder's
+		// Commit/Rollback in lockstep.
+		encStart := time.Now()
+		var dictEnd int
+		st.encBuf, dictEnd, err = st.enc.EncodeEvent(st.encBuf[:0], ev)
+		if err != nil {
+			return fmt.Errorf("store: encoding %s event: %w", ev.Kind, err)
+		}
+		rec := st.recBuf[:0]
+		if dictEnd > 0 {
+			rec = frameRecord(rec, st.encBuf[:dictEnd])
+		}
+		rec = frameRecord(rec, st.encBuf[dictEnd:])
+		st.recBuf = rec
+		observe(st.encodeHist, time.Since(encStart))
+		writeStart := time.Now()
+		_, err = st.faultW(st.f, PointAppend).Write(rec)
+		observe(st.appendHist, time.Since(writeStart))
+		if err == nil {
+			n = int64(len(rec))
+			st.enc.Commit()
+			if st.bytesOut != nil {
+				st.bytesOut.Add(int64(len(st.encBuf)))
+			}
+		} else {
+			st.enc.Rollback()
+		}
+	} else {
+		writeStart := time.Now()
+		n, err = appendRecord(st.faultW(st.f, PointAppend), payload)
+		observe(st.appendHist, time.Since(writeStart))
+	}
 	if err != nil {
 		// A partial write leaves a torn record mid-file; anything appended
 		// after it would be silently discarded at recovery (replay stops at
