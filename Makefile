@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: all build test vet test-v1 bench-smoke bench-t14 bench-recovery bench-json chaos-smoke fuzz-smoke loadgen-smoke examples api-check ci
+.PHONY: all build test vet test-v1 bench-smoke bench-t14 bench-recovery bench-json chaos-smoke fuzz-smoke loadgen-smoke cluster-smoke examples api-check ci
 
 all: build
 
@@ -60,12 +60,22 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzStoreReplay -fuzztime $(FUZZTIME) ./internal/store
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime $(FUZZTIME) ./internal/codec
+	$(GO) test -run '^$$' -fuzz FuzzShipDecode -fuzztime $(FUZZTIME) ./internal/cluster
 
 # Open-loop load smoke: a short fixed-seed Poisson run against an
 # in-process daemon (cmd/loadgen self-host). Fails on any request error or
 # a p99 over budget — the observability layer's end-to-end gate.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -smoke -p99-budget 1s
+
+# Real-process cluster gate: three querylearnd daemons on loopback ports,
+# crowd dialogues driven through a NON-owner node (307 routing + SDK route
+# cache on the hot path), the owner SIGKILLed mid-dialogue, and takeover
+# asserted with zero lost acknowledged answers.
+cluster-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/querylearnd ./cmd/querylearnd
+	$(GO) run ./cmd/clustersmoke -bin bin/querylearnd
 
 # Compile-and-run every example as a smoke test; they have no test files,
 # so this is the only thing keeping them honest.
@@ -86,4 +96,4 @@ api-check:
 		echo "$$leaks"; exit 1; \
 	fi
 
-ci: build vet test test-v1 bench-smoke bench-t14 bench-recovery chaos-smoke fuzz-smoke loadgen-smoke examples api-check
+ci: build vet test test-v1 bench-smoke bench-t14 bench-recovery chaos-smoke fuzz-smoke loadgen-smoke cluster-smoke examples api-check

@@ -8,15 +8,19 @@
 //	querylearn join   task.txt     learn an equi-join or semijoin predicate
 //	querylearn path   task.txt     learn a graph path query
 //	querylearn schema task.txt     infer a multiplicity schema
-//	querylearn journal-dump <file> render a querylearnd journal as JSON lines
+//	querylearn journal-dump [-from-lsn N] <file>
+//	                               render a querylearnd journal as JSON lines
 //
 // journal-dump is recovery forensics for a daemon's -data-dir: it renders
 // both journal formats (v1 JSON and v2 binary, including mixed files) as one
 // JSON object per record, reporting corrupt records and a torn tail inline
-// instead of failing.
+// instead of failing. -from-lsn skips output before a record index — the
+// "records" half of a cluster ship cursor — while still decoding the earlier
+// records for the dictionary state the tail may reference.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -33,18 +37,29 @@ func main() {
 }
 
 func run(args []string) error {
-	if len(args) != 2 {
-		return fmt.Errorf("usage: querylearn {twig|join|path|schema} <task-file> | querylearn journal-dump <journal-file>\n(to serve interactive learning sessions over HTTP, run the querylearnd daemon)")
-	}
-	kind, path := args[0], args[1]
-	if kind == "journal-dump" {
-		f, err := os.Open(path)
+	if len(args) >= 1 && args[0] == "journal-dump" {
+		fs := flag.NewFlagSet("journal-dump", flag.ContinueOnError)
+		fromLSN := fs.Int64("from-lsn", 0, "emit only records at this index and later (earlier records still decode, for v2 dictionary state)")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: querylearn journal-dump [-from-lsn N] <journal-file>")
+		}
+		if *fromLSN < 0 {
+			return fmt.Errorf("-from-lsn must be non-negative (got %d)", *fromLSN)
+		}
+		f, err := os.Open(fs.Arg(0))
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		return store.DumpJournal(f, os.Stdout)
+		return store.DumpJournalFrom(f, os.Stdout, *fromLSN)
 	}
+	if len(args) != 2 {
+		return fmt.Errorf("usage: querylearn {twig|join|path|schema} <task-file> | querylearn journal-dump [-from-lsn N] <journal-file>\n(to serve interactive learning sessions over HTTP, run the querylearnd daemon)")
+	}
+	kind, path := args[0], args[1]
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err

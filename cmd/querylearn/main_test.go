@@ -1,9 +1,17 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
+
+	"querylearn/internal/codec"
+	"querylearn/internal/session"
+	"querylearn/internal/store"
 )
 
 func writeTask(t *testing.T, name, content string) string {
@@ -102,4 +110,116 @@ neg 0 /0
 	if err := run([]string{"twig", contradiction}); err == nil {
 		t.Errorf("contradictory task should surface an error")
 	}
+}
+
+// TestJournalDumpFromLSN builds a mixed v1-then-v2 journal — exactly what a
+// v1 daemon's directory looks like after a v2 daemon appends to it — and
+// dumps it from a tail cursor. Only records at or past the cursor may be
+// emitted, and a v2 event past the cursor must still decode through the
+// dictionary record before it.
+func TestJournalDumpFromLSN(t *testing.T) {
+	now := time.Unix(1700000000, 0).UTC()
+	var raw []byte
+	// Records 0,1: v1 JSON.
+	for _, ev := range []session.Event{
+		{Kind: session.EventCreate, ID: "s1", Model: "join", Task: "left L a\n", CreatedAt: now},
+		{Kind: session.EventEvict, ID: "s1"},
+	} {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw = store.FrameRecord(raw, payload)
+	}
+	// Records 2..: v2 binary, dictionary records interleaved.
+	enc := codec.NewEncoder()
+	for _, ev := range []session.Event{
+		{Kind: session.EventCreate, ID: "s2", Model: "twig", Task: "doc <a/>\npos 0 /\n", CreatedAt: now},
+		{Kind: session.EventAnswers, ID: "s2", HITs: 1},
+	} {
+		buf, dictEnd, err := enc.EncodeEvent(nil, ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc.Commit()
+		if dictEnd > 0 {
+			raw = store.FrameRecord(raw, buf[:dictEnd])
+		}
+		raw = store.FrameRecord(raw, buf[dictEnd:])
+	}
+	path := filepath.Join(t.TempDir(), "journal")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The v2 tail starts at record 2 (a dictionary record); ask for the
+	// event records after it.
+	out := captureStdout(t, func() {
+		if err := run([]string{"journal-dump", "-from-lsn", "3", path}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	type line struct {
+		Record int             `json:"record"`
+		Format string          `json:"format"`
+		Type   string          `json:"type"`
+		Event  json.RawMessage `json:"event"`
+		Error  string          `json:"error"`
+	}
+	var lines []line
+	for _, l := range strings.Split(strings.TrimSpace(out), "\n") {
+		var ln line
+		if err := json.Unmarshal([]byte(l), &ln); err != nil {
+			t.Fatalf("bad dump line %q: %v", l, err)
+		}
+		lines = append(lines, ln)
+	}
+	for _, ln := range lines {
+		if ln.Record < 3 {
+			t.Errorf("record %d emitted before -from-lsn 3", ln.Record)
+		}
+		if ln.Error != "" {
+			t.Errorf("record %d failed to decode: %s — the pre-cursor dictionary was not applied", ln.Record, ln.Error)
+		}
+	}
+	// The v2 create of s2 (record 3) must have round-tripped through the
+	// dictionary defined in record 2.
+	found := false
+	for _, ln := range lines {
+		if ln.Format == "v2" && ln.Type == "event" && strings.Contains(string(ln.Event), `"s2"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no decoded v2 event for s2 in dump:\n%s", out)
+	}
+	// A full dump still shows all records, v1 first.
+	full := captureStdout(t, func() {
+		if err := run([]string{"journal-dump", path}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if n := len(strings.Split(strings.TrimSpace(full), "\n")); n <= len(lines) {
+		t.Fatalf("full dump has %d lines, tail dump %d", n, len(lines))
+	}
+}
+
+// captureStdout redirects os.Stdout around fn — run() prints there directly.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	fn()
+	w.Close()
+	os.Stdout = old
+	return <-done
 }

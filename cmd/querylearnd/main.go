@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"querylearn/internal/cluster"
 	"querylearn/internal/fault"
 	"querylearn/internal/loadgen"
 	"querylearn/internal/obs"
@@ -85,11 +86,27 @@ type obsConfig struct {
 	slowEvery     int
 }
 
+// clusterConfig is the -cluster-* flag block. Both node and peers must be
+// set to enable clustering, and clustering requires a journal (-data-dir):
+// the journal is the thing peers ship.
+type clusterConfig struct {
+	node          string
+	peers         string
+	probeInterval time.Duration
+	failAfter     int
+	ackTimeout    time.Duration
+}
+
+func (cc clusterConfig) enabled() bool { return cc.node != "" || cc.peers != "" }
+
 // openManager builds the session manager, and — when a data directory is
 // configured — opens the journal under it, recovers every surviving session
 // through the Resume machinery, and wires the store in as the manager's
 // journal. The returned store is nil when running in-memory.
-func openManager(cfg session.Config, sc storeConfig) (*session.Manager, *store.Store, error) {
+// The optional prep hook runs between store open and manager construction —
+// the cluster layer uses it to install its ring-aware id minter, which needs
+// the store but must exist before the manager does.
+func openManager(cfg session.Config, sc storeConfig, prep func(*store.Store, *session.Config) error) (*session.Manager, *store.Store, error) {
 	if sc.dataDir == "" {
 		return session.NewManager(cfg), nil, nil
 	}
@@ -98,6 +115,12 @@ func openManager(cfg session.Config, sc storeConfig) (*session.Manager, *store.S
 		return nil, nil, err
 	}
 	cfg.Journal = st
+	if prep != nil {
+		if err := prep(st, &cfg); err != nil {
+			st.Close()
+			return nil, nil, err
+		}
+	}
 	mgr := session.NewManager(cfg)
 	n, recErr := mgr.Recover(snaps)
 	if recErr != nil {
@@ -141,6 +164,11 @@ func run(args []string, out io.Writer) error {
 	debugAddr := fs.String("debug-addr", "", "serve pprof and runtime/metrics on this address (empty = off; bind loopback, the listener is unauthenticated)")
 	slowThreshold := fs.Duration("slow-log-threshold", 500*time.Millisecond, "log requests slower than this with their phase breakdown (0 = off)")
 	slowEvery := fs.Int("slow-log-every", 1, "sample 1 in N slow requests for the structured log")
+	clusterNode := fs.String("cluster-node", "", "this node's id in -cluster-peers; enables cluster mode (requires -data-dir)")
+	clusterPeers := fs.String("cluster-peers", "", `static cluster membership as "id=host:port,..." including this node`)
+	clusterProbe := fs.Duration("cluster-probe-interval", 500*time.Millisecond, "peer /healthz probe cadence")
+	clusterFailAfter := fs.Int("cluster-fail-after", 3, "consecutive probe failures before a peer is fenced and taken over")
+	clusterAck := fs.Duration("cluster-ack-timeout", 2*time.Second, "replication barrier: how long a mutation's response may wait for followers")
 	batch := fs.Int("batch", 1, "replay mode: questions fetched and answered per round-trip (parallel crowd dispatch)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -160,12 +188,24 @@ func run(args []string, out io.Writer) error {
 	if *maxBody <= 0 {
 		return fmt.Errorf("-max-body-bytes must be positive (got %d)", *maxBody)
 	}
+	cc := clusterConfig{
+		node: *clusterNode, peers: *clusterPeers,
+		probeInterval: *clusterProbe, failAfter: *clusterFailAfter, ackTimeout: *clusterAck,
+	}
+	if cc.enabled() {
+		if cc.node == "" || cc.peers == "" {
+			return fmt.Errorf("cluster mode needs both -cluster-node and -cluster-peers")
+		}
+		if sc.dataDir == "" {
+			return fmt.Errorf("cluster mode needs -data-dir: peers replicate the journal")
+		}
+	}
 	rest := fs.Args()
 	if len(rest) == 0 {
 		return serve(*addr, cfg, *sweep, sc,
 			robustConfig{faultSpec: *faultSpec, maxInflight: *maxInflight},
 			obsConfig{debugAddr: *debugAddr, slowThreshold: *slowThreshold, slowEvery: *slowEvery},
-			*maxBody)
+			cc, *maxBody)
 	}
 	if rest[0] == "replay" && len(rest) == 3 {
 		data, err := os.ReadFile(rest[2])
@@ -179,7 +219,7 @@ func run(args []string, out io.Writer) error {
 
 // serve runs the daemon until SIGINT/SIGTERM, sweeping expired sessions and
 // compacting the journal in the background.
-func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig, rc robustConfig, oc obsConfig, maxBody int64) error {
+func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeConfig, rc robustConfig, oc obsConfig, cc clusterConfig, maxBody int64) error {
 	var reg *fault.Registry
 	if rc.faultSpec != "" {
 		reg = fault.NewRegistry()
@@ -189,13 +229,44 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 	// and the server's request instruments land in the same scrape.
 	obsReg := obs.NewRegistry()
 	sc.obs = obsReg
-	mgr, st, err := openManager(cfg, sc)
+	var clu *cluster.Cluster
+	var prep func(*store.Store, *session.Config) error
+	if cc.enabled() {
+		peers, err := cluster.ParsePeers(cc.peers)
+		if err != nil {
+			return err
+		}
+		prep = func(st *store.Store, cfg *session.Config) error {
+			c, err := cluster.New(cluster.Config{
+				NodeID:        cc.node,
+				Peers:         peers,
+				Store:         st,
+				ProbeInterval: cc.probeInterval,
+				FailAfter:     cc.failAfter,
+				AckTimeout:    cc.ackTimeout,
+				Obs:           obsReg,
+				Logger:        slog.New(slog.NewJSONHandler(os.Stderr, nil)),
+			})
+			if err != nil {
+				return err
+			}
+			clu = c
+			// Mint only ids this node owns on the ring, so creates never
+			// bounce through a redirect.
+			cfg.NewID = c.MintSessionID
+			return nil
+		}
+	}
+	mgr, st, err := openManager(cfg, sc, prep)
 	if err != nil {
 		return err
 	}
 	opts := []server.Option{server.WithMaxBodyBytes(maxBody), server.WithObs(obsReg)}
 	if st != nil {
 		opts = append(opts, server.WithStore(st.Stats))
+	}
+	if clu != nil {
+		opts = append(opts, server.WithCluster(clu.Stats))
 	}
 	if rc.maxInflight > 0 {
 		opts = append(opts, server.WithAdmission(rc.maxInflight, cfg.Shards))
@@ -208,7 +279,15 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 			slog.New(slog.NewJSONHandler(os.Stderr, nil)), oc.slowThreshold, oc.slowEvery))
 	}
 	qsrv := server.New(mgr, opts...)
-	srv := hardenServer(&http.Server{Addr: addr, Handler: qsrv.Handler()})
+	handler := http.Handler(qsrv.Handler())
+	if clu != nil {
+		// The router must be the outermost layer: ownership redirects fire
+		// before any local side effect, and ship requests never reach the
+		// API mux.
+		handler = clu.Router(handler)
+		clu.Start(mgr)
+	}
+	srv := hardenServer(&http.Server{Addr: addr, Handler: handler})
 	if reg != nil {
 		// Arm after both the store and the server registered their points,
 		// so a typo in the spec is caught here instead of silently ignored.
@@ -289,8 +368,14 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 	}
 	fmt.Fprintf(os.Stderr, "querylearnd: serving on %s (ttl %s, max %d sessions, %d shards, %s)\n",
 		addr, cfg.TTL, cfg.MaxSessions, cfg.Shards, durability)
+	if clu != nil {
+		fmt.Fprintf(os.Stderr, "querylearnd: cluster node %s of [%s]\n", cc.node, cc.peers)
+	}
 	select {
 	case err := <-errc:
+		if clu != nil {
+			clu.Stop()
+		}
 		if st != nil {
 			st.Close()
 		}
@@ -303,6 +388,11 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	err = srv.Shutdown(shutdownCtx)
+	if clu != nil {
+		// Stop shipping and probing before the final compact rewrites the
+		// journal out from under parked tail readers.
+		clu.Stop()
+	}
 	if st != nil {
 		// Final flush: compact so the next boot replays one snapshot per
 		// session, then fsync whatever the shutdown raced.

@@ -110,7 +110,7 @@ func TestDaemonKillRecovery(t *testing.T) {
 	cfg := session.Config{CostPerHIT: 0.25}
 	sc := storeConfig{dataDir: dir, fsync: store.FsyncOff}
 
-	mgr, st, err := openManager(cfg, sc)
+	mgr, st, err := openManager(cfg, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +137,7 @@ func TestDaemonKillRecovery(t *testing.T) {
 	ts.Close()
 	st.Abandon()
 
-	mgr2, st2, err := openManager(cfg, sc)
+	mgr2, st2, err := openManager(cfg, sc, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,22 @@
 //	        │            compaction timers, hardened http.Server, final
 //	        │            flush on graceful shutdown
 //	        ▼
+//	internal/cluster     optional multi-node layer (-cluster-node/-peers),
+//	        │            wrapped around the server's handler: a consistent-
+//	        │            hash ring routes each session to the node that
+//	        │            minted it (307 redirects on /v1, server-side
+//	        │            proxying for legacy routes, X-Querylearn-Node on
+//	        │            every response); followers replicate each owner's
+//	        │            journal over GET /v1/cluster/ship (raw on-disk
+//	        │            frames, resumable by LSN cursor) into in-memory
+//	        │            standbys — never their own journal, so fleet
+//	        │            append capacity scales with node count; a
+//	        │            /healthz prober fences dead peers (permanent
+//	        │            latch, boot-grace for rolling starts) and
+//	        │            survivors adopt the fenced node's sessions; a
+//	        │            replication barrier holds each mutation's
+//	        │            response until a follower's cursor covers it
+//	        ▼
 //	internal/server      versioned JSON HTTP API (/v1/...) over the
 //	        │            sessions, with batch question dispatch, paginated
 //	        │            listing, and idempotent writes; /metrics and

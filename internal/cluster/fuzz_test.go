@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"querylearn/internal/codec"
+	"querylearn/internal/session"
+	"querylearn/internal/store"
+)
+
+// FuzzShipDecode feeds arbitrary bytes to the follower's ship-stream decoder.
+// The stream crosses a process boundary — a fencing race can cut a response
+// at any byte, and a confused owner could ship anything — so the apply path
+// must never panic, must apply exactly the well-framed prefix, and must keep
+// its cursor/byte accounting consistent with what it consumed.
+func FuzzShipDecode(f *testing.F) {
+	now := time.Unix(1700000000, 0).UTC()
+	events := []session.Event{
+		{Kind: session.EventCreate, ID: "s1", Model: "join", Task: "left L a\n", CreatedAt: now},
+		{Kind: session.EventAnswers, ID: "s1", Key: "k1", HITs: 2, Cost: 0.1,
+			Answers: []session.Answer{{Item: json.RawMessage(`{"left":0,"right":0}`), Positive: true}}},
+		{Kind: session.EventEvict, ID: "s1"},
+	}
+
+	// A well-formed v2 ship stream: dictionary records interleaved before the
+	// event records referencing them, framed exactly like the journal file.
+	var v2 []byte
+	var dictRec, evRec []byte // one framed dict record and one framed event
+	enc := codec.NewEncoder()
+	for i, ev := range events {
+		buf, dictEnd, err := enc.EncodeEvent(nil, ev)
+		if err != nil {
+			f.Fatal(err)
+		}
+		enc.Commit()
+		if dictEnd > 0 {
+			rec := store.FrameRecord(nil, buf[:dictEnd])
+			v2 = append(v2, rec...)
+			if dictRec == nil {
+				dictRec = rec
+			}
+		}
+		rec := store.FrameRecord(nil, buf[dictEnd:])
+		v2 = append(v2, rec...)
+		if i == 0 {
+			evRec = rec
+		}
+	}
+	f.Add(v2)
+	f.Add(v2[:len(v2)-3])           // torn frame: response cut mid-record
+	f.Add(dictRec[:len(dictRec)-2]) // truncated dictionary record
+	// An event whose intern references point past the decoder's table: the
+	// event record shipped without the dictionary record that precedes it.
+	f.Add(evRec)
+
+	// A v1 (JSON) stream, and a mixed v1-then-v2 stream.
+	var v1 []byte
+	for _, ev := range events {
+		payload, err := json.Marshal(ev)
+		if err != nil {
+			f.Fatal(err)
+		}
+		v1 = store.FrameRecord(v1, payload)
+	}
+	f.Add(v1)
+	f.Add(append(append([]byte{}, v1...), v2...))
+
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})         // implausible length
+	f.Add([]byte{4, 0, 0, 0, 0, 0, 0, 0, 'a', 'b', 'c', 'd'}) // CRC mismatch
+	f.Add([]byte("GET /v1/cluster/ship?shard=nope junk"))     // unknown-shard garbage
+
+	// One follower, reset per input: applyStreamLocked touches only follower
+	// state plus monotone counters, so reuse is safe and cheap.
+	st, _, err := store.Open(f.TempDir(), store.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer st.Close()
+	c, err := New(Config{
+		NodeID: "n1",
+		Peers:  []Peer{{ID: "n1", Addr: "127.0.0.1:1"}, {ID: "n2", Addr: "127.0.0.1:2"}},
+		Store:  st,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	fl := c.followers["n2"]
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The ground truth: how many records (and framed bytes) a plain
+		// frame-decode of the same input yields before the first error.
+		wantRecords, wantBytes := int64(0), int64(0)
+		gr := bufio.NewReader(bytes.NewReader(data))
+		for {
+			payload, err := store.ReadRecord(gr)
+			if err != nil {
+				break
+			}
+			wantRecords++
+			wantBytes += store.RecordOverhead + int64(len(payload))
+		}
+		if wantBytes > int64(len(data)) {
+			t.Fatalf("framed bytes %d > input %d", wantBytes, len(data))
+		}
+
+		fl.mu.Lock()
+		fl.resetLocked(store.Cursor{Gen: 1})
+		fl.applyStreamLocked(bufio.NewReaderSize(bytes.NewReader(data), 1<<10))
+		cur, genBytes, nStates := fl.cur, fl.genBytes, len(fl.states)
+		fl.mu.Unlock()
+
+		if cur.Records != wantRecords {
+			t.Fatalf("applied %d records, frame decode yields %d", cur.Records, wantRecords)
+		}
+		if genBytes != wantBytes {
+			t.Fatalf("accounted %d bytes, frame decode yields %d", genBytes, wantBytes)
+		}
+		if nStates > int(wantRecords) {
+			t.Fatalf("%d sessions from %d records", nStates, wantRecords)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// Peer is one cluster member: a stable node id and the address peers and
+// redirected clients reach it at.
+type Peer struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+}
+
+// ParsePeers parses the -cluster-peers flag format: a comma-separated list
+// of id=host:port entries, e.g. "n1=127.0.0.1:7001,n2=127.0.0.1:7002".
+func ParsePeers(spec string) ([]Peer, error) {
+	var peers []Peer
+	seenID := map[string]bool{}
+	seenAddr := map[string]bool{}
+	for _, ent := range strings.Split(spec, ",") {
+		ent = strings.TrimSpace(ent)
+		if ent == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(ent, "=")
+		id, addr = strings.TrimSpace(id), strings.TrimSpace(addr)
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("cluster: malformed peer %q (want id=host:port)", ent)
+		}
+		if strings.Contains(addr, "://") {
+			return nil, fmt.Errorf("cluster: peer %q address must be host:port, not a URL", ent)
+		}
+		if seenID[id] {
+			return nil, fmt.Errorf("cluster: duplicate peer id %q", id)
+		}
+		if seenAddr[addr] {
+			return nil, fmt.Errorf("cluster: duplicate peer address %q", addr)
+		}
+		seenID[id], seenAddr[addr] = true, true
+		peers = append(peers, Peer{ID: id, Addr: addr})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("cluster: empty peer list")
+	}
+	return peers, nil
+}
+
+// vnodesPerPeer is how many points each peer contributes to the ring. 64
+// keeps the ownership split within a few percent of even for small clusters
+// while the whole ring still fits in a few KB.
+const vnodesPerPeer = 64
+
+type ringPoint struct {
+	hash uint64
+	peer int // index into ring.peers
+}
+
+// ring is a consistent-hash ring over the static peer set. It is immutable
+// after construction; liveness is a lookup-time filter, so fencing a node
+// reroutes only that node's arc and never reshuffles sessions between
+// survivors.
+type ring struct {
+	peers  []Peer
+	points []ringPoint
+}
+
+// hash64 hashes a string onto the ring's 64-bit circle. Raw FNV-1a of
+// short, similar strings ("n1#0", "n1#1", ...) clusters badly in the high
+// bits — the bits sort.Search keys on — so the FNV sum is pushed through a
+// murmur3-style avalanche finalizer to scatter points over the whole circle.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func newRing(peers []Peer) *ring {
+	r := &ring{peers: append([]Peer(nil), peers...)}
+	r.points = make([]ringPoint, 0, len(peers)*vnodesPerPeer)
+	for i, p := range r.peers {
+		for v := 0; v < vnodesPerPeer; v++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", p.ID, v)),
+				peer: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Tie-break on peer index so equal hashes (vanishingly unlikely but
+		// possible) still sort deterministically on every node.
+		return r.points[i].peer < r.points[j].peer
+	})
+	return r
+}
+
+// owner maps a key to its owning peer: the first ring point at or after the
+// key's hash whose peer routable accepts, wrapping around. Returns false only
+// when routable rejects every peer.
+func (r *ring) owner(key string, routable func(id string) bool) (Peer, bool) {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := 0
+	tried := make(map[int]bool, len(r.peers))
+	for i := 0; seen < len(r.peers) && i < len(r.points); i++ {
+		pt := r.points[(start+i)%len(r.points)]
+		if tried[pt.peer] {
+			continue
+		}
+		tried[pt.peer] = true
+		seen++
+		if routable(r.peers[pt.peer].ID) {
+			return r.peers[pt.peer], true
+		}
+	}
+	return Peer{}, false
+}

@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestParsePeers(t *testing.T) {
+	peers, err := ParsePeers("n1=127.0.0.1:7001, n2=127.0.0.1:7002,n3=127.0.0.1:7003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 3 || peers[0] != (Peer{"n1", "127.0.0.1:7001"}) || peers[2].ID != "n3" {
+		t.Fatalf("parsed %+v", peers)
+	}
+	for _, bad := range []string{
+		"",
+		"n1",
+		"n1=",
+		"=127.0.0.1:7001",
+		"n1=127.0.0.1:1,n1=127.0.0.1:2",
+		"n1=127.0.0.1:1,n2=127.0.0.1:1",
+		"n1=http://127.0.0.1:1",
+	} {
+		if _, err := ParsePeers(bad); err == nil {
+			t.Errorf("ParsePeers(%q) accepted", bad)
+		}
+	}
+}
+
+func allRoutable(string) bool { return true }
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	peers := []Peer{{"n1", "a:1"}, {"n2", "a:2"}, {"n3", "a:3"}}
+	r1, r2 := newRing(peers), newRing(peers)
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		key := fmt.Sprintf("s%024x", i)
+		p1, ok1 := r1.owner(key, allRoutable)
+		p2, ok2 := r2.owner(key, allRoutable)
+		if !ok1 || !ok2 || p1.ID != p2.ID {
+			t.Fatalf("key %s: rings disagree (%v/%v, %v/%v)", key, p1, ok1, p2, ok2)
+		}
+		counts[p1.ID]++
+	}
+	for _, p := range peers {
+		if counts[p.ID] < 300 {
+			t.Errorf("peer %s owns only %d of 3000 keys — ring badly skewed: %v",
+				p.ID, counts[p.ID], counts)
+		}
+	}
+}
+
+// Fencing a node must reroute exactly its own arc: keys owned by survivors
+// keep their owner, and the dead node's keys land on survivors.
+func TestRingFencingReroutesOnlyDeadArc(t *testing.T) {
+	peers := []Peer{{"n1", "a:1"}, {"n2", "a:2"}, {"n3", "a:3"}}
+	r := newRing(peers)
+	fenced := func(id string) bool { return id != "n2" }
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("s%024x", i)
+		before, _ := r.owner(key, allRoutable)
+		after, ok := r.owner(key, fenced)
+		if !ok {
+			t.Fatalf("key %s: no owner with one node fenced", key)
+		}
+		if after.ID == "n2" {
+			t.Fatalf("key %s still routed to fenced n2", key)
+		}
+		if before.ID != "n2" && after.ID != before.ID {
+			t.Fatalf("key %s owned by surviving %s moved to %s", key, before.ID, after.ID)
+		}
+		if before.ID == "n2" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("test vacuous: n2 owned no keys")
+	}
+}
+
+func TestRingAllFenced(t *testing.T) {
+	r := newRing([]Peer{{"n1", "a:1"}, {"n2", "a:2"}})
+	if _, ok := r.owner("sdeadbeef", func(string) bool { return false }); ok {
+		t.Fatal("owner found with every peer unroutable")
+	}
+}

@@ -49,6 +49,11 @@ const (
 	evHITs
 	evCost
 	evSnapshot
+	// evKey carries an answers batch's Idempotency-Key. Keys are
+	// client-chosen one-shot values, so they are length-prefixed raw bytes,
+	// never interned — an interned key would bloat the file dictionary with
+	// strings that by design never repeat.
+	evKey
 )
 
 // Presence bits of a snapshot's field bitmap.
@@ -62,6 +67,9 @@ const (
 	snMaxCost
 	snCreatedAt
 	snLimits
+	// snKeys is the snapshot's recent Idempotency-Key window; raw strings,
+	// not interned (see evKey).
+	snKeys
 )
 
 // Encoder turns session events into v2 payloads against one per-file
@@ -154,6 +162,9 @@ func (e *Encoder) appendEvent(dst []byte, kind byte, ev session.Event) []byte {
 	if ev.Snapshot != nil {
 		bits |= evSnapshot
 	}
+	if ev.Key != "" {
+		bits |= evKey
+	}
 	dst = appendUvarint(dst, bits)
 	if bits&evID != 0 {
 		dst = appendUvarint(dst, uint64(e.table.intern(ev.ID)))
@@ -184,6 +195,9 @@ func (e *Encoder) appendEvent(dst []byte, kind byte, ev session.Event) []byte {
 	}
 	if bits&evSnapshot != 0 {
 		dst = e.appendSnapshot(dst, ev.Snapshot)
+	}
+	if bits&evKey != 0 {
+		dst = appendString(dst, ev.Key)
 	}
 	return dst
 }
@@ -230,6 +244,9 @@ func (e *Encoder) appendSnapshot(dst []byte, s *session.Snapshot) []byte {
 	if s.Limits != nil {
 		bits |= snLimits
 	}
+	if s.AnswerKeys != nil {
+		bits |= snKeys
+	}
 	dst = appendUvarint(dst, bits)
 	if bits&snID != 0 {
 		dst = appendUvarint(dst, uint64(e.table.intern(s.ID)))
@@ -258,7 +275,20 @@ func (e *Encoder) appendSnapshot(dst []byte, s *session.Snapshot) []byte {
 	if bits&snLimits != 0 {
 		dst = appendLimits(dst, s.Limits)
 	}
+	if bits&snKeys != 0 {
+		dst = appendUvarint(dst, uint64(len(s.AnswerKeys)))
+		for _, k := range s.AnswerKeys {
+			dst = appendString(dst, k)
+		}
+	}
 	return dst
+}
+
+// appendString encodes a length-prefixed raw string — for one-shot values
+// (idempotency keys) that must not enter the intern table.
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
 }
 
 func appendLimits(dst []byte, l *api.PathLimits) []byte {
@@ -380,7 +410,7 @@ func (d *Decoder) decodeEvent(payload []byte) (session.Event, error) {
 	if err != nil {
 		return ev, err
 	}
-	if bits >= evSnapshot<<1 {
+	if bits >= evKey<<1 {
 		return ev, corruptf("unknown event field bits %#x", bits)
 	}
 	if bits&evID != 0 {
@@ -437,6 +467,13 @@ func (d *Decoder) decodeEvent(payload []byte) (session.Event, error) {
 		}
 		ev.Snapshot = &snap
 	}
+	if bits&evKey != 0 {
+		b, err := r.bytes()
+		if err != nil {
+			return ev, err
+		}
+		ev.Key = string(b)
+	}
 	return ev, r.done()
 }
 
@@ -473,7 +510,7 @@ func (d *Decoder) decodeSnapshot(r *reader) (session.Snapshot, error) {
 	if err != nil {
 		return s, err
 	}
-	if bits >= snLimits<<1 {
+	if bits >= snKeys<<1 {
 		return s, corruptf("unknown snapshot field bits %#x", bits)
 	}
 	if bits&snID != 0 {
@@ -521,6 +558,24 @@ func (d *Decoder) decodeSnapshot(r *reader) (session.Snapshot, error) {
 	if bits&snLimits != 0 {
 		if s.Limits, err = decodeLimits(r); err != nil {
 			return s, err
+		}
+	}
+	if bits&snKeys != 0 {
+		count, err := r.uvarint()
+		if err != nil {
+			return s, err
+		}
+		// Each key takes at least one byte (its length varint).
+		if count > uint64(r.remaining())+1 {
+			return s, corruptf("implausible answer-key count %d", count)
+		}
+		s.AnswerKeys = make([]string, 0, count)
+		for i := uint64(0); i < count; i++ {
+			b, err := r.bytes()
+			if err != nil {
+				return s, err
+			}
+			s.AnswerKeys = append(s.AnswerKeys, string(b))
 		}
 	}
 	return s, nil

@@ -1,0 +1,508 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"querylearn/internal/cluster"
+	"querylearn/internal/fault"
+	"querylearn/internal/loadgen"
+	"querylearn/internal/obs"
+	"querylearn/internal/server"
+	"querylearn/internal/session"
+	"querylearn/internal/store"
+	"querylearn/pkg/api"
+)
+
+// t18AppendDelay is injected at every journal append in BOTH arms, so the
+// journal — the thing the cluster shards — is the honest bottleneck. Without
+// it the in-memory learners dominate and the comparison measures CPU
+// scheduling, not the clustering claim.
+const t18AppendDelay = 2 * time.Millisecond
+
+// t18Node is one in-process cluster member (or, with c == nil, the
+// single-node baseline): a real store on its own directory behind the same
+// injected append latency, a manager, and an HTTP server on loopback.
+type t18Node struct {
+	id   string
+	base string
+	dir  string
+	st   *store.Store
+	mgr  *session.Manager
+	c    *cluster.Cluster
+	hs   *http.Server
+	dead bool
+}
+
+func (nd *t18Node) shutdown() {
+	if nd == nil || nd.dead {
+		return
+	}
+	nd.dead = true
+	nd.hs.Close()
+	if nd.c != nil {
+		nd.c.Stop()
+	}
+	nd.st.Abandon()
+	os.RemoveAll(nd.dir)
+}
+
+// kill models SIGKILL: connections drop, nothing flushes.
+func (nd *t18Node) kill() {
+	nd.dead = true
+	nd.hs.Close()
+	nd.c.Stop()
+	nd.st.Abandon()
+}
+
+// openT18Store opens a fresh store whose appends stall t18AppendDelay — the
+// shared fixture both arms sit on.
+func openT18Store() (string, *store.Store, []session.Snapshot, error) {
+	dir, err := os.MkdirTemp("", "t18-*")
+	if err != nil {
+		return "", nil, nil, err
+	}
+	freg := fault.NewRegistry()
+	if err := freg.Arm(store.PointAppend, fault.Spec{Mode: fault.ModeLatency, Delay: t18AppendDelay}); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, nil, err
+	}
+	st, snaps, err := store.Open(dir, store.Options{Faults: freg})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, nil, err
+	}
+	return dir, st, snaps, nil
+}
+
+// startT18Single boots the baseline: one daemon, one journal, no cluster.
+func startT18Single() (*t18Node, error) {
+	dir, st, snaps, err := openT18Store()
+	if err != nil {
+		return nil, err
+	}
+	mgr := session.NewManager(session.Config{Shards: 4, CostPerHIT: 0.05, Journal: st})
+	if _, err := mgr.Recover(snaps); err != nil {
+		st.Abandon()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		st.Abandon()
+		os.RemoveAll(dir)
+		return nil, err
+	}
+	hs := &http.Server{Handler: server.New(mgr, server.WithStore(st.Stats)).Handler()}
+	go hs.Serve(ln)
+	return &t18Node{id: "single", base: "http://" + ln.Addr().String(),
+		dir: dir, st: st, mgr: mgr, hs: hs}, nil
+}
+
+// startT18Cluster boots n members with the fast failure-detection timings
+// the cluster integration tests use.
+func startT18Cluster(n int) ([]*t18Node, error) {
+	lns := make([]net.Listener, n)
+	peers := make([]cluster.Peer, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		peers[i] = cluster.Peer{ID: fmt.Sprintf("n%d", i+1), Addr: ln.Addr().String()}
+	}
+	nodes := make([]*t18Node, n)
+	for i := range nodes {
+		dir, st, snaps, err := openT18Store()
+		if err != nil {
+			return nil, err
+		}
+		c, err := cluster.New(cluster.Config{
+			NodeID:        peers[i].ID,
+			Peers:         peers,
+			Store:         st,
+			ProbeInterval: 25 * time.Millisecond,
+			ProbeTimeout:  250 * time.Millisecond,
+			FailAfter:     3,
+			AckTimeout:    2 * time.Second,
+			ShipWait:      200 * time.Millisecond,
+			BootGrace:     250 * time.Millisecond,
+			Obs:           obs.NewRegistry(),
+		})
+		if err != nil {
+			st.Abandon()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		mgr := session.NewManager(session.Config{
+			Shards: 4, CostPerHIT: 0.05, Journal: st, NewID: c.MintSessionID})
+		if _, err := mgr.Recover(snaps); err != nil {
+			st.Abandon()
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		c.Start(mgr)
+		hs := &http.Server{Handler: c.Router(server.New(mgr,
+			server.WithStore(st.Stats), server.WithCluster(c.Stats)).Handler())}
+		go hs.Serve(lns[i])
+		nodes[i] = &t18Node{id: peers[i].ID, base: "http://" + peers[i].Addr,
+			dir: dir, st: st, mgr: mgr, c: c, hs: hs}
+	}
+	return nodes, nil
+}
+
+// t18Dialogue is one tracked crowd dialogue in the kill phase: every 200 to
+// an answer POST is an acknowledged HIT, counted once per idempotency key.
+type t18Dialogue struct {
+	id      string
+	acked   int
+	lastKey string
+	lastAns api.Answer
+}
+
+// t18Client follows 307s (stdlib replays body and Idempotency-Key across a
+// temporary redirect) and fails fast against dead listeners.
+var t18Client = &http.Client{Timeout: 5 * time.Second}
+
+// t18Question fetches the next item, rotating across bases until one answers
+// — mid-failover the owner is gone and survivors 307 at a corpse, so the
+// dial error is the retry signal.
+func t18Question(bases []string, id string, deadline time.Time) (api.Question, bool, error) {
+	for attempt := 0; ; attempt++ {
+		base := bases[attempt%len(bases)]
+		resp, err := t18Client.Get(base + "/v1/sessions/" + id + "/question")
+		if err == nil {
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				var out api.QuestionResponse
+				if err := json.Unmarshal(body, &out); err != nil {
+					return api.Question{}, false, err
+				}
+				if out.Done || out.Question == nil {
+					return api.Question{}, false, nil
+				}
+				return *out.Question, true, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return api.Question{}, false, fmt.Errorf("question %s: no node answered before deadline", id)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// t18Answer retries one answer under ONE idempotency key until some node
+// acknowledges it. A replayed 200 counts the same as a fresh one: the
+// original write was applied and the ack finally arrived — exactly once per
+// key either way.
+func t18Answer(bases []string, id, key string, ans api.Answer, deadline time.Time) error {
+	body, _ := json.Marshal(api.AnswersRequest{Answers: []api.Answer{ans}})
+	for attempt := 0; ; attempt++ {
+		base := bases[attempt%len(bases)]
+		req, err := http.NewRequest(http.MethodPost,
+			base+"/v1/sessions/"+id+"/answers", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(api.IdempotencyKeyHeader, key)
+		resp, err := t18Client.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("answer %s key %s: not acknowledged before deadline", id, key)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// T18ClusterFailover runs the clustering acceptance scenario in two phases
+// over the same journal-bound fixture. Throughput: identical open-loop load
+// against one node and against three, the same per-append latency injected
+// in both, measuring completed dialogues. Failover: tracked dialogues
+// spread over the cluster, the first node SIGKILLed after every dialogue
+// has at least one acknowledged answer, the workers retrying under their
+// original idempotency keys until the survivors take over — then the
+// adopters' per-session HIT counts are audited against the client-side ack
+// ledger for losses and double charges.
+func T18ClusterFailover(scale int) *Table {
+	t := &Table{
+		ID:    "T18",
+		Title: "clustered daemon: sharded-journal throughput and owner-kill failover",
+		Claim: "three nodes sustain >=2x the journal-bound dialogue throughput of one, and killing an owner " +
+			"mid-dialogue loses no acknowledged answer and double-charges no HIT: the idempotency window ships inside the journal",
+		Header: []string{"phase", "arm", "offered/s", "achieved/s", "dialogues", "acked", "hits", "lost", "double-charged"},
+	}
+	fail := func(err error) *Table {
+		t.Rows = append(t.Rows, []string{"ERROR", err.Error(), "", "", "", "", "", "", ""})
+		return t
+	}
+
+	dur := time.Duration(scale) * time.Second
+	if dur > 2*time.Second {
+		dur = 2 * time.Second
+	}
+	const rate = 2500.0
+	lcfg := loadgen.Config{
+		Client:   &http.Client{Timeout: 30 * time.Second},
+		Rate:     rate,
+		Duration: dur,
+		Sessions: 96,
+		Seed:     1,
+	}
+
+	// Phase 1a: single-node baseline.
+	single, err := startT18Single()
+	if err != nil {
+		return fail(err)
+	}
+	defer single.shutdown()
+	lcfg.BaseURLs = []string{single.base}
+	baseRes, err := loadgen.Run(lcfg)
+	if err != nil {
+		return fail(err)
+	}
+	single.shutdown()
+
+	// Phase 1b: the same offered load fanned over three nodes, slot i
+	// driving node i%3 — each node mints (and therefore owns and journals)
+	// its own slots' sessions, so the append bottleneck shards three ways.
+	nodes, err := startT18Cluster(3)
+	if err != nil {
+		return fail(err)
+	}
+	defer func() {
+		for _, nd := range nodes {
+			nd.shutdown()
+		}
+	}()
+	bases := make([]string, len(nodes))
+	for i, nd := range nodes {
+		bases[i] = nd.base
+	}
+	lcfg.BaseURLs = bases
+	cluRes, err := loadgen.Run(lcfg)
+	if err != nil {
+		return fail(err)
+	}
+
+	row := func(phase, arm string, r loadgen.Result, acked, hits, lost, double string) {
+		t.Rows = append(t.Rows, []string{phase, arm,
+			fmt.Sprintf("%.0f", r.OfferedRPS), fmt.Sprintf("%.0f", r.AchievedRPS),
+			fmt.Sprint(r.Dialogues), acked, hits, lost, double})
+	}
+	row("throughput", "single-1", baseRes, "-", "-", "-", "-")
+	row("throughput", "cluster-3", cluRes, "-", "-", "-", "-")
+	for _, p := range []struct {
+		label string
+		r     loadgen.Result
+	}{{"single-1", baseRes}, {"cluster-3", cluRes}} {
+		t.Latency = append(t.Latency, LatencyStat{
+			Label:       "T18 " + p.label,
+			Count:       p.r.Arrivals,
+			P50Seconds:  p.r.P50Seconds,
+			P99Seconds:  p.r.P99Seconds,
+			P999Seconds: p.r.P999Seconds,
+			MaxSeconds:  p.r.MaxSeconds,
+		})
+	}
+	speedup := 0.0
+	if baseRes.Dialogues > 0 {
+		speedup = float64(cluRes.Dialogues) / float64(baseRes.Dialogues)
+	}
+
+	// Phase 2: tracked dialogues on the same (already warm) cluster. Three
+	// per node; each worker acknowledges one answer, everyone pauses, n1 is
+	// killed, and the workers finish their dialogues through whoever is
+	// left.
+	ws, err := loadgen.Builtin()
+	if err != nil {
+		return fail(err)
+	}
+	const perNode = 3
+	var dials []*t18Dialogue
+	workloads := map[string]loadgen.Workload{}
+	for i, nd := range nodes {
+		for j := 0; j < perNode; j++ {
+			w := ws[(i*perNode+j)%len(ws)]
+			body, _ := json.Marshal(api.CreateRequest{Model: w.Model, Task: w.Task})
+			resp, err := t18Client.Post(nd.base+"/v1/sessions", "application/json", bytes.NewReader(body))
+			if err != nil {
+				return fail(err)
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+				return fail(fmt.Errorf("create on %s: HTTP %d: %s", nd.id, resp.StatusCode, raw))
+			}
+			var out api.CreateResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				return fail(err)
+			}
+			if !nd.c.Owns(out.ID) {
+				return fail(fmt.Errorf("minted id %s not owned by creating node %s", out.ID, nd.id))
+			}
+			dials = append(dials, &t18Dialogue{id: out.ID})
+			workloads[out.ID] = w
+		}
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	var firstAck sync.WaitGroup // every dialogue has >=1 acked answer
+	firstAck.Add(len(dials))
+	killed := make(chan struct{}) // closed once n1 is dead
+	errs := make([]error, len(dials))
+	var wg sync.WaitGroup
+	for i, d := range dials {
+		wg.Add(1)
+		go func(i int, d *t18Dialogue) {
+			defer wg.Done()
+			doneFirst := false
+			markFirst := func() {
+				if !doneFirst {
+					doneFirst = true
+					firstAck.Done()
+				}
+			}
+			defer markFirst() // never deadlock the kill on a worker that bailed early
+			w := workloads[d.id]
+			for step := 0; step < 40; step++ {
+				q, ok, err := t18Question(bases, d.id, deadline)
+				if err != nil {
+					errs[i] = err
+					break
+				}
+				if !ok {
+					break // converged
+				}
+				pos, err := w.Oracle(q.Item)
+				if err != nil {
+					errs[i] = err
+					break
+				}
+				key := fmt.Sprintf("%s-k%d", d.id, step)
+				ans := api.Answer{Item: q.Item, Positive: pos}
+				if err := t18Answer(bases, d.id, key, ans, deadline); err != nil {
+					errs[i] = err
+					break
+				}
+				d.acked++
+				d.lastKey, d.lastAns = key, ans
+				if step == 0 {
+					markFirst()
+					<-killed // hold mid-dialogue until the owner dies
+				}
+			}
+		}(i, d)
+	}
+	firstAck.Wait()
+	nodes[0].kill()
+	close(killed)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	// Audit the survivors: every acknowledged answer must be charged on the
+	// adopter exactly once, and replaying the last key must not re-charge.
+	survivors := nodes[1:]
+	var ackTimeouts, adoptedSessions int64
+	for _, nd := range survivors {
+		s := nd.c.Stats()
+		ackTimeouts += s.AckTimeouts
+		adoptedSessions += s.AdoptedSessions
+	}
+	totalAcked, totalHITs, lost, double, replayMisses := 0, 0, 0, 0, 0
+	for _, d := range dials {
+		var nu *t18Node
+		for _, nd := range survivors {
+			if nd.c.Owns(d.id) {
+				nu = nd
+				break
+			}
+		}
+		if nu == nil {
+			return fail(fmt.Errorf("no survivor owns %s after failover", d.id))
+		}
+		status := func() (int, error) {
+			resp, err := t18Client.Get(nu.base + "/v1/sessions/" + d.id)
+			if err != nil {
+				return 0, err
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				return 0, fmt.Errorf("status %s on %s: HTTP %d: %s", d.id, nu.id, resp.StatusCode, body)
+			}
+			var st api.Status
+			if err := json.Unmarshal(body, &st); err != nil {
+				return 0, err
+			}
+			return st.HITs, nil
+		}
+		hits, err := status()
+		if err != nil {
+			return fail(err)
+		}
+		if hits < d.acked {
+			lost += d.acked - hits
+		}
+		if hits > d.acked {
+			double += hits - d.acked
+		}
+		// Replay the last acked batch under its original key: the adopter
+		// must recognize it (the window shipped in the journal) and charge
+		// nothing.
+		if d.lastKey != "" {
+			if err := t18Answer([]string{nu.base}, d.id, d.lastKey, d.lastAns, time.Now().Add(5*time.Second)); err != nil {
+				return fail(err)
+			}
+			after, err := status()
+			if err != nil {
+				return fail(err)
+			}
+			if after != hits {
+				replayMisses++
+				double += after - hits
+			}
+		}
+		totalAcked += d.acked
+		totalHITs += hits
+	}
+	t.Rows = append(t.Rows, []string{"failover", "cluster-3 (n1 killed)", "-", "-",
+		fmt.Sprint(len(dials)), fmt.Sprint(totalAcked), fmt.Sprint(totalHITs),
+		fmt.Sprint(lost), fmt.Sprint(double)})
+
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("both arms inject %s latency into every journal append: the journal is the bottleneck being sharded", t18AppendDelay),
+		fmt.Sprintf("dialogue throughput speedup: %.2fx (%d vs %d dialogues in %s; target >=2x)",
+			speedup, cluRes.Dialogues, baseRes.Dialogues, dur),
+		fmt.Sprintf("failover: %d dialogues, n1 killed after each acknowledged >=1 answer; %d adopted sessions, %d replication-ack timeouts (want 0)",
+			len(dials), adoptedSessions, ackTimeouts),
+		fmt.Sprintf("acked-answer audit: %d acked vs %d HITs on adopters; lost=%d double-charged=%d replay-misses=%d (all want 0)",
+			totalAcked, totalHITs, lost, double, replayMisses),
+	)
+	if speedup < 2 {
+		t.Notes = append(t.Notes, "WARNING: cluster speedup below the 2x acceptance floor")
+	}
+	if lost != 0 || double != 0 || ackTimeouts != 0 || replayMisses != 0 {
+		t.Notes = append(t.Notes, "WARNING: failover audit found losses, double charges, or ack timeouts")
+	}
+	return t
+}

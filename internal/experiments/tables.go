@@ -142,6 +142,7 @@ func Registry() []Experiment {
 		{"T15", T15FaultAvailability},
 		{"T16", T16SaturationCurve},
 		{"T17", T17CodecRecovery},
+		{"T18", T18ClusterFailover},
 	}
 }
 

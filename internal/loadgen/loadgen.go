@@ -20,6 +20,11 @@ type Config struct {
 	// http.DefaultClient with a 30s timeout).
 	BaseURL string
 	Client  *http.Client
+	// BaseURLs spreads the load over a cluster: slot i drives its dialogues
+	// through BaseURLs[i mod len]. Each base gets its own SDK, so every
+	// node's route cache learns ownership independently — exactly how a
+	// fleet of real clients hits a cluster. Empty means just BaseURL.
+	BaseURLs []string
 	// Rate is the offered arrival rate in requests/second (Poisson).
 	Rate     float64
 	Duration time.Duration
@@ -70,15 +75,15 @@ type Result struct {
 // slot is one dialogue's state machine. TryLock keeps the loop open: an
 // arrival that finds the slot busy does a read instead of queueing behind it.
 type slot struct {
-	mu sync.Mutex
-	w  Workload
-	id string
-	q  *api.Question
+	mu  sync.Mutex
+	w   Workload
+	sdk *client.Client
+	id  string
+	q   *api.Question
 }
 
 type engine struct {
 	cfg       cfg
-	sdk       *client.Client
 	slots     []*slot
 	errors    atomic.Int64
 	busyReads atomic.Int64
@@ -98,8 +103,14 @@ func (c Config) resolved() (cfg, error) {
 	if c.Duration <= 0 {
 		return cfg{}, fmt.Errorf("loadgen: duration must be positive (got %s)", c.Duration)
 	}
+	if len(c.BaseURLs) == 0 {
+		if c.BaseURL == "" {
+			return cfg{}, fmt.Errorf("loadgen: base URL required")
+		}
+		c.BaseURLs = []string{c.BaseURL}
+	}
 	if c.BaseURL == "" {
-		return cfg{}, fmt.Errorf("loadgen: base URL required")
+		c.BaseURL = c.BaseURLs[0]
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 30 * time.Second}
@@ -126,10 +137,17 @@ func Run(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e := &engine{cfg: rc, sdk: client.New(rc.BaseURL, client.WithHTTPClient(rc.Client))}
+	e := &engine{cfg: rc}
+	sdks := make([]*client.Client, len(rc.BaseURLs))
+	for i, base := range rc.BaseURLs {
+		sdks[i] = client.New(base, client.WithHTTPClient(rc.Client))
+	}
 	e.slots = make([]*slot, rc.Sessions)
 	for i := range e.slots {
-		e.slots[i] = &slot{w: rc.Workloads[i%len(rc.Workloads)]}
+		e.slots[i] = &slot{
+			w:   rc.Workloads[i%len(rc.Workloads)],
+			sdk: sdks[i%len(sdks)],
+		}
 	}
 	rng := rand.New(rand.NewSource(rc.Seed))
 	var zipf *rand.Zipf
@@ -189,9 +207,13 @@ func Run(c Config) (Result, error) {
 		MeanSeconds:     obs.Round6(snap.Mean()),
 		Hist:            snap,
 	}
-	if exp, err := Scrape(rc.BaseURL, rc.Client); err == nil {
-		r.Shed = int64(exp.SumByName("querylearn_http_shed_total"))
-		r.ScrapeOK = true
+	// Shed is cluster-wide: each node sheds its own arrivals, so sum the
+	// scrape over every base.
+	for _, base := range rc.BaseURLs {
+		if exp, err := Scrape(base, rc.Client); err == nil {
+			r.Shed += int64(exp.SumByName("querylearn_http_shed_total"))
+			r.ScrapeOK = true
+		}
 	}
 	return r, nil
 }
@@ -203,19 +225,19 @@ func (e *engine) step(sl *slot) error {
 	defer cancel()
 	if !sl.mu.TryLock() {
 		e.busyReads.Add(1)
-		_, err := e.sdk.List(ctx, 1, "")
+		_, err := sl.sdk.List(ctx, 1, "")
 		return err
 	}
 	defer sl.mu.Unlock()
 	switch {
 	case sl.id == "":
-		created, err := e.sdk.Create(ctx, api.CreateRequest{Model: sl.w.Model, Task: sl.w.Task})
+		created, err := sl.sdk.Create(ctx, api.CreateRequest{Model: sl.w.Model, Task: sl.w.Task})
 		if err != nil {
 			return err
 		}
 		sl.id = created.ID
 	case sl.q == nil:
-		q, ok, err := e.sdk.Question(ctx, sl.id)
+		q, ok, err := sl.sdk.Question(ctx, sl.id)
 		if err != nil {
 			sl.reset()
 			return err
@@ -223,7 +245,7 @@ func (e *engine) step(sl *slot) error {
 		if !ok {
 			// Converged: recycle the slot so the run is a stream of
 			// dialogues, not one long-lived session per slot.
-			err := e.sdk.Delete(ctx, sl.id)
+			err := sl.sdk.Delete(ctx, sl.id)
 			sl.reset()
 			if err != nil {
 				return err
@@ -238,7 +260,7 @@ func (e *engine) step(sl *slot) error {
 			sl.reset()
 			return err
 		}
-		_, err = e.sdk.Answers(ctx, sl.id, []api.Answer{{Item: sl.q.Item, Positive: positive}}, api.ReconcileNone)
+		_, err = sl.sdk.Answers(ctx, sl.id, []api.Answer{{Item: sl.q.Item, Positive: positive}}, api.ReconcileNone)
 		sl.q = nil
 		if err != nil {
 			sl.reset()

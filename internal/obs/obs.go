@@ -188,6 +188,12 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	f.mu.Unlock()
 }
 
+// GaugeVec registers (or returns) a labeled gauge family — per-peer
+// replication lag, role flags, and the like.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.family(name, help, typeGauge, labels)}
+}
+
 // Histogram registers (or returns) an unlabeled histogram.
 func (r *Registry) Histogram(name, help string) *Histogram {
 	return r.family(name, help, typeHistogram, nil).get(nil).hist
@@ -210,6 +216,20 @@ func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).co
 func (v *CounterVec) Each(fn func(labels []string, value int64)) {
 	for _, s := range v.f.snapshotSeries() {
 		fn(s.labelValues, s.counter.Value())
+	}
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values, creating it on first
+// use.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).gauge }
+
+// Each visits every series (label values, current value) in sorted order.
+func (v *GaugeVec) Each(fn func(labels []string, value int64)) {
+	for _, s := range v.f.snapshotSeries() {
+		fn(s.labelValues, s.gauge.Value())
 	}
 }
 

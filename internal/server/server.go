@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"querylearn/internal/cluster"
 	"querylearn/internal/fault"
 	"querylearn/internal/obs"
 	"querylearn/internal/session"
@@ -65,6 +66,10 @@ type Server struct {
 	idem       *idemCache
 	maxBody    int64
 	storeStats func() store.Stats // nil when running without a durable store
+	// clusterStats is non-nil when the daemon runs clustered: /metrics and
+	// /healthz grow a "cluster" block (node id, per-peer liveness and
+	// replication lag, failover counters).
+	clusterStats func() cluster.Stats
 	adm        *admission         // nil = admission control disabled
 	faults     *fault.Registry    // nil = no fault injection
 	draining   atomic.Bool        // set by Drain: shed new sessions
@@ -90,6 +95,13 @@ type Option func(*Server)
 // block and /healthz reports journal lag and last-compaction stats.
 func WithStore(stats func() store.Stats) Option {
 	return func(s *Server) { s.storeStats = stats }
+}
+
+// WithCluster surfaces the node's cluster view: /metrics and /healthz grow
+// a "cluster" block. The cluster's router must separately be wrapped around
+// Handler(); the server itself stays cluster-unaware on the request path.
+func WithCluster(stats func() cluster.Stats) Option {
+	return func(s *Server) { s.clusterStats = stats }
 }
 
 // WithMaxBodyBytes overrides the request-body size cap (default 4 MiB).
@@ -672,9 +684,21 @@ func (s *Server) handleAnswers(v1 bool) handler {
 			if e != nil {
 				return 0, nil, e
 			}
-			res, err := sess.AnswerTraced(req.Answers, req.Reconcile, obs.FromContext(r.Context()))
+			// The key is also threaded into the session layer, which
+			// journals it with the batch: the durable, failover-surviving
+			// replay window beneath this server's byte-replay cache. A
+			// retry that lands on a peer that adopted the session after a
+			// crash still replays instead of double-charging HITs.
+			key := ""
+			if v1 {
+				key = r.Header.Get(api.IdempotencyKeyHeader)
+			}
+			res, replayed, err := sess.AnswerIdemTraced(req.Answers, req.Reconcile, key, obs.FromContext(r.Context()))
 			if err != nil {
 				return 0, nil, fromManager(err)
+			}
+			if replayed {
+				w.Header().Set(api.IdempotencyReplayedHeader, "true")
 			}
 			return http.StatusOK, res, nil
 		})
@@ -732,6 +756,7 @@ type metricsResponse struct {
 	DeprecatedRequests int64                      `json:"deprecated_requests"`
 	Endpoints          map[string]EndpointMetrics `json:"endpoints"`
 	Store              *store.Stats               `json:"store,omitempty"`
+	Cluster            *cluster.Stats             `json:"cluster,omitempty"`
 	Admission          *admissionMetrics          `json:"admission,omitempty"`
 	Faults             *faultMetrics              `json:"faults,omitempty"`
 	// Latency summarizes the per-endpoint request histograms (statuses
@@ -788,6 +813,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) *apiError
 		st := s.storeStats()
 		resp.Store = &st
 	}
+	if s.clusterStats != nil {
+		cs := s.clusterStats()
+		resp.Cluster = &cs
+	}
 	if s.adm != nil {
 		am := &admissionMetrics{
 			PerShard: s.adm.perShard,
@@ -836,6 +865,7 @@ type healthResponse struct {
 	Status   string          `json:"status"`
 	Degraded *healthDegraded `json:"degraded,omitempty"`
 	Store    *healthStore    `json:"store,omitempty"`
+	Cluster  *cluster.Stats  `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *apiError {
@@ -843,6 +873,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) *apiError
 	if reason, since, degraded := s.mgr.Degraded(); degraded {
 		resp.Status = "degraded"
 		resp.Degraded = &healthDegraded{Reason: reason, Since: since}
+	}
+	if s.clusterStats != nil {
+		cs := s.clusterStats()
+		resp.Cluster = &cs
 	}
 	if s.storeStats != nil {
 		st := s.storeStats()

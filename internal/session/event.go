@@ -47,10 +47,13 @@ type Event struct {
 	// Answers fields. Answers holds the post-reconciliation labels actually
 	// applied; HITs and Cost are the absolute totals after the batch, so
 	// replay is insensitive to a lost prefix being re-established by a later
-	// snapshot record.
+	// snapshot record. Key carries the batch's Idempotency-Key (if any), so
+	// replay — on this node or on a failover peer that shipped the journal —
+	// rebuilds the session's replay-detection window along with its state.
 	Answers []Answer `json:"answers,omitempty"`
 	HITs    int      `json:"hits,omitempty"`
 	Cost    float64  `json:"cost,omitempty"`
+	Key     string   `json:"key,omitempty"`
 
 	// Snapshot carries the full session state for resume and compaction
 	// records.
@@ -113,10 +116,28 @@ func ApplyEvent(states map[string]*Snapshot, ev Event) error {
 		s.Answers = append(s.Answers, ev.Answers...)
 		s.HITs = ev.HITs
 		s.Cost = ev.Cost
+		if ev.Key != "" {
+			s.AnswerKeys = pushAnswerKey(s.AnswerKeys, ev.Key)
+		}
 	case EventDelete, EventEvict:
 		delete(states, ev.ID)
 	default:
 		return fmt.Errorf("session: unknown event kind %q", ev.Kind)
 	}
 	return nil
+}
+
+// maxAnswerKeys bounds a session's idempotency-key replay window. The window
+// exists to absorb a client's bounded retry loop crossing a failover, not to
+// deduplicate forever; the server-side byte-replay cache already covers the
+// common same-node case.
+const maxAnswerKeys = 128
+
+// pushAnswerKey appends one key to the bounded window, newest last.
+func pushAnswerKey(keys []string, key string) []string {
+	keys = append(keys, key)
+	if len(keys) > maxAnswerKeys {
+		keys = append(keys[:0], keys[len(keys)-maxAnswerKeys:]...)
+	}
+	return keys
 }

@@ -64,6 +64,12 @@ type Config struct {
 	Limits Limits
 	// Clock overrides time.Now for TTL tests.
 	Clock func() time.Time
+	// NewID overrides fresh-session id minting (default: "s" plus 24 hex
+	// chars of crypto/rand). The cluster layer installs a generator that
+	// only mints ids owned by the local node on the consistent-hash ring, so
+	// a create request never has to redirect. Must return distinct values;
+	// collisions with live ids are re-minted.
+	NewID func() string
 	// Journal observes every state mutation (write-ahead). Nil keeps the
 	// manager purely in-memory.
 	Journal Journal
@@ -198,6 +204,14 @@ func newID() string {
 	return "s" + hex.EncodeToString(b[:])
 }
 
+// mintID mints a fresh session id, honoring Config.NewID.
+func (m *Manager) mintID() string {
+	if m.cfg.NewID != nil {
+		return m.cfg.NewID()
+	}
+	return newID()
+}
+
 // Session is one live dialogue: a learner plus the bookkeeping that makes it
 // servable — the answer log (for snapshots), crowd-cost accounting, and idle
 // tracking for TTL eviction. All methods are safe for concurrent use.
@@ -212,10 +226,15 @@ type Session struct {
 	// snapshots and journal events, so a resume — even on a daemon with
 	// different flag defaults — rebuilds the identical pool and version
 	// space.
-	limits    *api.PathLimits
-	answers   []Answer
-	hits      int
-	maxCost   float64
+	limits  *api.PathLimits
+	answers []Answer
+	// answerKeys is the bounded window of recent answers Idempotency-Keys
+	// (newest last); journaled with each batch and carried in snapshots, so
+	// a keyed retry that lands after a crash or failover is recognized as a
+	// replay instead of double-charging the batch.
+	answerKeys []string
+	hits       int
+	maxCost    float64
 	createdAt time.Time
 	failed    error
 	// evicted is set under mu when the session leaves the manager (TTL
@@ -269,7 +288,7 @@ func (m *Manager) CreateTraced(model, task string, opts CreateOptions, tr *obs.T
 		return nil, err
 	}
 	m.attachCache(learner)
-	s := m.newSession(newID(), model, task, learner, opts.MaxCost)
+	s := m.newSession(m.mintID(), model, task, learner, opts.MaxCost)
 	if model == "path" {
 		// Stamp the EFFECTIVE limits, not the request's: a snapshot must
 		// rebuild the identical pool even on a daemon with different flag
@@ -341,7 +360,7 @@ func (m *Manager) insert(s *Session) {
 			return
 		}
 		sh.mu.Unlock()
-		s.id = newID() // astronomically unlikely collision
+		s.id = m.mintID() // astronomically unlikely collision
 	}
 }
 
@@ -531,7 +550,7 @@ func (m *Manager) Resume(snap Snapshot) (*Session, error) {
 func (m *Manager) ResumeTraced(snap Snapshot, tr *obs.Trace) (*Session, error) {
 	m.compactMu.RLock()
 	defer m.compactMu.RUnlock()
-	return m.resume(snap, true, tr)
+	return m.resume(snap, true, true, tr)
 }
 
 // Recover replays recovered snapshots back into live sessions through the
@@ -549,7 +568,30 @@ func (m *Manager) Recover(snaps []Snapshot) (int, error) {
 	n := 0
 	var errs []error
 	for _, snap := range snaps {
-		if _, err := m.resume(snap, false, nil); err != nil {
+		if _, err := m.resume(snap, false, false, nil); err != nil {
+			errs = append(errs, fmt.Errorf("session %s: %w", snap.ID, err))
+			continue
+		}
+		n++
+	}
+	return n, errors.Join(errs...)
+}
+
+// Adopt registers sessions taken over from a failed cluster peer: snapshots
+// reconstructed from the peer's shipped journal by the replication follower.
+// Unlike Recover, adoption IS journaled — the adopting node's own journal
+// must contain every adopted session, or a restart would lose them — but
+// like Recover the snapshots are trusted (they come from a peer's journal,
+// not a client), so the untrusted cost/limit checks are relaxed and a
+// -cost-per-hit or limits mismatch between peers cannot destroy sessions.
+// Sessions that fail to replay are skipped and reported, like Recover.
+func (m *Manager) Adopt(snaps []Snapshot) (int, error) {
+	m.compactMu.RLock()
+	defer m.compactMu.RUnlock()
+	n := 0
+	var errs []error
+	for _, snap := range snaps {
+		if _, err := m.resume(snap, true, false, nil); err != nil {
 			errs = append(errs, fmt.Errorf("session %s: %w", snap.ID, err))
 			continue
 		}
@@ -592,16 +634,18 @@ func (m *Manager) validateSnapshot(snap Snapshot, untrusted bool) error {
 	return nil
 }
 
-// resume is the shared rehydration path under compactMu; journalIt
-// distinguishes a client resume (journaled as a new event) from boot-time
-// recovery (already journaled).
-func (m *Manager) resume(snap Snapshot, journalIt bool, tr *obs.Trace) (*Session, error) {
+// resume is the shared rehydration path under compactMu. journalIt
+// distinguishes paths that must write a resume event (client resume, peer
+// adoption) from boot-time recovery (already journaled); untrusted
+// distinguishes client-supplied snapshots (full cost/limit validation) from
+// the daemon's or a peer's own journal (structural checks only). The
+// combinations in use: client resume (true, true), boot recovery (false,
+// false), failover adoption (true, false).
+func (m *Manager) resume(snap Snapshot, journalIt, untrusted bool, tr *obs.Trace) (*Session, error) {
 	if snap.ID == "" {
 		return nil, fmt.Errorf("session: snapshot has no id")
 	}
-	// A journaled client resume is an untrusted snapshot; a recovery replay
-	// (journalIt=false) is the daemon's own journal.
-	if err := m.validateSnapshot(snap, journalIt); err != nil {
+	if err := m.validateSnapshot(snap, untrusted); err != nil {
 		return nil, err
 	}
 	sh := m.shardFor(snap.ID)
@@ -651,6 +695,12 @@ func (m *Manager) resume(snap Snapshot, journalIt bool, tr *obs.Trace) (*Session
 		s.limits = lim.wire()
 	}
 	s.answers = append(s.answers, snap.Answers...)
+	if n := len(snap.AnswerKeys); n > 0 {
+		if n > maxAnswerKeys {
+			snap.AnswerKeys = snap.AnswerKeys[n-maxAnswerKeys:]
+		}
+		s.answerKeys = append([]string(nil), snap.AnswerKeys...)
+	}
 	s.hits = snap.HITs
 	s.createdAt = snap.CreatedAt
 
@@ -788,8 +838,21 @@ func (s *Session) Answer(batch []Answer, reconcile string) (AnswerResult, error)
 // journal.append (inside commit), learner.record, and the trailing
 // learner.propose that computes Remaining.
 func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) (AnswerResult, error) {
+	res, _, err := s.AnswerIdemTraced(batch, reconcile, "", tr)
+	return res, err
+}
+
+// AnswerIdemTraced is AnswerTraced with a durable idempotency key. A
+// non-empty key is journaled with the batch's event and kept in the
+// session's bounded key window; a batch arriving under a key already in the
+// window — a client retry whose original landed, possibly on a node that has
+// since died and been failed over — is not re-applied or re-charged, and
+// returns the session's current totals with replayed=true. This is the
+// session-layer backstop beneath the server's byte-replay cache: the cache
+// dies with its process, the window travels with the session's journal.
+func (s *Session) AnswerIdemTraced(batch []Answer, reconcile, key string, tr *obs.Trace) (AnswerResult, bool, error) {
 	if len(batch) == 0 {
-		return AnswerResult{}, fmt.Errorf("session: empty answer batch")
+		return AnswerResult{}, false, fmt.Errorf("session: empty answer batch")
 	}
 	// Answer mutates state, so it participates in the event stream: take the
 	// compaction read-lock before the session lock (the manager-wide lock
@@ -802,7 +865,29 @@ func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) 
 	defer s.mu.Unlock()
 	s.touch()
 	if err := s.checkLive(); err != nil {
-		return AnswerResult{}, err
+		return AnswerResult{}, false, err
+	}
+	if key != "" {
+		for _, k := range s.answerKeys {
+			if k == key {
+				// The original attempt under this key already applied and
+				// charged the batch (here, or on the node this session was
+				// failed over from). Report the current totals without
+				// re-executing; Applied is zero because THIS request
+				// applied nothing.
+				res := AnswerResult{HITs: s.hits, Cost: float64(s.hits) * s.costPerHIT}
+				qs, err := s.learner.Propose(1)
+				if err != nil {
+					return AnswerResult{}, true, err
+				}
+				if len(qs) > 0 {
+					res.Remaining = qs[0].Remaining
+				} else {
+					res.Done = true
+				}
+				return res, true, nil
+			}
+		}
 	}
 
 	var apply []Answer
@@ -812,10 +897,10 @@ func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) 
 	case ReconcileMajority:
 		var err error
 		if apply, err = majority(batch); err != nil {
-			return AnswerResult{}, err
+			return AnswerResult{}, false, err
 		}
 	default:
-		return AnswerResult{}, fmt.Errorf("session: unknown reconcile mode %q (want %q or %q)",
+		return AnswerResult{}, false, fmt.Errorf("session: unknown reconcile mode %q (want %q or %q)",
 			reconcile, ReconcileNone, ReconcileMajority)
 	}
 
@@ -828,14 +913,14 @@ func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) 
 	for _, a := range apply {
 		if err := s.learner.Validate(a.Item); err != nil {
 			validateDone()
-			return AnswerResult{}, err
+			return AnswerResult{}, false, err
 		}
 	}
 	validateDone()
 
 	cost := float64(s.hits+len(batch)) * s.costPerHIT
 	if s.maxCost > 0 && cost > s.maxCost {
-		return AnswerResult{}, fmt.Errorf("%w: batch of %d labels would cost $%.2f of a $%.2f budget",
+		return AnswerResult{}, false, fmt.Errorf("%w: batch of %d labels would cost $%.2f of a $%.2f budget",
 			ErrBudgetExhausted, len(batch), cost, s.maxCost)
 	}
 	// Canonicalize the surviving items before they are journaled or retained
@@ -847,12 +932,15 @@ func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) 
 	preHITs, preAnswers := s.hits, len(s.answers)
 	ev := Event{
 		Kind: EventAnswers, ID: s.id, Answers: apply,
-		HITs: s.hits + len(batch), Cost: cost,
+		HITs: s.hits + len(batch), Cost: cost, Key: key,
 	}
 	if err := s.mgr.commit(tr, ev, true); err != nil {
-		return AnswerResult{}, err
+		return AnswerResult{}, false, err
 	}
 	s.hits += len(batch)
+	if key != "" {
+		s.answerKeys = pushAnswerKey(s.answerKeys, key)
+	}
 
 	recordDone := tr.StartPhase("learner.record")
 	for _, a := range apply {
@@ -876,7 +964,7 @@ func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) 
 				// session with an error.
 				err = errors.Join(err, cerr)
 			}
-			return AnswerResult{}, fmt.Errorf("%w: %v", ErrFailed, err)
+			return AnswerResult{}, false, fmt.Errorf("%w: %v", ErrFailed, err)
 		}
 		s.answers = append(s.answers, a)
 	}
@@ -894,14 +982,14 @@ func (s *Session) AnswerTraced(batch []Answer, reconcile string, tr *obs.Trace) 
 	qs, err := s.learner.Propose(1)
 	proposeDone()
 	if err != nil {
-		return AnswerResult{}, err
+		return AnswerResult{}, false, err
 	}
 	if len(qs) > 0 {
 		res.Remaining = qs[0].Remaining
 	} else {
 		res.Done = true
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // majority reduces a batch to one verdict per distinct item, preserving
@@ -970,12 +1058,16 @@ func (s *Session) Snapshot() Snapshot {
 func (s *Session) snapshotLocked() Snapshot {
 	answers := make([]Answer, len(s.answers))
 	copy(answers, s.answers)
-	return Snapshot{
+	snap := Snapshot{
 		ID: s.id, Model: s.model, Task: s.task,
 		Answers: answers, HITs: s.hits,
 		Cost: float64(s.hits) * s.costPerHIT, MaxCost: s.maxCost,
 		CreatedAt: s.createdAt, Limits: s.limits,
 	}
+	if len(s.answerKeys) > 0 {
+		snap.AnswerKeys = append([]string(nil), s.answerKeys...)
+	}
+	return snap
 }
 
 // Status summarizes the session.

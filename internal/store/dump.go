@@ -36,25 +36,40 @@ type dumpLine struct {
 // both formats (and files mixing them), never fails on corruption past the
 // framing layer (bad records become error lines), and reports a torn tail
 // as its final line.
-func DumpJournal(r io.Reader, w io.Writer) error {
+func DumpJournal(r io.Reader, w io.Writer) error { return DumpJournalFrom(r, w, 0) }
+
+// DumpJournalFrom is DumpJournal restricted to records at index from and
+// later (the -from-lsn flag of querylearn journal-dump — tail forensics on a
+// big journal without the noise of its snapshot head). Earlier v2 records
+// are still decoded, silently, because they may carry dictionary entries the
+// emitted tail references; only the output is filtered.
+func DumpJournalFrom(r io.Reader, w io.Writer, from int64) error {
 	br := bufio.NewReaderSize(r, 1<<16)
 	out := bufio.NewWriter(w)
 	enc := json.NewEncoder(out)
 	dec := codec.NewDecoder()
 	var goodBytes int64
-	for rec := 0; ; rec++ {
+	for rec := int64(0); ; rec++ {
 		payload, err := readRecord(br)
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			if werr := enc.Encode(dumpLine{Record: rec, TornTail: err.Error(), GoodBytes: goodBytes}); werr != nil {
+			if werr := enc.Encode(dumpLine{Record: int(rec), TornTail: err.Error(), GoodBytes: goodBytes}); werr != nil {
 				return werr
 			}
 			break
 		}
 		goodBytes += recordHeaderSize + int64(len(payload))
-		line := dumpLine{Record: rec}
+		if rec < from {
+			// Keep the decoder's intern table coherent for the records we do
+			// emit; drop the line itself.
+			if codec.IsV2(payload) {
+				_, _, _ = dec.DecodePayload(payload)
+			}
+			continue
+		}
+		line := dumpLine{Record: int(rec)}
 		switch {
 		case codec.IsV2(payload):
 			line.Format = FormatV2

@@ -172,6 +172,21 @@ type Store struct {
 	baseBytes  int64 // journal size after the last open/compaction
 	tailBytes  int64 // bytes appended since
 	tailEvents int64 // events appended since the last compaction
+
+	// Tail-read cursor state (see tail.go). gen counts journal file
+	// generations within this Open — every rewrite renames a fresh file (and
+	// fresh intern dictionary) into place, so a reader's position is only
+	// meaningful relative to a generation. fileRecords counts CRC-framed
+	// records (including v2 dictionary records) in the current generation;
+	// baseRecords is how many of those the rewrite itself wrote — a reader
+	// past baseRecords of the newest generation has seen every session the
+	// rewrite folded down, which is what CursorCovers uses to bridge cursors
+	// across a compaction. appendC is closed and replaced whenever the cursor
+	// advances, so tail readers can long-poll without spinning.
+	gen         int64
+	fileRecords int64
+	baseRecords int64
+	appendC     chan struct{}
 	fsyncs     int64
 	recovered  RecoveryStats
 	lastComp   *CompactionStats
@@ -279,6 +294,7 @@ func Open(dir string, opts Options) (*Store, []session.Snapshot, error) {
 	st := &Store{dir: dir, opts: opts, lock: lock, flusherDone: make(chan struct{})}
 	st.kick = sync.NewCond(&st.mu)
 	st.done = sync.NewCond(&st.mu)
+	st.appendC = make(chan struct{})
 	st.registerObs()
 	st.recovered = RecoveryStats{
 		Sessions:      len(res.snaps),
@@ -330,7 +346,7 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	w := st.faultW(tmp, PointCompactWrite)
-	var size int64
+	var size, records int64
 	// A fresh per-file encoder: the rewrite defines the new file's
 	// dictionary from scratch (only installed as st.enc once the rename
 	// succeeds). This is also the v1→v2 upgrade path — whatever format the
@@ -386,6 +402,7 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 		if st.bytesOut != nil {
 			st.bytesOut.Add(size - int64(len(dicts)+len(events))*recordHeaderSize)
 		}
+		records = int64(len(dicts) + len(events))
 	} else {
 		for i := range snaps {
 			payload, err := json.Marshal(session.Event{
@@ -395,6 +412,7 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 				return err
 			}
 		}
+		records = int64(len(snaps))
 	}
 	// The rewrite is always fsynced, whatever the append mode: it is the
 	// one copy of every session it contains.
@@ -454,6 +472,10 @@ func (st *Store) rewrite(snaps []session.Snapshot) error {
 	st.baseBytes = size
 	st.tailBytes = 0
 	st.tailEvents = 0
+	st.gen++
+	st.fileRecords = records
+	st.baseRecords = records
+	st.notifyCursorLocked()
 	// Every live session now sits in one fresh, fully-fsynced file, which is
 	// the only event that resolves durability doubt: a later fsync succeeding
 	// does not prove earlier failed writes reached disk, but a whole-file
@@ -572,7 +594,7 @@ func (st *Store) AppendTraced(ev session.Event, tr *obs.Trace) error {
 	if st.appendErr != nil {
 		return fmt.Errorf("store: journal poisoned by earlier write failure: %w", st.appendErr)
 	}
-	var n int64
+	var n, nrec int64
 	var err error
 	if st.opts.Format == FormatV2 {
 		// Encode under mu (the encoder's intern table is per-file state) and
@@ -587,8 +609,10 @@ func (st *Store) AppendTraced(ev session.Event, tr *obs.Trace) error {
 			return fmt.Errorf("store: encoding %s event: %w", ev.Kind, err)
 		}
 		rec := st.recBuf[:0]
+		nrec = 1
 		if dictEnd > 0 {
 			rec = frameRecord(rec, st.encBuf[:dictEnd])
+			nrec = 2
 		}
 		rec = frameRecord(rec, st.encBuf[dictEnd:])
 		st.recBuf = rec
@@ -606,6 +630,7 @@ func (st *Store) AppendTraced(ev session.Event, tr *obs.Trace) error {
 			st.enc.Rollback()
 		}
 	} else {
+		nrec = 1
 		writeStart := time.Now()
 		n, err = appendRecord(st.faultW(st.f, PointAppend), payload)
 		observe(st.appendHist, time.Since(writeStart))
@@ -632,6 +657,8 @@ func (st *Store) AppendTraced(ev session.Event, tr *obs.Trace) error {
 	st.appended++
 	st.tailBytes += n
 	st.tailEvents++
+	st.fileRecords += nrec
+	st.notifyCursorLocked()
 	if st.lastAppendErr != nil {
 		// This append proves the journal is writable again.
 		st.lastAppendErr = nil
@@ -790,6 +817,7 @@ func (st *Store) Close() error {
 	st.closed = true
 	st.kick.Broadcast()
 	st.done.Broadcast()
+	st.notifyCursorLocked()
 	st.mu.Unlock()
 	<-st.flusherDone
 
@@ -818,6 +846,7 @@ func (st *Store) Abandon() {
 	st.closed = true
 	st.kick.Broadcast()
 	st.done.Broadcast()
+	st.notifyCursorLocked()
 	st.f.Close()
 	if st.lock != nil {
 		st.lock.Close()

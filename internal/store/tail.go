@@ -1,0 +1,229 @@
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// This file is the store's tail-read surface: a streaming iterator over the
+// journal's raw records, built for replication (internal/cluster ships these
+// records to followers) and forensics (journal-dump -from-lsn). The central
+// complication is compaction: every rewrite renames a brand-new file — with a
+// brand-new v2 intern dictionary — into place, so "record 41" only means
+// something relative to a file generation. Cursors therefore carry (Gen,
+// Records); a reader that finds its generation gone must restart from record
+// zero of the current one and rebuild its decoder state from the fresh
+// dictionary section the rewrite wrote.
+
+// ErrCompacted reports a tail read whose journal generation was replaced by
+// a compaction rewrite; the reader must restart from the current generation.
+var ErrCompacted = errors.New("store: journal generation compacted away")
+
+// Cursor is a position in the journal's record stream: a file generation
+// (bumped on every compaction rewrite within one Open) and the count of
+// CRC-framed records — v2 dictionary records included — consumed of that
+// generation.
+type Cursor struct {
+	Gen     int64 `json:"gen"`
+	Records int64 `json:"records"`
+}
+
+// Cursor reports the current end of the journal: the generation and how many
+// records it holds. A reader at this cursor has everything.
+func (st *Store) Cursor() Cursor {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Cursor{Gen: st.gen, Records: st.fileRecords}
+}
+
+// CursorCovers reports whether a reader at cursor have has consumed every
+// session mutation up to cursor want. Within one generation that is plain
+// record-count comparison. Across a compaction the old generation's records
+// are gone, but its entire state was folded into the snapshot section at the
+// head of the new file — so a reader past the current generation's
+// baseRecords has (a superset of) everything any older cursor could want.
+// Cursors from generations that are neither current nor equal to want's are
+// conservatively not covered.
+func (st *Store) CursorCovers(have, want Cursor) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if have.Gen == want.Gen {
+		return have.Records >= want.Records
+	}
+	if have.Gen == st.gen && want.Gen < st.gen {
+		return have.Records >= st.baseRecords
+	}
+	return false
+}
+
+// notifyCursorLocked wakes every WaitCursor waiter; called under mu whenever
+// the cursor advances (append, rewrite) or the store closes.
+func (st *Store) notifyCursorLocked() {
+	close(st.appendC)
+	st.appendC = make(chan struct{})
+}
+
+// WaitCursor blocks until the journal has advanced past c — more records in
+// c's generation, or a newer generation — the timeout elapses, or the store
+// closes. It returns true when there is something new to read. This is the
+// long-poll primitive behind the cluster ship endpoint: a follower that is
+// caught up parks here instead of spinning.
+func (st *Store) WaitCursor(c Cursor, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		st.mu.Lock()
+		if st.closed {
+			st.mu.Unlock()
+			return false
+		}
+		if st.gen != c.Gen || st.fileRecords > c.Records {
+			st.mu.Unlock()
+			return true
+		}
+		ch := st.appendC
+		st.mu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return false
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return false
+		}
+	}
+}
+
+// TailReader streams a journal generation's raw record payloads from a fixed
+// starting record. It reads through its own file descriptor, pinned to the
+// generation that was current at ReadFrom time: a concurrent compaction
+// renames a new file into place but cannot disturb this reader's inode. Next
+// returns io.EOF at the safe limit (the record boundary captured under the
+// store lock — a torn in-progress write is never visible); Refresh re-arms
+// the limit, failing with ErrCompacted once the generation is gone. Not safe
+// for concurrent use; Close releases the descriptor.
+type TailReader struct {
+	st    *Store
+	gen   int64
+	f     *os.File
+	r     *bufio.Reader
+	limit int64 // safe byte length of the generation (a record boundary)
+	off   int64 // bytes consumed
+	rec   int64 // records consumed (== index of the next record)
+}
+
+// ReadFrom opens a streaming reader over the current journal generation,
+// positioned at record index from (0 is the first record of the file,
+// dictionary records counted). It fails if from lies beyond the journal's
+// current end.
+func (st *Store) ReadFrom(from int64) (*TailReader, error) {
+	if from < 0 {
+		return nil, fmt.Errorf("store: negative tail cursor %d", from)
+	}
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return nil, ErrClosed
+	}
+	// Open under mu so the fd, the generation, and the limit agree: a rewrite
+	// cannot rename between them.
+	f, err := os.Open(filepath.Join(st.dir, journalName))
+	if err != nil {
+		st.mu.Unlock()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	t := &TailReader{
+		st: st, gen: st.gen, f: f,
+		r:     bufio.NewReaderSize(f, 1<<16),
+		limit: st.baseBytes + st.tailBytes,
+	}
+	records := st.fileRecords
+	st.mu.Unlock()
+	if from > records {
+		t.Close()
+		return nil, fmt.Errorf("store: tail cursor %d beyond journal end %d", from, records)
+	}
+	for t.rec < from {
+		if _, err := t.Next(); err != nil {
+			t.Close()
+			return nil, fmt.Errorf("store: seeking tail cursor %d: %w", from, err)
+		}
+	}
+	return t, nil
+}
+
+// Gen reports the journal generation this reader is pinned to.
+func (t *TailReader) Gen() int64 { return t.gen }
+
+// Record reports the index of the next record Next would return.
+func (t *TailReader) Record() int64 { return t.rec }
+
+// LimitBytes reports the reader's current safe byte extent — the
+// generation's size as of ReadFrom or the last Refresh. The ship endpoint
+// publishes it so followers can compute byte-exact replication lag.
+func (t *TailReader) LimitBytes() int64 { return t.limit }
+
+// Next returns the next record's payload (CRC-verified, framing stripped),
+// or io.EOF at the reader's current safe limit. The returned slice is
+// freshly allocated and owned by the caller.
+func (t *TailReader) Next() ([]byte, error) {
+	if t.off >= t.limit {
+		return nil, io.EOF
+	}
+	payload, err := readRecord(t.r)
+	if err != nil {
+		if err == io.EOF {
+			// The limit said more records exist but the file ended: the
+			// generation was swapped and this fd somehow re-resolved (cannot
+			// happen with a held fd) or the limit was refreshed across a
+			// generation. Either way the reader is stale.
+			return nil, ErrCompacted
+		}
+		return nil, err
+	}
+	t.off += recordHeaderSize + int64(len(payload))
+	t.rec++
+	return payload, nil
+}
+
+// Refresh re-arms the reader's safe limit to the journal's current end, so a
+// reader that drained to io.EOF can continue once WaitCursor reports new
+// records. It fails with ErrCompacted when the reader's generation is no
+// longer current.
+func (t *TailReader) Refresh() error {
+	t.st.mu.Lock()
+	defer t.st.mu.Unlock()
+	if t.st.closed {
+		return ErrClosed
+	}
+	if t.st.gen != t.gen {
+		return ErrCompacted
+	}
+	t.limit = t.st.baseBytes + t.st.tailBytes
+	return nil
+}
+
+// Close releases the reader's file descriptor.
+func (t *TailReader) Close() error { return t.f.Close() }
+
+// RecordOverhead is the per-record framing overhead in bytes (length +
+// CRC header); a framed record is RecordOverhead + len(payload) bytes.
+// Exported so the replication follower can track byte-exact lag.
+const RecordOverhead = recordHeaderSize
+
+// FrameRecord appends one length+CRC framed journal record to dst — the
+// exact on-disk (and on-wire, for cluster shipping) framing. Exported so the
+// replication layer can re-frame payloads without duplicating the format.
+func FrameRecord(dst, payload []byte) []byte { return frameRecord(dst, payload) }
+
+// ReadRecord decodes the next framed record from r: io.EOF at a clean end,
+// an error mentioning a torn tail on truncation or CRC mismatch. The inverse
+// of FrameRecord, exported for the replication layer's stream decode.
+func ReadRecord(r *bufio.Reader) ([]byte, error) { return readRecord(r) }

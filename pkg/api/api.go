@@ -89,6 +89,10 @@ const (
 	// call, reused across its retries, so a stalled dialogue can be traced
 	// end-to-end.
 	RequestIDHeader = "X-Request-Id"
+	// NodeHeader names the cluster node that answered. On a 307 redirect it
+	// instead names the session's owner node the client should follow to;
+	// the SDK uses it to maintain its session→node routing cache.
+	NodeHeader = "X-Querylearn-Node"
 )
 
 // MaxQuestionBatch caps the n parameter of GET /v1/sessions/{id}/questions.
@@ -222,6 +226,11 @@ type Snapshot struct {
 	// Limits preserves the create request's session limits so a resumed
 	// session rebuilds the identical question pool and version space.
 	Limits *PathLimits `json:"limits,omitempty"`
+	// AnswerKeys is the session's recent Idempotency-Key window (newest
+	// last, bounded), persisted so a keyed answers retry that lands after a
+	// failover — on a node that never saw the original request — is still
+	// recognized as a replay instead of double-charging the batch.
+	AnswerKeys []string `json:"answer_keys,omitempty"`
 }
 
 // Status is a session's lifecycle summary.

@@ -62,6 +62,12 @@ const (
 	// breakerCooldown later a single probe is let through (half-open).
 	breakerThreshold = 8
 	breakerCooldown  = 2 * time.Second
+	// maxRedirects bounds one logical call's 307 chain. A clustered service
+	// answers at most one hop (the session's owner); anything longer is a
+	// routing loop.
+	maxRedirects = 4
+	// maxRoutes caps the session->node route cache.
+	maxRoutes = 4096
 )
 
 // Client talks to one querylearn service. The zero value is not usable;
@@ -73,6 +79,14 @@ type Client struct {
 	backoff    time.Duration
 	backoffCap time.Duration
 	cb         *breaker
+
+	// routes caches which node base URL owns each session, learned from the
+	// cluster's 307 redirects. A hit sends the request straight to the owner
+	// (no redirect round-trip); the entry is invalidated by any further
+	// redirect (ownership moved) and by a connection error (node died — the
+	// call falls back to the primary base, which reroutes).
+	routeMu sync.Mutex
+	routes  map[string]string
 
 	// Test seams: the backoff sleeper, the jitter source, and the breaker
 	// clock. Production uses real time; unit tests fake all three.
@@ -152,10 +166,86 @@ func New(baseURL string, opts ...Option) *Client {
 	for _, opt := range opts {
 		opt(c)
 	}
+	// The SDK handles 307s itself (route cache, redirect cap, key-preserving
+	// re-send); a transport that auto-follows would hide them. Work on a
+	// shallow copy so a caller's shared http.Client is not mutated.
+	hc := *c.hc
+	hc.CheckRedirect = func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}
+	c.hc = &hc
+	c.routes = make(map[string]string)
 	if c.cb != nil {
 		c.cb.now = c.now
 	}
 	return c
+}
+
+// route reports the cached owner base for a session id.
+func (c *Client) route(sid string) (string, bool) {
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	base, ok := c.routes[sid]
+	return base, ok
+}
+
+// setRoute records (or replaces) a session's owner base; an owner equal to
+// the primary base just drops the entry.
+func (c *Client) setRoute(sid, base string) {
+	if sid == "" {
+		return
+	}
+	c.routeMu.Lock()
+	defer c.routeMu.Unlock()
+	if base == "" || base == c.base {
+		delete(c.routes, sid)
+		return
+	}
+	if len(c.routes) >= maxRoutes {
+		for k := range c.routes {
+			delete(c.routes, k)
+			break
+		}
+	}
+	c.routes[sid] = base
+}
+
+func (c *Client) dropRoute(sid string) {
+	if sid == "" {
+		return
+	}
+	c.routeMu.Lock()
+	delete(c.routes, sid)
+	c.routeMu.Unlock()
+}
+
+// sessionIDFromPath extracts the session id a /sessions/{id}... call path
+// addresses ("" for create, list, resume, and non-session paths).
+func sessionIDFromPath(path string) string {
+	rest, ok := strings.CutPrefix(path, "/sessions/")
+	if !ok {
+		return ""
+	}
+	if i := strings.IndexAny(rest, "/?"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "resume" {
+		return ""
+	}
+	id, err := url.PathUnescape(rest)
+	if err != nil {
+		return ""
+	}
+	return id
+}
+
+// baseOfLocation reduces a redirect Location to a client base URL.
+func baseOfLocation(loc string) string {
+	u, err := url.Parse(loc)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return ""
+	}
+	return u.Scheme + "://" + u.Host
 }
 
 // breaker is a half-open circuit breaker. Closed: calls flow, consecutive
@@ -320,15 +410,25 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 		}
 		payload = b
 	}
-	u := c.base + api.V1Prefix + path
+	// A cached route sends the call straight at the session's owner node;
+	// without one it goes to the primary base, which redirects if needed.
+	sid := sessionIDFromPath(path)
+	base := c.base
+	if sid != "" {
+		if owner, ok := c.route(sid); ok {
+			base = owner
+		}
+	}
 	// One request id per logical call, reused across retries: server-side
 	// logs then show every attempt of a stalled dialogue under one
 	// correlator, exactly like the idempotency key pins the write itself.
 	requestID := newIdemKey()
+	redirects := 0
 	for attempt := 0; ; attempt++ {
 		if err := c.cb.allow(); err != nil {
 			return err
 		}
+		u := base + api.V1Prefix + path
 		req, err := http.NewRequestWithContext(ctx, method, u, bytes.NewReader(payload))
 		if err != nil {
 			c.cb.record(true) // a malformed request says nothing about the service
@@ -346,6 +446,14 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			c.cb.record(false)
+			if base != c.base {
+				// The cached owner is unreachable — likely dead. Drop the
+				// route and fall back to the primary base, which knows the
+				// post-failover owner; the fallback itself is free (the
+				// request never got a response from a working node).
+				c.dropRoute(sid)
+				base = c.base
+			}
 			// A transport error may have lost a response after the server
 			// acted; only requests that are safe to re-send (reads, or
 			// writes pinned by an idempotency key) are retried.
@@ -364,6 +472,19 @@ func (c *Client) do(ctx context.Context, method, path string, body any, idemKey 
 		c.cb.record(resp.StatusCode != http.StatusServiceUnavailable)
 		if err != nil {
 			return fmt.Errorf("client: reading response: %w", err)
+		}
+		if resp.StatusCode == http.StatusTemporaryRedirect && redirects < maxRedirects {
+			if nb := baseOfLocation(resp.Header.Get("Location")); nb != "" {
+				// A cluster ownership signal: cache the owner (replacing any
+				// stale route) and re-send the identical request — method,
+				// body, and Idempotency-Key — at it. Redirect hops do not
+				// consume the retry budget; they are bounded by maxRedirects.
+				c.setRoute(sid, nb)
+				base = nb
+				redirects++
+				attempt--
+				continue
+			}
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable && attempt < c.retries {
 			// 503 is the server's contract that the mutation did NOT take

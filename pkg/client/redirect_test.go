@@ -1,0 +1,199 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"querylearn/pkg/api"
+)
+
+// fakeNode is a minimal cluster-node stand-in: it serves answers for the
+// sessions it owns and 307s everything else at the current owner, counting
+// what it saw.
+type fakeNode struct {
+	ts       *httptest.Server
+	hits     atomic.Int64
+	redirs   atomic.Int64
+	lastKey  atomic.Value // string: Idempotency-Key of the last served POST
+	lastBody atomic.Value // string
+	owner    atomic.Value // string: base URL to redirect to ("" = serve here)
+}
+
+func newFakeNode(t *testing.T) *fakeNode {
+	n := &fakeNode{}
+	n.owner.Store("")
+	n.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if owner, _ := n.owner.Load().(string); owner != "" {
+			n.redirs.Add(1)
+			w.Header().Set("Location", owner+r.URL.RequestURI())
+			w.Header().Set(api.NodeHeader, "elsewhere")
+			w.WriteHeader(http.StatusTemporaryRedirect)
+			json.NewEncoder(w).Encode(api.ErrorResponse{Error: &api.Error{
+				Code: "not_owner", Message: "follow the redirect"}})
+			return
+		}
+		n.hits.Add(1)
+		if r.Method == http.MethodPost {
+			n.lastKey.Store(r.Header.Get(api.IdempotencyKeyHeader))
+			body, _ := io.ReadAll(r.Body)
+			n.lastBody.Store(string(body))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.AnswerResult{Applied: 1, HITs: 1})
+	}))
+	t.Cleanup(n.ts.Close)
+	return n
+}
+
+// TestRedirectFollowPreservesBodyAndKey: a 307 from the primary must be
+// re-sent at the owner with the same JSON body and the same Idempotency-Key,
+// and the owner learned from the redirect must be cached — the next call for
+// that session skips the primary entirely.
+func TestRedirectFollowPreservesBodyAndKey(t *testing.T) {
+	owner := newFakeNode(t)
+	primary := newFakeNode(t)
+	primary.owner.Store(owner.ts.URL)
+
+	c := New(primary.ts.URL, WithRetry(0, 0))
+	res, err := c.Answers(context.Background(), "s1", []api.Answer{
+		{Item: json.RawMessage(`{"k":1}`), Positive: true},
+	}, api.ReconcileNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if primary.redirs.Load() != 1 || owner.hits.Load() != 1 {
+		t.Fatalf("primary redirected %d, owner served %d; want 1 and 1",
+			primary.redirs.Load(), owner.hits.Load())
+	}
+	key, _ := owner.lastKey.Load().(string)
+	if key == "" {
+		t.Fatal("Idempotency-Key not preserved across the 307")
+	}
+	body, _ := owner.lastBody.Load().(string)
+	var req api.AnswersRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil || len(req.Answers) != 1 || !req.Answers[0].Positive {
+		t.Fatalf("owner got body %q", body)
+	}
+
+	// Second call: the cached route sends it straight to the owner.
+	if _, err := c.Answers(context.Background(), "s1", []api.Answer{
+		{Item: json.RawMessage(`{"k":2}`), Positive: false},
+	}, api.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	if primary.redirs.Load() != 1 {
+		t.Fatalf("second call went through the primary again (%d redirects)", primary.redirs.Load())
+	}
+	if owner.hits.Load() != 2 {
+		t.Fatalf("owner served %d, want 2", owner.hits.Load())
+	}
+}
+
+// TestRedirectInvalidatesStaleRoute: when ownership moves (the cached owner
+// itself starts redirecting), the cache follows the new 307 and is rewritten
+// — a third call goes straight to the new owner.
+func TestRedirectInvalidatesStaleRoute(t *testing.T) {
+	owner1 := newFakeNode(t)
+	owner2 := newFakeNode(t)
+	primary := newFakeNode(t)
+	primary.owner.Store(owner1.ts.URL)
+
+	c := New(primary.ts.URL, WithRetry(0, 0))
+	ctx := context.Background()
+	ans := []api.Answer{{Item: json.RawMessage(`{}`), Positive: true}}
+	if _, err := c.Answers(ctx, "s1", ans, api.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	// Failover: owner1 now bounces to owner2.
+	owner1.owner.Store(owner2.ts.URL)
+	if _, err := c.Answers(ctx, "s1", ans, api.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	if owner2.hits.Load() != 1 {
+		t.Fatalf("owner2 served %d after ownership moved, want 1", owner2.hits.Load())
+	}
+	// The stale route was replaced: the third call goes direct to owner2.
+	if _, err := c.Answers(ctx, "s1", ans, api.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	if owner1.redirs.Load() != 1 {
+		t.Fatalf("third call still hit stale owner1 (%d redirects there)", owner1.redirs.Load())
+	}
+	if owner2.hits.Load() != 2 {
+		t.Fatalf("owner2 served %d, want 2", owner2.hits.Load())
+	}
+}
+
+// TestConnectionErrorFallsBackToPrimary: a dead cached owner must not strand
+// the session — the connection error drops the route and the retry goes to
+// the primary base.
+func TestConnectionErrorFallsBackToPrimary(t *testing.T) {
+	owner := newFakeNode(t)
+	primary := newFakeNode(t)
+	primary.owner.Store(owner.ts.URL)
+
+	c := New(primary.ts.URL, WithRetry(1, 0))
+	c.sleep = func(context.Context, time.Duration) error { return nil }
+	ctx := context.Background()
+	ans := []api.Answer{{Item: json.RawMessage(`{}`), Positive: true}}
+	if _, err := c.Answers(ctx, "s1", ans, api.ReconcileNone); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.route("s1"); !ok {
+		t.Fatal("no route cached after redirect")
+	}
+
+	// The owner dies; the primary adopts the session (serves locally now).
+	owner.ts.Close()
+	primary.owner.Store("")
+	if _, err := c.Answers(ctx, "s1", ans, api.ReconcileNone); err != nil {
+		t.Fatalf("call after owner death: %v", err)
+	}
+	if primary.hits.Load() != 1 {
+		t.Fatalf("primary served %d after fallback, want 1", primary.hits.Load())
+	}
+	if _, ok := c.route("s1"); ok {
+		t.Fatal("dead owner's route still cached")
+	}
+}
+
+// TestRedirectLoopBounded: a misconfigured cluster that redirects in a cycle
+// must surface the 307 as an error after maxRedirects hops, not spin.
+func TestRedirectLoopBounded(t *testing.T) {
+	n := newFakeNode(t)
+	n.owner.Store(n.ts.URL) // redirects to itself forever
+
+	c := New(n.ts.URL, WithRetry(0, 0))
+	_, err := c.Status(context.Background(), "s1")
+	if err == nil {
+		t.Fatal("redirect loop returned success")
+	}
+	if got := n.redirs.Load(); got != maxRedirects+1 {
+		t.Fatalf("loop made %d hops, want %d", got, maxRedirects+1)
+	}
+}
+
+func TestSessionIDFromPath(t *testing.T) {
+	for path, want := range map[string]string{
+		"/sessions/s1":           "s1",
+		"/sessions/s1/answers":   "s1",
+		"/sessions/s1/questions": "s1",
+		"/sessions":              "",
+		"/sessions/resume":       "",
+		"/sessions/s%2F1":        "s/1",
+		"/sessions/s1?x=1":       "s1",
+	} {
+		if got := sessionIDFromPath(path); got != want {
+			t.Errorf("sessionIDFromPath(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
