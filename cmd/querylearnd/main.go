@@ -95,6 +95,7 @@ type clusterConfig struct {
 	probeInterval time.Duration
 	failAfter     int
 	ackTimeout    time.Duration
+	secret        string
 }
 
 func (cc clusterConfig) enabled() bool { return cc.node != "" || cc.peers != "" }
@@ -169,6 +170,7 @@ func run(args []string, out io.Writer) error {
 	clusterProbe := fs.Duration("cluster-probe-interval", 500*time.Millisecond, "peer /healthz probe cadence")
 	clusterFailAfter := fs.Int("cluster-fail-after", 3, "consecutive probe failures before a peer is fenced and taken over")
 	clusterAck := fs.Duration("cluster-ack-timeout", 2*time.Second, "replication barrier: how long a mutation's response may wait for followers")
+	clusterSecret := fs.String("cluster-secret", "", "shared secret required on /v1/cluster/ship; set the same value on every node (empty = no check)")
 	batch := fs.Int("batch", 1, "replay mode: questions fetched and answered per round-trip (parallel crowd dispatch)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -191,6 +193,7 @@ func run(args []string, out io.Writer) error {
 	cc := clusterConfig{
 		node: *clusterNode, peers: *clusterPeers,
 		probeInterval: *clusterProbe, failAfter: *clusterFailAfter, ackTimeout: *clusterAck,
+		secret: *clusterSecret,
 	}
 	if cc.enabled() {
 		if cc.node == "" || cc.peers == "" {
@@ -244,6 +247,8 @@ func serve(addr string, cfg session.Config, sweepEvery time.Duration, sc storeCo
 				ProbeInterval: cc.probeInterval,
 				FailAfter:     cc.failAfter,
 				AckTimeout:    cc.ackTimeout,
+				MaxBodyBytes:  maxBody,
+				Secret:        cc.secret,
 				Obs:           obsReg,
 				Logger:        slog.New(slog.NewJSONHandler(os.Stderr, nil)),
 			})

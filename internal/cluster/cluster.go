@@ -65,6 +65,18 @@ type Config struct {
 	AckTimeout time.Duration
 	// ShipWait caps a ship long-poll a follower may request (default 10s).
 	ShipWait time.Duration
+	// MaxBodyBytes caps how much of a request body the router buffers to
+	// find a routing key — the resume endpoint's session id lives in the
+	// body. It should match the server's -max-body-bytes (default 4 MiB);
+	// bodies past the cap are served locally, where the inner server's own
+	// limit produces the proper 413.
+	MaxBodyBytes int64
+	// Secret, when non-empty, must accompany every ship request in
+	// X-Querylearn-Ship-Secret; followers present it on their polls.
+	// Protects the replication endpoint — and the follower-cursor reports
+	// that release the replication barrier — on networks where the listener
+	// is reachable beyond the peers. All nodes must agree on the value.
+	Secret string
 	// Obs receives the cluster metric families; nil uses a private registry.
 	Obs *obs.Registry
 	// Logger receives membership transitions and promotions (nil = discard).
@@ -172,6 +184,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.ShipWait <= 0 {
 		cfg.ShipWait = 10 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
 	}
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
@@ -357,10 +372,26 @@ func (c *Cluster) fence(id string) {
 		"sessions_shipped", len(snaps), "sessions_adopted", n, "adopt_err", err)
 }
 
+// knownPeer reports whether id names a configured peer (any liveness state).
+func (c *Cluster) knownPeer(id string) bool {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	_, ok := c.state[id]
+	return ok
+}
+
 // recordFollowerCursor notes how far a following peer has applied our
 // journal (reported as the from_lsn of its next ship poll) and wakes the
-// replication barrier.
+// replication barrier. The cursor is re-proven against the live journal
+// before it counts: the report is just a query parameter on an HTTP
+// request, so a cursor from a previous journal epoch (or one claiming
+// records the journal does not have) must never satisfy the barrier —
+// that would release acknowledgements for mutations no follower holds.
 func (c *Cluster) recordFollowerCursor(peerID string, cur store.Cursor) {
+	now := c.st.Cursor()
+	if cur.Gen != now.Gen || cur.Records > now.Records {
+		return
+	}
 	c.stateMu.Lock()
 	defer c.stateMu.Unlock()
 	if _, ok := c.state[peerID]; !ok {

@@ -82,7 +82,9 @@ func startNode(t *testing.T, self cluster.Peer, peers []cluster.Peer, ln net.Lis
 		// The harness pre-binds every listener, so peers answer on the
 		// first probe; a short grace keeps the expiry test fast.
 		BootGrace: 250 * time.Millisecond,
-		Obs:       reg,
+		// Every follower poll in these tests proves the secret round-trips.
+		Secret: testShipSecret,
+		Obs:    reg,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -121,6 +123,25 @@ func (nd *node) kill() {
 // noRedirect is an http.Client that surfaces 307s instead of following them.
 var noRedirect = &http.Client{
 	CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+}
+
+// testShipSecret is the -cluster-secret every harness node is started with.
+const testShipSecret = "harness-ship-secret"
+
+// shipGet issues one authenticated ship poll and returns the response with
+// its body unread; callers close it.
+func shipGet(t *testing.T, base, query string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/cluster/ship?"+query, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Querylearn-Ship-Secret", testShipSecret)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
 }
 
 func getJSON(t *testing.T, hc *http.Client, url string, into any) *http.Response {
@@ -450,24 +471,31 @@ func TestClusterShipEndpointContract(t *testing.T) {
 	}
 	createSession(t, nodes[0], ws[0])
 
+	// No secret: the endpoint refuses before looking at anything else.
+	respNoSecret := getJSON(t, noRedirect, nodes[0].base+"/v1/cluster/ship?shard=n1&from_lsn=0:0", nil)
+	if respNoSecret.StatusCode != http.StatusForbidden {
+		t.Fatalf("missing secret: HTTP %d, want 403", respNoSecret.StatusCode)
+	}
+
 	// Wrong shard: this node only ships its own journal.
-	resp := getJSON(t, noRedirect, nodes[0].base+"/v1/cluster/ship?shard=n2&from_lsn=0:0", nil)
+	resp := shipGet(t, nodes[0].base, "shard=n2&from_lsn=0:0")
+	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("wrong shard: HTTP %d, want 404", resp.StatusCode)
 	}
 
 	// Garbage cursor restarts the caller at record 0 of the live generation
 	// and the body decodes as framed records end to end.
-	resp2, err := http.Get(nodes[0].base + "/v1/cluster/ship?shard=n1&from_lsn=junk")
-	if err != nil {
-		t.Fatal(err)
-	}
+	resp2 := shipGet(t, nodes[0].base, "shard=n1&from_lsn=junk")
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("garbage cursor: HTTP %d, want 200 restart", resp2.StatusCode)
 	}
 	if from := resp2.Header.Get("X-Querylearn-Ship-From"); from != "0" {
 		t.Fatalf("restart From = %q, want 0", from)
+	}
+	if resp2.Header.Get("X-Querylearn-Ship-Epoch") == "" {
+		t.Fatal("ship response carries no journal epoch")
 	}
 	body, _ := io.ReadAll(resp2.Body)
 	n := int64(0)

@@ -22,11 +22,19 @@
 //     the owner's write-ahead journal as raw CRC-framed records (the store's
 //     on-disk framing is the wire framing), and the follower folds them
 //     through session.ApplyEvent — the same single replay rule recovery
-//     uses — into a warm standby of the peer's sessions. The from_lsn the
+//     uses — into a warm standby of the peer's sessions. Positions are
+//     (epoch, gen, records): generations are only unique within one owner
+//     boot, so each journal lifetime carries a random epoch, and a cursor
+//     from another epoch — an owner that restarted underneath its
+//     followers — forces a full resync from record 0 instead of silently
+//     serving "continuity" out of a different file. The from_lsn the
 //     follower presents doubles as its applied-cursor report, which the
 //     owner's replication barrier (serveLocal) uses to hold each mutation's
 //     2xx until every live peer has applied it — that is what makes
-//     "acknowledged" mean "survives the owner's death".
+//     "acknowledged" mean "survives the owner's death". A report only
+//     counts once it is proven against the live epoch and journal extent,
+//     and (when Config.Secret is set) the whole endpoint is gated on a
+//     shared secret.
 //
 //   - Failover (prober.go). Each node probes its peers' /healthz; FailAfter
 //     consecutive failures fence the peer — a permanent latch under the

@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"querylearn/internal/session"
+	"querylearn/internal/store"
+)
+
+// testPeers is a minimal two-node topology for driving the ship handler
+// directly; the peer addresses are never dialed.
+var testPeers = []Peer{
+	{ID: "n1", Addr: "127.0.0.1:1"},
+	{ID: "n2", Addr: "127.0.0.1:2"},
+}
+
+// shipPoll drives one ship request through the router without a network.
+func shipPoll(t *testing.T, c *Cluster, query, peerID string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, shipPath+"?"+query, nil)
+	if peerID != "" {
+		req.Header.Set("X-Querylearn-Node", peerID)
+	}
+	c.Router(http.NotFoundHandler()).ServeHTTP(rec, req)
+	return rec
+}
+
+func appendCreate(t *testing.T, st *store.Store, id string) {
+	t.Helper()
+	ev := session.Event{Kind: session.EventCreate, ID: id, Model: "join",
+		Task: "left L a\n", CreatedAt: time.Unix(1700000000, 0).UTC()}
+	if err := st.Append(ev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShipEpochFencesOwnerRestart is the regression for silent follower
+// corruption across a fast owner restart: generations are process-local
+// (every boot rewrite starts over at gen 1), so a surviving follower's
+// cursor (gen, records) can collide with the restarted owner's brand-new
+// journal. The ship handler must treat a cursor from a previous journal
+// epoch as unservable and restart the follower at record 0 — never serve
+// "continuity" out of a different file.
+func TestShipEpochFencesOwnerRestart(t *testing.T) {
+	dir := t.TempDir()
+	st1, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := New(Config{NodeID: "n1", Peers: testPeers, Store: st1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCreate(t, st1, "s1")
+	appendCreate(t, st1, "s2")
+	epoch1 := st1.Epoch()
+
+	// A cold follower is restarted at 0 and told the live epoch.
+	rec := shipPoll(t, c1, "shard=n1&from_lsn=0:0", "n2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cold poll: HTTP %d", rec.Code)
+	}
+	if got := rec.Header().Get(shipEpochHeader); got != epoch1 {
+		t.Fatalf("ship epoch = %q, want store epoch %q", got, epoch1)
+	}
+
+	// "Fast restart": same data dir reopened before anyone was fenced. The
+	// boot rewrite produces a fresh file whose gen starts over at 1, with
+	// at least one record (the snapshots of s1 and s2) — exactly the shape
+	// that used to collide with the old follower cursor.
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, _, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	c2, err := New(Config{NodeID: "n1", Peers: testPeers, Store: st2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch2 := st2.Epoch()
+	if epoch2 == epoch1 {
+		t.Fatalf("reopened journal kept epoch %q", epoch1)
+	}
+	now := st2.Cursor()
+	if now.Records < 1 {
+		t.Fatalf("rewritten journal holds %d records, need >= 1 for the collision shape", now.Records)
+	}
+
+	// The surviving follower polls with its old-epoch cursor, whose (gen,
+	// records) the new journal CAN satisfy numerically. It must be
+	// restarted at record 0 under the new epoch, not served continuity.
+	stale := fmt.Sprintf("shard=n1&from_lsn=%d:1&epoch=%s", now.Gen, epoch1)
+	rec = shipPoll(t, c2, stale, "n2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stale-epoch poll: HTTP %d", rec.Code)
+	}
+	if from := rec.Header().Get(shipFromHeader); from != "0" {
+		t.Fatalf("stale-epoch poll served From=%s, want 0 (full resync)", from)
+	}
+	if got := rec.Header().Get(shipEpochHeader); got != epoch2 {
+		t.Fatalf("restart announced epoch %q, want %q", got, epoch2)
+	}
+
+	// The same cursor under the live epoch IS continuity.
+	live := fmt.Sprintf("shard=n1&from_lsn=%d:1&epoch=%s", now.Gen, epoch2)
+	rec = shipPoll(t, c2, live, "n2")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("live-epoch poll: HTTP %d", rec.Code)
+	}
+	if from := rec.Header().Get(shipFromHeader); from != "1" {
+		t.Fatalf("live-epoch poll served From=%s, want 1 (continuity)", from)
+	}
+}
+
+// TestBarrierRejectsInvalidCursorReports: a follower-cursor report is just a
+// query parameter on an unauthenticated request, so the replication barrier
+// must only honor cursors the live journal can actually verify — right
+// epoch, within the current extent, from a configured peer id. Anything
+// else would release acknowledged mutations no follower holds.
+func TestBarrierRejectsInvalidCursorReports(t *testing.T) {
+	st, _, err := store.Open(t.TempDir(), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	c, err := New(Config{NodeID: "n1", Peers: testPeers, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendCreate(t, st, "s1")
+	c.stateMu.Lock()
+	c.state["n2"] = stateAlive
+	c.stateMu.Unlock()
+	target := st.Cursor()
+	exact := fmt.Sprintf("%d:%d", target.Gen, target.Records)
+
+	// Inflated extent: claims records the journal does not have.
+	shipPoll(t, c, fmt.Sprintf("shard=n1&from_lsn=%d:%d&epoch=%s",
+		target.Gen, target.Records+1000, st.Epoch()), "n2")
+	if c.awaitReplication(target, 20*time.Millisecond) {
+		t.Fatal("cursor beyond the journal extent satisfied the barrier")
+	}
+
+	// Stale epoch: a cursor built against a previous journal lifetime.
+	shipPoll(t, c, "shard=n1&from_lsn="+exact+"&epoch=deadbeef", "n2")
+	if c.awaitReplication(target, 20*time.Millisecond) {
+		t.Fatal("stale-epoch cursor satisfied the barrier")
+	}
+
+	// Unknown reporter: an id outside the configured membership.
+	shipPoll(t, c, "shard=n1&from_lsn="+exact+"&epoch="+st.Epoch(), "evil")
+	if c.awaitReplication(target, 20*time.Millisecond) {
+		t.Fatal("cursor from an unknown peer id satisfied the barrier")
+	}
+
+	// The genuine article clears it.
+	shipPoll(t, c, "shard=n1&from_lsn="+exact+"&epoch="+st.Epoch(), "n2")
+	if !c.awaitReplication(target, time.Second) {
+		t.Fatal("valid follower cursor did not satisfy the barrier")
+	}
+}

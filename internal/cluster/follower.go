@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -20,15 +21,19 @@ import (
 )
 
 // Ship protocol headers. The request's from_lsn query parameter is the
-// follower's applied cursor; the response declares what range of which
-// generation the body carries, plus the journal's current extent so the
-// follower can publish its lag.
+// follower's applied cursor (paired with the epoch query parameter naming
+// which journal lifetime it was built against); the response declares what
+// range of which epoch/generation the body carries, plus the journal's
+// current extent so the follower can publish its lag. The secret header
+// carries Config.Secret when the cluster has one.
 const (
+	shipEpochHeader      = "X-Querylearn-Ship-Epoch"
 	shipGenHeader        = "X-Querylearn-Ship-Gen"
 	shipFromHeader       = "X-Querylearn-Ship-From"
 	shipEndHeader        = "X-Querylearn-Ship-End"
 	shipTotalHeader      = "X-Querylearn-Ship-Total"
 	shipTotalBytesHeader = "X-Querylearn-Ship-Bytes"
+	shipSecretHeader     = "X-Querylearn-Ship-Secret"
 )
 
 // follower is this node's warm standby of one peer: the peer's journal
@@ -43,7 +48,12 @@ type follower struct {
 	sealed bool
 	states map[string]*session.Snapshot
 	dec    *codec.Decoder
-	cur    store.Cursor
+	// epoch is the journal lifetime cur was built against ("" until the
+	// first successful poll). Generations are process-local on the owner, so
+	// an owner restart can reproduce cur's (gen, records) shape over a
+	// different file; the epoch is what detects that and forces a resync.
+	epoch string
+	cur   store.Cursor
 	// genBytes counts framed bytes applied of the current generation; with
 	// the owner's reported totals it yields exact byte lag, because the
 	// follower always enters a generation at record 0.
@@ -89,11 +99,12 @@ func (c *Cluster) followLoop(f *follower) {
 // poll issues one ship request and applies whatever it returns.
 func (f *follower) poll() error {
 	f.mu.Lock()
-	cur := f.cur
+	cur, epoch := f.cur, f.epoch
 	f.mu.Unlock()
 	waitMS := f.c.cfg.ShipWait.Milliseconds()
-	u := fmt.Sprintf("http://%s%s?shard=%s&from_lsn=%d:%d&wait=%d",
-		f.peer.Addr, shipPath, url.QueryEscape(f.peer.ID), cur.Gen, cur.Records, waitMS)
+	u := fmt.Sprintf("http://%s%s?shard=%s&from_lsn=%d:%d&epoch=%s&wait=%d",
+		f.peer.Addr, shipPath, url.QueryEscape(f.peer.ID), cur.Gen, cur.Records,
+		url.QueryEscape(epoch), waitMS)
 	ctx, cancel := context.WithTimeout(context.Background(),
 		f.c.cfg.ShipWait+f.c.cfg.ProbeTimeout+5*time.Second)
 	defer cancel()
@@ -102,6 +113,9 @@ func (f *follower) poll() error {
 		return err
 	}
 	req.Header.Set(api.NodeHeader, f.c.self.ID)
+	if s := f.c.cfg.Secret; s != "" {
+		req.Header.Set(shipSecretHeader, s)
+	}
 	resp, err := f.c.client.Do(req)
 	if err != nil {
 		return err
@@ -111,35 +125,52 @@ func (f *follower) poll() error {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("cluster: ship from %s: HTTP %d", f.peer.ID, resp.StatusCode)
 	}
+	respEpoch := resp.Header.Get(shipEpochHeader)
 	gen, err1 := strconv.ParseInt(resp.Header.Get(shipGenHeader), 10, 64)
 	from, err2 := strconv.ParseInt(resp.Header.Get(shipFromHeader), 10, 64)
-	if err1 != nil || err2 != nil {
+	if respEpoch == "" || err1 != nil || err2 != nil {
 		return fmt.Errorf("cluster: ship from %s: malformed ship headers", f.peer.ID)
 	}
 	total, _ := strconv.ParseInt(resp.Header.Get(shipTotalHeader), 10, 64)
 	totalBytes, _ := strconv.ParseInt(resp.Header.Get(shipTotalBytesHeader), 10, 64)
+	// Drain the body BEFORE taking f.mu: seal() runs under the routing gate
+	// during a fence, so holding the lock across a network read would stall
+	// every routing decision on this node until the HTTP timeout — a
+	// cluster-wide freeze at exactly the failover moment. The owner caps one
+	// poll at maxShipBytes plus a single record, so the buffer is bounded; a
+	// bigger (or torn) body is truncated at the limit and the framing check
+	// in applyStreamLocked keeps only the intact prefix.
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxShipResponseBytes))
 
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.sealed {
 		return nil
 	}
-	if gen != f.cur.Gen || from != f.cur.Records {
+	if respEpoch != f.epoch || gen != f.cur.Gen || from != f.cur.Records {
 		if from != 0 {
 			// The owner may only answer at our cursor or restart us at
 			// record 0 of a generation; anything else is a protocol skew.
 			// Force a full resync by invalidating our cursor.
 			wanted := f.cur
+			f.epoch = ""
 			f.resetLocked(store.Cursor{Gen: -1})
 			return fmt.Errorf("cluster: ship from %s: offered %d:%d, wanted %d:%d",
 				f.peer.ID, gen, from, wanted.Gen, wanted.Records)
 		}
-		// Generation change (compaction or owner restart): the new file
-		// opens with a fresh dictionary and a full snapshot section, so
-		// dropping everything and replaying from record 0 reconverges.
+		// Epoch change (owner restart) or generation change (compaction):
+		// either way the journal is a different file with a fresh dictionary
+		// and a full snapshot section, so dropping everything and replaying
+		// from record 0 reconverges.
+		f.epoch = respEpoch
 		f.resetLocked(store.Cursor{Gen: gen})
 	}
-	f.applyStreamLocked(bufio.NewReaderSize(resp.Body, 1<<16))
+	f.applyStreamLocked(bufio.NewReader(bytes.NewReader(body)))
+	if rerr != nil {
+		// The intact prefix is applied and the cursor advanced past it; the
+		// next poll resumes there. Report the cut so the loop backs off.
+		return fmt.Errorf("cluster: ship from %s: reading body: %w", f.peer.ID, rerr)
+	}
 	if total >= f.cur.Records && gen == f.cur.Gen {
 		f.lagRecords = total - f.cur.Records
 	} else {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,16 +22,15 @@ import (
 const shipPath = "/v1/cluster/ship"
 
 // Per-poll ship response caps: a catching-up follower drains the journal in
-// bounded chunks instead of one unbounded response.
+// bounded chunks instead of one unbounded response. The byte cap is checked
+// before each record is framed, so a response can overshoot it by at most
+// one maximum-size record — maxShipResponseBytes is the resulting hard
+// bound a follower may buffer.
 const (
-	maxShipRecords = 4096
-	maxShipBytes   = 4 << 20
+	maxShipRecords       = 4096
+	maxShipBytes         = 4 << 20
+	maxShipResponseBytes = maxShipBytes + store.MaxRecordSize + store.RecordOverhead
 )
-
-// resumePeekLimit bounds how much of a resume body the router will buffer
-// to find the session id. Bodies past it are handed to the inner server
-// unrouted, which enforces its own (configurable) cap with a proper 413.
-const resumePeekLimit = 64 << 20
 
 // CodeNotOwner is the error code a redirect response body carries; the
 // Location and X-Querylearn-Node headers are the machine-usable part.
@@ -112,16 +112,20 @@ func routeKey(r *http.Request) (id string, v1 bool, kind routeKind) {
 
 // peekResumeID buffers a resume body, extracts the snapshot id, and restores
 // the body for whoever serves the request next (the inner server or the
-// reverse proxy). A body that is oversized or not JSON routes local, where
-// the inner server produces the proper structured error.
+// reverse proxy). The peek is capped at the server's configured body limit
+// (Config.MaxBodyBytes) — the router runs outside the inner server's
+// MaxBytesReader, so without its own cap N concurrent oversized posts would
+// pin N unbounded buffers before any limit applied. A body that is
+// oversized or not JSON routes local, where the inner server produces the
+// proper structured error (413 for oversized).
 func (c *Cluster) peekResumeID(r *http.Request) string {
-	body, err := io.ReadAll(io.LimitReader(r.Body, resumePeekLimit+1))
+	body, err := io.ReadAll(io.LimitReader(r.Body, c.cfg.MaxBodyBytes+1))
 	r.Body.Close()
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	r.GetBody = func() (io.ReadCloser, error) {
 		return io.NopCloser(bytes.NewReader(body)), nil
 	}
-	if err != nil || int64(len(body)) > resumePeekLimit {
+	if err != nil || int64(len(body)) > c.cfg.MaxBodyBytes {
 		return ""
 	}
 	var peek struct {
@@ -215,13 +219,23 @@ func (b *bufferedResponse) Write(p []byte) (int, error) {
 }
 
 // handleShip serves one journal-shipping poll: GET /v1/cluster/ship
-// ?shard=<owner id>&from_lsn=<gen>:<records>&wait=<ms>. The response body is
-// raw CRC-framed journal records — the on-disk framing verbatim — and the
-// X-Querylearn-Ship-* headers say which range of which generation it is.
-// A from_lsn the journal cannot serve (unknown generation, past the end)
-// restarts the follower at record 0 of the current generation. The caller's
-// from_lsn doubles as its applied-cursor report for the replication barrier.
+// ?shard=<owner id>&from_lsn=<gen>:<records>&epoch=<journal epoch>&wait=<ms>.
+// The response body is raw CRC-framed journal records — the on-disk framing
+// verbatim — and the X-Querylearn-Ship-* headers say which range of which
+// epoch/generation it is. A from_lsn the journal cannot serve — wrong epoch
+// (this process rebooted since the cursor was built; generations are only
+// unique within one boot, so an equal (gen, records) shape may describe a
+// different file entirely), unknown generation, or past the end — restarts
+// the follower at record 0 of the current generation. The caller's from_lsn
+// doubles as its applied-cursor report for the replication barrier, counted
+// only once it has been proven against the live epoch and extent.
 func (c *Cluster) handleShip(w http.ResponseWriter, r *http.Request) {
+	if s := c.cfg.Secret; s != "" &&
+		subtle.ConstantTimeCompare([]byte(r.Header.Get(shipSecretHeader)), []byte(s)) != 1 {
+		writeClusterError(w, http.StatusForbidden, api.CodeBadRequest,
+			"ship requires the cluster secret")
+		return
+	}
 	q := r.URL.Query()
 	if shard := q.Get("shard"); shard != c.self.ID {
 		writeClusterError(w, http.StatusNotFound, api.CodeBadParam,
@@ -242,15 +256,20 @@ func (c *Cluster) handleShip(w http.ResponseWriter, r *http.Request) {
 			wait = c.cfg.ShipWait
 		}
 	}
+	// Ids outside the configured membership get no reader-cache slot and no
+	// barrier vote; they are served as anonymous one-shot reads.
 	peerID := r.Header.Get(api.NodeHeader)
-	if okLSN && peerID != "" {
-		c.recordFollowerCursor(peerID, reqCur)
+	if peerID != "" && !c.knownPeer(peerID) {
+		peerID = ""
 	}
 
+	epoch := c.st.Epoch()
 	cur := c.st.Cursor()
 	gen, from := reqCur.Gen, reqCur.Records
-	if !okLSN || gen != cur.Gen || from > cur.Records {
+	if !okLSN || q.Get("epoch") != epoch || gen != cur.Gen || from > cur.Records {
 		gen, from = cur.Gen, 0
+	} else if peerID != "" {
+		c.recordFollowerCursor(peerID, reqCur)
 	}
 	if from == cur.Records && wait > 0 {
 		c.st.WaitCursor(cur, wait)
@@ -295,6 +314,7 @@ func (c *Cluster) handleShip(w http.ResponseWriter, r *http.Request) {
 		totalRecords = from + n
 	}
 	h := w.Header()
+	h.Set(shipEpochHeader, epoch)
 	h.Set(shipGenHeader, strconv.FormatInt(gen, 10))
 	h.Set(shipFromHeader, strconv.FormatInt(from, 10))
 	h.Set(shipEndHeader, strconv.FormatInt(from+n, 10))

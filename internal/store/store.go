@@ -29,6 +29,8 @@
 package store
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -183,13 +185,19 @@ type Store struct {
 	// rewrite folded down, which is what CursorCovers uses to bridge cursors
 	// across a compaction. appendC is closed and replaced whenever the cursor
 	// advances, so tail readers can long-poll without spinning.
+	// epoch is a random id minted once per Open. gen only counts rewrites
+	// within one process lifetime — every boot starts over at gen 1 — so a
+	// cursor is globally meaningful only as (epoch, gen, records). The
+	// cluster ship protocol compares epochs to tell an owner restart from
+	// plain continuity. Immutable after Open; read without mu.
+	epoch       string
 	gen         int64
 	fileRecords int64
 	baseRecords int64
 	appendC     chan struct{}
-	fsyncs     int64
-	recovered  RecoveryStats
-	lastComp   *CompactionStats
+	fsyncs      int64
+	recovered   RecoveryStats
+	lastComp    *CompactionStats
 
 	// enc is the v2 journal encoder for the CURRENT file generation (nil in
 	// v1 mode); each rewrite starts a fresh one, since the new file defines
@@ -292,6 +300,14 @@ func Open(dir string, opts Options) (*Store, []session.Snapshot, error) {
 	}
 
 	st := &Store{dir: dir, opts: opts, lock: lock, flusherDone: make(chan struct{})}
+	var eb [8]byte
+	if _, err := rand.Read(eb[:]); err != nil {
+		if lock != nil {
+			lock.Close()
+		}
+		return nil, nil, fmt.Errorf("store: minting journal epoch: %w", err)
+	}
+	st.epoch = hex.EncodeToString(eb[:])
 	st.kick = sync.NewCond(&st.mu)
 	st.done = sync.NewCond(&st.mu)
 	st.appendC = make(chan struct{})

@@ -33,6 +33,15 @@ type Cursor struct {
 	Records int64 `json:"records"`
 }
 
+// Epoch identifies this journal lifetime: a random id minted at Open.
+// Generations are only unique within one Open (every boot rewrite starts
+// over at gen 1), so across processes a cursor is only meaningful as
+// (Epoch, Gen, Records). The cluster ship protocol exchanges the epoch to
+// tell an owner restart — different file, different intern dictionary,
+// possibly a colliding (gen, records) shape — from plain continuity, and
+// forces a follower full resync on mismatch.
+func (st *Store) Epoch() string { return st.epoch }
+
 // Cursor reports the current end of the journal: the generation and how many
 // records it holds. A reader at this cursor has everything.
 func (st *Store) Cursor() Cursor {
@@ -217,6 +226,11 @@ func (t *TailReader) Close() error { return t.f.Close() }
 // CRC header); a framed record is RecordOverhead + len(payload) bytes.
 // Exported so the replication follower can track byte-exact lag.
 const RecordOverhead = recordHeaderSize
+
+// MaxRecordSize is the largest payload one framed record may carry (the
+// reader rejects bigger length fields as corruption). Exported so the
+// replication follower can bound how much of a ship response it buffers.
+const MaxRecordSize = maxRecordSize
 
 // FrameRecord appends one length+CRC framed journal record to dst — the
 // exact on-disk (and on-wire, for cluster shipping) framing. Exported so the
