@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 2s
 
-.PHONY: all build test vet test-v1 bench-smoke bench-t14 bench-recovery bench-json chaos-smoke fuzz-smoke loadgen-smoke cluster-smoke examples api-check ci
+.PHONY: all build test vet test-v1 bench-smoke bench-t14 bench-recovery bench-t19 bench-json chaos-smoke fuzz-smoke loadgen-smoke cluster-smoke examples api-check ci
 
 all: build
 
@@ -36,6 +36,12 @@ bench-t14:
 bench-recovery:
 	$(GO) run ./cmd/benchrunner -only T17
 
+# Planned-evaluation benchmark (T19): the greedy planning layer against the
+# PR 5 fixed-order and PR 1 naive engines on the hub-pair and high-arity
+# semijoin workloads — the planner's perf gate.
+bench-t19:
+	$(GO) run ./cmd/benchrunner -only T19
+
 # Capture the experiment tables as a JSON perf trajectory (BENCH_*.json).
 bench-json:
 	$(GO) run ./cmd/benchrunner -json > BENCH_$(shell date +%Y%m%d).json
@@ -61,6 +67,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCodecRoundTrip -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -run '^$$' -fuzz FuzzCodecDecode -fuzztime $(FUZZTIME) ./internal/codec
 	$(GO) test -run '^$$' -fuzz FuzzShipDecode -fuzztime $(FUZZTIME) ./internal/cluster
+	$(GO) test -run '^$$' -fuzz FuzzPlanEquivalence -fuzztime $(FUZZTIME) ./internal/plan
 
 # Open-loop load smoke: a short fixed-seed Poisson run against an
 # in-process daemon (cmd/loadgen self-host). Fails on any request error or
@@ -96,4 +103,4 @@ api-check:
 		echo "$$leaks"; exit 1; \
 	fi
 
-ci: build vet test test-v1 bench-smoke bench-t14 bench-recovery chaos-smoke fuzz-smoke loadgen-smoke cluster-smoke examples api-check
+ci: build vet test test-v1 bench-smoke bench-t14 bench-recovery bench-t19 chaos-smoke fuzz-smoke loadgen-smoke cluster-smoke examples api-check

@@ -84,6 +84,20 @@
 // open-loop (Poisson arrivals, zipf session popularity) for the T16
 // saturation curves. See README.md's "Observability".
 //
+// Query planning cuts across the evaluation cores the same way:
+// internal/plan is the shared greedy planning layer — constant-time
+// cardinality estimates read from structures the engines already hold (CSR
+// degree rows, candidate popcounts, pool sizes), cheapest-first ordering
+// (Pick/PickMin/Order), and a streaming Sink contract with early
+// termination. graph.EvalPairs picks forward or backward product BFS per
+// source group from frontier estimates (deduplicating backward runs across
+// groups), rellearn's semijoin search re-ranks witness families per node by
+// surviving-candidate popcount, and the graphlearn/session layers consume
+// streamed verdicts so a collapsed candidate pool stops evaluation
+// mid-flight. Decisions surface as querylearn_plan_* metrics and a "plan"
+// request-trace phase; QUERYLEARN_NOPLAN=1 reverts every consumer to its
+// fixed pre-planning order. See README.md's "Query planning".
+//
 // Scale: interactive path sessions run on a sparse, pool-projected version
 // space — candidate membership is interned over the question pool (pool ∪
 // task examples ∪ seed) and evaluated by the source-restricted

@@ -224,7 +224,7 @@ func TestAllRuns(t *testing.T) {
 	// The explicit list (not len(Registry())) guards registration drift: an
 	// experiment dropped from — or double-added to — the registry fails here.
 	want := []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9", "T10",
-		"T11", "T12", "T13", "F1", "T14", "T15", "T16", "T17", "T18"}
+		"T11", "T12", "T13", "F1", "T14", "T15", "T16", "T17", "T18", "T19"}
 	if len(tables) != len(want) {
 		t.Errorf("All returned %d tables, want %d", len(tables), len(want))
 	}

@@ -143,6 +143,7 @@ func Registry() []Experiment {
 		{"T16", T16SaturationCurve},
 		{"T17", T17CodecRecovery},
 		{"T18", T18ClusterFailover},
+		{"T19", T19PlannedEvaluation},
 	}
 }
 

@@ -12,12 +12,10 @@ package graph
 
 import (
 	"os"
-	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"querylearn/internal/bitset"
+	"querylearn/internal/plan"
 )
 
 // UseNaive routes Eval, EvalFrom, Selects, and ShortestWord through the
@@ -274,58 +272,18 @@ func (g *Graph) EvalFrom(q PathQuery, src int) []int {
 // Eval returns all pairs (src, dst) the query selects on the graph, in
 // (src, dst) ascending order. Sources that cannot start an accepting run
 // are pruned by the backward pass; the surviving sources are evaluated in
-// parallel across a worker pool.
+// parallel across a worker pool. Eval is the materializing form of
+// EvalStream (see plan.go), which delivers the same pairs in the same order
+// to a sink with early termination.
 func (g *Graph) Eval(q PathQuery) []Pair {
 	if UseNaive {
 		return g.EvalNaive(q)
 	}
-	if len(g.nodes) == 0 {
-		return nil
-	}
-	proto := newEvaluator(g, q)
-	sources := proto.canAccept[0].Slice()
-	if len(sources) == 0 {
-		return nil
-	}
-	results := make([][]int, len(sources))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	// Parallelism only pays off past a handful of sources.
-	if workers <= 1 || len(sources) < 32 {
-		for i, src := range sources {
-			results[i] = proto.run(src).Slice()
-		}
-	} else {
-		var cursor atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				ev := proto.fork()
-				for {
-					i := int(cursor.Add(1)) - 1
-					if i >= len(sources) {
-						return
-					}
-					results[i] = ev.run(sources[i]).Slice()
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	total := 0
-	for _, r := range results {
-		total += len(r)
-	}
-	out := make([]Pair, 0, total)
-	for i, src := range sources {
-		for _, d := range results[i] {
-			out = append(out, Pair{Src: src, Dst: d})
-		}
-	}
+	var out []Pair
+	g.EvalStream(q, func(p Pair) bool {
+		out = append(out, p)
+		return true
+	})
 	return out
 }
 
@@ -437,63 +395,24 @@ func (ev *pairEvaluator) selects(dst int) bool {
 
 // EvalPairs reports, for each requested pair, whether the query selects it —
 // the pool-restricted evaluation behind sparse interactive sessions. Work is
-// proportional to the distinct sources among the pairs (one sparse
-// automaton-product BFS each, in parallel past a handful of sources), never
-// to the n² pair space, so candidate membership over a question pool stays
-// cheap on graphs far beyond the all-pairs regime. Pair node indexes must be
-// valid.
+// proportional to the distinct BFS runs the planner schedules: pairs are
+// grouped by source, and each group runs a forward product BFS from its
+// source or — when the frontier estimates price it cheaper — backward
+// product BFSes from its destinations, deduplicated across groups (see
+// planPairTasks in plan.go). With planning disabled the PR 5 behaviour is
+// retained: one forward run per distinct source. Either way the work never
+// touches the n² pair space, so candidate membership over a question pool
+// stays cheap on graphs far beyond the all-pairs regime. Pair node indexes
+// must be valid.
 func (g *Graph) EvalPairs(q PathQuery, pairs []Pair) []bool {
 	if UseNaive {
 		return g.EvalPairsNaive(q, pairs)
 	}
 	out := make([]bool, len(pairs))
-	if len(pairs) == 0 || len(g.nodes) == 0 {
-		return out
-	}
-	// Group pair indexes by source, preserving first-occurrence order of the
-	// sources for deterministic scheduling.
-	bySrc := make(map[int][]int)
-	var sources []int
-	for i, p := range pairs {
-		if _, ok := bySrc[p.Src]; !ok {
-			sources = append(sources, p.Src)
-		}
-		bySrc[p.Src] = append(bySrc[p.Src], i)
-	}
-	proto := newPairEvaluator(g, q)
-	probe := func(ev *pairEvaluator, src int) {
-		ev.run(src)
-		for _, i := range bySrc[src] {
-			out[i] = ev.selects(pairs[i].Dst)
-		}
-	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sources) {
-		workers = len(sources)
-	}
-	if workers <= 1 || len(sources) < 32 {
-		for _, src := range sources {
-			probe(proto, src)
-		}
-		return out
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			ev := proto.fork()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= len(sources) {
-					return
-				}
-				probe(ev, sources[i])
-			}
-		}()
-	}
-	wg.Wait()
+	g.EvalPairsStream(q, pairs, nil, func(v PairVerdict) bool {
+		out[v.Index] = v.Selected
+		return true
+	})
 	return out
 }
 
@@ -506,32 +425,10 @@ func (g *Graph) EvalPairs(q PathQuery, pairs []Pair) []bool {
 // entries from a previous query always carry a smaller epoch.
 func (g *Graph) SelectsMany(qs []PathQuery, src, dst int) []bool {
 	out := make([]bool, len(qs))
-	if len(qs) == 0 || len(g.nodes) == 0 {
-		return out
-	}
-	if UseNaive {
-		one := []Pair{{Src: src, Dst: dst}}
-		for i, q := range qs {
-			out[i] = g.EvalPairsNaive(q, one)[0]
-		}
-		return out
-	}
-	maxK := 0
-	for _, q := range qs {
-		if len(q.Atoms) > maxK {
-			maxK = len(q.Atoms)
-		}
-	}
-	shared := make([]uint32, len(g.nodes)*(maxK+1))
-	epoch := uint32(0)
-	for i, q := range qs {
-		ev := newPairEvaluatorPlan(g, q)
-		ev.visited = shared[:len(g.nodes)*(ev.k+1)]
-		ev.epoch = epoch
-		ev.run(src)
-		epoch = ev.epoch
-		out[i] = ev.selects(dst)
-	}
+	g.SelectsManyStream(qs, src, dst, func(v PairVerdict) bool {
+		out[v.Index] = v.Selected
+		return true
+	})
 	return out
 }
 
@@ -555,7 +452,11 @@ func (g *Graph) EvalPairsNaive(q PathQuery, pairs []Pair) []bool {
 	return out
 }
 
-// Selects reports whether the query selects the given pair.
+// Selects reports whether the query selects the given pair. The planned
+// path answers with one sparse product BFS in the direction — forward from
+// src or backward from dst — whose first-frontier estimate is smaller,
+// instead of the dense evaluator's whole-graph backward precomputation;
+// with planning disabled the dense PR 1 behaviour is retained.
 func (g *Graph) Selects(q PathQuery, src, dst int) bool {
 	if UseNaive {
 		for _, d := range g.EvalFromNaive(q, src) {
@@ -565,7 +466,18 @@ func (g *Graph) Selects(q PathQuery, src, dst int) bool {
 		}
 		return false
 	}
-	return newEvaluator(g, q).run(src).Has(dst)
+	if plan.Disabled() {
+		return newEvaluator(g, q).run(src).Has(dst)
+	}
+	ev := newPairEvaluator(g, q)
+	if ev.k > 0 && ev.frontierIn(dst) < ev.frontierOut(src) {
+		plan.CountDecision(layerSelects, "backward", 1)
+		ev.runBack(dst)
+		return ev.coselects(src)
+	}
+	plan.CountDecision(layerSelects, "forward", 1)
+	ev.run(src)
+	return ev.selects(dst)
 }
 
 // ShortestWord returns the label word of a shortest path from src to dst

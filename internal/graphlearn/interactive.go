@@ -6,7 +6,11 @@ import (
 
 	"querylearn/internal/bitset"
 	"querylearn/internal/graph"
+	"querylearn/internal/plan"
 )
+
+// layerSession names this layer in querylearn_plan_* metric labels.
+const layerSession = "graphlearn.session"
 
 // Interactive path-query learning. The session starts from one positive
 // seed pair (the user's two chosen cities), builds the finite candidate
@@ -50,9 +54,17 @@ type Session struct {
 	selCount []int
 	labeled  *bitset.Set
 	Pool     []graph.Pair
+	// rec accumulates the session's planning work — evaluation-order
+	// decisions, candidates eliminated before the pool-wide pass, plan time —
+	// for the serving layer to drain into the request trace.
+	rec *plan.Recorder
 	// Stats
 	Questions int
 }
+
+// PlanRecorder exposes the session's planner recorder so the serving layer
+// can drain per-request planning time and decisions into its trace.
+func (s *Session) PlanRecorder() *plan.Recorder { return s.rec }
 
 // membershipFunc computes, for one candidate, which of the pairs it selects.
 // The production implementation is the pool-restricted graph.EvalPairs; the
@@ -67,7 +79,7 @@ func sparseMembership(g *graph.Graph, q graph.PathQuery, pairs []graph.Pair) []b
 // pool of pairs the user may be asked about. The seed itself is treated as
 // answered positively.
 func NewSession(g *graph.Graph, seed graph.Pair, pool []graph.Pair) (*Session, error) {
-	return newSession(g, seed, pool, nil, sparseMembership)
+	return newSession(g, seed, pool, nil, nil, nil)
 }
 
 // NewSessionProbes is NewSession with further known probe-able pairs — a
@@ -75,17 +87,48 @@ func NewSession(g *graph.Graph, seed graph.Pair, pool []graph.Pair) (*Session, e
 // candidate membership rides the same batched pool-restricted evaluation
 // instead of the per-pair fallback of a post-construction Record.
 func NewSessionProbes(g *graph.Graph, seed graph.Pair, pool, probes []graph.Pair) (*Session, error) {
-	return newSession(g, seed, pool, probes, sparseMembership)
+	return newSession(g, seed, pool, probes, nil, nil)
 }
 
-func newSession(g *graph.Graph, seed graph.Pair, pool, probes []graph.Pair, membership membershipFunc) (*Session, error) {
+// LabeledPair is a probe-able pair together with its known label — a task
+// example replayed into a new session.
+type LabeledPair struct {
+	Pair     graph.Pair
+	Positive bool
+}
+
+// NewSessionExamples is NewSessionProbes fused with the example replay: the
+// example labels are applied to the candidate space before the pool-wide
+// membership evaluation, so a candidate a replayed answer eliminates never
+// pays a pool-sized BFS — the collapsed version space stops evaluation
+// mid-flight. The final session state is identical to NewSessionProbes
+// followed by Record of each example (per-pair verdicts are independent of
+// the batch they are computed in); QUERYLEARN_NOPLAN literally takes that
+// path.
+func NewSessionExamples(g *graph.Graph, seed graph.Pair, pool []graph.Pair, examples []LabeledPair) (*Session, error) {
+	return newSession(g, seed, pool, nil, examples, nil)
+}
+
+func newSession(g *graph.Graph, seed graph.Pair, pool, probes []graph.Pair, examples []LabeledPair, membership membershipFunc) (*Session, error) {
 	word := g.ShortestWord(seed.Src, seed.Dst)
 	if word == nil {
 		return nil, fmt.Errorf("graphlearn: seed pair (%s,%s) is not connected",
 			g.Node(seed.Src), g.Node(seed.Dst))
 	}
 	cands := CandidatesFromWord(word)
-	s := &Session{G: g, Pool: pool, slots: make(map[graph.Pair]int, len(pool)+1)}
+	s := &Session{G: g, Pool: pool, slots: make(map[graph.Pair]int, len(pool)+1), rec: new(plan.Recorder)}
+	if membership == nil {
+		// Default sparse membership, with the session's recorder threaded
+		// into the graph planner for request-trace attribution.
+		membership = func(g *graph.Graph, q graph.PathQuery, pairs []graph.Pair) []bool {
+			out := make([]bool, len(pairs))
+			g.EvalPairsStream(q, pairs, s.rec, func(v graph.PairVerdict) bool {
+				out[v.Index] = v.Selected
+				return true
+			})
+			return out
+		}
+	}
 	intern := func(p graph.Pair) {
 		if _, ok := s.slots[p]; !ok {
 			s.slots[p] = len(s.universe)
@@ -98,9 +141,48 @@ func newSession(g *graph.Graph, seed graph.Pair, pool, probes []graph.Pair, memb
 	for _, p := range probes {
 		intern(p)
 	}
+	for _, e := range examples {
+		intern(e.Pair)
+	}
 	intern(seed)
 	s.labeled = bitset.New(len(s.universe))
-	for _, q := range cands {
+
+	// Planned pre-pass: judge every candidate on the labeled pairs alone —
+	// the seed plus the replayed examples — and drop inconsistent ones
+	// before any of them pays the pool-wide evaluation. The surviving set is
+	// exactly what the record() replays below would keep, so the pre-pass
+	// changes evaluation cost, never state.
+	survivors := cands
+	if len(examples) > 0 && !plan.Disabled() {
+		done := s.rec.StartPlan(layerSession)
+		labeledPairs := make([]graph.Pair, 0, len(examples)+1)
+		for _, e := range examples {
+			labeledPairs = append(labeledPairs, e.Pair)
+		}
+		labeledPairs = append(labeledPairs, seed)
+		survivors = survivors[:0:0]
+		for _, q := range cands {
+			verdicts := membership(g, q, labeledPairs)
+			ok := verdicts[len(examples)] // every candidate must select the seed
+			for i := range examples {
+				if !ok {
+					break
+				}
+				if verdicts[i] != examples[i].Positive {
+					ok = false
+				}
+			}
+			if ok {
+				survivors = append(survivors, q)
+			}
+		}
+		done()
+		s.rec.Decide(layerSession, "pruned-before-pool", len(cands)-len(survivors))
+		if len(survivors) == 0 {
+			return nil, fmt.Errorf("graphlearn: answers eliminated every candidate (goal outside the class)")
+		}
+	}
+	for _, q := range survivors {
 		sel := bitset.New(len(s.universe))
 		count := 0
 		for id, in := range membership(g, q, s.universe) {
@@ -119,6 +201,13 @@ func newSession(g *graph.Graph, seed graph.Pair, pool, probes []graph.Pair, memb
 		return nil, err
 	}
 	s.labeled.Add(seedID)
+	for i, e := range examples {
+		id := s.slots[e.Pair]
+		if err := s.record(id, e.Positive); err != nil {
+			return nil, fmt.Errorf("graphlearn: replaying example %d: %w", i, err)
+		}
+		s.labeled.Add(id)
+	}
 	return s, nil
 }
 
@@ -155,13 +244,9 @@ func (s *Session) Informative(p graph.Pair) bool {
 	if !ok {
 		// A pair outside the interned universe: answer from the graph
 		// directly without growing the universe (Informative is a read).
-		verdicts := s.G.SelectsMany(s.Candidates, p.Src, p.Dst)
-		for _, v := range verdicts[1:] {
-			if v != verdicts[0] {
-				return true
-			}
-		}
-		return false
+		// Disagree streams the per-candidate verdicts and stops at the
+		// first disagreement instead of materializing them all.
+		return s.G.Disagree(s.Candidates, p.Src, p.Dst)
 	}
 	if s.labeled.Has(id) {
 		return false
@@ -177,13 +262,34 @@ func (s *Session) Informative(p graph.Pair) bool {
 
 // InformativePairs lists the informative pool pairs.
 func (s *Session) InformativePairs() []graph.Pair {
+	out, _ := s.InformativeScan(0)
+	return out
+}
+
+// InformativeScan is the streamed form of InformativePairs behind batched
+// question proposal: the pool is still scanned in full (the total
+// informative count is part of the wire contract), but at most limit pairs
+// are materialized (limit <= 0 means all). A collapsed version space —
+// fewer than two surviving candidates — exits before touching the pool:
+// nothing can be informative once the survivors cannot disagree.
+func (s *Session) InformativeScan(limit int) ([]graph.Pair, int) {
+	if len(s.Candidates) < 2 {
+		if len(s.Pool) > 0 {
+			s.rec.EarlyStop(layerSession)
+		}
+		return nil, 0
+	}
 	var out []graph.Pair
+	total := 0
 	for _, p := range s.Pool {
 		if s.Informative(p) {
-			out = append(out, p)
+			total++
+			if limit <= 0 || len(out) < limit {
+				out = append(out, p)
+			}
 		}
 	}
-	return out
+	return out, total
 }
 
 // Record applies a user answer, filtering the version space. The pair is

@@ -74,11 +74,11 @@ func TestDifferentialSparseVsDenseSession(t *testing.T) {
 			if !found {
 				continue
 			}
-			sparse, err := newSession(g, seedPair, pool, nil, sparseMembership)
+			sparse, err := newSession(g, seedPair, pool, nil, nil, sparseMembership)
 			if err != nil {
 				continue // seed's word may put the goal outside the class
 			}
-			dense, err := newSession(g, seedPair, pool, nil, denseMembership)
+			dense, err := newSession(g, seedPair, pool, nil, nil, denseMembership)
 			if err != nil {
 				t.Fatalf("dense session errored where sparse did not: %v", err)
 			}
@@ -120,11 +120,11 @@ func TestSparseSessionUniverseGrowth(t *testing.T) {
 	}
 	// A deliberately tiny pool so most of the graph is outside the universe.
 	pool := DefaultPool(g, 2, 10)
-	sparse, err := newSession(g, seedPair, pool, nil, sparseMembership)
+	sparse, err := newSession(g, seedPair, pool, nil, nil, sparseMembership)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dense, err := newSession(g, seedPair, pool, nil, denseMembership)
+	dense, err := newSession(g, seedPair, pool, nil, nil, denseMembership)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,11 @@ package rellearn
 
 import (
 	"fmt"
+	"math/bits"
 	"os"
 	"sort"
+
+	"querylearn/internal/plan"
 )
 
 // UseNaive routes Agree and SemijoinConsistent through the original
@@ -76,6 +79,12 @@ type SemijoinStats struct {
 // The search runs over interned agreement sets with a compact binary memo
 // key, and collapses to plain uint64 candidates when the universe fits one
 // word (≤ 64 attribute pairs — every instance the experiments generate).
+// The planned search (the default) re-ranks the remaining example families
+// at every node by the size of their best surviving witness intersection —
+// greedy fail-first over live popcounts instead of the static up-front
+// order — and short-circuits the instant the survivor set collapses to a
+// state every remaining family accepts for free. QUERYLEARN_NOPLAN
+// (plan.Disabled) reverts to the static PR 5 ordering.
 // SemijoinConsistentNaive is the retained original; UseNaive reroutes.
 func SemijoinConsistent(u *Universe, examples []SemijoinExample, maxNodes int) (PairSet, bool, SemijoinStats, error) {
 	if UseNaive {
@@ -94,9 +103,15 @@ func SemijoinConsistent(u *Universe, examples []SemijoinExample, maxNodes int) (
 	}
 	var result PairSet
 	var found bool
-	if u.words == 1 {
+	switch {
+	case !plan.Disabled() && u.words == 1 && len(families) <= 64:
+		plan.CountDecision(layerSemijoin, "dynamic", 1)
+		result, found = semijoinDFS64Planned(u, forbidden, families, maxNodes, &stats)
+	case u.words == 1:
+		plan.CountDecision(layerSemijoin, "static", 1)
 		result, found = semijoinDFS64(u, forbidden, families, order, maxNodes, &stats)
-	} else {
+	default:
+		plan.CountDecision(layerSemijoin, "static", 1)
 		result, found = semijoinDFSWide(u, forbidden, families, order, maxNodes, &stats)
 	}
 	if !found && stats.NodesExplored > maxNodes {
@@ -107,6 +122,9 @@ func SemijoinConsistent(u *Universe, examples []SemijoinExample, maxNodes int) (
 	}
 	return result, true, stats, nil
 }
+
+// layerSemijoin names the semijoin search in querylearn_plan_* labels.
+const layerSemijoin = "rellearn.semijoin"
 
 // semijoinPrepare splits the examples, builds the forbidden down-sets and
 // per-positive witness families, and picks the fail-first order. When there
@@ -214,6 +232,104 @@ func semijoinDFS64(u *Universe, forbidden []PairSet, families [][]PairSet, order
 		return false
 	}
 	if !dfs(0, u.Full()[0]) {
+		return nil, false
+	}
+	return PairSet{result}, true
+}
+
+// semijoinDFS64Planned is the greedily-planned single-word search. Instead
+// of the static up-front family order, every node re-ranks the remaining
+// example families by the popcount of their best surviving witness
+// intersection with the current candidate and descends into the most
+// constrained one (fail-first on live numbers). Families whose best witness
+// keeps the candidate whole are "free" — satisfiable without shrinking the
+// version space — and when every remaining family is free the search stops
+// mid-flight and returns the candidate. Dynamic ordering breaks the static
+// path's depth-keyed memo, so the memo key becomes (remaining-family mask,
+// candidate); the planned path is limited to ≤ 64 families for that mask.
+func semijoinDFS64Planned(u *Universe, forbidden []PairSet, families [][]PairSet, maxNodes int, stats *SemijoinStats) (PairSet, bool) {
+	forb := make([]uint64, len(forbidden))
+	for i, f := range forbidden {
+		forb[i] = f[0]
+	}
+	fams := make([][]uint64, len(families))
+	for i, fam := range families {
+		fams[i] = make([]uint64, len(fam))
+		for j, a := range fam {
+			fams[i][j] = a[0]
+		}
+	}
+	seen := make(map[[2]uint64]struct{})
+	var result uint64
+	var dfs func(mask, cand uint64) bool
+	dfs = func(mask, cand uint64) bool {
+		stats.NodesExplored++
+		if stats.NodesExplored > maxNodes {
+			return false
+		}
+		for _, f := range forb {
+			if cand&^f == 0 {
+				stats.Pruned++
+				return false
+			}
+		}
+		if mask == 0 {
+			result = cand
+			return true
+		}
+		// Greedy re-rank over live popcounts: each remaining family scores
+		// as its best surviving witness intersection; the smallest score is
+		// the most constrained family and is searched first. A family whose
+		// best witness contains the whole candidate is free — it cannot
+		// shrink the version space — and stays in the mask unexplored until
+		// either every remaining family is free (stop: cand is the answer)
+		// or a shrunken candidate makes it binding again.
+		candPop := bits.OnesCount64(cand)
+		pick, pickBest := -1, 0
+		for m := mask; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			best := -1
+			for _, a := range fams[i] {
+				if c := bits.OnesCount64(cand & a); c > best {
+					best = c
+					if c == candPop {
+						break
+					}
+				}
+			}
+			if best == candPop {
+				continue // free family
+			}
+			if pick < 0 || best < pickBest {
+				pick, pickBest = i, best
+			}
+		}
+		if pick < 0 {
+			// Version space collapsed: every remaining family is satisfied
+			// by cand as-is. The static search would walk them all.
+			plan.CountEarlyStop(layerSemijoin)
+			result = cand
+			return true
+		}
+		key := [2]uint64{mask, cand}
+		if _, ok := seen[key]; ok {
+			stats.Pruned++
+			return false
+		}
+		seen[key] = struct{}{}
+		rest := mask &^ (uint64(1) << uint(pick))
+		for _, a := range fams[pick] {
+			if dfs(rest, cand&a) {
+				return true
+			}
+			if stats.NodesExplored > maxNodes {
+				return false
+			}
+		}
+		return false
+	}
+	all := uint64(1)<<uint(len(fams)) - 1 // len == 64 wraps to ^0 as intended
+	if !dfs(all, u.Full()[0]) {
 		return nil, false
 	}
 	return PairSet{result}, true
@@ -376,7 +492,9 @@ func SemijoinConsistentNaive(u *Universe, examples []SemijoinExample, maxNodes i
 // SemijoinGreedy is the polynomial-time approximation: each positive picks
 // the witness keeping the running intersection largest. It may miss a
 // consistent predicate the exact search finds (the ablation bench
-// quantifies how often).
+// quantifies how often). The witness choice is plan.Pick — the planner's
+// one shared greedy argmax, first-wins on ties, which is exactly the tie
+// rule the pre-planner ad-hoc loop implemented.
 func SemijoinGreedy(u *Universe, examples []SemijoinExample) (PairSet, bool) {
 	var pos, neg []int
 	for _, e := range examples {
@@ -388,18 +506,13 @@ func SemijoinGreedy(u *Universe, examples []SemijoinExample) (PairSet, bool) {
 	}
 	cand := u.Full()
 	for _, t := range pos {
-		var best PairSet
-		bestCount := -1
-		for j := 0; j < u.Right.Len(); j++ {
-			p := cand.Intersect(u.Agree(t, j))
-			if c := p.Count(); c > bestCount {
-				best, bestCount = p, c
-			}
-		}
-		if best == nil {
+		j := plan.Pick(u.Right.Len(), func(j int) int {
+			return cand.Intersect(u.Agree(t, j)).Count()
+		})
+		if j < 0 {
 			return nil, false // empty right relation
 		}
-		cand = best
+		cand = cand.Intersect(u.Agree(t, j))
 	}
 	for _, n := range neg {
 		for j := 0; j < u.Right.Len(); j++ {

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"querylearn/internal/plan"
 	"querylearn/internal/relational"
 )
 
@@ -50,6 +51,25 @@ func TestDifferentialAgreeVsNaive(t *testing.T) {
 	}
 }
 
+// semijoinWitnesses verifies a predicate against the examples from first
+// principles: every positive left tuple has a right witness whose agreement
+// set contains p, and no negative one does.
+func semijoinWitnesses(u *Universe, exs []SemijoinExample, p PairSet) bool {
+	for _, e := range exs {
+		selected := false
+		for j := 0; j < u.Right.Len(); j++ {
+			if p.SubsetOf(u.Agree(e.Left, j)) {
+				selected = true
+				break
+			}
+		}
+		if selected != e.Positive {
+			return false
+		}
+	}
+	return true
+}
+
 func TestDifferentialSemijoinConsistentVsNaive(t *testing.T) {
 	for seed := int64(0); seed < 25; seed++ {
 		rng := rand.New(rand.NewSource(seed * 13))
@@ -62,8 +82,13 @@ func TestDifferentialSemijoinConsistentVsNaive(t *testing.T) {
 		for i := 0; i < u.Left.Len(); i++ {
 			exs = append(exs, SemijoinExample{Left: i, Positive: rng.Intn(2) == 0})
 		}
-		fp, fok, fstats, ferr := SemijoinConsistent(u, exs, 1<<22)
 		np, nok, nstats, nerr := SemijoinConsistentNaive(u, exs, 1<<22)
+
+		// Unplanned fast path: bit-for-bit the naive search over interned
+		// sets — identical predicate, identical node/prune counts.
+		prev := plan.SetDisabled(true)
+		fp, fok, fstats, ferr := SemijoinConsistent(u, exs, 1<<22)
+		plan.SetDisabled(prev)
 		if (ferr == nil) != (nerr == nil) {
 			t.Fatalf("seed %d: err fast %v, naive %v", seed, ferr, nerr)
 		}
@@ -76,6 +101,21 @@ func TestDifferentialSemijoinConsistentVsNaive(t *testing.T) {
 		}
 		if fstats != nstats {
 			t.Fatalf("seed %d (words=%d): stats fast %+v != naive %+v", seed, u.words, fstats, nstats)
+		}
+
+		// Planned path: the dynamic family order explores a different tree,
+		// so the witness predicate may differ — the contract is the same
+		// decision and a predicate the examples verify.
+		pp, pok, _, perr := SemijoinConsistent(u, exs, 1<<22)
+		if (perr == nil) != (nerr == nil) {
+			t.Fatalf("seed %d: err planned %v, naive %v", seed, perr, nerr)
+		}
+		if pok != nok {
+			t.Fatalf("seed %d (words=%d): decision planned %v != naive %v", seed, u.words, pok, nok)
+		}
+		if pok && !semijoinWitnesses(u, exs, pp) {
+			t.Fatalf("seed %d (words=%d): planned predicate %v inconsistent with examples",
+				seed, u.words, u.Decode(pp))
 		}
 	}
 }
@@ -138,11 +178,20 @@ func TestSemijoinUseNaiveFlagRoutes(t *testing.T) {
 	for i := 0; i < u.Left.Len(); i++ {
 		exs = append(exs, SemijoinExample{Left: i, Positive: rng.Intn(2) == 0})
 	}
+	// The unflagged, plan-disabled run is the naive search bit for bit.
+	prev := plan.SetDisabled(true)
+	defer plan.SetDisabled(prev)
 	UseNaive = true
 	p1, ok1, st1, _ := SemijoinConsistent(u, exs, 0)
 	UseNaive = false
 	p2, ok2, st2, _ := SemijoinConsistent(u, exs, 0)
 	if ok1 != ok2 || st1 != st2 || (ok1 && !p1.Equal(p2)) {
 		t.Fatalf("flagged run disagrees: (%v,%v,%+v) vs (%v,%v,%+v)", p1, ok1, st1, p2, ok2, st2)
+	}
+	// The planned run must reach the same decision with a verified witness.
+	plan.SetDisabled(false)
+	p3, ok3, _, _ := SemijoinConsistent(u, exs, 0)
+	if ok3 != ok1 || (ok3 && !semijoinWitnesses(u, exs, p3)) {
+		t.Fatalf("planned run disagrees: (%v,%v) vs naive (%v,%v)", p3, ok3, p1, ok1)
 	}
 }

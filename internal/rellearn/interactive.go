@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"querylearn/internal/plan"
 	"querylearn/internal/relational"
 )
 
@@ -100,7 +101,20 @@ func (s *Session) classify(li, ri int) int {
 
 // Candidates enumerates the informative unlabeled pairs.
 func (s *Session) Candidates() []Candidate {
+	out, _ := s.CandidatesLimited(0)
+	return out
+}
+
+// CandidatesLimited is the streamed form of Candidates for batched question
+// proposal: the scan still classifies every pair (the total informative
+// count is part of the wire contract), but materializes at most limit
+// candidate agreement sets (limit <= 0 means all). A collapsed version
+// space — Pmax empty, every unlabeled pair certain — naturally yields zero
+// candidates; the scan just stops allocating, which is where the win is on
+// large universes asked for small batches.
+func (s *Session) CandidatesLimited(limit int) ([]Candidate, int) {
 	var out []Candidate
+	total := 0
 	for li := 0; li < s.U.Left.Len(); li++ {
 		for ri := 0; ri < s.U.Right.Len(); ri++ {
 			if s.labeled[[2]int{li, ri}] {
@@ -109,11 +123,14 @@ func (s *Session) Candidates() []Candidate {
 			if s.classify(li, ri) != 0 {
 				continue
 			}
-			out = append(out, Candidate{Left: li, Right: ri,
-				Agree: s.U.Agree(li, ri).Intersect(s.Pmax)})
+			total++
+			if limit <= 0 || len(out) < limit {
+				out = append(out, Candidate{Left: li, Right: ri,
+					Agree: s.U.Agree(li, ri).Intersect(s.Pmax)})
+			}
 		}
 	}
-	return out
+	return out, total
 }
 
 // Record applies a user answer to the version space.
@@ -132,15 +149,33 @@ func (s *Session) Record(li, ri int, positive bool) error {
 			}
 			negs = append(negs, pn)
 		}
-		s.negatives = maximalSets(negs)
+		s.negatives = orderNegatives(maximalSets(negs))
 		return nil
 	}
 	pn := at.Intersect(s.Pmax)
 	if pn.Equal(s.Pmax) {
 		return fmt.Errorf("rellearn: answers are inconsistent (no join predicate fits)")
 	}
-	s.negatives = maximalSets(append(s.negatives, pn))
+	s.negatives = orderNegatives(maximalSets(append(s.negatives, pn)))
 	return nil
+}
+
+// orderNegatives sorts the negative down-sets largest-popcount-first —
+// greedy most-selective-first, so classify's certainly-rejected probe hits
+// the set most likely to contain a candidate's agreement set early. Pure
+// evaluation-order planning: the any-of subset check is order-insensitive,
+// so results are identical, and QUERYLEARN_NOPLAN keeps the unordered
+// maximalSets output.
+func orderNegatives(negs []PairSet) []PairSet {
+	if plan.Disabled() || len(negs) < 2 {
+		return negs
+	}
+	idx := plan.Order(len(negs), func(i int) int { return -negs[i].Count() })
+	out := make([]PairSet, len(negs))
+	for i, j := range idx {
+		out[i] = negs[j]
+	}
+	return out
 }
 
 // Result returns the most specific consistent predicate.

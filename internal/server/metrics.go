@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"querylearn/internal/obs"
+	"querylearn/internal/plan"
 )
 
 // endpointNames enumerates the instrumented endpoints in display order.
@@ -66,6 +67,10 @@ func newMetrics(reg *obs.Registry) *metrics {
 	for _, n := range endpointNames {
 		m.endpoints[n] = &endpointStats{requests: requests.With(n), shed: shed.With(n)}
 	}
+	// Bind the evaluation planner's querylearn_plan_* families to this
+	// registry, so per-layer decision counts and plan time ride the same
+	// exposition as the HTTP metrics.
+	plan.Register(reg)
 	return m
 }
 

@@ -50,6 +50,71 @@ func driveTraffic(t *testing.T, c *client) {
 	c.do("GET", "/sessions/missing", nil, http.StatusNotFound, nil)
 }
 
+// drivePlanTraffic runs one path-model dialogue turn: building the pool
+// sends the candidate membership probes through the planned evaluator
+// (graph.evalpairs direction decisions), and the manager drains the session's
+// plan recorder into the request trace as a "plan" phase.
+func drivePlanTraffic(t *testing.T, c *client) {
+	t.Helper()
+	oracle := oracleByModel(t)["path"]
+	id := c.create("path", pathTask)
+	var qr struct {
+		Done     bool              `json:"done"`
+		Question *session.Question `json:"question"`
+	}
+	c.do("GET", "/sessions/"+id+"/question", nil, http.StatusOK, &qr)
+	if !qr.Done {
+		c.do("POST", "/sessions/"+id+"/answers", map[string]any{
+			"answers": []map[string]any{{"item": qr.Question.Item, "positive": oracle(qr.Question.Item)}},
+		}, http.StatusOK, nil)
+	}
+}
+
+// The querylearn_plan_* families registered by the server must carry real
+// planner activity after path traffic, lint as a valid exposition, and the
+// drained planning time must surface as a "plan" entry in the shared phase
+// histogram.
+func TestPrometheusPlanExposition(t *testing.T) {
+	c, _ := newObsServer(t)
+	drivePlanTraffic(t, c)
+
+	resp, err := c.http.Get(c.base + "/metrics?format=prometheus")
+	must(t, err)
+	defer resp.Body.Close()
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not lint: %v", err)
+	}
+
+	if exp.Types["querylearn_plan_decisions_total"] != "counter" {
+		t.Error("querylearn_plan_decisions_total missing or not a counter")
+	}
+	if exp.Types["querylearn_plan_seconds"] != "histogram" {
+		t.Error("querylearn_plan_seconds missing or not a histogram")
+	}
+	if v := exp.SumByName("querylearn_plan_decisions_total"); v < 1 {
+		t.Errorf("plan decisions total = %v, want >= 1 after path traffic", v)
+	}
+	if v := exp.SumByName("querylearn_plan_seconds_count"); v < 1 {
+		t.Errorf("plan seconds count = %v, want >= 1 after path traffic", v)
+	}
+	// The decisions carry the graph evaluator's layer label with a concrete
+	// direction choice.
+	fwd, fok := exp.Value(obs.SeriesKey("querylearn_plan_decisions_total",
+		map[string]string{"layer": "graph.evalpairs", "choice": "forward"}))
+	bwd, bok := exp.Value(obs.SeriesKey("querylearn_plan_decisions_total",
+		map[string]string{"layer": "graph.evalpairs", "choice": "backward"}))
+	if (!fok || fwd < 1) && (!bok || bwd < 1) {
+		t.Errorf("no graph.evalpairs direction decisions recorded (forward=%v/%v backward=%v/%v)",
+			fwd, fok, bwd, bok)
+	}
+	// Drained planner time rides the request trace into the phase histogram.
+	if v, ok := exp.Value(obs.SeriesKey("querylearn_phase_seconds_count",
+		map[string]string{"phase": "plan"})); !ok || v < 1 {
+		t.Errorf("phase plan count = %v (present=%v), want >= 1", v, ok)
+	}
+}
+
 func TestPrometheusExposition(t *testing.T) {
 	c, _ := newObsServer(t)
 	driveTraffic(t, c)
@@ -260,5 +325,47 @@ func TestSlowRequestLog(t *testing.T) {
 	got := strings.Count(buf.String(), "slow request")
 	if got != 2 {
 		t.Errorf("every=3 over 6 requests logged %d lines, want 2", got)
+	}
+}
+
+// A path session's slow-log lines must attribute planner work: the create
+// request (pool membership through the planned evaluator) and every later
+// dialogue turn carry a "plan" phase drained from the session recorder.
+func TestSlowRequestLogPlanPhase(t *testing.T) {
+	reg := obs.NewRegistry()
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	mgr := session.NewManager(session.Config{})
+	ts := httptest.NewServer(New(mgr,
+		WithObs(reg), WithSlowRequestLog(logger, 0, 1)).Handler())
+	t.Cleanup(ts.Close)
+	c := &client{t: t, base: ts.URL, http: ts.Client()}
+	id := c.create("path", pathTask)
+	c.do("GET", "/sessions/"+id+"/question", nil, http.StatusOK, nil)
+
+	type logLine struct {
+		Endpoint string `json:"endpoint"`
+		Phases   []struct {
+			Name    string  `json:"name"`
+			Seconds float64 `json:"seconds"`
+		} `json:"phases"`
+	}
+	planPhases := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var logged logLine
+		must(t, json.Unmarshal([]byte(line), &logged))
+		for _, ph := range logged.Phases {
+			if ph.Name == "plan" {
+				if ph.Seconds < 0 {
+					t.Errorf("%s: negative plan phase %v", logged.Endpoint, ph.Seconds)
+				}
+				planPhases[logged.Endpoint] = true
+			}
+		}
+	}
+	for _, ep := range []string{"create", "question"} {
+		if !planPhases[ep] {
+			t.Errorf("slow log for %s request has no plan phase (lines: %s)", ep, buf.String())
+		}
 	}
 }

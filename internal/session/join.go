@@ -61,14 +61,20 @@ func (l *joinLearner) checkRange(li, ri int) error {
 func (l *joinLearner) Model() string { return "join" }
 
 // Propose implements Learner: the first k informative tuple pairs in
-// deterministic (left, right) scan order.
+// deterministic (left, right) scan order. The limited scan still counts
+// every informative pair (the wire's Remaining field) but materializes
+// agreement sets only for the requested batch.
 func (l *joinLearner) Propose(k int) ([]Question, error) {
-	cands := l.sess.Candidates()
-	if len(cands) == 0 {
+	lim := k
+	if lim < 1 {
+		lim = 1
+	}
+	cands, total := l.sess.CandidatesLimited(lim)
+	if total == 0 {
 		return nil, nil
 	}
-	qs := make([]Question, 0, clampBatch(k, len(cands)))
-	for _, c := range cands[:clampBatch(k, len(cands))] {
+	qs := make([]Question, 0, clampBatch(k, total))
+	for _, c := range cands[:clampBatch(k, total)] {
 		item, err := json.Marshal(joinItem{Left: c.Left, Right: c.Right})
 		if err != nil {
 			return nil, err
@@ -79,10 +85,17 @@ func (l *joinLearner) Propose(k int) ([]Question, error) {
 			Prompt: fmt.Sprintf("should %s tuple %d (%s) join with %s tuple %d (%s)?",
 				l.u.Left.Name, c.Left, strings.Join(l.u.Left.Tuple(c.Left), ","),
 				l.u.Right.Name, c.Right, strings.Join(l.u.Right.Tuple(c.Right), ",")),
-			Remaining: len(cands),
+			Remaining: total,
 		})
 	}
 	return qs, nil
+}
+
+// joinOpen counts the informative pairs while materializing at most one
+// agreement set — the convergence probe.
+func joinOpen(sess *rellearn.Session) int {
+	_, total := sess.CandidatesLimited(1)
+	return total
 }
 
 // decode unmarshals and range-checks an item.
@@ -130,7 +143,7 @@ func (l *joinLearner) Hypothesis() (Hypothesis, error) {
 	return Hypothesis{
 		Model:     "join",
 		Query:     query,
-		Converged: len(l.sess.Candidates()) == 0,
+		Converged: joinOpen(l.sess) == 0,
 		Detail: map[string]string{
 			"attr_pairs": fmt.Sprint(len(pred)),
 			"questions":  fmt.Sprint(l.sess.Questions),

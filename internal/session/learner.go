@@ -19,6 +19,8 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"querylearn/internal/obs"
+	"querylearn/internal/plan"
 	"querylearn/pkg/api"
 )
 
@@ -61,6 +63,27 @@ type Learner interface {
 	Record(item json.RawMessage, positive bool) error
 	// Hypothesis returns the current best hypothesis.
 	Hypothesis() (Hypothesis, error)
+}
+
+// PlanReporter is the optional Learner face of planner attribution: a
+// learner whose evaluation core records its planning work (internal/plan)
+// exposes the recorder so the manager can fold it into request traces.
+type PlanReporter interface {
+	PlanRecorder() *plan.Recorder
+}
+
+// drainPlan empties the learner's planner recorder — if it has one — into
+// the trace as a "plan" phase. Draining happens even on a nil trace so work
+// from an untraced request is never misattributed to the next traced one;
+// the phase flows from the trace into querylearn_phase_seconds and the
+// slow-request log like every other phase.
+func drainPlan(l Learner, tr *obs.Trace) {
+	pr, ok := l.(PlanReporter)
+	if !ok {
+		return
+	}
+	d, _, _ := pr.PlanRecorder().Drain()
+	tr.Add("plan", d)
 }
 
 // Next proposes a single question — the k=1 convenience over Propose.

@@ -287,6 +287,7 @@ func (m *Manager) CreateTraced(model, task string, opts CreateOptions, tr *obs.T
 		m.live.Add(-1)
 		return nil, err
 	}
+	drainPlan(learner, tr)
 	m.attachCache(learner)
 	s := m.newSession(m.mintID(), model, task, learner, opts.MaxCost)
 	if model == "path" {
@@ -808,6 +809,7 @@ func (s *Session) QuestionsTraced(k int, tr *obs.Trace) ([]Question, error) {
 	proposeDone := tr.StartPhase("learner.propose")
 	qs, err := s.learner.Propose(k)
 	proposeDone()
+	drainPlan(s.learner, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -981,6 +983,7 @@ func (s *Session) AnswerIdemTraced(batch []Answer, reconcile, key string, tr *ob
 	proposeDone := tr.StartPhase("learner.propose")
 	qs, err := s.learner.Propose(1)
 	proposeDone()
+	drainPlan(s.learner, tr)
 	if err != nil {
 		return AnswerResult{}, false, err
 	}
@@ -1043,7 +1046,9 @@ func (s *Session) HypothesisTraced(tr *obs.Trace) (Hypothesis, error) {
 	if s.evicted {
 		return Hypothesis{}, ErrNotFound
 	}
-	return s.learner.Hypothesis()
+	h, err := s.learner.Hypothesis()
+	drainPlan(s.learner, tr)
+	return h, err
 }
 
 // Snapshot captures the session for persistence.

@@ -7,6 +7,7 @@ import (
 	"querylearn/internal/core"
 	"querylearn/internal/graph"
 	"querylearn/internal/graphlearn"
+	"querylearn/internal/plan"
 )
 
 // pathItem addresses a node pair on the wire by node names (stable across
@@ -50,42 +51,48 @@ func newPathLearner(src string, lim Limits) (*pathLearner, error) {
 		return nil, fmt.Errorf("session: graph has %d nodes, above the %d-node session limit", g.NumNodes(), lim.PathMaxNodes)
 	}
 	pool := graphlearn.DefaultPool(g, lim.PathPoolMaxLen, lim.PathPoolLimit)
-	// The task's own examples are probe-able pairs: intern them with the
-	// pool so their candidate membership is evaluated in the same batched
-	// pool-restricted pass, not one by one during replay below.
-	probes := make([]graph.Pair, 0, len(task.Examples))
-	for _, ex := range task.Examples {
-		probes = append(probes, graph.Pair{Src: ex.Src, Dst: ex.Dst})
-	}
-	sess, err := graphlearn.NewSessionProbes(g,
-		graph.Pair{Src: task.Examples[seed].Src, Dst: task.Examples[seed].Dst}, pool, probes)
-	if err != nil {
-		return nil, err
-	}
-	l := &pathLearner{g: g, sess: sess}
+	// The task's examples are handed to the session with their labels:
+	// they are interned with the pool (batched membership evaluation) AND
+	// applied to the candidate space before the pool-wide pass, so a
+	// candidate an example eliminates never pays a pool-sized evaluation.
+	examples := make([]graphlearn.LabeledPair, 0, len(task.Examples))
 	for i, ex := range task.Examples {
 		if i == seed {
 			continue
 		}
-		if err := sess.Record(graph.Pair{Src: ex.Src, Dst: ex.Dst}, ex.Positive); err != nil {
-			return nil, fmt.Errorf("session: replaying path task example %d: %w", i, err)
-		}
+		examples = append(examples, graphlearn.LabeledPair{
+			Pair: graph.Pair{Src: ex.Src, Dst: ex.Dst}, Positive: ex.Positive})
 	}
-	return l, nil
+	sess, err := graphlearn.NewSessionExamples(g,
+		graph.Pair{Src: task.Examples[seed].Src, Dst: task.Examples[seed].Dst}, pool, examples)
+	if err != nil {
+		return nil, fmt.Errorf("session: replaying path task examples: %w", err)
+	}
+	return &pathLearner{g: g, sess: sess}, nil
 }
+
+// PlanRecorder exposes the underlying session's planner recorder so the
+// manager can fold planning work into the request trace.
+func (l *pathLearner) PlanRecorder() *plan.Recorder { return l.sess.PlanRecorder() }
 
 // Model implements Learner.
 func (l *pathLearner) Model() string { return "path" }
 
 // Propose implements Learner: the first k informative node pairs in the
-// session's deterministic pool order.
+// session's deterministic pool order. The scan materializes only the
+// requested batch while still counting the total (the wire's Remaining
+// field), and a collapsed version space skips the pool entirely.
 func (l *pathLearner) Propose(k int) ([]Question, error) {
-	inf := l.sess.InformativePairs()
-	if len(inf) == 0 {
+	lim := k
+	if lim < 1 {
+		lim = 1
+	}
+	inf, total := l.sess.InformativeScan(lim)
+	if total == 0 {
 		return nil, nil
 	}
-	qs := make([]Question, 0, clampBatch(k, len(inf)))
-	for _, p := range inf[:clampBatch(k, len(inf))] {
+	qs := make([]Question, 0, clampBatch(k, total))
+	for _, p := range inf[:clampBatch(k, total)] {
 		item, err := json.Marshal(pathItem{Src: l.g.Node(p.Src), Dst: l.g.Node(p.Dst)})
 		if err != nil {
 			return nil, err
@@ -95,7 +102,7 @@ func (l *pathLearner) Propose(k int) ([]Question, error) {
 			Item:  item,
 			Prompt: fmt.Sprintf("should the query select the pair (%s, %s)?",
 				l.g.Node(p.Src), l.g.Node(p.Dst)),
-			Remaining: len(inf),
+			Remaining: total,
 		})
 	}
 	return qs, nil
@@ -138,10 +145,11 @@ func (l *pathLearner) Record(raw json.RawMessage, positive bool) error {
 
 // Hypothesis implements Learner.
 func (l *pathLearner) Hypothesis() (Hypothesis, error) {
+	_, open := l.sess.InformativeScan(1) // convergence needs the count, not the pairs
 	return Hypothesis{
 		Model:     "path",
 		Query:     l.sess.Result().String(),
-		Converged: len(l.sess.InformativePairs()) == 0,
+		Converged: open == 0,
 		Detail: map[string]string{
 			"survivors": fmt.Sprint(len(l.sess.Candidates)),
 			"pool":      fmt.Sprint(len(l.sess.Pool)),

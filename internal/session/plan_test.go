@@ -1,0 +1,77 @@
+package session
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"querylearn/internal/plan"
+)
+
+// Differential dialogue test for the planning layer: with planning enabled
+// and disabled, every model learner must propose the same questions with
+// the same Remaining counts, accept the same answers, and converge to the
+// same hypothesis. The planner is allowed to change evaluation order and
+// cost, never observable behaviour.
+func TestPlannedUnplannedDialoguesIdentical(t *testing.T) {
+	orcs := oracles(t)
+	type transcript struct {
+		questions []string
+		hyp       Hypothesis
+	}
+	run := func(t *testing.T, model, task string, disabled bool) transcript {
+		prev := plan.SetDisabled(disabled)
+		defer plan.SetDisabled(prev)
+		l, err := New(model, task)
+		if err != nil {
+			t.Fatalf("New(%s, disabled=%v): %v", model, disabled, err)
+		}
+		var tr transcript
+		for rounds := 0; ; rounds++ {
+			if rounds > 500 {
+				t.Fatalf("%s (disabled=%v) did not converge in 500 rounds", model, disabled)
+			}
+			// Batched proposal exercises the limited scans; answering only
+			// the first mirrors a slow crowd and keeps later batches
+			// overlapping earlier ones.
+			qs, err := l.Propose(3)
+			if err != nil {
+				t.Fatalf("%s Propose (disabled=%v): %v", model, disabled, err)
+			}
+			if len(qs) == 0 {
+				break
+			}
+			for _, q := range qs {
+				tr.questions = append(tr.questions, fmt.Sprintf("%s remaining=%d", q.Item, q.Remaining))
+			}
+			if err := l.Record(qs[0].Item, orcs[model](qs[0].Item)); err != nil {
+				t.Fatalf("%s Record %s (disabled=%v): %v", model, qs[0].Item, disabled, err)
+			}
+		}
+		h, err := l.Hypothesis()
+		if err != nil {
+			t.Fatalf("%s Hypothesis (disabled=%v): %v", model, disabled, err)
+		}
+		tr.hyp = h
+		return tr
+	}
+	for model, task := range tasks() {
+		t.Run(model, func(t *testing.T) {
+			planned := run(t, model, task, false)
+			unplanned := run(t, model, task, true)
+			if len(planned.questions) != len(unplanned.questions) {
+				t.Fatalf("question counts differ: planned %d, unplanned %d",
+					len(planned.questions), len(unplanned.questions))
+			}
+			for i := range planned.questions {
+				if planned.questions[i] != unplanned.questions[i] {
+					t.Fatalf("question %d differs:\nplanned:   %s\nunplanned: %s",
+						i, planned.questions[i], unplanned.questions[i])
+				}
+			}
+			if !reflect.DeepEqual(planned.hyp, unplanned.hyp) {
+				t.Fatalf("hypotheses differ:\nplanned:   %+v\nunplanned: %+v", planned.hyp, unplanned.hyp)
+			}
+		})
+	}
+}
